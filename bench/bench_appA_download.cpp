@@ -1,0 +1,88 @@
+// Reproduces the App. A download-module behaviour: thumbnail capture rate
+// against the overwrite-in-place CDN contract, API rate limiting,
+// idle-steal load balancing, offline handling, and crash recovery.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "download/system.hpp"
+#include "util/table.hpp"
+
+using namespace tero;
+
+namespace {
+
+struct RunResult {
+  double capture_rate = 0.0;
+  std::vector<int> assignments;
+  std::uint64_t offline_signals = 0;
+};
+
+RunResult run(int streamers, int downloaders, bool crash, double horizon) {
+  util::EventLoop loop;
+  download::SimulatedCdn cdn(loop, util::Rng(81));
+  for (int i = 0; i < streamers; ++i) {
+    // Staggered sessions; half go offline partway.
+    const double start = i * 20.0;
+    const double end = (i % 2 == 0) ? horizon : horizon * 0.6;
+    cdn.add_session({"s" + std::to_string(i), start, end});
+  }
+  store::KvStore kv;
+  download::DownloadConfig config;
+  config.num_downloaders = downloaders;
+  download::DownloadSystem system(loop, cdn, kv, config, util::Rng(82));
+  system.start();
+  if (crash) {
+    loop.schedule_at(horizon / 2, [&] { system.crash_and_recover(); });
+  }
+  loop.run_until(horizon);
+  RunResult result;
+  result.capture_rate =
+      cdn.thumbnails_generated() > 0
+          ? static_cast<double>(system.downloads().size()) /
+                cdn.thumbnails_generated()
+          : 0.0;
+  result.assignments = system.downloader_assignments();
+  result.offline_signals = system.offline_signals();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("App. A: download module behaviour");
+
+  util::Table table({"scenario", "capture rate", "offline signals",
+                     "busiest/mean adoption"});
+  for (const auto& [label, streamers, downloaders, crash] :
+       std::vector<std::tuple<std::string, int, int, bool>>{
+           {"20 streamers / 4 downloaders", 20, 4, false},
+           {"60 streamers / 4 downloaders", 60, 4, false},
+           {"60 streamers / 8 downloaders", 60, 8, false},
+           {"60/4 with mid-run crash+recovery", 60, 4, true},
+       }) {
+    const auto result = run(streamers, downloaders, crash, 6 * 3600.0);
+    double mean_adoption = 0.0;
+    int busiest = 0;
+    for (int adoption : result.assignments) {
+      mean_adoption += adoption;
+      busiest = std::max(busiest, adoption);
+    }
+    mean_adoption /= static_cast<double>(result.assignments.size());
+    table.add_row({label, util::fmt_percent(result.capture_rate, 1),
+                   std::to_string(result.offline_signals),
+                   util::fmt_double(busiest, 0) + " / " +
+                       util::fmt_double(mean_adoption, 1)});
+  }
+  table.print(std::cout);
+
+  bench::note("");
+  bench::note(
+      "Contract check: thumbnails overwrite in place every ~5 min, so "
+      "anything not fetched before the next generation is lost — the lean "
+      "HEAD-then-GET downloaders keep the loss small, idle-steal spreads "
+      "adoption, offline URLs signal the coordinator, and a crash costs "
+      "only in-flight timers because all state recovers from the KV store.");
+  return 0;
+}

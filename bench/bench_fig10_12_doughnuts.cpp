@@ -1,0 +1,138 @@
+// Reproduces Figs. 10-12: latency distributions of locations inside the
+// same 500-km-thick "doughnut" around their primary server — US states
+// around Chicago (Fig. 10), EU countries around Amsterdam (Fig. 11), and
+// the El Salvador / Jamaica comparisons around Miami (Fig. 12).
+//
+// Paper shape: same-doughnut locations differ by up to ~30 ms at the 75th
+// percentile (DC and North Carolina bad; Missouri, Ontario, Texas good);
+// EU differences smaller but Poland sticks out vs Switzerland; Italy's
+// 25th-75th gap is wide while France's is ~5 ms.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "synth/sessions.hpp"
+#include "util/table.hpp"
+
+using namespace tero;
+
+namespace {
+
+void run_section(
+    const std::string& title,
+    const std::vector<std::pair<std::string, geo::Location>>& locations,
+    const std::string& shape_note, std::uint64_t seed) {
+  bench::header(title);
+  std::vector<geo::Location> focus;
+  for (const auto& [label, location] : locations) focus.push_back(location);
+  const synth::World world(bench::focus_world(focus, 50, {"League of Legends"},
+                                              seed));
+  synth::BehaviorConfig behavior;
+  behavior.days = 8;
+  synth::SessionGenerator generator(world, behavior, seed + 1);
+  const auto streams = generator.generate();
+  core::Pipeline pipeline(bench::fast_pipeline(seed + 2));
+  core::Dataset dataset = pipeline.run(world, streams);
+
+  util::Table table({"location", "p5|p25[p50]p75|p95 [ms]", "server",
+                     "dist [km]", "p75-p25 [ms]"});
+  for (const auto& [label, location] : locations) {
+    const auto aggregate = bench::aggregate_for(
+        dataset.entries, location, "League of Legends",
+        pipeline.config().analysis);
+    if (!aggregate.has_value() || !aggregate->box.has_value()) {
+      table.add_row({label, "(no data)"});
+      continue;
+    }
+    table.add_row({label, bench::boxplot_cell(*aggregate->box),
+                   aggregate->server_city,
+                   util::fmt_double(aggregate->avg_corrected_distance_km, 0),
+                   util::fmt_double(aggregate->box->p75 - aggregate->box->p25,
+                                    1)});
+  }
+  table.print(std::cout);
+  bench::note(shape_note);
+}
+
+geo::Location us_state(const char* name) {
+  return geo::Location{"", name, "United States"};
+}
+geo::Location country(const char* name) {
+  return geo::Location{"", "", name};
+}
+
+}  // namespace
+
+int main() {
+  run_section(
+      "Fig. 10a: US states 500-1,000 km from Chicago",
+      {
+          {"District of Columbia", us_state("District of Columbia")},
+          {"Georgia (US)", us_state("Georgia")},
+          {"Kentucky", us_state("Kentucky")},
+          {"Minnesota", us_state("Minnesota")},
+          {"Missouri", us_state("Missouri")},
+          {"North Carolina", us_state("North Carolina")},
+          {"Ontario (CA)", geo::Location{"", "Ontario", "Canada"}},
+          {"Pennsylvania", us_state("Pennsylvania")},
+          {"Tennessee", us_state("Tennessee")},
+          {"Virginia", us_state("Virginia")},
+      },
+      "Paper shape: DC worst (~60 ms p75), Missouri/Ontario best (~15 ms) — "
+      "a ~30+ ms spread inside one doughnut.",
+      100);
+
+  run_section(
+      "Fig. 10b: US states 1,000-1,500 km from Chicago",
+      {
+          {"Massachusetts", us_state("Massachusetts")},
+          {"New Jersey", us_state("New Jersey")},
+          {"North Carolina", us_state("North Carolina")},
+          {"Oklahoma", us_state("Oklahoma")},
+          {"Texas", us_state("Texas")},
+      },
+      "Paper shape: North Carolina >45 ms p75 vs Texas ~21 ms.", 200);
+
+  run_section(
+      "Fig. 11: EU countries 500-1,500 km from Amsterdam",
+      {
+          {"Austria", country("Austria")},
+          {"Denmark", country("Denmark")},
+          {"France", country("France")},
+          {"Germany", country("Germany")},
+          {"Italy", country("Italy")},
+          {"Poland", country("Poland")},
+          {"Switzerland", country("Switzerland")},
+          {"United Kingdom", country("United Kingdom")},
+          {"Spain", country("Spain")},
+      },
+      "Paper shape: Poland >40 ms p75 vs Switzerland ~15 ms; Italy's "
+      "p75-p25 gap exceeds 15 ms while France's is ~5 ms.",
+      300);
+
+  run_section(
+      "Fig. 12: locations at El Salvador/Jamaica's distance from Miami",
+      {
+          {"El Salvador", country("El Salvador")},
+          {"Jamaica", country("Jamaica")},
+          {"Chiapas (MX)", geo::Location{"", "Chiapas", "Mexico"}},
+          {"Tabasco (MX)", geo::Location{"", "Tabasco", "Mexico"}},
+          {"Veracruz (MX)", geo::Location{"", "Veracruz", "Mexico"}},
+          {"Tamaulipas (MX)", geo::Location{"", "Tamaulipas", "Mexico"}},
+          {"Campeche (MX)", geo::Location{"", "Campeche", "Mexico"}},
+          {"Quintana Roo (MX)", geo::Location{"", "Quintana Roo", "Mexico"}},
+          {"Yucatan (MX)", geo::Location{"", "Yucatan", "Mexico"}},
+          {"Magdalena (CO)", geo::Location{"", "Magdalena", "Colombia"}},
+          {"Atlantico (CO)", geo::Location{"", "Atlantico", "Colombia"}},
+          {"Bolivar (CO)", geo::Location{"", "Bolivar", "Colombia"}},
+          {"Francisco Morazan (HN)",
+           geo::Location{"", "Francisco Morazan", "Honduras"}},
+          {"Costa Rica", country("Costa Rica")},
+          {"Nicaragua", country("Nicaragua")},
+      },
+      "Paper contribution: El Salvador and Jamaica have no RIPE probes at "
+      "all — Tero still produces distributions comparable with their "
+      "same-distance neighbours.",
+      400);
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Reproduces Fig. 16 (App. I): the MaxSpikes quality filter — the
+// distribution of per-user spike proportions, and how the allowed spike
+// proportion trades off discarded spikes/points against the spikes and
+// shared anomalies that remain.
+//
+// Paper shape: most users have low spike proportions (the CDF of spike
+// share rises steeply); lowering MaxSpikes discards spikes much faster than
+// datapoints; detected spikes and shared anomalies grow with the allowance.
+
+#include <iostream>
+
+#include "analysis/anomalies.hpp"
+#include "analysis/shared.hpp"
+#include "bench/common.hpp"
+#include "synth/sessions.hpp"
+#include "tero/channel.hpp"
+#include "util/table.hpp"
+
+using namespace tero;
+
+int main() {
+  bench::header("Fig. 16: the MaxSpikes quality filter");
+
+  // One region, one game, with a few shared events to count.
+  const synth::World world(bench::focus_world(
+      {geo::Location{"", "California", "United States"}}, 150));
+  synth::BehaviorConfig behavior;
+  behavior.days = 12;
+  behavior.shared_events_per_region_day = 0.3;
+  synth::SessionGenerator generator(world, behavior, 61);
+  const auto true_streams = generator.generate();
+
+  auto channel = core::make_noise_channel();
+  util::Rng rng(62);
+  analysis::AnalysisConfig config;
+
+  struct UserData {
+    analysis::CleanResult clean;
+  };
+  std::map<std::size_t, std::vector<analysis::Stream>> by_streamer;
+  for (const auto& true_stream : true_streams) {
+    analysis::Stream stream;
+    stream.streamer = std::to_string(true_stream.streamer_index);
+    stream.game = true_stream.game;
+    for (const auto& point : true_stream.points) {
+      if (auto m = channel->extract(point, ocr::ui_spec_for(stream.game),
+                                    rng)) {
+        stream.points.push_back(*m);
+      }
+    }
+    if (!stream.points.empty()) {
+      by_streamer[true_stream.streamer_index].push_back(std::move(stream));
+    }
+  }
+  std::vector<UserData> users;
+  for (auto& [streamer, streams] : by_streamer) {
+    UserData user;
+    user.clean = analysis::clean_streamer_game(std::move(streams), config);
+    if (!user.clean.discarded_entirely) users.push_back(std::move(user));
+  }
+
+  // (a) CDF of per-user spike proportion.
+  std::vector<double> proportions;
+  for (const auto& user : users) {
+    proportions.push_back(user.clean.spike_fraction());
+  }
+  bench::note("(a) per-user spike proportion:");
+  util::Table cdf({"percentile", "spike proportion"});
+  for (double pct : {25.0, 50.0, 75.0, 90.0, 99.0}) {
+    cdf.add_row({util::fmt_double(pct, 0),
+                 util::fmt_percent(stats::percentile(proportions, pct), 1)});
+  }
+  cdf.print(std::cout);
+
+  // (b)(c) sweep MaxSpikes.
+  std::size_t total_spike_points = 0;
+  std::size_t total_points = 0;
+  std::size_t total_spikes = 0;
+  for (const auto& user : users) {
+    total_spike_points += user.clean.spike_points;
+    total_points += user.clean.points_retained + user.clean.spike_points;
+    total_spikes += user.clean.spikes.size();
+  }
+  bench::note("");
+  bench::note("(b)(c) effect of the allowed spike proportion:");
+  util::Table sweep({"MaxSpikes", "spikes discarded", "points discarded",
+                     "spikes kept", "shared anomalies"});
+  for (double max_spikes : {0.05, 0.15, 0.25, 0.5, 0.75}) {
+    std::size_t spikes_kept = 0;
+    std::size_t spike_points_kept = 0;
+    std::size_t points_kept = 0;
+    std::vector<analysis::StreamerActivity> activities;
+    for (const auto& user : users) {
+      if (user.clean.spike_fraction() > max_spikes) continue;
+      spikes_kept += user.clean.spikes.size();
+      spike_points_kept += user.clean.spike_points;
+      points_kept += user.clean.points_retained + user.clean.spike_points;
+      analysis::StreamerActivity activity;
+      activity.streamer = std::to_string(activities.size());
+      for (const auto& stream : user.clean.retained) {
+        for (const auto& point : stream.points) {
+          activity.measurement_times.push_back(point.time_s);
+        }
+      }
+      activity.spikes = user.clean.spikes;
+      activities.push_back(std::move(activity));
+    }
+    const auto shared = analysis::find_shared_anomalies(activities, config);
+    sweep.add_row(
+        {util::fmt_percent(max_spikes, 0),
+         util::fmt_percent(
+             1.0 - static_cast<double>(spike_points_kept) /
+                       std::max<std::size_t>(1, total_spike_points)),
+         util::fmt_percent(1.0 - static_cast<double>(points_kept) /
+                                     std::max<std::size_t>(1, total_points)),
+         std::to_string(spikes_kept),
+         std::to_string(shared.anomalies.size())});
+  }
+  sweep.print(std::cout);
+
+  bench::note("");
+  bench::note(
+      "Paper shape check: tightening MaxSpikes discards spikes far faster "
+      "than datapoints (the filter targets mislabeled/custom-UI streamers); "
+      "kept spikes and shared anomalies grow with the allowance (Fig. 16c).");
+  return 0;
+}

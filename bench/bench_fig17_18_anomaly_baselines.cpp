@@ -1,0 +1,182 @@
+// Reproduces Figs. 17-18 (App. J): overlap between the spikes/glitches found
+// by Tero's QoE-based technique and by the unsupervised baselines (MCD, LOF,
+// Isolation Forests) — plus the PELT runtime note.
+//
+// Paper shape: for spikes, ~70% of significant anomalies are common or
+// QoE-only (baselines add up to ~20% extra, much of it level shifts that
+// are really server/location changes); for glitches the baselines flag
+// substantially more than QoE; PELT is reported not to finish in useful
+// time on their data.
+
+#include <chrono>
+#include <iostream>
+
+#include "analysis/anomalies.hpp"
+#include "anomaly/detector.hpp"
+#include "anomaly/pelt.hpp"
+#include "bench/common.hpp"
+#include "synth/sessions.hpp"
+#include "tero/channel.hpp"
+#include "util/table.hpp"
+
+using namespace tero;
+
+namespace {
+
+struct Overlap {
+  std::size_t common = 0;
+  std::size_t only_detector = 0;
+  std::size_t only_qoe = 0;
+  /// Detector-only hits sitting in QoE-stable segments: level shifts
+  /// (server/location changes) that "should not be considered as spikes"
+  /// (App. J reports 28-91% of missed spikes are these).
+  std::size_t only_detector_level_shift = 0;
+
+  [[nodiscard]] std::size_t total() const {
+    return common + only_detector + only_qoe;
+  }
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Figs. 17-18: QoE-based detection vs anomaly-detection "
+                "baselines");
+
+  const synth::World world(bench::focus_world(
+      {geo::Location{"", "California", "United States"}}, 120));
+  synth::BehaviorConfig behavior;
+  behavior.days = 10;
+  behavior.p_alt_preference = 0.05;  // fewer habitual level shifts
+  synth::SessionGenerator generator(world, behavior, 71);
+  const auto true_streams = generator.generate();
+
+  auto channel = core::make_noise_channel();
+  util::Rng rng(72);
+  analysis::AnalysisConfig config;
+  constexpr double kSignificance = 15.0;  // ms from the stream mean
+
+  std::vector<std::unique_ptr<anomaly::AnomalyDetector>> detectors;
+  detectors.push_back(anomaly::make_mcd());
+  detectors.push_back(anomaly::make_lof());
+  detectors.push_back(anomaly::make_iforest());
+  std::vector<Overlap> spikes(detectors.size());
+  std::vector<Overlap> glitches(detectors.size());
+
+  for (const auto& true_stream : true_streams) {
+    analysis::Stream stream;
+    stream.streamer = "s";
+    stream.game = true_stream.game;
+    for (const auto& point : true_stream.points) {
+      if (auto m = channel->extract(point, ocr::ui_spec_for(stream.game),
+                                    rng)) {
+        stream.points.push_back(*m);
+      }
+    }
+    if (stream.points.size() < 12) continue;
+
+    // QoE-based point labels.
+    const auto segments = analysis::classify_segments(stream, config);
+    std::vector<int> qoe_label(stream.points.size(), 0);  // 1 spike, -1 glitch
+    for (const auto& segment : segments) {
+      int label = 0;
+      if (segment.flag == analysis::SegmentFlag::kSpike) label = 1;
+      if (segment.flag == analysis::SegmentFlag::kGlitch ||
+          segment.flag == analysis::SegmentFlag::kDiscarded) {
+        label = -1;
+      }
+      for (std::size_t p = segment.first; p <= segment.last; ++p) {
+        qoe_label[p] = label;
+      }
+    }
+
+    std::vector<double> series;
+    series.reserve(stream.points.size());
+    double mean = 0.0;
+    for (const auto& point : stream.points) {
+      series.push_back(point.latency_ms);
+      mean += point.latency_ms;
+    }
+    mean /= static_cast<double>(series.size());
+
+    for (std::size_t d = 0; d < detectors.size(); ++d) {
+      const auto flags = detectors[d]->detect(series);
+      for (std::size_t i = 0; i < series.size(); ++i) {
+        const double deviation = series[i] - mean;
+        if (std::abs(deviation) < kSignificance) continue;  // insignificant
+        const bool detector_hit = flags[i];
+        // Anomaly detection has no spike/glitch notion: split by the mean.
+        const bool is_spike_side = deviation > 0;
+        const bool qoe_hit =
+            is_spike_side ? qoe_label[i] == 1 : qoe_label[i] == -1;
+        auto& bucket = is_spike_side ? spikes[d] : glitches[d];
+        if (detector_hit && qoe_hit) {
+          ++bucket.common;
+        } else if (detector_hit) {
+          ++bucket.only_detector;
+          if (qoe_label[i] == 0 && is_spike_side) {
+            ++bucket.only_detector_level_shift;
+          }
+        } else if (qoe_hit) {
+          ++bucket.only_qoe;
+        }
+      }
+    }
+  }
+
+  auto print_overlaps = [&](const std::string& title,
+                            const std::vector<Overlap>& overlaps) {
+    bench::note("");
+    bench::note(title);
+    util::Table table({"technique", "common", "only anomaly-detection",
+                       "only QoE-based", "AD-only that are level shifts"});
+    for (std::size_t d = 0; d < detectors.size(); ++d) {
+      const auto& overlap = overlaps[d];
+      const double total = std::max<std::size_t>(1, overlap.total());
+      const double ad_only =
+          std::max<std::size_t>(1, overlap.only_detector);
+      table.add_row({detectors[d]->name(),
+                     util::fmt_percent(overlap.common / total, 0),
+                     util::fmt_percent(overlap.only_detector / total, 0),
+                     util::fmt_percent(overlap.only_qoe / total, 0),
+                     util::fmt_percent(
+                         overlap.only_detector_level_shift / ad_only, 0)});
+    }
+    table.print(std::cout);
+  };
+  print_overlaps("Fig. 18 (significant spikes):", spikes);
+  print_overlaps("Fig. 17 (significant glitches):", glitches);
+
+  // PELT runtime scaling (the paper gave up on it).
+  bench::note("");
+  bench::note("PELT changepoint runtime (the paper's PELT run never "
+              "finished in useful time; ours is exact-pruned):");
+  util::Table pelt_table({"series length", "runtime [ms]", "changepoints"});
+  util::Rng pelt_rng(73);
+  for (std::size_t n : {1000u, 5000u, 20000u}) {
+    std::vector<double> series;
+    series.reserve(n);
+    double level = 50.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % 500 == 0) level = pelt_rng.uniform(40.0, 120.0);
+      series.push_back(level + pelt_rng.normal(0, 3.0));
+    }
+    const auto start = std::chrono::steady_clock::now();
+    const auto changepoints = anomaly::pelt_changepoints(series, 40.0);
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    pelt_table.add_row({std::to_string(n), util::fmt_double(elapsed, 1),
+                        std::to_string(changepoints.size())});
+  }
+  pelt_table.print(std::cout);
+
+  bench::note("");
+  bench::note(
+      "Paper shape check: baselines and QoE agree on the bulk of "
+      "significant spikes, with each finding some the other misses; for "
+      "glitches the baselines over-flag relative to QoE (they lack the "
+      "notion of explainable server/location changes and of significance, "
+      "App. J).");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Reproduces Fig. 8: the CDF of the "uneven-ness" score — how unevenly
+// latency measurements from one location spread across a 5-minute interval,
+// as a function of how many streamers were active.
+//
+// Paper shape: with 3+ active streamers per interval the distribution leans
+// uniform (score below ~0.5) about 80% of the time; more streamers ->
+// more even.
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <set>
+
+#include "bench/common.hpp"
+#include "stats/wasserstein.hpp"
+#include "synth/sessions.hpp"
+#include "util/table.hpp"
+
+using namespace tero;
+
+int main() {
+  bench::header("Fig. 8: uneven-ness of measurement times per 5-min interval");
+
+  const synth::World world(bench::focus_world(
+      {geo::Location{"", "California", "United States"}}, 120));
+  synth::BehaviorConfig behavior;
+  behavior.days = 10;
+  synth::SessionGenerator generator(world, behavior, 88);
+  const auto streams = generator.generate();
+
+  // Bucket measurement timestamps into 5-minute wall-clock intervals.
+  constexpr double kInterval = 300.0;
+  std::map<long, std::vector<double>> interval_times;
+  std::map<long, std::set<std::size_t>> interval_streamers;
+  for (const auto& stream : streams) {
+    for (const auto& point : stream.points) {
+      const long bucket = static_cast<long>(point.t / kInterval);
+      interval_times[bucket].push_back(point.t);
+      interval_streamers[bucket].insert(stream.streamer_index);
+    }
+  }
+
+  // Group scores by active-streamer count.
+  std::map<int, std::vector<double>> scores_by_count;
+  for (const auto& [bucket, times] : interval_times) {
+    const int active =
+        static_cast<int>(interval_streamers[bucket].size());
+    if (times.size() < 2) continue;
+    const double start = bucket * kInterval;
+    const double score =
+        stats::unevenness_score(times, start, start + kInterval);
+    const int group = std::min(active, 5);
+    scores_by_count[group].push_back(score);
+  }
+
+  util::Table table({"streamers/interval", "intervals", "score p50",
+                     "score p80", "P[score < 0.5]"});
+  for (auto& [count, scores] : scores_by_count) {
+    if (scores.size() < 10) continue;
+    std::sort(scores.begin(), scores.end());
+    const double below_half = stats::ecdf(scores, 0.5);
+    table.add_row({(count >= 5 ? ">=5" : std::to_string(count)),
+                   std::to_string(scores.size()),
+                   util::fmt_double(stats::percentile_sorted(scores, 50), 2),
+                   util::fmt_double(stats::percentile_sorted(scores, 80), 2),
+                   util::fmt_percent(below_half, 0)});
+  }
+  table.print(std::cout);
+
+  bench::note("");
+  bench::note(
+      "Paper shape check: measurements are spread roughly uniformly (no "
+      "thumbnail bursts); with 3 active streamers, ~80% of intervals lean "
+      "uniform, and the score falls as the streamer count grows.");
+  return 0;
+}

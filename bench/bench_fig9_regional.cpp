@@ -1,0 +1,76 @@
+// Reproduces Fig. 9: League-of-Legends latency distributions for the
+// locations with the best and worst absolute (9a) and distance-normalized
+// (9b) latency, 50 streamers per location.
+//
+// Paper shape: best absolute latency at locations < 500 km from their
+// server (Korea, Illinois, Netherlands, Chile); Bolivia (1,968 km) as bad
+// as Hawaii (6,832 km); Greece ~25 ms worse than Saudi Arabia at similar
+// distance; Turkey's normalized latency terrible at only 371 km.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "synth/sessions.hpp"
+#include "util/table.hpp"
+
+using namespace tero;
+
+int main() {
+  bench::header("Fig. 9: LoL latency distributions, best/worst locations");
+
+  const std::vector<std::pair<std::string, geo::Location>> locations = {
+      {"Asia-Best:  Korea", {"", "", "South Korea"}},
+      {"US-Best:    Illinois", {"", "Illinois", "United States"}},
+      {"EU-Best:    Netherlands", {"", "", "Netherlands"}},
+      {"Latam-Best: Chile", {"", "", "Chile"}},
+      {"Latam-Worst: Bolivia", {"", "", "Bolivia"}},
+      {"EU-Worst:   Greece", {"", "", "Greece"}},
+      {"Asia-Worst: Saudi Arabia", {"", "", "Saudi Arabia"}},
+      {"US-Worst:   Hawaii", {"", "Hawaii", "United States"}},
+      {"(9b) Turkey", {"", "", "Turkey"}},
+      {"(9b) Brazil", {"", "", "Brazil"}},
+      {"(9b) Belgium", {"", "", "Belgium"}},
+      {"(9b) Ecuador", {"", "", "Ecuador"}},
+  };
+
+  std::vector<geo::Location> focus;
+  for (const auto& [label, location] : locations) focus.push_back(location);
+  const synth::World world(bench::focus_world(focus, 50));
+  synth::BehaviorConfig behavior;
+  behavior.days = 10;
+  synth::SessionGenerator generator(world, behavior, 9);
+  const auto streams = generator.generate();
+  core::Pipeline pipeline(bench::fast_pipeline());
+  core::Dataset dataset = pipeline.run(world, streams);
+
+  util::Table table({"location", "p5|p25[p50]p75|p95 [ms]", "server",
+                     "corrected dist [km]", "median/1000km"});
+  for (const auto& [label, location] : locations) {
+    const auto aggregate = bench::aggregate_for(
+        dataset.entries, location, "League of Legends",
+        pipeline.config().analysis);
+    if (!aggregate.has_value() || !aggregate->box.has_value()) {
+      table.add_row({label, "(no data)"});
+      continue;
+    }
+    const double normalized =
+        aggregate->avg_corrected_distance_km > 0
+            ? aggregate->box->p50 /
+                  (aggregate->avg_corrected_distance_km / 1000.0)
+            : 0.0;
+    table.add_row({label, bench::boxplot_cell(*aggregate->box),
+                   aggregate->server_city,
+                   util::fmt_double(aggregate->avg_corrected_distance_km, 0),
+                   util::fmt_double(normalized, 1)});
+  }
+  table.print(std::cout);
+
+  bench::note("");
+  bench::note(
+      "Paper shape check: the four sub-500km locations (Korea, Illinois, "
+      "Netherlands, Chile) lead; Bolivia's 75th percentile rivals Hawaii's "
+      "despite 3.5x less distance; Greece ~25 ms above Saudi Arabia at a "
+      "comparable distance; Turkey's distance-normalized latency is the "
+      "worst of the set (371 km from Istanbul).");
+  return 0;
+}

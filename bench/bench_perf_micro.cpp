@@ -1,0 +1,119 @@
+// Google-benchmark microbenchmarks for the hot paths: thumbnail OCR,
+// stream cleaning, clustering, the shared-anomaly test, PELT, Wasserstein,
+// and Probit fitting. These back the throughput claims in DESIGN.md (the
+// noise channel exists because full OCR costs ~ms per thumbnail).
+
+#include <benchmark/benchmark.h>
+
+#include "analysis/anomalies.hpp"
+#include "analysis/clusters.hpp"
+#include "anomaly/pelt.hpp"
+#include "ocr/extractor.hpp"
+#include "stats/distributions.hpp"
+#include "stats/probit.hpp"
+#include "stats/wasserstein.hpp"
+#include "synth/thumbnail.hpp"
+#include "util/rng.hpp"
+
+using namespace tero;
+
+namespace {
+
+void BM_OcrExtract(benchmark::State& state) {
+  const auto& spec = ocr::ui_spec_for("League of Legends");
+  const synth::ThumbnailRenderer renderer;
+  const ocr::LatencyExtractor extractor;
+  util::Rng rng(1);
+  const auto thumbnail =
+      renderer.render_with(spec, 87, synth::Corruption::kNone, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.extract(thumbnail.image, spec));
+  }
+}
+BENCHMARK(BM_OcrExtract);
+
+analysis::Stream make_noisy_stream(std::size_t n) {
+  util::Rng rng(2);
+  analysis::Stream stream;
+  stream.streamer = "u";
+  stream.game = "g";
+  for (std::size_t i = 0; i < n; ++i) {
+    analysis::Measurement m;
+    m.time_s = i * 300.0;
+    m.latency_ms = 45 + static_cast<int>(rng.normal(0, 3));
+    if (rng.bernoulli(0.02)) m.latency_ms += 80;  // spikes
+    if (rng.bernoulli(0.02)) m.latency_ms = 5;    // glitches
+    stream.points.push_back(m);
+  }
+  return stream;
+}
+
+void BM_CleanStream(benchmark::State& state) {
+  const auto stream = make_noisy_stream(
+      static_cast<std::size_t>(state.range(0)));
+  const analysis::AnalysisConfig config;
+  for (auto _ : state) {
+    auto copy = stream;
+    benchmark::DoNotOptimize(
+        analysis::clean_stream(std::move(copy), config));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CleanStream)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_ClusterStreamer(benchmark::State& state) {
+  const analysis::AnalysisConfig config;
+  const auto clean =
+      analysis::clean_stream(make_noisy_stream(2000), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::cluster_streamer(clean, config));
+  }
+}
+BENCHMARK(BM_ClusterStreamer);
+
+void BM_Pelt(benchmark::State& state) {
+  util::Rng rng(3);
+  std::vector<double> series;
+  double level = 50;
+  for (int i = 0; i < state.range(0); ++i) {
+    if (i % 200 == 0) level = rng.uniform(40, 100);
+    series.push_back(level + rng.normal(0, 3));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(anomaly::pelt_changepoints(series, 40.0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Pelt)->Arg(1000)->Arg(5000);
+
+void BM_Wasserstein(benchmark::State& state) {
+  util::Rng rng(4);
+  std::vector<double> a, b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.push_back(rng.normal(0, 1));
+    b.push_back(rng.normal(0.5, 1.2));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::wasserstein1(a, b));
+  }
+}
+BENCHMARK(BM_Wasserstein)->Arg(100)->Arg(1000);
+
+void BM_ProbitFit(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<double> x;
+  std::vector<int> y;
+  for (int i = 0; i < state.range(0); ++i) {
+    const double xi = static_cast<double>(rng.uniform_int(0, 10));
+    x.push_back(xi);
+    y.push_back(rng.bernoulli(stats::normal_cdf(-1.5 + 0.1 * xi)) ? 1 : 0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::probit_fit_single(x, y));
+  }
+}
+BENCHMARK(BM_ProbitFit)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

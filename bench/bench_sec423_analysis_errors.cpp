@@ -1,0 +1,129 @@
+// Reproduces §4.2.3 / App. H.3: how the data-analysis stage handles
+// image-processing errors — the escape rate of incorrect measurements and
+// the glitch false-positive rate.
+//
+// Paper: anomaly detection misses ~30% of incorrect measurements (the
+// near-miss confusions within LatGap); 25.87% of detected glitches are
+// "false positives" — correct values caught in unstable segments (often
+// true latency decreases around interrupted play).
+
+#include <iostream>
+
+#include "analysis/anomalies.hpp"
+#include "bench/common.hpp"
+#include "synth/sessions.hpp"
+#include "tero/channel.hpp"
+#include "util/table.hpp"
+
+using namespace tero;
+
+int main() {
+  bench::header("Sec. 4.2.3: data-analysis error handling");
+
+  // A latency-diverse population (20-150 ms bases) so digit drops span the
+  // caught/escaped boundary like the paper's data does.
+  const synth::World world(bench::focus_world(
+      {geo::Location{"", "Illinois", "United States"},
+       geo::Location{"", "", "Germany"},
+       geo::Location{"", "", "Bolivia"},
+       geo::Location{"", "Hawaii", "United States"}},
+      40));
+  synth::BehaviorConfig behavior;
+  behavior.days = 12;
+  synth::SessionGenerator generator(world, behavior, 42);
+  const auto true_streams = generator.generate();
+
+  auto channel = core::make_noise_channel();
+  util::Rng rng(43);
+  analysis::AnalysisConfig config;
+
+  std::size_t injected_wrong = 0;
+  std::size_t escaped = 0;
+  std::size_t escaped_within_gap = 0;
+  std::size_t glitch_points_total = 0;
+  std::size_t glitch_points_actually_correct = 0;
+
+  for (const auto& true_stream : true_streams) {
+    analysis::Stream stream;
+    stream.streamer = "s";
+    stream.game = true_stream.game;
+    std::vector<int> truths;
+    for (const auto& point : true_stream.points) {
+      if (auto m = channel->extract(point, ocr::ui_spec_for(stream.game),
+                                    rng)) {
+        stream.points.push_back(*m);
+        truths.push_back(point.latency_ms);
+      }
+    }
+    if (stream.points.size() < 8) continue;
+
+    // Identify which extracted measurements are wrong, then see what the
+    // cleaning stage does with them.
+    std::vector<std::pair<double, int>> wrong;  // (time, truth)
+    for (std::size_t i = 0; i < stream.points.size(); ++i) {
+      if (stream.points[i].latency_ms != truths[i]) {
+        ++injected_wrong;
+        wrong.emplace_back(stream.points[i].time_s, truths[i]);
+      }
+    }
+    // Glitch bookkeeping needs the segment classification of the original
+    // points.
+    const auto segments = analysis::classify_segments(stream, config);
+    for (const auto& segment : segments) {
+      if (segment.flag != analysis::SegmentFlag::kGlitch) continue;
+      for (std::size_t p = segment.first; p <= segment.last; ++p) {
+        ++glitch_points_total;
+        if (stream.points[p].latency_ms == truths[p]) {
+          ++glitch_points_actually_correct;  // false positive
+        }
+      }
+    }
+
+    const auto clean = analysis::clean_stream(std::move(stream), config);
+    for (const auto& [t, truth] : wrong) {
+      for (const auto& retained : clean.retained) {
+        for (const auto& point : retained.points) {
+          if (point.time_s == t && point.latency_ms != truth) {
+            ++escaped;
+            if (std::abs(point.latency_ms - truth) <= config.lat_gap_ms) {
+              ++escaped_within_gap;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  util::Table table({"metric", "measured", "paper"});
+  table.add_row({"incorrect measurements (image-processing)",
+                 std::to_string(injected_wrong), "3.7% of extractions"});
+  table.add_row(
+      {"escape data-analysis",
+       injected_wrong > 0
+           ? util::fmt_percent(static_cast<double>(escaped) / injected_wrong)
+           : "-",
+       "~30%"});
+  table.add_row(
+      {"escapees within LatGap of the truth",
+       escaped > 0 ? util::fmt_percent(
+                         static_cast<double>(escaped_within_gap) / escaped)
+                   : "-",
+       ">50%"});
+  table.add_row(
+      {"glitch-flagged points that were actually correct",
+       glitch_points_total > 0
+           ? util::fmt_percent(
+                 static_cast<double>(glitch_points_actually_correct) /
+                 glitch_points_total)
+           : "-",
+       "25.87% +/- 0.67%"});
+  table.print(std::cout);
+
+  bench::note("");
+  bench::note(
+      "Paper shape check: what escapes is the near-miss confusions (within "
+      "LatGap, e.g. 101 -> 107) that are harmless to the regional analysis; "
+      "a quarter-ish of glitch flags catch correct values sitting in "
+      "unstable segments.");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Reproduces Table 3: extraction rate and error rate of every location
+// technique — the three geocoders raw and with the conservative filter
+// ("Tool++"), their Twitch-description combination, the Twitch-Twitter
+// username mapping, the two geoparsers on Twitter location fields, their
+// combination, and Tero end-to-end.
+//
+// Paper: raw geocoders err 23-36%; the ++ filter drives errors to ~2.4-3.6%;
+// the Twitter mapping errs 1.6%; Tero locates 2.77% of streamers with a
+// 1.46% error rate. Expected shape: filter slashes errors at some recall
+// cost; combinations beat every individual tool; end-to-end error ~1-3%.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "nlp/combine.hpp"
+#include "nlp/filter.hpp"
+#include "social/locator.hpp"
+#include "synth/world.hpp"
+#include "util/table.hpp"
+
+using namespace tero;
+
+namespace {
+
+struct Score {
+  std::size_t attempted = 0;
+  std::size_t extracted = 0;
+  std::size_t wrong = 0;
+
+  void add(bool did_extract, bool correct) {
+    ++attempted;
+    if (!did_extract) return;
+    ++extracted;
+    if (!correct) ++wrong;
+  }
+  [[nodiscard]] double extraction_rate() const {
+    return attempted ? static_cast<double>(extracted) / attempted : 0.0;
+  }
+  [[nodiscard]] double error_rate() const {
+    return extracted ? static_cast<double>(wrong) / extracted : 0.0;
+  }
+};
+
+/// A tool output is "correct" when it is compatible with what a human would
+/// read off the text — i.e. the streamer's advertised location; extracting
+/// anything from text without location intent is an error (App. H.1).
+bool is_correct(const std::optional<geo::Location>& output,
+                const synth::SyntheticStreamer& streamer) {
+  if (!output.has_value()) return true;
+  return output->compatible_with(*streamer.advertised);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Table 3: extraction and error rates of location techniques");
+
+  synth::WorldConfig config;
+  config.num_streamers = 20000;
+  config.seed = 3;
+  // Raise the share of location-bearing text so per-tool error estimates
+  // have support (the paper manually checked 3x500 samples instead).
+  config.p_description_location = 0.06;
+  config.p_description_misleading = 0.02;
+  const synth::World world(config);
+  const nlp::ToolSet tools;
+
+  Score cliff, xponents, mordecai;
+  Score cliff_pp, xponents_pp, mordecai_pp;
+  Score twitch_comb;
+  Score mapping;
+  Score nominatim, geonames, twitter_comb;
+  Score tero;
+
+  const social::Locator locator(world.twitter(), world.steam());
+
+  for (const auto& streamer : world.streamers()) {
+    const std::string& description = streamer.twitch.description;
+
+    auto run_tool = [&](const nlp::GeoTool& tool, Score& raw,
+                        Score& filtered) {
+      const auto outputs = tool.extract(description);
+      const bool extracted = !outputs.empty();
+      // Mordecai-style multi-output counts as correct if any candidate is.
+      bool correct = !extracted;
+      for (const auto& output : outputs) {
+        if (output.compatible_with(*streamer.advertised)) correct = true;
+      }
+      raw.add(extracted, correct);
+      // "Tool++": keep only outputs passing the conservative filter.
+      std::optional<geo::Location> kept;
+      for (const auto& output : outputs) {
+        if (nlp::conservative_filter(description, output)) {
+          kept = output;
+          break;
+        }
+      }
+      filtered.add(kept.has_value(), is_correct(kept, streamer));
+    };
+    run_tool(*tools.cliff, cliff, cliff_pp);
+    run_tool(*tools.xponents, xponents, xponents_pp);
+    run_tool(*tools.mordecai, mordecai, mordecai_pp);
+
+    const auto combined = nlp::combine_twitch_description(
+        description, tools, streamer.twitch.country_tag);
+    twitch_comb.add(combined.has_value(), is_correct(combined, streamer));
+
+    // Twitch-Twitter mapping: did we associate the right profile?
+    const auto* profile = world.twitter().find(streamer.id);
+    if (profile != nullptr && profile->links_to_twitch(streamer.id)) {
+      // Mapping found: correct iff this streamer really owns it.
+      mapping.add(true, streamer.has_twitter && streamer.twitter_backlinked);
+      if (!profile->location_field.empty()) {
+        auto run_parser = [&](const nlp::GeoTool& tool, Score& score) {
+          const auto outputs = tool.extract(profile->location_field);
+          const auto first = outputs.empty()
+                                 ? std::optional<geo::Location>{}
+                                 : std::optional<geo::Location>{outputs[0]};
+          score.add(first.has_value(), is_correct(first, streamer));
+        };
+        run_parser(*tools.nominatim, nominatim);
+        run_parser(*tools.geonames, geonames);
+        const auto parsed =
+            nlp::combine_twitter_location(profile->location_field, tools);
+        twitter_comb.add(parsed.has_value(), is_correct(parsed, streamer));
+      }
+    } else {
+      mapping.add(false, true);
+    }
+
+    // Tero end-to-end.
+    const auto located = locator.locate(streamer.twitch);
+    tero.add(located.located(), is_correct(located.location, streamer));
+  }
+
+  util::Table table({"technique", "% extracted", "error rate",
+                     "paper (% extracted / error)"});
+  auto emit = [&](const std::string& name, const Score& score,
+                  const std::string& paper) {
+    table.add_row({name, util::fmt_percent(score.extraction_rate()),
+                   util::fmt_percent(score.error_rate()), paper});
+  };
+  emit("cliff      (CLIFF-like)", cliff, "0.44% / 33.4%");
+  emit("xponents   (Xponents-like)", xponents, "3.55% / 36.27%");
+  emit("mordecai   (Mordecai-like)", mordecai, "0.81% / 23%");
+  emit("cliff++", cliff_pp, "63.99%* / 3.6%");
+  emit("xponents++", xponents_pp, "41.85%* / 2.87%");
+  emit("mordecai++", mordecai_pp, "17.94%* / 2.43%");
+  emit("Twitch Comb.", twitch_comb, "1.91% / 3.47%");
+  emit("Twitter-Twitch mapping", mapping, "1.96% / 1.6%");
+  emit("nominatim  (Nominatim-like)", nominatim, "70.83% / 7.93%");
+  emit("geonames   (GeoNames-like)", geonames, "69.55% / 11.87%");
+  emit("Twitter Comb.", twitter_comb, "70.77% / 1.91%");
+  emit("Tero (end-to-end)", tero, "2.5% / 1.46%");
+  table.print(std::cout);
+
+  bench::note("");
+  bench::note(
+      "(*) The paper's ++ extraction rates are relative to texts the raw "
+      "tool extracted from; ours are relative to all descriptions, so the "
+      "absolute levels differ while the filter's error-crushing effect — the "
+      "row-wise shape — is preserved. Twitter-side rates are relative to "
+      "mapped profiles with a location field.");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces Table 4: miss and error rates of the three OCR engines and of
+// Tero's combination, over synthetic thumbnails with the paper's corruption
+// mix (occlusion, low-contrast fonts, clock overlays, encoder noise).
+//
+// Paper: EasyOCR 5.75/8.31, PaddleOCR 5.84/9.96, Tesseract 15.52/8.77,
+// Tero 28.37/3.7 (% not extracted / % incorrect of extracted). Expected
+// *shape*: the combination misses more than any single engine but is 2-3x
+// more accurate on what it does extract; digit drops dominate errors.
+
+#include <iostream>
+#include <map>
+
+#include "bench/common.hpp"
+#include "ocr/extractor.hpp"
+#include "synth/thumbnail.hpp"
+#include "util/table.hpp"
+
+using namespace tero;
+
+int main() {
+  bench::header("Table 4: OCR miss and error rates");
+  constexpr int kThumbnails = 2500;
+  const auto& spec = ocr::ui_spec_for("League of Legends");
+  const synth::ThumbnailRenderer renderer;
+  const ocr::LatencyExtractor extractor;
+  util::Rng rng(2024);
+
+  struct Counter {
+    int missed = 0;
+    int wrong = 0;
+    int extracted = 0;
+    int digit_drops = 0;
+  };
+  std::map<std::string, Counter> counters;  // engine name -> counts
+  const std::vector<std::string> engine_names = {
+      extractor.engines()[0]->name(), extractor.engines()[1]->name(),
+      extractor.engines()[2]->name()};
+
+  for (int i = 0; i < kThumbnails; ++i) {
+    const int truth = static_cast<int>(rng.uniform_int(8, 299));
+    // Roll the corruption mix conditioned on a visible measurement.
+    const auto thumbnail = renderer.render_with(
+        spec, truth, synth::roll_corruption(renderer.config(), rng), rng);
+
+    auto score = [&](const std::string& name, std::optional<int> value) {
+      auto& counter = counters[name];
+      if (!value.has_value()) {
+        ++counter.missed;
+        return;
+      }
+      ++counter.extracted;
+      if (*value != truth) {
+        ++counter.wrong;
+        const std::string truth_str = std::to_string(truth);
+        const std::string got = std::to_string(*value);
+        if (got.size() < truth_str.size() &&
+            truth_str.compare(truth_str.size() - got.size(), got.size(),
+                              got) == 0) {
+          ++counter.digit_drops;
+        }
+      }
+    };
+
+    for (std::size_t e = 0; e < engine_names.size(); ++e) {
+      score(engine_names[e],
+            extractor.extract_with_engine(thumbnail.image, spec, e));
+    }
+    score("Tero", extractor.extract(thumbnail.image, spec).primary);
+  }
+
+  util::Table table(
+      {"engine", "not extracted", "incorrect (of extracted)",
+       "digit drops (of errors)"});
+  auto emit = [&](const std::string& label, const std::string& key) {
+    const auto& counter = counters[key];
+    const double miss =
+        static_cast<double>(counter.missed) / kThumbnails;
+    const double error =
+        counter.extracted > 0
+            ? static_cast<double>(counter.wrong) / counter.extracted
+            : 0.0;
+    const double drops =
+        counter.wrong > 0
+            ? static_cast<double>(counter.digit_drops) / counter.wrong
+            : 0.0;
+    table.add_row({label, util::fmt_percent(miss),
+                   util::fmt_percent(error), util::fmt_percent(drops, 1)});
+  };
+  emit("zonenet   (EasyOCR-like)", engine_names[1]);
+  emit("profiler  (PaddleOCR-like)", engine_names[2]);
+  emit("templat   (Tesseract-like)", engine_names[0]);
+  emit("Tero (2-of-3 vote)", "Tero");
+  table.print(std::cout);
+
+  bench::note("");
+  bench::note("Paper (Table 4): EasyOCR 5.75/8.31, PaddleOCR 5.84/9.96, "
+              "Tesseract 15.52/8.77, Tero 28.37/3.70 (miss%/error%). "
+              "Expected shape: combination trades recall for a 2-3x lower "
+              "error rate; ~68% of its errors are digit drops (§3.2.1).");
+  return 0;
+}

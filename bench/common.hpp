@@ -1,0 +1,83 @@
+#pragma once
+
+// Shared helpers for the reproduction benches: focus-world construction,
+// per-location aggregation, and boxplot row printing.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.hpp"
+#include "tero/pipeline.hpp"
+#include "util/table.hpp"
+
+namespace tero::bench {
+
+/// A world whose streamers all live at the given locations and are all
+/// locatable (Twitter profile + backlink + location field): the regional
+/// figures compare *located* populations of equal size (50 per location in
+/// the paper, §5.2).
+inline synth::WorldConfig focus_world(
+    std::vector<geo::Location> locations, std::size_t per_location = 50,
+    std::vector<std::string> games = {"League of Legends"},
+    std::uint64_t seed = 42) {
+  synth::WorldConfig config;
+  config.seed = seed;
+  config.games = std::move(games);
+  config.focus_locations = std::move(locations);
+  config.streamers_per_focus = per_location;
+  config.p_twitter = 1.0;
+  config.p_twitter_backlink = 1.0;
+  config.p_twitter_location = 1.0;
+  config.p_false_location = 0.0;  // equal-size located populations
+  return config;
+}
+
+/// Fast pipeline configuration for the large regional sweeps: dense
+/// visibility + calibrated noise channel (see DESIGN.md substitutions).
+inline core::TeroConfig fast_pipeline(std::uint64_t seed = 1) {
+  core::TeroConfig config;
+  config.p_latency_visible = 1.0;
+  config.use_full_ocr = false;
+  config.seed = seed;
+  return config;
+}
+
+/// Aggregate all entries compatible with `focus` into one {location, game}
+/// product keyed at the focus's own granularity.
+inline std::optional<core::LocationGameAggregate> aggregate_for(
+    const std::vector<core::StreamerGameEntry>& entries,
+    const geo::Location& focus, const std::string& game,
+    const analysis::AnalysisConfig& config) {
+  std::vector<core::StreamerGameEntry> filtered;
+  for (const auto& entry : entries) {
+    // The located tuple must be at least as specific as the focus: a
+    // country-level location cannot contribute to a regional distribution
+    // (it is *compatible* with every region of that country).
+    if (entry.game == game &&
+        (entry.location == focus || entry.location.subsumes(focus))) {
+      filtered.push_back(entry);
+      filtered.back().location = focus;
+    }
+  }
+  if (filtered.empty()) return std::nullopt;
+  auto aggregates =
+      core::aggregate_entries(filtered, config, focus.granularity());
+  if (aggregates.empty()) return std::nullopt;
+  return aggregates.front();
+}
+
+/// "p5 | p25 [p50] p75 | p95" cell for boxplot rows.
+inline std::string boxplot_cell(const stats::Boxplot& box) {
+  return util::fmt_double(box.p5, 0) + " | " + util::fmt_double(box.p25, 0) +
+         " [" + util::fmt_double(box.p50, 0) + "] " +
+         util::fmt_double(box.p75, 0) + " | " + util::fmt_double(box.p95, 0);
+}
+
+inline void header(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+inline void note(const std::string& text) { std::cout << text << "\n"; }
+
+}  // namespace tero::bench

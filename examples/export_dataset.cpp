@@ -1,0 +1,74 @@
+// Data-set exporter: run the pipeline and write the two public artifacts
+// the paper publishes — pseudonymized per-streamer measurements and
+// per-{location, game} latency products — then read the measurements back
+// and re-run the analysis, as a data-set user would.
+//
+//   ./export_dataset [output_dir]
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "analysis/anomalies.hpp"
+#include "synth/sessions.hpp"
+#include "tero/export.hpp"
+#include "tero/pipeline.hpp"
+
+using namespace tero;
+
+int main(int argc, char** argv) {
+  const std::string out_dir = argc > 1 ? argv[1] : "/tmp";
+
+  synth::WorldConfig world_config;
+  world_config.seed = 2023;
+  world_config.games = {"League of Legends", "Dota 2"};
+  world_config.focus_locations = {
+      geo::Location{"", "California", "United States"},
+      geo::Location{"", "", "Germany"},
+  };
+  world_config.streamers_per_focus = 40;
+  world_config.p_twitter = 1.0;
+  world_config.p_twitter_backlink = 1.0;
+  world_config.p_twitter_location = 1.0;
+  const synth::World world(world_config);
+  synth::BehaviorConfig behavior;
+  behavior.days = 6;
+  synth::SessionGenerator generator(world, behavior, 2024);
+  const auto streams = generator.generate();
+
+  core::TeroConfig config;
+  config.p_latency_visible = 1.0;
+  core::Pipeline pipeline(config);
+  const core::Dataset dataset = pipeline.run(world, streams);
+
+  const std::string measurements_path = out_dir + "/tero_measurements.csv";
+  const std::string aggregates_path = out_dir + "/tero_aggregates.csv";
+  {
+    std::ofstream measurements(measurements_path);
+    const auto stats = core::export_measurements(dataset, measurements);
+    std::cout << "wrote " << stats.measurement_rows << " measurements to "
+              << measurements_path << "\n";
+  }
+  {
+    std::ofstream aggregates(aggregates_path);
+    const auto stats = core::export_aggregates(dataset, aggregates);
+    std::cout << "wrote " << stats.aggregate_rows << " aggregates to "
+              << aggregates_path << "\n";
+  }
+
+  // The data-set user's side: load the measurements and re-run the
+  // QoE-based cleaning on one streamer.
+  std::ifstream input(measurements_path);
+  const auto imported = core::import_measurements(input);
+  std::cout << "\nre-imported " << imported.size() << " streams\n";
+  if (!imported.empty()) {
+    const auto clean =
+        analysis::clean_stream(imported.front(), analysis::AnalysisConfig{});
+    std::cout << "first stream: " << clean.points_in << " points, "
+              << clean.points_retained << " retained, "
+              << clean.spikes.size() << " spikes\n";
+  }
+  std::cout << "\nNote: streamer IDs in the export are consistent-hash "
+               "pseudonyms (Sec. 7);\nno raw identity ever reaches disk.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Outage monitor: the shared-anomaly story from §4.2.3 — on Nov 16, 2022 a
+// game update overloaded servers worldwide and Tero saw 669 shared spikes.
+//
+// This example injects a region-wide infrastructure problem into the
+// synthetic world, runs the pipeline, and shows the shared-anomaly test
+// (App. F) isolating it: many concurrent per-streamer spikes, binomially
+// impossible to be independent.
+
+#include <iostream>
+
+#include "analysis/shared.hpp"
+#include "synth/sessions.hpp"
+#include "tero/pipeline.hpp"
+#include "util/table.hpp"
+
+using namespace tero;
+
+int main() {
+  // A dense region playing one game.
+  synth::WorldConfig world_config;
+  world_config.seed = 1116;
+  world_config.games = {"Call of Duty Warzone"};
+  world_config.focus_locations = {
+      geo::Location{"", "California", "United States"}};
+  world_config.streamers_per_focus = 120;
+  world_config.p_twitter = 1.0;
+  world_config.p_twitter_backlink = 1.0;
+  world_config.p_twitter_location = 1.0;
+  const synth::World world(world_config);
+
+  // Crank region-wide shared events up: the "new version released, servers
+  // overloaded" scenario.
+  synth::BehaviorConfig behavior;
+  behavior.days = 7;
+  behavior.shared_events_per_region_day = 0.5;
+  behavior.shared_event_magnitude_ms = 45.0;
+  behavior.shared_event_duration_s = 1800.0;
+  synth::SessionGenerator generator(world, behavior, 1117);
+  const auto streams = generator.generate();
+
+  core::TeroConfig config;
+  config.p_latency_visible = 1.0;
+  core::Pipeline pipeline(config);
+  const core::Dataset dataset = pipeline.run(world, streams);
+
+  std::cout << "streamers located : " << dataset.streamers_located << "\n";
+  std::cout << "measurements      : " << dataset.measurements_extracted
+            << "\n\n";
+
+  for (const auto& aggregate : dataset.aggregates) {
+    const auto& shared = aggregate.shared;
+    std::cout << aggregate.location.to_string() << " / " << aggregate.game
+              << "\n";
+    std::cout << "  spike probability p_e        : "
+              << util::fmt_percent(shared.spike_probability, 2) << "\n";
+    std::cout << "  statistically significant    : "
+              << (shared.sufficient_data ? "yes (Eq. 2 holds)" : "no")
+              << "\n";
+    std::cout << "  shared anomalies detected    : "
+              << shared.anomalies.size() << "\n";
+    util::Table table({"window start [h]", "window end [h]",
+                       "streamers affected", "P[independent]"});
+    std::size_t shown = 0;
+    for (const auto& anomaly : shared.anomalies) {
+      table.add_row({util::fmt_double(anomaly.start_s / 3600.0, 2),
+                     util::fmt_double(anomaly.end_s / 3600.0, 2),
+                     std::to_string(anomaly.streamers.size()),
+                     util::fmt_double(anomaly.probability, 8)});
+      if (++shown >= 8) break;
+    }
+    if (table.rows() > 0) table.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "Each window groups spikes from different streamers that "
+               "overlap in time;\nthe binomial test (App. F) flags them "
+               "only when independence is implausible\n(P <= 0.01%). "
+               "Isolated per-streamer spikes never qualify.\n";
+  return 0;
+}

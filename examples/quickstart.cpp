@@ -1,0 +1,77 @@
+// Quickstart: the whole Tero pipeline in ~60 lines.
+//
+// Builds a small synthetic world (the stand-in for Twitch + Twitter/Steam),
+// generates ground-truth streaming sessions, runs the location module, the
+// image-processing channel and the data-analysis module, and prints the
+// volume counters plus one regional latency distribution.
+//
+//   ./quickstart            # fast calibrated-noise extraction channel
+//   ./quickstart --full-ocr # rasterize thumbnails + real OCR (slower)
+
+#include <cstring>
+#include <iostream>
+
+#include "synth/sessions.hpp"
+#include "tero/pipeline.hpp"
+#include "util/table.hpp"
+
+using namespace tero;
+
+int main(int argc, char** argv) {
+  const bool full_ocr = argc > 1 && std::strcmp(argv[1], "--full-ocr") == 0;
+
+  // 1. A world: 120 streamers in two locations, everyone locatable.
+  synth::WorldConfig world_config;
+  world_config.seed = 42;
+  world_config.games = {"League of Legends"};
+  world_config.focus_locations = {
+      geo::Location{"", "Illinois", "United States"},
+      geo::Location{"", "", "Poland"},
+  };
+  world_config.streamers_per_focus = 60;
+  world_config.p_twitter = 1.0;
+  world_config.p_twitter_backlink = 1.0;
+  world_config.p_twitter_location = 1.0;
+  const synth::World world(world_config);
+
+  // 2. Ground-truth streaming sessions (thumbnails every ~5 minutes).
+  synth::BehaviorConfig behavior;
+  behavior.days = full_ocr ? 2 : 7;
+  synth::SessionGenerator generator(world, behavior, 7);
+  const auto streams = generator.generate();
+
+  // 3. The Tero pipeline: locate -> extract -> clean -> aggregate.
+  core::TeroConfig config;
+  config.use_full_ocr = full_ocr;
+  config.p_latency_visible = full_ocr ? 0.8 : 1.0;
+  core::Pipeline pipeline(config);
+  const core::Dataset dataset = pipeline.run(world, streams);
+
+  std::cout << "extraction channel : " << (full_ocr ? "full OCR" : "noise")
+            << "\n"
+            << "streamers          : " << dataset.streamers_total << "\n"
+            << "located            : " << dataset.streamers_located << "\n"
+            << "thumbnails         : " << dataset.thumbnails << "\n"
+            << "measurements       : " << dataset.measurements_extracted
+            << "\n"
+            << "retained after QoE : " << dataset.measurements_retained
+            << "\n\n";
+
+  util::Table table(
+      {"location", "game", "streamers", "p25 [ms]", "median", "p75 [ms]",
+       "server"});
+  for (const auto& aggregate : dataset.aggregates) {
+    if (!aggregate.box.has_value()) continue;
+    table.add_row({aggregate.location.to_string(), aggregate.game,
+                   std::to_string(aggregate.streamers),
+                   util::fmt_double(aggregate.box->p25, 0),
+                   util::fmt_double(aggregate.box->p50, 0),
+                   util::fmt_double(aggregate.box->p75, 0),
+                   aggregate.server_city});
+  }
+  table.print(std::cout);
+  std::cout << "\nPoland and Illinois sit at similar distances from their "
+               "LoL servers;\nthe last-mile difference is what Tero exists "
+               "to surface.\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Regional latency explorer: build a located population at any gazetteer
+// location and print its latency distribution, clusters, and
+// distance-normalized latency for a game.
+//
+//   ./regional_latency "Bolivia" "League of Legends"
+//   ./regional_latency "California, United States" "Call of Duty Warzone"
+
+#include <iostream>
+#include <string>
+
+#include "geo/gazetteer.hpp"
+#include "synth/sessions.hpp"
+#include "tero/pipeline.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+using namespace tero;
+
+namespace {
+
+geo::Location parse_location(const std::string& text) {
+  const auto pieces = util::split(text, ",");
+  // Try the most specific interpretation first.
+  for (const auto piece : pieces) {
+    const auto trimmed = util::trim(piece);
+    if (const auto* place = geo::Gazetteer::world().find_any(trimmed)) {
+      return place->location();
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string where = argc > 1 ? argv[1] : "Bolivia";
+  const std::string game = argc > 2 ? argv[2] : "League of Legends";
+
+  const geo::Location location = parse_location(where);
+  if (!location.valid()) {
+    std::cerr << "unknown location: " << where << "\n";
+    return 1;
+  }
+  const auto* game_info = geo::GameCatalog::builtin().find(game);
+  if (game_info == nullptr) {
+    std::cerr << "unknown game: " << game << "\n";
+    return 1;
+  }
+
+  std::cout << "location : " << location.to_string() << "\n";
+  std::cout << "game     : " << game_info->name << "\n";
+
+  synth::WorldConfig world_config;
+  world_config.seed = 11;
+  world_config.games = {game_info->name};
+  world_config.focus_locations = {location};
+  world_config.streamers_per_focus = 50;
+  world_config.p_twitter = 1.0;
+  world_config.p_twitter_backlink = 1.0;
+  world_config.p_twitter_location = 1.0;
+  const synth::World world(world_config);
+
+  synth::BehaviorConfig behavior;
+  behavior.days = 10;
+  synth::SessionGenerator generator(world, behavior, 13);
+  const auto streams = generator.generate();
+
+  core::TeroConfig config;
+  config.p_latency_visible = 1.0;
+  config.aggregate_granularity = location.granularity();
+  core::Pipeline pipeline(config);
+  const core::Dataset dataset = pipeline.run(world, streams);
+
+  const auto* aggregate = dataset.find_aggregate(location, game_info->name);
+  if (aggregate == nullptr || !aggregate->box.has_value()) {
+    std::cerr << "no data aggregated (location may be unlocatable)\n";
+    return 1;
+  }
+  const auto& box = *aggregate->box;
+  std::cout << "streamers: " << aggregate->streamers << "\n";
+  std::cout << "primary  : " << aggregate->server_city << " ("
+            << util::fmt_double(aggregate->avg_corrected_distance_km, 0)
+            << " km corrected distance)\n\n";
+  std::cout << "latency distribution [ms]  (5/25/50/75/95th pct)\n  "
+            << util::fmt_double(box.p5, 0) << " | "
+            << util::fmt_double(box.p25, 0) << " [ "
+            << util::fmt_double(box.p50, 0) << " ] "
+            << util::fmt_double(box.p75, 0) << " | "
+            << util::fmt_double(box.p95, 0) << "\n\n";
+  if (aggregate->avg_corrected_distance_km > 0) {
+    std::cout << "distance-normalized median: "
+              << util::fmt_double(
+                     box.p50 / (aggregate->avg_corrected_distance_km / 1000.0),
+                     1)
+              << " ms per 1000 km\n\n";
+  }
+  std::cout << "similar-latency clusters (center @ share of streamers):\n";
+  for (const auto& cluster : aggregate->clusters) {
+    std::cout << "  " << util::fmt_double(cluster.center(), 0) << " ms  ["
+              << cluster.min_ms << ", " << cluster.max_ms << "]  @ "
+              << util::fmt_percent(cluster.weight, 0) << "\n";
+  }
+  return 0;
+}

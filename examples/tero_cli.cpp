@@ -1,0 +1,156 @@
+// tero_cli: the driver a data-set consumer uses against the published CSV
+// artifacts (see examples/export_dataset.cpp). Subcommands:
+//
+//   tero_cli simulate <out_dir> [streamers] [days]
+//       build a synthetic world, run the pipeline, and write
+//       measurements.csv + aggregates.csv
+//
+//   tero_cli analyze <measurements.csv>
+//       re-run the QoE-based cleaning over an imported data set and print
+//       per-{streamer, game} summaries (points kept, spikes, glitches)
+//
+//   tero_cli report <measurements.csv> <game>
+//       print the latency distribution per streamer pseudonym for a game
+//       (what a researcher without the pipeline would compute first)
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "analysis/anomalies.hpp"
+#include "stats/descriptive.hpp"
+#include "synth/sessions.hpp"
+#include "tero/export.hpp"
+#include "tero/pipeline.hpp"
+#include "util/table.hpp"
+
+using namespace tero;
+
+namespace {
+
+int cmd_simulate(int argc, char** argv) {
+  const std::string out_dir = argc > 2 ? argv[2] : "/tmp";
+  const std::size_t streamers =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 300;
+  const int days = argc > 4 ? std::atoi(argv[4]) : 7;
+
+  synth::WorldConfig world_config;
+  world_config.seed = 1;
+  world_config.num_streamers = streamers;
+  world_config.p_twitter = 0.8;
+  const synth::World world(world_config);
+  synth::BehaviorConfig behavior;
+  behavior.days = days;
+  synth::SessionGenerator generator(world, behavior, 2);
+  const auto streams = generator.generate();
+
+  core::TeroConfig config;
+  core::Pipeline pipeline(config);
+  const core::Dataset dataset = pipeline.run(world, streams);
+
+  std::ofstream measurements(out_dir + "/tero_measurements.csv");
+  std::ofstream aggregates(out_dir + "/tero_aggregates.csv");
+  const auto m = core::export_measurements(dataset, measurements);
+  const auto a = core::export_aggregates(dataset, aggregates);
+  std::cout << "streamers " << dataset.streamers_total << ", located "
+            << dataset.streamers_located << ", thumbnails "
+            << dataset.thumbnails << "\n";
+  std::cout << "wrote " << m.measurement_rows << " measurements and "
+            << a.aggregate_rows << " aggregates to " << out_dir << "\n";
+  return 0;
+}
+
+int cmd_analyze(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "usage: tero_cli analyze <measurements.csv>\n";
+    return 1;
+  }
+  std::ifstream input(argv[2]);
+  if (!input) {
+    std::cerr << "cannot open " << argv[2] << "\n";
+    return 1;
+  }
+  const auto streams = core::import_measurements(input);
+  // Group by {pseudonym, game} and clean, exactly as the pipeline would.
+  std::map<std::pair<std::string, std::string>, std::vector<analysis::Stream>>
+      grouped;
+  for (const auto& stream : streams) {
+    grouped[{stream.streamer, stream.game}].push_back(stream);
+  }
+  util::Table table({"pseudonym", "game", "points", "retained", "spikes",
+                     "glitch segs", "spike fraction"});
+  std::size_t shown = 0;
+  analysis::AnalysisConfig config;
+  for (auto& [key, streamer_streams] : grouped) {
+    const auto clean =
+        analysis::clean_streamer_game(std::move(streamer_streams), config);
+    if (clean.points_in < 10) continue;
+    table.add_row({key.first, key.second, std::to_string(clean.points_in),
+                   std::to_string(clean.points_retained),
+                   std::to_string(clean.spikes.size()),
+                   std::to_string(clean.glitch_segments),
+                   util::fmt_percent(clean.spike_fraction(), 1)});
+    if (++shown >= 25) break;
+  }
+  table.print(std::cout);
+  std::cout << "(" << grouped.size() << " {streamer, game} tuples total; "
+            << "first " << shown << " with >=10 points shown)\n";
+  return 0;
+}
+
+int cmd_report(int argc, char** argv) {
+  if (argc < 4) {
+    std::cerr << "usage: tero_cli report <measurements.csv> <game>\n";
+    return 1;
+  }
+  std::ifstream input(argv[2]);
+  if (!input) {
+    std::cerr << "cannot open " << argv[2] << "\n";
+    return 1;
+  }
+  const std::string game = argv[3];
+  const auto streams = core::import_measurements(input);
+  std::map<std::string, std::vector<double>> per_streamer;
+  for (const auto& stream : streams) {
+    if (stream.game != game) continue;
+    for (const auto& point : stream.points) {
+      per_streamer[stream.streamer].push_back(point.latency_ms);
+    }
+  }
+  if (per_streamer.empty()) {
+    std::cerr << "no measurements for game: " << game << "\n";
+    return 1;
+  }
+  util::Table table({"pseudonym", "points", "p5|p25[p50]p75|p95 [ms]"});
+  std::size_t shown = 0;
+  for (const auto& [pseudonym, values] : per_streamer) {
+    if (values.size() < 10) continue;
+    const auto box = stats::boxplot(values);
+    table.add_row({pseudonym, std::to_string(values.size()),
+                   util::fmt_double(box.p5, 0) + " | " +
+                       util::fmt_double(box.p25, 0) + " [" +
+                       util::fmt_double(box.p50, 0) + "] " +
+                       util::fmt_double(box.p75, 0) + " | " +
+                       util::fmt_double(box.p95, 0)});
+    if (++shown >= 20) break;
+  }
+  table.print(std::cout);
+  std::cout << "(" << per_streamer.size() << " streamers for " << game
+            << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string command = argc > 1 ? argv[1] : "";
+  if (command == "simulate") return cmd_simulate(argc, argv);
+  if (command == "analyze") return cmd_analyze(argc, argv);
+  if (command == "report") return cmd_report(argc, argv);
+  std::cerr << "usage: tero_cli <simulate|analyze|report> ...\n"
+               "  simulate <out_dir> [streamers] [days]\n"
+               "  analyze  <measurements.csv>\n"
+               "  report   <measurements.csv> <game>\n";
+  return command.empty() ? 1 : 2;
+}

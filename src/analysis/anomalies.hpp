@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/types.hpp"
+
+namespace tero::analysis {
+
+/// Result of anomaly detection (§3.3.2) over all streams of one
+/// {streamer, game} pair. The input streams are stitched together, glitches
+/// and spikes detected, corrections applied from the OCR alternatives, and
+/// the retained (clean) points handed back per stream.
+struct CleanResult {
+  /// The input streams with discarded and spike points removed and
+  /// corrected points substituted; same order as the input.
+  std::vector<Stream> retained;
+  /// Surviving spikes (those that correction could not explain away).
+  std::vector<SpikeEvent> spikes;
+
+  std::size_t points_in = 0;         ///< total input points
+  std::size_t points_retained = 0;   ///< points in `retained`
+  std::size_t points_corrected = 0;  ///< alternatives substituted and kept
+  std::size_t points_discarded = 0;  ///< dropped as glitch/noise
+  std::size_t spike_points = 0;      ///< points inside surviving spikes
+  std::size_t glitch_segments = 0;   ///< segments flagged as glitches
+  /// True when the streamer had no stable segment at all — such streamers'
+  /// data is dropped wholesale (§3.3.1).
+  bool discarded_entirely = false;
+
+  /// Spikes over total not-glitched points (Fig. 16a's metric); the
+  /// MaxSpikes quality filter thresholds this.
+  [[nodiscard]] double spike_fraction() const noexcept {
+    const std::size_t denom = spike_points + points_retained;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(spike_points) /
+                            static_cast<double>(denom);
+  }
+};
+
+/// Run glitch/spike detection + correction over the streams of one
+/// {streamer, game} (stitched in time order).
+[[nodiscard]] CleanResult clean_streamer_game(std::vector<Stream> streams,
+                                              const AnalysisConfig& config);
+
+/// Convenience wrapper for a single stream.
+[[nodiscard]] CleanResult clean_stream(Stream stream,
+                                       const AnalysisConfig& config);
+
+/// The segment-level classification for one stitched point sequence —
+/// exposed for tests and for the anomaly-baseline comparison (App. J).
+[[nodiscard]] std::vector<Segment> classify_segments(
+    const Stream& stitched, const AnalysisConfig& config);
+
+}  // namespace tero::analysis

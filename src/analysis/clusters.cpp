@@ -1,0 +1,153 @@
+#include "analysis/clusters.hpp"
+
+#include <algorithm>
+
+#include "analysis/segmentation.hpp"
+
+namespace tero::analysis {
+namespace {
+
+/// Cluster index a stable segment belongs to: the cluster whose range it
+/// overlaps (or comes within the merge gap of); -1 if none.
+int cluster_of(const std::vector<LatencyCluster>& clusters, int min_ms,
+               int max_ms, double merge_gap) {
+  int best = -1;
+  double best_separation = merge_gap;
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    const double separation = std::max(
+        {0.0, static_cast<double>(clusters[c].min_ms - max_ms),
+         static_cast<double>(min_ms - clusters[c].max_ms)});
+    if (separation < best_separation ||
+        (best < 0 && separation < merge_gap)) {
+      best_separation = separation;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::vector<LatencyCluster> merge_clusters(std::vector<ClusterInput> inputs,
+                                           double merge_gap) {
+  std::vector<LatencyCluster> clusters;
+  if (inputs.empty()) return clusters;
+  std::sort(inputs.begin(), inputs.end(),
+            [](const ClusterInput& a, const ClusterInput& b) {
+              return a.min_ms < b.min_ms;
+            });
+  std::size_t total_points = 0;
+  for (const auto& input : inputs) total_points += input.points;
+
+  LatencyCluster current;
+  current.min_ms = inputs[0].min_ms;
+  current.max_ms = inputs[0].max_ms;
+  current.point_count = inputs[0].points;
+  for (std::size_t i = 1; i < inputs.size(); ++i) {
+    if (static_cast<double>(inputs[i].min_ms - current.max_ms) < merge_gap) {
+      current.max_ms = std::max(current.max_ms, inputs[i].max_ms);
+      current.point_count += inputs[i].points;
+    } else {
+      clusters.push_back(current);
+      current = LatencyCluster{};
+      current.min_ms = inputs[i].min_ms;
+      current.max_ms = inputs[i].max_ms;
+      current.point_count = inputs[i].points;
+    }
+  }
+  clusters.push_back(current);
+
+  for (auto& cluster : clusters) {
+    cluster.weight = total_points > 0
+                         ? static_cast<double>(cluster.point_count) /
+                               static_cast<double>(total_points)
+                         : 0.0;
+  }
+  std::sort(clusters.begin(), clusters.end(),
+            [](const LatencyCluster& a, const LatencyCluster& b) {
+              return a.weight > b.weight;
+            });
+  return clusters;
+}
+
+std::vector<LatencyCluster> cluster_streamer(const CleanResult& clean,
+                                             const AnalysisConfig& config) {
+  std::vector<ClusterInput> inputs;
+  for (const auto& stream : clean.retained) {
+    for (const auto& segment : segment_stream(stream, config)) {
+      if (!segment.stable) continue;
+      inputs.push_back(ClusterInput{segment.min_latency, segment.max_latency,
+                                    segment.size()});
+    }
+  }
+  return merge_clusters(std::move(inputs),
+                        config.lat_gap_ms * config.cluster_merge_factor);
+}
+
+bool is_static_streamer(const std::vector<LatencyCluster>& clusters,
+                        const AnalysisConfig& config) {
+  return !clusters.empty() && clusters.front().weight >= config.min_weight;
+}
+
+std::vector<LatencyCluster> cluster_location(
+    const std::vector<std::vector<LatencyCluster>>& static_streamer_clusters,
+    const AnalysisConfig& config) {
+  std::vector<ClusterInput> inputs;
+  for (const auto& clusters : static_streamer_clusters) {
+    if (clusters.empty()) continue;
+    // Only the heaviest cluster of each static streamer contributes; one
+    // "point" per streamer so weights read as fractions of streamers.
+    inputs.push_back(
+        ClusterInput{clusters.front().min_ms, clusters.front().max_ms, 1});
+  }
+  return merge_clusters(std::move(inputs),
+                        config.lat_gap_ms * config.cluster_merge_factor);
+}
+
+std::vector<EndpointChange> detect_endpoint_changes(
+    const CleanResult& clean,
+    const std::vector<LatencyCluster>& location_clusters,
+    const AnalysisConfig& config) {
+  std::vector<EndpointChange> changes;
+  const double merge_gap = config.lat_gap_ms * config.cluster_merge_factor;
+
+  struct StableSeg {
+    double start_s;
+    int cluster;
+    std::size_t stream_index;
+  };
+  std::vector<StableSeg> sequence;
+  for (std::size_t s = 0; s < clean.retained.size(); ++s) {
+    const auto& stream = clean.retained[s];
+    for (const auto& segment : segment_stream(stream, config)) {
+      if (!segment.stable) continue;
+      const int cluster =
+          cluster_of(location_clusters, segment.min_latency,
+                     segment.max_latency, merge_gap);
+      sequence.push_back(
+          StableSeg{stream.points[segment.first].time_s, cluster, s});
+    }
+  }
+  std::sort(sequence.begin(), sequence.end(),
+            [](const StableSeg& a, const StableSeg& b) {
+              return a.start_s < b.start_s;
+            });
+
+  for (std::size_t i = 1; i < sequence.size(); ++i) {
+    const auto& prev = sequence[i - 1];
+    const auto& next = sequence[i];
+    if (prev.cluster < 0 || next.cluster < 0 ||
+        prev.cluster == next.cluster) {
+      continue;
+    }
+    EndpointChange change;
+    change.time_s = next.start_s;
+    change.same_stream = prev.stream_index == next.stream_index;
+    change.from_cluster = prev.cluster;
+    change.to_cluster = next.cluster;
+    changes.push_back(change);
+  }
+  return changes;
+}
+
+}  // namespace tero::analysis

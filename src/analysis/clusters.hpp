@@ -1,0 +1,69 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/anomalies.hpp"
+#include "analysis/types.hpp"
+
+namespace tero::analysis {
+
+/// A similar-latency cluster (§3.3.3): a merged value range with the
+/// fraction of measurements (streamer level) or streamers (location level)
+/// it covers.
+struct LatencyCluster {
+  int min_ms = 0;
+  int max_ms = 0;
+  double weight = 0.0;        ///< fraction of measurements / streamers
+  std::size_t point_count = 0;
+
+  [[nodiscard]] double center() const noexcept {
+    return (min_ms + max_ms) / 2.0;
+  }
+};
+
+/// Value ranges to cluster, with how many points each carries.
+struct ClusterInput {
+  int min_ms = 0;
+  int max_ms = 0;
+  std::size_t points = 0;
+};
+
+/// Single-linkage interval merging: two inputs end in different clusters
+/// only if their value ranges are separated by at least `merge_gap` ms.
+/// Output is sorted by weight, descending; weights are fractions of total
+/// points.
+[[nodiscard]] std::vector<LatencyCluster> merge_clusters(
+    std::vector<ClusterInput> inputs, double merge_gap);
+
+/// Per-streamer clustering (§3.3.3 step 1): cluster the stable segments of
+/// the cleaned streams (spikes were already excluded by cleaning).
+[[nodiscard]] std::vector<LatencyCluster> cluster_streamer(
+    const CleanResult& clean, const AnalysisConfig& config);
+
+/// Static/mobile classification (step 2): static iff the heaviest cluster
+/// holds at least MinWeight of the measurements.
+[[nodiscard]] bool is_static_streamer(
+    const std::vector<LatencyCluster>& clusters, const AnalysisConfig& config);
+
+/// Location-level clustering (step 3): merge each static streamer's
+/// heaviest cluster; weights become fractions of contributing streamers.
+[[nodiscard]] std::vector<LatencyCluster> cluster_location(
+    const std::vector<std::vector<LatencyCluster>>& static_streamer_clusters,
+    const AnalysisConfig& config);
+
+/// An end-point change (step 4): two subsequent stable segments of one
+/// streamer falling in different location-level clusters.
+struct EndpointChange {
+  double time_s = 0.0;
+  bool same_stream = false;  ///< true: server change; false: maybe location
+  int from_cluster = -1;
+  int to_cluster = -1;
+};
+
+/// Detect end-point changes for one streamer against the location clusters.
+[[nodiscard]] std::vector<EndpointChange> detect_endpoint_changes(
+    const CleanResult& clean,
+    const std::vector<LatencyCluster>& location_clusters,
+    const AnalysisConfig& config);
+
+}  // namespace tero::analysis

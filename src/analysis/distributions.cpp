@@ -1,0 +1,40 @@
+#include "analysis/distributions.hpp"
+
+namespace tero::analysis {
+
+void DistributionBuilder::add_static(const CleanResult& clean) {
+  bool any = false;
+  for (const auto& stream : clean.retained) {
+    for (const auto& point : stream.points) {
+      values_.push_back(point.latency_ms);
+      any = true;
+    }
+  }
+  if (any) ++streamers_;
+}
+
+void DistributionBuilder::add_mobile(
+    const CleanResult& clean,
+    const std::vector<LatencyCluster>& streamer_clusters,
+    const AnalysisConfig& config) {
+  if (streamer_clusters.empty()) return;
+  const auto& top = streamer_clusters.front();
+  const double slack = config.lat_gap_ms;  // cluster edges are segment hulls
+  bool any = false;
+  for (const auto& stream : clean.retained) {
+    for (const auto& point : stream.points) {
+      if (point.latency_ms >= top.min_ms - slack &&
+          point.latency_ms <= top.max_ms + slack) {
+        values_.push_back(point.latency_ms);
+        any = true;
+      }
+    }
+  }
+  if (any) ++streamers_;
+}
+
+stats::Boxplot DistributionBuilder::boxplot() const {
+  return stats::boxplot(values_);
+}
+
+}  // namespace tero::analysis

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/clusters.hpp"
+#include "stats/descriptive.hpp"
+
+namespace tero::analysis {
+
+/// Latency-distribution assembly for one {location, game} (§3.3.3 last
+/// step): static streamers contribute every retained measurement; mobile
+/// streamers contribute only the measurements inside their heaviest
+/// cluster; streamers with possible location changes are excluded by the
+/// caller.
+struct DistributionBuilder {
+  /// Add a static streamer's cleaned data.
+  void add_static(const CleanResult& clean);
+
+  /// Add a mobile streamer's data restricted to their heaviest cluster.
+  void add_mobile(const CleanResult& clean,
+                  const std::vector<LatencyCluster>& streamer_clusters,
+                  const AnalysisConfig& config);
+
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
+  [[nodiscard]] std::size_t streamers() const noexcept { return streamers_; }
+
+  /// The paper's 5/25/50/75/95 boxplot (§5.2). Requires non-empty values.
+  [[nodiscard]] stats::Boxplot boxplot() const;
+
+ private:
+  std::vector<double> values_;
+  std::size_t streamers_ = 0;
+};
+
+}  // namespace tero::analysis

@@ -1,0 +1,41 @@
+#include "analysis/outlier_rejection.hpp"
+
+#include <algorithm>
+
+namespace tero::analysis {
+
+bool streamer_consistent_with_location(
+    const std::vector<LatencyCluster>& streamer_clusters,
+    const std::vector<LatencyCluster>& location_clusters,
+    const AnalysisConfig& config, const OutlierRejectionConfig& rejection) {
+  if (streamer_clusters.empty()) return false;
+  if (location_clusters.empty()) return true;  // nothing to check against
+  const auto& top = streamer_clusters.front();
+  const double gap = config.lat_gap_ms * config.cluster_merge_factor;
+  for (const auto& cluster : location_clusters) {
+    if (cluster.weight < rejection.min_cluster_weight) continue;
+    const double separation =
+        std::max({0.0, static_cast<double>(cluster.min_ms - top.max_ms),
+                  static_cast<double>(top.min_ms - cluster.max_ms)});
+    if (separation < gap) return true;
+  }
+  return false;
+}
+
+std::vector<std::size_t> find_location_outliers(
+    const std::vector<std::vector<LatencyCluster>>&
+        streamer_clusters_per_entry,
+    const std::vector<LatencyCluster>& location_clusters,
+    const AnalysisConfig& config, const OutlierRejectionConfig& rejection) {
+  std::vector<std::size_t> outliers;
+  for (std::size_t i = 0; i < streamer_clusters_per_entry.size(); ++i) {
+    if (!streamer_consistent_with_location(streamer_clusters_per_entry[i],
+                                           location_clusters, config,
+                                           rejection)) {
+      outliers.push_back(i);
+    }
+  }
+  return outliers;
+}
+
+}  // namespace tero::analysis

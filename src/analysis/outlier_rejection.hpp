@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/clusters.hpp"
+
+namespace tero::analysis {
+
+/// The §3.1.2 error-reduction step the paper describes but leaves to its
+/// data-set users: "latency measurements of streamers playing from the
+/// same location tend to fall into clusters. Hence, one approach to
+/// reducing [location] errors would be to reject latency measurements that
+/// fall outside the clusters for the corresponding location."
+///
+/// Given a streamer's clusters and the location-level clusters, decide
+/// whether the streamer plausibly plays from that location: their heaviest
+/// cluster must land within (LatGap of) one of the location's clusters
+/// whose weight is at least `min_cluster_weight`.
+struct OutlierRejectionConfig {
+  double min_cluster_weight = 0.25;  ///< location clusters lighter than
+                                     ///  this don't vouch for anyone
+};
+
+/// True when the streamer's top cluster is consistent with the location.
+[[nodiscard]] bool streamer_consistent_with_location(
+    const std::vector<LatencyCluster>& streamer_clusters,
+    const std::vector<LatencyCluster>& location_clusters,
+    const AnalysisConfig& config,
+    const OutlierRejectionConfig& rejection = {});
+
+/// Indices of entries (into `streamer_clusters_per_entry`) whose top
+/// cluster falls outside every substantial location cluster — the
+/// candidates for location-error rejection.
+[[nodiscard]] std::vector<std::size_t> find_location_outliers(
+    const std::vector<std::vector<LatencyCluster>>&
+        streamer_clusters_per_entry,
+    const std::vector<LatencyCluster>& location_clusters,
+    const AnalysisConfig& config,
+    const OutlierRejectionConfig& rejection = {});
+
+}  // namespace tero::analysis

@@ -1,0 +1,67 @@
+#include "analysis/segmentation.hpp"
+
+#include <algorithm>
+
+namespace tero::analysis {
+
+bool ranges_within_gap(int min_a, int max_a, int min_b, int max_b,
+                       double gap) noexcept {
+  // Separation between the closed intervals [min_a, max_a] and
+  // [min_b, max_b]; overlapping intervals have separation 0.
+  const double separation =
+      std::max({0.0, static_cast<double>(min_b - max_a),
+                static_cast<double>(min_a - max_b)});
+  return separation < gap;
+}
+
+std::vector<Segment> segment_stream(const Stream& stream,
+                                    const AnalysisConfig& config) {
+  std::vector<Segment> segments;
+  if (stream.points.empty()) return segments;
+
+  const int min_points = config.stable_len_points();
+  Segment current;
+  current.first = 0;
+  current.min_latency = current.max_latency = stream.points[0].latency_ms;
+
+  auto close_segment = [&](std::size_t last) {
+    current.last = last;
+    current.stable = current.size() >= static_cast<std::size_t>(min_points);
+    current.flag = current.stable ? SegmentFlag::kStable
+                                  : SegmentFlag::kDiscarded;  // decided later
+    segments.push_back(current);
+  };
+
+  for (std::size_t i = 1; i < stream.points.size(); ++i) {
+    const int value = stream.points[i].latency_ms;
+    const int new_min = std::min(current.min_latency, value);
+    const int new_max = std::max(current.max_latency, value);
+    if (new_max - new_min <= config.lat_gap_ms) {
+      current.min_latency = new_min;
+      current.max_latency = new_max;
+      continue;
+    }
+    close_segment(i - 1);
+    current = Segment{};
+    current.first = i;
+    current.min_latency = current.max_latency = value;
+  }
+  close_segment(stream.points.size() - 1);
+  return segments;
+}
+
+void refresh_segment(const Stream& stream, const AnalysisConfig& config,
+                     Segment& segment) {
+  segment.min_latency = stream.points[segment.first].latency_ms;
+  segment.max_latency = segment.min_latency;
+  for (std::size_t i = segment.first; i <= segment.last; ++i) {
+    segment.min_latency =
+        std::min(segment.min_latency, stream.points[i].latency_ms);
+    segment.max_latency =
+        std::max(segment.max_latency, stream.points[i].latency_ms);
+  }
+  segment.stable =
+      segment.size() >= static_cast<std::size_t>(config.stable_len_points());
+}
+
+}  // namespace tero::analysis

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/types.hpp"
+
+namespace tero::analysis {
+
+/// Divide a stream into same-QoE segments (§3.3.1): maximal consecutive
+/// runs whose measurements all lie within LatGap of one another, classified
+/// stable/unstable by StableLen.
+[[nodiscard]] std::vector<Segment> segment_stream(const Stream& stream,
+                                                  const AnalysisConfig& config);
+
+/// Re-derive min/max and stability for segments over (possibly corrected)
+/// points.
+void refresh_segment(const Stream& stream, const AnalysisConfig& config,
+                     Segment& segment);
+
+/// True if every measurement of `a` differs by less than `gap` from the
+/// value range of `b` (the "within LatGap of" test used by cleanup and
+/// clustering). Equivalent to: the value ranges come closer than `gap`.
+[[nodiscard]] bool ranges_within_gap(int min_a, int max_a, int min_b,
+                                     int max_b, double gap) noexcept;
+
+}  // namespace tero::analysis

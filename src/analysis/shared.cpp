@@ -1,0 +1,110 @@
+#include "analysis/shared.hpp"
+
+#include <algorithm>
+
+#include "stats/distributions.hpp"
+
+namespace tero::analysis {
+namespace {
+
+bool spike_overlaps_window(const SpikeEvent& spike, double window_start,
+                           double window_end) noexcept {
+  return spike.end_s >= window_start && spike.start_s <= window_end;
+}
+
+}  // namespace
+
+SharedAnomalyResult find_shared_anomalies(
+    const std::vector<StreamerActivity>& activities,
+    const AnalysisConfig& config) {
+  SharedAnomalyResult result;
+
+  std::size_t total_measurements = 0;
+  std::size_t total_spikes = 0;
+  for (const auto& activity : activities) {
+    total_measurements += activity.measurement_times.size();
+    total_spikes += activity.spikes.size();
+  }
+  if (total_measurements == 0) return result;
+  result.spike_probability =
+      static_cast<double>(total_spikes) /
+      static_cast<double>(total_measurements);
+  const double p = result.spike_probability;
+  // Eq. 2: statistical-significance prerequisite.
+  result.sufficient_data =
+      static_cast<double>(total_measurements) * p * (1.0 - p) > 10.0;
+  if (!result.sufficient_data || total_spikes == 0) return result;
+
+  const double half_window = config.shared_window_s / 2.0;
+
+  for (std::size_t a = 0; a < activities.size(); ++a) {
+    for (const auto& spike : activities[a].spikes) {
+      const double center = (spike.start_s + spike.end_s) / 2.0;
+      const double window_start = center - half_window;
+      const double window_end = center + half_window;
+
+      // N: streamers streaming during the window (>= 1 measurement in it);
+      // D: those that also spiked in the window.
+      std::uint64_t streaming = 0;
+      std::uint64_t spiking = 0;
+      std::vector<std::string> who;
+      for (const auto& activity : activities) {
+        const bool active = std::any_of(
+            activity.measurement_times.begin(),
+            activity.measurement_times.end(), [&](double t) {
+              return t >= window_start && t <= window_end;
+            });
+        const bool spiked = std::any_of(
+            activity.spikes.begin(), activity.spikes.end(),
+            [&](const SpikeEvent& other) {
+              return spike_overlaps_window(other, window_start, window_end);
+            });
+        if (active || spiked) ++streaming;
+        if (spiked) {
+          ++spiking;
+          who.push_back(activity.streamer);
+        }
+      }
+      if (spiking < 2 || streaming < spiking) continue;
+
+      // Eq. 3: probability that D of N streamers spiked independently.
+      const double probability = stats::binomial_pmf(streaming, spiking, p);
+      if (probability <= config.shared_anomaly_p) {
+        SharedAnomaly anomaly;
+        anomaly.start_s = window_start;
+        anomaly.end_s = window_end;
+        anomaly.streamers = std::move(who);
+        anomaly.probability = probability;
+        result.anomalies.push_back(std::move(anomaly));
+      }
+    }
+  }
+
+  // Merge overlapping windows: consecutive spikes of the same incident
+  // otherwise yield near-duplicate anomalies.
+  std::sort(result.anomalies.begin(), result.anomalies.end(),
+            [](const SharedAnomaly& x, const SharedAnomaly& y) {
+              return x.start_s < y.start_s;
+            });
+  std::vector<SharedAnomaly> merged;
+  for (auto& anomaly : result.anomalies) {
+    if (!merged.empty() && anomaly.start_s <= merged.back().end_s) {
+      merged.back().end_s = std::max(merged.back().end_s, anomaly.end_s);
+      merged.back().probability =
+          std::min(merged.back().probability, anomaly.probability);
+      for (const auto& name : anomaly.streamers) {
+        if (std::find(merged.back().streamers.begin(),
+                      merged.back().streamers.end(),
+                      name) == merged.back().streamers.end()) {
+          merged.back().streamers.push_back(name);
+        }
+      }
+    } else {
+      merged.push_back(std::move(anomaly));
+    }
+  }
+  result.anomalies = std::move(merged);
+  return result;
+}
+
+}  // namespace tero::analysis

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/types.hpp"
+
+namespace tero::analysis {
+
+/// Everything the shared-anomaly test needs to know about one streamer of a
+/// given {location, game} aggregate (App. F).
+struct StreamerActivity {
+  std::string streamer;
+  std::vector<double> measurement_times;  ///< all measurement timestamps
+  std::vector<SpikeEvent> spikes;
+};
+
+/// A set of spikes too numerous to be independent — likely a problem in
+/// shared infrastructure (§3.3.2 / App. F).
+struct SharedAnomaly {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::vector<std::string> streamers;  ///< who spiked
+  double probability = 1.0;            ///< P[D independent spikes]
+};
+
+struct SharedAnomalyResult {
+  std::vector<SharedAnomaly> anomalies;
+  double spike_probability = 0.0;  ///< p_e = spikes / measurements (Eq. 1)
+  /// Eq. 2: #measurements * p_e * (1 - p_e) > 10; when false the aggregate
+  /// is too small and no anomalies are reported.
+  bool sufficient_data = false;
+};
+
+/// Run the Schulman-et-al-style test adapted in App. F over one
+/// {location, game} aggregate: for each spike, count the streamers
+/// streaming in the 12-minute window around it (N) and those that also
+/// spiked (D), and flag a shared anomaly when D independent spikes would
+/// have probability <= config.shared_anomaly_p.
+[[nodiscard]] SharedAnomalyResult find_shared_anomalies(
+    const std::vector<StreamerActivity>& activities,
+    const AnalysisConfig& config);
+
+}  // namespace tero::analysis

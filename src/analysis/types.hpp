@@ -1,0 +1,95 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace tero::analysis {
+
+/// One latency measurement extracted from one thumbnail. `alternative_ms`
+/// is the dissenting OCR engine's value (§3.2), used to correct glitches and
+/// spikes during analysis (§3.3.2).
+struct Measurement {
+  double time_s = 0.0;
+  int latency_ms = 0;
+  std::optional<int> alternative_ms;
+};
+
+/// A stream: the latency experienced by one streamer playing one game from
+/// one session (§3.3.1). Consecutive points are >= ~5 minutes apart.
+struct Stream {
+  std::string streamer;  ///< pseudonymized id
+  std::string game;
+  std::vector<Measurement> points;
+};
+
+/// Tero's configurable parameters (Table 1).
+struct AnalysisConfig {
+  /// Perceivable latency difference threshold, ms (LatGap, default 15 ms
+  /// per [32]).
+  double lat_gap_ms = 15.0;
+  /// Minimum time one must play on the same server before switching
+  /// (StableLen); App. I settles on 30 minutes.
+  double stable_len_minutes = 30.0;
+  /// Expected spacing of thumbnails, used to convert StableLen to points.
+  double point_spacing_minutes = 5.0;
+  /// Maximum proportion of spike points allowed for a "high-quality"
+  /// streamer (MaxSpikes, §3.3.3).
+  double max_spikes = 0.5;
+  /// A streamer is static when one cluster holds at least this weight.
+  double min_weight = 0.8;
+  /// Shared-anomaly significance threshold (App. F: P_D <= 0.01%).
+  double shared_anomaly_p = 1e-4;
+  /// Window around a spike in which another streamer counts as concurrent
+  /// (App. F: 12 minutes, from the 90th-pct thumbnail gap of 6 minutes).
+  double shared_window_s = 720.0;
+  /// Cluster-merge factor: segments closer than factor * LatGap merge
+  /// (Fig. 14 varies this).
+  double cluster_merge_factor = 1.0;
+  /// Ablation switch: keep unexplained unstable segments instead of
+  /// discarding them in the cleanup step (Fig. 1d). The paper argues the
+  /// discard is necessary because such segments are usually glitch
+  /// victims; bench_ablations quantifies that.
+  bool disable_cleanup_discard = false;
+
+  [[nodiscard]] int stable_len_points() const {
+    const double points = stable_len_minutes / point_spacing_minutes;
+    return points < 1.0 ? 1 : static_cast<int>(points + 0.5);
+  }
+};
+
+/// How a segment ended up classified after anomaly detection (§3.3.2).
+enum class SegmentFlag {
+  kStable,     ///< stable segment
+  kAbsorbed,   ///< unstable but within LatGap of a stable neighbour — kept
+  kGlitch,     ///< latency drop caused by image-processing error
+  kSpike,      ///< genuine-looking latency increase
+  kDiscarded,  ///< neither explainable nor absorbable — dropped
+};
+
+/// A maximal run of same-QoE points (§3.3.1): all pairwise within LatGap.
+struct Segment {
+  std::size_t first = 0;  ///< index of first point (inclusive)
+  std::size_t last = 0;   ///< index of last point (inclusive)
+  int min_latency = 0;
+  int max_latency = 0;
+  bool stable = false;
+  SegmentFlag flag = SegmentFlag::kDiscarded;
+
+  [[nodiscard]] std::size_t size() const noexcept { return last - first + 1; }
+};
+
+/// A detected spike after merging (§3.3.2): a time range of elevated
+/// latency for one streamer/game.
+struct SpikeEvent {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  int peak_latency_ms = 0;
+  int baseline_ms = 0;  ///< max latency of the neighbouring stable segments
+
+  [[nodiscard]] double magnitude_ms() const noexcept {
+    return peak_latency_ms - baseline_ms;
+  }
+};
+
+}  // namespace tero::analysis

@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tero::anomaly {
+
+/// Interface of the unsupervised anomaly-detection baselines Tero is
+/// compared against in App. J. Input is one streamer's latency series (ms);
+/// output marks each point as anomalous or not.
+class AnomalyDetector {
+ public:
+  virtual ~AnomalyDetector() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::vector<bool> detect(
+      std::span<const double> series) const = 0;
+};
+
+/// Local Outlier Factor [4] (distance-based): density relative to the K
+/// nearest neighbours; LOF above `threshold` flags an anomaly.
+[[nodiscard]] std::unique_ptr<AnomalyDetector> make_lof(
+    int k = 10, double threshold = 1.5);
+
+/// Isolation Forest [29] (isolation-based): score by average isolation
+/// depth across random trees; following App. J, anomalies are the points
+/// whose scores are IQR outliers with range parameter `iqr_k`.
+[[nodiscard]] std::unique_ptr<AnomalyDetector> make_iforest(
+    int trees = 100, int subsample = 128, double iqr_k = 1.5,
+    std::uint64_t seed = 1);
+
+/// Minimum Covariance Determinant [45] (distribution-based): robust
+/// mean/variance from the least-variable h-subset; points with robust
+/// z-score above the cutoff implied by `contamination` are anomalous.
+[[nodiscard]] std::unique_ptr<AnomalyDetector> make_mcd(
+    double contamination = 0.05);
+
+}  // namespace tero::anomaly

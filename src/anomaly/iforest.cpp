@@ -1,0 +1,148 @@
+#include <algorithm>
+#include <cmath>
+
+#include "anomaly/detector.hpp"
+#include "anomaly/iqr.hpp"
+#include "util/rng.hpp"
+
+namespace tero::anomaly {
+namespace {
+
+/// Average path length of an unsuccessful BST search — the normalizer c(n)
+/// from the Isolation Forest paper [29].
+double average_path_length(std::size_t n) {
+  if (n <= 1) return 0.0;
+  const double h = std::log(static_cast<double>(n - 1)) + 0.5772156649;
+  return 2.0 * h - 2.0 * static_cast<double>(n - 1) / static_cast<double>(n);
+}
+
+/// One isolation tree over a 1-D sample, built implicitly: the expected
+/// isolation depth of a query only depends on where random split points
+/// fall, so we grow the tree on the sorted sample and answer depth queries
+/// by descending it.
+class IsolationTree {
+ public:
+  IsolationTree(std::vector<double> sample, int max_depth, util::Rng& rng) {
+    std::sort(sample.begin(), sample.end());
+    root_ = build(sample, 0, sample.size(), 0, max_depth, rng);
+  }
+
+  [[nodiscard]] double depth_of(double value) const {
+    double depth = 0.0;
+    int node = root_;
+    while (node >= 0) {
+      const Node& current = nodes_[static_cast<std::size_t>(node)];
+      if (current.leaf_size > 0) {
+        return depth + average_path_length(
+                           static_cast<std::size_t>(current.leaf_size));
+      }
+      node = value < current.split ? current.left : current.right;
+      depth += 1.0;
+    }
+    return depth;
+  }
+
+ private:
+  struct Node {
+    double split = 0.0;
+    int left = -1;
+    int right = -1;
+    int leaf_size = 0;  ///< > 0 marks a leaf
+  };
+
+  int build(const std::vector<double>& sorted, std::size_t lo, std::size_t hi,
+            int depth, int max_depth, util::Rng& rng) {
+    const std::size_t count = hi - lo;
+    if (count == 0) return -1;
+    Node node;
+    if (count == 1 || depth >= max_depth || sorted[lo] == sorted[hi - 1]) {
+      node.leaf_size = static_cast<int>(count);
+      nodes_.push_back(node);
+      return static_cast<int>(nodes_.size() - 1);
+    }
+    node.split = rng.uniform(sorted[lo], sorted[hi - 1]);
+    const auto mid = static_cast<std::size_t>(
+        std::lower_bound(sorted.begin() + static_cast<std::ptrdiff_t>(lo),
+                         sorted.begin() + static_cast<std::ptrdiff_t>(hi),
+                         node.split) -
+        sorted.begin());
+    const int self = static_cast<int>(nodes_.size());
+    nodes_.push_back(node);
+    const int left = build(sorted, lo, mid, depth + 1, max_depth, rng);
+    const int right = build(sorted, mid, hi, depth + 1, max_depth, rng);
+    nodes_[static_cast<std::size_t>(self)].left = left;
+    nodes_[static_cast<std::size_t>(self)].right = right;
+    return self;
+  }
+
+  std::vector<Node> nodes_;
+  int root_ = -1;
+};
+
+class IForest final : public AnomalyDetector {
+ public:
+  IForest(int trees, int subsample, double iqr_k, std::uint64_t seed)
+      : trees_(trees), subsample_(subsample), iqr_k_(iqr_k), seed_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "iForests"; }
+
+  [[nodiscard]] std::vector<bool> detect(
+      std::span<const double> series) const override {
+    const std::size_t n = series.size();
+    if (n < 8) return std::vector<bool>(n, false);
+    util::Rng rng(seed_);
+    const std::size_t sample_size =
+        std::min<std::size_t>(static_cast<std::size_t>(subsample_), n);
+    const int max_depth = static_cast<int>(
+        std::ceil(std::log2(static_cast<double>(sample_size)))) + 1;
+
+    std::vector<double> depth_sum(n, 0.0);
+    for (int t = 0; t < trees_; ++t) {
+      const auto indices = rng.sample_indices(n, sample_size);
+      std::vector<double> sample;
+      sample.reserve(sample_size);
+      for (std::size_t i : indices) sample.push_back(series[i]);
+      const IsolationTree tree(std::move(sample), max_depth, rng);
+      for (std::size_t i = 0; i < n; ++i) {
+        depth_sum[i] += tree.depth_of(series[i]);
+      }
+    }
+    const double c = average_path_length(sample_size);
+    std::vector<double> scores(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double mean_depth = depth_sum[i] / trees_;
+      scores[i] = std::pow(2.0, -mean_depth / c);
+    }
+    // App. J: the paper's fixed-contamination threshold yields too many
+    // false anomalies; only scores that are IQR outliers count.
+    auto outliers = iqr_outliers(scores, iqr_k_);
+    // Isolation scores are one-sided: only high scores are anomalous.
+    const double median = stats_median(scores);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (outliers[i] && scores[i] < median) outliers[i] = false;
+    }
+    return outliers;
+  }
+
+ private:
+  static double stats_median(std::vector<double> values) {
+    std::nth_element(values.begin(), values.begin() + values.size() / 2,
+                     values.end());
+    return values[values.size() / 2];
+  }
+
+  int trees_;
+  int subsample_;
+  double iqr_k_;
+  std::uint64_t seed_;
+};
+
+}  // namespace
+
+std::unique_ptr<AnomalyDetector> make_iforest(int trees, int subsample,
+                                              double iqr_k,
+                                              std::uint64_t seed) {
+  return std::make_unique<IForest>(trees, subsample, iqr_k, seed);
+}
+
+}  // namespace tero::anomaly

@@ -1,0 +1,21 @@
+#include "anomaly/iqr.hpp"
+
+#include "stats/descriptive.hpp"
+
+namespace tero::anomaly {
+
+std::vector<bool> iqr_outliers(std::span<const double> values, double k) {
+  std::vector<bool> flags(values.size(), false);
+  if (values.size() < 4) return flags;
+  const double q1 = stats::percentile(values, 25.0);
+  const double q3 = stats::percentile(values, 75.0);
+  const double iqr = q3 - q1;
+  const double lo = q1 - k * iqr;
+  const double hi = q3 + k * iqr;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    flags[i] = values[i] < lo || values[i] > hi;
+  }
+  return flags;
+}
+
+}  // namespace tero::anomaly

@@ -1,0 +1,14 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tero::anomaly {
+
+/// Inter-quartile-range outlier rule: flag x outside
+/// [Q1 - k * IQR, Q3 + k * IQR]. App. J uses this to threshold Isolation
+/// Forest scores with k in [0.5, 2.0].
+[[nodiscard]] std::vector<bool> iqr_outliers(std::span<const double> values,
+                                             double k = 1.5);
+
+}  // namespace tero::anomaly

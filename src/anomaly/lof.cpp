@@ -1,0 +1,108 @@
+#include <algorithm>
+#include <cmath>
+
+#include "anomaly/detector.hpp"
+
+namespace tero::anomaly {
+namespace {
+
+/// 1-D Local Outlier Factor. K controls "the number of neighbours that need
+/// to be similar to a point to consider it normal" (App. J).
+class Lof final : public AnomalyDetector {
+ public:
+  Lof(int k, double threshold) : k_(k), threshold_(threshold) {}
+
+  [[nodiscard]] std::string name() const override { return "LOF"; }
+
+  [[nodiscard]] std::vector<bool> detect(
+      std::span<const double> series) const override {
+    const std::size_t n = series.size();
+    std::vector<bool> flags(n, false);
+    const std::size_t k = static_cast<std::size_t>(k_);
+    if (n <= k + 1) return flags;
+
+    // Sort once; k nearest neighbours of a value are a contiguous window.
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return series[a] < series[b];
+    });
+    std::vector<double> sorted(n);
+    for (std::size_t i = 0; i < n; ++i) sorted[i] = series[order[i]];
+
+    // For the sorted position `pos`, the indices (into sorted order) of the
+    // k nearest values.
+    auto neighbours_of = [&](std::size_t pos) {
+      std::vector<std::size_t> neighbours;
+      neighbours.reserve(k);
+      std::size_t lo = pos;
+      std::size_t hi = pos;
+      while (neighbours.size() < k) {
+        const bool can_lo = lo > 0;
+        const bool can_hi = hi + 1 < n;
+        if (!can_lo && !can_hi) break;
+        const double d_lo =
+            can_lo ? sorted[pos] - sorted[lo - 1]
+                   : std::numeric_limits<double>::infinity();
+        const double d_hi =
+            can_hi ? sorted[hi + 1] - sorted[pos]
+                   : std::numeric_limits<double>::infinity();
+        if (d_lo <= d_hi) {
+          --lo;
+          neighbours.push_back(lo);
+        } else {
+          ++hi;
+          neighbours.push_back(hi);
+        }
+      }
+      return neighbours;
+    };
+
+    // k-distance and local reachability density per sorted position.
+    std::vector<double> k_distance(n);
+    std::vector<std::vector<std::size_t>> knn(n);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      knn[pos] = neighbours_of(pos);
+      double dmax = 0.0;
+      for (std::size_t q : knn[pos]) {
+        dmax = std::max(dmax, std::abs(sorted[pos] - sorted[q]));
+      }
+      k_distance[pos] = dmax;
+    }
+    std::vector<double> lrd(n);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      double reach_sum = 0.0;
+      for (std::size_t q : knn[pos]) {
+        reach_sum += std::max(k_distance[q], std::abs(sorted[pos] - sorted[q]));
+      }
+      lrd[pos] = reach_sum > 0.0
+                     ? static_cast<double>(knn[pos].size()) / reach_sum
+                     : std::numeric_limits<double>::infinity();
+    }
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      double lof_sum = 0.0;
+      std::size_t finite = 0;
+      for (std::size_t q : knn[pos]) {
+        if (std::isinf(lrd[pos])) continue;
+        lof_sum += lrd[q] / lrd[pos];
+        ++finite;
+      }
+      const double lof =
+          finite > 0 ? lof_sum / static_cast<double>(finite) : 1.0;
+      if (lof > threshold_) flags[order[pos]] = true;
+    }
+    return flags;
+  }
+
+ private:
+  int k_;
+  double threshold_;
+};
+
+}  // namespace
+
+std::unique_ptr<AnomalyDetector> make_lof(int k, double threshold) {
+  return std::make_unique<Lof>(k, threshold);
+}
+
+}  // namespace tero::anomaly

@@ -1,0 +1,91 @@
+#include "anomaly/pelt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.hpp"
+
+namespace tero::anomaly {
+namespace {
+
+/// Segment cost: n * log(variance) (normal likelihood, variance unknown).
+class SegmentCost {
+ public:
+  explicit SegmentCost(std::span<const double> series)
+      : sum_(series.size() + 1, 0.0), sq_(series.size() + 1, 0.0) {
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      sum_[i + 1] = sum_[i] + series[i];
+      sq_[i + 1] = sq_[i] + series[i] * series[i];
+    }
+  }
+
+  /// Cost of the segment covering indices [start, end).
+  [[nodiscard]] double operator()(std::size_t start, std::size_t end) const {
+    const auto n = static_cast<double>(end - start);
+    if (n < 1.0) return 0.0;
+    const double mean = (sum_[end] - sum_[start]) / n;
+    const double var =
+        std::max(1e-8, (sq_[end] - sq_[start]) / n - mean * mean);
+    return n * std::log(var);
+  }
+
+ private:
+  std::vector<double> sum_;
+  std::vector<double> sq_;
+};
+
+}  // namespace
+
+std::vector<std::size_t> pelt_changepoints(std::span<const double> series,
+                                           double penalty) {
+  const std::size_t n = series.size();
+  if (n < 4) return {};
+  const SegmentCost cost(series);
+
+  // f[t] = optimal cost of series[0, t); prev[t] = last changepoint.
+  std::vector<double> f(n + 1, std::numeric_limits<double>::infinity());
+  std::vector<std::size_t> prev(n + 1, 0);
+  f[0] = -penalty;
+  std::vector<std::size_t> candidates = {0};
+
+  for (std::size_t t = 1; t <= n; ++t) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_s = 0;
+    for (std::size_t s : candidates) {
+      const double value = f[s] + cost(s, t) + penalty;
+      if (value < best) {
+        best = value;
+        best_s = s;
+      }
+    }
+    f[t] = best;
+    prev[t] = best_s;
+    // PELT pruning: s can never be optimal again if
+    // f[s] + cost(s, t) > f[t].
+    std::vector<std::size_t> kept;
+    kept.reserve(candidates.size() + 1);
+    for (std::size_t s : candidates) {
+      if (f[s] + cost(s, t) <= f[t]) kept.push_back(s);
+    }
+    kept.push_back(t);
+    candidates = std::move(kept);
+  }
+
+  std::vector<std::size_t> changepoints;
+  std::size_t t = n;
+  while (t > 0) {
+    const std::size_t s = prev[t];
+    if (s > 0) changepoints.push_back(s);
+    t = s;
+  }
+  std::reverse(changepoints.begin(), changepoints.end());
+  return changepoints;
+}
+
+std::vector<std::size_t> pelt_changepoints(std::span<const double> series) {
+  const double n = static_cast<double>(series.size());
+  return pelt_changepoints(series, 2.0 * std::log(std::max(2.0, n)));
+}
+
+}  // namespace tero::anomaly

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tero::anomaly {
+
+/// PELT changepoint detection [26] with a normal-likelihood cost: finds the
+/// segmentation minimizing sum of per-segment costs plus `penalty` per
+/// changepoint, pruning candidates that can never be optimal (linear
+/// expected time). Returns the changepoint indices (each the first index of
+/// a new segment), excluding 0 and n.
+///
+/// The paper reports PELT "did not complete in useful time" on Tero's data;
+/// we keep it both as a baseline and to benchmark that claim.
+[[nodiscard]] std::vector<std::size_t> pelt_changepoints(
+    std::span<const double> series, double penalty);
+
+/// Convenience: default penalty 2 * log(n) * variance-scale (BIC-like).
+[[nodiscard]] std::vector<std::size_t> pelt_changepoints(
+    std::span<const double> series);
+
+}  // namespace tero::anomaly

@@ -1,0 +1,91 @@
+#include "download/cdn.hpp"
+
+namespace tero::download {
+
+SimulatedCdn::SimulatedCdn(util::EventLoop& loop, util::Rng rng,
+                           double period_seconds, double jitter_seconds)
+    : loop_(&loop),
+      rng_(rng),
+      period_(period_seconds),
+      jitter_(jitter_seconds) {}
+
+void SimulatedCdn::add_session(const StreamerSession& session) {
+  StreamerState state;
+  state.session = session;
+  // First thumbnail appears shortly after the stream starts.
+  state.next_generation =
+      session.start_time + rng_.uniform(5.0, 30.0);
+  auto [it, inserted] = streamers_.insert_or_assign(session.streamer, state);
+  schedule_generation(it->second);
+}
+
+void SimulatedCdn::schedule_generation(StreamerState& state) {
+  if (state.next_generation > state.session.end_time) return;
+  const std::string name = state.session.streamer;
+  loop_->schedule_at(state.next_generation, [this, name] {
+    auto it = streamers_.find(name);
+    if (it == streamers_.end()) return;
+    StreamerState& s = it->second;
+    ++s.version;
+    ++generated_;
+    s.current_generated_at = loop_->now();
+    s.fetched_current = false;
+    // Next thumbnail in ~5 minutes with up-to-a-minute variation (§2.1).
+    s.next_generation = loop_->now() + period_ + rng_.uniform(0.0, jitter_);
+    schedule_generation(s);
+  });
+}
+
+HeadResponse SimulatedCdn::head(std::string_view streamer) const {
+  const auto it = streamers_.find(streamer);
+  if (it == streamers_.end()) return HeadResponse{};
+  const StreamerState& state = it->second;
+  const double now = loop_->now();
+  HeadResponse response;
+  response.online =
+      now >= state.session.start_time && now < state.session.end_time;
+  response.next_thumbnail_time = state.next_generation;
+  response.version = state.version;
+  return response;
+}
+
+std::optional<GetResponse> SimulatedCdn::get(std::string_view streamer) {
+  auto it = streamers_.find(streamer);
+  if (it == streamers_.end()) return std::nullopt;
+  StreamerState& state = it->second;
+  const double now = loop_->now();
+  if (now < state.session.start_time || now >= state.session.end_time ||
+      state.version == 0) {
+    return std::nullopt;  // redirects to the generic offline URL
+  }
+  GetResponse response;
+  response.version = state.version;
+  response.generated_at = state.current_generated_at;
+  // Thumbnail size is "so unpredictable" (App. A) that load balancing by
+  // size is pointless: heavy-tailed sizes.
+  response.size_bytes =
+      static_cast<std::uint32_t>(rng_.pareto(20'000.0, 1.6));
+  if (!state.fetched_current) {
+    state.fetched_current = true;
+    ++fetched_;
+  }
+  return response;
+}
+
+std::vector<std::string> SimulatedCdn::api_live_streamers() const {
+  std::vector<std::string> live;
+  const double now = loop_->now();
+  for (const auto& [name, state] : streamers_) {
+    if (now >= state.session.start_time && now < state.session.end_time) {
+      live.push_back(name);
+    }
+  }
+  return live;
+}
+
+std::uint64_t SimulatedCdn::versions_of(std::string_view streamer) const {
+  const auto it = streamers_.find(streamer);
+  return it == streamers_.end() ? 0 : it->second.version;
+}
+
+}  // namespace tero::download

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/event_loop.hpp"
+#include "util/rng.hpp"
+
+namespace tero::download {
+
+/// One streaming session on the simulated platform.
+struct StreamerSession {
+  std::string streamer;
+  double start_time = 0.0;
+  double end_time = 0.0;
+};
+
+/// Response to a HEAD request against a streamer's thumbnail URL (App. A:
+/// downloaders HEAD first to learn when the next thumbnail lands).
+struct HeadResponse {
+  bool online = false;
+  double next_thumbnail_time = 0.0;
+  std::uint64_t version = 0;  ///< version currently served
+};
+
+/// Response to a GET of the current thumbnail.
+struct GetResponse {
+  std::uint64_t version = 0;
+  double generated_at = 0.0;
+  std::uint32_t size_bytes = 0;  ///< thumbnail sizes are unpredictable
+};
+
+/// Simulation of Twitch's CDN + Get-Streams API surface, with the paper's
+/// timing contract: one thumbnail per live streamer roughly every 5 minutes
+/// (uniform jitter up to a minute), each overwriting the previous at a fixed
+/// URL — a thumbnail not downloaded before the next one lands is simply
+/// lost. Offline streamers' URLs redirect to a generic offline page.
+class SimulatedCdn {
+ public:
+  SimulatedCdn(util::EventLoop& loop, util::Rng rng,
+               double period_seconds = 300.0, double jitter_seconds = 60.0);
+
+  /// Register a session; thumbnail generation events are scheduled lazily.
+  void add_session(const StreamerSession& session);
+
+  // -- CDN surface -----------------------------------------------------------
+  [[nodiscard]] HeadResponse head(std::string_view streamer) const;
+  [[nodiscard]] std::optional<GetResponse> get(std::string_view streamer);
+
+  // -- API surface (subject to the caller's rate limiting) --------------------
+  /// Streamers currently live.
+  [[nodiscard]] std::vector<std::string> api_live_streamers() const;
+
+  // -- ground truth for evaluating the download module ------------------------
+  [[nodiscard]] std::uint64_t thumbnails_generated() const noexcept {
+    return generated_;
+  }
+  [[nodiscard]] std::uint64_t thumbnails_fetched() const noexcept {
+    return fetched_;
+  }
+  /// Versions generated for one streamer so far.
+  [[nodiscard]] std::uint64_t versions_of(std::string_view streamer) const;
+
+ private:
+  struct StreamerState {
+    StreamerSession session;
+    std::uint64_t version = 0;           ///< 0 = no thumbnail yet
+    double current_generated_at = 0.0;
+    double next_generation = 0.0;
+    bool fetched_current = false;
+  };
+
+  void schedule_generation(StreamerState& state);
+
+  util::EventLoop* loop_;
+  util::Rng rng_;
+  double period_;
+  double jitter_;
+  std::map<std::string, StreamerState, std::less<>> streamers_;
+  std::uint64_t generated_ = 0;
+  std::uint64_t fetched_ = 0;
+};
+
+}  // namespace tero::download

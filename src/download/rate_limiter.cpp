@@ -1,0 +1,42 @@
+#include "download/rate_limiter.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tero::download {
+
+TokenBucket::TokenBucket(double rate, double burst)
+    : rate_(rate), burst_(burst), tokens_(burst) {
+  if (rate <= 0.0 || burst <= 0.0) {
+    throw std::invalid_argument("TokenBucket: rate and burst must be > 0");
+  }
+}
+
+void TokenBucket::refill(double now) {
+  if (now <= last_refill_) return;
+  tokens_ = std::min(burst_, tokens_ + rate_ * (now - last_refill_));
+  last_refill_ = now;
+}
+
+bool TokenBucket::try_acquire(double now, double tokens) {
+  refill(now);
+  if (tokens_ + 1e-12 < tokens) return false;
+  tokens_ -= tokens;
+  return true;
+}
+
+double TokenBucket::next_available(double now, double tokens) const {
+  double current = tokens_;
+  if (now > last_refill_) {
+    current = std::min(burst_, current + rate_ * (now - last_refill_));
+  }
+  if (current >= tokens) return now;
+  return now + (tokens - current) / rate_;
+}
+
+double TokenBucket::available(double now) const {
+  if (now <= last_refill_) return tokens_;
+  return std::min(burst_, tokens_ + rate_ * (now - last_refill_));
+}
+
+}  // namespace tero::download

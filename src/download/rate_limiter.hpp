@@ -1,0 +1,30 @@
+#pragma once
+
+namespace tero::download {
+
+/// Token-bucket rate limiter modelling Twitch's API quota (App. A: "the
+/// coordinator issues these queries in a way that respects the rate limit").
+class TokenBucket {
+ public:
+  /// `rate` tokens refill per second up to `burst` capacity; the bucket
+  /// starts full.
+  TokenBucket(double rate, double burst);
+
+  /// Consume `tokens` if available at time `now`; returns success.
+  bool try_acquire(double now, double tokens = 1.0);
+
+  /// Earliest time at which `tokens` will be available (>= now).
+  [[nodiscard]] double next_available(double now, double tokens = 1.0) const;
+
+  [[nodiscard]] double available(double now) const;
+
+ private:
+  void refill(double now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_refill_ = 0.0;
+};
+
+}  // namespace tero::download

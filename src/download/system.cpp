@@ -1,0 +1,164 @@
+#include "download/system.hpp"
+
+#include <algorithm>
+
+namespace tero::download {
+
+namespace {
+constexpr const char* kPendingList = "urls:pending";
+constexpr const char* kOfflineList = "signals:offline";
+const std::string kTrackedPrefix = "tracked:";
+}  // namespace
+
+DownloadSystem::DownloadSystem(util::EventLoop& loop, SimulatedCdn& cdn,
+                               store::KvStore& kv, DownloadConfig config,
+                               util::Rng rng)
+    : loop_(&loop),
+      cdn_(&cdn),
+      kv_(&kv),
+      config_(config),
+      rng_(rng),
+      api_bucket_(config.api_rate, config.api_burst),
+      downloaders_(static_cast<std::size_t>(config.num_downloaders)) {}
+
+void DownloadSystem::start() {
+  if (started_) return;
+  started_ = true;
+  loop_->schedule_after(0.0, [this] { coordinator_poll(); });
+  for (int id = 0; id < config_.num_downloaders; ++id) {
+    // Stagger the downloader ticks so they do not hammer the store together.
+    loop_->schedule_after(rng_.uniform(0.0, config_.downloader_tick),
+                          [this, id] { downloader_tick(id); });
+  }
+}
+
+void DownloadSystem::coordinator_poll() {
+  // Respect the API quota: if the bucket is dry, come back when it refills.
+  if (!api_bucket_.try_acquire(loop_->now())) {
+    const double retry = api_bucket_.next_available(loop_->now());
+    loop_->schedule_at(retry, [this] { coordinator_poll(); });
+    return;
+  }
+
+  // Newly-live streamers go to the pending queue (and to durable state).
+  for (const auto& streamer : cdn_->api_live_streamers()) {
+    if (tracked_.contains(streamer)) continue;
+    tracked_.insert(streamer);
+    kv_->put(kTrackedPrefix + streamer, "1");
+    kv_->push_back(kPendingList, streamer);
+  }
+
+  // Process offline signals written by the downloaders.
+  while (auto streamer = kv_->pop_front(kOfflineList)) {
+    tracked_.erase(*streamer);
+    kv_->erase(kTrackedPrefix + *streamer);
+    ++offline_signals_;
+  }
+
+  loop_->schedule_after(config_.api_poll_interval,
+                        [this] { coordinator_poll(); });
+}
+
+void DownloadSystem::downloader_tick(int id) {
+  auto& state = downloaders_[static_cast<std::size_t>(id)];
+
+  // Fetch everything due.
+  std::vector<std::string> due;
+  for (const auto& [streamer, when] : state.next_fetch) {
+    if (when <= loop_->now()) due.push_back(streamer);
+  }
+  for (const auto& streamer : due) fetch_one(id, streamer);
+
+  adopt_if_idle(id);
+
+  loop_->schedule_after(config_.downloader_tick,
+                        [this, id] { downloader_tick(id); });
+}
+
+void DownloadSystem::adopt_if_idle(int id) {
+  auto& state = downloaders_[static_cast<std::size_t>(id)];
+  // Idle = no thumbnail due within the horizon (App. A load balancing:
+  // "a downloader takes on a new streamer whenever it becomes idle").
+  double earliest = loop_->now() + config_.idle_horizon + 1.0;
+  for (const auto& [streamer, when] : state.next_fetch) {
+    earliest = std::min(earliest, when);
+  }
+  if (earliest <= loop_->now() + config_.idle_horizon) return;
+
+  if (auto streamer = kv_->pop_front(kPendingList)) {
+    const HeadResponse head = cdn_->head(*streamer);
+    if (!head.online) {
+      kv_->push_back(kOfflineList, *streamer);
+      return;
+    }
+    state.next_fetch[*streamer] =
+        std::max(loop_->now(), head.next_thumbnail_time) +
+        config_.fetch_delay;
+    ++state.adopted_total;
+  }
+}
+
+void DownloadSystem::fetch_one(int id, const std::string& streamer) {
+  auto& state = downloaders_[static_cast<std::size_t>(id)];
+  const auto response = cdn_->get(streamer);
+  if (!response.has_value()) {
+    // Offline redirect: drop the URL, signal the coordinator (App. A).
+    state.next_fetch.erase(streamer);
+    kv_->push_back(kOfflineList, streamer);
+    return;
+  }
+  downloads_.push_back(
+      DownloadRecord{streamer, loop_->now(), response->version, id});
+  kv_->put("seen:" + streamer, std::to_string(response->version));
+
+  // HEAD for the next thumbnail's arrival time.
+  const HeadResponse head = cdn_->head(streamer);
+  if (!head.online) {
+    state.next_fetch.erase(streamer);
+    kv_->push_back(kOfflineList, streamer);
+    return;
+  }
+  state.next_fetch[streamer] =
+      std::max(loop_->now(), head.next_thumbnail_time) + config_.fetch_delay;
+}
+
+void DownloadSystem::crash_and_recover() {
+  ++crashes_;
+  // Crash: all in-memory assignment state vanishes.
+  tracked_.clear();
+  for (auto& downloader : downloaders_) downloader.next_fetch.clear();
+
+  // Recovery: the coordinator rebuilds its view from the KV store and
+  // re-queues every tracked streamer for (re-)adoption.
+  for (const auto& key : kv_->keys_with_prefix(kTrackedPrefix)) {
+    const std::string streamer = key.substr(kTrackedPrefix.size());
+    tracked_.insert(streamer);
+    kv_->push_back(kPendingList, streamer);
+  }
+}
+
+std::vector<double> DownloadSystem::interarrival_times() const {
+  std::map<std::string, std::vector<double>> per_streamer;
+  for (const auto& record : downloads_) {
+    per_streamer[record.streamer].push_back(record.time);
+  }
+  std::vector<double> gaps;
+  for (auto& [streamer, times] : per_streamer) {
+    std::sort(times.begin(), times.end());
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      gaps.push_back(times[i] - times[i - 1]);
+    }
+  }
+  return gaps;
+}
+
+std::vector<int> DownloadSystem::downloader_assignments() const {
+  std::vector<int> counts;
+  counts.reserve(downloaders_.size());
+  for (const auto& downloader : downloaders_) {
+    counts.push_back(downloader.adopted_total);
+  }
+  return counts;
+}
+
+}  // namespace tero::download

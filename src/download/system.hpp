@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "download/cdn.hpp"
+#include "download/rate_limiter.hpp"
+#include "store/kv_store.hpp"
+#include "util/event_loop.hpp"
+#include "util/rng.hpp"
+
+namespace tero::download {
+
+struct DownloadConfig {
+  int num_downloaders = 4;
+  double api_poll_interval = 60.0;  ///< coordinator polls the streams API
+  double api_rate = 0.5;            ///< API tokens per second
+  double api_burst = 5.0;
+  double downloader_tick = 5.0;     ///< downloader wake-up period
+  double idle_horizon = 15.0;       ///< "idle" = nothing due this soon
+  double fetch_delay = 2.0;         ///< fetch this long after a thumbnail lands
+};
+
+/// One successful thumbnail download.
+struct DownloadRecord {
+  std::string streamer;
+  double time = 0.0;
+  std::uint64_t version = 0;
+  int downloader = 0;
+};
+
+/// The download module of App. A: one coordinator that discovers
+/// newly-live streamers through the (rate-limited) API and hands their URLs
+/// to N lean downloaders via the key-value store; downloaders HEAD to learn
+/// when the next thumbnail lands, GET it, signal offline streamers back, and
+/// steal new work whenever idle. All recoverable state lives in the KV
+/// store, so a crash loses nothing but in-flight timers.
+class DownloadSystem {
+ public:
+  DownloadSystem(util::EventLoop& loop, SimulatedCdn& cdn,
+                 store::KvStore& kv, DownloadConfig config, util::Rng rng);
+
+  /// Schedule the coordinator and downloader loops; run the EventLoop to
+  /// actually simulate.
+  void start();
+
+  /// Drop all in-memory state (the crash) and rebuild from the KV store
+  /// (the recovery, App. B "Failure recovery"). Timers keep firing.
+  void crash_and_recover();
+
+  [[nodiscard]] const std::vector<DownloadRecord>& downloads() const noexcept {
+    return downloads_;
+  }
+
+  /// Consecutive-download gaps per streamer — the Fig. 13 distribution.
+  [[nodiscard]] std::vector<double> interarrival_times() const;
+
+  /// How many streamers each downloader ended up serving.
+  [[nodiscard]] std::vector<int> downloader_assignments() const;
+
+  [[nodiscard]] std::uint64_t offline_signals() const noexcept {
+    return offline_signals_;
+  }
+  [[nodiscard]] int crashes() const noexcept { return crashes_; }
+
+ private:
+  struct DownloaderState {
+    /// streamer -> time the next thumbnail should be fetched.
+    std::map<std::string, double> next_fetch;
+    int adopted_total = 0;
+  };
+
+  void coordinator_poll();
+  void downloader_tick(int id);
+  void fetch_one(int id, const std::string& streamer);
+  void adopt_if_idle(int id);
+
+  util::EventLoop* loop_;
+  SimulatedCdn* cdn_;
+  store::KvStore* kv_;
+  DownloadConfig config_;
+  util::Rng rng_;
+  TokenBucket api_bucket_;
+
+  std::set<std::string> tracked_;  ///< coordinator's in-memory view
+  std::vector<DownloaderState> downloaders_;
+  std::vector<DownloadRecord> downloads_;
+  std::uint64_t offline_signals_ = 0;
+  int crashes_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace tero::download

@@ -1,0 +1,147 @@
+#include "geo/gazetteer.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace tero::geo {
+
+Location Place::location() const {
+  switch (kind) {
+    case PlaceKind::kCity:
+      return Location{name, region, country};
+    case PlaceKind::kRegion:
+      return Location{"", name, country};
+    case PlaceKind::kCountry:
+      return Location{"", "", name};
+  }
+  return {};
+}
+
+Gazetteer::Gazetteer(std::vector<Place> places,
+                     std::vector<ContinentShare> shares)
+    : places_(std::move(places)), shares_(std::move(shares)) {}
+
+const Gazetteer& Gazetteer::world() {
+  static const Gazetteer instance{builtin_places(),
+                                  builtin_continent_shares()};
+  return instance;
+}
+
+std::vector<const Place*> Gazetteer::find_all(std::string_view name) const {
+  std::vector<const Place*> matches;
+  for (const auto& place : places_) {
+    if (util::iequals(place.name, name)) {
+      matches.push_back(&place);
+      continue;
+    }
+    for (const auto& alias : place.aliases) {
+      if (util::iequals(alias, name)) {
+        matches.push_back(&place);
+        break;
+      }
+    }
+  }
+  return matches;
+}
+
+const Place* Gazetteer::find(std::string_view name, PlaceKind kind) const {
+  const Place* found = nullptr;
+  for (const Place* place : find_all(name)) {
+    if (place->kind != kind) continue;
+    if (found != nullptr) return nullptr;  // ambiguous within kind
+    found = place;
+  }
+  return found;
+}
+
+const Place* Gazetteer::find_any(std::string_view name) const {
+  const auto matches = find_all(name);
+  for (auto kind :
+       {PlaceKind::kCity, PlaceKind::kRegion, PlaceKind::kCountry}) {
+    for (const Place* place : matches) {
+      if (place->kind == kind) return place;
+    }
+  }
+  return nullptr;
+}
+
+const Place* Gazetteer::resolve(const Location& loc) const {
+  if (!loc.city.empty()) {
+    for (const auto& place : places_) {
+      if (place.kind == PlaceKind::kCity &&
+          util::iequals(place.name, loc.city) &&
+          (loc.country.empty() || util::iequals(place.country, loc.country))) {
+        return &place;
+      }
+    }
+  }
+  if (!loc.region.empty()) {
+    for (const auto& place : places_) {
+      if (place.kind == PlaceKind::kRegion &&
+          util::iequals(place.name, loc.region) &&
+          (loc.country.empty() || util::iequals(place.country, loc.country))) {
+        return &place;
+      }
+    }
+  }
+  if (!loc.country.empty()) {
+    for (const auto& place : places_) {
+      if (place.kind == PlaceKind::kCountry &&
+          util::iequals(place.name, loc.country)) {
+        return &place;
+      }
+    }
+  }
+  return nullptr;
+}
+
+LatLon Gazetteer::center_of(const Location& loc) const {
+  const Place* place = resolve(loc);
+  if (place == nullptr) {
+    throw std::out_of_range("Gazetteer: unknown location " + loc.to_string());
+  }
+  return place->center;
+}
+
+double Gazetteer::mean_radius_of(const Location& loc) const {
+  const Place* place = resolve(loc);
+  if (place == nullptr) {
+    throw std::out_of_range("Gazetteer: unknown location " + loc.to_string());
+  }
+  return place->mean_radius_km;
+}
+
+std::vector<const Place*> Gazetteer::all_of(PlaceKind kind) const {
+  std::vector<const Place*> out;
+  for (const auto& place : places_) {
+    if (place.kind == kind) out.push_back(&place);
+  }
+  return out;
+}
+
+std::vector<const Place*> Gazetteer::regions_of(
+    std::string_view country) const {
+  std::vector<const Place*> out;
+  for (const auto& place : places_) {
+    if (place.kind == PlaceKind::kRegion &&
+        util::iequals(place.country, country)) {
+      out.push_back(&place);
+    }
+  }
+  return out;
+}
+
+std::vector<const Place*> Gazetteer::cities_of(std::string_view region,
+                                               std::string_view country) const {
+  std::vector<const Place*> out;
+  for (const auto& place : places_) {
+    if (place.kind != PlaceKind::kCity) continue;
+    if (!country.empty() && !util::iequals(place.country, country)) continue;
+    if (!region.empty() && !util::iequals(place.region, region)) continue;
+    out.push_back(&place);
+  }
+  return out;
+}
+
+}  // namespace tero::geo

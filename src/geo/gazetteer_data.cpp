@@ -1,0 +1,305 @@
+// The built-in world database. Coordinates are approximate real-world values
+// so geodesic distances (and the latency baselines derived from them) are
+// plausible; weights encode the continent skew of Twitch streamers (Fig. 7).
+#include "geo/gazetteer.hpp"
+
+namespace tero::geo {
+namespace {
+
+Place country(std::string name, std::string continent, double lat, double lon,
+              double radius_km, double weight,
+              std::vector<std::string> aliases = {}) {
+  Place p;
+  p.name = std::move(name);
+  p.kind = PlaceKind::kCountry;
+  p.continent = std::move(continent);
+  p.center = {lat, lon};
+  p.mean_radius_km = radius_km;
+  p.weight = weight;
+  p.aliases = std::move(aliases);
+  return p;
+}
+
+Place region(std::string name, std::string country_name,
+             std::string continent, double lat, double lon, double radius_km,
+             double weight, std::vector<std::string> aliases = {}) {
+  Place p;
+  p.name = std::move(name);
+  p.kind = PlaceKind::kRegion;
+  p.country = std::move(country_name);
+  p.continent = std::move(continent);
+  p.center = {lat, lon};
+  p.mean_radius_km = radius_km;
+  p.weight = weight;
+  p.aliases = std::move(aliases);
+  return p;
+}
+
+Place city(std::string name, std::string region_name,
+           std::string country_name, std::string continent, double lat,
+           double lon, double weight,
+           std::vector<std::string> aliases = {}) {
+  Place p;
+  p.name = std::move(name);
+  p.kind = PlaceKind::kCity;
+  p.region = std::move(region_name);
+  p.country = std::move(country_name);
+  p.continent = std::move(continent);
+  p.center = {lat, lon};
+  p.mean_radius_km = 15.0;
+  p.weight = weight;
+  p.aliases = std::move(aliases);
+  return p;
+}
+
+}  // namespace
+
+std::vector<Place> builtin_places() {
+  std::vector<Place> places;
+
+  // ---- Countries -----------------------------------------------------------
+  places.push_back(country("United States", "NA", 39.8, -98.6, 1600, 28,
+                           {"USA", "US", "America",
+                            "United States of America"}));
+  places.push_back(country("Canada", "NA", 56.1, -106.3, 1500, 6));
+  places.push_back(country("Mexico", "NA", 23.6, -102.5, 800, 5));
+  places.push_back(country("El Salvador", "NA", 13.8, -88.9, 80, 0.4));
+  places.push_back(country("Jamaica", "NA", 18.1, -77.3, 70, 0.3));
+  places.push_back(country("Honduras", "NA", 14.8, -86.6, 150, 0.3));
+  places.push_back(country("Costa Rica", "NA", 9.7, -84.2, 100, 0.4));
+  places.push_back(country("Nicaragua", "NA", 12.9, -85.2, 150, 0.2));
+
+  places.push_back(country("Brazil", "SA", -14.2, -51.9, 1300, 8));
+  places.push_back(country("Argentina", "SA", -38.4, -63.6, 1100, 4));
+  places.push_back(country("Chile", "SA", -35.7, -71.5, 900, 3));
+  places.push_back(country("Bolivia", "SA", -16.3, -63.6, 500, 0.5));
+  places.push_back(country("Colombia", "SA", 4.6, -74.1, 500, 2.5));
+  places.push_back(country("Ecuador", "SA", -1.8, -78.2, 250, 0.8));
+  places.push_back(country("Peru", "SA", -9.2, -75.0, 500, 1.5));
+
+  places.push_back(country("Netherlands", "EU", 52.1, 5.3, 120, 2,
+                           {"Holland", "The Netherlands"}));
+  places.push_back(country("Germany", "EU", 51.2, 10.4, 300, 4.5));
+  places.push_back(country("France", "EU", 46.6, 2.2, 350, 4));
+  places.push_back(country("United Kingdom", "EU", 54.0, -2.5, 300, 4,
+                           {"UK", "Britain", "England", "Great Britain"}));
+  places.push_back(country("Spain", "EU", 40.4, -3.7, 350, 3));
+  places.push_back(country("Italy", "EU", 42.8, 12.8, 350, 3));
+  places.push_back(country("Poland", "EU", 52.0, 19.4, 250, 2));
+  places.push_back(country("Switzerland", "EU", 46.8, 8.2, 100, 1));
+  places.push_back(country("Austria", "EU", 47.6, 14.1, 150, 0.8));
+  places.push_back(country("Denmark", "EU", 56.0, 10.0, 120, 0.7));
+  places.push_back(country("Belgium", "EU", 50.6, 4.7, 90, 0.8));
+  places.push_back(country("Greece", "EU", 39.1, 22.9, 250, 0.7));
+  places.push_back(country("Sweden", "EU", 62.2, 17.6, 400, 1));
+  places.push_back(country("Portugal", "EU", 39.6, -8.0, 200, 0.8));
+  places.push_back(country("Luxembourg", "EU", 49.8, 6.1, 30, 0.1));
+
+  places.push_back(
+      country("South Korea", "AS", 36.5, 127.8, 200, 2.5, {"Korea"}));
+  places.push_back(country("Japan", "AS", 36.2, 138.3, 500, 2.5));
+  places.push_back(country("Turkey", "AS", 39.0, 35.2, 500, 1.5));
+  places.push_back(country("Saudi Arabia", "AS", 24.2, 45.1, 700, 0.8));
+  places.push_back(country("United Arab Emirates", "AS", 24.0, 54.0, 200, 0.3,
+                           {"UAE"}));
+  // Deliberately ambiguous with the US state of the same name (§3.1).
+  places.push_back(country("Georgia", "AS", 42.3, 43.4, 200, 0.1));
+
+  // The rest of Asia: populous, but Twitch's market share there is tiny —
+  // China bans Twitch outright and India streams on YouTube (§5.1) — so
+  // streamer weights are near zero while these places still exist for
+  // geoparsing and coverage accounting.
+  places.push_back(country("India", "AS", 20.6, 79.0, 1200, 0.15));
+  places.push_back(country("China", "AS", 35.9, 104.2, 1800, 0.0));
+  places.push_back(country("Taiwan", "AS", 23.7, 121.0, 150, 0.5));
+  places.push_back(country("Philippines", "AS", 12.9, 121.8, 500, 0.4));
+  places.push_back(country("Thailand", "AS", 15.9, 100.9, 450, 0.35));
+  places.push_back(country("Vietnam", "AS", 14.1, 108.3, 500, 0.25));
+  places.push_back(country("Indonesia", "AS", -0.8, 113.9, 1100, 0.3));
+  places.push_back(country("Malaysia", "AS", 4.2, 102.0, 400, 0.25));
+  places.push_back(country("Singapore", "AS", 1.35, 103.82, 25, 0.3));
+
+  places.push_back(country("Australia", "OC", -25.3, 133.8, 1500, 1.5));
+  places.push_back(country("New Zealand", "OC", -41.8, 172.8, 400, 0.4));
+
+  places.push_back(country("South Africa", "AF", -30.6, 22.9, 700, 0.4));
+  places.push_back(country("Egypt", "AF", 26.8, 30.8, 500, 0.2));
+  places.push_back(country("Nigeria", "AF", 9.1, 8.7, 500, 0.1));
+  places.push_back(country("Morocco", "AF", 31.8, -7.1, 350, 0.1));
+  places.push_back(country("Kenya", "AF", 0.0, 37.9, 350, 0.05));
+
+  places.push_back(country("Norway", "EU", 64.6, 12.7, 450, 0.6));
+  places.push_back(country("Finland", "EU", 64.0, 26.0, 400, 0.6));
+  places.push_back(country("Ireland", "EU", 53.2, -8.2, 130, 0.4));
+  places.push_back(country("Czechia", "EU", 49.8, 15.5, 150, 0.6,
+                           {"Czech Republic"}));
+  places.push_back(country("Romania", "EU", 45.9, 24.9, 250, 0.7));
+  places.push_back(country("Hungary", "EU", 47.2, 19.5, 140, 0.5));
+
+  // ---- Regions -------------------------------------------------------------
+  const std::string us = "United States";
+  places.push_back(region("California", us, "NA", 36.8, -119.4, 350, 5));
+  places.push_back(region("Illinois", us, "NA", 40.0, -89.2, 200, 1.5));
+  places.push_back(region("Hawaii", us, "NA", 20.8, -156.3, 150, 0.3));
+  places.push_back(region("Texas", us, "NA", 31.5, -99.3, 400, 3));
+  places.push_back(region("Georgia", us, "NA", 32.6, -83.4, 180, 1.2));
+  places.push_back(region("Kentucky", us, "NA", 37.5, -85.3, 180, 0.5));
+  places.push_back(region("Minnesota", us, "NA", 46.3, -94.3, 220, 0.7));
+  places.push_back(region("Missouri", us, "NA", 38.4, -92.5, 200, 0.7));
+  places.push_back(region("North Carolina", us, "NA", 35.5, -79.4, 200, 1.2));
+  places.push_back(region("Pennsylvania", us, "NA", 40.9, -77.8, 180, 1.3));
+  places.push_back(region("Tennessee", us, "NA", 35.9, -86.4, 190, 0.8));
+  places.push_back(region("Virginia", us, "NA", 37.5, -78.9, 180, 1.0));
+  places.push_back(region("Massachusetts", us, "NA", 42.3, -71.8, 90, 0.9));
+  places.push_back(region("New Jersey", us, "NA", 40.1, -74.7, 80, 0.9));
+  places.push_back(region("Oklahoma", us, "NA", 35.6, -97.5, 220, 0.4));
+  places.push_back(region("District of Columbia", us, "NA", 38.9, -77.0, 15,
+                          0.3, {"DC"}));
+  places.push_back(region("New York", us, "NA", 43.0, -75.5, 200, 2, {"NY"}));
+  places.push_back(region("Florida", us, "NA", 28.6, -82.5, 280, 1.5));
+  places.push_back(region("Utah", us, "NA", 39.3, -111.7, 220, 0.4));
+  places.push_back(region("Washington", us, "NA", 47.4, -120.5, 220, 0.9));
+  places.push_back(region("Ohio", us, "NA", 40.3, -82.8, 180, 0.9));
+  places.push_back(region("Michigan", us, "NA", 44.3, -85.4, 230, 0.9));
+
+  places.push_back(region("Ontario", "Canada", "NA", 47.0, -84.0, 450, 1.5));
+  places.push_back(region("Quebec", "Canada", "NA", 50.0, -72.0, 500, 1.0));
+  places.push_back(
+      region("British Columbia", "Canada", "NA", 54.0, -125.0, 500, 0.6));
+
+  places.push_back(region("Chiapas", "Mexico", "NA", 16.5, -92.5, 120, 0.3));
+  places.push_back(region("Tabasco", "Mexico", "NA", 18.0, -92.6, 90, 0.2));
+  places.push_back(region("Veracruz", "Mexico", "NA", 19.2, -96.4, 180, 0.4));
+  places.push_back(
+      region("Tamaulipas", "Mexico", "NA", 24.3, -98.6, 180, 0.3));
+  places.push_back(region("Campeche", "Mexico", "NA", 18.9, -90.4, 120, 0.15));
+  places.push_back(
+      region("Quintana Roo", "Mexico", "NA", 19.6, -88.0, 120, 0.2));
+  places.push_back(region("Yucatan", "Mexico", "NA", 20.7, -89.0, 110, 0.25));
+
+  places.push_back(
+      region("Magdalena", "Colombia", "SA", 10.4, -74.4, 90, 0.15));
+  places.push_back(
+      region("Atlantico", "Colombia", "SA", 10.7, -75.0, 40, 0.2));
+  places.push_back(region("Bolivar", "Colombia", "SA", 8.6, -74.0, 150, 0.2));
+
+  places.push_back(region("Francisco Morazan", "Honduras", "NA", 14.2, -87.2,
+                          50, 0.15));
+
+  places.push_back(
+      region("Ile-de-France", "France", "EU", 48.7, 2.5, 50, 1.2));
+  places.push_back(region("Catalunya", "Spain", "EU", 41.8, 1.6, 90, 0.9,
+                          {"Catalonia"}));
+  places.push_back(
+      region("Buenos Aires", "Argentina", "SA", -36.0, -60.0, 300, 1.5));
+  places.push_back(
+      region("Sao Paulo", "Brazil", "SA", -22.0, -48.5, 250, 2.5));
+  places.push_back(
+      region("Geneva", "Switzerland", "EU", 46.2, 6.1, 15, 0.2));
+
+  // ---- Cities --------------------------------------------------------------
+  places.push_back(city("Amsterdam", "", "Netherlands", "EU", 52.37, 4.90, 1));
+  places.push_back(
+      city("Chicago", "Illinois", us, "NA", 41.88, -87.63, 1));
+  places.push_back(
+      city("Sao Paulo", "Sao Paulo", "Brazil", "SA", -23.55, -46.63, 1.5));
+  places.push_back(city("Miami", "Florida", us, "NA", 25.76, -80.19, 0.8));
+  places.push_back(city("Santiago", "", "Chile", "SA", -33.45, -70.67, 1.2));
+  places.push_back(city("Sydney", "", "Australia", "OC", -33.87, 151.21, 0.8));
+  places.push_back(city("Istanbul", "", "Turkey", "AS", 41.01, 28.98, 0.9));
+  places.push_back(city("Seoul", "", "South Korea", "AS", 37.57, 126.98, 1.3));
+  places.push_back(city("Tokyo", "", "Japan", "AS", 35.68, 139.69, 1.3));
+  places.push_back(city("Ashburn", "Virginia", us, "NA", 39.04, -77.49, 0.2));
+  places.push_back(
+      city("Seattle", "Washington", us, "NA", 47.61, -122.33, 0.7));
+  places.push_back(city("Vienna", "", "Austria", "EU", 48.21, 16.37, 0.5));
+  places.push_back(
+      city("Luxembourg City", "", "Luxembourg", "EU", 49.61, 6.13, 0.1));
+  places.push_back(city("Lima", "", "Peru", "SA", -12.05, -77.04, 0.9));
+  places.push_back(
+      city("Dubai", "", "United Arab Emirates", "AS", 25.20, 55.27, 0.2));
+  places.push_back(city("Frankfurt", "", "Germany", "EU", 50.11, 8.68, 0.7));
+  places.push_back(
+      city("Los Angeles", "California", us, "NA", 34.05, -118.24, 1.5));
+  places.push_back(city("Dallas", "Texas", us, "NA", 32.78, -96.80, 0.9));
+  places.push_back(
+      city("Salt Lake City", "Utah", us, "NA", 40.76, -111.89, 0.3));
+  places.push_back(
+      city("San Francisco", "California", us, "NA", 37.77, -122.42, 0.9));
+  places.push_back(city("St. Louis", "Missouri", us, "NA", 38.63, -90.20, 0.4,
+                        {"Saint Louis"}));
+  places.push_back(city("Columbus", "Ohio", us, "NA", 39.96, -83.00, 0.4));
+  places.push_back(city("New York City", "New York", us, "NA", 40.71, -74.01,
+                        1.8, {"New York"}));
+  places.push_back(city("Washington", "District of Columbia", us, "NA", 38.91,
+                        -77.04, 0.5, {"Washington DC", "Washington D.C."}));
+  places.push_back(city("Atlanta", "Georgia", us, "NA", 33.75, -84.39, 0.8));
+  places.push_back(
+      city("London", "", "United Kingdom", "EU", 51.51, -0.13, 1.8));
+  places.push_back(city("Brussels", "", "Belgium", "EU", 50.85, 4.35, 0.5));
+  places.push_back(
+      city("Paris", "Ile-de-France", "France", "EU", 48.86, 2.35, 1.6));
+  places.push_back(city("Madrid", "", "Spain", "EU", 40.42, -3.70, 1.2));
+  places.push_back(city("Stockholm", "", "Sweden", "EU", 59.33, 18.07, 0.6));
+  places.push_back(city("Rome", "", "Italy", "EU", 41.90, 12.50, 1.0));
+  places.push_back(
+      city("Riyadh", "", "Saudi Arabia", "AS", 24.71, 46.68, 0.4));
+  places.push_back(city("Detroit", "Michigan", us, "NA", 42.33, -83.05, 0.5));
+  places.push_back(city("Athens", "", "Greece", "EU", 37.98, 23.73, 0.5));
+  places.push_back(
+      city("Barcelona", "Catalunya", "Spain", "EU", 41.39, 2.17, 1.0));
+  places.push_back(
+      city("Toronto", "Ontario", "Canada", "NA", 43.65, -79.38, 1.0));
+  places.push_back(city("Honolulu", "Hawaii", us, "NA", 21.31, -157.86, 0.2));
+  places.push_back(
+      city("Geneva", "Geneva", "Switzerland", "EU", 46.20, 6.14, 0.3));
+  places.push_back(city("Zurich", "", "Switzerland", "EU", 47.37, 8.54, 0.4));
+  places.push_back(
+      city("Montreal", "Quebec", "Canada", "NA", 45.50, -73.57, 0.8));
+  places.push_back(city("La Paz", "", "Bolivia", "SA", -16.49, -68.12, 0.3));
+  places.push_back(city("Bogota", "", "Colombia", "SA", 4.71, -74.07, 1.0));
+  places.push_back(city("Quito", "", "Ecuador", "SA", -0.18, -78.47, 0.5));
+  places.push_back(
+      city("San Salvador", "", "El Salvador", "NA", 13.69, -89.22, 0.3));
+  places.push_back(city("Kingston", "", "Jamaica", "NA", 17.97, -76.79, 0.2));
+  places.push_back(city("Tegucigalpa", "Francisco Morazan", "Honduras", "NA",
+                        14.07, -87.19, 0.2));
+  places.push_back(
+      city("San Jose", "", "Costa Rica", "NA", 9.93, -84.08, 0.3));
+  places.push_back(city("Managua", "", "Nicaragua", "NA", 12.11, -86.24, 0.2));
+  places.push_back(city("Buenos Aires", "Buenos Aires", "Argentina", "SA",
+                        -34.60, -58.38, 1.4));
+  places.push_back(city("Taipei", "", "Taiwan", "AS", 25.03, 121.57, 0.4));
+  places.push_back(city("Manila", "", "Philippines", "AS", 14.60, 120.98,
+                        0.3));
+  places.push_back(city("Bangkok", "", "Thailand", "AS", 13.76, 100.50, 0.3));
+  places.push_back(city("Mumbai", "", "India", "AS", 19.08, 72.88, 0.1));
+  places.push_back(city("Oslo", "", "Norway", "EU", 59.91, 10.75, 0.4));
+  places.push_back(city("Helsinki", "", "Finland", "EU", 60.17, 24.94, 0.4));
+  places.push_back(city("Dublin", "", "Ireland", "EU", 53.35, -6.26, 0.35));
+  places.push_back(city("Prague", "", "Czechia", "EU", 50.08, 14.44, 0.4));
+  places.push_back(city("Bucharest", "", "Romania", "EU", 44.43, 26.10, 0.4));
+  places.push_back(city("Budapest", "", "Hungary", "EU", 47.50, 19.04, 0.35));
+  places.push_back(
+      city("Lisbon", "", "Portugal", "EU", 38.72, -9.14, 0.45));
+  places.push_back(
+      city("Auckland", "", "New Zealand", "OC", -36.85, 174.76, 0.25));
+  places.push_back(city("Melbourne", "", "Australia", "OC", -37.81, 144.96,
+                        0.6));
+  places.push_back(
+      city("Cape Town", "", "South Africa", "AF", -33.92, 18.42, 0.15));
+  places.push_back(city("Cairo", "", "Egypt", "AF", 30.04, 31.24, 0.1));
+
+  return places;
+}
+
+std::vector<ContinentShare> builtin_continent_shares() {
+  // Fractions of world Internet users and population by continent,
+  // approximating the paper's source [5] (internetlivestats).
+  return {
+      {"AS", 0.538, 0.595}, {"AF", 0.115, 0.172}, {"EU", 0.148, 0.096},
+      {"NA", 0.080, 0.047}, {"SA", 0.100, 0.055}, {"OC", 0.007, 0.005},
+  };
+}
+
+}  // namespace tero::geo

@@ -1,0 +1,77 @@
+#include "geo/geo.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace tero::geo {
+namespace {
+
+constexpr double kEarthRadiusKm = 6371.0088;
+
+double deg_to_rad(double deg) noexcept {
+  return deg * std::numbers::pi / 180.0;
+}
+
+}  // namespace
+
+double haversine_km(LatLon a, LatLon b) noexcept {
+  const double phi1 = deg_to_rad(a.lat_deg);
+  const double phi2 = deg_to_rad(b.lat_deg);
+  const double dphi = deg_to_rad(b.lat_deg - a.lat_deg);
+  const double dlambda = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double sin_dphi = std::sin(dphi / 2.0);
+  const double sin_dlambda = std::sin(dlambda / 2.0);
+  const double h = sin_dphi * sin_dphi +
+                   std::cos(phi1) * std::cos(phi2) * sin_dlambda * sin_dlambda;
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+Granularity Location::granularity() const noexcept {
+  if (!city.empty()) return Granularity::kCity;
+  if (!region.empty()) return Granularity::kRegion;
+  return Granularity::kCountry;
+}
+
+bool Location::compatible_with(const Location& other) const noexcept {
+  if (!country.empty() && !other.country.empty() && country != other.country) {
+    return false;
+  }
+  if (!region.empty() && !other.region.empty() && region != other.region) {
+    return false;
+  }
+  if (!city.empty() && !other.city.empty() && city != other.city) {
+    return false;
+  }
+  return true;
+}
+
+bool Location::subsumes(const Location& other) const noexcept {
+  if (!compatible_with(other)) return false;
+  auto rank = [](const Location& l) {
+    return (l.country.empty() ? 0 : 1) + (l.region.empty() ? 0 : 1) +
+           (l.city.empty() ? 0 : 1);
+  };
+  // Every field other sets must be set here too (compatibility already
+  // guarantees equality when both are set).
+  if (!other.country.empty() && country.empty()) return false;
+  if (!other.region.empty() && region.empty()) return false;
+  if (!other.city.empty() && city.empty()) return false;
+  return rank(*this) > rank(other);
+}
+
+std::string Location::to_string() const {
+  std::string out;
+  if (!city.empty()) out += city + ", ";
+  if (!region.empty()) out += region + ", ";
+  out += country.empty() ? "?" : country;
+  return out;
+}
+
+double corrected_distance_km(LatLon streamer_center,
+                             double streamer_mean_radius_km,
+                             LatLon server_center) noexcept {
+  return haversine_km(streamer_center, server_center) +
+         streamer_mean_radius_km;
+}
+
+}  // namespace tero::geo

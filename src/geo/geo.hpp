@@ -1,0 +1,58 @@
+#pragma once
+
+#include <compare>
+#include <string>
+
+namespace tero::geo {
+
+/// A point on the globe, in degrees.
+struct LatLon {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Great-circle distance between two points, in kilometres (haversine on a
+/// spherical Earth, R = 6371.0088 km — sufficient for the ~10 km accuracy the
+/// paper's "corrected distance" needs).
+[[nodiscard]] double haversine_km(LatLon a, LatLon b) noexcept;
+
+/// Geolocation granularity Tero works at (§3.1): never finer than a city.
+enum class Granularity { kCountry, kRegion, kCity };
+
+/// A {city, region, country} tuple as output by the location module. Empty
+/// fields mean "unknown at this granularity"; `country` is always set for a
+/// valid location.
+struct Location {
+  std::string city;
+  std::string region;
+  std::string country;
+
+  [[nodiscard]] bool valid() const noexcept { return !country.empty(); }
+  [[nodiscard]] Granularity granularity() const noexcept;
+
+  /// True if this location and `other` agree on every field they both set,
+  /// e.g. {"", "California", "US"} is compatible with
+  /// {"Los Angeles", "California", "US"}.
+  [[nodiscard]] bool compatible_with(const Location& other) const noexcept;
+
+  /// True if this location sets every field `other` sets with equal values
+  /// and at least one more (it is strictly more specific).
+  [[nodiscard]] bool subsumes(const Location& other) const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Location&, const Location&) = default;
+  friend std::strong_ordering operator<=>(const Location&,
+                                          const Location&) = default;
+};
+
+/// The paper's "corrected distance" (§3.3.3, [44]): geodesic distance between
+/// the geometric centres of streamer location and server location, plus the
+/// average distance of any point in the streamer's location from that
+/// location's geometric centre (so a streamer and server in the same city
+/// still get a non-zero distance).
+[[nodiscard]] double corrected_distance_km(LatLon streamer_center,
+                                           double streamer_mean_radius_km,
+                                           LatLon server_center) noexcept;
+
+}  // namespace tero::geo

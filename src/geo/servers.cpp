@@ -1,0 +1,224 @@
+#include "geo/servers.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace tero::geo {
+namespace {
+
+GameServer server(std::string city, std::string country,
+                  std::vector<std::string> countries,
+                  std::vector<std::string> continents) {
+  GameServer s;
+  s.city = std::move(city);
+  s.country = std::move(country);
+  s.countries_served = std::move(countries);
+  s.continents_served = std::move(continents);
+  return s;
+}
+
+// The Middle-East game-region in our world model.
+const std::vector<std::string> kMiddleEast = {
+    "Turkey", "Saudi Arabia", "United Arab Emirates", "Georgia"};
+// Countries routed to the LoL Miami server (northern Latin America).
+const std::vector<std::string> kLatamNorth = {
+    "Mexico", "Colombia", "Ecuador", "Peru", "El Salvador",
+    "Jamaica", "Honduras", "Costa Rica", "Nicaragua"};
+// Countries routed to the LoL Santiago server (southern Latin America).
+const std::vector<std::string> kLatamSouth = {"Chile", "Argentina", "Bolivia"};
+
+std::vector<GameServer> riot_servers() {
+  // Table 6, League of Legends block (shared by Teamfight Tactics).
+  return {
+      server("Amsterdam", "Netherlands", {}, {"EU", "AF"}),
+      server("Chicago", "United States", {"United States", "Canada"}, {}),
+      server("Sao Paulo", "Brazil", {"Brazil"}, {}),
+      server("Miami", "United States", kLatamNorth, {}),
+      server("Santiago", "Chile", kLatamSouth, {}),
+      server("Sydney", "Australia", {}, {"OC"}),
+      server("Istanbul", "Turkey", kMiddleEast, {}),
+      server("Seoul", "South Korea", {"South Korea"}, {}),
+      server("Tokyo", "Japan", {"Japan"}, {}),
+  };
+}
+
+std::vector<GameServer> dota2_servers() {
+  return {
+      server("Ashburn", "United States", {}, {"NA"}),
+      server("Seattle", "United States", {}, {"NA"}),
+      server("Vienna", "Austria", {}, {"EU", "AF"}),
+      server("Luxembourg City", "Luxembourg", {}, {"EU"}),
+      server("Santiago", "Chile", {}, {"SA"}),
+      server("Lima", "Peru", {}, {"SA"}),
+      server("Dubai", "United Arab Emirates", kMiddleEast, {}),
+      server("Sydney", "Australia", {}, {"OC"}),
+      server("Tokyo", "Japan", {}, {"AS"}),
+  };
+}
+
+std::vector<GameServer> hoyo_servers() {
+  // Genshin Impact (Table 6): Americas / Europe+Middle East / Asia.
+  return {
+      server("Ashburn", "United States", {}, {"NA", "SA"}),
+      server("Frankfurt", "Germany", kMiddleEast, {"EU", "AF"}),
+      server("Tokyo", "Japan", {}, {"AS"}),
+  };
+}
+
+std::vector<GameServer> lost_ark_servers() {
+  return {
+      server("Ashburn", "United States", {}, {"NA", "SA"}),
+      server("Frankfurt", "Germany", kMiddleEast, {"EU", "AF"}),
+      server("Seoul", "South Korea", {}, {"AS"}),
+  };
+}
+
+std::vector<GameServer> among_us_servers() {
+  // Table 6: California/Texas serve Americas and Oceania; Frankfurt serves
+  // Europe and Middle East; Tokyo serves Asia.
+  return {
+      server("Los Angeles", "United States", {}, {"NA", "SA", "OC"}),
+      server("Dallas", "United States", {}, {"NA", "SA", "OC"}),
+      server("Frankfurt", "Germany", kMiddleEast, {"EU", "AF"}),
+      server("Tokyo", "Japan", {}, {"AS"}),
+  };
+}
+
+std::vector<GameServer> cod_servers() {
+  // Table 7 (Call of Duty: Warzone / Modern Warfare).
+  std::vector<GameServer> servers_list = {
+      server("Salt Lake City", "United States", {}, {"NA"}),
+      server("Los Angeles", "United States", {}, {"NA"}),
+      server("San Francisco", "United States", {}, {"NA"}),
+      server("Dallas", "United States", {}, {"NA"}),
+      server("St. Louis", "United States", {}, {"NA"}),
+      server("Columbus", "United States", {}, {"NA"}),
+      server("New York City", "United States", {}, {"NA"}),
+      server("Chicago", "United States", {}, {"NA"}),
+      server("Washington", "United States", {}, {"NA"}),
+      server("Atlanta", "United States", {}, {"NA"}),
+      server("London", "United Kingdom", {}, {"EU"}),
+      server("Frankfurt", "Germany", {"Turkey"}, {"EU", "AF"}),
+      server("Amsterdam", "Netherlands", {}, {"EU"}),
+      server("Brussels", "Belgium", {}, {"EU"}),
+      server("Paris", "France", {}, {"EU"}),
+      server("Madrid", "Spain", {}, {"EU"}),
+      server("Stockholm", "Sweden", {}, {"EU"}),
+      server("Rome", "Italy", {}, {"EU"}),
+      server("Santiago", "Chile", {}, {"SA"}),
+      server("Lima", "Peru", {}, {"SA"}),
+      server("Sao Paulo", "Brazil", {}, {"SA"}),
+      server("Riyadh", "Saudi Arabia",
+             {"Saudi Arabia", "United Arab Emirates", "Georgia"}, {}),
+      server("Sydney", "Australia", {}, {"OC"}),
+      server("Tokyo", "Japan", {}, {"AS"}),
+  };
+  return servers_list;
+}
+
+Game make_game(std::string name, std::vector<GameServer> servers,
+               int stable_len_minutes = 30) {
+  Game g;
+  g.name = std::move(name);
+  g.servers = std::move(servers);
+  g.stable_len_minutes = stable_len_minutes;
+  return g;
+}
+
+}  // namespace
+
+GameCatalog::GameCatalog(std::vector<Game> games, const Gazetteer& gazetteer)
+    : games_(std::move(games)), gazetteer_(&gazetteer) {
+  for (auto& game : games_) {
+    for (auto& srv : game.servers) {
+      const Place* place = gazetteer_->resolve(
+          Location{srv.city, "", srv.country});
+      if (place == nullptr) {
+        throw std::invalid_argument("GameCatalog: unknown server city " +
+                                    srv.city);
+      }
+      srv.center = place->center;
+    }
+  }
+}
+
+const GameCatalog& GameCatalog::builtin() {
+  static const GameCatalog instance{
+      {
+          make_game("League of Legends", riot_servers(), 30),
+          make_game("Teamfight Tactics", riot_servers(), 35),
+          make_game("Call of Duty Warzone", cod_servers(), 25),
+          make_game("Call of Duty Modern Warfare", cod_servers(), 25),
+          make_game("Genshin Impact", hoyo_servers(), 30),
+          make_game("Dota 2", dota2_servers(), 40),
+          make_game("Among Us", among_us_servers(), 15),
+          make_game("Lost Ark", lost_ark_servers(), 30),
+          // The one game whose provider discloses no server locations
+          // (App. C covers 8 of the 9 games).
+          make_game("Apex Legends", {}, 20),
+      },
+      Gazetteer::world()};
+  return instance;
+}
+
+const Game* GameCatalog::find(std::string_view name) const {
+  for (const auto& game : games_) {
+    if (util::iequals(game.name, name)) return &game;
+  }
+  return nullptr;
+}
+
+const GameServer* GameCatalog::primary_server(const Game& game,
+                                              const Location& loc) const {
+  if (!game.servers_known()) return nullptr;
+  const Place* place = gazetteer_->resolve(loc);
+  if (place == nullptr) return nullptr;
+  const std::string& streamer_country =
+      place->kind == PlaceKind::kCountry ? place->name : place->country;
+
+  auto pick_closest = [&](auto&& serves) -> const GameServer* {
+    const GameServer* best = nullptr;
+    double best_distance = std::numeric_limits<double>::infinity();
+    for (const auto& srv : game.servers) {
+      if (!serves(srv)) continue;
+      const double d = corrected_distance_km(
+          place->center, place->mean_radius_km, srv.center);
+      if (d < best_distance) {
+        best_distance = d;
+        best = &srv;
+      }
+    }
+    return best;
+  };
+
+  // Explicit country assignment wins over continent fallback.
+  if (const GameServer* by_country = pick_closest([&](const GameServer& s) {
+        return std::any_of(s.countries_served.begin(),
+                           s.countries_served.end(),
+                           [&](const std::string& c) {
+                             return util::iequals(c, streamer_country);
+                           });
+      })) {
+    return by_country;
+  }
+  return pick_closest([&](const GameServer& s) {
+    return std::any_of(s.continents_served.begin(), s.continents_served.end(),
+                       [&](const std::string& c) {
+                         return util::iequals(c, place->continent);
+                       });
+  });
+}
+
+double GameCatalog::distance_to_primary_km(const Game& game,
+                                           const Location& loc) const {
+  const GameServer* srv = primary_server(game, loc);
+  if (srv == nullptr) return -1.0;
+  const Place* place = gazetteer_->resolve(loc);
+  return corrected_distance_km(place->center, place->mean_radius_km,
+                               srv->center);
+}
+
+}  // namespace tero::geo

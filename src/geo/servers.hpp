@@ -1,0 +1,69 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/gazetteer.hpp"
+#include "geo/geo.hpp"
+
+namespace tero::geo {
+
+/// One game server deployment site (Tables 6-7 of the paper). A server
+/// serves explicit countries (highest priority) and/or whole continents.
+struct GameServer {
+  std::string city;          ///< gazetteer city name
+  std::string country;       ///< disambiguates the city
+  LatLon center;             ///< resolved from the gazetteer
+  std::vector<std::string> countries_served;   ///< explicit assignments
+  std::vector<std::string> continents_served;  ///< fallback assignments
+};
+
+/// A game processed by Tero (App. C). `servers` may be empty when the
+/// provider discloses no server locations (1 of the 9 games in the paper).
+struct Game {
+  std::string name;
+  std::vector<GameServer> servers;
+  /// Minimum time a player must play on one server before switching
+  /// (StableLen is game-dependent; §3.3.1 / App. I settles on ~30 min).
+  int stable_len_minutes = 30;
+  /// Typical on-screen latency display resolution (dots per inch); the paper
+  /// reports a 75 dpi average, which is what breaks out-of-the-box OCR.
+  double display_dpi = 75.0;
+
+  [[nodiscard]] bool servers_known() const noexcept {
+    return !servers.empty();
+  }
+};
+
+/// The nine-game catalog with the paper's server tables, plus the
+/// primary-server rule from §3.3.3: explicit country assignment wins;
+/// otherwise any server serving the streamer's continent; ties broken by
+/// smallest corrected distance.
+class GameCatalog {
+ public:
+  /// The built-in catalog resolved against Gazetteer::world().
+  static const GameCatalog& builtin();
+
+  [[nodiscard]] std::span<const Game> games() const noexcept { return games_; }
+  [[nodiscard]] const Game* find(std::string_view name) const;
+
+  /// The primary server for streamers at `loc` playing `game`, or nullptr if
+  /// the game's servers are unknown or none serves that area.
+  [[nodiscard]] const GameServer* primary_server(const Game& game,
+                                                 const Location& loc) const;
+
+  /// Corrected distance (km) between `loc` and its primary server for
+  /// `game`; negative if no server applies.
+  [[nodiscard]] double distance_to_primary_km(const Game& game,
+                                              const Location& loc) const;
+
+  explicit GameCatalog(std::vector<Game> games, const Gazetteer& gazetteer);
+
+ private:
+  std::vector<Game> games_;
+  const Gazetteer* gazetteer_;
+};
+
+}  // namespace tero::geo

@@ -1,0 +1,29 @@
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+namespace tero::image {
+
+/// The 5x7 bitmap font used both to *render* synthetic game UIs and to build
+/// the OCR engines' reference prototypes. Rows are 5-character strings of
+/// '#' (ink) and '.' (background).
+struct Glyph {
+  char character = ' ';
+  std::array<std::string, 7> rows;
+};
+
+inline constexpr int kGlyphWidth = 5;
+inline constexpr int kGlyphHeight = 7;
+
+/// Glyph lookup, or nullopt for characters outside the font. The font covers
+/// digits, the lowercase letters games put around latency ("ms", "ping",
+/// "latency"), ':' (clocks), and the uppercase letters OCR classically
+/// confuses with digits: B~8, S~5/8, O~0, A~4 (§3.2).
+[[nodiscard]] std::optional<Glyph> find_glyph(char character);
+
+/// Every character the font defines, digits first.
+[[nodiscard]] const std::string& font_alphabet();
+
+}  // namespace tero::image

@@ -1,0 +1,83 @@
+#include "image/image.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace tero::image {
+
+Rect Rect::intersect(const Rect& other) const noexcept {
+  const int x1 = std::max(x, other.x);
+  const int y1 = std::max(y, other.y);
+  const int x2 = std::min(x + w, other.x + other.w);
+  const int y2 = std::min(y + h, other.y + other.h);
+  return Rect{x1, y1, std::max(0, x2 - x1), std::max(0, y2 - y1)};
+}
+
+GrayImage::GrayImage(int width, int height, std::uint8_t fill)
+    : width_(width), height_(height) {
+  if (width < 0 || height < 0) {
+    throw std::invalid_argument("GrayImage: negative dimensions");
+  }
+  pixels_.assign(static_cast<std::size_t>(width) * height, fill);
+}
+
+std::uint8_t GrayImage::at_clamped(int x, int y) const noexcept {
+  if (x < 0 || y < 0 || x >= width_ || y >= height_) return 0;
+  return at(x, y);
+}
+
+void GrayImage::fill(std::uint8_t value) noexcept {
+  std::fill(pixels_.begin(), pixels_.end(), value);
+}
+
+void GrayImage::fill_rect(const Rect& rect, std::uint8_t value) noexcept {
+  const Rect clipped = rect.intersect(Rect{0, 0, width_, height_});
+  for (int y = clipped.y; y < clipped.y + clipped.h; ++y) {
+    for (int x = clipped.x; x < clipped.x + clipped.w; ++x) {
+      set(x, y, value);
+    }
+  }
+}
+
+GrayImage GrayImage::crop(const Rect& rect) const {
+  const Rect clipped = rect.intersect(Rect{0, 0, width_, height_});
+  GrayImage out(clipped.w, clipped.h);
+  for (int y = 0; y < clipped.h; ++y) {
+    for (int x = 0; x < clipped.w; ++x) {
+      out.set(x, y, at(clipped.x + x, clipped.y + y));
+    }
+  }
+  return out;
+}
+
+std::string GrayImage::to_pgm() const {
+  std::ostringstream os;
+  os << "P5\n" << width_ << ' ' << height_ << "\n255\n";
+  os.write(reinterpret_cast<const char*>(pixels_.data()),
+           static_cast<std::streamsize>(pixels_.size()));
+  return os.str();
+}
+
+GrayImage GrayImage::from_pgm(const std::string& bytes) {
+  std::istringstream is(bytes);
+  std::string magic;
+  int width = 0;
+  int height = 0;
+  int maxval = 0;
+  is >> magic >> width >> height >> maxval;
+  if (magic != "P5" || maxval != 255 || width <= 0 || height <= 0) {
+    throw std::invalid_argument("GrayImage::from_pgm: bad header");
+  }
+  is.get();  // single whitespace after header
+  GrayImage img(width, height);
+  is.read(reinterpret_cast<char*>(
+              const_cast<std::uint8_t*>(img.pixels().data())),
+          static_cast<std::streamsize>(img.pixels().size()));
+  if (is.gcount() != static_cast<std::streamsize>(img.pixels().size())) {
+    throw std::invalid_argument("GrayImage::from_pgm: truncated data");
+  }
+  return img;
+}
+
+}  // namespace tero::image

@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tero::image {
+
+/// Axis-aligned integer rectangle (x, y = top-left corner).
+struct Rect {
+  int x = 0;
+  int y = 0;
+  int w = 0;
+  int h = 0;
+
+  [[nodiscard]] bool contains(int px, int py) const noexcept {
+    return px >= x && px < x + w && py >= y && py < y + h;
+  }
+  [[nodiscard]] Rect intersect(const Rect& other) const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return w <= 0 || h <= 0; }
+};
+
+/// An 8-bit grayscale raster. Twitch thumbnails are color, but latency text
+/// extraction only needs luminance, so the whole pipeline is grayscale
+/// (App. E converts to black-and-white as its first standard step).
+class GrayImage {
+ public:
+  GrayImage() = default;
+  GrayImage(int width, int height, std::uint8_t fill = 0);
+
+  [[nodiscard]] int width() const noexcept { return width_; }
+  [[nodiscard]] int height() const noexcept { return height_; }
+  [[nodiscard]] bool empty() const noexcept {
+    return width_ == 0 || height_ == 0;
+  }
+
+  [[nodiscard]] std::uint8_t at(int x, int y) const noexcept {
+    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+  }
+  void set(int x, int y, std::uint8_t value) noexcept {
+    pixels_[static_cast<std::size_t>(y) * width_ + x] = value;
+  }
+  /// at() with zero padding outside the raster.
+  [[nodiscard]] std::uint8_t at_clamped(int x, int y) const noexcept;
+
+  [[nodiscard]] const std::vector<std::uint8_t>& pixels() const noexcept {
+    return pixels_;
+  }
+
+  void fill(std::uint8_t value) noexcept;
+  void fill_rect(const Rect& rect, std::uint8_t value) noexcept;
+
+  /// Copy of the sub-image clipped to the raster bounds.
+  [[nodiscard]] GrayImage crop(const Rect& rect) const;
+
+  /// Binary PGM (P5) serialization — the repo's debug/export format.
+  [[nodiscard]] std::string to_pgm() const;
+  [[nodiscard]] static GrayImage from_pgm(const std::string& bytes);
+
+  friend bool operator==(const GrayImage&, const GrayImage&) = default;
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+}  // namespace tero::image

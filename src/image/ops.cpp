@@ -1,0 +1,248 @@
+#include "image/ops.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace tero::image {
+
+GrayImage upscale_bilinear(const GrayImage& img, int factor) {
+  if (factor < 1) throw std::invalid_argument("upscale: factor < 1");
+  if (factor == 1 || img.empty()) return img;
+  GrayImage out(img.width() * factor, img.height() * factor);
+  for (int y = 0; y < out.height(); ++y) {
+    const double sy = (y + 0.5) / factor - 0.5;
+    const int y0 = std::clamp(static_cast<int>(std::floor(sy)), 0,
+                              img.height() - 1);
+    const int y1 = std::min(y0 + 1, img.height() - 1);
+    const double fy = std::clamp(sy - y0, 0.0, 1.0);
+    for (int x = 0; x < out.width(); ++x) {
+      const double sx = (x + 0.5) / factor - 0.5;
+      const int x0 = std::clamp(static_cast<int>(std::floor(sx)), 0,
+                                img.width() - 1);
+      const int x1 = std::min(x0 + 1, img.width() - 1);
+      const double fx = std::clamp(sx - x0, 0.0, 1.0);
+      const double top = img.at(x0, y0) * (1 - fx) + img.at(x1, y0) * fx;
+      const double bottom = img.at(x0, y1) * (1 - fx) + img.at(x1, y1) * fx;
+      out.set(x, y,
+              static_cast<std::uint8_t>(
+                  std::clamp(top * (1 - fy) + bottom * fy, 0.0, 255.0)));
+    }
+  }
+  return out;
+}
+
+GrayImage gaussian_blur(const GrayImage& img, double sigma) {
+  if (sigma <= 0.0 || img.empty()) return img;
+  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  std::vector<double> kernel(2 * radius + 1);
+  double total = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    kernel[i + radius] = std::exp(-0.5 * (i * i) / (sigma * sigma));
+    total += kernel[i + radius];
+  }
+  for (double& k : kernel) k /= total;
+
+  GrayImage horizontal(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      double sum = 0.0;
+      for (int i = -radius; i <= radius; ++i) {
+        const int sx = std::clamp(x + i, 0, img.width() - 1);
+        sum += kernel[i + radius] * img.at(sx, y);
+      }
+      horizontal.set(x, y,
+                     static_cast<std::uint8_t>(std::clamp(sum, 0.0, 255.0)));
+    }
+  }
+  GrayImage out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      double sum = 0.0;
+      for (int i = -radius; i <= radius; ++i) {
+        const int sy = std::clamp(y + i, 0, img.height() - 1);
+        sum += kernel[i + radius] * horizontal.at(x, sy);
+      }
+      out.set(x, y, static_cast<std::uint8_t>(std::clamp(sum, 0.0, 255.0)));
+    }
+  }
+  return out;
+}
+
+std::uint8_t otsu_threshold(const GrayImage& img) {
+  std::array<std::uint64_t, 256> histogram{};
+  for (std::uint8_t p : img.pixels()) ++histogram[p];
+  const double total = static_cast<double>(img.pixels().size());
+  if (total == 0.0) return 127;
+
+  double sum_all = 0.0;
+  for (int i = 0; i < 256; ++i) sum_all += i * static_cast<double>(histogram[i]);
+
+  double sum_bg = 0.0;
+  double weight_bg = 0.0;
+  double best_variance = -1.0;
+  std::uint8_t best_threshold = 127;
+  for (int t = 0; t < 256; ++t) {
+    weight_bg += static_cast<double>(histogram[t]);
+    if (weight_bg == 0.0) continue;
+    const double weight_fg = total - weight_bg;
+    if (weight_fg == 0.0) break;
+    sum_bg += t * static_cast<double>(histogram[t]);
+    const double mean_bg = sum_bg / weight_bg;
+    const double mean_fg = (sum_all - sum_bg) / weight_fg;
+    const double variance =
+        weight_bg * weight_fg * (mean_bg - mean_fg) * (mean_bg - mean_fg);
+    if (variance > best_variance) {
+      best_variance = variance;
+      best_threshold = static_cast<std::uint8_t>(t);
+    }
+  }
+  return best_threshold;
+}
+
+GrayImage binarize(const GrayImage& img, std::uint8_t threshold) {
+  GrayImage out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      out.set(x, y, img.at(x, y) > threshold ? 255 : 0);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+GrayImage morphology3x3(const GrayImage& img, bool dilate) {
+  GrayImage out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      bool hit = !dilate;
+      for (int dy = -1; dy <= 1 && (dilate ? !hit : hit); ++dy) {
+        for (int dx = -1; dx <= 1; ++dx) {
+          const bool fg = img.at_clamped(x + dx, y + dy) == 255;
+          if (dilate && fg) {
+            hit = true;
+            break;
+          }
+          if (!dilate && !fg) {
+            hit = false;
+            break;
+          }
+        }
+      }
+      out.set(x, y, hit ? 255 : 0);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+GrayImage dilate3x3(const GrayImage& img) { return morphology3x3(img, true); }
+GrayImage erode3x3(const GrayImage& img) { return morphology3x3(img, false); }
+
+GrayImage invert(const GrayImage& img) {
+  GrayImage out(img.width(), img.height());
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      out.set(x, y, static_cast<std::uint8_t>(255 - img.at(x, y)));
+    }
+  }
+  return out;
+}
+
+double foreground_ratio(const GrayImage& img) noexcept {
+  if (img.pixels().empty()) return 0.0;
+  std::size_t count = 0;
+  for (std::uint8_t p : img.pixels()) {
+    if (p == 255) ++count;
+  }
+  return static_cast<double>(count) /
+         static_cast<double>(img.pixels().size());
+}
+
+std::vector<Component> connected_components(const GrayImage& img,
+                                            int min_area) {
+  std::vector<Component> components;
+  if (img.empty()) return components;
+  std::vector<int> labels(
+      static_cast<std::size_t>(img.width()) * img.height(), -1);
+  auto index = [&](int x, int y) {
+    return static_cast<std::size_t>(y) * img.width() + x;
+  };
+
+  std::vector<std::pair<int, int>> stack;
+  int next_label = 0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      if (img.at(x, y) != 255 || labels[index(x, y)] != -1) continue;
+      // Flood fill (8-connected).
+      Component comp;
+      comp.bounds = Rect{x, y, 1, 1};
+      int min_x = x, max_x = x, min_y = y, max_y = y;
+      stack.clear();
+      stack.emplace_back(x, y);
+      labels[index(x, y)] = next_label;
+      while (!stack.empty()) {
+        const auto [cx, cy] = stack.back();
+        stack.pop_back();
+        ++comp.area;
+        min_x = std::min(min_x, cx);
+        max_x = std::max(max_x, cx);
+        min_y = std::min(min_y, cy);
+        max_y = std::max(max_y, cy);
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int nx = cx + dx;
+            const int ny = cy + dy;
+            if (nx < 0 || ny < 0 || nx >= img.width() || ny >= img.height()) {
+              continue;
+            }
+            if (img.at(nx, ny) == 255 && labels[index(nx, ny)] == -1) {
+              labels[index(nx, ny)] = next_label;
+              stack.emplace_back(nx, ny);
+            }
+          }
+        }
+      }
+      comp.bounds = Rect{min_x, min_y, max_x - min_x + 1, max_y - min_y + 1};
+      if (comp.area >= min_area) components.push_back(comp);
+      ++next_label;
+    }
+  }
+  std::sort(components.begin(), components.end(),
+            [](const Component& a, const Component& b) {
+              return a.bounds.x < b.bounds.x;
+            });
+  return components;
+}
+
+std::vector<double> normalize_glyph(const GrayImage& img, const Rect& bounds,
+                                    int size) {
+  std::vector<double> grid(static_cast<std::size_t>(size) * size, 0.0);
+  const Rect clipped = bounds.intersect(Rect{0, 0, img.width(), img.height()});
+  if (clipped.empty()) return grid;
+  for (int gy = 0; gy < size; ++gy) {
+    for (int gx = 0; gx < size; ++gx) {
+      // Map the grid cell to a pixel block in the bounding box.
+      const int x0 = clipped.x + gx * clipped.w / size;
+      const int x1 = std::max(x0 + 1, clipped.x + (gx + 1) * clipped.w / size);
+      const int y0 = clipped.y + gy * clipped.h / size;
+      const int y1 = std::max(y0 + 1, clipped.y + (gy + 1) * clipped.h / size);
+      double ink = 0.0;
+      int count = 0;
+      for (int y = y0; y < y1 && y < clipped.y + clipped.h; ++y) {
+        for (int x = x0; x < x1 && x < clipped.x + clipped.w; ++x) {
+          ink += img.at(x, y) == 255 ? 1.0 : 0.0;
+          ++count;
+        }
+      }
+      grid[static_cast<std::size_t>(gy) * size + gx] =
+          count > 0 ? ink / count : 0.0;
+    }
+  }
+  return grid;
+}
+
+}  // namespace tero::image

@@ -1,0 +1,85 @@
+#include "netsim/game.hpp"
+
+namespace tero::netsim {
+
+GameSession::GameSession(util::EventLoop& loop, int flow_id, double tick_s,
+                         double window_s, int packet_size)
+    : loop_(&loop),
+      flow_id_(flow_id),
+      tick_interval_(tick_s),
+      window_(window_s),
+      packet_size_(packet_size) {}
+
+void GameSession::set_uplink(Link* uplink, double residual_delay_s) {
+  uplink_ = uplink;
+  uplink_residual_ = residual_delay_s;
+}
+
+void GameSession::set_downlink_delay(double delay_s) {
+  downlink_delay_ = delay_s;
+}
+
+void GameSession::start(double start_time, double stop_time) {
+  stop_time_ = stop_time;
+  loop_->schedule_at(start_time, [this] { tick(); });
+}
+
+void GameSession::tick() {
+  if (loop_->now() >= stop_time_) return;
+  // Server update travels the uncongested downlink to the client.
+  const double stamp = loop_->now();
+  loop_->schedule_after(downlink_delay_,
+                        [this, stamp] { client_receive_update(stamp); });
+  loop_->schedule_after(tick_interval_, [this] { tick(); });
+}
+
+void GameSession::client_receive_update(double stamp) {
+  // The client echoes immediately; the echo crosses the bottleneck if one
+  // is configured (the Test station), then the residual path.
+  if (uplink_ != nullptr) {
+    Packet echo;
+    echo.kind = PacketKind::kGameEcho;
+    echo.flow = flow_id_;
+    echo.size_bytes = packet_size_;
+    echo.stamp = stamp;
+    uplink_->send(echo);  // drop under full queue = lost sample
+    return;
+  }
+  loop_->schedule_after(uplink_residual_,
+                        [this, stamp] { server_receive_echo(stamp); });
+}
+
+void GameSession::on_bottleneck_delivery(const Packet& packet) {
+  const double stamp = packet.stamp;
+  loop_->schedule_after(uplink_residual_,
+                        [this, stamp] { server_receive_echo(stamp); });
+}
+
+void GameSession::server_receive_echo(double stamp) {
+  const double rtt = loop_->now() - stamp;
+  window_samples_.push_back(Sample{loop_->now(), rtt});
+  ++total_samples_;
+  while (!window_samples_.empty() &&
+         window_samples_.front().time < loop_->now() - window_) {
+    window_samples_.pop_front();
+  }
+}
+
+double GameSession::displayed_latency_ms() const {
+  // Average over the smoothing window; hold the last value when no samples
+  // arrived recently (all echoes dropped).
+  double sum = 0.0;
+  std::size_t count = 0;
+  const double cutoff = loop_->now() - window_;
+  for (const auto& sample : window_samples_) {
+    if (sample.time >= cutoff) {
+      sum += sample.rtt;
+      ++count;
+    }
+  }
+  if (count == 0) return last_display_ms_;
+  last_display_ms_ = 1000.0 * sum / static_cast<double>(count);
+  return last_display_ms_;
+}
+
+}  // namespace tero::netsim

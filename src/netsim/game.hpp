@@ -1,0 +1,68 @@
+#pragma once
+
+#include <deque>
+#include <functional>
+
+#include "netsim/link.hpp"
+#include "util/event_loop.hpp"
+
+namespace tero::netsim {
+
+/// A client-server game session with an on-screen latency display (§2.1,
+/// §4.1). The server emits a small update packet every tick; the client
+/// echoes it immediately; the server takes RTT samples from the echoes and
+/// displays their average over a short window — which is the paper's
+/// explanation for why the displayed ("gaming") latency lags network latency
+/// by a few seconds under sharp congestion changes.
+class GameSession {
+ public:
+  /// Defaults: 15 updates/s, 3 s smoothing window, 120-byte packets.
+  GameSession(util::EventLoop& loop, int flow_id, double tick_s = 1.0 / 15.0,
+              double window_s = 3.0, int packet_size = 120);
+
+  /// Client -> server path: an optional shared link (the bottleneck) plus a
+  /// residual fixed delay for the rest of the path. When `uplink` is null
+  /// the whole uplink is the fixed delay.
+  void set_uplink(Link* uplink, double residual_delay_s);
+  /// Server -> client path (uncongested in the Fig. 3 testbed).
+  void set_downlink_delay(double delay_s);
+
+  void start(double start_time, double stop_time);
+
+  /// Called when an echo reaches the server side of the bottleneck; the
+  /// testbed routes bottleneck deliveries here. Applies the residual path
+  /// delay, then samples RTT.
+  void on_bottleneck_delivery(const Packet& packet);
+
+  /// The latency number the game would draw on screen right now, in ms.
+  [[nodiscard]] double displayed_latency_ms() const;
+
+  [[nodiscard]] int flow_id() const noexcept { return flow_id_; }
+  [[nodiscard]] std::size_t samples() const noexcept { return total_samples_; }
+
+ private:
+  void tick();
+  void client_receive_update(double stamp);
+  void server_receive_echo(double stamp);
+
+  util::EventLoop* loop_;
+  int flow_id_;
+  double tick_interval_;
+  double window_;
+  int packet_size_;
+
+  Link* uplink_ = nullptr;
+  double uplink_residual_ = 0.0;
+  double downlink_delay_ = 0.0;
+  double stop_time_ = 0.0;
+
+  struct Sample {
+    double time;
+    double rtt;
+  };
+  std::deque<Sample> window_samples_;
+  mutable double last_display_ms_ = 0.0;
+  std::size_t total_samples_ = 0;
+};
+
+}  // namespace tero::netsim

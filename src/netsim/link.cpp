@@ -1,0 +1,58 @@
+#include "netsim/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tero::netsim {
+
+Link::Link(util::EventLoop& loop, std::string name, double bandwidth_bps,
+           double propagation_delay_s, std::size_t queue_capacity)
+    : loop_(&loop),
+      name_(std::move(name)),
+      bandwidth_(bandwidth_bps),
+      propagation_(propagation_delay_s),
+      capacity_(queue_capacity) {
+  if (bandwidth_bps <= 0.0) {
+    throw std::invalid_argument("Link: bandwidth must be positive");
+  }
+}
+
+void Link::purge_departed() const {
+  const double now = loop_->now();
+  while (!departures_.empty() && departures_.front() <= now) {
+    departures_.pop_front();
+  }
+}
+
+bool Link::send(const Packet& packet) {
+  purge_departed();
+  if (departures_.size() >= capacity_) {
+    ++drops_;
+    return false;
+  }
+  const double now = loop_->now();
+  const double serialization = packet.size_bytes * 8.0 / bandwidth_;
+  free_at_ = std::max(free_at_, now) + serialization;
+  departures_.push_back(free_at_);
+
+  const double arrival = free_at_ + propagation_;
+  Packet copy = packet;
+  loop_->schedule_at(arrival, [this, copy] {
+    ++delivered_;
+    if (receiver_) receiver_(copy);
+  });
+  return true;
+}
+
+double Link::current_latency(int probe_size_bytes) const {
+  const double now = loop_->now();
+  const double queueing = std::max(0.0, free_at_ - now);
+  return queueing + probe_size_bytes * 8.0 / bandwidth_ + propagation_;
+}
+
+std::size_t Link::queue_length() const {
+  purge_departed();
+  return departures_.size();
+}
+
+}  // namespace tero::netsim

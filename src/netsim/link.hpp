@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "netsim/packet.hpp"
+#include "util/event_loop.hpp"
+
+namespace tero::netsim {
+
+/// A unidirectional link with a fixed-size DropTail queue — the testbed
+/// bottleneck of §4.1 (Fig. 3). Serialization delay is size/bandwidth;
+/// packets that arrive while `queue_capacity` packets are already waiting
+/// or in service are dropped.
+///
+/// Implementation note: instead of one bookkeeping event per departure, the
+/// link tracks the virtual time `free_at_` when the last accepted packet
+/// finishes serialization, and purges the departures deque lazily — one
+/// event per packet total, which keeps 1 Gbps x minutes simulations cheap.
+class Link {
+ public:
+  using Receiver = std::function<void(const Packet&)>;
+
+  Link(util::EventLoop& loop, std::string name, double bandwidth_bps,
+       double propagation_delay_s, std::size_t queue_capacity);
+
+  void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+  /// Enqueue a packet; returns false (and counts a drop) when the queue is
+  /// full.
+  bool send(const Packet& packet);
+
+  /// Instantaneous one-way latency a new packet would experience now
+  /// (queueing + its own serialization + propagation): the testbed's
+  /// "network latency of the bottleneck link".
+  [[nodiscard]] double current_latency(int probe_size_bytes = 1500) const;
+
+  [[nodiscard]] std::size_t queue_length() const;
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] double bandwidth_bps() const noexcept { return bandwidth_; }
+
+ private:
+  void purge_departed() const;
+
+  util::EventLoop* loop_;
+  std::string name_;
+  double bandwidth_;
+  double propagation_;
+  std::size_t capacity_;
+  Receiver receiver_;
+
+  double free_at_ = 0.0;  ///< when the link finishes all accepted packets
+  mutable std::deque<double> departures_;  ///< serialization-finish times
+  std::uint64_t delivered_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace tero::netsim

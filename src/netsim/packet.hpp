@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstdint>
+
+namespace tero::netsim {
+
+enum class PacketKind : std::uint8_t {
+  kUdpData,
+  kTcpData,
+  kTcpAck,
+  kGameUpdate,  ///< server -> client, carries the server's timestamp
+  kGameEcho,    ///< client -> server, echoes the timestamp back
+  kProbe,       ///< measurement probe for the bottleneck's network latency
+};
+
+/// A simulated packet. Plain value type; links copy it freely.
+struct Packet {
+  PacketKind kind = PacketKind::kUdpData;
+  int flow = 0;          ///< flow / session identifier
+  std::int64_t seq = 0;  ///< sequence number (TCP: first byte's packet index)
+  int size_bytes = 1500;
+  double stamp = 0.0;    ///< sender timestamp (game RTT measurement)
+};
+
+}  // namespace tero::netsim

@@ -1,0 +1,147 @@
+#include "netsim/tcp.hpp"
+
+#include <algorithm>
+
+namespace tero::netsim {
+
+TcpRenoFlow::TcpRenoFlow(util::EventLoop& loop, Link& forward_link,
+                         int flow_id, double start, double stop,
+                         double reverse_delay_s, int mss_bytes,
+                         double rate_cap_bps)
+    : loop_(&loop),
+      forward_(&forward_link),
+      flow_id_(flow_id),
+      start_(start),
+      stop_(stop),
+      reverse_delay_(reverse_delay_s),
+      mss_(mss_bytes),
+      rate_cap_bps_(rate_cap_bps) {}
+
+void TcpRenoFlow::start() {
+  loop_->schedule_at(start_, [this] {
+    try_send();
+    arm_rto();
+  });
+}
+
+void TcpRenoFlow::try_send() {
+  if (loop_->now() >= stop_) return;
+  const double inflight = static_cast<double>(next_seq_ - highest_acked_ - 1);
+  double budget = cwnd_ - inflight;
+  const double pace_interval =
+      rate_cap_bps_ > 0.0 ? mss_ * 8.0 / rate_cap_bps_ : 0.0;
+  while (budget >= 1.0 && loop_->now() < stop_) {
+    if (rate_cap_bps_ > 0.0) {
+      if (loop_->now() < next_allowed_send_) {
+        // Application-limited: come back when the pacing clock allows.
+        if (!pace_retry_armed_) {
+          pace_retry_armed_ = true;
+          loop_->schedule_at(next_allowed_send_, [this] {
+            pace_retry_armed_ = false;
+            try_send();
+          });
+        }
+        return;
+      }
+      next_allowed_send_ =
+          std::max(next_allowed_send_, loop_->now()) + pace_interval;
+    }
+    transmit(next_seq_++);
+    budget -= 1.0;
+  }
+}
+
+void TcpRenoFlow::transmit(std::int64_t seq) {
+  Packet packet;
+  packet.kind = PacketKind::kTcpData;
+  packet.flow = flow_id_;
+  packet.seq = seq;
+  packet.size_bytes = mss_;
+  packet.stamp = loop_->now();
+  forward_->send(packet);  // a full queue silently drops — that's the signal
+}
+
+void TcpRenoFlow::deliver_data(const Packet& packet) {
+  if (packet.seq == recv_next_) {
+    ++recv_next_;
+    auto it = out_of_order_.begin();
+    while (it != out_of_order_.end() && *it == recv_next_) {
+      ++recv_next_;
+      it = out_of_order_.erase(it);
+    }
+  } else if (packet.seq > recv_next_) {
+    out_of_order_.insert(packet.seq);
+  }
+  // Cumulative ACK over the uncongested reverse path.
+  const std::int64_t ack_seq = recv_next_ - 1;
+  const double data_stamp = packet.stamp;
+  loop_->schedule_after(reverse_delay_, [this, ack_seq, data_stamp] {
+    on_ack(ack_seq, data_stamp);
+  });
+}
+
+void TcpRenoFlow::on_ack(std::int64_t ack_seq, double data_stamp) {
+  // RTT estimate from the echoed data timestamp.
+  const double sample = loop_->now() - data_stamp;
+  srtt_ = 0.875 * srtt_ + 0.125 * sample;
+  rto_ = std::clamp(2.0 * srtt_, 0.2, 10.0);
+
+  if (ack_seq > highest_acked_) {
+    const std::int64_t newly_acked = ack_seq - highest_acked_;
+    highest_acked_ = ack_seq;
+    dup_acks_ = 0;
+    if (in_recovery_) {
+      in_recovery_ = false;
+      cwnd_ = ssthresh_;
+    } else if (cwnd_ < ssthresh_) {
+      cwnd_ += static_cast<double>(newly_acked);  // slow start
+    } else {
+      cwnd_ += static_cast<double>(newly_acked) / cwnd_;  // AIMD
+    }
+    arm_rto();
+    try_send();
+    return;
+  }
+
+  // Duplicate ACK.
+  ++dup_acks_;
+  if (dup_acks_ == 3 && !in_recovery_) {
+    // Fast retransmit + fast recovery.
+    ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+    cwnd_ = ssthresh_ + 3.0;
+    in_recovery_ = true;
+    ++retransmits_;
+    transmit(highest_acked_ + 1);
+  } else if (in_recovery_) {
+    cwnd_ += 1.0;  // window inflation per extra dupack
+    try_send();
+  }
+}
+
+void TcpRenoFlow::arm_rto() {
+  const std::uint64_t epoch = ++rto_epoch_;
+  loop_->schedule_after(rto_, [this, epoch] { on_timeout(epoch); });
+}
+
+void TcpRenoFlow::on_timeout(std::uint64_t epoch) {
+  if (epoch != rto_epoch_) return;  // superseded by a newer ACK
+  if (loop_->now() >= stop_ &&
+      highest_acked_ + 1 >= next_seq_) {
+    return;  // nothing outstanding and past the deadline
+  }
+  if (highest_acked_ + 1 >= next_seq_) {
+    arm_rto();  // idle; keep the timer alive until stop
+    return;
+  }
+  ++timeouts_;
+  ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+  cwnd_ = 1.0;
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  next_seq_ = highest_acked_ + 1;  // go-back-N
+  rto_ = std::min(rto_ * 2.0, 10.0);
+  try_send();
+  arm_rto();
+}
+
+}  // namespace tero::netsim

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <set>
+
+#include "netsim/link.hpp"
+#include "util/event_loop.hpp"
+
+namespace tero::netsim {
+
+/// A TCP Reno bulk-transfer flow (the iperf3 TCP generators of §4.1):
+/// slow start, congestion avoidance, fast retransmit/recovery on three
+/// duplicate ACKs, go-back-N on retransmission timeout. Data packets cross
+/// the (possibly congested) forward link; ACKs return over an uncongested
+/// reverse path modelled as a fixed delay.
+class TcpRenoFlow {
+ public:
+  /// `rate_cap_bps` > 0 makes the flow application-limited at that rate
+  /// (iperf3 -b): it paces sends instead of filling the window, which is how
+  /// the paper's "10% BD each" TCP sources behave.
+  TcpRenoFlow(util::EventLoop& loop, Link& forward_link, int flow_id,
+              double start, double stop, double reverse_delay_s = 0.002,
+              int mss_bytes = 1500, double rate_cap_bps = 0.0);
+
+  /// Arm the flow's first transmission. Call once before running the loop.
+  void start();
+
+  /// Deliver a data packet at the sink (the testbed routes packets here by
+  /// flow id). Generates the cumulative ACK.
+  void deliver_data(const Packet& packet);
+
+  [[nodiscard]] int flow_id() const noexcept { return flow_id_; }
+  [[nodiscard]] double cwnd() const noexcept { return cwnd_; }
+  [[nodiscard]] std::int64_t delivered() const noexcept { return recv_next_; }
+  [[nodiscard]] std::uint64_t retransmits() const noexcept {
+    return retransmits_;
+  }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+
+ private:
+  void try_send();
+  void transmit(std::int64_t seq);
+  void on_ack(std::int64_t ack_seq, double data_stamp);
+  void arm_rto();
+  void on_timeout(std::uint64_t epoch);
+
+  util::EventLoop* loop_;
+  Link* forward_;
+  int flow_id_;
+  double start_;
+  double stop_;
+  double reverse_delay_;
+  int mss_;
+  double rate_cap_bps_;
+  double next_allowed_send_ = 0.0;  ///< pacing clock when rate-capped
+  bool pace_retry_armed_ = false;
+
+  // Sender (Reno) state.
+  double cwnd_ = 1.0;
+  double ssthresh_ = 64.0;
+  std::int64_t next_seq_ = 0;
+  std::int64_t highest_acked_ = -1;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  double srtt_ = 0.1;
+  double rto_ = 0.5;
+  std::uint64_t rto_epoch_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t timeouts_ = 0;
+
+  // Receiver state.
+  std::int64_t recv_next_ = 0;
+  std::set<std::int64_t> out_of_order_;
+};
+
+}  // namespace tero::netsim

@@ -1,0 +1,200 @@
+#include "netsim/testbed.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+
+#include "netsim/game.hpp"
+#include "netsim/link.hpp"
+#include "netsim/tcp.hpp"
+#include "netsim/udp.hpp"
+#include "stats/descriptive.hpp"
+#include "util/event_loop.hpp"
+
+namespace tero::netsim {
+
+TestbedResult run_testbed(const TestbedConfig& config, util::Rng rng) {
+  util::EventLoop loop;
+
+  // The controlled bottleneck between Router and Switch2 (Fig. 3).
+  Link bottleneck(loop, "bottleneck", config.bottleneck_bandwidth_bps,
+                  config.bottleneck_propagation_s,
+                  config.bottleneck_queue_packets);
+
+  // Game sessions. Control's path avoids the bottleneck entirely; Test's
+  // echoes cross it, then a residual delay sized so that both stations see
+  // the same base RTT (the paper aborts experiments where they disagree
+  // during start-up).
+  GameSession control(loop, 100, config.game_tick_s,
+                      config.display_window_s);
+  control.set_uplink(nullptr, config.base_one_way_delay_s);
+  control.set_downlink_delay(config.base_one_way_delay_s);
+
+  GameSession test(loop, 101, config.game_tick_s, config.display_window_s);
+  const double residual =
+      std::max(0.0, config.base_one_way_delay_s -
+                        config.bottleneck_propagation_s -
+                        120.0 * 8.0 / config.bottleneck_bandwidth_bps);
+  test.set_uplink(&bottleneck, residual);
+  test.set_downlink_delay(config.base_one_way_delay_s);
+
+  // Background traffic shares the bottleneck.
+  const double traffic_start = config.warmup_s;
+  const double udp_stop =
+      config.warmup_s + config.udp_phase_s + config.mixed_phase_s;
+  std::vector<std::unique_ptr<UdpCbrFlow>> udp_flows;
+  for (int i = 0; i < config.udp_flows; ++i) {
+    udp_flows.push_back(std::make_unique<UdpCbrFlow>(
+        loop, bottleneck, 200 + i,
+        config.udp_fraction_each * config.bottleneck_bandwidth_bps,
+        traffic_start + rng.uniform(0.0, 0.01), udp_stop));
+  }
+  std::vector<std::unique_ptr<TcpRenoFlow>> tcp_flows;
+  const double tcp_start = config.warmup_s + config.udp_phase_s;
+  for (int i = 0; i < config.tcp_flows; ++i) {
+    tcp_flows.push_back(std::make_unique<TcpRenoFlow>(
+        loop, bottleneck, 300 + i, tcp_start + i * config.tcp_stagger_s,
+        udp_stop, 0.002, 1500,
+        config.tcp_fraction_each * config.bottleneck_bandwidth_bps));
+  }
+
+  // Network-latency probes: tiny packets through the bottleneck whose
+  // arrival times yield the measured "network latency" series (averaged
+  // over probe_window_s).
+  std::deque<std::pair<double, double>> probe_samples;  // (arrival, latency)
+  auto probed_network_ms = [&]() {
+    const double cutoff = loop.now() - config.probe_window_s;
+    double sum = 0.0;
+    std::size_t count = 0;
+    for (auto it = probe_samples.rbegin(); it != probe_samples.rend(); ++it) {
+      if (it->first < cutoff) break;
+      sum += it->second;
+      ++count;
+    }
+    if (count == 0) {
+      return probe_samples.empty() ? 0.0 : 1000.0 * probe_samples.back().second;
+    }
+    return 1000.0 * sum / static_cast<double>(count);
+  };
+
+  // Demultiplex bottleneck deliveries: game echoes to the Test server side,
+  // TCP data to the owning flow's sink, probes to the measurement sink, UDP
+  // dropped on the floor (iperf's sink just counts).
+  bottleneck.set_receiver([&](const Packet& packet) {
+    switch (packet.kind) {
+      case PacketKind::kGameEcho:
+        if (packet.flow == test.flow_id()) test.on_bottleneck_delivery(packet);
+        break;
+      case PacketKind::kTcpData:
+        for (auto& flow : tcp_flows) {
+          if (flow->flow_id() == packet.flow) {
+            flow->deliver_data(packet);
+            break;
+          }
+        }
+        break;
+      case PacketKind::kProbe:
+        probe_samples.emplace_back(loop.now(), loop.now() - packet.stamp);
+        while (!probe_samples.empty() &&
+               probe_samples.front().first <
+                   loop.now() - 2.0 * config.probe_window_s) {
+          probe_samples.pop_front();
+        }
+        break;
+      default:
+        break;  // UDP sink
+    }
+  });
+
+  const double total =
+      config.warmup_s + config.udp_phase_s + config.mixed_phase_s +
+      config.diedown_s;
+  control.start(0.5, total);
+  test.start(0.5, total);
+  for (auto& flow : udp_flows) flow->start();
+  for (auto& flow : tcp_flows) flow->start();
+
+  // Probe sender.
+  std::function<void()> send_probe = [&] {
+    Packet probe;
+    probe.kind = PacketKind::kProbe;
+    probe.flow = 999;
+    probe.size_bytes = 64;
+    probe.stamp = loop.now();
+    bottleneck.send(probe);
+    if (loop.now() + 1.0 / config.probe_hz <= total) {
+      loop.schedule_after(1.0 / config.probe_hz, send_probe);
+    }
+  };
+  loop.schedule_at(0.1, send_probe);
+
+  // Latency sampler (5x per second in the paper).
+  TestbedResult result;
+  const double sample_interval = 1.0 / config.sample_hz;
+  std::function<void()> sample = [&] {
+    LatencySample point;
+    point.t = loop.now();
+    point.control_display_ms = control.displayed_latency_ms();
+    point.test_display_ms = test.displayed_latency_ms();
+    point.network_ms = probed_network_ms();
+    result.samples.push_back(point);
+    if (loop.now() + sample_interval <= total) {
+      loop.schedule_after(sample_interval, sample);
+    }
+  };
+  loop.schedule_at(sample_interval, sample);
+
+  loop.run_until(total);
+
+  // ---- Post-processing (§4.1's comparison) ---------------------------------
+  const double settle = 2.0 * config.display_window_s + 1.0;
+  std::vector<double> control_series;
+  std::vector<double> abs_diffs;
+  const std::vector<double> edges = {traffic_start, tcp_start, udp_stop};
+  std::size_t exceed_total = 0;
+  std::size_t exceed_near_edge = 0;
+  double run_start = -1.0;
+  for (const auto& point : result.samples) {
+    if (point.t < settle) continue;
+    result.max_network_ms = std::max(result.max_network_ms, point.network_ms);
+    control_series.push_back(point.control_display_ms);
+    // Adjusted gaming latency minus measured network latency. The idle
+    // bottleneck still adds serialization+propagation, which the adjusted
+    // gaming latency contains as well, so the difference is ~0 when idle.
+    const double adjusted = point.test_display_ms - point.control_display_ms;
+    const double diff = adjusted - point.network_ms;
+    result.diff_ms.push_back(diff);
+    abs_diffs.push_back(std::abs(diff));
+    if (std::abs(diff) > 4.0) {
+      ++exceed_total;
+      if (run_start < 0.0) run_start = point.t;
+      result.worst_exceedance_run_s =
+          std::max(result.worst_exceedance_run_s, point.t - run_start);
+      for (double edge : edges) {
+        if (point.t >= edge && point.t <= edge + 5.0) {
+          ++exceed_near_edge;
+          break;
+        }
+      }
+    } else {
+      run_start = -1.0;
+    }
+  }
+  if (!abs_diffs.empty()) {
+    result.p95_abs_diff_ms = stats::percentile(abs_diffs, 95.0);
+  }
+  if (!control_series.empty()) {
+    result.mean_control_ms = stats::mean(control_series);
+    result.stddev_control_ms = stats::stddev(control_series);
+  }
+  result.exceedance_near_edges =
+      exceed_total > 0
+          ? static_cast<double>(exceed_near_edge) / exceed_total
+          : 1.0;
+  result.bottleneck_drops = bottleneck.drops();
+  result.game_samples = test.samples();
+  return result;
+}
+
+}  // namespace tero::netsim

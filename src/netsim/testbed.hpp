@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tero::netsim {
+
+/// One experimental condition of Table 2 / Fig. 3: the Test play-station's
+/// path crosses a controlled bottleneck shared with iperf-style background
+/// traffic; the Control play-station shares the rest of the path only.
+struct TestbedConfig {
+  double bottleneck_bandwidth_bps = 100e6;
+  std::size_t bottleneck_queue_packets = 500;
+
+  /// One-way delay between a play-station and the game server over the
+  /// uncongested path; differs per game in the paper (Control displayed
+  /// 37 ms for LoL vs 15 ms for Genshin).
+  double base_one_way_delay_s = 0.018;
+  double bottleneck_propagation_s = 0.0005;
+
+  /// Experiment phases (paper: 120 s / 60 s / 60 s / 60 s; tests shrink
+  /// these).
+  double warmup_s = 120.0;
+  double udp_phase_s = 60.0;
+  double mixed_phase_s = 60.0;
+  double diedown_s = 60.0;
+
+  /// Traffic sources (Table 2): 2 UDP flows at 50% of bottleneck bandwidth
+  /// each; 8 TCP flows staggered by 5 s.
+  int udp_flows = 2;
+  double udp_fraction_each = 0.5;
+  int tcp_flows = 8;
+  double tcp_stagger_s = 5.0;
+  double tcp_fraction_each = 0.1;  ///< iperf3 -b cap per TCP flow
+
+  /// Game display model: server update rate and smoothing window.
+  double game_tick_s = 1.0 / 15.0;
+  double display_window_s = 1.5;
+
+  /// Network-latency measurement: small probes through the bottleneck,
+  /// averaged over a short window (we cannot read the queue directly any
+  /// more than the authors could).
+  double probe_hz = 20.0;
+  double probe_window_s = 1.0;
+
+  double sample_hz = 5.0;  ///< displayed-latency collection rate (§4.1)
+};
+
+/// One sample of the three latency signals, all in milliseconds.
+struct LatencySample {
+  double t = 0.0;
+  double control_display_ms = 0.0;
+  double test_display_ms = 0.0;
+  double network_ms = 0.0;  ///< measured bottleneck latency
+};
+
+struct TestbedResult {
+  std::vector<LatencySample> samples;
+  /// (test - control) display minus measured network latency, per sample
+  /// taken after the displays warmed up.
+  std::vector<double> diff_ms;
+  double p95_abs_diff_ms = 0.0;
+  double max_network_ms = 0.0;
+  double mean_control_ms = 0.0;
+  double stddev_control_ms = 0.0;
+  /// Longest contiguous run of |diff| > 4 ms, in seconds — the "lag"
+  /// behaviour at congestion edges (§4.1).
+  double worst_exceedance_run_s = 0.0;
+  /// Fraction of |diff| > 4 ms samples within 5 s of a traffic phase edge.
+  double exceedance_near_edges = 0.0;
+  std::uint64_t bottleneck_drops = 0;
+  std::uint64_t game_samples = 0;
+};
+
+/// Run one full experiment (warmup -> UDP -> UDP+TCP -> die-down) and
+/// collect the Fig. 4 measurements.
+[[nodiscard]] TestbedResult run_testbed(const TestbedConfig& config,
+                                        util::Rng rng);
+
+}  // namespace tero::netsim

@@ -1,0 +1,33 @@
+#include "netsim/udp.hpp"
+
+namespace tero::netsim {
+
+UdpCbrFlow::UdpCbrFlow(util::EventLoop& loop, Link& link, int flow_id,
+                       double rate_bps, double start, double stop,
+                       int packet_size)
+    : loop_(&loop),
+      link_(&link),
+      flow_id_(flow_id),
+      interval_(packet_size * 8.0 / rate_bps),
+      start_(start),
+      stop_(stop),
+      packet_size_(packet_size) {}
+
+void UdpCbrFlow::start() {
+  loop_->schedule_at(start_, [this] { send_next(); });
+}
+
+void UdpCbrFlow::send_next() {
+  if (loop_->now() >= stop_) return;
+  Packet packet;
+  packet.kind = PacketKind::kUdpData;
+  packet.flow = flow_id_;
+  packet.seq = seq_++;
+  packet.size_bytes = packet_size_;
+  packet.stamp = loop_->now();
+  link_->send(packet);
+  ++sent_;
+  loop_->schedule_after(interval_, [this] { send_next(); });
+}
+
+}  // namespace tero::netsim

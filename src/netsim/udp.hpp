@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/link.hpp"
+#include "util/event_loop.hpp"
+
+namespace tero::netsim {
+
+/// Constant-bit-rate UDP source (the iperf3 UDP generators of §4.1). Sends
+/// fixed-size packets at `rate_bps` into `link` between `start` and `stop`.
+class UdpCbrFlow {
+ public:
+  UdpCbrFlow(util::EventLoop& loop, Link& link, int flow_id, double rate_bps,
+             double start, double stop, int packet_size = 1500);
+
+  /// Arm the first send event. Call once before running the loop.
+  void start();
+
+  [[nodiscard]] std::uint64_t sent() const noexcept { return sent_; }
+
+ private:
+  void send_next();
+
+  util::EventLoop* loop_;
+  Link* link_;
+  int flow_id_;
+  double interval_;
+  double start_;
+  double stop_;
+  int packet_size_;
+  std::uint64_t sent_ = 0;
+  std::int64_t seq_ = 0;
+};
+
+}  // namespace tero::netsim

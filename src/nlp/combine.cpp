@@ -1,0 +1,137 @@
+#include "nlp/combine.hpp"
+
+#include <vector>
+
+#include "nlp/filter.hpp"
+#include "util/strings.hpp"
+
+namespace tero::nlp {
+namespace {
+
+using geo::Location;
+
+std::optional<Location> first_or_none(const std::vector<Location>& out) {
+  if (out.empty()) return std::nullopt;
+  return out.front();
+}
+
+/// The more complete of two locations when one subsumes the other.
+std::optional<Location> subsumption_pick(const std::optional<Location>& a,
+                                         const std::optional<Location>& b) {
+  if (!a || !b) return std::nullopt;
+  if (a->subsumes(*b)) return a;
+  if (b->subsumes(*a)) return b;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<Location> combine_twitch_description(
+    std::string_view description, const ToolSet& tools) {
+  return combine_twitch_description(description, tools, std::nullopt);
+}
+
+std::optional<Location> combine_twitch_description(
+    std::string_view description, const ToolSet& tools,
+    const std::optional<std::string>& country_tag) {
+  const auto cliff_out = first_or_none(tools.cliff->extract(description));
+  const auto xponents_out =
+      first_or_none(tools.xponents->extract(description));
+  const auto mordecai_out = tools.mordecai->extract(description);
+
+  // Step 2: conservative filter on CLIFF and Xponents. Prefer the more
+  // complete output when both pass.
+  std::optional<Location> cliff_pass;
+  std::optional<Location> xponents_pass;
+  if (cliff_out && conservative_filter(description, *cliff_out)) {
+    cliff_pass = cliff_out;
+  }
+  if (xponents_out && conservative_filter(description, *xponents_out)) {
+    xponents_pass = xponents_out;
+  }
+  if (cliff_pass && xponents_pass) {
+    if (const auto more = subsumption_pick(cliff_pass, xponents_pass)) {
+      return more;
+    }
+    if (*cliff_pass == *xponents_pass) return cliff_pass;
+    // Both pass but conflict: fall through to agreement voting.
+  } else if (cliff_pass) {
+    return cliff_pass;
+  } else if (xponents_pass) {
+    return xponents_pass;
+  }
+
+  // Step 3: two-of-three agreement (Mordecai contributes each candidate).
+  std::vector<Location> votes;
+  if (cliff_out) votes.push_back(*cliff_out);
+  if (xponents_out) votes.push_back(*xponents_out);
+  std::optional<Location> agreement;
+  for (const auto& vote : votes) {
+    int support = 0;
+    for (const auto& other : votes) {
+      if (other == vote) ++support;
+    }
+    for (const auto& candidate : mordecai_out) {
+      if (candidate == vote) ++support;
+    }
+    if (support >= 2) {
+      agreement = vote;
+      break;
+    }
+  }
+  if (agreement) return agreement;
+
+  // Step 4: subsumption between CLIFF and Xponents.
+  if (const auto more = subsumption_pick(cliff_out, xponents_out)) {
+    return more;
+  }
+
+  // Tag recovery: a geocoded country confirmed by a stable country tag is
+  // accepted even though the heuristics above discarded it.
+  if (country_tag.has_value()) {
+    for (const auto& candidate : {cliff_out, xponents_out}) {
+      if (candidate && util::iequals(candidate->country, *country_tag)) {
+        return candidate;
+      }
+    }
+    for (const auto& candidate : mordecai_out) {
+      if (util::iequals(candidate.country, *country_tag)) return candidate;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<Location> combine_twitter_location(
+    std::string_view location_field, const ToolSet& tools) {
+  const auto nominatim_out =
+      first_or_none(tools.nominatim->extract(location_field));
+  const auto geonames_out =
+      first_or_none(tools.geonames->extract(location_field));
+
+  if (nominatim_out && geonames_out) {
+    if (*nominatim_out == *geonames_out) return nominatim_out;
+    if (const auto more = subsumption_pick(nominatim_out, geonames_out)) {
+      return more;
+    }
+    // Disagreement: process the field like a Twitch description (App. D.3
+    // step 3) — handles non-geographic references ("Your heart, Chicago").
+    return combine_twitch_description(location_field, tools);
+  }
+  if (nominatim_out || geonames_out) {
+    // Only one tool extracted anything — typically a joke/noise field
+    // ("somewhere between London and Tokyo"). Accept only with the
+    // conservative filter's blessing: the combination's low error rate in
+    // Table 3 comes from refusing exactly these.
+    const auto& only = nominatim_out ? nominatim_out : geonames_out;
+    if (!conservative_filter(location_field, *only)) return std::nullopt;
+    const auto described = combine_twitch_description(location_field, tools);
+    if (described && described->compatible_with(*only) &&
+        described->subsumes(*only)) {
+      return described;
+    }
+    return only;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tero::nlp

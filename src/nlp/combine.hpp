@@ -1,0 +1,43 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "geo/geo.hpp"
+#include "nlp/tools.hpp"
+
+namespace tero::nlp {
+
+/// Owns one instance of each underlying tool; building the tool set once and
+/// sharing it mirrors Tero's per-process tool containers (App. B).
+struct ToolSet {
+  std::unique_ptr<GeoTool> cliff = make_cliff_like();
+  std::unique_ptr<GeoTool> xponents = make_xponents_like();
+  std::unique_ptr<GeoTool> mordecai = make_mordecai_like();
+  std::unique_ptr<GeoTool> nominatim = make_nominatim_like();
+  std::unique_ptr<GeoTool> geonames = make_geonames_like();
+};
+
+/// App. D.2: extract a location from a Twitch description by combining the
+/// three geocoders: (1) run all three; (2) keep CLIFF/Xponents output that
+/// passes the conservative filter; (3) otherwise accept a location at least
+/// two tools agree on; (4) otherwise accept the more complete of a
+/// subsuming pair.
+[[nodiscard]] std::optional<geo::Location> combine_twitch_description(
+    std::string_view description, const ToolSet& tools);
+
+/// Same, with the Twitch country-tag recovery (App. D.2 last paragraph):
+/// output discarded by the heuristics is recovered when a stable country
+/// tag confirms the geocoded country.
+[[nodiscard]] std::optional<geo::Location> combine_twitch_description(
+    std::string_view description, const ToolSet& tools,
+    const std::optional<std::string>& country_tag);
+
+/// App. D.3: extract a location from a Twitter location field by combining
+/// Nominatim and GeoNames; on disagreement, fall back to the Twitch
+/// description path over the same text.
+[[nodiscard]] std::optional<geo::Location> combine_twitter_location(
+    std::string_view location_field, const ToolSet& tools);
+
+}  // namespace tero::nlp

@@ -1,0 +1,40 @@
+#include "nlp/filter.hpp"
+
+#include "geo/gazetteer.hpp"
+#include "util/strings.hpp"
+
+namespace tero::nlp {
+namespace {
+
+/// Word-match `name` or any of its gazetteer aliases inside `input`. The
+/// match must be capitalized — lowercase coincidences like "i love turkey
+/// sandwiches" or "georgia peach cobbler" are exactly the false positives
+/// the filter exists to reject (§4.2.1). Short acronym aliases ("US", "UK")
+/// additionally require an exact-case match so the English word "us" never
+/// confirms the United States.
+bool mentions_place(std::string_view input, std::string_view name,
+                    geo::PlaceKind kind) {
+  if (name.empty()) return false;
+  if (util::contains_word_capitalized(input, name)) return true;
+  const geo::Place* place = geo::Gazetteer::world().find(name, kind);
+  if (place == nullptr) return false;
+  for (const auto& alias : place->aliases) {
+    if (alias.size() <= 3) {
+      // Acronym: exact case, word-bounded.
+      if (util::contains_word_exact(input, alias)) return true;
+    } else if (util::contains_word_capitalized(input, alias)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool conservative_filter(std::string_view input, const geo::Location& output) {
+  if (!output.valid()) return false;
+  return mentions_place(input, output.country, geo::PlaceKind::kCountry) ||
+         mentions_place(input, output.region, geo::PlaceKind::kRegion);
+}
+
+}  // namespace tero::nlp

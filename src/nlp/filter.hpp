@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string_view>
+
+#include "geo/geo.hpp"
+
+namespace tero::nlp {
+
+/// The conservative filter of App. D.1: a tool's output location is accepted
+/// only if the *input* text contains the output's country or region name as
+/// a whole word (case-insensitive, alias-aware). "Join us in Detroit" fails
+/// the filter (no "United States"/"Michigan" in the input) even though the
+/// output is right — the filter trades recall for precision, which is what
+/// turns "Tool" into "Tool++" in Table 3.
+[[nodiscard]] bool conservative_filter(std::string_view input,
+                                       const geo::Location& output);
+
+}  // namespace tero::nlp

@@ -1,0 +1,99 @@
+#include <algorithm>
+
+#include "nlp/matcher.hpp"
+#include "nlp/tools.hpp"
+
+namespace tero::nlp {
+namespace {
+
+using geo::Gazetteer;
+using geo::Location;
+using geo::Place;
+
+class CliffLike final : public GeoTool {
+ public:
+  [[nodiscard]] std::string name() const override { return "cliff"; }
+
+  [[nodiscard]] std::vector<Location> extract(
+      std::string_view text) const override {
+    MatchOptions options;
+    options.require_capitalized = true;
+    const auto mentions = drop_entity_mentions(
+        text, find_mentions(text, Gazetteer::world(), options),
+        Gazetteer::world());
+    if (mentions.empty()) return {};
+    // Group mentions by token position; resolve each position's ambiguity by
+    // gazetteer weight (a CLIFF-style "focus" heuristic), then return the
+    // first resolved mention in reading order.
+    const PlaceMention* best = nullptr;
+    for (const auto& mention : mentions) {
+      if (best == nullptr) {
+        best = &mention;
+        continue;
+      }
+      if (mention.token_index == best->token_index) {
+        if (mention.place->weight > best->place->weight) best = &mention;
+      }
+    }
+    return {best->place->location()};
+  }
+};
+
+class XponentsLike final : public GeoTool {
+ public:
+  [[nodiscard]] std::string name() const override { return "xponents"; }
+
+  [[nodiscard]] std::vector<Location> extract(
+      std::string_view text) const override {
+    MatchOptions options;
+    options.allow_substring = true;
+    const auto mentions = find_mentions(text, Gazetteer::world(), options);
+    if (mentions.empty()) return {};
+    // Highest-weight mention anywhere in the text wins: maximal recall,
+    // and maximal exposure to name coincidences.
+    const PlaceMention* best = &mentions.front();
+    for (const auto& mention : mentions) {
+      if (mention.place->weight > best->place->weight) best = &mention;
+    }
+    return {best->place->location()};
+  }
+};
+
+class MordecaiLike final : public GeoTool {
+ public:
+  [[nodiscard]] std::string name() const override { return "mordecai"; }
+
+  [[nodiscard]] std::vector<Location> extract(
+      std::string_view text) const override {
+    MatchOptions options;
+    options.require_capitalized = true;
+    options.max_ngram = 2;
+    const auto mentions = drop_entity_mentions(
+        text, find_mentions(text, Gazetteer::world(), options),
+        Gazetteer::world());
+    std::vector<Location> candidates;
+    for (const auto& mention : mentions) {
+      const Location loc = mention.place->location();
+      if (std::find(candidates.begin(), candidates.end(), loc) ==
+          candidates.end()) {
+        candidates.push_back(loc);
+      }
+      if (candidates.size() >= 4) break;  // unranked shortlist
+    }
+    return candidates;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<GeoTool> make_cliff_like() {
+  return std::make_unique<CliffLike>();
+}
+std::unique_ptr<GeoTool> make_xponents_like() {
+  return std::make_unique<XponentsLike>();
+}
+std::unique_ptr<GeoTool> make_mordecai_like() {
+  return std::make_unique<MordecaiLike>();
+}
+
+}  // namespace tero::nlp

@@ -1,0 +1,82 @@
+#include <algorithm>
+
+#include "nlp/matcher.hpp"
+#include "nlp/tools.hpp"
+#include "util/strings.hpp"
+
+namespace tero::nlp {
+namespace {
+
+using geo::Gazetteer;
+using geo::Location;
+using geo::Place;
+
+/// Nominatim-like structured parser: treats the location field as a
+/// comma-separated "City, Region, Country" hierarchy and cross-checks that
+/// the components nest. Falls back to a whole-field lookup.
+class NominatimLike final : public GeoTool {
+ public:
+  [[nodiscard]] std::string name() const override { return "nominatim"; }
+
+  [[nodiscard]] std::vector<Location> extract(
+      std::string_view text) const override {
+    const auto& gazetteer = Gazetteer::world();
+    const auto pieces = util::split(text, ",;/|");
+    std::vector<const Place*> resolved;
+    for (const auto piece : pieces) {
+      const auto trimmed = util::trim(piece);
+      if (trimmed.empty()) continue;
+      if (const Place* place = gazetteer.find_any(trimmed)) {
+        resolved.push_back(place);
+      }
+    }
+    if (resolved.empty()) return {};
+    // Most specific piece whose ancestry is consistent with the others.
+    const Place* best = resolved.front();
+    for (const Place* place : resolved) {
+      if (static_cast<int>(place->kind) > static_cast<int>(best->kind)) {
+        continue;  // kCity < kRegion < kCountry in specificity order
+      }
+      best = place;
+    }
+    // Cross-check: every other piece must be compatible with `best`.
+    const Location best_loc = best->location();
+    for (const Place* place : resolved) {
+      if (!best_loc.compatible_with(place->location())) return {};
+    }
+    return {best_loc};
+  }
+};
+
+/// GeoNames-like token lookup: every 1-2-gram is looked up; the
+/// highest-weight match wins. High recall; errors on name coincidences
+/// ("Your heart, Chicago" resolves fine; "Paris Hilton fan" resolves to
+/// Paris).
+class GeonamesLike final : public GeoTool {
+ public:
+  [[nodiscard]] std::string name() const override { return "geonames"; }
+
+  [[nodiscard]] std::vector<Location> extract(
+      std::string_view text) const override {
+    MatchOptions options;
+    options.max_ngram = 2;
+    const auto mentions = find_mentions(text, Gazetteer::world(), options);
+    if (mentions.empty()) return {};
+    const PlaceMention* best = &mentions.front();
+    for (const auto& mention : mentions) {
+      if (mention.place->weight > best->place->weight) best = &mention;
+    }
+    return {best->place->location()};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<GeoTool> make_nominatim_like() {
+  return std::make_unique<NominatimLike>();
+}
+std::unique_ptr<GeoTool> make_geonames_like() {
+  return std::make_unique<GeonamesLike>();
+}
+
+}  // namespace tero::nlp

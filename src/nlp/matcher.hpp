@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "geo/gazetteer.hpp"
+
+namespace tero::nlp {
+
+/// A gazetteer hit inside a piece of text.
+struct PlaceMention {
+  const geo::Place* place = nullptr;
+  std::size_t token_index = 0;  ///< index of the first token of the mention
+  int token_count = 0;          ///< n-gram length (1-3)
+  bool capitalized = false;     ///< every token starts with an uppercase letter
+};
+
+/// A word token with its original form preserved (capitalization matters to
+/// some tools).
+struct Token {
+  std::string_view text;
+};
+
+/// Split text into word tokens (alphanumeric runs; punctuation separates).
+[[nodiscard]] std::vector<Token> tokenize(std::string_view text);
+
+/// Options controlling how a tool scans text for gazetteer names. The three
+/// geocoders differ exactly in these knobs, giving them different
+/// recall/precision profiles (Table 3).
+struct MatchOptions {
+  bool require_capitalized = false;  ///< only capitalized n-grams count
+  bool allow_substring = false;      ///< match names inside longer words
+                                     ///  ("Denmarkian" -> Denmark; causes
+                                     ///  false positives, §4.2.1)
+  int max_ngram = 3;
+};
+
+/// All gazetteer mentions in `text`, longest-match-first at each position
+/// (so "New York City" wins over "New York"), without resolving ambiguity:
+/// an ambiguous name yields one mention per candidate place.
+[[nodiscard]] std::vector<PlaceMention> find_mentions(
+    std::string_view text, const geo::Gazetteer& gazetteer,
+    const MatchOptions& options);
+
+/// Drop mentions that look like part of a person/entity name: a place token
+/// immediately followed by a capitalized non-place word ("Paris Hilton",
+/// "Toronto Raptors"). This stands in for the NER the real CLIFF/Mordecai
+/// run; Xponents-style matchers skip it and pay in precision (Table 3).
+[[nodiscard]] std::vector<PlaceMention> drop_entity_mentions(
+    std::string_view text, std::vector<PlaceMention> mentions,
+    const geo::Gazetteer& gazetteer);
+
+}  // namespace tero::nlp

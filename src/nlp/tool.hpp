@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/geo.hpp"
+
+namespace tero::nlp {
+
+/// Interface of a text -> location tool. Geocoders accept arbitrary
+/// unstructured text (Twitch descriptions); geoparsers expect text that
+/// already describes a location (Twitter location fields). A tool may return
+/// zero, one, or several candidate locations (Mordecai-like tools return
+/// several without ranking them, §3.1/App. D.2).
+class GeoTool {
+ public:
+  virtual ~GeoTool() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::vector<geo::Location> extract(
+      std::string_view text) const = 0;
+};
+
+}  // namespace tero::nlp

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <memory>
+
+#include "nlp/tool.hpp"
+
+namespace tero::nlp {
+
+/// The three geocoders Tero runs over Twitch descriptions (App. D.2).
+/// Re-implementations with the real tools' *behavioural profiles*:
+///
+/// - "cliff" (CLIFF-like): only capitalized mentions, ambiguity resolved by
+///   gazetteer weight; conservative recall, precise on well-formed text.
+/// - "xponents" (Xponents-like): case-insensitive and substring matching
+///   ("Denmarkian" -> Denmark); the highest recall and the highest raw error
+///   rate of the three (Table 3).
+/// - "mordecai" (Mordecai-like): word-boundary matching but returns every
+///   candidate without ranking, "making it hard to use on its own" (§3.1).
+[[nodiscard]] std::unique_ptr<GeoTool> make_cliff_like();
+[[nodiscard]] std::unique_ptr<GeoTool> make_xponents_like();
+[[nodiscard]] std::unique_ptr<GeoTool> make_mordecai_like();
+
+/// The two geoparsers Tero runs over Twitter location fields (App. D.3):
+/// - "nominatim" (Nominatim-like): parses "City, Region, Country" comma
+///   structure and cross-checks the components.
+/// - "geonames" (GeoNames-like): bag-of-tokens lookup that picks the
+///   highest-weight name match.
+[[nodiscard]] std::unique_ptr<GeoTool> make_nominatim_like();
+[[nodiscard]] std::unique_ptr<GeoTool> make_geonames_like();
+
+}  // namespace tero::nlp

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace tero::ocr {
+
+/// One recognized character with the classifier's confidence in [0, 1].
+struct CharMatch {
+  char character = '?';
+  double confidence = 0.0;
+  image::Rect bounds;
+};
+
+/// Raw output of an OCR engine over a preprocessed (binary) image.
+struct OcrOutput {
+  std::string text;  ///< characters left-to-right
+  std::vector<CharMatch> chars;
+};
+
+/// Interface of a character-recognition engine. The repo ships three
+/// from-scratch implementations with deliberately different algorithms —
+/// standing in for Tesseract, EasyOCR, and PaddleOCR — so that, as the paper
+/// observes (§3.2), "they make mistakes on partially overlapping sets of
+/// thumbnails" and 2-of-3 voting has signal to work with.
+class OcrEngine {
+ public:
+  virtual ~OcrEngine() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Recognize all characters in a binary image (255 = ink on 0 background).
+  [[nodiscard]] virtual OcrOutput recognize(
+      const image::GrayImage& binary) const = 0;
+};
+
+/// Factory for the three built-in engines, in the paper's order:
+/// "templat" (Tesseract-like template matcher), "zonenet" (EasyOCR-like
+/// zoning-feature classifier), "profiler" (PaddleOCR-like projection-profile
+/// classifier).
+[[nodiscard]] std::vector<std::unique_ptr<OcrEngine>> make_builtin_engines();
+
+}  // namespace tero::ocr

@@ -1,0 +1,273 @@
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "image/draw.hpp"
+#include "image/font.hpp"
+#include "image/ops.hpp"
+#include "ocr/engine.hpp"
+
+namespace tero::ocr {
+namespace {
+
+constexpr int kGlyphGrid = 16;  ///< normalized glyph resolution
+
+/// Render a font character to a clean binary raster and normalize it onto
+/// the kGlyphGrid density grid — the shared prototype representation.
+std::vector<double> render_prototype(char character) {
+  constexpr int kScale = 4;
+  image::GrayImage canvas(image::kGlyphWidth * kScale + 4,
+                          image::kGlyphHeight * kScale + 4, 0);
+  image::TextStyle style;
+  style.scale = kScale;
+  style.foreground = 255;
+  style.background = 0;
+  image::draw_text(canvas, 2, 2, std::string(1, character), style);
+  const auto components = image::connected_components(canvas, 1);
+  // Merge all components (multi-part glyphs like 'i' and ':').
+  image::Rect bounds{0, 0, canvas.width(), canvas.height()};
+  if (!components.empty()) {
+    int min_x = canvas.width(), min_y = canvas.height(), max_x = 0, max_y = 0;
+    for (const auto& c : components) {
+      min_x = std::min(min_x, c.bounds.x);
+      min_y = std::min(min_y, c.bounds.y);
+      max_x = std::max(max_x, c.bounds.x + c.bounds.w);
+      max_y = std::max(max_y, c.bounds.y + c.bounds.h);
+    }
+    bounds = image::Rect{min_x, min_y, max_x - min_x, max_y - min_y};
+  }
+  return image::normalize_glyph(canvas, bounds, kGlyphGrid);
+}
+
+struct Prototype {
+  char character;
+  std::vector<double> grid;
+};
+
+const std::vector<Prototype>& prototypes() {
+  static const std::vector<Prototype> table = [] {
+    std::vector<Prototype> protos;
+    for (char c : image::font_alphabet()) {
+      protos.push_back(Prototype{c, render_prototype(c)});
+    }
+    return protos;
+  }();
+  return table;
+}
+
+/// Glyph segmentation shared by all engines: connected components, merged
+/// when their x-ranges overlap (multi-part glyphs), sorted left-to-right.
+std::vector<image::Rect> segment_glyphs(const image::GrayImage& binary) {
+  const int min_area = std::max(4, binary.width() * binary.height() / 2000);
+  auto components = image::connected_components(binary, min_area);
+  std::vector<image::Rect> boxes;
+  for (const auto& comp : components) {
+    bool merged = false;
+    for (auto& box : boxes) {
+      const int overlap = std::min(box.x + box.w, comp.bounds.x + comp.bounds.w) -
+                          std::max(box.x, comp.bounds.x);
+      if (overlap > std::min(box.w, comp.bounds.w) / 2) {
+        const int x1 = std::min(box.x, comp.bounds.x);
+        const int y1 = std::min(box.y, comp.bounds.y);
+        const int x2 =
+            std::max(box.x + box.w, comp.bounds.x + comp.bounds.w);
+        const int y2 =
+            std::max(box.y + box.h, comp.bounds.y + comp.bounds.h);
+        box = image::Rect{x1, y1, x2 - x1, y2 - y1};
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) boxes.push_back(comp.bounds);
+  }
+  std::sort(boxes.begin(), boxes.end(),
+            [](const image::Rect& a, const image::Rect& b) { return a.x < b.x; });
+  return boxes;
+}
+
+/// Template-matching engine ("templat", Tesseract-like): normalized
+/// correlation against rendered prototypes. Strong on clean input, brittle
+/// under noise/partial occlusion — it misses more than the other two, like
+/// Tesseract in Table 4.
+class TemplateEngine final : public OcrEngine {
+ public:
+  [[nodiscard]] std::string name() const override { return "templat"; }
+
+  [[nodiscard]] OcrOutput recognize(
+      const image::GrayImage& binary) const override {
+    OcrOutput out;
+    for (const auto& box : segment_glyphs(binary)) {
+      const auto grid = image::normalize_glyph(binary, box, kGlyphGrid);
+      char best_char = '?';
+      double best_score = -1.0;
+      for (const auto& proto : prototypes()) {
+        double dot = 0.0, na = 0.0, nb = 0.0;
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+          dot += grid[i] * proto.grid[i];
+          na += grid[i] * grid[i];
+          nb += proto.grid[i] * proto.grid[i];
+        }
+        const double denom = std::sqrt(na * nb);
+        const double score = denom > 0.0 ? dot / denom : 0.0;
+        if (score > best_score) {
+          best_score = score;
+          best_char = proto.character;
+        }
+      }
+      // Strict acceptance threshold: rejects degraded glyphs outright.
+      if (best_score < 0.86) continue;
+      out.chars.push_back(CharMatch{best_char, best_score, box});
+      out.text += best_char;
+    }
+    return out;
+  }
+};
+
+/// Zoning-feature engine ("zonenet", EasyOCR-like): 4x4 ink-density zones
+/// plus aspect ratio and centroid features, nearest-prototype by Euclidean
+/// distance. More tolerant of degradation, with its own confusion set.
+class ZoningEngine final : public OcrEngine {
+ public:
+  ZoningEngine() {
+    for (const auto& proto : prototypes()) {
+      features_.push_back({proto.character, features_of(proto.grid, 1.0)});
+    }
+  }
+
+  [[nodiscard]] std::string name() const override { return "zonenet"; }
+
+  [[nodiscard]] OcrOutput recognize(
+      const image::GrayImage& binary) const override {
+    OcrOutput out;
+    for (const auto& box : segment_glyphs(binary)) {
+      const auto grid = image::normalize_glyph(binary, box, kGlyphGrid);
+      const double aspect =
+          box.h > 0 ? static_cast<double>(box.w) / box.h : 1.0;
+      const auto feats = features_of(grid, aspect);
+      char best_char = '?';
+      double best_distance = std::numeric_limits<double>::infinity();
+      for (const auto& [character, proto_feats] : features_) {
+        double d2 = 0.0;
+        for (std::size_t i = 0; i < feats.size(); ++i) {
+          const double diff = feats[i] - proto_feats[i];
+          d2 += diff * diff;
+        }
+        if (d2 < best_distance) {
+          best_distance = d2;
+          best_char = character;
+        }
+      }
+      const double confidence = std::exp(-best_distance);
+      if (confidence < 0.09) continue;  // lenient acceptance
+      out.chars.push_back(CharMatch{best_char, confidence, box});
+      out.text += best_char;
+    }
+    return out;
+  }
+
+ private:
+  /// 16 zone densities + aspect + x/y ink centroid.
+  static std::vector<double> features_of(const std::vector<double>& grid,
+                                         double aspect) {
+    std::vector<double> feats;
+    feats.reserve(19);
+    constexpr int kZones = 4;
+    constexpr int kCell = kGlyphGrid / kZones;
+    for (int zy = 0; zy < kZones; ++zy) {
+      for (int zx = 0; zx < kZones; ++zx) {
+        double ink = 0.0;
+        for (int y = zy * kCell; y < (zy + 1) * kCell; ++y) {
+          for (int x = zx * kCell; x < (zx + 1) * kCell; ++x) {
+            ink += grid[static_cast<std::size_t>(y) * kGlyphGrid + x];
+          }
+        }
+        feats.push_back(ink / (kCell * kCell));
+      }
+    }
+    double total = 0.0, cx = 0.0, cy = 0.0;
+    for (int y = 0; y < kGlyphGrid; ++y) {
+      for (int x = 0; x < kGlyphGrid; ++x) {
+        const double v = grid[static_cast<std::size_t>(y) * kGlyphGrid + x];
+        total += v;
+        cx += v * x;
+        cy += v * y;
+      }
+    }
+    feats.push_back(std::min(aspect, 3.0));
+    feats.push_back(total > 0.0 ? cx / (total * kGlyphGrid) : 0.5);
+    feats.push_back(total > 0.0 ? cy / (total * kGlyphGrid) : 0.5);
+    return feats;
+  }
+
+  std::vector<std::pair<char, std::vector<double>>> features_;
+};
+
+/// Projection-profile engine ("profiler", PaddleOCR-like): classifies by the
+/// L1 distance between row/column ink-projection histograms. Robust to
+/// salt-and-pepper noise but weak at telling apart glyphs with similar
+/// silhouettes (8/B, 0/O) — a distinct confusion set again.
+class ProjectionEngine final : public OcrEngine {
+ public:
+  ProjectionEngine() {
+    for (const auto& proto : prototypes()) {
+      profiles_.push_back({proto.character, profile_of(proto.grid)});
+    }
+  }
+
+  [[nodiscard]] std::string name() const override { return "profiler"; }
+
+  [[nodiscard]] OcrOutput recognize(
+      const image::GrayImage& binary) const override {
+    OcrOutput out;
+    for (const auto& box : segment_glyphs(binary)) {
+      const auto grid = image::normalize_glyph(binary, box, kGlyphGrid);
+      const auto prof = profile_of(grid);
+      char best_char = '?';
+      double best_distance = std::numeric_limits<double>::infinity();
+      for (const auto& [character, proto_prof] : profiles_) {
+        double d = 0.0;
+        for (std::size_t i = 0; i < prof.size(); ++i) {
+          d += std::abs(prof[i] - proto_prof[i]);
+        }
+        if (d < best_distance) {
+          best_distance = d;
+          best_char = character;
+        }
+      }
+      const double confidence = 1.0 / (1.0 + best_distance);
+      if (confidence < 0.18) continue;
+      out.chars.push_back(CharMatch{best_char, confidence, box});
+      out.text += best_char;
+    }
+    return out;
+  }
+
+ private:
+  /// Row sums followed by column sums, each normalized to mean ink.
+  static std::vector<double> profile_of(const std::vector<double>& grid) {
+    std::vector<double> prof(2 * kGlyphGrid, 0.0);
+    for (int y = 0; y < kGlyphGrid; ++y) {
+      for (int x = 0; x < kGlyphGrid; ++x) {
+        const double v = grid[static_cast<std::size_t>(y) * kGlyphGrid + x];
+        prof[y] += v;
+        prof[kGlyphGrid + x] += v;
+      }
+    }
+    for (double& p : prof) p /= kGlyphGrid;
+    return prof;
+  }
+
+  std::vector<std::pair<char, std::vector<double>>> profiles_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<OcrEngine>> make_builtin_engines() {
+  std::vector<std::unique_ptr<OcrEngine>> engines;
+  engines.push_back(std::make_unique<TemplateEngine>());
+  engines.push_back(std::make_unique<ZoningEngine>());
+  engines.push_back(std::make_unique<ProjectionEngine>());
+  return engines;
+}
+
+}  // namespace tero::ocr

@@ -1,0 +1,42 @@
+#include "ocr/game_ui.hpp"
+
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace tero::ocr {
+namespace {
+
+// Region sizes leave room for prefix + 3 digits + suffix at the game's
+// text scale. Coordinates are chosen per game so that "knowledge of each
+// game's user interface" (§3.2) is real: cropping with the wrong spec reads
+// the wrong part of the screen (the game-mislabeling failure mode, §3.3.3).
+const std::vector<GameUiSpec>& specs() {
+  static const std::vector<GameUiSpec> table = {
+      {"League of Legends", {214, 6, 100, 22}, "ping ", "ms", 2},
+      {"Teamfight Tactics", {214, 10, 100, 22}, "", "ms", 2},
+      {"Call of Duty Warzone", {8, 8, 150, 22}, "latency ", "", 2},
+      {"Call of Duty Modern Warfare", {8, 8, 150, 22}, "latency ", "", 2},
+      {"Genshin Impact", {10, 150, 96, 22}, "", "ms", 2},
+      {"Dota 2", {218, 150, 96, 22}, "ping ", "", 2},
+      {"Among Us", {10, 120, 96, 22}, "ping ", "", 2},
+      {"Lost Ark", {218, 120, 96, 22}, "", "ms", 2},
+      {"Apex Legends", {10, 34, 96, 22}, "", "ms", 2},
+  };
+  return table;
+}
+
+}  // namespace
+
+const GameUiSpec& ui_spec_for(std::string_view game) {
+  for (const auto& spec : specs()) {
+    if (util::iequals(spec.game, game)) return spec;
+  }
+  static const GameUiSpec generic{
+      "generic", {214, 6, 100, 22}, "", "ms", 2};
+  return generic;
+}
+
+std::span<const GameUiSpec> all_ui_specs() { return specs(); }
+
+}  // namespace tero::ocr

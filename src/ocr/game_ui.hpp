@@ -1,0 +1,32 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "image/image.hpp"
+
+namespace tero::ocr {
+
+/// Twitch preview thumbnails are downloaded at a fixed small resolution.
+inline constexpr int kThumbnailWidth = 320;
+inline constexpr int kThumbnailHeight = 180;
+
+/// Per-game user-interface knowledge (§3.2): where the game draws its
+/// latency, and what text surrounds the number. Tero crops `latency_region`
+/// before OCR and strips `prefix`/`suffix` during cleanup.
+struct GameUiSpec {
+  std::string game;
+  image::Rect latency_region;  ///< within the kThumbnailWidth x Height frame
+  std::string prefix;          ///< label before the number ("ping ", ...)
+  std::string suffix;          ///< label after the number ("ms", ...)
+  int text_scale = 2;          ///< font scale the game renders at (~75 dpi)
+};
+
+/// UI spec for a game name; unknown games get a generic top-right spec.
+[[nodiscard]] const GameUiSpec& ui_spec_for(std::string_view game);
+
+/// All built-in specs (one per game in App. C).
+[[nodiscard]] std::span<const GameUiSpec> all_ui_specs();
+
+}  // namespace tero::ocr

@@ -1,0 +1,37 @@
+#include "ocr/preprocess.hpp"
+
+#include "image/ops.hpp"
+
+namespace tero::ocr {
+namespace {
+
+image::GrayImage normalize_polarity(image::GrayImage binary) {
+  // Latency text is a minority of pixels; if most of the crop binarized to
+  // foreground, the panel is lighter than the text — invert.
+  if (image::foreground_ratio(binary) > 0.5) {
+    binary = image::invert(binary);
+  }
+  return binary;
+}
+
+}  // namespace
+
+image::GrayImage preprocess(const image::GrayImage& crop,
+                            const PreprocessConfig& config) {
+  image::GrayImage img = image::upscale_bilinear(crop, config.upscale_factor);
+  img = image::gaussian_blur(img, config.blur_sigma);
+  img = image::binarize(img, image::otsu_threshold(img));
+  img = normalize_polarity(std::move(img));
+  for (int i = 0; i < config.morph_rounds; ++i) {
+    img = image::erode3x3(image::dilate3x3(img));
+  }
+  return img;
+}
+
+image::GrayImage preprocess_minimal(const image::GrayImage& crop) {
+  image::GrayImage img = image::upscale_bilinear(crop, 3);
+  img = image::binarize(img, image::otsu_threshold(img));
+  return normalize_polarity(std::move(img));
+}
+
+}  // namespace tero::ocr

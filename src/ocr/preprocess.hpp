@@ -1,0 +1,27 @@
+#pragma once
+
+#include "image/image.hpp"
+
+namespace tero::ocr {
+
+/// Knobs of the App. E pre-processing chain. Defaults follow the paper:
+/// up-scale, blur, Otsu threshold, and a dilate/erode round to merge
+/// disjoint glyph regions.
+struct PreprocessConfig {
+  int upscale_factor = 4;
+  double blur_sigma = 1.0;
+  int morph_rounds = 1;  ///< dilate+erode rounds; 0 disables
+};
+
+/// Run the full App. E pre-processing over a cropped latency region and
+/// return a binary image (255 = ink). Text polarity is normalized so ink is
+/// always the foreground minority.
+[[nodiscard]] image::GrayImage preprocess(const image::GrayImage& crop,
+                                          const PreprocessConfig& config = {});
+
+/// The "reprocessing" variant (App. E step 4): binarize only, with no
+/// up-scaling/blur/morphology. Used when the engines' outputs were
+/// ambiguous after full pre-processing.
+[[nodiscard]] image::GrayImage preprocess_minimal(const image::GrayImage& crop);
+
+}  // namespace tero::ocr

@@ -1,0 +1,50 @@
+#include "social/locator.hpp"
+
+namespace tero::social {
+
+Locator::Locator(const SocialDirectory& twitter, const SocialDirectory& steam)
+    : twitter_(&twitter), steam_(&steam) {}
+
+LocatorResult Locator::locate(const TwitchProfile& profile) const {
+  // (1) Some streamers embed their location in the Twitch description
+  // ("Join us in Detroit!").
+  if (auto from_description = nlp::combine_twitch_description(
+          profile.description, tools_, profile.country_tag)) {
+    return LocatorResult{from_description, LocationSource::kTwitchDescription};
+  }
+
+  // (2) Username-matched social profile with an explicit backlink.
+  auto try_platform = [&](const SocialDirectory& directory,
+                          LocationSource source) -> LocatorResult {
+    const SocialProfile* social = directory.find(profile.username);
+    if (social == nullptr || !social->links_to_twitch(profile.username)) {
+      return LocatorResult{};
+    }
+    // Twitter exposes a structured-ish location field; prefer it, then the
+    // bio processed like a description.
+    if (!social->location_field.empty()) {
+      if (auto loc = nlp::combine_twitter_location(social->location_field,
+                                                   tools_)) {
+        return LocatorResult{loc, source};
+      }
+    }
+    if (!social->bio.empty()) {
+      if (auto loc = nlp::combine_twitch_description(social->bio, tools_)) {
+        return LocatorResult{loc, source};
+      }
+    }
+    return LocatorResult{};
+  };
+
+  if (auto via_twitter = try_platform(*twitter_, LocationSource::kTwitter);
+      via_twitter.located()) {
+    return via_twitter;
+  }
+  if (auto via_steam = try_platform(*steam_, LocationSource::kSteam);
+      via_steam.located()) {
+    return via_steam;
+  }
+  return LocatorResult{};
+}
+
+}  // namespace tero::social

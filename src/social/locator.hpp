@@ -1,0 +1,44 @@
+#pragma once
+
+#include <optional>
+
+#include "geo/geo.hpp"
+#include "nlp/combine.hpp"
+#include "social/platform.hpp"
+
+namespace tero::social {
+
+/// Where a streamer's location ultimately came from.
+enum class LocationSource {
+  kNone,
+  kTwitchDescription,  ///< geocoded straight from the profile (0.97% in §3.1)
+  kTwitter,            ///< username match + explicit backlink, then geoparse
+  kSteam,              ///< same mechanism over Steam
+};
+
+struct LocatorResult {
+  std::optional<geo::Location> location;
+  LocationSource source = LocationSource::kNone;
+
+  [[nodiscard]] bool located() const noexcept { return location.has_value(); }
+};
+
+/// The location module (§3.1): first geocode the Twitch description; if that
+/// fails, look for a Twitter (then Steam) profile with the same username
+/// that carries an explicit link back to the Twitch account, and geoparse
+/// its location field / bio.
+class Locator {
+ public:
+  Locator(const SocialDirectory& twitter, const SocialDirectory& steam);
+
+  [[nodiscard]] LocatorResult locate(const TwitchProfile& profile) const;
+
+  [[nodiscard]] const nlp::ToolSet& tools() const noexcept { return tools_; }
+
+ private:
+  const SocialDirectory* twitter_;
+  const SocialDirectory* steam_;
+  nlp::ToolSet tools_;
+};
+
+}  // namespace tero::social

@@ -1,0 +1,26 @@
+#include "social/platform.hpp"
+
+#include "util/strings.hpp"
+
+namespace tero::social {
+
+bool SocialProfile::links_to_twitch(std::string_view twitch_username) const {
+  const std::string target = "twitch.tv/" + util::to_lower(twitch_username);
+  for (const auto& link : links) {
+    if (util::icontains(link, target)) return true;
+  }
+  return false;
+}
+
+void SocialDirectory::add(SocialProfile profile) {
+  profiles_.push_back(std::move(profile));
+}
+
+const SocialProfile* SocialDirectory::find(std::string_view username) const {
+  for (const auto& profile : profiles_) {
+    if (util::iequals(profile.username, username)) return &profile;
+  }
+  return nullptr;
+}
+
+}  // namespace tero::social

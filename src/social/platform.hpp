@@ -1,0 +1,47 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tero::social {
+
+/// A streamer's Twitch account, as visible through the Developer API: an
+/// unstructured "description" plus (until Feb 2023) optional country-level
+/// stream tags (App. D.2).
+struct TwitchProfile {
+  std::string username;
+  std::string description;
+  std::optional<std::string> country_tag;  ///< stable country-level tag
+};
+
+/// A social profile on Twitter or Steam. `location_field` is Twitter's
+/// free-text location box (empty for Steam); `links` are the explicit URLs
+/// the owner put on their profile (the voluntary connections §3.1 relies
+/// on).
+struct SocialProfile {
+  std::string username;
+  std::string location_field;
+  std::string bio;
+  std::vector<std::string> links;
+
+  /// True if the profile carries an explicit link to the given Twitch
+  /// account — the only evidence Tero accepts for associating the two (§7).
+  [[nodiscard]] bool links_to_twitch(std::string_view twitch_username) const;
+};
+
+/// An in-memory username -> profile directory standing in for one
+/// social-media platform's API. Lookup is by exact username
+/// (case-insensitive), the only query §3.1 needs.
+class SocialDirectory {
+ public:
+  void add(SocialProfile profile);
+  [[nodiscard]] const SocialProfile* find(std::string_view username) const;
+  [[nodiscard]] std::size_t size() const noexcept { return profiles_.size(); }
+
+ private:
+  std::vector<SocialProfile> profiles_;
+};
+
+}  // namespace tero::social

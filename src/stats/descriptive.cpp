@@ -1,0 +1,84 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tero::stats {
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double total = 0.0;
+  for (double x : xs) total += x;
+  return total / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double min_of(std::span<const double> xs) noexcept {
+  double best = xs.empty() ? 0.0 : xs[0];
+  for (double x : xs) best = std::min(best, x);
+  return best;
+}
+
+double max_of(std::span<const double> xs) noexcept {
+  double best = xs.empty() ? 0.0 : xs[0];
+  for (double x : xs) best = std::max(best, x);
+  return best;
+}
+
+double percentile_sorted(std::span<const double> sorted, double pct) noexcept {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  const double clamped = std::clamp(pct, 0.0, 100.0);
+  const double rank =
+      clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double percentile(std::span<const double> xs, double pct) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, pct);
+}
+
+Boxplot boxplot(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("boxplot: empty input");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  return Boxplot{
+      percentile_sorted(sorted, 5),  percentile_sorted(sorted, 25),
+      percentile_sorted(sorted, 50), percentile_sorted(sorted, 75),
+      percentile_sorted(sorted, 95),
+  };
+}
+
+double ecdf(std::span<const double> xs, double x) noexcept {
+  if (xs.empty()) return 0.0;
+  std::size_t count = 0;
+  for (double v : xs) {
+    if (v <= x) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(xs.size());
+}
+
+MeanErr mean_err(std::span<const double> xs) noexcept {
+  MeanErr result;
+  result.mean = mean(xs);
+  if (xs.size() >= 2) {
+    result.err = stddev(xs) / std::sqrt(static_cast<double>(xs.size()));
+  }
+  return result;
+}
+
+}  // namespace tero::stats

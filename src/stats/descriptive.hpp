@@ -1,0 +1,41 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tero::stats {
+
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+[[nodiscard]] double min_of(std::span<const double> xs) noexcept;
+[[nodiscard]] double max_of(std::span<const double> xs) noexcept;
+
+/// Percentile in [0, 100] with linear interpolation between order statistics
+/// (the "linear" / type-7 definition). Requires a non-empty input; the input
+/// need not be sorted.
+[[nodiscard]] double percentile(std::span<const double> xs, double pct);
+
+/// Percentile over data that is already sorted ascending.
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted,
+                                       double pct) noexcept;
+
+/// The paper's boxplot summary (§5.2): 5th/25th/50th/75th/95th percentiles —
+/// deliberately not min/max, to exclude the ~3.7% image-processing errors.
+struct Boxplot {
+  double p5 = 0, p25 = 0, p50 = 0, p75 = 0, p95 = 0;
+};
+[[nodiscard]] Boxplot boxplot(std::span<const double> xs);
+
+/// Empirical CDF evaluated at `x` (fraction of samples <= x).
+[[nodiscard]] double ecdf(std::span<const double> xs, double x) noexcept;
+
+/// Mean and its standard error over per-repetition values, used for the
+/// "value +/- err" cells in the paper's tables.
+struct MeanErr {
+  double mean = 0;
+  double err = 0;  ///< standard error of the mean
+};
+[[nodiscard]] MeanErr mean_err(std::span<const double> xs) noexcept;
+
+}  // namespace tero::stats

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+namespace tero::stats {
+
+/// Standard normal probability density.
+[[nodiscard]] double normal_pdf(double x) noexcept;
+
+/// Standard normal cumulative distribution (via erfc; ~1e-15 accurate).
+[[nodiscard]] double normal_cdf(double x) noexcept;
+
+/// Inverse of normal_cdf (Acklam's rational approximation with one
+/// Newton refinement; ~1e-12 accurate). Requires 0 < p < 1.
+[[nodiscard]] double normal_quantile(double p);
+
+/// log(n choose k) via lgamma.
+[[nodiscard]] double log_binomial_coefficient(std::uint64_t n,
+                                              std::uint64_t k) noexcept;
+
+/// Binomial point mass P[X = k] for X ~ Bin(n, p), computed in log space so
+/// huge n stays finite (used by the shared-anomaly test, App. F).
+[[nodiscard]] double binomial_pmf(std::uint64_t n, std::uint64_t k,
+                                  double p) noexcept;
+
+/// Upper tail P[X >= k] for X ~ Bin(n, p).
+[[nodiscard]] double binomial_tail(std::uint64_t n, std::uint64_t k,
+                                   double p) noexcept;
+
+/// Two-sided p-value for a z statistic.
+[[nodiscard]] double z_pvalue(double z) noexcept;
+
+}  // namespace tero::stats

@@ -1,0 +1,119 @@
+#include "stats/matrix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace tero::stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  if (cols_ != other.rows_) {
+    throw std::invalid_argument("Matrix::multiply: shape mismatch");
+  }
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(r, k);
+      if (a == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out.at(r, c) += a * other.at(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> vec) const {
+  if (cols_ != vec.size()) {
+    throw std::invalid_argument("Matrix::multiply(vec): shape mismatch");
+  }
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += at(r, c) * vec[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+Matrix Matrix::cholesky() const {
+  if (rows_ != cols_) {
+    throw std::invalid_argument("Matrix::cholesky: not square");
+  }
+  Matrix l(rows_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = at(i, j);
+      for (std::size_t k = 0; k < j; ++k) sum -= l.at(i, k) * l.at(j, k);
+      if (i == j) {
+        if (sum <= 0.0) {
+          throw std::domain_error("Matrix::cholesky: not positive definite");
+        }
+        l.at(i, i) = std::sqrt(sum);
+      } else {
+        l.at(i, j) = sum / l.at(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+std::vector<double> Matrix::solve_spd(std::span<const double> b) const {
+  if (b.size() != rows_) {
+    throw std::invalid_argument("Matrix::solve_spd: shape mismatch");
+  }
+  const Matrix l = cholesky();
+  // Forward substitution: L y = b.
+  std::vector<double> y(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double sum = b[i];
+    for (std::size_t k = 0; k < i; ++k) sum -= l.at(i, k) * y[k];
+    y[i] = sum / l.at(i, i);
+  }
+  // Back substitution: L^T x = y.
+  std::vector<double> x(rows_);
+  for (std::size_t ii = rows_; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double sum = y[i];
+    for (std::size_t k = i + 1; k < rows_; ++k) sum -= l.at(k, i) * x[k];
+    x[i] = sum / l.at(i, i);
+  }
+  return x;
+}
+
+Matrix Matrix::inverse_spd() const {
+  Matrix inv(rows_, rows_);
+  std::vector<double> unit(rows_, 0.0);
+  for (std::size_t c = 0; c < rows_; ++c) {
+    unit[c] = 1.0;
+    const auto col = solve_spd(unit);
+    for (std::size_t r = 0; r < rows_; ++r) inv.at(r, c) = col[r];
+    unit[c] = 0.0;
+  }
+  return inv;
+}
+
+double Matrix::determinant_spd() const {
+  const Matrix l = cholesky();
+  double det = 1.0;
+  for (std::size_t i = 0; i < rows_; ++i) det *= l.at(i, i) * l.at(i, i);
+  return det;
+}
+
+}  // namespace tero::stats

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace tero::stats {
+
+/// Small dense row-major matrix for the regression and MCD machinery.
+/// Not a general linear-algebra library — just what the statistics need.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) noexcept {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const noexcept {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] static Matrix identity(std::size_t n);
+  [[nodiscard]] Matrix transpose() const;
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+  [[nodiscard]] std::vector<double> multiply(
+      std::span<const double> vec) const;
+
+  /// Solve A x = b for symmetric positive-definite A via Cholesky.
+  /// Throws std::domain_error if A is not positive definite.
+  [[nodiscard]] std::vector<double> solve_spd(std::span<const double> b) const;
+
+  /// Inverse of a symmetric positive-definite matrix via Cholesky.
+  [[nodiscard]] Matrix inverse_spd() const;
+
+  /// Determinant of a symmetric positive-definite matrix.
+  [[nodiscard]] double determinant_spd() const;
+
+ private:
+  /// Lower-triangular Cholesky factor L with A = L L^T.
+  [[nodiscard]] Matrix cholesky() const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace tero::stats

@@ -1,0 +1,130 @@
+#include "stats/probit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distributions.hpp"
+#include "stats/matrix.hpp"
+
+namespace tero::stats {
+namespace {
+
+// Clamp the linear index so Phi stays strictly inside (0, 1).
+constexpr double kMaxIndex = 8.0;
+
+double clamped_cdf(double eta) noexcept {
+  return normal_cdf(std::clamp(eta, -kMaxIndex, kMaxIndex));
+}
+
+}  // namespace
+
+ProbitResult probit_fit(const std::vector<std::vector<double>>& x,
+                        std::span<const int> y, int max_iterations,
+                        double tolerance) {
+  const std::size_t n = x.size();
+  if (n == 0 || n != y.size()) {
+    throw std::invalid_argument("probit_fit: empty or mismatched input");
+  }
+  const std::size_t k = x[0].size() + 1;  // + intercept
+  for (const auto& row : x) {
+    if (row.size() + 1 != k) {
+      throw std::invalid_argument("probit_fit: ragged design matrix");
+    }
+  }
+
+  auto design = [&](std::size_t i, std::size_t j) -> double {
+    return j == 0 ? 1.0 : x[i][j - 1];
+  };
+
+  ProbitResult result;
+  std::vector<double> beta(k, 0.0);
+
+  // Initialize the intercept from the base rate.
+  double base_rate = 0.0;
+  for (int yi : y) base_rate += yi;
+  base_rate /= static_cast<double>(n);
+  base_rate = std::clamp(base_rate, 1e-4, 1.0 - 1e-4);
+  beta[0] = normal_quantile(base_rate);
+
+  Matrix fisher(k, k);
+  std::vector<double> score(k);
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Score vector and expected (Fisher) information.
+    for (auto& v : score) v = 0.0;
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = 0; b < k; ++b) fisher.at(a, b) = 0.0;
+    }
+    double log_lik = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double eta = 0.0;
+      for (std::size_t j = 0; j < k; ++j) eta += beta[j] * design(i, j);
+      const double phi = normal_pdf(std::clamp(eta, -kMaxIndex, kMaxIndex));
+      const double cdf = std::clamp(clamped_cdf(eta), 1e-12, 1.0 - 1e-12);
+      log_lik += y[i] == 1 ? std::log(cdf) : std::log1p(-cdf);
+      // Generalized residual: phi * (y - Phi) / (Phi (1 - Phi)).
+      const double weight = phi * phi / (cdf * (1.0 - cdf));
+      const double resid =
+          phi * (static_cast<double>(y[i]) - cdf) / (cdf * (1.0 - cdf));
+      for (std::size_t a = 0; a < k; ++a) {
+        score[a] += resid * design(i, a);
+        for (std::size_t b = a; b < k; ++b) {
+          fisher.at(a, b) += weight * design(i, a) * design(i, b);
+        }
+      }
+    }
+    for (std::size_t a = 0; a < k; ++a) {
+      for (std::size_t b = 0; b < a; ++b) fisher.at(a, b) = fisher.at(b, a);
+      fisher.at(a, a) += 1e-10;  // ridge for near-singular designs
+    }
+    result.log_likelihood = log_lik;
+
+    const auto step = fisher.solve_spd(score);
+    double max_step = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      beta[j] += step[j];
+      max_step = std::max(max_step, std::abs(step[j]));
+    }
+    result.iterations = iter + 1;
+    if (max_step < tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.beta = beta;
+  // Standard errors from the inverse Fisher information at the optimum.
+  const Matrix cov = fisher.inverse_spd();
+  result.std_err.resize(k);
+  result.z.resize(k);
+  result.p_value.resize(k);
+  result.marginal_effect.assign(k, 0.0);
+  for (std::size_t j = 0; j < k; ++j) {
+    result.std_err[j] = std::sqrt(std::max(0.0, cov.at(j, j)));
+    result.z[j] =
+        result.std_err[j] > 0.0 ? beta[j] / result.std_err[j] : 0.0;
+    result.p_value[j] = z_pvalue(result.z[j]);
+  }
+  // Average marginal effects: mean_i phi(x_i' beta) * beta_j.
+  double mean_phi = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double eta = 0.0;
+    for (std::size_t j = 0; j < k; ++j) eta += beta[j] * design(i, j);
+    mean_phi += normal_pdf(std::clamp(eta, -kMaxIndex, kMaxIndex));
+  }
+  mean_phi /= static_cast<double>(n);
+  for (std::size_t j = 0; j < k; ++j) {
+    result.marginal_effect[j] = mean_phi * beta[j];
+  }
+  return result;
+}
+
+ProbitResult probit_fit_single(std::span<const double> x,
+                               std::span<const int> y) {
+  std::vector<std::vector<double>> design(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) design[i] = {x[i]};
+  return probit_fit(design, y);
+}
+
+}  // namespace tero::stats

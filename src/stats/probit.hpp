@@ -1,0 +1,37 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace tero::stats {
+
+/// Result of a maximum-likelihood Probit fit (the paper's §6 user-behaviour
+/// analysis). Coefficients are ordered [intercept, x1, x2, ...].
+struct ProbitResult {
+  std::vector<double> beta;
+  std::vector<double> std_err;
+  std::vector<double> z;        ///< beta / std_err
+  std::vector<double> p_value;  ///< two-sided
+  /// Average marginal effect of each regressor: mean over observations of
+  /// phi(x'beta) * beta_j — "how the probability of the outcome changes when
+  /// one extra unit of the predictor is added" (§6).
+  std::vector<double> marginal_effect;
+  double log_likelihood = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Fit P[y = 1 | x] = Phi(b0 + b1 x1 + ...) by Newton-Raphson on the
+/// log-likelihood. `x` holds one row per observation (all rows the same
+/// length, without the intercept column — it is added internally);
+/// `y` holds the binary outcomes.
+[[nodiscard]] ProbitResult probit_fit(
+    const std::vector<std::vector<double>>& x, std::span<const int> y,
+    int max_iterations = 100, double tolerance = 1e-9);
+
+/// Convenience wrapper for the paper's single-regressor case (number of
+/// spikes -> probability of a server/game change).
+[[nodiscard]] ProbitResult probit_fit_single(std::span<const double> x,
+                                             std::span<const int> y);
+
+}  // namespace tero::stats

@@ -1,0 +1,86 @@
+#include "stats/wasserstein.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace tero::stats {
+
+double wasserstein1(std::span<const double> a, std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("wasserstein1: empty input");
+  }
+  std::vector<double> sa(a.begin(), a.end());
+  std::vector<double> sb(b.begin(), b.end());
+  std::sort(sa.begin(), sa.end());
+  std::sort(sb.begin(), sb.end());
+
+  // Merge all breakpoints; between consecutive breakpoints both ECDFs are
+  // constant, so the integral is a finite sum.
+  std::vector<double> points;
+  points.reserve(sa.size() + sb.size());
+  points.insert(points.end(), sa.begin(), sa.end());
+  points.insert(points.end(), sb.begin(), sb.end());
+  std::sort(points.begin(), points.end());
+
+  double distance = 0.0;
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    while (ia < sa.size() && sa[ia] <= points[i]) ++ia;
+    while (ib < sb.size() && sb[ib] <= points[i]) ++ib;
+    const double cdf_a = static_cast<double>(ia) / sa.size();
+    const double cdf_b = static_cast<double>(ib) / sb.size();
+    distance += std::abs(cdf_a - cdf_b) * (points[i + 1] - points[i]);
+  }
+  return distance;
+}
+
+double unevenness_score(std::span<const double> timestamps,
+                        double window_start, double window_end) {
+  if (timestamps.empty() || window_end <= window_start) {
+    throw std::invalid_argument("unevenness_score: bad input");
+  }
+  const double width = window_end - window_start;
+  const std::size_t n = timestamps.size();
+
+  // W1 between the empirical points and the continuous uniform over the
+  // window equals the integral of |ECDF(t) - (t - start)/width| dt. Compute
+  // it exactly piecewise between sorted points.
+  std::vector<double> sorted(timestamps.begin(), timestamps.end());
+  std::sort(sorted.begin(), sorted.end());
+  auto w1_vs_uniform = [&](const std::vector<double>& pts) {
+    double total = 0.0;
+    double prev = window_start;
+    for (std::size_t i = 0; i <= pts.size(); ++i) {
+      const double next = i < pts.size() ? pts[i] : window_end;
+      const double ecdf_val = static_cast<double>(i) / n;
+      // Integrate |ecdf_val - (t - start)/width| from prev to next; the
+      // integrand is linear in t, crossing zero at most once.
+      const double t_cross = window_start + ecdf_val * width;
+      auto segment = [&](double lo, double hi) {
+        // integral of |c - (t-s)/w| over [lo,hi] with constant c.
+        const double flo = ecdf_val - (lo - window_start) / width;
+        const double fhi = ecdf_val - (hi - window_start) / width;
+        return 0.5 * (std::abs(flo) + std::abs(fhi)) * (hi - lo);
+      };
+      if (t_cross > prev && t_cross < next) {
+        total += segment(prev, t_cross) + segment(t_cross, next);
+      } else if (next > prev) {
+        total += segment(prev, next);
+      }
+      prev = next;
+    }
+    return total;
+  };
+
+  const double actual = w1_vs_uniform(sorted);
+  // Most uneven: all n points at one end (the far end maximizes distance to
+  // the uniform distribution equally at either end; use window_start).
+  const std::vector<double> degenerate(n, window_start);
+  const double worst = w1_vs_uniform(degenerate);
+  return worst > 0.0 ? std::min(1.0, actual / worst) : 0.0;
+}
+
+}  // namespace tero::stats

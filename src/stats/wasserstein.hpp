@@ -1,0 +1,21 @@
+#pragma once
+
+#include <span>
+
+namespace tero::stats {
+
+/// 1-D Wasserstein-1 (earth mover's) distance between two empirical
+/// distributions given as unsorted samples. Computed as the integral of the
+/// absolute difference of the two empirical CDFs.
+[[nodiscard]] double wasserstein1(std::span<const double> a,
+                                  std::span<const double> b);
+
+/// The paper's "uneven-ness" score (§5.1, Fig. 8): how unevenly `timestamps`
+/// (all inside [window_start, window_end]) are spread across the window.
+/// 0 = perfectly uniform spread, 1 = all points at the same instant.
+/// Implemented as W1(points, uniform) / W1(most-uneven, uniform), where the
+/// most-uneven distribution puts all points at one end of the window.
+[[nodiscard]] double unevenness_score(std::span<const double> timestamps,
+                                      double window_start, double window_end);
+
+}  // namespace tero::stats

@@ -1,0 +1,64 @@
+#include "store/consistent_hash.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace tero::store {
+namespace {
+
+std::uint64_t hash_with_salt(std::string_view text, std::uint64_t salt) {
+  std::array<char, 8> salt_bytes;
+  for (int i = 0; i < 8; ++i) {
+    salt_bytes[static_cast<std::size_t>(i)] =
+        static_cast<char>((salt >> (8 * i)) & 0xff);
+  }
+  std::string salted(salt_bytes.begin(), salt_bytes.end());
+  salted.append(text);
+  return util::fnv1a64(std::span<const char>{salted.data(), salted.size()});
+}
+
+}  // namespace
+
+std::string Pseudonymizer::pseudonym(std::string_view streamer_id) const {
+  const std::uint64_t hash = hash_with_salt(streamer_id, salt_);
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "u%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+ConsistentHashRing::ConsistentHashRing(int virtual_nodes)
+    : virtual_nodes_(std::max(1, virtual_nodes)) {}
+
+void ConsistentHashRing::add_node(const std::string& node) {
+  if (std::find(nodes_.begin(), nodes_.end(), node) != nodes_.end()) return;
+  nodes_.push_back(node);
+  for (int v = 0; v < virtual_nodes_; ++v) {
+    const std::string vnode = node + "#" + std::to_string(v);
+    ring_[hash_with_salt(vnode, 0)] = node;
+  }
+}
+
+void ConsistentHashRing::remove_node(const std::string& node) {
+  nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), node), nodes_.end());
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    if (it->second == node) {
+      it = ring_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::string ConsistentHashRing::node_for(std::string_view key) const {
+  if (ring_.empty()) return {};
+  const std::uint64_t h = hash_with_salt(key, 0);
+  auto it = ring_.lower_bound(h);
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+}  // namespace tero::store

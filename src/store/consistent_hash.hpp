@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tero::store {
+
+/// Stable pseudonymization of streamer IDs (§7): Tero must remember that a
+/// location and a set of measurements belong to the same streamer without
+/// remembering who the streamer is. A salted consistent hash gives a stable
+/// opaque ID; the salt never leaves the process.
+class Pseudonymizer {
+ public:
+  explicit Pseudonymizer(std::uint64_t salt) : salt_(salt) {}
+
+  /// "u" + 16 hex digits, stable for a given (salt, id) pair.
+  [[nodiscard]] std::string pseudonym(std::string_view streamer_id) const;
+
+ private:
+  std::uint64_t salt_;
+};
+
+/// Classic consistent-hash ring with virtual nodes; used to shard keys
+/// across store replicas so node churn only remaps a ~1/n fraction of keys.
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(int virtual_nodes = 64);
+
+  void add_node(const std::string& node);
+  void remove_node(const std::string& node);
+
+  /// The node owning `key`; empty string if the ring is empty.
+  [[nodiscard]] std::string node_for(std::string_view key) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+
+ private:
+  int virtual_nodes_;
+  std::vector<std::string> nodes_;
+  std::map<std::uint64_t, std::string> ring_;
+};
+
+}  // namespace tero::store

@@ -1,0 +1,84 @@
+#include "store/doc_store.hpp"
+
+#include <cstdlib>
+
+namespace tero::store {
+
+std::uint64_t DocStore::insert(std::string_view collection, Document doc) {
+  const std::uint64_t id = next_id_++;
+  collections_[std::string(collection)].docs.emplace(id, std::move(doc));
+  return id;
+}
+
+const Document* DocStore::find_by_id(std::string_view collection,
+                                     std::uint64_t id) const {
+  const auto coll_it = collections_.find(collection);
+  if (coll_it == collections_.end()) return nullptr;
+  const auto it = coll_it->second.docs.find(id);
+  return it == coll_it->second.docs.end() ? nullptr : &it->second;
+}
+
+std::vector<const Document*> DocStore::find_equal(std::string_view collection,
+                                                  std::string_view field,
+                                                  std::string_view value) const {
+  return scan(collection, [&](const Document& doc) {
+    const auto it = doc.find(field);
+    return it != doc.end() && it->second == value;
+  });
+}
+
+std::vector<const Document*> DocStore::scan(
+    std::string_view collection,
+    const std::function<bool(const Document&)>& predicate) const {
+  std::vector<const Document*> results;
+  const auto coll_it = collections_.find(collection);
+  if (coll_it == collections_.end()) return results;
+  for (const auto& [id, doc] : coll_it->second.docs) {
+    if (predicate(doc)) results.push_back(&doc);
+  }
+  return results;
+}
+
+std::size_t DocStore::count(std::string_view collection) const {
+  const auto coll_it = collections_.find(collection);
+  return coll_it == collections_.end() ? 0 : coll_it->second.docs.size();
+}
+
+std::size_t DocStore::remove_if(
+    std::string_view collection,
+    const std::function<bool(const Document&)>& predicate) {
+  const auto coll_it = collections_.find(collection);
+  if (coll_it == collections_.end()) return 0;
+  std::size_t removed = 0;
+  for (auto it = coll_it->second.docs.begin();
+       it != coll_it->second.docs.end();) {
+    if (predicate(it->second)) {
+      it = coll_it->second.docs.erase(it);
+      ++removed;
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+std::vector<std::string> DocStore::collections() const {
+  std::vector<std::string> names;
+  for (const auto& [name, collection] : collections_) names.push_back(name);
+  return names;
+}
+
+std::string doc_get(const Document& doc, std::string_view field,
+                    std::string fallback) {
+  const auto it = doc.find(field);
+  return it == doc.end() ? std::move(fallback) : it->second;
+}
+
+double doc_get_num(const Document& doc, std::string_view field,
+                   double fallback) {
+  const auto it = doc.find(field);
+  if (it == doc.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+}  // namespace tero::store

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tero::store {
+
+/// A flat string->string record; numeric fields are stored as decimal text
+/// (the document store holds latency measurements and analysis results, all
+/// of which serialize naturally).
+using Document = std::map<std::string, std::string, std::less<>>;
+
+/// MongoDB-like document store (App. B): named collections of schemaless
+/// documents with insert / filtered scan / field equality indexes.
+class DocStore {
+ public:
+  /// Insert and return the document's auto-assigned id.
+  std::uint64_t insert(std::string_view collection, Document doc);
+
+  [[nodiscard]] const Document* find_by_id(std::string_view collection,
+                                           std::uint64_t id) const;
+
+  /// All documents where `field` equals `value`.
+  [[nodiscard]] std::vector<const Document*> find_equal(
+      std::string_view collection, std::string_view field,
+      std::string_view value) const;
+
+  /// All documents matching an arbitrary predicate.
+  [[nodiscard]] std::vector<const Document*> scan(
+      std::string_view collection,
+      const std::function<bool(const Document&)>& predicate) const;
+
+  [[nodiscard]] std::size_t count(std::string_view collection) const;
+
+  /// Remove documents matching the predicate, returning how many.
+  std::size_t remove_if(std::string_view collection,
+                        const std::function<bool(const Document&)>& predicate);
+
+  /// Collection names (persistence / debugging).
+  [[nodiscard]] std::vector<std::string> collections() const;
+
+ private:
+  struct Collection {
+    std::map<std::uint64_t, Document> docs;
+  };
+  std::map<std::string, Collection, std::less<>> collections_;
+  std::uint64_t next_id_ = 1;
+};
+
+/// Field helpers (missing field -> fallback).
+[[nodiscard]] std::string doc_get(const Document& doc, std::string_view field,
+                                  std::string fallback = "");
+[[nodiscard]] double doc_get_num(const Document& doc, std::string_view field,
+                                 double fallback = 0.0);
+
+}  // namespace tero::store

@@ -1,0 +1,78 @@
+#include "store/kv_store.hpp"
+
+namespace tero::store {
+
+void KvStore::put(std::string key, std::string value) {
+  values_[std::move(key)] = std::move(value);
+}
+
+std::optional<std::string> KvStore::get(std::string_view key) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool KvStore::erase(std::string_view key) {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return false;
+  values_.erase(it);
+  return true;
+}
+
+bool KvStore::contains(std::string_view key) const {
+  return values_.find(key) != values_.end();
+}
+
+std::vector<std::string> KvStore::keys_with_prefix(
+    std::string_view prefix) const {
+  std::vector<std::string> keys;
+  for (auto it = values_.lower_bound(prefix); it != values_.end(); ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    keys.push_back(it->first);
+  }
+  return keys;
+}
+
+void KvStore::push_back(const std::string& list_key, std::string value) {
+  lists_[list_key].push_back(std::move(value));
+}
+
+std::optional<std::string> KvStore::pop_front(const std::string& list_key) {
+  const auto it = lists_.find(list_key);
+  if (it == lists_.end() || it->second.empty()) return std::nullopt;
+  std::string value = std::move(it->second.front());
+  it->second.pop_front();
+  return value;
+}
+
+std::size_t KvStore::list_size(const std::string& list_key) const {
+  const auto it = lists_.find(list_key);
+  return it == lists_.end() ? 0 : it->second.size();
+}
+
+std::vector<std::string> KvStore::pop_batch(const std::string& list_key,
+                                            std::size_t batch) {
+  std::vector<std::string> values;
+  const auto it = lists_.find(list_key);
+  if (it == lists_.end()) return values;
+  while (values.size() < batch && !it->second.empty()) {
+    values.push_back(std::move(it->second.front()));
+    it->second.pop_front();
+  }
+  return values;
+}
+
+std::vector<std::string> KvStore::list_keys() const {
+  std::vector<std::string> keys;
+  for (const auto& [key, values] : lists_) keys.push_back(key);
+  return keys;
+}
+
+std::vector<std::string> KvStore::list_contents(
+    const std::string& list_key) const {
+  const auto it = lists_.find(list_key);
+  if (it == lists_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+}  // namespace tero::store

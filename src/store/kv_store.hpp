@@ -1,0 +1,49 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tero::store {
+
+/// In-memory key-value store standing in for Redis (App. B): plain string
+/// keys/values plus FIFO lists, which is all the inter-process communication
+/// Tero's modules use (producers push, consumers pull when ready). Keys are
+/// ordered, so prefix scans are cheap — the coordinator's crash-recovery
+/// path (App. A) reconstructs its state from a prefix scan.
+class KvStore {
+ public:
+  // -- plain keys ------------------------------------------------------------
+  void put(std::string key, std::string value);
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+  bool erase(std::string_view key);
+  [[nodiscard]] bool contains(std::string_view key) const;
+  [[nodiscard]] std::vector<std::string> keys_with_prefix(
+      std::string_view prefix) const;
+  [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
+
+  // -- FIFO lists (work queues) -----------------------------------------------
+  void push_back(const std::string& list_key, std::string value);
+  [[nodiscard]] std::optional<std::string> pop_front(
+      const std::string& list_key);
+  [[nodiscard]] std::size_t list_size(const std::string& list_key) const;
+  /// Pop up to `batch` elements at once; image-processing workers pull
+  /// fixed-size batches and leave smaller remainders for slower processes
+  /// (App. B).
+  [[nodiscard]] std::vector<std::string> pop_batch(const std::string& list_key,
+                                                   std::size_t batch);
+
+  // -- enumeration (persistence / debugging) ----------------------------------
+  [[nodiscard]] std::vector<std::string> list_keys() const;
+  [[nodiscard]] std::vector<std::string> list_contents(
+      const std::string& list_key) const;
+
+ private:
+  std::map<std::string, std::string, std::less<>> values_;
+  std::map<std::string, std::deque<std::string>, std::less<>> lists_;
+};
+
+}  // namespace tero::store

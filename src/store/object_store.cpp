@@ -1,0 +1,52 @@
+#include "store/object_store.hpp"
+
+namespace tero::store {
+
+void ObjectStore::put(std::string_view bucket, std::string_view key,
+                      std::string bytes) {
+  auto& bucket_map = buckets_[std::string(bucket)];
+  auto it = bucket_map.find(key);
+  if (it != bucket_map.end()) {
+    total_bytes_ -= it->second.size();
+    it->second = std::move(bytes);
+    total_bytes_ += it->second.size();
+  } else {
+    total_bytes_ += bytes.size();
+    bucket_map.emplace(std::string(key), std::move(bytes));
+  }
+}
+
+std::optional<std::string> ObjectStore::get(std::string_view bucket,
+                                            std::string_view key) const {
+  const auto bucket_it = buckets_.find(bucket);
+  if (bucket_it == buckets_.end()) return std::nullopt;
+  const auto it = bucket_it->second.find(key);
+  if (it == bucket_it->second.end()) return std::nullopt;
+  return it->second;
+}
+
+bool ObjectStore::erase(std::string_view bucket, std::string_view key) {
+  const auto bucket_it = buckets_.find(bucket);
+  if (bucket_it == buckets_.end()) return false;
+  const auto it = bucket_it->second.find(key);
+  if (it == bucket_it->second.end()) return false;
+  total_bytes_ -= it->second.size();
+  bucket_it->second.erase(it);
+  return true;
+}
+
+std::vector<std::string> ObjectStore::list(std::string_view bucket) const {
+  std::vector<std::string> keys;
+  const auto bucket_it = buckets_.find(bucket);
+  if (bucket_it == buckets_.end()) return keys;
+  for (const auto& [key, blob] : bucket_it->second) keys.push_back(key);
+  return keys;
+}
+
+std::size_t ObjectStore::object_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& [bucket, objects] : buckets_) count += objects.size();
+  return count;
+}
+
+}  // namespace tero::store

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tero::store {
+
+/// S3-like blob store standing in for the Ceph object store (App. B) that
+/// holds thumbnails and intermediate image-processing products. Objects live
+/// in buckets and are deleted as soon as they are processed (§7: Tero keeps
+/// no raw footage).
+class ObjectStore {
+ public:
+  void put(std::string_view bucket, std::string_view key, std::string bytes);
+  [[nodiscard]] std::optional<std::string> get(std::string_view bucket,
+                                               std::string_view key) const;
+  bool erase(std::string_view bucket, std::string_view key);
+  [[nodiscard]] std::vector<std::string> list(std::string_view bucket) const;
+  [[nodiscard]] std::size_t object_count() const noexcept;
+  [[nodiscard]] std::uint64_t total_bytes() const noexcept {
+    return total_bytes_;
+  }
+
+ private:
+  // bucket -> key -> blob
+  std::map<std::string, std::map<std::string, std::string, std::less<>>,
+           std::less<>>
+      buckets_;
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace tero::store

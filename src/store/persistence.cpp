@@ -1,0 +1,111 @@
+#include "store/persistence.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace tero::store {
+namespace {
+
+void write_field(std::ostream& os, const std::string& value) {
+  os << value.size() << ' ' << value;
+}
+
+std::string read_field(std::istream& is) {
+  std::size_t length = 0;
+  if (!(is >> length)) {
+    throw std::invalid_argument("restore: truncated length");
+  }
+  is.get();  // separator space
+  std::string value(length, '\0');
+  is.read(value.data(), static_cast<std::streamsize>(length));
+  if (static_cast<std::size_t>(is.gcount()) != length) {
+    throw std::invalid_argument("restore: truncated value");
+  }
+  return value;
+}
+
+}  // namespace
+
+void snapshot_kv(const KvStore& kv, std::ostream& os) {
+  for (const auto& key : kv.keys_with_prefix("")) {
+    os << "K ";
+    write_field(os, key);
+    os << ' ';
+    write_field(os, *kv.get(key));
+    os << '\n';
+  }
+  for (const auto& list_key : kv.list_keys()) {
+    for (const auto& value : kv.list_contents(list_key)) {
+      os << "L ";
+      write_field(os, list_key);
+      os << ' ';
+      write_field(os, value);
+      os << '\n';
+    }
+  }
+}
+
+KvStore restore_kv(std::istream& is) {
+  KvStore kv;
+  char tag = 0;
+  while (is >> tag) {
+    if (tag == 'K') {
+      std::string key = read_field(is);
+      std::string value = read_field(is);
+      kv.put(std::move(key), std::move(value));
+    } else if (tag == 'L') {
+      const std::string list_key = read_field(is);
+      kv.push_back(list_key, read_field(is));
+    } else {
+      throw std::invalid_argument("restore_kv: unknown record tag");
+    }
+  }
+  return kv;
+}
+
+void snapshot_docs(const DocStore& docs, std::ostream& os) {
+  for (const auto& collection : docs.collections()) {
+    for (const Document* doc :
+         docs.scan(collection, [](const Document&) { return true; })) {
+      os << "D ";
+      write_field(os, collection);
+      os << ' ' << doc->size() << '\n';
+      for (const auto& [field, value] : *doc) {
+        os << "F ";
+        write_field(os, field);
+        os << ' ';
+        write_field(os, value);
+        os << '\n';
+      }
+    }
+  }
+}
+
+DocStore restore_docs(std::istream& is) {
+  DocStore docs;
+  char tag = 0;
+  while (is >> tag) {
+    if (tag != 'D') {
+      throw std::invalid_argument("restore_docs: expected D record");
+    }
+    const std::string collection = read_field(is);
+    std::size_t fields = 0;
+    if (!(is >> fields)) {
+      throw std::invalid_argument("restore_docs: missing field count");
+    }
+    Document doc;
+    for (std::size_t i = 0; i < fields; ++i) {
+      if (!(is >> tag) || tag != 'F') {
+        throw std::invalid_argument("restore_docs: expected F record");
+      }
+      std::string field = read_field(is);
+      std::string value = read_field(is);
+      doc.emplace(std::move(field), std::move(value));
+    }
+    docs.insert(collection, std::move(doc));
+  }
+  return docs;
+}
+
+}  // namespace tero::store

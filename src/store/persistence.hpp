@@ -1,0 +1,27 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "store/doc_store.hpp"
+#include "store/kv_store.hpp"
+
+namespace tero::store {
+
+/// Snapshot/restore for the stores backing the micro-services (App. B):
+/// the coordinator's crash recovery reads "most of its previous state" back
+/// from the KV store, which in the real deployment is durable Redis; here a
+/// length-prefixed text snapshot provides the same guarantee for tests and
+/// long-running examples.
+///
+/// Format (line-oriented, values length-prefixed so they may contain
+/// anything): `K <keylen> <key> <valuelen> <value>` for plain keys,
+/// `L <keylen> <key> <valuelen> <value>` for list elements in FIFO order.
+void snapshot_kv(const KvStore& kv, std::ostream& os);
+[[nodiscard]] KvStore restore_kv(std::istream& is);
+
+/// Document-store snapshot: `D <collectionlen> <collection> <fields>` then
+/// one `F <keylen> <key> <valuelen> <value>` line per field.
+void snapshot_docs(const DocStore& docs, std::ostream& os);
+[[nodiscard]] DocStore restore_docs(std::istream& is);
+
+}  // namespace tero::store

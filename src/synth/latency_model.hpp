@@ -1,0 +1,69 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "geo/gazetteer.hpp"
+#include "geo/servers.hpp"
+#include "util/rng.hpp"
+
+namespace tero::synth {
+
+/// The ground-truth latency generator. Base RTT grows with corrected
+/// distance to the primary server (fiber propagation plus fixed protocol
+/// overhead); on top of that sit regional last-mile penalties — the
+/// "differences that cannot be justified by distance" the paper observes
+/// (Poland vs Switzerland, DC vs Missouri, Bolivia vs Hawaii, ...) — a
+/// per-streamer access offset, and per-measurement jitter.
+struct LatencyModelConfig {
+  double base_ms = 4.0;          ///< fixed client+server processing overhead
+  double ms_per_km = 0.02;       ///< ~RTT over fiber incl. routing stretch
+  double streamer_offset_sd = 3.0;
+  double jitter_sd_ms = 2.0;
+};
+
+/// Extra last-mile latency (and jitter) attributed to a location, beyond
+/// what distance explains.
+struct RegionalPenalty {
+  double extra_ms = 0.0;
+  double extra_jitter_ms = 0.0;
+};
+
+/// Penalty for the most specific matching location (region first, then
+/// country); defaults reproduce the paper's Fig. 9-12 surprises.
+[[nodiscard]] RegionalPenalty regional_penalty(const geo::Location& location);
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyModelConfig config = {})
+      : config_(config) {}
+
+  /// Expected RTT from `location` to its primary `game` server; nullopt if
+  /// the game's servers are unknown for that area.
+  [[nodiscard]] std::optional<double> expected_rtt_ms(
+      const geo::Game& game, const geo::Location& location) const;
+
+  /// Expected RTT to an explicit (possibly non-primary) server.
+  [[nodiscard]] double rtt_to_server_ms(const geo::GameServer& server,
+                                        const geo::Location& location) const;
+
+  /// One streamer's constant offset (access technology, hardware).
+  [[nodiscard]] double draw_streamer_offset(util::Rng& rng) const;
+
+  /// One displayed measurement: expected + penalty jitter + noise, floored
+  /// at 1 ms (games display integer milliseconds).
+  [[nodiscard]] int draw_measurement(double expected_ms,
+                                     const RegionalPenalty& penalty,
+                                     double streamer_offset,
+                                     util::Rng& rng) const;
+
+  [[nodiscard]] const LatencyModelConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  LatencyModelConfig config_;
+};
+
+}  // namespace tero::synth

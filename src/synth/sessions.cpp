@@ -1,0 +1,234 @@
+#include "synth/sessions.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace tero::synth {
+namespace {
+
+constexpr double kSecondsPerDay = 86400.0;
+
+std::string region_key(const geo::Location& location) {
+  return location.region.empty() ? location.country
+                                 : location.region + "/" + location.country;
+}
+
+struct SharedEvent {
+  double start = 0.0;
+  double end = 0.0;
+  double magnitude_ms = 0.0;
+};
+
+struct SpikeWindow {
+  double start = 0.0;
+  double end = 0.0;
+  double magnitude_ms = 0.0;
+};
+
+}  // namespace
+
+SessionGenerator::SessionGenerator(const World& world, BehaviorConfig config,
+                                   std::uint64_t seed)
+    : world_(&world), config_(config), rng_(seed) {}
+
+std::vector<TrueStream> SessionGenerator::generate() {
+  const auto& catalog = geo::GameCatalog::builtin();
+  const auto& gazetteer = geo::Gazetteer::world();
+  const auto& model = world_->latency_model();
+  std::vector<TrueStream> streams;
+
+  // ---- Region-wide shared events (per {region, game}) -----------------------
+  std::set<std::pair<std::string, std::string>> region_games;
+  for (const auto& streamer : world_->streamers()) {
+    region_games.emplace(region_key(streamer.home_location),
+                         streamer.main_game);
+  }
+  std::map<std::pair<std::string, std::string>, std::vector<SharedEvent>>
+      shared_events;
+  for (const auto& rg : region_games) {
+    auto& events = shared_events[rg];
+    for (int day = 0; day < config_.days; ++day) {
+      if (!rng_.bernoulli(config_.shared_events_per_region_day)) continue;
+      SharedEvent event;
+      event.start = day * kSecondsPerDay + rng_.uniform(0.0, kSecondsPerDay);
+      event.end = event.start + config_.shared_event_duration_s;
+      event.magnitude_ms =
+          config_.shared_event_magnitude_ms * rng_.uniform(0.7, 1.4);
+      events.push_back(event);
+    }
+  }
+
+  // ---- Per-streamer sessions -------------------------------------------------
+  const auto all_places = gazetteer.places();
+  for (std::size_t index = 0; index < world_->streamers().size(); ++index) {
+    const auto& streamer = world_->streamers()[index];
+    geo::Location location = streamer.home_location;
+    const geo::Place* place = streamer.home;
+
+    // Relocation comes from the world's plan (the profile update and the
+    // latency change must agree, §3.1.1).
+    int move_day = -1;
+    const geo::Place* move_target = nullptr;
+    if (streamer.relocation.has_value()) {
+      move_day = streamer.relocation->day;
+      move_target = streamer.relocation->new_home;
+    }
+    // Mislabeled game / custom UI: the screen region Tero reads shows a
+    // counter or clock, not latency.
+    const bool mislabeled = rng_.bernoulli(config_.p_mislabeled);
+
+    // Light users stream rarely and briefly.
+    const bool casual = rng_.bernoulli(config_.p_casual);
+    const double p_day = casual
+                             ? config_.p_stream_per_day *
+                                   config_.casual_day_factor
+                             : config_.p_stream_per_day;
+    const double hours_scale = casual ? config_.casual_hours_factor : 1.0;
+
+    // Some streamers habitually join a different crowd's server.
+    const bool prefers_alt = rng_.bernoulli(config_.p_alt_preference);
+    const double p_session_alt =
+        prefers_alt ? config_.p_alt_preference_strength
+                    : config_.p_alt_server_session;
+    // The alternate server is a stable choice per {streamer, game}: the
+    // same friend group, hence the same crowd's server every time.
+    std::map<std::string, const geo::GameServer*> alt_choice;
+
+    std::string game = streamer.main_game;
+
+    for (int day = 0; day < config_.days; ++day) {
+      if (day == move_day && move_target != nullptr) {
+        place = move_target;
+        location = place->location();
+      }
+      if (!rng_.bernoulli(p_day)) continue;
+
+      const geo::Game* game_info = catalog.find(game);
+      if (game_info == nullptr || !game_info->servers_known()) continue;
+      const geo::GameServer* primary =
+          catalog.primary_server(*game_info, location);
+      if (primary == nullptr) continue;
+      // Alternate server: the crowd the streamer occasionally joins.
+      const geo::GameServer* alt = alt_choice[game];
+      if (alt == nullptr && game_info->servers.size() > 1) {
+        do {
+          alt = &game_info->servers[static_cast<std::size_t>(rng_.uniform_int(
+              0, static_cast<std::int64_t>(game_info->servers.size()) - 1))];
+        } while (alt == primary);
+        alt_choice[game] = alt;
+      }
+
+      const double session_start =
+          day * kSecondsPerDay + rng_.uniform(8.0, 20.0) * 3600.0;
+      const double hours =
+          hours_scale *
+          std::min(8.0, config_.session_hours_min +
+                            rng_.exponential(1.0 / config_.session_hours_mean));
+      const double session_end = session_start + hours * 3600.0;
+
+      // Spike schedule for this session.
+      std::vector<SpikeWindow> spikes;
+      double t = session_start +
+                 rng_.exponential(config_.spike_rate_per_hour / 3600.0);
+      while (t < session_end) {
+        SpikeWindow spike;
+        spike.start = t;
+        const double duration_points = std::max(
+            1.0, rng_.exponential(1.0 / config_.spike_duration_points_mean));
+        spike.end = t + duration_points * config_.thumbnail_period_s;
+        spike.magnitude_ms =
+            config_.spike_magnitude_min_ms *
+            rng_.pareto(1.0, config_.spike_magnitude_alpha);
+        spikes.push_back(spike);
+        t = spike.end +
+            rng_.exponential(config_.spike_rate_per_hour / 3600.0);
+      }
+      const auto& region_shared =
+          shared_events[{region_key(location), game}];
+
+      const RegionalPenalty penalty = regional_penalty(location);
+      TrueStream stream;
+      stream.streamer_index = index;
+      stream.game = game;
+      stream.location = location;
+
+      bool on_alt = alt != nullptr && rng_.bernoulli(p_session_alt);
+      int spikes_so_far = 0;
+      std::set<const SpikeWindow*> seen_spikes;
+
+      for (double pt = session_start + rng_.uniform(5.0, 30.0);
+           pt < session_end;
+           pt += config_.thumbnail_period_s +
+                 rng_.uniform(0.0, config_.thumbnail_jitter_s)) {
+        // Mid-stream server change: hazard grows with experienced spikes
+        // (the behavioural ground truth Table 5's regression recovers).
+        // Players parked on the alternate server drift back to their
+        // primary much faster than they leave it.
+        double hazard =
+            std::min(0.05, config_.p_server_change_base +
+                               config_.p_server_change_per_spike *
+                                   spikes_so_far);
+        if (on_alt && !prefers_alt) hazard = std::min(0.25, hazard * 6.0);
+        if (alt != nullptr && rng_.bernoulli(hazard)) {
+          on_alt = !on_alt;
+          ++stream.server_changes;
+          if (stream.server_changes == 1) {
+            stream.spikes_before_first_change = spikes_so_far;
+          }
+        }
+
+        const geo::GameServer* server = on_alt ? alt : primary;
+        const double expected = model.rtt_to_server_ms(*server, location);
+
+        double magnitude = 0.0;
+        for (const auto& spike : spikes) {
+          if (pt >= spike.start && pt <= spike.end) {
+            magnitude += spike.magnitude_ms;
+            if (seen_spikes.insert(&spike).second) ++spikes_so_far;
+          }
+        }
+        for (const auto& event : region_shared) {
+          if (pt >= event.start && pt <= event.end) {
+            magnitude += event.magnitude_ms;
+          }
+        }
+
+        TruePoint point;
+        point.t = pt;
+        point.on_alt_server = on_alt;
+        point.in_spike = magnitude > 0.0;
+        point.spike_magnitude_ms = magnitude;
+        point.latency_ms =
+            model.draw_measurement(expected, penalty,
+                                   streamer.streamer_offset_ms, rng_) +
+            static_cast<int>(magnitude + 0.5);
+        if (mislabeled && rng_.bernoulli(config_.mislabeled_junk_rate)) {
+          // The "latency" on screen is actually a counter/clock value.
+          point.latency_ms = static_cast<int>(rng_.uniform_int(1, 999));
+        }
+        stream.points.push_back(point);
+      }
+      stream.spikes_total = spikes_so_far;
+      if (stream.points.empty()) continue;
+
+      // Game-change decision at stream end; hazard grows with spikes.
+      const double game_change_p =
+          std::min(0.9, config_.p_game_change_base +
+                            config_.p_game_change_per_spike *
+                                stream.spikes_total);
+      stream.ended_with_game_change = rng_.bernoulli(game_change_p);
+      if (stream.ended_with_game_change && world_->games().size() > 1) {
+        std::string next;
+        do {
+          next = rng_.pick(world_->games());
+        } while (next == game);
+        game = next;
+      }
+      streams.push_back(std::move(stream));
+    }
+  }
+  return streams;
+}
+
+}  // namespace tero::synth

@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "synth/world.hpp"
+
+namespace tero::synth {
+
+/// Behaviour and noise knobs for ground-truth session generation.
+struct BehaviorConfig {
+  int days = 14;
+  double p_stream_per_day = 0.8;
+  double session_hours_mean = 3.0;
+  double session_hours_min = 0.75;
+  /// A slice of streamers mislabel their game or draw custom UI elements
+  /// (clocks, subscriber counters) where latency belongs — the
+  /// image-processing module then reads junk numbers, producing the
+  /// spike-heavy users the MaxSpikes filter exists to drop (§3.3.3).
+  double p_mislabeled = 0.04;
+  double mislabeled_junk_rate = 0.35;  ///< per-point junk probability
+
+  /// A slice of the population streams rarely and briefly; these light
+  /// users are the first discarded as StableLen grows (Fig. 15a).
+  double p_casual = 0.25;
+  double casual_day_factor = 0.15;   ///< multiplies p_stream_per_day
+  double casual_hours_factor = 0.35; ///< multiplies session length
+  double thumbnail_period_s = 300.0;   ///< 5 minutes (§2.1)
+  double thumbnail_jitter_s = 60.0;    ///< up to a minute of variation
+
+  // Individual latency spikes (congestion, server overload, ...).
+  double spike_rate_per_hour = 0.35;
+  double spike_magnitude_min_ms = 8.0;
+  double spike_magnitude_alpha = 1.4;  ///< Pareto shape (heavy tail)
+  double spike_duration_points_mean = 2.5;
+
+  // Region-wide shared events (shared infrastructure problems, §3.3.2).
+  double shared_events_per_region_day = 0.03;
+  double shared_event_magnitude_ms = 35.0;
+  double shared_event_duration_s = 1200.0;
+
+  // User behaviour (Table 5 ground truth): hazards grow with experienced
+  // spikes.
+  /// Server-change hazard is per *point* (it compounds over the stream);
+  /// game-change hazard is per stream end. The per-spike increments are
+  /// sized so that game changes respond about an order of magnitude more
+  /// strongly than server changes, as in Table 5 ("it is significantly
+  /// easier to change games than servers").
+  double p_server_change_base = 0.0008;      ///< per point
+  double p_server_change_per_spike = 0.0025; ///< added per spike so far
+  double p_game_change_base = 0.25;          ///< per stream end
+  double p_game_change_per_spike = 0.08;     ///< added per spike in stream
+  double p_alt_server_session = 0.03;       ///< session starts off-primary
+  /// Fraction of streamers who habitually play on an alternate server
+  /// (§1's UK-player-on-NA example); they produce the secondary latency
+  /// clusters of Fig. 2.
+  double p_alt_preference = 0.12;
+  double p_alt_preference_strength = 0.85;  ///< their P[session off-primary]
+};
+
+/// One ground-truth displayed measurement.
+struct TruePoint {
+  double t = 0.0;
+  int latency_ms = 0;       ///< the number on screen
+  bool in_spike = false;
+  double spike_magnitude_ms = 0.0;
+  bool on_alt_server = false;
+};
+
+/// One ground-truth stream (one streamer, one game, one sitting).
+struct TrueStream {
+  std::size_t streamer_index = 0;
+  std::string game;
+  geo::Location location;  ///< where the streamer actually was
+  std::vector<TruePoint> points;
+  int server_changes = 0;             ///< mid-stream end-point changes
+  int spikes_total = 0;               ///< spike events in this stream
+  int spikes_before_first_change = 0;
+  bool ended_with_game_change = false;
+};
+
+/// Generate all ground-truth streams for a world.
+class SessionGenerator {
+ public:
+  SessionGenerator(const World& world, BehaviorConfig config,
+                   std::uint64_t seed = 7);
+
+  [[nodiscard]] std::vector<TrueStream> generate();
+
+ private:
+  const World* world_;
+  BehaviorConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace tero::synth

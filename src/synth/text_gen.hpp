@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+
+#include "geo/gazetteer.hpp"
+#include "util/rng.hpp"
+
+namespace tero::synth {
+
+/// Username like "frostwolf842" — the shared-brand usernames §3.1 relies on.
+[[nodiscard]] std::string random_username(util::Rng& rng);
+
+/// A Twitch-style description that embeds the place ("Join us in Detroit!").
+/// The phrasing may or may not name the region/country, which is exactly
+/// what the conservative filter (App. D.1) keys on.
+[[nodiscard]] std::string location_description(const geo::Place& place,
+                                               util::Rng& rng);
+
+/// A description with no location intent; a fraction contain "trap" words
+/// that coincide with place names ("i love turkey sandwiches"), feeding the
+/// geocoders' false positives (§4.2.1).
+[[nodiscard]] std::string nonlocation_description(util::Rng& rng);
+
+/// The paper's flagship confusing case: an informal demonym ("I live in
+/// Denmarkian but have roots in ...") that substring-matchers mis-geocode.
+[[nodiscard]] std::string misleading_description(const geo::Place& place,
+                                                 util::Rng& rng);
+
+/// A Twitter location-field value for the place: usually well-structured
+/// ("Barcelona, Spain"), sometimes noisy ("Your heart, Chicago").
+[[nodiscard]] std::string twitter_location_field(const geo::Place& place,
+                                                 util::Rng& rng);
+
+/// A short Twitter/Steam bio, optionally naming the place.
+[[nodiscard]] std::string social_bio(const geo::Place* place, util::Rng& rng);
+
+}  // namespace tero::synth

@@ -1,0 +1,153 @@
+#include "synth/world.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "synth/text_gen.hpp"
+
+namespace tero::synth {
+
+World::World(WorldConfig config)
+    : config_(std::move(config)), latency_model_(config_.latency) {
+  if (config_.games.empty()) {
+    for (const auto& game : geo::GameCatalog::builtin().games()) {
+      if (game.servers_known()) games_.push_back(game.name);
+    }
+  } else {
+    games_ = config_.games;
+  }
+  util::Rng rng(config_.seed);
+  build_population(rng);
+}
+
+const geo::Place* World::draw_home(util::Rng& rng) const {
+  const auto places = geo::Gazetteer::world().places();
+  std::vector<double> weights;
+  weights.reserve(places.size());
+  for (const auto& place : places) weights.push_back(place.weight);
+  return &places[rng.pick_weighted(weights)];
+}
+
+void World::build_population(util::Rng& rng) {
+  // Work out home assignments first.
+  std::vector<const geo::Place*> homes;
+  if (config_.focus_locations.empty()) {
+    homes.reserve(config_.num_streamers);
+    for (std::size_t i = 0; i < config_.num_streamers; ++i) {
+      homes.push_back(draw_home(rng));
+    }
+  } else {
+    for (const auto& location : config_.focus_locations) {
+      const geo::Place* place = geo::Gazetteer::world().resolve(location);
+      if (place == nullptr) continue;
+      for (std::size_t i = 0; i < config_.streamers_per_focus; ++i) {
+        homes.push_back(place);
+      }
+    }
+  }
+
+  std::set<std::string> used_names;
+  streamers_.reserve(homes.size());
+  const auto all_places = geo::Gazetteer::world().places();
+
+  for (const geo::Place* home : homes) {
+    SyntheticStreamer streamer;
+    do {
+      streamer.id = random_username(rng);
+    } while (!used_names.insert(streamer.id).second);
+    streamer.home = home;
+    streamer.home_location = home->location();
+    streamer.main_game = rng.pick(games_);
+    streamer.streamer_offset_ms = latency_model_.draw_streamer_offset(rng);
+
+    // What the streamer publicly claims. A small fraction lies (§2.2
+    // "Susceptibility to false descriptions").
+    const geo::Place* claimed = home;
+    streamer.advertised_truthfully = !rng.bernoulli(config_.p_false_location);
+    if (!streamer.advertised_truthfully) {
+      claimed = &all_places[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(all_places.size()) - 1))];
+    }
+    streamer.advertised = claimed->location();
+
+    // Twitch profile.
+    streamer.twitch.username = streamer.id;
+    const double description_style = rng.uniform();
+    if (description_style < config_.p_description_location) {
+      streamer.twitch.description = location_description(*claimed, rng);
+    } else if (description_style < config_.p_description_location +
+                                       config_.p_description_misleading) {
+      streamer.twitch.description = misleading_description(*claimed, rng);
+    } else {
+      streamer.twitch.description = nonlocation_description(rng);
+    }
+    if (rng.bernoulli(config_.p_country_tag)) {
+      streamer.twitch.country_tag = claimed->kind == geo::PlaceKind::kCountry
+                                        ? claimed->name
+                                        : claimed->country;
+    }
+
+    // Twitter profile.
+    if (rng.bernoulli(config_.p_twitter)) {
+      streamer.has_twitter = true;
+      social::SocialProfile profile;
+      profile.username = streamer.id;
+      if (rng.bernoulli(config_.p_twitter_location)) {
+        profile.location_field = twitter_location_field(*claimed, rng);
+      }
+      profile.bio = social_bio(rng.bernoulli(0.3) ? claimed : nullptr, rng);
+      if (rng.bernoulli(config_.p_twitter_backlink)) {
+        streamer.twitter_backlinked = true;
+        profile.links.push_back("https://twitch.tv/" + streamer.id);
+      }
+      twitter_.add(std::move(profile));
+    } else if (rng.bernoulli(config_.p_username_collision)) {
+      // A stranger with the same username and no backlink: the mapping
+      // algorithm must not associate them (§3.1).
+      const geo::Place* stranger_place =
+          &all_places[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(all_places.size()) - 1))];
+      social::SocialProfile stranger;
+      stranger.username = streamer.id;
+      stranger.location_field = twitter_location_field(*stranger_place, rng);
+      stranger.bio = social_bio(stranger_place, rng);
+      if (rng.bernoulli(config_.p_collision_with_backlink)) {
+        // A fan or impersonator account that links the channel: the mapping
+        // algorithm will wrongly associate it.
+        stranger.links.push_back("https://twitch.tv/" + streamer.id);
+      }
+      twitter_.add(std::move(stranger));
+    }
+
+    // A permanent relocation partway through the data (§3.1.1). The new
+    // location is advertised through an updated Twitter location field.
+    if (streamer.has_twitter && rng.bernoulli(config_.p_move) &&
+        config_.move_day_max > config_.move_day_min) {
+      Relocation move;
+      move.day = static_cast<int>(
+          rng.uniform_int(config_.move_day_min, config_.move_day_max));
+      move.new_home = &all_places[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(all_places.size()) - 1))];
+      move.new_location = move.new_home->location();
+      move.new_twitter_location =
+          twitter_location_field(*move.new_home, rng);
+      streamer.relocation = std::move(move);
+    }
+
+    // Steam profile (no location field; bio only).
+    if (rng.bernoulli(config_.p_steam)) {
+      streamer.has_steam = true;
+      social::SocialProfile profile;
+      profile.username = streamer.id;
+      profile.bio = social_bio(rng.bernoulli(0.5) ? claimed : nullptr, rng);
+      if (rng.bernoulli(config_.p_steam_backlink)) {
+        profile.links.push_back("https://twitch.tv/" + streamer.id);
+      }
+      steam_.add(std::move(profile));
+    }
+
+    streamers_.push_back(std::move(streamer));
+  }
+}
+
+}  // namespace tero::synth

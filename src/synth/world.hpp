@@ -1,0 +1,119 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geo/gazetteer.hpp"
+#include "geo/servers.hpp"
+#include "social/platform.hpp"
+#include "synth/latency_model.hpp"
+#include "util/rng.hpp"
+
+namespace tero::synth {
+
+/// Knobs of the synthetic streamer population. Probability defaults are
+/// chosen so the location module's extraction rates land in the paper's
+/// ballpark (§3.1: 0.97% located from descriptions, ~2% via Twitter,
+/// 7.57% country tags, 2.77% located overall).
+struct WorldConfig {
+  std::size_t num_streamers = 2000;
+  std::uint64_t seed = 42;
+  /// Games played (empty = all catalog games with known servers).
+  std::vector<std::string> games;
+
+  double p_description_location = 0.02;   ///< embeds location in description
+  double p_description_misleading = 0.01; ///< informal demonyms etc.
+  double p_country_tag = 0.0757;          ///< stable country tag (App. D.2)
+  double p_twitter = 0.30;                ///< has a Twitter account
+  double p_twitter_backlink = 0.85;       ///< ... with an explicit twitch link
+  double p_twitter_location = 0.75;       ///< ... with a location field
+  double p_steam = 0.12;
+  double p_steam_backlink = 0.7;
+  double p_false_location = 0.012;        ///< advertises somewhere they are not
+  double p_username_collision = 0.02;     ///< same-name stranger on Twitter
+  /// Fraction of colliding strangers that even link the streamer's channel
+  /// (fan/impersonator accounts) — the source of wrong Twitch-Twitter
+  /// mappings (Table 3: 1.6% mapping error).
+  double p_collision_with_backlink = 0.15;
+
+  /// Probability that a streamer permanently relocates partway through the
+  /// observation window — and, being a streamer, advertises the new
+  /// location (§3.1.1: every multi-location case the authors inspected was
+  /// a real move).
+  double p_move = 0.02;
+  int move_day_min = 1;
+  int move_day_max = 12;
+
+  /// Non-empty: place `streamers_per_focus` streamers at each listed
+  /// location instead of sampling homes globally (used by the regional
+  /// figure benches).
+  std::vector<geo::Location> focus_locations;
+  std::size_t streamers_per_focus = 50;
+
+  LatencyModelConfig latency;
+};
+
+/// A mid-dataset move (§3.1.1): from `day` onward the streamer lives at
+/// `new_home` and their Twitter location field advertises it.
+struct Relocation {
+  int day = 0;
+  const geo::Place* new_home = nullptr;
+  geo::Location new_location;
+  std::string new_twitter_location;  ///< the updated profile field
+};
+
+/// One synthetic streamer with full ground truth.
+struct SyntheticStreamer {
+  std::string id;  ///< Twitch username
+  const geo::Place* home = nullptr;
+  geo::Location home_location;
+  std::string main_game;
+  double streamer_offset_ms = 0.0;
+
+  social::TwitchProfile twitch;
+  /// What their public texts claim (may differ from home when lying).
+  std::optional<geo::Location> advertised;
+  bool advertised_truthfully = true;
+  bool has_twitter = false;
+  bool twitter_backlinked = false;
+  bool has_steam = false;
+  std::optional<Relocation> relocation;
+};
+
+/// The synthetic world: population, social directories, latency model.
+class World {
+ public:
+  explicit World(WorldConfig config);
+
+  [[nodiscard]] const WorldConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::span<const SyntheticStreamer> streamers() const noexcept {
+    return streamers_;
+  }
+  [[nodiscard]] const social::SocialDirectory& twitter() const noexcept {
+    return twitter_;
+  }
+  [[nodiscard]] const social::SocialDirectory& steam() const noexcept {
+    return steam_;
+  }
+  [[nodiscard]] const LatencyModel& latency_model() const noexcept {
+    return latency_model_;
+  }
+  [[nodiscard]] const std::vector<std::string>& games() const noexcept {
+    return games_;
+  }
+
+ private:
+  void build_population(util::Rng& rng);
+  const geo::Place* draw_home(util::Rng& rng) const;
+
+  WorldConfig config_;
+  std::vector<std::string> games_;
+  LatencyModel latency_model_;
+  std::vector<SyntheticStreamer> streamers_;
+  social::SocialDirectory twitter_;
+  social::SocialDirectory steam_;
+};
+
+}  // namespace tero::synth

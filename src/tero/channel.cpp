@@ -1,0 +1,107 @@
+#include "tero/channel.hpp"
+
+#include <string>
+
+namespace tero::core {
+namespace {
+
+class OcrChannel final : public ExtractionChannel {
+ public:
+  OcrChannel(synth::ThumbnailConfig thumbnails,
+             ocr::PreprocessConfig preprocess)
+      : renderer_(thumbnails), extractor_(preprocess) {}
+
+  [[nodiscard]] std::string name() const override { return "ocr"; }
+
+  [[nodiscard]] std::optional<analysis::Measurement> extract(
+      const synth::TruePoint& point, const ocr::GameUiSpec& spec,
+      util::Rng& rng) override {
+    // Visibility is the pipeline's concern; roll only the corruption mix.
+    const auto rendered = renderer_.render_with(
+        spec, point.latency_ms,
+        synth::roll_corruption(renderer_.config(), rng), rng);
+    const auto reading = extractor_.extract(rendered.image, spec);
+    if (!reading.primary.has_value()) return std::nullopt;
+    analysis::Measurement measurement;
+    measurement.time_s = point.t;
+    measurement.latency_ms = *reading.primary;
+    measurement.alternative_ms = reading.alternative;
+    return measurement;
+  }
+
+ private:
+  synth::ThumbnailRenderer renderer_;
+  ocr::LatencyExtractor extractor_;
+};
+
+class NoiseChannel final : public ExtractionChannel {
+ public:
+  explicit NoiseChannel(NoiseChannelConfig config) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "noise"; }
+
+  [[nodiscard]] std::optional<analysis::Measurement> extract(
+      const synth::TruePoint& point, const ocr::GameUiSpec& /*spec*/,
+      util::Rng& rng) override {
+    if (rng.bernoulli(config_.miss_rate)) return std::nullopt;
+    analysis::Measurement measurement;
+    measurement.time_s = point.t;
+    const int truth = point.latency_ms;
+    if (rng.bernoulli(config_.error_rate)) {
+      const int wrong = rng.bernoulli(config_.digit_drop_share)
+                            ? drop_leading_digits(truth, rng)
+                            : confuse_digit(truth, rng);
+      if (wrong <= 0) return std::nullopt;  // dropped to nothing
+      measurement.latency_ms = wrong;
+      if (rng.bernoulli(config_.p_alt_correct_on_error)) {
+        measurement.alternative_ms = truth;
+      }
+    } else {
+      measurement.latency_ms = truth;
+      if (rng.bernoulli(config_.p_alt_bogus_on_correct)) {
+        measurement.alternative_ms = confuse_digit(truth, rng);
+      }
+    }
+    return measurement;
+  }
+
+ private:
+  NoiseChannelConfig config_;
+};
+
+}  // namespace
+
+int drop_leading_digits(int value, util::Rng& rng) {
+  std::string digits = std::to_string(value);
+  if (digits.size() <= 1) return 0;
+  const std::size_t drop =
+      digits.size() > 2 && rng.bernoulli(0.25) ? 2 : 1;
+  digits.erase(0, drop);
+  // Leading zeros vanish on screen too ("105" -> "05" reads as 5).
+  return std::stoi(digits);
+}
+
+int confuse_digit(int value, util::Rng& rng) {
+  std::string digits = std::to_string(value);
+  const auto pos = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(digits.size()) - 1));
+  char replacement;
+  do {
+    replacement = static_cast<char>('0' + rng.uniform_int(0, 9));
+  } while (replacement == digits[pos]);
+  digits[pos] = replacement;
+  const int confused = std::stoi(digits);
+  return confused > 0 ? confused : value;
+}
+
+std::unique_ptr<ExtractionChannel> make_ocr_channel(
+    synth::ThumbnailConfig thumbnails, ocr::PreprocessConfig preprocess) {
+  return std::make_unique<OcrChannel>(thumbnails, preprocess);
+}
+
+std::unique_ptr<ExtractionChannel> make_noise_channel(
+    NoiseChannelConfig config) {
+  return std::make_unique<NoiseChannel>(config);
+}
+
+}  // namespace tero::core

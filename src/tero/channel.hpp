@@ -1,0 +1,61 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "analysis/types.hpp"
+#include "ocr/extractor.hpp"
+#include "ocr/game_ui.hpp"
+#include "synth/sessions.hpp"
+#include "synth/thumbnail.hpp"
+#include "util/rng.hpp"
+
+namespace tero::core {
+
+/// Converts one ground-truth displayed latency into what Tero's
+/// image-processing module extracts from the corresponding thumbnail
+/// (conditioned on the measurement being visible on screen). nullopt =
+/// extraction failed.
+class ExtractionChannel {
+ public:
+  virtual ~ExtractionChannel() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::optional<analysis::Measurement> extract(
+      const synth::TruePoint& point, const ocr::GameUiSpec& spec,
+      util::Rng& rng) = 0;
+};
+
+/// The real thing: rasterize a thumbnail (with the corruption mix) and run
+/// the full crop -> preprocess -> 3 engines -> vote pipeline. Used by the
+/// OCR evaluation benches and small end-to-end runs.
+[[nodiscard]] std::unique_ptr<ExtractionChannel> make_ocr_channel(
+    synth::ThumbnailConfig thumbnails = {},
+    ocr::PreprocessConfig preprocess = {});
+
+/// Behavioural twin of the OCR channel for large-scale sweeps: draws
+/// miss / digit-drop / confusion outcomes at rates calibrated against the
+/// measured OCR channel (Table 4: ~28% miss, ~3.7% wrong of which ~68%
+/// digit drops), three orders of magnitude faster.
+struct NoiseChannelConfig {
+  double miss_rate = 0.28;
+  double error_rate = 0.037;       ///< of extracted measurements
+  double digit_drop_share = 0.68;  ///< of errors
+  /// Probability that an erroneous primary comes with a correct
+  /// alternative (the dissenting engine read it right).
+  double p_alt_correct_on_error = 0.5;
+  /// Probability that a correct primary carries a bogus alternative.
+  double p_alt_bogus_on_correct = 0.08;
+};
+[[nodiscard]] std::unique_ptr<ExtractionChannel> make_noise_channel(
+    NoiseChannelConfig config = {});
+
+/// Apply a digit drop to a true value: hide the leading digit(s), e.g.
+/// 245 -> 45, 41 -> 1 (§3.2.1). Returns the dropped value (may equal 0 for
+/// single-digit inputs, in which case extraction fails upstream).
+[[nodiscard]] int drop_leading_digits(int value, util::Rng& rng);
+
+/// Apply a digit confusion: one digit misread as another (42 -> 12,
+/// 101 -> 107).
+[[nodiscard]] int confuse_digit(int value, util::Rng& rng);
+
+}  // namespace tero::core

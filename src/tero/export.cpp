@@ -1,0 +1,156 @@
+#include "tero/export.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace tero::core {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_unescape(const std::string& field) {
+  if (field.size() < 2 || field.front() != '"') return field;
+  std::string out;
+  for (std::size_t i = 1; i + 1 < field.size(); ++i) {
+    if (field[i] == '"' && i + 2 < field.size() && field[i + 1] == '"') {
+      out += '"';
+      ++i;
+    } else {
+      out += field[i];
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Split one CSV line honouring quoted fields.
+std::vector<std::string> csv_split(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"' && i + 1 < line.size() && line[i + 1] == '"') {
+        current += '"';
+        ++i;
+      } else if (c == '"') {
+        quoted = false;
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(current);
+  return fields;
+}
+
+}  // namespace
+
+ExportStats export_measurements(const Dataset& dataset, std::ostream& os) {
+  ExportStats stats;
+  os << "pseudonym,game,city,region,country,time_s,latency_ms\n";
+  for (const auto& entry : dataset.entries) {
+    for (const auto& stream : entry.clean.retained) {
+      for (const auto& point : stream.points) {
+        os << csv_escape(entry.pseudonym) << ',' << csv_escape(entry.game)
+           << ',' << csv_escape(entry.location.city) << ','
+           << csv_escape(entry.location.region) << ','
+           << csv_escape(entry.location.country) << ',' << point.time_s
+           << ',' << point.latency_ms << '\n';
+        ++stats.measurement_rows;
+      }
+    }
+  }
+  return stats;
+}
+
+ExportStats export_aggregates(const Dataset& dataset, std::ostream& os) {
+  ExportStats stats;
+  os << "city,region,country,game,streamers,p5,p25,p50,p75,p95,"
+        "server_city,corrected_km\n";
+  for (const auto& aggregate : dataset.aggregates) {
+    if (!aggregate.box.has_value()) continue;
+    const auto& box = *aggregate.box;
+    os << csv_escape(aggregate.location.city) << ','
+       << csv_escape(aggregate.location.region) << ','
+       << csv_escape(aggregate.location.country) << ','
+       << csv_escape(aggregate.game) << ',' << aggregate.streamers << ','
+       << box.p5 << ',' << box.p25 << ',' << box.p50 << ',' << box.p75
+       << ',' << box.p95 << ',' << csv_escape(aggregate.server_city) << ','
+       << aggregate.avg_corrected_distance_km << '\n';
+    ++stats.aggregate_rows;
+  }
+  return stats;
+}
+
+std::vector<analysis::Stream> import_measurements(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    throw std::invalid_argument("import_measurements: empty input");
+  }
+  if (line.rfind("pseudonym,", 0) != 0) {
+    throw std::invalid_argument("import_measurements: bad header");
+  }
+  // Group rows into streams per {pseudonym, game}; a gap larger than 30
+  // minutes starts a new stream (the offline boundary, §3.3.1).
+  std::map<std::pair<std::string, std::string>, std::vector<analysis::Stream>>
+      grouped;
+  std::size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto fields = csv_split(line);
+    if (fields.size() != 7) {
+      throw std::invalid_argument("import_measurements: bad row at line " +
+                                  std::to_string(line_no));
+    }
+    analysis::Measurement measurement;
+    measurement.time_s = std::strtod(fields[5].c_str(), nullptr);
+    measurement.latency_ms =
+        static_cast<int>(util::parse_uint_or(fields[6], -1));
+    if (measurement.latency_ms < 0) {
+      throw std::invalid_argument("import_measurements: bad latency at line " +
+                                  std::to_string(line_no));
+    }
+    auto& streams = grouped[{fields[0], fields[1]}];
+    constexpr double kStreamGap = 1800.0;
+    if (streams.empty() ||
+        (!streams.back().points.empty() &&
+         measurement.time_s - streams.back().points.back().time_s >
+             kStreamGap)) {
+      analysis::Stream stream;
+      stream.streamer = fields[0];
+      stream.game = fields[1];
+      streams.push_back(std::move(stream));
+    }
+    streams.back().points.push_back(measurement);
+  }
+  std::vector<analysis::Stream> all;
+  for (auto& [key, streams] : grouped) {
+    for (auto& stream : streams) all.push_back(std::move(stream));
+  }
+  return all;
+}
+
+}  // namespace tero::core

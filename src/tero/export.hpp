@@ -1,0 +1,40 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tero/pipeline.hpp"
+
+namespace tero::core {
+
+/// Data-set export, mirroring what the paper publishes at
+/// nal-epfl.github.io/tero-project: per-streamer latency measurements
+/// (pseudonymized, §7) and per-{location, game} products. The format is
+/// line-oriented CSV with a header, so it round-trips without a JSON
+/// dependency and diffs cleanly.
+///
+/// measurements.csv: pseudonym,game,city,region,country,time_s,latency_ms
+/// aggregates.csv:   city,region,country,game,streamers,p5,p25,p50,p75,p95,
+///                   server_city,corrected_km
+struct ExportStats {
+  std::size_t measurement_rows = 0;
+  std::size_t aggregate_rows = 0;
+};
+
+/// Write the retained (cleaned) measurements of every entry.
+ExportStats export_measurements(const Dataset& dataset, std::ostream& os);
+
+/// Write one row per {location, game} aggregate with a boxplot.
+ExportStats export_aggregates(const Dataset& dataset, std::ostream& os);
+
+/// Parse a measurements.csv back into per-{pseudonym, game} streams —
+/// what a data-set user would do before running their own analysis.
+/// Throws std::invalid_argument on malformed rows.
+[[nodiscard]] std::vector<analysis::Stream> import_measurements(
+    std::istream& is);
+
+/// CSV field escaping for names that may contain commas.
+[[nodiscard]] std::string csv_escape(const std::string& field);
+[[nodiscard]] std::string csv_unescape(const std::string& field);
+
+}  // namespace tero::core

@@ -1,0 +1,262 @@
+#include "tero/pipeline.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "analysis/outlier_rejection.hpp"
+#include "nlp/combine.hpp"
+#include "store/consistent_hash.hpp"
+#include "util/strings.hpp"
+
+namespace tero::core {
+
+geo::Location truncate_location(const geo::Location& location,
+                                geo::Granularity granularity) {
+  switch (granularity) {
+    case geo::Granularity::kCountry:
+      return geo::Location{"", "", location.country};
+    case geo::Granularity::kRegion:
+      return geo::Location{"", location.region, location.country};
+    case geo::Granularity::kCity:
+      return location;
+  }
+  return location;
+}
+
+const LocationGameAggregate* Dataset::find_aggregate(
+    const geo::Location& location, std::string_view game) const {
+  for (const auto& aggregate : aggregates) {
+    if (aggregate.location == location &&
+        util::iequals(aggregate.game, game)) {
+      return &aggregate;
+    }
+  }
+  return nullptr;
+}
+
+Pipeline::Pipeline(TeroConfig config) : config_(std::move(config)) {
+  channel_ = config_.use_full_ocr
+                 ? make_ocr_channel(config_.thumbnails)
+                 : make_noise_channel(config_.noise);
+}
+
+Dataset Pipeline::run(const synth::World& world,
+                      std::span<const synth::TrueStream> streams) {
+  Dataset dataset;
+  util::Rng rng(config_.seed);
+  const store::Pseudonymizer pseudonymizer(config_.seed ^ 0x7e40deadbeefULL);
+
+  // ---- Location module (§3.1) ------------------------------------------------
+  const social::Locator locator(world.twitter(), world.steam());
+  std::vector<std::optional<geo::Location>> located(world.streamers().size());
+  std::vector<social::LocationSource> sources(
+      world.streamers().size(), social::LocationSource::kNone);
+  dataset.streamers_total = world.streamers().size();
+  for (std::size_t i = 0; i < world.streamers().size(); ++i) {
+    const auto result = locator.locate(world.streamers()[i].twitch);
+    located[i] = result.location;
+    sources[i] = result.source;
+    if (result.located()) ++dataset.streamers_located;
+  }
+
+  // ---- §3.1.1: multiple locations per streamer --------------------------------
+  // A relocated streamer advertises the new location; Tero re-geoparses the
+  // updated profile and keeps each {streamer, location} tuple as a distinct
+  // end-point. Epoch 0 = before the move, epoch 1 = after.
+  std::vector<std::optional<geo::Location>> located_after(
+      world.streamers().size());
+  for (std::size_t i = 0; i < world.streamers().size(); ++i) {
+    const auto& streamer = world.streamers()[i];
+    if (!streamer.relocation.has_value() || !located[i].has_value()) continue;
+    located_after[i] = nlp::combine_twitter_location(
+        streamer.relocation->new_twitter_location, locator.tools());
+  }
+  auto epoch_of = [&](const synth::TrueStream& stream) {
+    const auto& streamer = world.streamers()[stream.streamer_index];
+    if (!streamer.relocation.has_value() ||
+        !located_after[stream.streamer_index].has_value() ||
+        stream.points.empty()) {
+      return 0;
+    }
+    const double move_time = streamer.relocation->day * 86400.0;
+    return stream.points.front().t >= move_time ? 1 : 0;
+  };
+
+  // ---- Image-processing module (§3.2) ----------------------------------------
+  // One analysis::Stream per ground-truth stream, grouped by
+  // {streamer, game, location-epoch}.
+  std::map<std::tuple<std::size_t, std::string, int>,
+           std::vector<analysis::Stream>>
+      grouped;
+  for (const auto& true_stream : streams) {
+    if (!located[true_stream.streamer_index].has_value()) continue;
+    const auto& spec = ocr::ui_spec_for(true_stream.game);
+    analysis::Stream stream;
+    stream.streamer =
+        pseudonymizer.pseudonym(world.streamers()[true_stream.streamer_index].id);
+    stream.game = true_stream.game;
+    for (const auto& point : true_stream.points) {
+      ++dataset.thumbnails;
+      if (!rng.bernoulli(config_.p_latency_visible)) continue;
+      if (auto measurement = channel_->extract(point, spec, rng)) {
+        stream.points.push_back(*measurement);
+        ++dataset.measurements_extracted;
+      }
+    }
+    if (stream.points.empty()) continue;
+    grouped[{true_stream.streamer_index, true_stream.game,
+             epoch_of(true_stream)}]
+        .push_back(std::move(stream));
+  }
+
+  // ---- Data-analysis module (§3.3) --------------------------------------------
+  for (auto& [key, streamer_streams] : grouped) {
+    const auto& [streamer_index, game, epoch] = key;
+    const auto& streamer = world.streamers()[streamer_index];
+    StreamerGameEntry entry;
+    entry.pseudonym = pseudonymizer.pseudonym(streamer.id);
+    entry.game = game;
+    if (epoch == 1) {
+      entry.location = *located_after[streamer_index];
+      entry.true_location = streamer.relocation->new_location;
+    } else {
+      entry.location = *located[streamer_index];
+      entry.true_location = streamer.home_location;
+    }
+    entry.location_source = sources[streamer_index];
+    entry.clean =
+        analysis::clean_streamer_game(std::move(streamer_streams),
+                                      config_.analysis);
+    if (entry.clean.discarded_entirely) continue;
+    dataset.measurements_retained += entry.clean.points_retained;
+    entry.clusters = analysis::cluster_streamer(entry.clean, config_.analysis);
+    entry.is_static =
+        analysis::is_static_streamer(entry.clusters, config_.analysis);
+    entry.high_quality =
+        entry.clean.spike_fraction() <= config_.analysis.max_spikes;
+    dataset.entries.push_back(std::move(entry));
+  }
+
+  dataset.aggregates = aggregate_entries(dataset.entries, config_.analysis,
+                                         config_.aggregate_granularity,
+                                         config_.reject_location_outliers);
+  return dataset;
+}
+
+std::vector<LocationGameAggregate> aggregate_entries(
+    std::vector<StreamerGameEntry>& entries,
+    const analysis::AnalysisConfig& config, geo::Granularity granularity,
+    bool reject_location_outliers) {
+  // Group entry indices by {truncated location, game}.
+  std::map<std::pair<std::string, std::string>, std::vector<std::size_t>>
+      groups;
+  std::map<std::pair<std::string, std::string>, geo::Location> keys;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (!entries[i].high_quality) continue;  // MaxSpikes filter (§3.3.3)
+    const geo::Location truncated =
+        truncate_location(entries[i].location, granularity);
+    const auto key = std::make_pair(truncated.to_string(), entries[i].game);
+    groups[key].push_back(i);
+    keys.emplace(key, truncated);
+  }
+
+  const auto& catalog = geo::GameCatalog::builtin();
+  const auto& gazetteer = geo::Gazetteer::world();
+
+  std::vector<LocationGameAggregate> aggregates;
+  for (auto& [key, indices] : groups) {
+    LocationGameAggregate aggregate;
+    aggregate.location = keys.at(key);
+    aggregate.game = key.second;
+
+    // Step 3: location-level clusters from static streamers.
+    std::vector<std::vector<analysis::LatencyCluster>> static_clusters;
+    for (std::size_t i : indices) {
+      if (entries[i].is_static) static_clusters.push_back(entries[i].clusters);
+    }
+    aggregate.clusters = analysis::cluster_location(static_clusters, config);
+
+    // Step 4: end-point changes for mobile streamers.
+    for (std::size_t i : indices) {
+      auto& entry = entries[i];
+      if (entry.is_static) continue;
+      entry.endpoint_changes = analysis::detect_endpoint_changes(
+          entry.clean, aggregate.clusters, config);
+      entry.possible_location_change = std::any_of(
+          entry.endpoint_changes.begin(), entry.endpoint_changes.end(),
+          [](const analysis::EndpointChange& change) {
+            return !change.same_stream;
+          });
+    }
+
+    // Optional §3.1.2 step: flag streamers whose latency is inconsistent
+    // with the location's clusters (likely mislocated).
+    if (reject_location_outliers) {
+      for (std::size_t i : indices) {
+        entries[i].location_outlier =
+            !analysis::streamer_consistent_with_location(
+                entries[i].clusters, aggregate.clusters, config);
+      }
+    }
+
+    // Latency distribution (§3.3.3 final step).
+    analysis::DistributionBuilder builder;
+    for (std::size_t i : indices) {
+      const auto& entry = entries[i];
+      if (entry.location_outlier) continue;
+      if (entry.is_static) {
+        builder.add_static(entry.clean);
+      } else if (!entry.possible_location_change) {
+        builder.add_mobile(entry.clean, entry.clusters, config);
+      }
+    }
+    aggregate.distribution = builder.values();
+    aggregate.streamers = builder.streamers();
+    if (!aggregate.distribution.empty()) {
+      aggregate.box = stats::boxplot(aggregate.distribution);
+    }
+
+    // Shared anomalies over all high-quality streamers of the aggregate.
+    std::vector<analysis::StreamerActivity> activities;
+    for (std::size_t i : indices) {
+      analysis::StreamerActivity activity;
+      activity.streamer = entries[i].pseudonym;
+      for (const auto& stream : entries[i].clean.retained) {
+        for (const auto& point : stream.points) {
+          activity.measurement_times.push_back(point.time_s);
+        }
+      }
+      activity.spikes = entries[i].clean.spikes;
+      activities.push_back(std::move(activity));
+    }
+    aggregate.shared = analysis::find_shared_anomalies(activities, config);
+
+    // Corrected distance to the primary server (for distance
+    // normalization and the figure annotations).
+    const geo::Game* game_info = catalog.find(aggregate.game);
+    if (game_info != nullptr && game_info->servers_known()) {
+      const geo::GameServer* server =
+          catalog.primary_server(*game_info, aggregate.location);
+      if (server != nullptr) {
+        aggregate.server_city = server->city;
+        double total = 0.0;
+        std::size_t counted = 0;
+        for (std::size_t i : indices) {
+          const geo::Place* place = gazetteer.resolve(entries[i].location);
+          if (place == nullptr) continue;
+          total += geo::corrected_distance_km(
+              place->center, place->mean_radius_km, server->center);
+          ++counted;
+        }
+        if (counted > 0) {
+          aggregate.avg_corrected_distance_km =
+              total / static_cast<double>(counted);
+        }
+      }
+    }
+    aggregates.push_back(std::move(aggregate));
+  }
+  return aggregates;
+}
+
+}  // namespace tero::core

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "analysis/anomalies.hpp"
+#include "analysis/clusters.hpp"
+#include "analysis/distributions.hpp"
+#include "analysis/shared.hpp"
+#include "analysis/types.hpp"
+#include "geo/servers.hpp"
+#include "social/locator.hpp"
+#include "stats/descriptive.hpp"
+#include "synth/sessions.hpp"
+#include "synth/world.hpp"
+#include "tero/channel.hpp"
+
+namespace tero::core {
+
+/// Top-level configuration: Table 1 parameters plus pipeline choices.
+struct TeroConfig {
+  analysis::AnalysisConfig analysis;
+  /// Fraction of thumbnails whose latency is visible on screen at all.
+  double p_latency_visible = 0.35;
+  /// true: rasterize thumbnails and run full OCR (slow, exact code path);
+  /// false: calibrated noise channel (fast, same error behaviour).
+  bool use_full_ocr = false;
+  synth::ThumbnailConfig thumbnails;
+  NoiseChannelConfig noise;
+  /// Granularity at which {location, game} aggregates are keyed.
+  geo::Granularity aggregate_granularity = geo::Granularity::kRegion;
+  /// §3.1.2's proposed-but-not-taken error-reduction step: drop streamers
+  /// whose latency falls outside their location's clusters. Off by
+  /// default, like the paper; bench_ablations measures the effect.
+  bool reject_location_outliers = false;
+  std::uint64_t seed = 1234;
+};
+
+/// Everything Tero derived for one {streamer, game} pair.
+struct StreamerGameEntry {
+  std::string pseudonym;
+  std::string game;
+  geo::Location location;           ///< where Tero believes they are
+  geo::Location true_location;      ///< ground truth (evaluation only)
+  social::LocationSource location_source = social::LocationSource::kNone;
+  analysis::CleanResult clean;
+  std::vector<analysis::LatencyCluster> clusters;
+  bool is_static = false;
+  bool high_quality = false;
+  /// Set by aggregation when §3.1.2 rejection is enabled and this
+  /// streamer's latency is inconsistent with the location's clusters.
+  bool location_outlier = false;
+  /// End-point changes against the location clusters (filled during
+  /// aggregation).
+  std::vector<analysis::EndpointChange> endpoint_changes;
+  bool possible_location_change = false;
+};
+
+/// The {location, game} product the paper's figures are drawn from.
+struct LocationGameAggregate {
+  geo::Location location;  ///< truncated to the aggregate granularity
+  std::string game;
+  std::size_t streamers = 0;
+  std::vector<analysis::LatencyCluster> clusters;
+  std::vector<double> distribution;
+  std::optional<stats::Boxplot> box;
+  double avg_corrected_distance_km = -1.0;
+  std::string server_city;
+  analysis::SharedAnomalyResult shared;
+};
+
+struct Dataset {
+  std::vector<StreamerGameEntry> entries;
+  std::vector<LocationGameAggregate> aggregates;
+
+  // Volume counters (§5.1-style accounting).
+  std::size_t streamers_total = 0;
+  std::size_t streamers_located = 0;
+  std::size_t thumbnails = 0;
+  std::size_t measurements_extracted = 0;
+  std::size_t measurements_retained = 0;
+
+  [[nodiscard]] const LocationGameAggregate* find_aggregate(
+      const geo::Location& location, std::string_view game) const;
+};
+
+/// The end-to-end system: location module -> image processing ->
+/// data analysis, over a synthetic world and its ground-truth streams.
+class Pipeline {
+ public:
+  explicit Pipeline(TeroConfig config);
+
+  [[nodiscard]] Dataset run(const synth::World& world,
+                            std::span<const synth::TrueStream> streams);
+
+  [[nodiscard]] const TeroConfig& config() const noexcept { return config_; }
+
+ private:
+  TeroConfig config_;
+  std::unique_ptr<ExtractionChannel> channel_;
+};
+
+/// Re-aggregate entries at a different granularity (e.g. country for
+/// Fig. 9/11, region for Fig. 10) without re-running extraction.
+[[nodiscard]] std::vector<LocationGameAggregate> aggregate_entries(
+    std::vector<StreamerGameEntry>& entries,
+    const analysis::AnalysisConfig& config, geo::Granularity granularity,
+    bool reject_location_outliers = false);
+
+/// Truncate a location tuple to a granularity.
+[[nodiscard]] geo::Location truncate_location(const geo::Location& location,
+                                              geo::Granularity granularity);
+
+}  // namespace tero::core

@@ -1,0 +1,104 @@
+#include "tero/realtime.hpp"
+
+#include <algorithm>
+
+namespace tero::core {
+
+RealtimeAnalyzer::RealtimeAnalyzer(Config config)
+    : config_(std::move(config)) {}
+
+void RealtimeAnalyzer::register_streamer(const std::string& pseudonym,
+                                         const geo::Location& location) {
+  locations_[pseudonym] = location;
+}
+
+std::string RealtimeAnalyzer::aggregate_key(const geo::Location& location,
+                                            const std::string& game) const {
+  return location.to_string() + "|" + game;
+}
+
+analysis::StreamerActivity& RealtimeAnalyzer::activity_for(
+    AggregateState& aggregate, const std::string& pseudonym) {
+  const auto it = aggregate.activity_index.find(pseudonym);
+  if (it != aggregate.activity_index.end()) {
+    return aggregate.activities[it->second];
+  }
+  aggregate.activity_index.emplace(pseudonym, aggregate.activities.size());
+  analysis::StreamerActivity activity;
+  activity.streamer = pseudonym;
+  aggregate.activities.push_back(std::move(activity));
+  return aggregate.activities.back();
+}
+
+RealtimeAnalyzer::Output RealtimeAnalyzer::ingest(
+    const std::string& pseudonym, const std::string& game,
+    const analysis::Measurement& measurement) {
+  Output output;
+  ++ingested_;
+
+  const auto location_it = locations_.find(pseudonym);
+  const geo::Location location = location_it != locations_.end()
+                                     ? location_it->second
+                                     : geo::Location{};
+  auto& state = streamers_[{pseudonym, game}];
+  state.location = location;
+  state.buffer.push_back(measurement);
+  while (state.buffer.size() > config_.buffer_points) {
+    state.buffer.pop_front();
+  }
+  const double now = measurement.time_s;
+
+  auto& aggregate = aggregates_[aggregate_key(location, game)];
+  auto& activity = activity_for(aggregate, pseudonym);
+  activity.measurement_times.push_back(now);
+
+  // Re-run the QoE classification on the working buffer and finalize what
+  // is old enough that its closing context exists.
+  analysis::Stream window;
+  window.streamer = pseudonym;
+  window.game = game;
+  window.points.assign(state.buffer.begin(), state.buffer.end());
+  const auto clean = analysis::clean_stream(std::move(window),
+                                            config_.analysis);
+  for (const auto& spike : clean.spikes) {
+    if (spike.end_s > now - config_.finalize_lag_s) continue;  // not final
+    if (spike.end_s <= state.last_emitted_spike_end) continue;  // emitted
+    state.last_emitted_spike_end = spike.end_s;
+    ++spikes_emitted_;
+    output.spikes.push_back(SpikeAlert{pseudonym, game, spike});
+    activity.spikes.push_back(spike);
+
+    // A new finalized spike may complete a shared anomaly.
+    const auto shared =
+        analysis::find_shared_anomalies(aggregate.activities,
+                                        config_.analysis);
+    for (const auto& anomaly : shared.anomalies) {
+      if (anomaly.end_s <= aggregate.last_shared_alert_end) continue;
+      aggregate.last_shared_alert_end = anomaly.end_s;
+      output.shared.push_back(SharedAlert{location, game, anomaly});
+    }
+  }
+
+  // Points that scroll out of the working buffer graduate into the
+  // aggregate's distribution if the buffer analysis retained them.
+  if (state.buffer.size() == config_.buffer_points) {
+    const double oldest = state.buffer.front().time_s;
+    for (const auto& retained : clean.retained) {
+      for (const auto& point : retained.points) {
+        if (point.time_s == oldest) {
+          aggregate.retained_values.push_back(point.latency_ms);
+        }
+      }
+    }
+  }
+  return output;
+}
+
+std::vector<double> RealtimeAnalyzer::distribution(
+    const geo::Location& location, const std::string& game) const {
+  const auto it = aggregates_.find(aggregate_key(location, game));
+  if (it == aggregates_.end()) return {};
+  return it->second.retained_values;
+}
+
+}  // namespace tero::core

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/anomalies.hpp"
+#include "analysis/shared.hpp"
+#include "geo/geo.hpp"
+
+namespace tero::core {
+
+/// Streaming counterpart of the batch pipeline: Tero's deployment
+/// "continuously downloads gaming footage ... and produces an
+/// almost-real-time analysis of Internet latency" (§1). Measurements are
+/// ingested in arrival order; spike alerts are emitted once enough
+/// subsequent data has arrived to finalize the QoE classification, and
+/// shared-anomaly alerts as soon as the App. F test fires for a
+/// {location, game} aggregate.
+class RealtimeAnalyzer {
+ public:
+  struct Config {
+    analysis::AnalysisConfig analysis;
+    /// A spike is "final" once this much time has passed beyond its end —
+    /// enough for the closing stable segment to exist.
+    double finalize_lag_s = 3600.0;
+    /// Per-streamer context kept for re-analysis (older points graduate
+    /// into the distributions and are dropped from the working buffer).
+    std::size_t buffer_points = 48;
+  };
+
+  struct SpikeAlert {
+    std::string pseudonym;
+    std::string game;
+    analysis::SpikeEvent spike;
+  };
+  struct SharedAlert {
+    geo::Location location;
+    std::string game;
+    analysis::SharedAnomaly anomaly;
+  };
+  struct Output {
+    std::vector<SpikeAlert> spikes;
+    std::vector<SharedAlert> shared;
+  };
+
+  RealtimeAnalyzer() : RealtimeAnalyzer(Config{}) {}
+  explicit RealtimeAnalyzer(Config config);
+
+  /// Declare a streamer's location once (from the location module).
+  void register_streamer(const std::string& pseudonym,
+                         const geo::Location& location);
+
+  /// Feed one extracted measurement; returns alerts finalized by it.
+  Output ingest(const std::string& pseudonym, const std::string& game,
+                const analysis::Measurement& measurement);
+
+  /// Retained (clean, non-spike) latency values so far for an aggregate.
+  [[nodiscard]] std::vector<double> distribution(
+      const geo::Location& location, const std::string& game) const;
+
+  [[nodiscard]] std::size_t measurements_ingested() const noexcept {
+    return ingested_;
+  }
+  [[nodiscard]] std::size_t spikes_emitted() const noexcept {
+    return spikes_emitted_;
+  }
+
+ private:
+  struct StreamerState {
+    geo::Location location;
+    std::deque<analysis::Measurement> buffer;
+    double last_emitted_spike_end = -1.0;
+  };
+  struct AggregateState {
+    /// Spikes and activity in the recent shared-anomaly horizon.
+    std::vector<analysis::StreamerActivity> activities;
+    std::map<std::string, std::size_t> activity_index;
+    std::vector<double> retained_values;
+    double last_shared_alert_end = -1.0;
+  };
+
+  [[nodiscard]] std::string aggregate_key(const geo::Location& location,
+                                          const std::string& game) const;
+  analysis::StreamerActivity& activity_for(AggregateState& aggregate,
+                                           const std::string& pseudonym);
+
+  Config config_;
+  std::map<std::pair<std::string, std::string>, StreamerState> streamers_;
+  std::map<std::string, AggregateState> aggregates_;
+  std::map<std::string, geo::Location> locations_;
+  std::size_t ingested_ = 0;
+  std::size_t spikes_emitted_ = 0;
+};
+
+}  // namespace tero::core

@@ -1,0 +1,41 @@
+#include "util/event_loop.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tero::util {
+
+void EventLoop::schedule_at(double time, Handler handler) {
+  if (time < now_) {
+    throw std::invalid_argument("EventLoop: scheduling into the past");
+  }
+  queue_.push(Event{time, next_seq_++, std::move(handler)});
+}
+
+void EventLoop::schedule_after(double delay, Handler handler) {
+  schedule_at(now_ + delay, std::move(handler));
+}
+
+bool EventLoop::step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop so the handler may schedule new events.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  event.handler();
+  return true;
+}
+
+void EventLoop::run_until(double end_time) {
+  while (!queue_.empty() && queue_.top().time <= end_time) {
+    step();
+  }
+  now_ = std::max(now_, end_time);
+}
+
+void EventLoop::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace tero::util

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tero::util {
+
+/// Minimal discrete-event simulation loop shared by the download-module
+/// simulation (App. A) and the packet-level network simulator (§4.1).
+/// Events fire in timestamp order; ties break in scheduling order so runs
+/// are fully deterministic.
+class EventLoop {
+ public:
+  using Handler = std::function<void()>;
+
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  void schedule_at(double time, Handler handler);
+  void schedule_after(double delay, Handler handler);
+
+  /// Run one event; returns false when the queue is empty.
+  bool step();
+
+  /// Run events until the queue drains or simulated time would pass
+  /// `end_time`; `now()` ends at min(end_time, last event time).
+  void run_until(double end_time);
+
+  /// Drain the queue completely.
+  void run();
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  ///< tie-breaker for determinism
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace tero::util

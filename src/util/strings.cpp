@@ -1,0 +1,136 @@
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace tero::util {
+namespace {
+
+bool is_space(char c) noexcept {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
+char lower(char c) noexcept {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+bool is_alnum(char c) noexcept {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0;
+}
+
+}  // namespace
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](char c) { return lower(c); });
+  return out;
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  while (!text.empty() && is_space(text.front())) text.remove_prefix(1);
+  while (!text.empty() && is_space(text.back())) text.remove_suffix(1);
+  return text;
+}
+
+std::vector<std::string_view> split(std::string_view text,
+                                    std::string_view delims) {
+  std::vector<std::string_view> pieces;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || delims.find(text[i]) != std::string_view::npos) {
+      if (i > start) pieces.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return pieces;
+}
+
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (lower(a[i]) != lower(b[i])) return false;
+  }
+  return true;
+}
+
+bool icontains(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > haystack.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    if (iequals(haystack.substr(i, needle.size()), needle)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+bool contains_word_impl(std::string_view text, std::string_view word,
+                        bool require_capitalized) {
+  if (word.empty()) return false;
+  for (std::size_t i = 0; i + word.size() <= text.size(); ++i) {
+    if (!iequals(text.substr(i, word.size()), word)) continue;
+    const bool left_ok = i == 0 || !is_alnum(text[i - 1]);
+    const std::size_t end = i + word.size();
+    const bool right_ok = end == text.size() || !is_alnum(text[end]);
+    if (!left_ok || !right_ok) continue;
+    if (require_capitalized &&
+        std::isupper(static_cast<unsigned char>(text[i])) == 0) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool contains_word(std::string_view text, std::string_view word) {
+  return contains_word_impl(text, word, false);
+}
+
+bool contains_word_capitalized(std::string_view text, std::string_view word) {
+  return contains_word_impl(text, word, true);
+}
+
+bool contains_word_exact(std::string_view text, std::string_view word) {
+  if (word.empty()) return false;
+  for (std::size_t i = 0; i + word.size() <= text.size(); ++i) {
+    if (text.substr(i, word.size()) != word) continue;
+    const bool left_ok = i == 0 || !is_alnum(text[i - 1]);
+    const std::size_t end = i + word.size();
+    const bool right_ok = end == text.size() || !is_alnum(text[end]);
+    if (left_ok && right_ok) return true;
+  }
+  return false;
+}
+
+long parse_uint_or(std::string_view text, long fallback) noexcept {
+  if (text.empty() || text.size() > 9) return fallback;
+  long value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return fallback;
+    value = value * 10 + (c - '0');
+  }
+  return value;
+}
+
+std::string digits_only(std::string_view text) {
+  std::string out;
+  for (char c : text) {
+    if (c >= '0' && c <= '9') out += c;
+  }
+  return out;
+}
+
+}  // namespace tero::util

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tero::util {
+
+/// ASCII lowercase copy.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+/// Strip leading/trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+
+/// Split on any character in `delims`, dropping empty pieces.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view text,
+                                                  std::string_view delims);
+
+/// Join pieces with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& pieces,
+                               std::string_view sep);
+
+/// Case-insensitive substring test.
+[[nodiscard]] bool icontains(std::string_view haystack,
+                             std::string_view needle);
+
+/// Case-insensitive equality.
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// True if `text` contains `word` bounded by non-alphanumeric characters
+/// (case-insensitive). "in Detroit!" contains word "detroit" but not "troi".
+[[nodiscard]] bool contains_word(std::string_view text, std::string_view word);
+
+/// Like contains_word, but the occurrence in `text` must start with an
+/// uppercase letter — "Turkey is lovely" matches "turkey", "i love turkey
+/// sandwiches" does not. Used by the conservative location filter to dodge
+/// common-noun/place-name collisions.
+[[nodiscard]] bool contains_word_capitalized(std::string_view text,
+                                             std::string_view word);
+
+/// Exact-case, word-bounded containment ("US" matches "Detroit, US" but not
+/// "join us" or "VIRUS").
+[[nodiscard]] bool contains_word_exact(std::string_view text,
+                                       std::string_view word);
+
+/// Parse a non-negative integer; returns -1 if `text` is empty, longer than
+/// 9 digits, or contains a non-digit.
+[[nodiscard]] long parse_uint_or(std::string_view text, long fallback) noexcept;
+
+/// Keep only digit characters.
+[[nodiscard]] std::string digits_only(std::string_view text);
+
+}  // namespace tero::util

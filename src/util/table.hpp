@@ -1,0 +1,33 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tero::util {
+
+/// Minimal fixed-width text table used by the bench harnesses to print
+/// paper-style rows ("Table 3", "Fig. 9", ...). Cells are strings; columns
+/// are sized to their widest cell.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Render with a header underline and 2-space column gaps.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers for table cells.
+[[nodiscard]] std::string fmt_double(double value, int decimals = 2);
+[[nodiscard]] std::string fmt_percent(double fraction, int decimals = 2);
+[[nodiscard]] std::string fmt_pm(double value, double err, int decimals = 2);
+
+}  // namespace tero::util

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "download/cdn.hpp"
+#include "download/rate_limiter.hpp"
+#include "download/system.hpp"
+#include "stats/descriptive.hpp"
+
+namespace tero::download {
+namespace {
+
+TEST(TokenBucket, StartsFullAndRefills) {
+  TokenBucket bucket(1.0, 2.0);  // 1 token/s, burst 2
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_FALSE(bucket.try_acquire(0.0));
+  EXPECT_TRUE(bucket.try_acquire(1.0));  // refilled
+}
+
+TEST(TokenBucket, NextAvailableEstimates) {
+  TokenBucket bucket(2.0, 1.0);
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_NEAR(bucket.next_available(0.0), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(bucket.next_available(10.0), 10.0);
+}
+
+TEST(TokenBucket, BurstCapped) {
+  TokenBucket bucket(100.0, 3.0);
+  EXPECT_NEAR(bucket.available(100.0), 3.0, 1e-9);
+}
+
+TEST(TokenBucket, RejectsBadParams) {
+  EXPECT_THROW(TokenBucket(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(TokenBucket(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(SimulatedCdn, GeneratesRoughlyEvery5Minutes) {
+  util::EventLoop loop;
+  SimulatedCdn cdn(loop, util::Rng(1));
+  cdn.add_session({"alice", 0.0, 3600.0});
+  loop.run_until(3600.0);
+  // 1 hour / ~330 s -> about 10-11 thumbnails.
+  EXPECT_GE(cdn.versions_of("alice"), 9u);
+  EXPECT_LE(cdn.versions_of("alice"), 12u);
+}
+
+TEST(SimulatedCdn, OfflineRedirects) {
+  util::EventLoop loop;
+  SimulatedCdn cdn(loop, util::Rng(2));
+  cdn.add_session({"bob", 100.0, 700.0});
+  loop.run_until(50.0);
+  EXPECT_FALSE(cdn.head("bob").online);
+  EXPECT_FALSE(cdn.get("bob").has_value());
+  loop.run_until(800.0);
+  EXPECT_FALSE(cdn.head("bob").online);  // gone offline again
+  EXPECT_FALSE(cdn.get("unknown").has_value());
+}
+
+TEST(SimulatedCdn, GetServesCurrentVersion) {
+  util::EventLoop loop;
+  SimulatedCdn cdn(loop, util::Rng(3));
+  cdn.add_session({"carol", 0.0, 2000.0});
+  loop.run_until(400.0);
+  const auto response = cdn.get("carol");
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response->version, cdn.head("carol").version);
+  EXPECT_GT(response->size_bytes, 0u);
+}
+
+TEST(SimulatedCdn, ApiListsLiveStreamers) {
+  util::EventLoop loop;
+  SimulatedCdn cdn(loop, util::Rng(4));
+  cdn.add_session({"a", 0.0, 1000.0});
+  cdn.add_session({"b", 500.0, 1500.0});
+  loop.run_until(100.0);
+  EXPECT_EQ(cdn.api_live_streamers().size(), 1u);
+  loop.run_until(600.0);
+  EXPECT_EQ(cdn.api_live_streamers().size(), 2u);
+  loop.run_until(1200.0);
+  EXPECT_EQ(cdn.api_live_streamers().size(), 1u);
+}
+
+class DownloadSystemTest : public ::testing::Test {
+ protected:
+  void run_world(int streamers, double horizon, int downloaders = 3,
+                 bool crash_midway = false) {
+    cdn_ = std::make_unique<SimulatedCdn>(loop_, util::Rng(7));
+    for (int i = 0; i < streamers; ++i) {
+      cdn_->add_session({"s" + std::to_string(i), i * 10.0, horizon});
+    }
+    DownloadConfig config;
+    config.num_downloaders = downloaders;
+    system_ = std::make_unique<DownloadSystem>(loop_, *cdn_, kv_, config,
+                                               util::Rng(8));
+    system_->start();
+    if (crash_midway) {
+      loop_.schedule_at(horizon / 2, [this] { system_->crash_and_recover(); });
+    }
+    loop_.run_until(horizon);
+  }
+
+  util::EventLoop loop_;
+  store::KvStore kv_;
+  std::unique_ptr<SimulatedCdn> cdn_;
+  std::unique_ptr<DownloadSystem> system_;
+};
+
+TEST_F(DownloadSystemTest, DownloadsMostThumbnails) {
+  run_world(10, 4 * 3600.0);
+  EXPECT_GT(cdn_->thumbnails_generated(), 300u);
+  const double fetch_ratio =
+      static_cast<double>(system_->downloads().size()) /
+      static_cast<double>(cdn_->thumbnails_generated());
+  EXPECT_GT(fetch_ratio, 0.9);  // a lean downloader misses very little
+}
+
+TEST_F(DownloadSystemTest, InterarrivalMatchesCdnCadence) {
+  run_world(8, 4 * 3600.0);
+  const auto gaps = system_->interarrival_times();
+  ASSERT_GT(gaps.size(), 100u);
+  const double median = stats::percentile(gaps, 50.0);
+  EXPECT_GT(median, 290.0);
+  EXPECT_LT(median, 400.0);
+  // Fig. 13: the 90th percentile of thumbnail gaps is ~6 min.
+  EXPECT_LT(stats::percentile(gaps, 90.0), 450.0);
+}
+
+TEST_F(DownloadSystemTest, WorkSpreadsAcrossDownloaders) {
+  run_world(12, 2 * 3600.0, 4);
+  const auto assignments = system_->downloader_assignments();
+  int busy = 0;
+  for (int count : assignments) {
+    if (count > 0) ++busy;
+  }
+  EXPECT_GE(busy, 2);  // idle-steal spreads streamers around
+}
+
+TEST_F(DownloadSystemTest, OfflineStreamersSignalled) {
+  cdn_ = std::make_unique<SimulatedCdn>(loop_, util::Rng(9));
+  cdn_->add_session({"shortlived", 0.0, 1200.0});
+  DownloadConfig config;
+  config.num_downloaders = 1;
+  system_ = std::make_unique<DownloadSystem>(loop_, *cdn_, kv_, config,
+                                             util::Rng(10));
+  system_->start();
+  loop_.run_until(3600.0);
+  EXPECT_GE(system_->offline_signals(), 1u);
+}
+
+TEST_F(DownloadSystemTest, CrashRecoveryKeepsDownloading) {
+  run_world(10, 4 * 3600.0, 3, /*crash_midway=*/true);
+  EXPECT_EQ(system_->crashes(), 1);
+  // Downloads continue after the crash point.
+  const double crash_time = 2 * 3600.0;
+  bool post_crash = false;
+  for (const auto& record : system_->downloads()) {
+    if (record.time > crash_time + 900.0) post_crash = true;
+  }
+  EXPECT_TRUE(post_crash);
+  // Still a healthy overall fetch ratio.
+  const double fetch_ratio =
+      static_cast<double>(system_->downloads().size()) /
+      static_cast<double>(cdn_->thumbnails_generated());
+  EXPECT_GT(fetch_ratio, 0.75);
+}
+
+}  // namespace
+}  // namespace tero::download
+
+namespace cdn_loss_tests {
+using namespace tero::download;
+
+TEST(SimulatedCdn, UnfetchedThumbnailsAreLost) {
+  // The overwrite-in-place contract: versions advance whether or not anyone
+  // GETs them, so a lazy client loses footage permanently.
+  tero::util::EventLoop loop;
+  SimulatedCdn cdn(loop, tero::util::Rng(21));
+  cdn.add_session({"lazy", 0.0, 2 * 3600.0});
+  loop.run_until(2 * 3600.0);
+  EXPECT_GT(cdn.versions_of("lazy"), 15u);
+  EXPECT_EQ(cdn.thumbnails_fetched(), 0u);
+}
+
+TEST(SimulatedCdn, RepeatGetsOfSameVersionCountOnce) {
+  tero::util::EventLoop loop;
+  SimulatedCdn cdn(loop, tero::util::Rng(22));
+  cdn.add_session({"eager", 0.0, 3600.0});
+  loop.run_until(100.0);
+  ASSERT_TRUE(cdn.get("eager").has_value());
+  ASSERT_TRUE(cdn.get("eager").has_value());
+  EXPECT_EQ(cdn.thumbnails_fetched(), 1u);
+}
+
+TEST(DownloadSystem, ApiRateLimitDefersPolling) {
+  // A near-zero API budget: the coordinator must keep deferring polls
+  // rather than dropping them, so discovery still happens — just late.
+  tero::util::EventLoop loop;
+  SimulatedCdn cdn(loop, tero::util::Rng(23));
+  cdn.add_session({"s0", 0.0, 2 * 3600.0});
+  tero::store::KvStore kv;
+  DownloadConfig config;
+  config.num_downloaders = 1;
+  config.api_poll_interval = 10.0;  // wants to poll often...
+  config.api_rate = 1.0 / 300.0;    // ...but gets a token every 5 min
+  config.api_burst = 1.0;
+  DownloadSystem system(loop, cdn, kv, config, tero::util::Rng(24));
+  system.start();
+  loop.run_until(2 * 3600.0);
+  EXPECT_GT(system.downloads().size(), 5u);  // discovery happened anyway
+}
+
+}  // namespace cdn_loss_tests

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "image/draw.hpp"
+#include "image/font.hpp"
+#include "image/image.hpp"
+#include "image/ops.hpp"
+#include "util/rng.hpp"
+
+namespace tero::image {
+namespace {
+
+TEST(GrayImage, ConstructionAndFill) {
+  GrayImage img(10, 5, 7);
+  EXPECT_EQ(img.width(), 10);
+  EXPECT_EQ(img.height(), 5);
+  EXPECT_EQ(img.at(9, 4), 7);
+  img.fill(200);
+  EXPECT_EQ(img.at(0, 0), 200);
+}
+
+TEST(GrayImage, FillRectClipsToBounds) {
+  GrayImage img(10, 10, 0);
+  img.fill_rect(Rect{8, 8, 10, 10}, 255);
+  EXPECT_EQ(img.at(9, 9), 255);
+  EXPECT_EQ(img.at(7, 7), 0);
+}
+
+TEST(GrayImage, CropClips) {
+  GrayImage img(10, 10, 0);
+  img.set(5, 5, 99);
+  const GrayImage crop = img.crop(Rect{5, 5, 100, 100});
+  EXPECT_EQ(crop.width(), 5);
+  EXPECT_EQ(crop.height(), 5);
+  EXPECT_EQ(crop.at(0, 0), 99);
+}
+
+TEST(GrayImage, PgmRoundTrip) {
+  GrayImage img(7, 3, 0);
+  img.set(2, 1, 123);
+  const GrayImage back = GrayImage::from_pgm(img.to_pgm());
+  EXPECT_EQ(back, img);
+}
+
+TEST(GrayImage, FromPgmRejectsGarbage) {
+  EXPECT_THROW(GrayImage::from_pgm("P6\n1 1\n255\nx"), std::invalid_argument);
+  EXPECT_THROW(GrayImage::from_pgm("P5\n4 4\n255\nxy"), std::invalid_argument);
+}
+
+TEST(Rect, IntersectEmptyWhenDisjoint) {
+  const Rect a{0, 0, 5, 5};
+  const Rect b{10, 10, 5, 5};
+  EXPECT_TRUE(a.intersect(b).empty());
+  EXPECT_FALSE(a.intersect(Rect{3, 3, 5, 5}).empty());
+}
+
+TEST(Font, CoversDigitsAndLabels) {
+  for (char c : std::string("0123456789")) {
+    EXPECT_TRUE(find_glyph(c).has_value()) << c;
+  }
+  for (char c : std::string("msping")) {
+    EXPECT_TRUE(find_glyph(c).has_value()) << c;
+  }
+  EXPECT_FALSE(find_glyph('~').has_value());
+  EXPECT_GE(font_alphabet().size(), 25u);
+}
+
+TEST(Font, GlyphsAreWellFormed) {
+  for (char c : font_alphabet()) {
+    const auto glyph = find_glyph(c);
+    ASSERT_TRUE(glyph.has_value());
+    for (const auto& row : glyph->rows) {
+      EXPECT_EQ(row.size(), static_cast<std::size_t>(kGlyphWidth));
+      for (char pixel : row) {
+        EXPECT_TRUE(pixel == '#' || pixel == '.');
+      }
+    }
+  }
+}
+
+TEST(Draw, TextWidthScalesLinearly) {
+  TextStyle style;
+  style.scale = 2;
+  const int w1 = text_width("12", style);
+  const int w2 = text_width("1234", style);
+  EXPECT_EQ(w2 - w1, w1 + style.letter_spacing * style.scale);
+  EXPECT_EQ(text_height(style), kGlyphHeight * 2);
+}
+
+TEST(Draw, RendersInkAtExpectedPlace) {
+  GrayImage img(60, 30, 0);
+  TextStyle style;
+  style.scale = 2;
+  style.foreground = 255;
+  style.background = 10;
+  draw_text(img, 2, 2, "1", style);
+  // The '1' glyph has ink in its middle column.
+  int ink = 0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 0; x < img.width(); ++x) {
+      if (img.at(x, y) == 255) ++ink;
+    }
+  }
+  EXPECT_GT(ink, 10);
+}
+
+TEST(Draw, NoiseChangesPixelsBounded) {
+  GrayImage img(20, 20, 128);
+  util::Rng rng(1);
+  add_noise(img, 10.0, rng);
+  bool changed = false;
+  for (int y = 0; y < 20; ++y) {
+    for (int x = 0; x < 20; ++x) {
+      if (img.at(x, y) != 128) changed = true;
+    }
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Ops, UpscalePreservesMeanRoughly) {
+  GrayImage img(8, 8, 0);
+  img.fill_rect(Rect{0, 0, 4, 8}, 200);
+  const GrayImage up = upscale_bilinear(img, 3);
+  EXPECT_EQ(up.width(), 24);
+  double mean_in = 0.0, mean_out = 0.0;
+  for (auto p : img.pixels()) mean_in += p;
+  for (auto p : up.pixels()) mean_out += p;
+  mean_in /= img.pixels().size();
+  mean_out /= up.pixels().size();
+  EXPECT_NEAR(mean_in, mean_out, 5.0);
+}
+
+TEST(Ops, GaussianBlurSmoothsEdges) {
+  GrayImage img(20, 20, 0);
+  img.fill_rect(Rect{10, 0, 10, 20}, 255);
+  const GrayImage blurred = gaussian_blur(img, 2.0);
+  // The edge pixel should now be intermediate.
+  EXPECT_GT(blurred.at(10, 10), 30);
+  EXPECT_LT(blurred.at(10, 10), 225);
+}
+
+TEST(Ops, OtsuSeparatesBimodal) {
+  GrayImage img(20, 20, 30);
+  img.fill_rect(Rect{0, 0, 10, 20}, 220);
+  const std::uint8_t threshold = otsu_threshold(img);
+  EXPECT_GE(threshold, 30);
+  EXPECT_LT(threshold, 220);
+  const GrayImage binary = binarize(img, threshold);
+  EXPECT_EQ(binary.at(0, 0), 255);
+  EXPECT_EQ(binary.at(15, 0), 0);
+}
+
+TEST(Ops, MorphologyDilateThenErodeClosesGaps) {
+  GrayImage img(20, 5, 0);
+  // Two blobs separated by a 1-px gap.
+  img.fill_rect(Rect{2, 1, 4, 3}, 255);
+  img.fill_rect(Rect{7, 1, 4, 3}, 255);
+  const GrayImage closed = erode3x3(dilate3x3(img));
+  // The gap column (x=6) should now contain foreground.
+  bool bridged = false;
+  for (int y = 0; y < 5; ++y) {
+    if (closed.at(6, y) == 255) bridged = true;
+  }
+  EXPECT_TRUE(bridged);
+}
+
+TEST(Ops, InvertAndForegroundRatio) {
+  GrayImage img(10, 10, 0);
+  img.fill_rect(Rect{0, 0, 5, 10}, 255);
+  EXPECT_NEAR(foreground_ratio(img), 0.5, 1e-9);
+  const GrayImage inverted = invert(img);
+  EXPECT_EQ(inverted.at(0, 0), 0);
+  EXPECT_EQ(inverted.at(9, 9), 255);
+}
+
+TEST(Ops, ConnectedComponentsFindsAndSortsBlobs) {
+  GrayImage img(30, 10, 0);
+  img.fill_rect(Rect{20, 2, 4, 4}, 255);
+  img.fill_rect(Rect{2, 2, 3, 3}, 255);
+  const auto components = connected_components(img);
+  ASSERT_EQ(components.size(), 2u);
+  EXPECT_EQ(components[0].bounds.x, 2);   // sorted left to right
+  EXPECT_EQ(components[1].bounds.x, 20);
+  EXPECT_EQ(components[0].area, 9);
+  EXPECT_EQ(components[1].area, 16);
+}
+
+TEST(Ops, ConnectedComponentsMinAreaFiltersSpecks) {
+  GrayImage img(10, 10, 0);
+  img.set(1, 1, 255);                      // single-pixel speck
+  img.fill_rect(Rect{4, 4, 3, 3}, 255);
+  EXPECT_EQ(connected_components(img, 2).size(), 1u);
+}
+
+TEST(Ops, ConnectedComponentsUses8Connectivity) {
+  GrayImage img(4, 4, 0);
+  img.set(0, 0, 255);
+  img.set(1, 1, 255);  // diagonal neighbour
+  EXPECT_EQ(connected_components(img).size(), 1u);
+}
+
+TEST(Ops, NormalizeGlyphDensities) {
+  GrayImage img(16, 16, 0);
+  img.fill_rect(Rect{0, 0, 8, 16}, 255);
+  const auto grid = normalize_glyph(img, Rect{0, 0, 16, 16}, 4);
+  ASSERT_EQ(grid.size(), 16u);
+  EXPECT_NEAR(grid[0], 1.0, 1e-9);   // left half is ink
+  EXPECT_NEAR(grid[3], 0.0, 1e-9);   // right half empty
+}
+
+}  // namespace
+}  // namespace tero::image

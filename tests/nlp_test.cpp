@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "nlp/combine.hpp"
+#include "nlp/filter.hpp"
+#include "nlp/matcher.hpp"
+#include "nlp/tools.hpp"
+
+namespace tero::nlp {
+namespace {
+
+using geo::Location;
+
+TEST(Tokenizer, SplitsOnPunctuation) {
+  const auto tokens = tokenize("Join us in Detroit! (18+)");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[3].text, "Detroit");
+  EXPECT_EQ(tokens[4].text, "18");
+}
+
+TEST(Matcher, FindsMultiWordPlaces) {
+  MatchOptions options;
+  const auto mentions = find_mentions("Living in New York City these days",
+                                      geo::Gazetteer::world(), options);
+  ASSERT_FALSE(mentions.empty());
+  EXPECT_EQ(mentions[0].place->name, "New York City");
+  EXPECT_EQ(mentions[0].token_count, 3);
+}
+
+TEST(Matcher, AmbiguousNameYieldsMultipleMentions) {
+  MatchOptions options;
+  const auto mentions =
+      find_mentions("Georgia gamer", geo::Gazetteer::world(), options);
+  EXPECT_EQ(mentions.size(), 2u);  // US state and the country
+}
+
+TEST(Matcher, CapitalizationFilter) {
+  MatchOptions options;
+  options.require_capitalized = true;
+  EXPECT_TRUE(find_mentions("i love turkey sandwiches",
+                            geo::Gazetteer::world(), options)
+                  .empty());
+  EXPECT_FALSE(find_mentions("Visiting Turkey soon",
+                             geo::Gazetteer::world(), options)
+                   .empty());
+}
+
+TEST(Matcher, SubstringMatchingCatchesDemonyms) {
+  MatchOptions options;
+  options.allow_substring = true;
+  const auto mentions = find_mentions("proud Denmarkian gamer",
+                                      geo::Gazetteer::world(), options);
+  ASSERT_FALSE(mentions.empty());
+  EXPECT_EQ(mentions[0].place->name, "Denmark");
+  // Without substring matching, no hit.
+  MatchOptions strict;
+  EXPECT_TRUE(find_mentions("proud Denmarkian gamer",
+                            geo::Gazetteer::world(), strict)
+                  .empty());
+}
+
+TEST(ConservativeFilter, AcceptsWhenCountryOrRegionNamed) {
+  // "From Miami, Florida" names the region -> accepted (App. D.1 example).
+  EXPECT_TRUE(conservative_filter(
+      "From Miami, Florida",
+      Location{"Miami", "Florida", "United States"}));
+  // "Join us in Detroit" names neither country nor region -> rejected.
+  EXPECT_FALSE(conservative_filter(
+      "Join us in Detroit",
+      Location{"Detroit", "Michigan", "United States"}));
+}
+
+TEST(ConservativeFilter, AliasAware) {
+  EXPECT_TRUE(conservative_filter(
+      "streaming from the USA", Location{"", "", "United States"}));
+}
+
+TEST(Tools, CliffExtractsCapitalizedPlaces) {
+  const auto cliff = make_cliff_like();
+  const auto out = cliff->extract("Join us in Detroit!");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].city, "Detroit");
+  EXPECT_EQ(out[0].country, "United States");
+  EXPECT_TRUE(cliff->extract("no places here").empty());
+}
+
+TEST(Tools, XponentsHasHigherRecallAndFalsePositives) {
+  const auto xponents = make_xponents_like();
+  // Lowercase mention: Xponents finds it, CLIFF does not.
+  EXPECT_FALSE(xponents->extract("greetings from paris").empty());
+  EXPECT_TRUE(make_cliff_like()->extract("greetings from paris").empty());
+  // Demonym false positive.
+  const auto out = xponents->extract("proud Denmarkian gamer");
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].country, "Denmark");
+}
+
+TEST(Tools, MordecaiReturnsCandidateList) {
+  const auto mordecai = make_mordecai_like();
+  const auto out = mordecai->extract("Moving from Paris to Madrid");
+  EXPECT_GE(out.size(), 2u);
+}
+
+TEST(Tools, NominatimParsesStructuredFields) {
+  const auto nominatim = make_nominatim_like();
+  const auto out = nominatim->extract("Barcelona, Spain");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].city, "Barcelona");
+  EXPECT_EQ(out[0].region, "Catalunya");
+}
+
+TEST(Tools, NominatimRejectsInconsistentHierarchy) {
+  const auto nominatim = make_nominatim_like();
+  EXPECT_TRUE(nominatim->extract("Barcelona, France").empty());
+}
+
+TEST(Tools, GeonamesPicksWeightiestMatch) {
+  const auto geonames = make_geonames_like();
+  const auto out = geonames->extract("somewhere in Germany");
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].country, "Germany");
+}
+
+TEST(Combine, TwitchDescriptionAgreementPath) {
+  const ToolSet tools;
+  // "Streaming from Barcelona, Spain" passes the conservative filter
+  // (country named).
+  const auto loc =
+      combine_twitch_description("Streaming from Barcelona, Spain", tools);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->city, "Barcelona");
+}
+
+TEST(Combine, PlainCityRequiresAgreement) {
+  const ToolSet tools;
+  // "Join us in Detroit!" fails the filter but CLIFF and Xponents agree.
+  const auto loc = combine_twitch_description("Join us in Detroit!", tools);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->city, "Detroit");
+}
+
+TEST(Combine, TrapTextNotAcceptedByCombination) {
+  const ToolSet tools;
+  // Only Xponents falls for lowercase "turkey"; no agreement, no filter
+  // pass -> rejected.
+  EXPECT_FALSE(combine_twitch_description("i love turkey sandwiches", tools)
+                   .has_value());
+}
+
+TEST(Combine, CountryTagRecoversDiscardedOutput) {
+  const ToolSet tools;
+  const std::string text = "i love turkey sandwiches";
+  EXPECT_FALSE(combine_twitch_description(text, tools).has_value());
+  const auto recovered =
+      combine_twitch_description(text, tools, std::string("Turkey"));
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->country, "Turkey");
+}
+
+TEST(Combine, TwitterLocationAgreement) {
+  const ToolSet tools;
+  const auto loc = combine_twitter_location("Amsterdam, Netherlands", tools);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->city, "Amsterdam");
+}
+
+TEST(Combine, TwitterNonGeographicNoise) {
+  const ToolSet tools;
+  // "Your heart, Chicago" (App. D.3): geoparsers disagree/fail on the
+  // noise, the description path recovers the city.
+  const auto loc = combine_twitter_location("Your heart, Chicago", tools);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->city, "Chicago");
+}
+
+TEST(Combine, EmptyFieldYieldsNothing) {
+  const ToolSet tools;
+  EXPECT_FALSE(combine_twitter_location("", tools).has_value());
+  EXPECT_FALSE(combine_twitch_description("", tools).has_value());
+}
+
+}  // namespace
+}  // namespace tero::nlp
+
+namespace entity_tests {
+using namespace tero::nlp;
+using tero::geo::Location;
+
+TEST(EntityHeuristic, PersonNamesSkippedByCliff) {
+  const auto cliff = make_cliff_like();
+  EXPECT_TRUE(cliff->extract("Certified Paris Hilton stan account").empty());
+  EXPECT_TRUE(cliff->extract("Toronto Raptors fan first").empty());
+  // A place followed by a lowercase word still extracts.
+  EXPECT_FALSE(cliff->extract("Paris is my favourite city").empty());
+}
+
+TEST(EntityHeuristic, PlaceFollowedByPlaceKept) {
+  // "Barcelona Spain" (no comma): the follower is itself a place, so the
+  // heuristic must not fire.
+  const auto cliff = make_cliff_like();
+  const auto out = cliff->extract("Streaming from Barcelona Spain");
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0].city, "Barcelona");
+}
+
+TEST(EntityHeuristic, XponentsStaysNaive) {
+  const auto xponents = make_xponents_like();
+  EXPECT_FALSE(
+      xponents->extract("Certified Paris Hilton stan account").empty());
+}
+
+TEST(Combine, JokeTwitterFieldsRejected) {
+  const ToolSet tools;
+  EXPECT_FALSE(
+      combine_twitter_location("somewhere between London and Tokyo", tools)
+          .has_value());
+  EXPECT_FALSE(combine_twitter_location("Narnia", tools).has_value());
+  EXPECT_FALSE(combine_twitter_location("Gotham City", tools).has_value());
+}
+
+TEST(Combine, PronounSuffixFieldStillParses) {
+  const ToolSet tools;
+  const auto loc =
+      combine_twitter_location("Madrid, Spain | she/they", tools);
+  ASSERT_TRUE(loc.has_value());
+  EXPECT_EQ(loc->city, "Madrid");
+}
+
+TEST(ConservativeFilter, LowercaseCoincidencesRejected) {
+  EXPECT_FALSE(conservative_filter("i love turkey sandwiches",
+                                   Location{"", "", "Turkey"}));
+  EXPECT_TRUE(conservative_filter("Visiting Turkey this summer",
+                                  Location{"", "", "Turkey"}));
+  // Short acronym aliases need exact case: "us" must not confirm the US.
+  EXPECT_FALSE(conservative_filter("join us in the stream",
+                                   Location{"", "", "United States"}));
+  EXPECT_TRUE(conservative_filter("Detroit, US based",
+                                  Location{"Detroit", "Michigan",
+                                           "United States"}));
+}
+
+}  // namespace entity_tests

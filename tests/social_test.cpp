@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "social/locator.hpp"
+#include "social/platform.hpp"
+
+namespace tero::social {
+namespace {
+
+SocialProfile twitter_profile(std::string username, std::string location,
+                              bool backlink) {
+  SocialProfile profile;
+  profile.username = username;
+  profile.location_field = std::move(location);
+  profile.bio = "Streamer and content creator.";
+  if (backlink) {
+    profile.links.push_back("https://twitch.tv/" + username);
+  }
+  return profile;
+}
+
+TEST(SocialProfile, BacklinkDetection) {
+  const auto profile = twitter_profile("frostwolf1", "Madrid, Spain", true);
+  EXPECT_TRUE(profile.links_to_twitch("frostwolf1"));
+  EXPECT_TRUE(profile.links_to_twitch("FrostWolf1"));  // case-insensitive
+  EXPECT_FALSE(profile.links_to_twitch("otherperson"));
+}
+
+TEST(SocialDirectory, FindIsCaseInsensitive) {
+  SocialDirectory directory;
+  directory.add(twitter_profile("NightFox", "", false));
+  EXPECT_NE(directory.find("nightfox"), nullptr);
+  EXPECT_EQ(directory.find("dayfox"), nullptr);
+  EXPECT_EQ(directory.size(), 1u);
+}
+
+TEST(Locator, LocatesFromTwitchDescription) {
+  SocialDirectory twitter;
+  SocialDirectory steam;
+  const Locator locator(twitter, steam);
+  TwitchProfile profile;
+  profile.username = "anyone";
+  profile.description = "Streaming from Barcelona, Spain";
+  const auto result = locator.locate(profile);
+  ASSERT_TRUE(result.located());
+  EXPECT_EQ(result.source, LocationSource::kTwitchDescription);
+  EXPECT_EQ(result.location->city, "Barcelona");
+}
+
+TEST(Locator, LocatesViaTwitterWithBacklink) {
+  SocialDirectory twitter;
+  SocialDirectory steam;
+  twitter.add(twitter_profile("pixelmage7", "Amsterdam, Netherlands", true));
+  const Locator locator(twitter, steam);
+  TwitchProfile profile;
+  profile.username = "pixelmage7";
+  profile.description = "Just here to have fun";
+  const auto result = locator.locate(profile);
+  ASSERT_TRUE(result.located());
+  EXPECT_EQ(result.source, LocationSource::kTwitter);
+  EXPECT_EQ(result.location->city, "Amsterdam");
+}
+
+TEST(Locator, RejectsSameUsernameWithoutBacklink) {
+  // A stranger shares the username but never linked the Twitch account:
+  // Tero must not associate them (§3.1 / §7).
+  SocialDirectory twitter;
+  SocialDirectory steam;
+  twitter.add(twitter_profile("pixelmage7", "Amsterdam, Netherlands", false));
+  const Locator locator(twitter, steam);
+  TwitchProfile profile;
+  profile.username = "pixelmage7";
+  profile.description = "Just here to have fun";
+  EXPECT_FALSE(locator.locate(profile).located());
+}
+
+TEST(Locator, FallsBackToSteam) {
+  SocialDirectory twitter;
+  SocialDirectory steam;
+  SocialProfile steam_profile;
+  steam_profile.username = "novaking3";
+  steam_profile.bio = "Living in Stockholm. Streaming from Sweden";
+  steam_profile.links.push_back("https://twitch.tv/novaking3");
+  steam.add(std::move(steam_profile));
+  const Locator locator(twitter, steam);
+  TwitchProfile profile;
+  profile.username = "novaking3";
+  profile.description = "GM grind every day";
+  const auto result = locator.locate(profile);
+  ASSERT_TRUE(result.located());
+  EXPECT_EQ(result.source, LocationSource::kSteam);
+  EXPECT_EQ(result.location->country, "Sweden");
+}
+
+TEST(Locator, DescriptionTakesPriorityOverTwitter) {
+  SocialDirectory twitter;
+  SocialDirectory steam;
+  twitter.add(twitter_profile("emberfox2", "Tokyo, Japan", true));
+  const Locator locator(twitter, steam);
+  TwitchProfile profile;
+  profile.username = "emberfox2";
+  profile.description = "Streaming from Barcelona, Spain";
+  const auto result = locator.locate(profile);
+  ASSERT_TRUE(result.located());
+  EXPECT_EQ(result.source, LocationSource::kTwitchDescription);
+  EXPECT_EQ(result.location->country, "Spain");
+}
+
+TEST(Locator, UnlocatableStreamer) {
+  SocialDirectory twitter;
+  SocialDirectory steam;
+  const Locator locator(twitter, steam);
+  TwitchProfile profile;
+  profile.username = "mysteryperson";
+  profile.description = "Coffee, games, repeat";
+  EXPECT_FALSE(locator.locate(profile).located());
+}
+
+TEST(Locator, CountryTagRecoversInformalDescription) {
+  SocialDirectory twitter;
+  SocialDirectory steam;
+  const Locator locator(twitter, steam);
+  TwitchProfile profile;
+  profile.username = "saltycat9";
+  profile.description = "i love turkey sandwiches";
+  profile.country_tag = "Turkey";
+  const auto result = locator.locate(profile);
+  ASSERT_TRUE(result.located());
+  EXPECT_EQ(result.location->country, "Turkey");
+}
+
+}  // namespace
+}  // namespace tero::social

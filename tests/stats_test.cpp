@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+#include "stats/matrix.hpp"
+#include "stats/probit.hpp"
+#include "stats/wasserstein.hpp"
+#include "util/rng.hpp"
+
+namespace tero::stats {
+namespace {
+
+TEST(Descriptive, MeanAndStddev) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.5), 1e-12);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{7.0}), 0.0);
+}
+
+TEST(Descriptive, PercentileInterpolates) {
+  const std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 25.0);
+  EXPECT_THROW((void)percentile({}, 50), std::invalid_argument);
+}
+
+TEST(Descriptive, BoxplotOrdering) {
+  util::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 2000; ++i) xs.push_back(rng.normal(50, 10));
+  const Boxplot box = boxplot(xs);
+  EXPECT_LT(box.p5, box.p25);
+  EXPECT_LT(box.p25, box.p50);
+  EXPECT_LT(box.p50, box.p75);
+  EXPECT_LT(box.p75, box.p95);
+  EXPECT_NEAR(box.p50, 50.0, 1.0);
+}
+
+TEST(Descriptive, Ecdf) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(ecdf(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf(xs, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(ecdf(xs, 10.0), 1.0);
+}
+
+TEST(Descriptive, MeanErrShrinksWithN) {
+  util::Rng rng(5);
+  std::vector<double> small, large;
+  for (int i = 0; i < 10; ++i) small.push_back(rng.normal(0, 1));
+  for (int i = 0; i < 1000; ++i) large.push_back(rng.normal(0, 1));
+  EXPECT_GT(mean_err(small).err, mean_err(large).err);
+}
+
+TEST(Distributions, NormalCdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normal_cdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(Distributions, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-9) << p;
+  }
+  EXPECT_THROW((void)normal_quantile(0.0), std::invalid_argument);
+  EXPECT_THROW((void)normal_quantile(1.0), std::invalid_argument);
+}
+
+TEST(Distributions, BinomialPmfSumsToOne) {
+  double total = 0.0;
+  for (std::uint64_t k = 0; k <= 20; ++k) total += binomial_pmf(20, k, 0.3);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Distributions, BinomialPmfKnown) {
+  EXPECT_NEAR(binomial_pmf(4, 2, 0.5), 0.375, 1e-12);
+  EXPECT_NEAR(binomial_pmf(10, 0, 0.1), std::pow(0.9, 10), 1e-12);
+  EXPECT_DOUBLE_EQ(binomial_pmf(3, 5, 0.5), 0.0);
+}
+
+TEST(Distributions, BinomialTail) {
+  EXPECT_NEAR(binomial_tail(4, 0, 0.5), 1.0, 1e-12);
+  EXPECT_NEAR(binomial_tail(4, 4, 0.5), 0.0625, 1e-12);
+  // Large n stays finite and sane.
+  const double tail = binomial_tail(100000, 200, 0.001);
+  EXPECT_GT(tail, 0.0);
+  EXPECT_LT(tail, 1e-3);
+}
+
+TEST(Distributions, ZPvalue) {
+  EXPECT_NEAR(z_pvalue(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(z_pvalue(1.959963985), 0.05, 1e-6);
+}
+
+TEST(Matrix, MultiplyAndTranspose) {
+  Matrix a(2, 3);
+  int v = 1;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) a.at(r, c) = v++;
+  }
+  const Matrix at = a.transpose();
+  const Matrix prod = a.multiply(at);  // 2x2
+  EXPECT_DOUBLE_EQ(prod.at(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(prod.at(0, 1), 32.0);
+  EXPECT_DOUBLE_EQ(prod.at(1, 1), 77.0);
+}
+
+TEST(Matrix, SolveSpdRoundTrip) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 4;  a.at(0, 1) = 1;  a.at(0, 2) = 0;
+  a.at(1, 0) = 1;  a.at(1, 1) = 3;  a.at(1, 2) = 1;
+  a.at(2, 0) = 0;  a.at(2, 1) = 1;  a.at(2, 2) = 5;
+  const std::vector<double> x_true = {1.0, -2.0, 0.5};
+  const auto b = a.multiply(std::span<const double>{x_true});
+  const auto x = a.solve_spd(b);
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-10);
+}
+
+TEST(Matrix, InverseSpd) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;  a.at(1, 1) = 2;
+  const Matrix inv = a.inverse_spd();
+  const Matrix identity = a.multiply(inv);
+  EXPECT_NEAR(identity.at(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(identity.at(0, 1), 0.0, 1e-12);
+}
+
+TEST(Matrix, DeterminantSpd) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 2;  a.at(0, 1) = 1;
+  a.at(1, 0) = 1;  a.at(1, 1) = 2;
+  EXPECT_NEAR(a.determinant_spd(), 3.0, 1e-10);
+}
+
+TEST(Matrix, CholeskyRejectsIndefinite) {
+  Matrix a(2, 2);
+  a.at(0, 0) = 1;   a.at(0, 1) = 2;
+  a.at(1, 0) = 2;   a.at(1, 1) = 1;  // eigenvalues 3, -1
+  EXPECT_THROW(a.solve_spd(std::vector<double>{1.0, 1.0}),
+               std::domain_error);
+}
+
+TEST(Wasserstein, IdenticalDistributionsZero) {
+  const std::vector<double> a = {1, 2, 3};
+  EXPECT_NEAR(wasserstein1(a, a), 0.0, 1e-12);
+}
+
+TEST(Wasserstein, PointMassShift) {
+  // W1 between delta(0) and delta(5) is 5.
+  EXPECT_NEAR(wasserstein1(std::vector<double>{0.0},
+                           std::vector<double>{5.0}),
+              5.0, 1e-12);
+}
+
+TEST(Wasserstein, SymmetricAndTriangleish) {
+  const std::vector<double> a = {0, 1, 2};
+  const std::vector<double> b = {5, 6, 9};
+  EXPECT_NEAR(wasserstein1(a, b), wasserstein1(b, a), 1e-12);
+  EXPECT_GT(wasserstein1(a, b), 0.0);
+}
+
+TEST(Unevenness, UniformPointsScoreLow) {
+  std::vector<double> timestamps;
+  for (int i = 0; i < 20; ++i) timestamps.push_back(i * 15.0 + 7.5);
+  EXPECT_LT(unevenness_score(timestamps, 0.0, 300.0), 0.1);
+}
+
+TEST(Unevenness, DegeneratePointsScoreOne) {
+  const std::vector<double> timestamps(10, 0.0);
+  EXPECT_NEAR(unevenness_score(timestamps, 0.0, 300.0), 1.0, 1e-9);
+}
+
+TEST(Unevenness, HalfConcentratedInBetween) {
+  std::vector<double> timestamps(10, 150.0);  // all in the middle
+  const double score = unevenness_score(timestamps, 0.0, 300.0);
+  EXPECT_GT(score, 0.2);
+  EXPECT_LT(score, 0.8);
+}
+
+// ---- Probit regression -------------------------------------------------------
+
+class ProbitRecovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProbitRecovery, RecoversSlopeAndMarginalEffect) {
+  const double beta1 = GetParam();
+  const double beta0 = -1.5;
+  util::Rng rng(99);
+  std::vector<double> x;
+  std::vector<int> y;
+  for (int i = 0; i < 20000; ++i) {
+    const double xi = static_cast<double>(rng.uniform_int(0, 10));
+    const double p = normal_cdf(beta0 + beta1 * xi);
+    x.push_back(xi);
+    y.push_back(rng.bernoulli(p) ? 1 : 0);
+  }
+  const ProbitResult fit = probit_fit_single(x, y);
+  ASSERT_TRUE(fit.converged);
+  EXPECT_NEAR(fit.beta[0], beta0, 0.12);
+  EXPECT_NEAR(fit.beta[1], beta1, 0.05);
+  EXPECT_GT(fit.marginal_effect[1], 0.0);
+  // Slope significant at 1%.
+  EXPECT_LT(fit.p_value[1], 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slopes, ProbitRecovery,
+                         ::testing::Values(0.05, 0.1, 0.2));
+
+TEST(Probit, NoEffectYieldsInsignificantSlope) {
+  util::Rng rng(7);
+  std::vector<double> x;
+  std::vector<int> y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(static_cast<double>(rng.uniform_int(0, 10)));
+    y.push_back(rng.bernoulli(0.1) ? 1 : 0);
+  }
+  const ProbitResult fit = probit_fit_single(x, y);
+  ASSERT_TRUE(fit.converged);
+  EXPECT_GT(fit.p_value[1], 0.01);
+  EXPECT_NEAR(fit.beta[1], 0.0, 0.05);
+}
+
+TEST(Probit, MarginalEffectMatchesFiniteDifference) {
+  util::Rng rng(13);
+  std::vector<double> x;
+  std::vector<int> y;
+  for (int i = 0; i < 10000; ++i) {
+    const double xi = static_cast<double>(rng.uniform_int(0, 8));
+    x.push_back(xi);
+    y.push_back(rng.bernoulli(normal_cdf(-1.0 + 0.15 * xi)) ? 1 : 0);
+  }
+  const ProbitResult fit = probit_fit_single(x, y);
+  // Average finite-difference effect of +1 unit should be close to the
+  // analytic average marginal effect.
+  double fd = 0.0;
+  for (double xi : x) {
+    fd += normal_cdf(fit.beta[0] + fit.beta[1] * (xi + 1)) -
+          normal_cdf(fit.beta[0] + fit.beta[1] * xi);
+  }
+  fd /= static_cast<double>(x.size());
+  EXPECT_NEAR(fit.marginal_effect[1], fd, 0.01);
+}
+
+TEST(Probit, RejectsBadInput) {
+  EXPECT_THROW(probit_fit({}, std::vector<int>{}), std::invalid_argument);
+  EXPECT_THROW(probit_fit({{1.0}, {2.0, 3.0}}, std::vector<int>{0, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tero::stats

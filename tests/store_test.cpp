@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "store/consistent_hash.hpp"
+#include "store/doc_store.hpp"
+#include "store/kv_store.hpp"
+#include "store/object_store.hpp"
+#include "store/persistence.hpp"
+
+namespace tero::store {
+namespace {
+
+TEST(KvStore, PutGetEraseContains) {
+  KvStore kv;
+  kv.put("a", "1");
+  EXPECT_EQ(kv.get("a"), "1");
+  EXPECT_TRUE(kv.contains("a"));
+  kv.put("a", "2");
+  EXPECT_EQ(kv.get("a"), "2");
+  EXPECT_TRUE(kv.erase("a"));
+  EXPECT_FALSE(kv.erase("a"));
+  EXPECT_FALSE(kv.get("a").has_value());
+}
+
+TEST(KvStore, PrefixScan) {
+  KvStore kv;
+  kv.put("tracked:alice", "1");
+  kv.put("tracked:bob", "1");
+  kv.put("seen:alice", "3");
+  const auto keys = kv.keys_with_prefix("tracked:");
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "tracked:alice");
+}
+
+TEST(KvStore, ListsAreFifo) {
+  KvStore kv;
+  kv.push_back("q", "1");
+  kv.push_back("q", "2");
+  EXPECT_EQ(kv.list_size("q"), 2u);
+  EXPECT_EQ(kv.pop_front("q"), "1");
+  EXPECT_EQ(kv.pop_front("q"), "2");
+  EXPECT_FALSE(kv.pop_front("q").has_value());
+}
+
+TEST(KvStore, PopBatchLeavesRemainder) {
+  KvStore kv;
+  for (int i = 0; i < 5; ++i) kv.push_back("batch", std::to_string(i));
+  const auto batch = kv.pop_batch("batch", 3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0], "0");
+  EXPECT_EQ(kv.list_size("batch"), 2u);
+  EXPECT_EQ(kv.pop_batch("empty", 3).size(), 0u);
+}
+
+TEST(ObjectStore, PutGetEraseAccounting) {
+  ObjectStore store;
+  store.put("thumbs", "a", "12345");
+  EXPECT_EQ(store.total_bytes(), 5u);
+  store.put("thumbs", "a", "12");  // overwrite shrinks accounting
+  EXPECT_EQ(store.total_bytes(), 2u);
+  EXPECT_EQ(store.get("thumbs", "a"), "12");
+  EXPECT_FALSE(store.get("thumbs", "missing").has_value());
+  EXPECT_TRUE(store.erase("thumbs", "a"));
+  EXPECT_EQ(store.total_bytes(), 0u);
+  EXPECT_EQ(store.object_count(), 0u);
+}
+
+TEST(ObjectStore, ListPerBucket) {
+  ObjectStore store;
+  store.put("b1", "x", "1");
+  store.put("b1", "y", "2");
+  store.put("b2", "z", "3");
+  EXPECT_EQ(store.list("b1").size(), 2u);
+  EXPECT_EQ(store.list("b2").size(), 1u);
+  EXPECT_EQ(store.list("nope").size(), 0u);
+}
+
+TEST(DocStore, InsertFindScan) {
+  DocStore docs;
+  const auto id = docs.insert("latency", {{"streamer", "u1"}, {"ms", "45"}});
+  docs.insert("latency", {{"streamer", "u2"}, {"ms", "80"}});
+  ASSERT_NE(docs.find_by_id("latency", id), nullptr);
+  EXPECT_EQ(docs.count("latency"), 2u);
+  const auto u1 = docs.find_equal("latency", "streamer", "u1");
+  ASSERT_EQ(u1.size(), 1u);
+  EXPECT_EQ(doc_get_num(*u1[0], "ms"), 45.0);
+  const auto heavy = docs.scan("latency", [](const Document& d) {
+    return doc_get_num(d, "ms") > 50;
+  });
+  EXPECT_EQ(heavy.size(), 1u);
+}
+
+TEST(DocStore, RemoveIf) {
+  DocStore docs;
+  for (int i = 0; i < 10; ++i) {
+    docs.insert("c", {{"v", std::to_string(i)}});
+  }
+  const auto removed = docs.remove_if(
+      "c", [](const Document& d) { return doc_get_num(d, "v") < 5; });
+  EXPECT_EQ(removed, 5u);
+  EXPECT_EQ(docs.count("c"), 5u);
+}
+
+TEST(DocStore, FieldHelpers) {
+  Document doc{{"a", "x"}};
+  EXPECT_EQ(doc_get(doc, "a"), "x");
+  EXPECT_EQ(doc_get(doc, "b", "fallback"), "fallback");
+  EXPECT_DOUBLE_EQ(doc_get_num(doc, "missing", -1.0), -1.0);
+}
+
+TEST(Pseudonymizer, StableAndSaltDependent) {
+  const Pseudonymizer a(1);
+  const Pseudonymizer b(2);
+  EXPECT_EQ(a.pseudonym("alice"), a.pseudonym("alice"));
+  EXPECT_NE(a.pseudonym("alice"), a.pseudonym("bob"));
+  EXPECT_NE(a.pseudonym("alice"), b.pseudonym("alice"));
+  EXPECT_EQ(a.pseudonym("alice").size(), 17u);  // 'u' + 16 hex chars
+  EXPECT_EQ(a.pseudonym("alice")[0], 'u');
+}
+
+TEST(ConsistentHashRing, AssignsAllKeysAndBalances) {
+  ConsistentHashRing ring(64);
+  ring.add_node("n1");
+  ring.add_node("n2");
+  ring.add_node("n3");
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 3000; ++i) {
+    counts[ring.node_for("key" + std::to_string(i))]++;
+  }
+  EXPECT_EQ(counts.size(), 3u);
+  for (const auto& [node, count] : counts) {
+    EXPECT_GT(count, 3000 / 3 / 3) << node;  // no node starves badly
+  }
+}
+
+TEST(ConsistentHashRing, RemovalOnlyRemapsOwnedKeys) {
+  ConsistentHashRing ring(64);
+  ring.add_node("n1");
+  ring.add_node("n2");
+  ring.add_node("n3");
+  std::map<std::string, std::string> before;
+  for (int i = 0; i < 1000; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    before[key] = ring.node_for(key);
+  }
+  ring.remove_node("n2");
+  int moved = 0;
+  for (const auto& [key, node] : before) {
+    const std::string now = ring.node_for(key);
+    EXPECT_NE(now, "n2");
+    if (node != "n2" && now != node) ++moved;
+  }
+  EXPECT_EQ(moved, 0);  // keys not owned by n2 stay put
+}
+
+TEST(ConsistentHashRing, EmptyRing) {
+  ConsistentHashRing ring;
+  EXPECT_EQ(ring.node_for("anything"), "");
+  EXPECT_EQ(ring.node_count(), 0u);
+}
+
+TEST(ConsistentHashRing, DuplicateAddIgnored) {
+  ConsistentHashRing ring;
+  ring.add_node("n1");
+  ring.add_node("n1");
+  EXPECT_EQ(ring.node_count(), 1u);
+}
+
+}  // namespace
+}  // namespace tero::store
+
+namespace persistence_tests {
+using namespace tero::store;
+
+TEST(Persistence, KvRoundTrip) {
+  KvStore kv;
+  kv.put("tracked:alice", "1");
+  kv.put("weird key,with\nstuff", "value with spaces\nand newline");
+  kv.push_back("queue", "first");
+  kv.push_back("queue", "second, with comma");
+  std::ostringstream snapshot;
+  snapshot_kv(kv, snapshot);
+  std::istringstream input(snapshot.str());
+  KvStore restored = restore_kv(input);
+  EXPECT_EQ(restored.get("tracked:alice"), "1");
+  EXPECT_EQ(restored.get("weird key,with\nstuff"),
+            "value with spaces\nand newline");
+  EXPECT_EQ(restored.pop_front("queue"), "first");
+  EXPECT_EQ(restored.pop_front("queue"), "second, with comma");
+  EXPECT_FALSE(restored.pop_front("queue").has_value());
+}
+
+TEST(Persistence, KvEmptySnapshot) {
+  KvStore kv;
+  std::ostringstream snapshot;
+  snapshot_kv(kv, snapshot);
+  std::istringstream input(snapshot.str());
+  const KvStore restored = restore_kv(input);
+  EXPECT_EQ(restored.size(), 0u);
+}
+
+TEST(Persistence, KvRejectsGarbage) {
+  std::istringstream input("X 3 abc");
+  EXPECT_THROW(restore_kv(input), std::invalid_argument);
+  std::istringstream truncated("K 10 short");
+  EXPECT_THROW(restore_kv(truncated), std::invalid_argument);
+}
+
+TEST(Persistence, DocsRoundTrip) {
+  DocStore docs;
+  docs.insert("latency", {{"streamer", "u1"}, {"ms", "45"}});
+  docs.insert("latency", {{"streamer", "u2"}, {"note", "has, comma"}});
+  docs.insert("other", {{"k", "v"}});
+  std::ostringstream snapshot;
+  snapshot_docs(docs, snapshot);
+  std::istringstream input(snapshot.str());
+  DocStore restored = restore_docs(input);
+  EXPECT_EQ(restored.count("latency"), 2u);
+  EXPECT_EQ(restored.count("other"), 1u);
+  const auto u2 = restored.find_equal("latency", "streamer", "u2");
+  ASSERT_EQ(u2.size(), 1u);
+  EXPECT_EQ(doc_get(*u2[0], "note"), "has, comma");
+}
+
+TEST(Persistence, KvEnumeration) {
+  KvStore kv;
+  kv.push_back("a", "1");
+  kv.push_back("b", "2");
+  EXPECT_EQ(kv.list_keys().size(), 2u);
+  EXPECT_EQ(kv.list_contents("a"), std::vector<std::string>{"1"});
+  EXPECT_TRUE(kv.list_contents("missing").empty());
+}
+
+}  // namespace persistence_tests

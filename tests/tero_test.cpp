@@ -1,0 +1,515 @@
+#include <gtest/gtest.h>
+
+#include "tero/channel.hpp"
+#include "analysis/outlier_rejection.hpp"
+#include "tero/export.hpp"
+#include "tero/pipeline.hpp"
+#include "tero/realtime.hpp"
+#include <set>
+#include <sstream>
+
+namespace tero::core {
+namespace {
+
+synth::TruePoint point_at(double t, int latency) {
+  synth::TruePoint point;
+  point.t = t;
+  point.latency_ms = latency;
+  return point;
+}
+
+TEST(Channel, DigitDropShortens) {
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const int dropped = drop_leading_digits(245, rng);
+    EXPECT_TRUE(dropped == 45 || dropped == 5) << dropped;
+  }
+  EXPECT_EQ(drop_leading_digits(7, rng), 0);
+}
+
+TEST(Channel, ConfusionChangesOneDigit) {
+  util::Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const int confused = confuse_digit(42, rng);
+    EXPECT_NE(confused, 42);
+    EXPECT_GE(confused, 1);
+    EXPECT_LE(confused, 99);
+  }
+}
+
+TEST(NoiseChannel, RatesApproximatelyHonored) {
+  NoiseChannelConfig config;
+  auto channel = make_noise_channel(config);
+  util::Rng rng(3);
+  const auto& spec = ocr::ui_spec_for("League of Legends");
+  int missed = 0;
+  int wrong = 0;
+  int total = 20000;
+  for (int i = 0; i < total; ++i) {
+    const auto m = channel->extract(point_at(i * 300.0, 87), spec, rng);
+    if (!m.has_value()) {
+      ++missed;
+    } else if (m->latency_ms != 87) {
+      ++wrong;
+    }
+  }
+  EXPECT_NEAR(missed / static_cast<double>(total), config.miss_rate, 0.02);
+  const double error_rate =
+      wrong / static_cast<double>(total - missed);
+  EXPECT_NEAR(error_rate, config.error_rate, 0.01);
+}
+
+TEST(NoiseChannel, AlternativesOftenCorrectOnError) {
+  NoiseChannelConfig config;
+  config.miss_rate = 0.0;
+  config.error_rate = 1.0;  // force errors
+  auto channel = make_noise_channel(config);
+  util::Rng rng(4);
+  const auto& spec = ocr::ui_spec_for("League of Legends");
+  int with_correct_alt = 0;
+  int extracted = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const auto m = channel->extract(point_at(i * 300.0, 87), spec, rng);
+    if (!m.has_value()) continue;
+    ++extracted;
+    if (m->alternative_ms == 87) ++with_correct_alt;
+  }
+  ASSERT_GT(extracted, 1000);
+  EXPECT_NEAR(with_correct_alt / static_cast<double>(extracted),
+              config.p_alt_correct_on_error, 0.05);
+}
+
+TEST(OcrChannel, ExtractsCleanPoints) {
+  synth::ThumbnailConfig thumbnails;
+  thumbnails.p_occlusion = 0.0;
+  thumbnails.p_low_contrast = 0.0;
+  thumbnails.p_clock = 0.0;
+  thumbnails.p_heavy_noise = 0.0;
+  thumbnails.p_compression = 0.0;
+  auto channel = make_ocr_channel(thumbnails);
+  util::Rng rng(5);
+  const auto& spec = ocr::ui_spec_for("League of Legends");
+  int correct = 0;
+  for (int i = 0; i < 20; ++i) {
+    const int truth = static_cast<int>(rng.uniform_int(10, 250));
+    const auto m = channel->extract(point_at(i * 300.0, truth), spec, rng);
+    if (m.has_value() && m->latency_ms == truth) ++correct;
+  }
+  EXPECT_GE(correct, 18);
+}
+
+TEST(TruncateLocation, Granularities) {
+  const geo::Location full{"Paris", "Ile-de-France", "France"};
+  EXPECT_EQ(truncate_location(full, geo::Granularity::kCountry),
+            (geo::Location{"", "", "France"}));
+  EXPECT_EQ(truncate_location(full, geo::Granularity::kRegion),
+            (geo::Location{"", "Ile-de-France", "France"}));
+  EXPECT_EQ(truncate_location(full, geo::Granularity::kCity), full);
+}
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  static synth::WorldConfig locatable_world(std::size_t per_focus = 30) {
+    synth::WorldConfig config;
+    config.seed = 77;
+    // Everybody locatable: the figures need dense located populations.
+    config.p_twitter = 1.0;
+    config.p_twitter_backlink = 1.0;
+    config.p_twitter_location = 1.0;
+    config.games = {"League of Legends"};
+    config.focus_locations = {
+        geo::Location{"", "Illinois", "United States"},
+        geo::Location{"", "", "Poland"},
+    };
+    config.streamers_per_focus = per_focus;
+    return config;
+  }
+
+  static TeroConfig fast_config() {
+    TeroConfig config;
+    config.p_latency_visible = 1.0;  // dense series for the analysis
+    config.use_full_ocr = false;
+    config.aggregate_granularity = geo::Granularity::kRegion;
+    return config;
+  }
+};
+
+TEST_F(PipelineTest, EndToEndProducesAggregates) {
+  const synth::World world(locatable_world());
+  synth::BehaviorConfig behavior;
+  behavior.days = 6;
+  synth::SessionGenerator generator(world, behavior, 7);
+  const auto streams = generator.generate();
+  ASSERT_FALSE(streams.empty());
+
+  Pipeline pipeline(fast_config());
+  const Dataset dataset = pipeline.run(world, streams);
+
+  EXPECT_EQ(dataset.streamers_total, 60u);
+  EXPECT_GT(dataset.streamers_located, 50u);  // near-universally locatable
+  EXPECT_GT(dataset.measurements_extracted, 1000u);
+  EXPECT_GT(dataset.measurements_retained, 500u);
+  EXPECT_FALSE(dataset.entries.empty());
+  EXPECT_FALSE(dataset.aggregates.empty());
+
+  const auto* illinois = dataset.find_aggregate(
+      geo::Location{"", "Illinois", "United States"}, "League of Legends");
+  ASSERT_NE(illinois, nullptr);
+  ASSERT_TRUE(illinois->box.has_value());
+  EXPECT_EQ(illinois->server_city, "Chicago");
+  EXPECT_GT(illinois->streamers, 10u);
+  EXPECT_GT(illinois->avg_corrected_distance_km, 0.0);
+
+  const auto* poland = dataset.find_aggregate(geo::Location{"", "", "Poland"},
+                                              "League of Legends");
+  ASSERT_NE(poland, nullptr);
+  ASSERT_TRUE(poland->box.has_value());
+  // Poland's last-mile penalty shows up against Illinois despite both being
+  // "close" to their servers.
+  EXPECT_GT(poland->box->p50, illinois->box->p50);
+  // Boxplots are ordered.
+  EXPECT_LE(illinois->box->p5, illinois->box->p25);
+  EXPECT_LE(illinois->box->p25, illinois->box->p50);
+  EXPECT_LE(illinois->box->p50, illinois->box->p75);
+  EXPECT_LE(illinois->box->p75, illinois->box->p95);
+}
+
+TEST_F(PipelineTest, LocationErrorsAreRare) {
+  const synth::World world(locatable_world(50));
+  synth::BehaviorConfig behavior;
+  behavior.days = 3;
+  synth::SessionGenerator generator(world, behavior, 9);
+  const auto streams = generator.generate();
+  Pipeline pipeline(fast_config());
+  const Dataset dataset = pipeline.run(world, streams);
+  std::size_t wrong = 0;
+  for (const auto& entry : dataset.entries) {
+    if (!entry.location.compatible_with(entry.true_location)) ++wrong;
+  }
+  ASSERT_FALSE(dataset.entries.empty());
+  // Underlying-tool errors + deliberate liars stay in the low percent range
+  // (§4.2.1: 1.46%, plus our p_false_location).
+  EXPECT_LT(static_cast<double>(wrong) / dataset.entries.size(), 0.10);
+}
+
+TEST_F(PipelineTest, AggregateGranularitySwitch) {
+  const synth::World world(locatable_world());
+  synth::BehaviorConfig behavior;
+  behavior.days = 4;
+  synth::SessionGenerator generator(world, behavior, 10);
+  const auto streams = generator.generate();
+  Pipeline pipeline(fast_config());
+  Dataset dataset = pipeline.run(world, streams);
+  const auto country_aggregates = aggregate_entries(
+      dataset.entries, TeroConfig{}.analysis, geo::Granularity::kCountry);
+  bool found_us = false;
+  for (const auto& aggregate : country_aggregates) {
+    EXPECT_TRUE(aggregate.location.region.empty());
+    if (aggregate.location.country == "United States") found_us = true;
+  }
+  EXPECT_TRUE(found_us);
+}
+
+}  // namespace
+}  // namespace tero::core
+
+namespace channel_tests {
+using namespace tero;
+using namespace tero::core;
+
+TEST(Pipeline, VisibilityGatesExtraction) {
+  synth::WorldConfig world_config;
+  world_config.focus_locations = {geo::Location{"", "", "Germany"}};
+  world_config.streamers_per_focus = 30;
+  world_config.games = {"League of Legends"};
+  world_config.p_twitter = 1.0;
+  world_config.p_twitter_backlink = 1.0;
+  world_config.p_twitter_location = 1.0;
+  const synth::World world(world_config);
+  synth::BehaviorConfig behavior;
+  behavior.days = 4;
+  synth::SessionGenerator generator(world, behavior, 8);
+  const auto streams = generator.generate();
+
+  TeroConfig config;
+  config.p_latency_visible = 0.35;  // the paper's measured rate
+  config.noise.miss_rate = 0.0;
+  Pipeline pipeline(config);
+  const Dataset dataset = pipeline.run(world, streams);
+  ASSERT_GT(dataset.thumbnails, 500u);
+  const double extraction_rate =
+      static_cast<double>(dataset.measurements_extracted) /
+      static_cast<double>(dataset.thumbnails);
+  EXPECT_NEAR(extraction_rate, 0.35, 0.05);
+}
+
+TEST(Channel, DoubleDropOnThreeDigits) {
+  util::Rng rng(10);
+  int doubles = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (drop_leading_digits(245, rng) == 5) ++doubles;
+  }
+  // A quarter of multi-digit drops lose two digits.
+  EXPECT_NEAR(doubles / 1000.0, 0.25, 0.05);
+}
+
+TEST(Channel, ConfusionNeverReturnsNonPositive) {
+  util::Rng rng(11);
+  for (int value : {1, 9, 10, 99, 100, 999}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_GE(confuse_digit(value, rng), 1);
+    }
+  }
+}
+
+TEST(NoiseChannel, PreservesTimestamps) {
+  auto channel = make_noise_channel(NoiseChannelConfig{.miss_rate = 0.0});
+  util::Rng rng(12);
+  synth::TruePoint point;
+  point.t = 12345.5;
+  point.latency_ms = 77;
+  const auto m =
+      channel->extract(point, ocr::ui_spec_for("League of Legends"), rng);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_DOUBLE_EQ(m->time_s, 12345.5);
+}
+
+}  // namespace channel_tests
+
+namespace export_tests {
+using namespace tero;
+using namespace tero::core;
+
+Dataset tiny_dataset() {
+  StreamerGameEntry entry;
+  entry.pseudonym = "u0001";
+  entry.game = "League of Legends";
+  entry.location = geo::Location{"", "Illinois", "United States"};
+  analysis::Stream stream;
+  stream.streamer = entry.pseudonym;
+  stream.game = entry.game;
+  for (int i = 0; i < 8; ++i) {
+    analysis::Measurement m;
+    m.time_s = i * 300.0;
+    m.latency_ms = 18 + (i % 3);
+    stream.points.push_back(m);
+  }
+  entry.clean.retained.push_back(stream);
+  entry.clean.points_retained = 8;
+  Dataset dataset;
+  dataset.entries.push_back(std::move(entry));
+
+  LocationGameAggregate aggregate;
+  aggregate.location = geo::Location{"", "Illinois", "United States"};
+  aggregate.game = "League of Legends";
+  aggregate.streamers = 1;
+  aggregate.distribution = {18, 19, 20, 18, 19};
+  aggregate.box = stats::boxplot(aggregate.distribution);
+  aggregate.server_city = "Chicago";
+  aggregate.avg_corrected_distance_km = 447;
+  dataset.aggregates.push_back(std::move(aggregate));
+  return dataset;
+}
+
+TEST(Export, MeasurementsRoundTrip) {
+  const Dataset dataset = tiny_dataset();
+  std::ostringstream out;
+  const auto stats = export_measurements(dataset, out);
+  EXPECT_EQ(stats.measurement_rows, 8u);
+  std::istringstream in(out.str());
+  const auto streams = import_measurements(in);
+  ASSERT_EQ(streams.size(), 1u);
+  EXPECT_EQ(streams[0].streamer, "u0001");
+  EXPECT_EQ(streams[0].points.size(), 8u);
+  EXPECT_EQ(streams[0].points[3].latency_ms, 18);
+}
+
+TEST(Export, ImportSplitsStreamsAtGaps) {
+  std::string csv =
+      "pseudonym,game,city,region,country,time_s,latency_ms\n"
+      "u1,g,,R,C,0,40\n"
+      "u1,g,,R,C,300,41\n"
+      "u1,g,,R,C,90000,42\n";  // > 30 min gap -> new stream
+  std::istringstream in(csv);
+  const auto streams = import_measurements(in);
+  ASSERT_EQ(streams.size(), 2u);
+  EXPECT_EQ(streams[0].points.size(), 2u);
+  EXPECT_EQ(streams[1].points.size(), 1u);
+}
+
+TEST(Export, AggregatesWriteBoxplots) {
+  const Dataset dataset = tiny_dataset();
+  std::ostringstream out;
+  const auto stats = export_aggregates(dataset, out);
+  EXPECT_EQ(stats.aggregate_rows, 1u);
+  EXPECT_NE(out.str().find("Chicago"), std::string::npos);
+  EXPECT_NE(out.str().find("Illinois"), std::string::npos);
+}
+
+TEST(Export, CsvEscaping) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_unescape(csv_escape("a,b\"c")), "a,b\"c");
+}
+
+TEST(Export, ImportRejectsGarbage) {
+  std::istringstream empty("");
+  EXPECT_THROW(import_measurements(empty), std::invalid_argument);
+  std::istringstream bad_header("nope\n");
+  EXPECT_THROW(import_measurements(bad_header), std::invalid_argument);
+  std::istringstream bad_row(
+      "pseudonym,game,city,region,country,time_s,latency_ms\nu1,g,1\n");
+  EXPECT_THROW(import_measurements(bad_row), std::invalid_argument);
+}
+
+TEST(Realtime, EmitsSpikeAfterFinalizeLag) {
+  RealtimeAnalyzer::Config config;
+  config.finalize_lag_s = 1800.0;
+  RealtimeAnalyzer analyzer(config);
+  const geo::Location loc{"", "Illinois", "United States"};
+  analyzer.register_streamer("u1", loc);
+  std::size_t spikes = 0;
+  // Stable 45s, a 2-point spike at 120, then stable again for long enough
+  // that the spike finalizes.
+  std::vector<int> series(8, 45);
+  series.push_back(120);
+  series.push_back(122);
+  for (int i = 0; i < 12; ++i) series.push_back(45);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    analysis::Measurement m;
+    m.time_s = static_cast<double>(i) * 300.0;
+    m.latency_ms = series[i];
+    const auto out = analyzer.ingest("u1", "League of Legends", m);
+    spikes += out.spikes.size();
+  }
+  EXPECT_EQ(spikes, 1u);
+  EXPECT_EQ(analyzer.spikes_emitted(), 1u);
+  EXPECT_EQ(analyzer.measurements_ingested(), series.size());
+}
+
+TEST(Realtime, NoDuplicateSpikeAlerts) {
+  RealtimeAnalyzer analyzer;
+  const geo::Location loc{"", "", "Germany"};
+  analyzer.register_streamer("u1", loc);
+  std::size_t spikes = 0;
+  std::vector<int> series(8, 30);
+  series.push_back(110);
+  for (int i = 0; i < 30; ++i) series.push_back(30);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    analysis::Measurement m;
+    m.time_s = static_cast<double>(i) * 300.0;
+    m.latency_ms = series[i];
+    spikes += analyzer.ingest("u1", "Dota 2", m).spikes.size();
+  }
+  EXPECT_EQ(spikes, 1u);  // the same spike never re-alerts
+}
+
+TEST(Realtime, DistributionAccumulatesGraduatedPoints) {
+  RealtimeAnalyzer::Config config;
+  config.buffer_points = 10;
+  RealtimeAnalyzer analyzer(config);
+  const geo::Location loc{"", "", "France"};
+  analyzer.register_streamer("u1", loc);
+  for (int i = 0; i < 60; ++i) {
+    analysis::Measurement m;
+    m.time_s = i * 300.0;
+    m.latency_ms = 25 + (i % 2);
+    analyzer.ingest("u1", "League of Legends", m);
+  }
+  const auto values = analyzer.distribution(loc, "League of Legends");
+  EXPECT_GT(values.size(), 30u);
+  for (double v : values) {
+    EXPECT_GE(v, 25.0);
+    EXPECT_LE(v, 26.0);
+  }
+}
+
+TEST(OutlierRejection, DropsInconsistentStreamer) {
+  analysis::AnalysisConfig config;
+  const std::vector<analysis::LatencyCluster> location_clusters = {
+      {110, 130, 0.9, 45}, {20, 30, 0.05, 2}};
+  const std::vector<analysis::LatencyCluster> consistent = {{112, 125, 1.0, 30}};
+  const std::vector<analysis::LatencyCluster> outlier = {{18, 24, 1.0, 30}};
+  EXPECT_TRUE(analysis::streamer_consistent_with_location(
+      consistent, location_clusters, config));
+  // The 5%-weight low cluster must not vouch for the outlier.
+  EXPECT_FALSE(analysis::streamer_consistent_with_location(
+      outlier, location_clusters, config));
+  const auto outliers = analysis::find_location_outliers(
+      {consistent, outlier}, location_clusters, config);
+  ASSERT_EQ(outliers.size(), 1u);
+  EXPECT_EQ(outliers[0], 1u);
+}
+
+TEST(OutlierRejection, EmptyLocationClustersVouchForEveryone) {
+  analysis::AnalysisConfig config;
+  const std::vector<analysis::LatencyCluster> streamer = {{18, 24, 1.0, 30}};
+  EXPECT_TRUE(
+      analysis::streamer_consistent_with_location(streamer, {}, config));
+}
+
+}  // namespace export_tests
+
+namespace relocation_tests {
+using namespace tero;
+using namespace tero::core;
+
+TEST(Pipeline, RelocatedStreamerYieldsTwoEndpoints) {
+  // §3.1.1: a streamer who moves and advertises the new location becomes
+  // two distinct {streamer, location} end-points.
+  synth::WorldConfig world_config;
+  world_config.seed = 31;
+  world_config.games = {"League of Legends"};
+  world_config.focus_locations = {geo::Location{"", "", "Germany"}};
+  world_config.streamers_per_focus = 20;
+  world_config.p_twitter = 1.0;
+  world_config.p_twitter_backlink = 1.0;
+  world_config.p_twitter_location = 1.0;
+  world_config.p_false_location = 0.0;
+  world_config.p_move = 0.5;  // force plenty of relocations
+  world_config.move_day_min = 4;
+  world_config.move_day_max = 5;
+  const synth::World world(world_config);
+
+  std::size_t relocated = 0;
+  for (const auto& streamer : world.streamers()) {
+    if (streamer.relocation.has_value()) ++relocated;
+  }
+  ASSERT_GT(relocated, 3u);
+
+  synth::BehaviorConfig behavior;
+  behavior.days = 10;
+  synth::SessionGenerator generator(world, behavior, 32);
+  const auto streams = generator.generate();
+
+  TeroConfig config;
+  config.p_latency_visible = 1.0;
+  Pipeline pipeline(config);
+  const Dataset dataset = pipeline.run(world, streams);
+
+  // At least one pseudonym should appear with two different locations.
+  std::map<std::string, std::set<std::string>> locations_per_pseudonym;
+  for (const auto& entry : dataset.entries) {
+    locations_per_pseudonym[entry.pseudonym].insert(
+        entry.location.to_string());
+  }
+  std::size_t multi_location = 0;
+  for (const auto& [pseudonym, locations] : locations_per_pseudonym) {
+    if (locations.size() >= 2) ++multi_location;
+  }
+  EXPECT_GT(multi_location, 0u);
+
+  // And the post-move entries' believed location matches the move's ground
+  // truth for correctly-geoparsed profiles.
+  std::size_t consistent_epochs = 0;
+  for (const auto& entry : dataset.entries) {
+    if (entry.location.compatible_with(entry.true_location)) {
+      ++consistent_epochs;
+    }
+  }
+  EXPECT_GT(static_cast<double>(consistent_epochs) / dataset.entries.size(),
+            0.8);
+}
+
+}  // namespace relocation_tests
