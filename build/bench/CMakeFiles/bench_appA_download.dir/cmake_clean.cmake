@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appA_download.dir/bench_appA_download.cpp.o"
+  "CMakeFiles/bench_appA_download.dir/bench_appA_download.cpp.o.d"
+  "bench_appA_download"
+  "bench_appA_download.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appA_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_retention.dir/bench_ext_retention.cpp.o"
+  "CMakeFiles/bench_ext_retention.dir/bench_ext_retention.cpp.o.d"
+  "bench_ext_retention"
+  "bench_ext_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_12_doughnuts.dir/bench_fig10_12_doughnuts.cpp.o"
+  "CMakeFiles/bench_fig10_12_doughnuts.dir/bench_fig10_12_doughnuts.cpp.o.d"
+  "bench_fig10_12_doughnuts"
+  "bench_fig10_12_doughnuts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_12_doughnuts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_maxspikes.dir/bench_fig16_maxspikes.cpp.o"
+  "CMakeFiles/bench_fig16_maxspikes.dir/bench_fig16_maxspikes.cpp.o.d"
+  "bench_fig16_maxspikes"
+  "bench_fig16_maxspikes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_maxspikes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_error_dists.dir/bench_fig5_error_dists.cpp.o"
+  "CMakeFiles/bench_fig5_error_dists.dir/bench_fig5_error_dists.cpp.o.d"
+  "bench_fig5_error_dists"
+  "bench_fig5_error_dists.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_error_dists.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_unevenness.dir/bench_fig8_unevenness.cpp.o"
+  "CMakeFiles/bench_fig8_unevenness.dir/bench_fig8_unevenness.cpp.o.d"
+  "bench_fig8_unevenness"
+  "bench_fig8_unevenness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_unevenness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_regional.cpp" "bench/CMakeFiles/bench_fig9_regional.dir/bench_fig9_regional.cpp.o" "gcc" "bench/CMakeFiles/bench_fig9_regional.dir/bench_fig9_regional.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tero/CMakeFiles/tero_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/anomaly/CMakeFiles/tero_anomaly.dir/DependInfo.cmake"
+  "/root/repo/build/src/netsim/CMakeFiles/tero_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/download/CMakeFiles/tero_download.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/tero_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/tero_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/social/CMakeFiles/tero_social.dir/DependInfo.cmake"
+  "/root/repo/build/src/nlp/CMakeFiles/tero_nlp.dir/DependInfo.cmake"
+  "/root/repo/build/src/ocr/CMakeFiles/tero_ocr.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/tero_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tero_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tero_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/tero_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tero_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

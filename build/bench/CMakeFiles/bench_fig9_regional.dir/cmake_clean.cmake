@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_regional.dir/bench_fig9_regional.cpp.o"
+  "CMakeFiles/bench_fig9_regional.dir/bench_fig9_regional.cpp.o.d"
+  "bench_fig9_regional"
+  "bench_fig9_regional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_regional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec423_analysis_errors.dir/bench_sec423_analysis_errors.cpp.o"
+  "CMakeFiles/bench_sec423_analysis_errors.dir/bench_sec423_analysis_errors.cpp.o.d"
+  "bench_sec423_analysis_errors"
+  "bench_sec423_analysis_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec423_analysis_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

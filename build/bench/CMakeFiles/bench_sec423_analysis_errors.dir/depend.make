@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec423_analysis_errors.
+# This may be replaced when dependencies are built.

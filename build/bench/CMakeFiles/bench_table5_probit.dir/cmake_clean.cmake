@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_probit.dir/bench_table5_probit.cpp.o"
+  "CMakeFiles/bench_table5_probit.dir/bench_table5_probit.cpp.o.d"
+  "bench_table5_probit"
+  "bench_table5_probit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_probit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ocr_inspect.dir/ocr_inspect.cpp.o"
+  "CMakeFiles/ocr_inspect.dir/ocr_inspect.cpp.o.d"
+  "ocr_inspect"
+  "ocr_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ocr_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

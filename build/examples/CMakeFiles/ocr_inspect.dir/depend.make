@@ -1,0 +1,2 @@
+# Empty dependencies file for ocr_inspect.
+# This may be replaced when dependencies are built.

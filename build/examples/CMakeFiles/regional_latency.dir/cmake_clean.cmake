@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regional_latency.dir/regional_latency.cpp.o"
+  "CMakeFiles/regional_latency.dir/regional_latency.cpp.o.d"
+  "regional_latency"
+  "regional_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regional_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

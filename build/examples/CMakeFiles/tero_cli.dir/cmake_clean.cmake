@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tero_cli.dir/tero_cli.cpp.o"
+  "CMakeFiles/tero_cli.dir/tero_cli.cpp.o.d"
+  "tero_cli"
+  "tero_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tero_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

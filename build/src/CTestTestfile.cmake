@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("geo")
+subdirs("stats")
+subdirs("image")
+subdirs("ocr")
+subdirs("nlp")
+subdirs("social")
+subdirs("store")
+subdirs("download")
+subdirs("netsim")
+subdirs("analysis")
+subdirs("anomaly")
+subdirs("synth")
+subdirs("tero")

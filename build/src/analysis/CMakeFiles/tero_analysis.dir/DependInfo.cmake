@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/anomalies.cpp" "src/analysis/CMakeFiles/tero_analysis.dir/anomalies.cpp.o" "gcc" "src/analysis/CMakeFiles/tero_analysis.dir/anomalies.cpp.o.d"
+  "/root/repo/src/analysis/clusters.cpp" "src/analysis/CMakeFiles/tero_analysis.dir/clusters.cpp.o" "gcc" "src/analysis/CMakeFiles/tero_analysis.dir/clusters.cpp.o.d"
+  "/root/repo/src/analysis/distributions.cpp" "src/analysis/CMakeFiles/tero_analysis.dir/distributions.cpp.o" "gcc" "src/analysis/CMakeFiles/tero_analysis.dir/distributions.cpp.o.d"
+  "/root/repo/src/analysis/outlier_rejection.cpp" "src/analysis/CMakeFiles/tero_analysis.dir/outlier_rejection.cpp.o" "gcc" "src/analysis/CMakeFiles/tero_analysis.dir/outlier_rejection.cpp.o.d"
+  "/root/repo/src/analysis/segmentation.cpp" "src/analysis/CMakeFiles/tero_analysis.dir/segmentation.cpp.o" "gcc" "src/analysis/CMakeFiles/tero_analysis.dir/segmentation.cpp.o.d"
+  "/root/repo/src/analysis/shared.cpp" "src/analysis/CMakeFiles/tero_analysis.dir/shared.cpp.o" "gcc" "src/analysis/CMakeFiles/tero_analysis.dir/shared.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/tero_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/tero_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tero_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

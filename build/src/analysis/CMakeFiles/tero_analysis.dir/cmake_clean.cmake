@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tero_analysis.dir/anomalies.cpp.o"
+  "CMakeFiles/tero_analysis.dir/anomalies.cpp.o.d"
+  "CMakeFiles/tero_analysis.dir/clusters.cpp.o"
+  "CMakeFiles/tero_analysis.dir/clusters.cpp.o.d"
+  "CMakeFiles/tero_analysis.dir/distributions.cpp.o"
+  "CMakeFiles/tero_analysis.dir/distributions.cpp.o.d"
+  "CMakeFiles/tero_analysis.dir/outlier_rejection.cpp.o"
+  "CMakeFiles/tero_analysis.dir/outlier_rejection.cpp.o.d"
+  "CMakeFiles/tero_analysis.dir/segmentation.cpp.o"
+  "CMakeFiles/tero_analysis.dir/segmentation.cpp.o.d"
+  "CMakeFiles/tero_analysis.dir/shared.cpp.o"
+  "CMakeFiles/tero_analysis.dir/shared.cpp.o.d"
+  "libtero_analysis.a"
+  "libtero_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tero_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

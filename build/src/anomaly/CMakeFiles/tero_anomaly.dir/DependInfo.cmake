@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/anomaly/iforest.cpp" "src/anomaly/CMakeFiles/tero_anomaly.dir/iforest.cpp.o" "gcc" "src/anomaly/CMakeFiles/tero_anomaly.dir/iforest.cpp.o.d"
+  "/root/repo/src/anomaly/iqr.cpp" "src/anomaly/CMakeFiles/tero_anomaly.dir/iqr.cpp.o" "gcc" "src/anomaly/CMakeFiles/tero_anomaly.dir/iqr.cpp.o.d"
+  "/root/repo/src/anomaly/lof.cpp" "src/anomaly/CMakeFiles/tero_anomaly.dir/lof.cpp.o" "gcc" "src/anomaly/CMakeFiles/tero_anomaly.dir/lof.cpp.o.d"
+  "/root/repo/src/anomaly/mcd.cpp" "src/anomaly/CMakeFiles/tero_anomaly.dir/mcd.cpp.o" "gcc" "src/anomaly/CMakeFiles/tero_anomaly.dir/mcd.cpp.o.d"
+  "/root/repo/src/anomaly/pelt.cpp" "src/anomaly/CMakeFiles/tero_anomaly.dir/pelt.cpp.o" "gcc" "src/anomaly/CMakeFiles/tero_anomaly.dir/pelt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/tero_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tero_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

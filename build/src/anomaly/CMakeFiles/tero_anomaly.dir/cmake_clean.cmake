@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tero_anomaly.dir/iforest.cpp.o"
+  "CMakeFiles/tero_anomaly.dir/iforest.cpp.o.d"
+  "CMakeFiles/tero_anomaly.dir/iqr.cpp.o"
+  "CMakeFiles/tero_anomaly.dir/iqr.cpp.o.d"
+  "CMakeFiles/tero_anomaly.dir/lof.cpp.o"
+  "CMakeFiles/tero_anomaly.dir/lof.cpp.o.d"
+  "CMakeFiles/tero_anomaly.dir/mcd.cpp.o"
+  "CMakeFiles/tero_anomaly.dir/mcd.cpp.o.d"
+  "CMakeFiles/tero_anomaly.dir/pelt.cpp.o"
+  "CMakeFiles/tero_anomaly.dir/pelt.cpp.o.d"
+  "libtero_anomaly.a"
+  "libtero_anomaly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tero_anomaly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/download/cdn.cpp" "src/download/CMakeFiles/tero_download.dir/cdn.cpp.o" "gcc" "src/download/CMakeFiles/tero_download.dir/cdn.cpp.o.d"
+  "/root/repo/src/download/rate_limiter.cpp" "src/download/CMakeFiles/tero_download.dir/rate_limiter.cpp.o" "gcc" "src/download/CMakeFiles/tero_download.dir/rate_limiter.cpp.o.d"
+  "/root/repo/src/download/system.cpp" "src/download/CMakeFiles/tero_download.dir/system.cpp.o" "gcc" "src/download/CMakeFiles/tero_download.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/store/CMakeFiles/tero_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tero_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

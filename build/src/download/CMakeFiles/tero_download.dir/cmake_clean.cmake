@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tero_download.dir/cdn.cpp.o"
+  "CMakeFiles/tero_download.dir/cdn.cpp.o.d"
+  "CMakeFiles/tero_download.dir/rate_limiter.cpp.o"
+  "CMakeFiles/tero_download.dir/rate_limiter.cpp.o.d"
+  "CMakeFiles/tero_download.dir/system.cpp.o"
+  "CMakeFiles/tero_download.dir/system.cpp.o.d"
+  "libtero_download.a"
+  "libtero_download.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tero_download.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

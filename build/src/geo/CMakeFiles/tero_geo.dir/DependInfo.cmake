@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/gazetteer.cpp" "src/geo/CMakeFiles/tero_geo.dir/gazetteer.cpp.o" "gcc" "src/geo/CMakeFiles/tero_geo.dir/gazetteer.cpp.o.d"
+  "/root/repo/src/geo/gazetteer_data.cpp" "src/geo/CMakeFiles/tero_geo.dir/gazetteer_data.cpp.o" "gcc" "src/geo/CMakeFiles/tero_geo.dir/gazetteer_data.cpp.o.d"
+  "/root/repo/src/geo/geo.cpp" "src/geo/CMakeFiles/tero_geo.dir/geo.cpp.o" "gcc" "src/geo/CMakeFiles/tero_geo.dir/geo.cpp.o.d"
+  "/root/repo/src/geo/servers.cpp" "src/geo/CMakeFiles/tero_geo.dir/servers.cpp.o" "gcc" "src/geo/CMakeFiles/tero_geo.dir/servers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tero_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

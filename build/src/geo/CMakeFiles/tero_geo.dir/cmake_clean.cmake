@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tero_geo.dir/gazetteer.cpp.o"
+  "CMakeFiles/tero_geo.dir/gazetteer.cpp.o.d"
+  "CMakeFiles/tero_geo.dir/gazetteer_data.cpp.o"
+  "CMakeFiles/tero_geo.dir/gazetteer_data.cpp.o.d"
+  "CMakeFiles/tero_geo.dir/geo.cpp.o"
+  "CMakeFiles/tero_geo.dir/geo.cpp.o.d"
+  "CMakeFiles/tero_geo.dir/servers.cpp.o"
+  "CMakeFiles/tero_geo.dir/servers.cpp.o.d"
+  "libtero_geo.a"
+  "libtero_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tero_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

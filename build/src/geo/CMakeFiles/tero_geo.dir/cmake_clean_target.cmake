@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtero_geo.a"
+)

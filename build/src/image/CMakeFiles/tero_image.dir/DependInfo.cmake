@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/draw.cpp" "src/image/CMakeFiles/tero_image.dir/draw.cpp.o" "gcc" "src/image/CMakeFiles/tero_image.dir/draw.cpp.o.d"
+  "/root/repo/src/image/font.cpp" "src/image/CMakeFiles/tero_image.dir/font.cpp.o" "gcc" "src/image/CMakeFiles/tero_image.dir/font.cpp.o.d"
+  "/root/repo/src/image/image.cpp" "src/image/CMakeFiles/tero_image.dir/image.cpp.o" "gcc" "src/image/CMakeFiles/tero_image.dir/image.cpp.o.d"
+  "/root/repo/src/image/ops.cpp" "src/image/CMakeFiles/tero_image.dir/ops.cpp.o" "gcc" "src/image/CMakeFiles/tero_image.dir/ops.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tero_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

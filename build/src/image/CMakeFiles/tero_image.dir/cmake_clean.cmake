@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tero_image.dir/draw.cpp.o"
+  "CMakeFiles/tero_image.dir/draw.cpp.o.d"
+  "CMakeFiles/tero_image.dir/font.cpp.o"
+  "CMakeFiles/tero_image.dir/font.cpp.o.d"
+  "CMakeFiles/tero_image.dir/image.cpp.o"
+  "CMakeFiles/tero_image.dir/image.cpp.o.d"
+  "CMakeFiles/tero_image.dir/ops.cpp.o"
+  "CMakeFiles/tero_image.dir/ops.cpp.o.d"
+  "libtero_image.a"
+  "libtero_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tero_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/game.cpp" "src/netsim/CMakeFiles/tero_netsim.dir/game.cpp.o" "gcc" "src/netsim/CMakeFiles/tero_netsim.dir/game.cpp.o.d"
+  "/root/repo/src/netsim/link.cpp" "src/netsim/CMakeFiles/tero_netsim.dir/link.cpp.o" "gcc" "src/netsim/CMakeFiles/tero_netsim.dir/link.cpp.o.d"
+  "/root/repo/src/netsim/tcp.cpp" "src/netsim/CMakeFiles/tero_netsim.dir/tcp.cpp.o" "gcc" "src/netsim/CMakeFiles/tero_netsim.dir/tcp.cpp.o.d"
+  "/root/repo/src/netsim/testbed.cpp" "src/netsim/CMakeFiles/tero_netsim.dir/testbed.cpp.o" "gcc" "src/netsim/CMakeFiles/tero_netsim.dir/testbed.cpp.o.d"
+  "/root/repo/src/netsim/udp.cpp" "src/netsim/CMakeFiles/tero_netsim.dir/udp.cpp.o" "gcc" "src/netsim/CMakeFiles/tero_netsim.dir/udp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/tero_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tero_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tero_netsim.dir/game.cpp.o"
+  "CMakeFiles/tero_netsim.dir/game.cpp.o.d"
+  "CMakeFiles/tero_netsim.dir/link.cpp.o"
+  "CMakeFiles/tero_netsim.dir/link.cpp.o.d"
+  "CMakeFiles/tero_netsim.dir/tcp.cpp.o"
+  "CMakeFiles/tero_netsim.dir/tcp.cpp.o.d"
+  "CMakeFiles/tero_netsim.dir/testbed.cpp.o"
+  "CMakeFiles/tero_netsim.dir/testbed.cpp.o.d"
+  "CMakeFiles/tero_netsim.dir/udp.cpp.o"
+  "CMakeFiles/tero_netsim.dir/udp.cpp.o.d"
+  "libtero_netsim.a"
+  "libtero_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tero_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nlp/combine.cpp" "src/nlp/CMakeFiles/tero_nlp.dir/combine.cpp.o" "gcc" "src/nlp/CMakeFiles/tero_nlp.dir/combine.cpp.o.d"
+  "/root/repo/src/nlp/filter.cpp" "src/nlp/CMakeFiles/tero_nlp.dir/filter.cpp.o" "gcc" "src/nlp/CMakeFiles/tero_nlp.dir/filter.cpp.o.d"
+  "/root/repo/src/nlp/geocoders.cpp" "src/nlp/CMakeFiles/tero_nlp.dir/geocoders.cpp.o" "gcc" "src/nlp/CMakeFiles/tero_nlp.dir/geocoders.cpp.o.d"
+  "/root/repo/src/nlp/geoparsers.cpp" "src/nlp/CMakeFiles/tero_nlp.dir/geoparsers.cpp.o" "gcc" "src/nlp/CMakeFiles/tero_nlp.dir/geoparsers.cpp.o.d"
+  "/root/repo/src/nlp/matcher.cpp" "src/nlp/CMakeFiles/tero_nlp.dir/matcher.cpp.o" "gcc" "src/nlp/CMakeFiles/tero_nlp.dir/matcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/geo/CMakeFiles/tero_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tero_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tero_nlp.dir/combine.cpp.o"
+  "CMakeFiles/tero_nlp.dir/combine.cpp.o.d"
+  "CMakeFiles/tero_nlp.dir/filter.cpp.o"
+  "CMakeFiles/tero_nlp.dir/filter.cpp.o.d"
+  "CMakeFiles/tero_nlp.dir/geocoders.cpp.o"
+  "CMakeFiles/tero_nlp.dir/geocoders.cpp.o.d"
+  "CMakeFiles/tero_nlp.dir/geoparsers.cpp.o"
+  "CMakeFiles/tero_nlp.dir/geoparsers.cpp.o.d"
+  "CMakeFiles/tero_nlp.dir/matcher.cpp.o"
+  "CMakeFiles/tero_nlp.dir/matcher.cpp.o.d"
+  "libtero_nlp.a"
+  "libtero_nlp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tero_nlp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ocr/engines.cpp" "src/ocr/CMakeFiles/tero_ocr.dir/engines.cpp.o" "gcc" "src/ocr/CMakeFiles/tero_ocr.dir/engines.cpp.o.d"
+  "/root/repo/src/ocr/extractor.cpp" "src/ocr/CMakeFiles/tero_ocr.dir/extractor.cpp.o" "gcc" "src/ocr/CMakeFiles/tero_ocr.dir/extractor.cpp.o.d"
+  "/root/repo/src/ocr/game_ui.cpp" "src/ocr/CMakeFiles/tero_ocr.dir/game_ui.cpp.o" "gcc" "src/ocr/CMakeFiles/tero_ocr.dir/game_ui.cpp.o.d"
+  "/root/repo/src/ocr/preprocess.cpp" "src/ocr/CMakeFiles/tero_ocr.dir/preprocess.cpp.o" "gcc" "src/ocr/CMakeFiles/tero_ocr.dir/preprocess.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/tero_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tero_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

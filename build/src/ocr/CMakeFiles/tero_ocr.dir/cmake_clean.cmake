@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tero_ocr.dir/engines.cpp.o"
+  "CMakeFiles/tero_ocr.dir/engines.cpp.o.d"
+  "CMakeFiles/tero_ocr.dir/extractor.cpp.o"
+  "CMakeFiles/tero_ocr.dir/extractor.cpp.o.d"
+  "CMakeFiles/tero_ocr.dir/game_ui.cpp.o"
+  "CMakeFiles/tero_ocr.dir/game_ui.cpp.o.d"
+  "CMakeFiles/tero_ocr.dir/preprocess.cpp.o"
+  "CMakeFiles/tero_ocr.dir/preprocess.cpp.o.d"
+  "libtero_ocr.a"
+  "libtero_ocr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tero_ocr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtero_ocr.a"
+)

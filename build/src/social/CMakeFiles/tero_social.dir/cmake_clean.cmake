@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tero_social.dir/locator.cpp.o"
+  "CMakeFiles/tero_social.dir/locator.cpp.o.d"
+  "CMakeFiles/tero_social.dir/platform.cpp.o"
+  "CMakeFiles/tero_social.dir/platform.cpp.o.d"
+  "libtero_social.a"
+  "libtero_social.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tero_social.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tero_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/tero_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/tero_stats.dir/distributions.cpp.o"
+  "CMakeFiles/tero_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/tero_stats.dir/matrix.cpp.o"
+  "CMakeFiles/tero_stats.dir/matrix.cpp.o.d"
+  "CMakeFiles/tero_stats.dir/probit.cpp.o"
+  "CMakeFiles/tero_stats.dir/probit.cpp.o.d"
+  "CMakeFiles/tero_stats.dir/wasserstein.cpp.o"
+  "CMakeFiles/tero_stats.dir/wasserstein.cpp.o.d"
+  "libtero_stats.a"
+  "libtero_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tero_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/store/consistent_hash.cpp" "src/store/CMakeFiles/tero_store.dir/consistent_hash.cpp.o" "gcc" "src/store/CMakeFiles/tero_store.dir/consistent_hash.cpp.o.d"
+  "/root/repo/src/store/doc_store.cpp" "src/store/CMakeFiles/tero_store.dir/doc_store.cpp.o" "gcc" "src/store/CMakeFiles/tero_store.dir/doc_store.cpp.o.d"
+  "/root/repo/src/store/kv_store.cpp" "src/store/CMakeFiles/tero_store.dir/kv_store.cpp.o" "gcc" "src/store/CMakeFiles/tero_store.dir/kv_store.cpp.o.d"
+  "/root/repo/src/store/object_store.cpp" "src/store/CMakeFiles/tero_store.dir/object_store.cpp.o" "gcc" "src/store/CMakeFiles/tero_store.dir/object_store.cpp.o.d"
+  "/root/repo/src/store/persistence.cpp" "src/store/CMakeFiles/tero_store.dir/persistence.cpp.o" "gcc" "src/store/CMakeFiles/tero_store.dir/persistence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tero_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

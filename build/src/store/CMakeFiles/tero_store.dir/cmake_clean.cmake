@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tero_store.dir/consistent_hash.cpp.o"
+  "CMakeFiles/tero_store.dir/consistent_hash.cpp.o.d"
+  "CMakeFiles/tero_store.dir/doc_store.cpp.o"
+  "CMakeFiles/tero_store.dir/doc_store.cpp.o.d"
+  "CMakeFiles/tero_store.dir/kv_store.cpp.o"
+  "CMakeFiles/tero_store.dir/kv_store.cpp.o.d"
+  "CMakeFiles/tero_store.dir/object_store.cpp.o"
+  "CMakeFiles/tero_store.dir/object_store.cpp.o.d"
+  "CMakeFiles/tero_store.dir/persistence.cpp.o"
+  "CMakeFiles/tero_store.dir/persistence.cpp.o.d"
+  "libtero_store.a"
+  "libtero_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tero_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

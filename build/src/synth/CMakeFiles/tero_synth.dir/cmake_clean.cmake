@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tero_synth.dir/latency_model.cpp.o"
+  "CMakeFiles/tero_synth.dir/latency_model.cpp.o.d"
+  "CMakeFiles/tero_synth.dir/sessions.cpp.o"
+  "CMakeFiles/tero_synth.dir/sessions.cpp.o.d"
+  "CMakeFiles/tero_synth.dir/text_gen.cpp.o"
+  "CMakeFiles/tero_synth.dir/text_gen.cpp.o.d"
+  "CMakeFiles/tero_synth.dir/thumbnail.cpp.o"
+  "CMakeFiles/tero_synth.dir/thumbnail.cpp.o.d"
+  "CMakeFiles/tero_synth.dir/world.cpp.o"
+  "CMakeFiles/tero_synth.dir/world.cpp.o.d"
+  "libtero_synth.a"
+  "libtero_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tero_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tero_core.dir/channel.cpp.o"
+  "CMakeFiles/tero_core.dir/channel.cpp.o.d"
+  "CMakeFiles/tero_core.dir/export.cpp.o"
+  "CMakeFiles/tero_core.dir/export.cpp.o.d"
+  "CMakeFiles/tero_core.dir/pipeline.cpp.o"
+  "CMakeFiles/tero_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/tero_core.dir/realtime.cpp.o"
+  "CMakeFiles/tero_core.dir/realtime.cpp.o.d"
+  "libtero_core.a"
+  "libtero_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tero_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tero_util.dir/event_loop.cpp.o"
+  "CMakeFiles/tero_util.dir/event_loop.cpp.o.d"
+  "CMakeFiles/tero_util.dir/rng.cpp.o"
+  "CMakeFiles/tero_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tero_util.dir/strings.cpp.o"
+  "CMakeFiles/tero_util.dir/strings.cpp.o.d"
+  "CMakeFiles/tero_util.dir/table.cpp.o"
+  "CMakeFiles/tero_util.dir/table.cpp.o.d"
+  "libtero_util.a"
+  "libtero_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tero_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

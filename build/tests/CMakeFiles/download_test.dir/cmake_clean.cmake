@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/download_test.dir/download_test.cpp.o"
+  "CMakeFiles/download_test.dir/download_test.cpp.o.d"
+  "download_test"
+  "download_test.pdb"
+  "download_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/download_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

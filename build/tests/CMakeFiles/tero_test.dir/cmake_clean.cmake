@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tero_test.dir/tero_test.cpp.o"
+  "CMakeFiles/tero_test.dir/tero_test.cpp.o.d"
+  "tero_test"
+  "tero_test.pdb"
+  "tero_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tero_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
