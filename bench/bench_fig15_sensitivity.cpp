@@ -15,6 +15,7 @@
 #include "synth/sessions.hpp"
 #include "tero/channel.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace tero;
 
@@ -69,7 +70,14 @@ int main() {
   util::Table sweep({"StableLen [min]", "users kept", "points kept",
                      "spike pts", "glitch segs", "signif spikes >=15ms"});
   const auto& lol = data["League of Legends"];
-  for (double stable_len : {5.0, 15.0, 25.0, 30.0, 35.0, 45.0, 55.0, 60.0}) {
+  // Per-config sweep over the pool: each config's cleaning pass is
+  // independent and deterministic (no rng), so rows land in sweep order.
+  util::ThreadPool pool;  // hardware_concurrency
+  const std::vector<double> stable_lens = {5.0,  15.0, 25.0, 30.0,
+                                           35.0, 45.0, 55.0, 60.0};
+  const auto sweep_rows = util::parallel_map(
+      &pool, stable_lens.size(), 1, [&](std::size_t c) {
+    const double stable_len = stable_lens[c];
     analysis::AnalysisConfig config;
     config.stable_len_minutes = stable_len;
     std::size_t users = 0;
@@ -95,13 +103,14 @@ int main() {
         }
       }
     }
-    sweep.add_row(
+    return std::vector<std::string>(
         {util::fmt_double(stable_len, 0),
          util::fmt_percent(static_cast<double>(kept_users) / users, 1),
          util::fmt_percent(static_cast<double>(points_kept) / points_in, 1),
          std::to_string(spike_points), std::to_string(glitches),
          std::to_string(significant)});
-  }
+  });
+  for (const auto& row : sweep_rows) sweep.add_row(row);
   sweep.print(std::cout);
 
   // ---- (c) LatGap sweep: proportion of unstable (kept but not stable)
@@ -109,14 +118,16 @@ int main() {
   bench::note("");
   bench::note("(c) proportion of points in unstable-but-kept segments:");
   util::Table gap_table({"game", "LatGap 8", "LatGap 15", "LatGap 25"});
-  for (const auto& game : games) {
+  const auto gap_rows = util::parallel_map(
+      &pool, games.size(), 1, [&](std::size_t gi) {
+    const auto& game = games[gi];
     std::vector<std::string> row = {game};
     for (double gap : {8.0, 15.0, 25.0}) {
       analysis::AnalysisConfig config;
       config.lat_gap_ms = gap;
       std::size_t kept = 0;
       std::size_t unstable_kept = 0;
-      for (const auto& [streamer, streams] : data[game].by_streamer) {
+      for (const auto& [streamer, streams] : data.at(game).by_streamer) {
         auto copy = streams;
         const auto clean = analysis::clean_streamer_game(std::move(copy),
                                                          config);
@@ -134,8 +145,9 @@ int main() {
                                    static_cast<double>(unstable_kept) / kept)
                              : "-");
     }
-    gap_table.add_row(row);
-  }
+    return row;
+  });
+  for (const auto& row : gap_rows) gap_table.add_row(row);
   gap_table.print(std::cout);
 
   bench::note("");

@@ -12,8 +12,12 @@
 #include "stats/distributions.hpp"
 #include "stats/probit.hpp"
 #include "stats/wasserstein.hpp"
+#include "synth/sessions.hpp"
 #include "synth/thumbnail.hpp"
+#include "synth/world.hpp"
+#include "tero/pipeline.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace tero;
 
@@ -98,6 +102,107 @@ void BM_Wasserstein(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Wasserstein)->Arg(100)->Arg(1000);
+
+// Pipeline scaling over the work-stealing pool: one fixed synthetic world,
+// full-OCR extraction (the expensive exact code path), threads = 1/2/4/8.
+// Speedup should be near-linear until the core count; the thread count never
+// changes the output (see Determinism tests), only the wall clock.
+void BM_PipelineFullOcr(benchmark::State& state) {
+  static const synth::World world = [] {
+    synth::WorldConfig config;
+    config.seed = 7;
+    config.p_twitter = 1.0;
+    config.p_twitter_backlink = 1.0;
+    config.p_twitter_location = 1.0;
+    config.games = {"League of Legends"};
+    config.focus_locations = {geo::Location{"", "Illinois", "United States"},
+                              geo::Location{"", "", "Poland"}};
+    config.streamers_per_focus = 20;
+    return synth::World(config);
+  }();
+  static const std::vector<synth::TrueStream> streams = [] {
+    synth::BehaviorConfig behavior;
+    behavior.days = 2;
+    synth::SessionGenerator generator(world, behavior, 11);
+    return generator.generate();
+  }();
+
+  core::TeroConfig config;
+  config.use_full_ocr = true;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  core::Pipeline pipeline(config);
+  std::size_t thumbnails = 0;
+  for (auto _ : state) {
+    const auto dataset = pipeline.run(world, streams);
+    thumbnails = dataset.thumbnails;
+    benchmark::DoNotOptimize(dataset);
+  }
+  state.counters["thumbnails/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) *
+          static_cast<double>(thumbnails),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PipelineFullOcr)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The same scaling through the cheap noise channel: stages (b)/(c) dominate
+// here, so this tracks the analysis-side parallelism rather than OCR.
+void BM_PipelineNoise(benchmark::State& state) {
+  static const synth::World world = [] {
+    synth::WorldConfig config;
+    config.seed = 7;
+    config.p_twitter = 1.0;
+    config.p_twitter_backlink = 1.0;
+    config.p_twitter_location = 1.0;
+    config.games = {"League of Legends"};
+    config.focus_locations = {geo::Location{"", "Illinois", "United States"},
+                              geo::Location{"", "", "Poland"}};
+    config.streamers_per_focus = 150;
+    return synth::World(config);
+  }();
+  static const std::vector<synth::TrueStream> streams = [] {
+    synth::BehaviorConfig behavior;
+    behavior.days = 7;
+    synth::SessionGenerator generator(world, behavior, 11);
+    return generator.generate();
+  }();
+
+  core::TeroConfig config;
+  config.use_full_ocr = false;
+  config.p_latency_visible = 1.0;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  core::Pipeline pipeline(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.run(world, streams));
+  }
+}
+BENCHMARK(BM_PipelineNoise)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Raw pool overhead: tiny tasks through parallel_for vs the inline path.
+void BM_ParallelForOverhead(benchmark::State& state) {
+  util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> out(10'000);
+  for (auto _ : state) {
+    pool.parallel_for(0, out.size(), 64, [&](std::size_t i) {
+      out[i] = static_cast<double>(i) * 1.5;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(out.size()));
+}
+BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(4)->UseRealTime();
 
 void BM_ProbitFit(benchmark::State& state) {
   util::Rng rng(5);

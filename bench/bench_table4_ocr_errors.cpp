@@ -7,6 +7,7 @@
 // *shape*: the combination misses more than any single engine but is 2-3x
 // more accurate on what it does extract; digit drops dominate errors.
 
+#include <array>
 #include <iostream>
 #include <map>
 
@@ -14,6 +15,7 @@
 #include "ocr/extractor.hpp"
 #include "synth/thumbnail.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace tero;
 
@@ -23,7 +25,6 @@ int main() {
   const auto& spec = ocr::ui_spec_for("League of Legends");
   const synth::ThumbnailRenderer renderer;
   const ocr::LatencyExtractor extractor;
-  util::Rng rng(2024);
 
   struct Counter {
     int missed = 0;
@@ -36,12 +37,34 @@ int main() {
       extractor.engines()[0]->name(), extractor.engines()[1]->name(),
       extractor.engines()[2]->name()};
 
-  for (int i = 0; i < kThumbnails; ++i) {
-    const int truth = static_cast<int>(rng.uniform_int(8, 299));
-    // Roll the corruption mix conditioned on a visible measurement.
-    const auto thumbnail = renderer.render_with(
-        spec, truth, synth::roll_corruption(renderer.config(), rng), rng);
+  // Rasterize + OCR in parallel: thumbnail i draws from Rng::indexed(seed, i)
+  // and fills slot i, so the table is identical for any thread count.
+  // Scoring stays serial below.
+  struct Readings {
+    int truth = 0;
+    std::array<std::optional<int>, 3> engines;
+    std::optional<int> tero;
+  };
+  util::ThreadPool pool;  // hardware_concurrency
+  const auto readings = util::parallel_map(
+      &pool, kThumbnails, 16, [&](std::size_t i) {
+        util::Rng rng = util::Rng::indexed(2024, i);
+        Readings out;
+        out.truth = static_cast<int>(rng.uniform_int(8, 299));
+        // Roll the corruption mix conditioned on a visible measurement.
+        const auto thumbnail = renderer.render_with(
+            spec, out.truth, synth::roll_corruption(renderer.config(), rng),
+            rng);
+        for (std::size_t e = 0; e < out.engines.size(); ++e) {
+          out.engines[e] =
+              extractor.extract_with_engine(thumbnail.image, spec, e);
+        }
+        out.tero = extractor.extract(thumbnail.image, spec).primary;
+        return out;
+      });
 
+  for (const auto& reading : readings) {
+    const int truth = reading.truth;
     auto score = [&](const std::string& name, std::optional<int> value) {
       auto& counter = counters[name];
       if (!value.has_value()) {
@@ -60,12 +83,10 @@ int main() {
         }
       }
     };
-
     for (std::size_t e = 0; e < engine_names.size(); ++e) {
-      score(engine_names[e],
-            extractor.extract_with_engine(thumbnail.image, spec, e));
+      score(engine_names[e], reading.engines[e]);
     }
-    score("Tero", extractor.extract(thumbnail.image, spec).primary);
+    score("Tero", reading.tero);
   }
 
   util::Table table(

@@ -1,8 +1,9 @@
 // tero_cli: the driver a data-set consumer uses against the published CSV
 // artifacts (see examples/export_dataset.cpp). Subcommands:
 //
-//   tero_cli simulate <out_dir> [streamers] [days]
-//       build a synthetic world, run the pipeline, and write
+//   tero_cli simulate <out_dir> [streamers] [days] [threads]
+//       build a synthetic world, run the pipeline (threads workers;
+//       0 = all cores, same output either way), and write
 //       measurements.csv + aggregates.csv
 //
 //   tero_cli analyze <measurements.csv>
@@ -34,6 +35,8 @@ int cmd_simulate(int argc, char** argv) {
   const std::size_t streamers =
       argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 300;
   const int days = argc > 4 ? std::atoi(argv[4]) : 7;
+  const std::size_t threads =
+      argc > 5 ? static_cast<std::size_t>(std::atoi(argv[5])) : 0;
 
   synth::WorldConfig world_config;
   world_config.seed = 1;
@@ -46,6 +49,7 @@ int cmd_simulate(int argc, char** argv) {
   const auto streams = generator.generate();
 
   core::TeroConfig config;
+  config.threads = threads;  // 0 = all cores; the output is thread-invariant
   core::Pipeline pipeline(config);
   const core::Dataset dataset = pipeline.run(world, streams);
 
@@ -149,7 +153,7 @@ int main(int argc, char** argv) {
   if (command == "analyze") return cmd_analyze(argc, argv);
   if (command == "report") return cmd_report(argc, argv);
   std::cerr << "usage: tero_cli <simulate|analyze|report> ...\n"
-               "  simulate <out_dir> [streamers] [days]\n"
+               "  simulate <out_dir> [streamers] [days] [threads]\n"
                "  analyze  <measurements.csv>\n"
                "  report   <measurements.csv> <game>\n";
   return command.empty() ? 1 : 2;

@@ -15,7 +15,7 @@ class OcrChannel final : public ExtractionChannel {
 
   [[nodiscard]] std::optional<analysis::Measurement> extract(
       const synth::TruePoint& point, const ocr::GameUiSpec& spec,
-      util::Rng& rng) override {
+      util::Rng& rng) const override {
     // Visibility is the pipeline's concern; roll only the corruption mix.
     const auto rendered = renderer_.render_with(
         spec, point.latency_ms,
@@ -42,7 +42,7 @@ class NoiseChannel final : public ExtractionChannel {
 
   [[nodiscard]] std::optional<analysis::Measurement> extract(
       const synth::TruePoint& point, const ocr::GameUiSpec& /*spec*/,
-      util::Rng& rng) override {
+      util::Rng& rng) const override {
     if (rng.bernoulli(config_.miss_rate)) return std::nullopt;
     analysis::Measurement measurement;
     measurement.time_s = point.t;

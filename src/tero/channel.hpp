@@ -16,13 +16,17 @@ namespace tero::core {
 /// image-processing module extracts from the corresponding thumbnail
 /// (conditioned on the measurement being visible on screen). nullopt =
 /// extraction failed.
+///
+/// Implementations must be stateless apart from their configuration:
+/// extract() is const and called concurrently from the pipeline's parallel
+/// extraction stage (each task with its own Rng).
 class ExtractionChannel {
  public:
   virtual ~ExtractionChannel() = default;
   [[nodiscard]] virtual std::string name() const = 0;
   [[nodiscard]] virtual std::optional<analysis::Measurement> extract(
       const synth::TruePoint& point, const ocr::GameUiSpec& spec,
-      util::Rng& rng) = 0;
+      util::Rng& rng) const = 0;
 };
 
 /// The real thing: rasterize a thumbnail (with the corruption mix) and run

@@ -34,16 +34,28 @@ const LocationGameAggregate* Dataset::find_aggregate(
   return nullptr;
 }
 
+namespace {
+
+/// Stage salts for the seed-splitting scheme: every parallel task draws from
+/// util::Rng::indexed(mix_seed(seed, salt), task_index), so no draw sequence
+/// ever crosses a task boundary and results are bit-identical for any thread
+/// count.
+constexpr std::uint64_t kExtractionSalt = 0x7e20cafe0001ULL;
+
+}  // namespace
+
 Pipeline::Pipeline(TeroConfig config) : config_(std::move(config)) {
   channel_ = config_.use_full_ocr
                  ? make_ocr_channel(config_.thumbnails)
                  : make_noise_channel(config_.noise);
+  if (util::ThreadPool::resolve(config_.threads) > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.threads);
+  }
 }
 
 Dataset Pipeline::run(const synth::World& world,
                       std::span<const synth::TrueStream> streams) {
   Dataset dataset;
-  util::Rng rng(config_.seed);
   const store::Pseudonymizer pseudonymizer(config_.seed ^ 0x7e40deadbeefULL);
 
   // ---- Location module (§3.1) ------------------------------------------------
@@ -83,70 +95,109 @@ Dataset Pipeline::run(const synth::World& world,
   };
 
   // ---- Image-processing module (§3.2) ----------------------------------------
+  // Hot stage (a): per-stream thumbnail rendering + OCR / noise-channel
+  // extraction, parallel over ground-truth streams. Task i derives its own
+  // generator from (seed, i) and writes into slot i, so the result does not
+  // depend on scheduling. Grouping and counter accumulation stay serial.
+  struct ExtractedStream {
+    analysis::Stream stream;
+    std::size_t thumbnails = 0;
+    std::size_t extracted = 0;
+  };
+  const std::uint64_t extraction_seed =
+      util::mix_seed(config_.seed, kExtractionSalt);
+  const ExtractionChannel& channel = *channel_;
+  auto extracted = util::parallel_map(
+      pool_.get(), streams.size(), 1, [&](std::size_t i) {
+        ExtractedStream out;
+        const auto& true_stream = streams[i];
+        if (!located[true_stream.streamer_index].has_value()) return out;
+        util::Rng task_rng = util::Rng::indexed(extraction_seed, i);
+        const auto& spec = ocr::ui_spec_for(true_stream.game);
+        out.stream.streamer = pseudonymizer.pseudonym(
+            world.streamers()[true_stream.streamer_index].id);
+        out.stream.game = true_stream.game;
+        for (const auto& point : true_stream.points) {
+          ++out.thumbnails;
+          if (!task_rng.bernoulli(config_.p_latency_visible)) continue;
+          if (auto measurement = channel.extract(point, spec, task_rng)) {
+            out.stream.points.push_back(*measurement);
+            ++out.extracted;
+          }
+        }
+        return out;
+      });
+
   // One analysis::Stream per ground-truth stream, grouped by
-  // {streamer, game, location-epoch}.
+  // {streamer, game, location-epoch} in stream order.
   std::map<std::tuple<std::size_t, std::string, int>,
            std::vector<analysis::Stream>>
       grouped;
-  for (const auto& true_stream : streams) {
-    if (!located[true_stream.streamer_index].has_value()) continue;
-    const auto& spec = ocr::ui_spec_for(true_stream.game);
-    analysis::Stream stream;
-    stream.streamer =
-        pseudonymizer.pseudonym(world.streamers()[true_stream.streamer_index].id);
-    stream.game = true_stream.game;
-    for (const auto& point : true_stream.points) {
-      ++dataset.thumbnails;
-      if (!rng.bernoulli(config_.p_latency_visible)) continue;
-      if (auto measurement = channel_->extract(point, spec, rng)) {
-        stream.points.push_back(*measurement);
-        ++dataset.measurements_extracted;
-      }
-    }
-    if (stream.points.empty()) continue;
-    grouped[{true_stream.streamer_index, true_stream.game,
-             epoch_of(true_stream)}]
-        .push_back(std::move(stream));
+  for (std::size_t i = 0; i < streams.size(); ++i) {
+    dataset.thumbnails += extracted[i].thumbnails;
+    dataset.measurements_extracted += extracted[i].extracted;
+    if (extracted[i].stream.points.empty()) continue;
+    grouped[{streams[i].streamer_index, streams[i].game,
+             epoch_of(streams[i])}]
+        .push_back(std::move(extracted[i].stream));
   }
 
   // ---- Data-analysis module (§3.3) --------------------------------------------
-  for (auto& [key, streamer_streams] : grouped) {
-    const auto& [streamer_index, game, epoch] = key;
-    const auto& streamer = world.streamers()[streamer_index];
-    StreamerGameEntry entry;
-    entry.pseudonym = pseudonymizer.pseudonym(streamer.id);
-    entry.game = game;
-    if (epoch == 1) {
-      entry.location = *located_after[streamer_index];
-      entry.true_location = streamer.relocation->new_location;
-    } else {
-      entry.location = *located[streamer_index];
-      entry.true_location = streamer.home_location;
-    }
-    entry.location_source = sources[streamer_index];
-    entry.clean =
-        analysis::clean_streamer_game(std::move(streamer_streams),
-                                      config_.analysis);
-    if (entry.clean.discarded_entirely) continue;
-    dataset.measurements_retained += entry.clean.points_retained;
-    entry.clusters = analysis::cluster_streamer(entry.clean, config_.analysis);
-    entry.is_static =
-        analysis::is_static_streamer(entry.clusters, config_.analysis);
-    entry.high_quality =
-        entry.clean.spike_fraction() <= config_.analysis.max_spikes;
-    dataset.entries.push_back(std::move(entry));
+  // Hot stage (b): per-{streamer, game, epoch} clean -> segment -> cluster,
+  // parallel over groups. The map's iteration order fixes the task order;
+  // each task owns its group's streams and its output slot.
+  std::vector<std::map<std::tuple<std::size_t, std::string, int>,
+                       std::vector<analysis::Stream>>::iterator>
+      group_iters;
+  group_iters.reserve(grouped.size());
+  for (auto it = grouped.begin(); it != grouped.end(); ++it) {
+    group_iters.push_back(it);
+  }
+  auto analyzed = util::parallel_map(
+      pool_.get(), group_iters.size(), 1,
+      [&](std::size_t i) -> std::optional<StreamerGameEntry> {
+        const auto& [key, streamer_streams] = *group_iters[i];
+        const auto& [streamer_index, game, epoch] = key;
+        const auto& streamer = world.streamers()[streamer_index];
+        StreamerGameEntry entry;
+        entry.pseudonym = pseudonymizer.pseudonym(streamer.id);
+        entry.game = game;
+        if (epoch == 1) {
+          entry.location = *located_after[streamer_index];
+          entry.true_location = streamer.relocation->new_location;
+        } else {
+          entry.location = *located[streamer_index];
+          entry.true_location = streamer.home_location;
+        }
+        entry.location_source = sources[streamer_index];
+        entry.clean = analysis::clean_streamer_game(
+            std::move(group_iters[i]->second), config_.analysis);
+        if (entry.clean.discarded_entirely) return std::nullopt;
+        entry.clusters =
+            analysis::cluster_streamer(entry.clean, config_.analysis);
+        entry.is_static =
+            analysis::is_static_streamer(entry.clusters, config_.analysis);
+        entry.high_quality =
+            entry.clean.spike_fraction() <= config_.analysis.max_spikes;
+        return entry;
+      });
+  for (auto& entry : analyzed) {
+    if (!entry.has_value()) continue;
+    dataset.measurements_retained += entry->clean.points_retained;
+    dataset.entries.push_back(std::move(*entry));
   }
 
   dataset.aggregates = aggregate_entries(dataset.entries, config_.analysis,
                                          config_.aggregate_granularity,
-                                         config_.reject_location_outliers);
+                                         config_.reject_location_outliers,
+                                         pool_.get());
   return dataset;
 }
 
 std::vector<LocationGameAggregate> aggregate_entries(
     std::vector<StreamerGameEntry>& entries,
     const analysis::AnalysisConfig& config, geo::Granularity granularity,
-    bool reject_location_outliers) {
+    bool reject_location_outliers, util::ThreadPool* pool) {
   // Group entry indices by {truncated location, game}.
   std::map<std::pair<std::string, std::string>, std::vector<std::size_t>>
       groups;
@@ -160,11 +211,23 @@ std::vector<LocationGameAggregate> aggregate_entries(
     keys.emplace(key, truncated);
   }
 
+  // Resolving these singletons *before* the parallel region keeps their
+  // one-time construction out of the workers.
   const auto& catalog = geo::GameCatalog::builtin();
   const auto& gazetteer = geo::Gazetteer::world();
 
-  std::vector<LocationGameAggregate> aggregates;
-  for (auto& [key, indices] : groups) {
+  // Hot stage (c): per-{location, game} aggregation, parallel over groups in
+  // map order. The index groups partition `entries`, so each task mutates a
+  // disjoint set of entries (endpoint changes, outlier flags) and writes its
+  // aggregate into slot g — no cross-task state.
+  std::vector<const std::pair<const std::pair<std::string, std::string>,
+                              std::vector<std::size_t>>*>
+      group_ptrs;
+  group_ptrs.reserve(groups.size());
+  for (const auto& group : groups) group_ptrs.push_back(&group);
+
+  return util::parallel_map(pool, group_ptrs.size(), 1, [&](std::size_t g) {
+    const auto& [key, indices] = *group_ptrs[g];
     LocationGameAggregate aggregate;
     aggregate.location = keys.at(key);
     aggregate.game = key.second;
@@ -254,9 +317,8 @@ std::vector<LocationGameAggregate> aggregate_entries(
         }
       }
     }
-    aggregates.push_back(std::move(aggregate));
-  }
-  return aggregates;
+    return aggregate;
+  });
 }
 
 }  // namespace tero::core

@@ -18,6 +18,7 @@
 #include "synth/sessions.hpp"
 #include "synth/world.hpp"
 #include "tero/channel.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tero::core {
 
@@ -38,6 +39,13 @@ struct TeroConfig {
   /// default, like the paper; bench_ablations measures the effect.
   bool reject_location_outliers = false;
   std::uint64_t seed = 1234;
+  /// Worker threads for the parallel pipeline stages (extraction,
+  /// per-streamer analysis, per-{location, game} aggregation).
+  /// 0 = hardware_concurrency, 1 = fully serial. The output is bit-identical
+  /// for every value: all randomness is derived from (seed, task index) and
+  /// results land in slots indexed by task id (see DESIGN.md, "Concurrency
+  /// model").
+  std::size_t threads = 0;
 };
 
 /// Everything Tero derived for one {streamer, game} pair.
@@ -102,14 +110,18 @@ class Pipeline {
  private:
   TeroConfig config_;
   std::unique_ptr<ExtractionChannel> channel_;
+  std::unique_ptr<util::ThreadPool> pool_;  ///< null when threads resolve to 1
 };
 
 /// Re-aggregate entries at a different granularity (e.g. country for
-/// Fig. 9/11, region for Fig. 10) without re-running extraction.
+/// Fig. 9/11, region for Fig. 10) without re-running extraction. A non-null
+/// pool parallelizes the per-{location, game} group computation; the result
+/// is identical either way.
 [[nodiscard]] std::vector<LocationGameAggregate> aggregate_entries(
     std::vector<StreamerGameEntry>& entries,
     const analysis::AnalysisConfig& config, geo::Granularity granularity,
-    bool reject_location_outliers = false);
+    bool reject_location_outliers = false,
+    util::ThreadPool* pool = nullptr);
 
 /// Truncate a location tuple to a granularity.
 [[nodiscard]] geo::Location truncate_location(const geo::Location& location,

@@ -27,6 +27,10 @@ Rng::Rng(std::uint64_t seed) noexcept {
 
 Rng Rng::fork() noexcept { return Rng{next_u64()}; }
 
+Rng Rng::indexed(std::uint64_t seed, std::uint64_t index) noexcept {
+  return Rng{mix_seed(seed, index)};
+}
+
 std::uint64_t Rng::next_u64() noexcept {
   const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
   const std::uint64_t t = s_[1] << 17;
@@ -151,6 +155,13 @@ std::uint64_t fnv1a64(std::span<const char> bytes) noexcept {
     hash *= 0x100000001b3ULL;
   }
   return hash;
+}
+
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b) noexcept {
+  std::uint64_t state = a;
+  (void)splitmix64(state);  // decorrelate from the raw seed value
+  state ^= 0xbf58476d1ce4e5b9ULL * (b + 0x94d049bb133111ebULL);
+  return splitmix64(state);
 }
 
 }  // namespace tero::util

@@ -22,6 +22,15 @@ class Rng {
   /// entity its own stream without coupling their draw sequences.
   [[nodiscard]] Rng fork() noexcept;
 
+  /// Stateless per-task derivation: an independent generator for task
+  /// `index` under `seed`. Unlike fork(), the result depends only on
+  /// (seed, index) — not on how many draws happened before — which is what
+  /// makes parallel loops bit-identical for any thread count: give task i
+  /// the generator Rng::indexed(seed, i) and no draw sequence ever crosses
+  /// a task boundary.
+  [[nodiscard]] static Rng indexed(std::uint64_t seed,
+                                   std::uint64_t index) noexcept;
+
   std::uint64_t next_u64() noexcept;
 
   // UniformRandomBitGenerator interface, usable with <random> distributions.
@@ -89,5 +98,10 @@ class Rng {
 /// 64-bit FNV-1a hash; used for consistent hashing of streamer IDs (§7 of the
 /// paper: streamer IDs are pseudonymized before storage).
 [[nodiscard]] std::uint64_t fnv1a64(std::span<const char> bytes) noexcept;
+
+/// Mix two 64-bit values into one well-distributed seed (SplitMix64-based).
+/// Basis of the seed-splitting scheme behind Rng::indexed.
+[[nodiscard]] std::uint64_t mix_seed(std::uint64_t a,
+                                     std::uint64_t b) noexcept;
 
 }  // namespace tero::util

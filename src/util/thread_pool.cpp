@@ -1,0 +1,202 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <utility>
+
+namespace tero::util {
+namespace {
+
+/// Cheap xorshift for victim selection. Scheduling randomness never affects
+/// results (see the determinism contract in the header), so this only needs
+/// to spread thieves across victims, not be a good generator.
+std::uint64_t xorshift(std::uint64_t& state) noexcept {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+}  // namespace
+
+std::size_t ThreadPool::resolve(std::size_t threads) noexcept {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) : size_(resolve(threads)) {
+  const std::size_t workers = size_ > 0 ? size_ - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(park_mutex_);
+    stop_ = true;
+  }
+  park_cv_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+void ThreadPool::push_task(std::function<void()> task) {
+  const std::size_t target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->queue.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(park_mutex_);
+    ++work_epoch_;
+  }
+  park_cv_.notify_one();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();
+    return;
+  }
+  push_task(std::move(task));
+}
+
+bool ThreadPool::try_pop_own(std::size_t self, std::function<void()>& task) {
+  Worker& worker = *workers_[self];
+  std::lock_guard<std::mutex> lock(worker.mutex);
+  if (worker.queue.empty()) return false;
+  task = std::move(worker.queue.back());
+  worker.queue.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t thief_hint,
+                           std::function<void()>& task) {
+  if (workers_.empty()) return false;
+  std::uint64_t state = thief_hint * 0x9e3779b97f4a7c15ULL + 1;
+  const std::size_t start =
+      static_cast<std::size_t>(xorshift(state)) % workers_.size();
+  for (std::size_t offset = 0; offset < workers_.size(); ++offset) {
+    Worker& victim = *workers_[(start + offset) % workers_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (victim.queue.empty()) continue;
+    task = std::move(victim.queue.front());
+    victim.queue.pop_front();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  std::uint64_t steal_state = (self + 1) * 0x2545f4914f6cdd1dULL;
+  for (;;) {
+    std::uint64_t epoch;
+    {
+      std::lock_guard<std::mutex> lock(park_mutex_);
+      epoch = work_epoch_;
+    }
+    std::function<void()> task;
+    if (try_pop_own(self, task) ||
+        try_steal(static_cast<std::size_t>(xorshift(steal_state)), task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(park_mutex_);
+    if (stop_) return;  // all queues were empty at the scan above: drained
+    park_cv_.wait(lock,
+                  [&] { return stop_ || work_epoch_ != epoch; });
+    if (stop_ && work_epoch_ == epoch) return;
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              std::size_t grain,
+                              const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunk = std::max<std::size_t>(1, grain);
+  const std::size_t num_chunks = (n + chunk - 1) / chunk;
+  if (workers_.empty() || num_chunks == 1) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Per-call batch state. Lives on the caller's stack: safe because this
+  // function does not return until pending == 0, i.e. until every chunk
+  // task has finished touching it.
+  struct Batch {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t pending;
+    std::exception_ptr error;
+  };
+  Batch batch;
+  batch.pending = num_chunks;
+
+  auto run_chunk = [&batch, &fn](std::size_t chunk_begin,
+                                 std::size_t chunk_end) {
+    bool skip;
+    {
+      std::lock_guard<std::mutex> lock(batch.mutex);
+      skip = batch.error != nullptr;  // fail fast after the first throw
+    }
+    if (!skip) {
+      try {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(batch.mutex);
+        if (!batch.error) batch.error = std::current_exception();
+      }
+    }
+    std::lock_guard<std::mutex> lock(batch.mutex);
+    if (--batch.pending == 0) batch.done.notify_all();
+  };
+
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    const std::size_t chunk_begin = begin + c * chunk;
+    const std::size_t chunk_end = std::min(end, chunk_begin + chunk);
+    push_task([run_chunk, chunk_begin, chunk_end] {
+      run_chunk(chunk_begin, chunk_end);
+    });
+  }
+
+  // Help instead of blocking: steal and execute tasks (our own chunks, or —
+  // under nested submission — anybody's) until our batch completes. Only
+  // block once no runnable task exists anywhere, which means every remaining
+  // chunk of this batch is already executing on some other thread.
+  std::uint64_t steal_state = 0x853c49e6748fea9bULL;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(batch.mutex);
+      if (batch.pending == 0) break;
+    }
+    std::function<void()> task;
+    if (try_steal(static_cast<std::size_t>(xorshift(steal_state)), task)) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(batch.mutex);
+    batch.done.wait(lock, [&] { return batch.pending == 0; });
+    break;
+  }
+
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+void parallel_for(ThreadPool* pool, std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t)>& fn) {
+  if (pool == nullptr || pool->size() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->parallel_for(0, n, grain, fn);
+}
+
+}  // namespace tero::util

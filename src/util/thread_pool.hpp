@@ -1,0 +1,107 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace tero::util {
+
+/// Work-stealing thread pool behind the pipeline's parallel stages.
+///
+/// Architecture: every background worker owns a deque guarded by its own
+/// mutex. A worker pops from the back of its own deque (LIFO, cache-warm)
+/// and steals from the *front* of a random victim's deque (FIFO, oldest
+/// first). Idle workers park on a condition variable; a monotonically
+/// increasing work epoch makes the park/submit handshake immune to missed
+/// wakeups.
+///
+/// `threads` counts the *total* parallelism including the calling thread:
+/// a pool of size N spawns N-1 background workers and the thread that calls
+/// parallel_for() participates by stealing chunks while it waits. A pool of
+/// size 1 spawns no workers at all and parallel_for() degenerates to a plain
+/// inline loop — the deterministic fast path.
+///
+/// Determinism contract: the pool never promises any execution *order*;
+/// callers obtain bit-identical results for any thread count by (1) deriving
+/// all randomness from the task index (Rng::indexed / mix_seed) and
+/// (2) writing results into pre-sized output slots indexed by task id.
+/// parallel_map() implements (2) directly.
+class ThreadPool {
+ public:
+  /// threads == 0 resolves to hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (background workers + the calling thread).
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Resolve a user-facing thread knob: 0 -> hardware_concurrency, else n.
+  [[nodiscard]] static std::size_t resolve(std::size_t threads) noexcept;
+
+  /// Run fn(i) for every i in [begin, end), splitting the range into chunks
+  /// of `grain` indices. Blocks until every index has been processed.
+  /// The first exception thrown by fn is rethrown here (remaining chunks
+  /// that have not started yet are skipped). Nested calls from inside fn are
+  /// supported: a waiting thread executes other tasks instead of blocking,
+  /// so inner parallel_for calls cannot deadlock the pool.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Fire-and-forget task; with no background workers it runs inline.
+  /// Tasks still queued when the pool is destroyed are drained by the
+  /// destructor before the workers exit.
+  void submit(std::function<void()> task);
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> queue;
+  };
+
+  void push_task(std::function<void()> task);
+  bool try_pop_own(std::size_t self, std::function<void()>& task);
+  bool try_steal(std::size_t thief_hint, std::function<void()>& task);
+  void worker_loop(std::size_t self);
+
+  std::size_t size_ = 1;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+  std::uint64_t work_epoch_ = 0;  ///< guarded by park_mutex_
+  bool stop_ = false;             ///< guarded by park_mutex_
+  std::atomic<std::uint64_t> next_queue_{0};  ///< round-robin push cursor
+};
+
+/// parallel_for over an optional pool: a null pool (or a pool of size 1)
+/// runs the loop inline on the calling thread.
+void parallel_for(ThreadPool* pool, std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Deterministic parallel map: results[i] = fn(i), written into a pre-sized
+/// vector indexed by task id, so the output is identical for any thread
+/// count. The result type must be default-constructible.
+template <typename Fn>
+[[nodiscard]] auto parallel_map(ThreadPool* pool, std::size_t n,
+                                std::size_t grain, Fn&& fn)
+    -> std::vector<std::decay_t<decltype(fn(std::size_t{}))>> {
+  using Result = std::decay_t<decltype(fn(std::size_t{}))>;
+  std::vector<Result> results(n);
+  parallel_for(pool, n, grain,
+               [&](std::size_t i) { results[i] = fn(i); });
+  return results;
+}
+
+}  // namespace tero::util

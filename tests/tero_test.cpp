@@ -513,3 +513,211 @@ TEST(Pipeline, RelocatedStreamerYieldsTwoEndpoints) {
 }
 
 }  // namespace relocation_tests
+
+namespace determinism_tests {
+using namespace tero;
+using namespace tero::core;
+
+// Bit-identical comparison of everything Pipeline::run produces. EXPECT_EQ
+// on doubles is intentional throughout: the determinism contract is
+// *bit-identical* output for any thread count, not merely close output.
+
+void expect_same_measurement(const analysis::Measurement& a,
+                             const analysis::Measurement& b) {
+  EXPECT_EQ(a.time_s, b.time_s);
+  EXPECT_EQ(a.latency_ms, b.latency_ms);
+  EXPECT_EQ(a.alternative_ms, b.alternative_ms);
+}
+
+void expect_same_clean(const analysis::CleanResult& a,
+                       const analysis::CleanResult& b) {
+  ASSERT_EQ(a.retained.size(), b.retained.size());
+  for (std::size_t s = 0; s < a.retained.size(); ++s) {
+    EXPECT_EQ(a.retained[s].streamer, b.retained[s].streamer);
+    EXPECT_EQ(a.retained[s].game, b.retained[s].game);
+    ASSERT_EQ(a.retained[s].points.size(), b.retained[s].points.size());
+    for (std::size_t p = 0; p < a.retained[s].points.size(); ++p) {
+      expect_same_measurement(a.retained[s].points[p],
+                              b.retained[s].points[p]);
+    }
+  }
+  ASSERT_EQ(a.spikes.size(), b.spikes.size());
+  for (std::size_t s = 0; s < a.spikes.size(); ++s) {
+    EXPECT_EQ(a.spikes[s].start_s, b.spikes[s].start_s);
+    EXPECT_EQ(a.spikes[s].end_s, b.spikes[s].end_s);
+    EXPECT_EQ(a.spikes[s].peak_latency_ms, b.spikes[s].peak_latency_ms);
+    EXPECT_EQ(a.spikes[s].baseline_ms, b.spikes[s].baseline_ms);
+  }
+  EXPECT_EQ(a.points_in, b.points_in);
+  EXPECT_EQ(a.points_retained, b.points_retained);
+  EXPECT_EQ(a.points_corrected, b.points_corrected);
+  EXPECT_EQ(a.points_discarded, b.points_discarded);
+  EXPECT_EQ(a.spike_points, b.spike_points);
+  EXPECT_EQ(a.glitch_segments, b.glitch_segments);
+  EXPECT_EQ(a.discarded_entirely, b.discarded_entirely);
+}
+
+void expect_same_clusters(const std::vector<analysis::LatencyCluster>& a,
+                          const std::vector<analysis::LatencyCluster>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    EXPECT_EQ(a[c].min_ms, b[c].min_ms);
+    EXPECT_EQ(a[c].max_ms, b[c].max_ms);
+    EXPECT_EQ(a[c].weight, b[c].weight);
+    EXPECT_EQ(a[c].point_count, b[c].point_count);
+  }
+}
+
+void expect_same_dataset(const Dataset& a, const Dataset& b) {
+  EXPECT_EQ(a.streamers_total, b.streamers_total);
+  EXPECT_EQ(a.streamers_located, b.streamers_located);
+  EXPECT_EQ(a.thumbnails, b.thumbnails);
+  EXPECT_EQ(a.measurements_extracted, b.measurements_extracted);
+  EXPECT_EQ(a.measurements_retained, b.measurements_retained);
+
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    const auto& ea = a.entries[i];
+    const auto& eb = b.entries[i];
+    EXPECT_EQ(ea.pseudonym, eb.pseudonym);
+    EXPECT_EQ(ea.game, eb.game);
+    EXPECT_EQ(ea.location, eb.location);
+    EXPECT_EQ(ea.true_location, eb.true_location);
+    EXPECT_EQ(ea.location_source, eb.location_source);
+    expect_same_clean(ea.clean, eb.clean);
+    expect_same_clusters(ea.clusters, eb.clusters);
+    EXPECT_EQ(ea.is_static, eb.is_static);
+    EXPECT_EQ(ea.high_quality, eb.high_quality);
+    EXPECT_EQ(ea.location_outlier, eb.location_outlier);
+    EXPECT_EQ(ea.possible_location_change, eb.possible_location_change);
+    ASSERT_EQ(ea.endpoint_changes.size(), eb.endpoint_changes.size());
+    for (std::size_t c = 0; c < ea.endpoint_changes.size(); ++c) {
+      EXPECT_EQ(ea.endpoint_changes[c].time_s, eb.endpoint_changes[c].time_s);
+      EXPECT_EQ(ea.endpoint_changes[c].same_stream,
+                eb.endpoint_changes[c].same_stream);
+      EXPECT_EQ(ea.endpoint_changes[c].from_cluster,
+                eb.endpoint_changes[c].from_cluster);
+      EXPECT_EQ(ea.endpoint_changes[c].to_cluster,
+                eb.endpoint_changes[c].to_cluster);
+    }
+  }
+
+  ASSERT_EQ(a.aggregates.size(), b.aggregates.size());
+  for (std::size_t i = 0; i < a.aggregates.size(); ++i) {
+    const auto& ga = a.aggregates[i];
+    const auto& gb = b.aggregates[i];
+    EXPECT_EQ(ga.location, gb.location);
+    EXPECT_EQ(ga.game, gb.game);
+    EXPECT_EQ(ga.streamers, gb.streamers);
+    expect_same_clusters(ga.clusters, gb.clusters);
+    EXPECT_EQ(ga.distribution, gb.distribution);
+    ASSERT_EQ(ga.box.has_value(), gb.box.has_value());
+    if (ga.box.has_value()) {
+      EXPECT_EQ(ga.box->p5, gb.box->p5);
+      EXPECT_EQ(ga.box->p25, gb.box->p25);
+      EXPECT_EQ(ga.box->p50, gb.box->p50);
+      EXPECT_EQ(ga.box->p75, gb.box->p75);
+      EXPECT_EQ(ga.box->p95, gb.box->p95);
+    }
+    EXPECT_EQ(ga.avg_corrected_distance_km, gb.avg_corrected_distance_km);
+    EXPECT_EQ(ga.server_city, gb.server_city);
+    EXPECT_EQ(ga.shared.spike_probability, gb.shared.spike_probability);
+    EXPECT_EQ(ga.shared.sufficient_data, gb.shared.sufficient_data);
+    ASSERT_EQ(ga.shared.anomalies.size(), gb.shared.anomalies.size());
+    for (std::size_t s = 0; s < ga.shared.anomalies.size(); ++s) {
+      EXPECT_EQ(ga.shared.anomalies[s].start_s, gb.shared.anomalies[s].start_s);
+      EXPECT_EQ(ga.shared.anomalies[s].end_s, gb.shared.anomalies[s].end_s);
+      EXPECT_EQ(ga.shared.anomalies[s].streamers,
+                gb.shared.anomalies[s].streamers);
+      EXPECT_EQ(ga.shared.anomalies[s].probability,
+                gb.shared.anomalies[s].probability);
+    }
+  }
+}
+
+TEST(Determinism, PipelineOutputIsBitIdenticalAcrossThreadCounts) {
+  synth::WorldConfig world_config;
+  world_config.seed = 77;
+  world_config.p_twitter = 1.0;
+  world_config.p_twitter_backlink = 1.0;
+  world_config.p_twitter_location = 1.0;
+  world_config.games = {"League of Legends", "Dota 2"};
+  world_config.focus_locations = {
+      geo::Location{"", "Illinois", "United States"},
+      geo::Location{"", "", "Poland"},
+  };
+  world_config.streamers_per_focus = 25;
+  const synth::World world(world_config);
+  synth::BehaviorConfig behavior;
+  behavior.days = 5;
+  synth::SessionGenerator generator(world, behavior, 7);
+  const auto streams = generator.generate();
+  ASSERT_FALSE(streams.empty());
+
+  auto run_with_threads = [&](std::size_t threads) {
+    TeroConfig config;
+    config.p_latency_visible = 1.0;
+    config.seed = 4242;
+    config.threads = threads;
+    Pipeline pipeline(config);
+    return pipeline.run(world, streams);
+  };
+
+  const Dataset serial = run_with_threads(1);
+  const Dataset two = run_with_threads(2);
+  const Dataset eight = run_with_threads(8);
+  ASSERT_FALSE(serial.entries.empty());
+  expect_same_dataset(serial, two);
+  expect_same_dataset(serial, eight);
+}
+
+TEST(Determinism, AggregateEntriesIdenticalWithAndWithoutPool) {
+  synth::WorldConfig world_config;
+  world_config.seed = 91;
+  world_config.p_twitter = 1.0;
+  world_config.p_twitter_backlink = 1.0;
+  world_config.p_twitter_location = 1.0;
+  world_config.games = {"League of Legends"};
+  world_config.focus_locations = {geo::Location{"", "", "Germany"},
+                                  geo::Location{"", "", "Poland"}};
+  world_config.streamers_per_focus = 20;
+  const synth::World world(world_config);
+  synth::BehaviorConfig behavior;
+  behavior.days = 4;
+  synth::SessionGenerator generator(world, behavior, 5);
+  const auto streams = generator.generate();
+
+  TeroConfig config;
+  config.p_latency_visible = 1.0;
+  config.threads = 1;
+  Pipeline pipeline(config);
+  Dataset base = pipeline.run(world, streams);
+  auto entries_serial = base.entries;
+  auto entries_pooled = base.entries;
+
+  const auto serial = aggregate_entries(entries_serial, config.analysis,
+                                        geo::Granularity::kCountry, true);
+  util::ThreadPool pool(8);
+  const auto pooled = aggregate_entries(entries_pooled, config.analysis,
+                                        geo::Granularity::kCountry, true,
+                                        &pool);
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].location, pooled[i].location);
+    EXPECT_EQ(serial[i].game, pooled[i].game);
+    EXPECT_EQ(serial[i].streamers, pooled[i].streamers);
+    EXPECT_EQ(serial[i].distribution, pooled[i].distribution);
+  }
+  // The per-entry mutations (outlier flags, endpoint changes) match too.
+  ASSERT_EQ(entries_serial.size(), entries_pooled.size());
+  for (std::size_t i = 0; i < entries_serial.size(); ++i) {
+    EXPECT_EQ(entries_serial[i].location_outlier,
+              entries_pooled[i].location_outlier);
+    EXPECT_EQ(entries_serial[i].possible_location_change,
+              entries_pooled[i].possible_location_change);
+    EXPECT_EQ(entries_serial[i].endpoint_changes.size(),
+              entries_pooled[i].endpoint_changes.size());
+  }
+}
+
+}  // namespace determinism_tests
