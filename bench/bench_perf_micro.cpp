@@ -2,10 +2,22 @@
 // stream cleaning, clustering, the shared-anomaly test, PELT, Wasserstein,
 // and Probit fitting. These back the throughput claims in DESIGN.md (the
 // noise channel exists because full OCR costs ~ms per thumbnail).
+//
+// Besides the console report, the run writes BENCH_perf_micro.json
+// (benchmark name -> {median_ms, threads, throughput}) so CI can diff
+// performance across commits; see main() at the bottom.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
 #include "analysis/anomalies.hpp"
+#include "obs/metrics.hpp"
 #include "analysis/clusters.hpp"
 #include "anomaly/pelt.hpp"
 #include "ocr/extractor.hpp"
@@ -134,7 +146,7 @@ void BM_PipelineFullOcr(benchmark::State& state) {
   std::size_t thumbnails = 0;
   for (auto _ : state) {
     const auto dataset = pipeline.run(world, streams);
-    thumbnails = dataset.thumbnails;
+    thumbnails = dataset.funnel.thumbnails;
     benchmark::DoNotOptimize(dataset);
   }
   state.counters["thumbnails/s"] = benchmark::Counter(
@@ -189,6 +201,47 @@ BENCHMARK(BM_PipelineNoise)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// The same pipeline with a live metrics registry + trace-less sinks: the
+// difference against BM_PipelineNoise is the observability overhead when
+// enabled. With sinks left null (BM_PipelineNoise) the instrumented hot
+// paths cost one untaken branch per event, which should be within noise.
+void BM_PipelineNoiseMetrics(benchmark::State& state) {
+  static const synth::World world = [] {
+    synth::WorldConfig config;
+    config.seed = 7;
+    config.p_twitter = 1.0;
+    config.p_twitter_backlink = 1.0;
+    config.p_twitter_location = 1.0;
+    config.games = {"League of Legends"};
+    config.focus_locations = {geo::Location{"", "Illinois", "United States"},
+                              geo::Location{"", "", "Poland"}};
+    config.streamers_per_focus = 150;
+    return synth::World(config);
+  }();
+  static const std::vector<synth::TrueStream> streams = [] {
+    synth::BehaviorConfig behavior;
+    behavior.days = 7;
+    synth::SessionGenerator generator(world, behavior, 11);
+    return generator.generate();
+  }();
+
+  obs::MetricsRegistry registry;
+  core::TeroConfig config;
+  config.use_full_ocr = false;
+  config.p_latency_visible = 1.0;
+  config.threads = static_cast<std::size_t>(state.range(0));
+  config.metrics = &registry;
+  core::Pipeline pipeline(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pipeline.run(world, streams));
+  }
+}
+BENCHMARK(BM_PipelineNoiseMetrics)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // Raw pool overhead: tiny tasks through parallel_for vs the inline path.
 void BM_ParallelForOverhead(benchmark::State& state) {
   util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
@@ -219,6 +272,89 @@ void BM_ProbitFit(benchmark::State& state) {
 }
 BENCHMARK(BM_ProbitFit)->Arg(1000)->Arg(10000);
 
+// Captures every per-repetition run while still printing the usual console
+// report, so main() can reduce them to medians for BENCH_perf_micro.json.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Sample {
+    double ms = 0.0;
+    double throughput = 0.0;  ///< items/s if reported, else runs/s
+    int threads = 1;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const auto& run : runs) {
+      if (run.run_type == Run::RT_Aggregate) continue;
+      Sample sample;
+      if (run.iterations > 0) {
+        sample.ms = run.real_accumulated_time /
+                    static_cast<double>(run.iterations) * 1e3;
+      }
+      // Rate counters (items_per_second, thumbnails/s) arrive finalized.
+      for (const auto& [name, counter] : run.counters) {
+        if ((counter.flags & benchmark::Counter::kIsRate) != 0) {
+          sample.throughput = counter.value;
+          break;
+        }
+      }
+      if (sample.throughput == 0.0 && sample.ms > 0.0) {
+        sample.throughput = 1e3 / sample.ms;
+      }
+      const std::string name = run.benchmark_name();
+      sample.threads = pool_threads(name);
+      samples_[name].push_back(sample);
+    }
+  }
+
+  /// name -> {median_ms, threads, throughput-at-median}.
+  [[nodiscard]] std::map<std::string, Sample> medians() const {
+    std::map<std::string, Sample> out;
+    for (const auto& [name, samples] : samples_) {
+      std::vector<Sample> sorted = samples;
+      std::sort(sorted.begin(), sorted.end(),
+                [](const Sample& a, const Sample& b) { return a.ms < b.ms; });
+      out[name] = sorted[sorted.size() / 2];
+    }
+    return out;
+  }
+
+ private:
+  /// The pool-scaling benchmarks encode the worker count as their first
+  /// argument ("BM_PipelineNoise/4/real_time"); everything else is serial.
+  static int pool_threads(const std::string& name) {
+    if (name.rfind("BM_Pipeline", 0) != 0 &&
+        name.rfind("BM_ParallelForOverhead", 0) != 0) {
+      return 1;
+    }
+    const auto slash = name.find('/');
+    if (slash == std::string::npos) return 1;
+    const int threads = std::atoi(name.c_str() + slash + 1);
+    return threads > 0 ? threads : 1;
+  }
+
+  std::map<std::string, std::vector<Sample>> samples_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::ofstream out("BENCH_perf_micro.json");
+  out << "{\n";
+  const auto medians = reporter.medians();
+  std::size_t written = 0;
+  for (const auto& [name, sample] : medians) {
+    out << "  \"" << name << "\": {\"median_ms\": " << sample.ms
+        << ", \"threads\": " << sample.threads
+        << ", \"throughput\": " << sample.throughput << "}";
+    out << (++written < medians.size() ? ",\n" : "\n");
+  }
+  out << "}\n";
+  return 0;
+}

@@ -45,15 +45,15 @@ int main(int argc, char** argv) {
   const std::string aggregates_path = out_dir + "/tero_aggregates.csv";
   {
     std::ofstream measurements(measurements_path);
-    const auto stats = core::export_measurements(dataset, measurements);
-    std::cout << "wrote " << stats.measurement_rows << " measurements to "
-              << measurements_path << "\n";
+    const auto rows = core::export_measurements(dataset, measurements);
+    std::cout << "wrote " << rows << " measurements to " << measurements_path
+              << "\n";
   }
   {
     std::ofstream aggregates(aggregates_path);
-    const auto stats = core::export_aggregates(dataset, aggregates);
-    std::cout << "wrote " << stats.aggregate_rows << " aggregates to "
-              << aggregates_path << "\n";
+    const auto rows = core::export_aggregates(dataset, aggregates);
+    std::cout << "wrote " << rows << " aggregates to " << aggregates_path
+              << "\n";
   }
 
   // The data-set user's side: load the measurements and re-run the

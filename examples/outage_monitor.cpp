@@ -43,9 +43,9 @@ int main() {
   core::Pipeline pipeline(config);
   const core::Dataset dataset = pipeline.run(world, streams);
 
-  std::cout << "streamers located : " << dataset.streamers_located << "\n";
-  std::cout << "measurements      : " << dataset.measurements_extracted
-            << "\n\n";
+  std::cout << "streamers located : " << dataset.funnel.streamers_located
+            << "\n";
+  std::cout << "measurements      : " << dataset.funnel.ocr_ok << "\n\n";
 
   for (const auto& aggregate : dataset.aggregates) {
     const auto& shared = aggregate.shared;

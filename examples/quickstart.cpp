@@ -49,13 +49,13 @@ int main(int argc, char** argv) {
 
   std::cout << "extraction channel : " << (full_ocr ? "full OCR" : "noise")
             << "\n"
-            << "streamers          : " << dataset.streamers_total << "\n"
-            << "located            : " << dataset.streamers_located << "\n"
-            << "thumbnails         : " << dataset.thumbnails << "\n"
-            << "measurements       : " << dataset.measurements_extracted
+            << "streamers          : " << dataset.funnel.streamers_total
             << "\n"
-            << "retained after QoE : " << dataset.measurements_retained
-            << "\n\n";
+            << "located            : " << dataset.funnel.streamers_located
+            << "\n"
+            << "thumbnails         : " << dataset.funnel.thumbnails << "\n"
+            << "measurements       : " << dataset.funnel.ocr_ok << "\n"
+            << "retained after QoE : " << dataset.funnel.retained << "\n\n";
 
   util::Table table(
       {"location", "game", "streamers", "p25 [ms]", "median", "p75 [ms]",

@@ -1,10 +1,14 @@
 // tero_cli: the driver a data-set consumer uses against the published CSV
 // artifacts (see examples/export_dataset.cpp). Subcommands:
 //
-//   tero_cli simulate <out_dir> [streamers] [days] [threads]
+//   tero_cli simulate [out_dir] [streamers] [days] [threads]
+//            [--metrics-out m.json] [--trace-out t.json] [--metrics-table]
 //       build a synthetic world, run the pipeline (threads workers;
 //       0 = all cores, same output either way), and write
-//       measurements.csv + aggregates.csv
+//       measurements.csv + aggregates.csv. --metrics-out dumps the
+//       metrics registry as JSON, --trace-out writes a Chrome
+//       trace-event file (load in Perfetto / chrome://tracing), and
+//       --metrics-table prints the registry to stdout.
 //
 //   tero_cli analyze <measurements.csv>
 //       re-run the QoE-based cleaning over an imported data set and print
@@ -18,8 +22,11 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "analysis/anomalies.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/descriptive.hpp"
 #include "synth/sessions.hpp"
 #include "tero/export.hpp"
@@ -31,12 +38,36 @@ using namespace tero;
 namespace {
 
 int cmd_simulate(int argc, char** argv) {
-  const std::string out_dir = argc > 2 ? argv[2] : "/tmp";
+  // Split --flags (accepted anywhere) from the positional arguments.
+  std::string metrics_out;
+  std::string trace_out;
+  bool metrics_table = false;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out" || arg == "--trace-out") {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a file argument\n";
+        return 1;
+      }
+      (arg == "--metrics-out" ? metrics_out : trace_out) = argv[++i];
+    } else if (arg == "--metrics-table") {
+      metrics_table = true;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const std::string out_dir = !positional.empty() ? positional[0] : "/tmp";
   const std::size_t streamers =
-      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 300;
-  const int days = argc > 4 ? std::atoi(argv[4]) : 7;
+      positional.size() > 1
+          ? static_cast<std::size_t>(std::atoi(positional[1].c_str()))
+          : 300;
+  const int days = positional.size() > 2 ? std::atoi(positional[2].c_str())
+                                         : 7;
   const std::size_t threads =
-      argc > 5 ? static_cast<std::size_t>(std::atoi(argv[5])) : 0;
+      positional.size() > 3
+          ? static_cast<std::size_t>(std::atoi(positional[3].c_str()))
+          : 0;
 
   synth::WorldConfig world_config;
   world_config.seed = 1;
@@ -50,18 +81,51 @@ int cmd_simulate(int argc, char** argv) {
 
   core::TeroConfig config;
   config.threads = threads;  // 0 = all cores; the output is thread-invariant
+
+  // Observability sinks are created only when requested; the pipeline takes
+  // raw pointers and never reads them back (output is identical either way).
+  const bool want_metrics = !metrics_out.empty() || metrics_table;
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder;
+  if (want_metrics) config.metrics = &registry;
+  if (!trace_out.empty()) config.trace = &recorder;
+
   core::Pipeline pipeline(config);
   const core::Dataset dataset = pipeline.run(world, streams);
 
   std::ofstream measurements(out_dir + "/tero_measurements.csv");
   std::ofstream aggregates(out_dir + "/tero_aggregates.csv");
-  const auto m = core::export_measurements(dataset, measurements);
-  const auto a = core::export_aggregates(dataset, aggregates);
-  std::cout << "streamers " << dataset.streamers_total << ", located "
-            << dataset.streamers_located << ", thumbnails "
-            << dataset.thumbnails << "\n";
-  std::cout << "wrote " << m.measurement_rows << " measurements and "
-            << a.aggregate_rows << " aggregates to " << out_dir << "\n";
+  const auto measurement_rows =
+      core::export_measurements(dataset, measurements, config.metrics);
+  const auto aggregate_rows =
+      core::export_aggregates(dataset, aggregates, config.metrics);
+  std::cout << "streamers " << dataset.funnel.streamers_total << ", located "
+            << dataset.funnel.streamers_located << ", thumbnails "
+            << dataset.funnel.thumbnails << "\n";
+  std::cout << "wrote " << measurement_rows << " measurements and "
+            << aggregate_rows << " aggregates to " << out_dir << "\n";
+
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "cannot open " << metrics_out << "\n";
+      return 1;
+    }
+    registry.write_json(out);
+    std::cout << "wrote " << registry.size() << " metrics to " << metrics_out
+              << "\n";
+  }
+  if (metrics_table) registry.write_table(std::cout);
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::cerr << "cannot open " << trace_out << "\n";
+      return 1;
+    }
+    recorder.write_json(out);
+    std::cout << "wrote " << recorder.span_count() << " trace events to "
+              << trace_out << "\n";
+  }
   return 0;
 }
 
@@ -153,7 +217,9 @@ int main(int argc, char** argv) {
   if (command == "analyze") return cmd_analyze(argc, argv);
   if (command == "report") return cmd_report(argc, argv);
   std::cerr << "usage: tero_cli <simulate|analyze|report> ...\n"
-               "  simulate <out_dir> [streamers] [days] [threads]\n"
+               "  simulate [out_dir] [streamers] [days] [threads]\n"
+               "           [--metrics-out m.json] [--trace-out t.json]\n"
+               "           [--metrics-table]\n"
                "  analyze  <measurements.csv>\n"
                "  report   <measurements.csv> <game>\n";
   return command.empty() ? 1 : 2;

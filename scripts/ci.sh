@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI driver: the three build/test jobs a change must pass.
+#
+#   tier1   Release build, full test suite          (the seed contract)
+#   asan    AddressSanitizer, smoke-labeled tests   (fast memory checks)
+#   tsan    ThreadSanitizer, full test suite        (pool + pipeline races)
+#
+# Run all three:   scripts/ci.sh
+# Run a subset:    scripts/ci.sh asan tsan
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs=("$@")
+if [ ${#jobs[@]} -eq 0 ]; then
+  jobs=(tier1 asan tsan)
+fi
+
+run_preset() {
+  local preset="$1" test_preset="$2"
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  ctest --preset "$test_preset" -j "$(nproc)"
+}
+
+for job in "${jobs[@]}"; do
+  echo "=== ci: $job ==="
+  case "$job" in
+    tier1) run_preset default default ;;
+    asan)  run_preset asan asan ;;   # test preset filters to -L smoke
+    tsan)  run_preset tsan tsan ;;
+    *) echo "unknown job: $job (want tier1, asan or tsan)" >&2; exit 2 ;;
+  esac
+done
+echo "=== ci: all jobs passed ==="

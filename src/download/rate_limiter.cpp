@@ -20,8 +20,12 @@ void TokenBucket::refill(double now) {
 
 bool TokenBucket::try_acquire(double now, double tokens) {
   refill(now);
-  if (tokens_ + 1e-12 < tokens) return false;
+  if (tokens_ + 1e-12 < tokens) {
+    ++throttled_;
+    return false;
+  }
   tokens_ -= tokens;
+  ++acquired_;
   return true;
 }
 

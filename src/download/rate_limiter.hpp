@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+
 namespace tero::download {
 
 /// Token-bucket rate limiter modelling Twitch's API quota (App. A: "the
@@ -18,6 +20,13 @@ class TokenBucket {
 
   [[nodiscard]] double available(double now) const;
 
+  /// Observational accounting (exported into the metrics registry by the
+  /// download system): granted vs rejected try_acquire calls.
+  [[nodiscard]] std::uint64_t acquired() const noexcept { return acquired_; }
+  [[nodiscard]] std::uint64_t throttled() const noexcept {
+    return throttled_;
+  }
+
  private:
   void refill(double now);
 
@@ -25,6 +34,8 @@ class TokenBucket {
   double burst_;
   double tokens_;
   double last_refill_ = 0.0;
+  std::uint64_t acquired_ = 0;
+  std::uint64_t throttled_ = 0;
 };
 
 }  // namespace tero::download

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace tero::download {
 
 namespace {
@@ -9,6 +12,11 @@ constexpr const char* kPendingList = "urls:pending";
 constexpr const char* kOfflineList = "signals:offline";
 const std::string kTrackedPrefix = "tracked:";
 }  // namespace
+
+obs::Counter* DownloadSystem::counter(const char* name) const {
+  if (config_.metrics == nullptr) return nullptr;
+  return &config_.metrics->counter(std::string("tero.download.") + name);
+}
 
 DownloadSystem::DownloadSystem(util::EventLoop& loop, SimulatedCdn& cdn,
                                store::KvStore& kv, DownloadConfig config,
@@ -19,7 +27,17 @@ DownloadSystem::DownloadSystem(util::EventLoop& loop, SimulatedCdn& cdn,
       config_(config),
       rng_(rng),
       api_bucket_(config.api_rate, config.api_burst),
-      downloaders_(static_cast<std::size_t>(config.num_downloaders)) {}
+      downloaders_(static_cast<std::size_t>(config.num_downloaders)) {
+  c_api_polls_ = counter("api_polls");
+  c_api_throttled_ = counter("api_throttled");
+  c_head_ = counter("head_requests");
+  c_get_ = counter("get_requests");
+  c_downloads_ = counter("downloads");
+  c_offline_ = counter("offline_signals");
+  c_adoptions_ = counter("adoptions");
+  c_crashes_ = counter("crashes");
+  c_recovered_ = counter("recovered_streamers");
+}
 
 void DownloadSystem::start() {
   if (started_) return;
@@ -35,10 +53,12 @@ void DownloadSystem::start() {
 void DownloadSystem::coordinator_poll() {
   // Respect the API quota: if the bucket is dry, come back when it refills.
   if (!api_bucket_.try_acquire(loop_->now())) {
+    if (c_api_throttled_ != nullptr) c_api_throttled_->add();
     const double retry = api_bucket_.next_available(loop_->now());
     loop_->schedule_at(retry, [this] { coordinator_poll(); });
     return;
   }
+  if (c_api_polls_ != nullptr) c_api_polls_->add();
 
   // Newly-live streamers go to the pending queue (and to durable state).
   for (const auto& streamer : cdn_->api_live_streamers()) {
@@ -53,6 +73,7 @@ void DownloadSystem::coordinator_poll() {
     tracked_.erase(*streamer);
     kv_->erase(kTrackedPrefix + *streamer);
     ++offline_signals_;
+    if (c_offline_ != nullptr) c_offline_->add();
   }
 
   loop_->schedule_after(config_.api_poll_interval,
@@ -86,6 +107,7 @@ void DownloadSystem::adopt_if_idle(int id) {
   if (earliest <= loop_->now() + config_.idle_horizon) return;
 
   if (auto streamer = kv_->pop_front(kPendingList)) {
+    if (c_head_ != nullptr) c_head_->add();
     const HeadResponse head = cdn_->head(*streamer);
     if (!head.online) {
       kv_->push_back(kOfflineList, *streamer);
@@ -95,11 +117,13 @@ void DownloadSystem::adopt_if_idle(int id) {
         std::max(loop_->now(), head.next_thumbnail_time) +
         config_.fetch_delay;
     ++state.adopted_total;
+    if (c_adoptions_ != nullptr) c_adoptions_->add();
   }
 }
 
 void DownloadSystem::fetch_one(int id, const std::string& streamer) {
   auto& state = downloaders_[static_cast<std::size_t>(id)];
+  if (c_get_ != nullptr) c_get_->add();
   const auto response = cdn_->get(streamer);
   if (!response.has_value()) {
     // Offline redirect: drop the URL, signal the coordinator (App. A).
@@ -107,11 +131,13 @@ void DownloadSystem::fetch_one(int id, const std::string& streamer) {
     kv_->push_back(kOfflineList, streamer);
     return;
   }
+  if (c_downloads_ != nullptr) c_downloads_->add();
   downloads_.push_back(
       DownloadRecord{streamer, loop_->now(), response->version, id});
   kv_->put("seen:" + streamer, std::to_string(response->version));
 
   // HEAD for the next thumbnail's arrival time.
+  if (c_head_ != nullptr) c_head_->add();
   const HeadResponse head = cdn_->head(streamer);
   if (!head.online) {
     state.next_fetch.erase(streamer);
@@ -124,6 +150,10 @@ void DownloadSystem::fetch_one(int id, const std::string& streamer) {
 
 void DownloadSystem::crash_and_recover() {
   ++crashes_;
+  if (c_crashes_ != nullptr) c_crashes_->add();
+  if (config_.trace != nullptr) {
+    config_.trace->add_instant("download.crash", "download");
+  }
   // Crash: all in-memory assignment state vanishes.
   tracked_.clear();
   for (auto& downloader : downloaders_) downloader.next_fetch.clear();
@@ -134,6 +164,10 @@ void DownloadSystem::crash_and_recover() {
     const std::string streamer = key.substr(kTrackedPrefix.size());
     tracked_.insert(streamer);
     kv_->push_back(kPendingList, streamer);
+    if (c_recovered_ != nullptr) c_recovered_->add();
+  }
+  if (config_.trace != nullptr) {
+    config_.trace->add_instant("download.recovered", "download");
   }
 }
 

@@ -12,6 +12,12 @@
 #include "util/event_loop.hpp"
 #include "util/rng.hpp"
 
+namespace tero::obs {
+class Counter;
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace tero::obs
+
 namespace tero::download {
 
 struct DownloadConfig {
@@ -22,6 +28,12 @@ struct DownloadConfig {
   double downloader_tick = 5.0;     ///< downloader wake-up period
   double idle_horizon = 15.0;       ///< "idle" = nothing due this soon
   double fetch_delay = 2.0;         ///< fetch this long after a thumbnail lands
+  /// Optional observability sinks (not owned; may be null). Counters:
+  /// tero.download.{api_polls,api_throttled,head_requests,get_requests,
+  /// downloads,offline_signals,adoptions,crashes,recovered_streamers}.
+  /// Crash/recovery additionally drop instant markers on the trace.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// One successful thumbnail download.
@@ -77,6 +89,8 @@ class DownloadSystem {
   void downloader_tick(int id);
   void fetch_one(int id, const std::string& streamer);
   void adopt_if_idle(int id);
+  /// Resolve a counter once; null when no registry (one branch per event).
+  [[nodiscard]] obs::Counter* counter(const char* name) const;
 
   util::EventLoop* loop_;
   SimulatedCdn* cdn_;
@@ -91,6 +105,17 @@ class DownloadSystem {
   std::uint64_t offline_signals_ = 0;
   int crashes_ = 0;
   bool started_ = false;
+
+  // Resolved once at construction; null when config_.metrics is null.
+  obs::Counter* c_api_polls_ = nullptr;
+  obs::Counter* c_api_throttled_ = nullptr;
+  obs::Counter* c_head_ = nullptr;
+  obs::Counter* c_get_ = nullptr;
+  obs::Counter* c_downloads_ = nullptr;
+  obs::Counter* c_offline_ = nullptr;
+  obs::Counter* c_adoptions_ = nullptr;
+  obs::Counter* c_crashes_ = nullptr;
+  obs::Counter* c_recovered_ = nullptr;
 };
 
 }  // namespace tero::download

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tero::obs {
+
+/// Minimal JSON value + recursive-descent parser, used to validate the
+/// metrics/trace sinks' output (round-trip tests, CLI sanity checks) without
+/// an external dependency. Numbers are stored as double; object key order is
+/// not preserved (std::map).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_object() const noexcept {
+    return type == Type::kObject;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type == Type::kString;
+  }
+
+  /// Object member access; throws std::out_of_range when absent.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+};
+
+/// Parse a complete JSON document; throws std::invalid_argument on any
+/// syntax error or trailing garbage.
+[[nodiscard]] JsonValue parse_json(std::string_view text);
+
+/// Escape a string for embedding between double quotes in JSON output.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+}  // namespace tero::obs

@@ -1,0 +1,190 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tero::obs {
+
+/// Zero-dependency observability primitives: counters, gauges, fixed-bucket
+/// histograms with an embedded quantile sketch, all owned by a thread-safe
+/// MetricsRegistry.
+///
+/// Determinism rules (DESIGN.md §8): metrics are *observational only*. The
+/// pipeline never reads a metric to make a decision, instrumentation never
+/// draws from a util::Rng, and every funnel counter is incremented in the
+/// serial reduction sections, so output stays bit-identical for any thread
+/// count whether a registry is attached or not.
+///
+/// Null-registry cost contract: call sites hold plain pointers
+/// (Counter*/Histogram*/...) that are nullptr when observability is off, so
+/// a disabled registry costs exactly one predictable branch per hot-path
+/// event (see ScopedTimer / the `if (counter) counter->add()` idiom).
+
+/// Monotonically increasing event count. Thread-safe, lock-free.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value (queue depth, lag, configuration echo). Thread-safe.
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Mergeable log-bucketed quantile sketch (DDSketch-style): values are
+/// counted in buckets whose bounds grow geometrically by
+/// gamma = (1 + alpha) / (1 - alpha), which guarantees every reported
+/// quantile is within relative error `alpha` of the true value. Merging two
+/// sketches with the same alpha is exact (bucket counts add).
+class QuantileSketch {
+ public:
+  explicit QuantileSketch(double alpha = 0.01);
+
+  void add(double value);
+  void merge(const QuantileSketch& other);
+
+  /// Value at quantile q in [0, 1]; 0 when empty. Accurate to within the
+  /// relative error alpha (exact for non-positive values, which share one
+  /// underflow bucket).
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  [[nodiscard]] int bucket_index(double value) const;
+
+  double alpha_;
+  double log_gamma_;
+  mutable std::mutex mutex_;
+  std::map<int, std::uint64_t> buckets_;  ///< index -> count, positive values
+  std::uint64_t underflow_ = 0;           ///< values <= kMinTrackable
+};
+
+/// Fixed-bucket histogram (cumulative "le" bounds, Prometheus-style) with an
+/// embedded QuantileSketch so sinks can report both exact bucket counts and
+/// tight p50/p90/p99 estimates. observe() is thread-safe.
+class Histogram {
+ public:
+  /// `bounds` are strictly increasing upper bounds; an implicit +Inf
+  /// overflow bucket is always appended.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept;
+  /// Per-bucket (non-cumulative) counts; last entry is the overflow bucket.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] double quantile(double q) const { return sketch_.quantile(q); }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  QuantileSketch sketch_;
+};
+
+/// Default bucket bounds for duration histograms, in milliseconds.
+[[nodiscard]] const std::vector<double>& default_duration_buckets_ms();
+
+/// Thread-safe name -> metric owner. Metric references returned by
+/// counter()/gauge()/histogram() are stable for the registry's lifetime, so
+/// hot paths resolve them once and keep the pointer.
+///
+/// Naming scheme: dot-separated `tero.<module>.<event>[{label=value,...}]`,
+/// e.g. `tero.funnel.ocr_ok` or `tero.pool.parallel_for_failures{chunk=3}`.
+/// Use labeled() to build labeled names consistently.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// First registration fixes the bounds; later calls with the same name
+  /// return the existing histogram regardless of `bounds`.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> bounds = {});
+
+  [[nodiscard]] static std::string labeled(
+      std::string_view name,
+      std::initializer_list<std::pair<std::string_view, std::string_view>>
+          labels);
+
+  /// One JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, sum, mean, quantiles, buckets}}}.
+  void write_json(std::ostream& os) const;
+
+  /// Human-readable dump through util::Table (one row per metric).
+  void write_table(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// RAII wall-time probe: observes the elapsed milliseconds into `histogram`
+/// on destruction. A null histogram makes both ends a single branch.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) noexcept
+      : histogram_(histogram) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (histogram_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->observe(
+        std::chrono::duration<double, std::milli>(elapsed).count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tero::obs

@@ -1,0 +1,67 @@
+#include "obs/trace.hpp"
+
+#include <ostream>
+
+#include "obs/json.hpp"
+
+namespace tero::obs {
+
+TraceRecorder::TraceRecorder() : origin_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t TraceRecorder::now_us() const {
+  const auto elapsed = std::chrono::steady_clock::now() - origin_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+}
+
+int TraceRecorder::tid_for_current_thread() {
+  const auto id = std::this_thread::get_id();
+  const auto it = thread_ids_.find(id);
+  if (it != thread_ids_.end()) return it->second;
+  const int tid = static_cast<int>(thread_ids_.size());
+  thread_ids_.emplace(id, tid);
+  return tid;
+}
+
+void TraceRecorder::add_span(std::string_view name, std::string_view category,
+                             std::uint64_t start_us,
+                             std::uint64_t duration_us) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(Event{std::string(name), std::string(category), 'X',
+                          start_us, duration_us, tid_for_current_thread()});
+}
+
+void TraceRecorder::add_instant(std::string_view name,
+                                std::string_view category) {
+  const std::uint64_t now = now_us();
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(Event{std::string(name), std::string(category), 'i', now,
+                          0, tid_for_current_thread()});
+}
+
+std::size_t TraceRecorder::span_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+void TraceRecorder::write_json(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "[";
+  bool first = true;
+  for (const auto& event : events_) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "  {\"name\": \"" << json_escape(event.name) << "\", \"cat\": \""
+       << json_escape(event.category) << "\", \"ph\": \"" << event.phase
+       << "\", \"ts\": " << event.start_us;
+    if (event.phase == 'X') {
+      os << ", \"dur\": " << event.duration_us;
+    } else {
+      os << ", \"s\": \"t\"";  // instant scope: thread
+    }
+    os << ", \"pid\": 0, \"tid\": " << event.tid << '}';
+  }
+  os << (first ? "]" : "\n]") << '\n';
+}
+
+}  // namespace tero::obs

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace tero::obs {
+
+/// Span-based tracing that emits the Chrome trace-event JSON array format —
+/// load the file at https://ui.perfetto.dev (or chrome://tracing) to see the
+/// pipeline stages and their nested per-task spans on a per-thread timeline.
+///
+/// Spans are recorded as complete ("ph": "X") events with microsecond
+/// timestamps relative to the recorder's construction. Thread ids are mapped
+/// to small stable integers in first-seen order, so traces from repeated
+/// runs diff cleanly. Thread-safe; like the metrics registry, the recorder
+/// is observational only and never consulted by the pipeline.
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Microseconds since the recorder was constructed.
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// Record one complete span on the calling thread's track.
+  void add_span(std::string_view name, std::string_view category,
+                std::uint64_t start_us, std::uint64_t duration_us);
+
+  /// Instantaneous event ("ph": "i") — crash markers, alerts.
+  void add_instant(std::string_view name, std::string_view category);
+
+  [[nodiscard]] std::size_t span_count() const;
+
+  /// JSON array of trace events (the format Perfetto auto-detects).
+  void write_json(std::ostream& os) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    char phase;  ///< 'X' complete, 'i' instant
+    std::uint64_t start_us;
+    std::uint64_t duration_us;
+    int tid;
+  };
+
+  int tid_for_current_thread();  ///< callers must hold mutex_
+
+  std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mutex_;
+  std::vector<Event> events_;
+  std::map<std::thread::id, int> thread_ids_;
+};
+
+/// RAII span: records [construction, destruction) into the recorder. A null
+/// recorder makes both ends a single branch — the hot-path off switch.
+class ScopedSpan {
+ public:
+  ScopedSpan(TraceRecorder* recorder, std::string_view name,
+             std::string_view category = "pipeline")
+      : recorder_(recorder) {
+    if (recorder_ == nullptr) return;
+    name_ = name;  // copied: the span may outlive a temporary name
+    category_ = category;
+    start_us_ = recorder_->now_us();
+  }
+  ~ScopedSpan() {
+    if (recorder_ == nullptr) return;
+    recorder_->add_span(name_, category_, start_us_,
+                        recorder_->now_us() - start_us_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  std::string name_;
+  std::string category_;
+  std::uint64_t start_us_ = 0;
+};
+
+}  // namespace tero::obs

@@ -67,8 +67,9 @@ std::vector<std::string> csv_split(const std::string& line) {
 
 }  // namespace
 
-ExportStats export_measurements(const Dataset& dataset, std::ostream& os) {
-  ExportStats stats;
+std::size_t export_measurements(const Dataset& dataset, std::ostream& os,
+                                obs::MetricsRegistry* metrics) {
+  std::size_t rows = 0;
   os << "pseudonym,game,city,region,country,time_s,latency_ms\n";
   for (const auto& entry : dataset.entries) {
     for (const auto& stream : entry.clean.retained) {
@@ -78,15 +79,19 @@ ExportStats export_measurements(const Dataset& dataset, std::ostream& os) {
            << csv_escape(entry.location.region) << ','
            << csv_escape(entry.location.country) << ',' << point.time_s
            << ',' << point.latency_ms << '\n';
-        ++stats.measurement_rows;
+        ++rows;
       }
     }
   }
-  return stats;
+  if (metrics != nullptr) {
+    metrics->counter("tero.funnel.exported_measurements").add(rows);
+  }
+  return rows;
 }
 
-ExportStats export_aggregates(const Dataset& dataset, std::ostream& os) {
-  ExportStats stats;
+std::size_t export_aggregates(const Dataset& dataset, std::ostream& os,
+                              obs::MetricsRegistry* metrics) {
+  std::size_t rows = 0;
   os << "city,region,country,game,streamers,p5,p25,p50,p75,p95,"
         "server_city,corrected_km\n";
   for (const auto& aggregate : dataset.aggregates) {
@@ -99,9 +104,12 @@ ExportStats export_aggregates(const Dataset& dataset, std::ostream& os) {
        << box.p5 << ',' << box.p25 << ',' << box.p50 << ',' << box.p75
        << ',' << box.p95 << ',' << csv_escape(aggregate.server_city) << ','
        << aggregate.avg_corrected_distance_km << '\n';
-    ++stats.aggregate_rows;
+    ++rows;
   }
-  return stats;
+  if (metrics != nullptr) {
+    metrics->counter("tero.funnel.exported_aggregates").add(rows);
+  }
+  return rows;
 }
 
 std::vector<analysis::Stream> import_measurements(std::istream& is) {

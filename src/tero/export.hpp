@@ -16,16 +16,22 @@ namespace tero::core {
 /// measurements.csv: pseudonym,game,city,region,country,time_s,latency_ms
 /// aggregates.csv:   city,region,country,game,streamers,p5,p25,p50,p75,p95,
 ///                   server_city,corrected_km
-struct ExportStats {
-  std::size_t measurement_rows = 0;
-  std::size_t aggregate_rows = 0;
-};
+///
+/// Row accounting is folded into the pipeline's funnel (tero/funnel.hpp):
+/// the measurement rows written are exactly the funnel's `retained` stage,
+/// and with a registry attached the exporters bump
+/// tero.funnel.exported_measurements / .exported_aggregates, so runtime and
+/// export metrics share one source of truth and cannot drift apart.
 
-/// Write the retained (cleaned) measurements of every entry.
-ExportStats export_measurements(const Dataset& dataset, std::ostream& os);
+/// Write the retained (cleaned) measurements of every entry. Returns rows
+/// written (== dataset.funnel.retained).
+std::size_t export_measurements(const Dataset& dataset, std::ostream& os,
+                                obs::MetricsRegistry* metrics = nullptr);
 
-/// Write one row per {location, game} aggregate with a boxplot.
-ExportStats export_aggregates(const Dataset& dataset, std::ostream& os);
+/// Write one row per {location, game} aggregate with a boxplot. Returns
+/// rows written.
+std::size_t export_aggregates(const Dataset& dataset, std::ostream& os,
+                              obs::MetricsRegistry* metrics = nullptr);
 
 /// Parse a measurements.csv back into per-{pseudonym, game} streams —
 /// what a data-set user would do before running their own analysis.

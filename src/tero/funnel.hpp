@@ -1,0 +1,40 @@
+#pragma once
+
+#include <cstddef>
+
+#include "obs/metrics.hpp"
+
+namespace tero::core {
+
+/// Stage funnel: how many measurements survive each pipeline stage, with
+/// Fig. 7 / Table 4 semantics. One struct shared by the runtime Dataset,
+/// the metrics registry, and the exporters, so the three accountings cannot
+/// drift apart (ExportStats used to be a separate, independently-counted
+/// struct).
+///
+///   thumbnails --(latency on screen, §3.2)--> visible
+///   visible ----(OCR extracted, Table 4)----> ocr_ok
+///   ocr_ok -----(QoE cleaning, §3.3)--------> retained
+///   retained ---(MaxSpikes + aggregation)---> clustered
+struct Funnel {
+  std::size_t streamers_total = 0;
+  std::size_t streamers_located = 0;
+  std::size_t thumbnails = 0;  ///< thumbnails rendered/downloaded
+  std::size_t visible = 0;     ///< latency number visible on screen
+  std::size_t ocr_ok = 0;      ///< measurement extracted by the OCR channel
+  std::size_t retained = 0;    ///< survived per-streamer cleaning
+  std::size_t clustered = 0;   ///< landed in a {location, game} distribution
+
+  /// Bump the registry's tero.funnel.* counters by this funnel's values.
+  void record(obs::MetricsRegistry& registry) const {
+    registry.counter("tero.funnel.streamers_total").add(streamers_total);
+    registry.counter("tero.funnel.streamers_located").add(streamers_located);
+    registry.counter("tero.funnel.thumbnails").add(thumbnails);
+    registry.counter("tero.funnel.visible").add(visible);
+    registry.counter("tero.funnel.ocr_ok").add(ocr_ok);
+    registry.counter("tero.funnel.retained").add(retained);
+    registry.counter("tero.funnel.clustered").add(clustered);
+  }
+};
+
+}  // namespace tero::core

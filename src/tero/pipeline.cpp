@@ -5,6 +5,9 @@
 
 #include "analysis/outlier_rejection.hpp"
 #include "nlp/combine.hpp"
+#include "obs/metrics.hpp"
+#include "obs/runtime_metrics.hpp"
+#include "obs/trace.hpp"
 #include "store/consistent_hash.hpp"
 #include "util/strings.hpp"
 
@@ -42,6 +45,20 @@ namespace {
 /// count.
 constexpr std::uint64_t kExtractionSalt = 0x7e20cafe0001ULL;
 
+/// Resolve a stage's wall-time histogram; null when observability is off,
+/// so every ScopedTimer downstream is a single branch.
+obs::Histogram* stage_histogram(obs::MetricsRegistry* metrics,
+                                const char* stage) {
+  if (metrics == nullptr) return nullptr;
+  return &metrics->histogram(std::string("tero.stage.") + stage + ".ms");
+}
+
+obs::Histogram* task_histogram(obs::MetricsRegistry* metrics,
+                               const char* stage) {
+  if (metrics == nullptr) return nullptr;
+  return &metrics->histogram(std::string("tero.task.") + stage + ".ms");
+}
+
 }  // namespace
 
 Pipeline::Pipeline(TeroConfig config) : config_(std::move(config)) {
@@ -55,6 +72,11 @@ Pipeline::Pipeline(TeroConfig config) : config_(std::move(config)) {
 
 Dataset Pipeline::run(const synth::World& world,
                       std::span<const synth::TrueStream> streams) {
+  obs::MetricsRegistry* const metrics = config_.metrics;
+  obs::TraceRecorder* const trace = config_.trace;
+  const obs::ScopedSpan run_span(trace, "pipeline.run");
+  const obs::ScopedTimer run_timer(stage_histogram(metrics, "run"));
+
   Dataset dataset;
   const store::Pseudonymizer pseudonymizer(config_.seed ^ 0x7e40deadbeefULL);
 
@@ -63,25 +85,31 @@ Dataset Pipeline::run(const synth::World& world,
   std::vector<std::optional<geo::Location>> located(world.streamers().size());
   std::vector<social::LocationSource> sources(
       world.streamers().size(), social::LocationSource::kNone);
-  dataset.streamers_total = world.streamers().size();
-  for (std::size_t i = 0; i < world.streamers().size(); ++i) {
-    const auto result = locator.locate(world.streamers()[i].twitch);
-    located[i] = result.location;
-    sources[i] = result.source;
-    if (result.located()) ++dataset.streamers_located;
-  }
-
-  // ---- §3.1.1: multiple locations per streamer --------------------------------
-  // A relocated streamer advertises the new location; Tero re-geoparses the
-  // updated profile and keeps each {streamer, location} tuple as a distinct
-  // end-point. Epoch 0 = before the move, epoch 1 = after.
   std::vector<std::optional<geo::Location>> located_after(
       world.streamers().size());
-  for (std::size_t i = 0; i < world.streamers().size(); ++i) {
-    const auto& streamer = world.streamers()[i];
-    if (!streamer.relocation.has_value() || !located[i].has_value()) continue;
-    located_after[i] = nlp::combine_twitter_location(
-        streamer.relocation->new_twitter_location, locator.tools());
+  {
+    const obs::ScopedSpan stage_span(trace, "stage.location", "stage");
+    const obs::ScopedTimer stage_timer(stage_histogram(metrics, "location"));
+    dataset.funnel.streamers_total = world.streamers().size();
+    for (std::size_t i = 0; i < world.streamers().size(); ++i) {
+      const auto result = locator.locate(world.streamers()[i].twitch);
+      located[i] = result.location;
+      sources[i] = result.source;
+      if (result.located()) ++dataset.funnel.streamers_located;
+    }
+
+    // ---- §3.1.1: multiple locations per streamer ----------------------------
+    // A relocated streamer advertises the new location; Tero re-geoparses the
+    // updated profile and keeps each {streamer, location} tuple as a distinct
+    // end-point. Epoch 0 = before the move, epoch 1 = after.
+    for (std::size_t i = 0; i < world.streamers().size(); ++i) {
+      const auto& streamer = world.streamers()[i];
+      if (!streamer.relocation.has_value() || !located[i].has_value()) {
+        continue;
+      }
+      located_after[i] = nlp::combine_twitter_location(
+          streamer.relocation->new_twitter_location, locator.tools());
+    }
   }
   auto epoch_of = [&](const synth::TrueStream& stream) {
     const auto& streamer = world.streamers()[stream.streamer_index];
@@ -102,31 +130,43 @@ Dataset Pipeline::run(const synth::World& world,
   struct ExtractedStream {
     analysis::Stream stream;
     std::size_t thumbnails = 0;
+    std::size_t visible = 0;
     std::size_t extracted = 0;
   };
   const std::uint64_t extraction_seed =
       util::mix_seed(config_.seed, kExtractionSalt);
   const ExtractionChannel& channel = *channel_;
-  auto extracted = util::parallel_map(
-      pool_.get(), streams.size(), 1, [&](std::size_t i) {
-        ExtractedStream out;
-        const auto& true_stream = streams[i];
-        if (!located[true_stream.streamer_index].has_value()) return out;
-        util::Rng task_rng = util::Rng::indexed(extraction_seed, i);
-        const auto& spec = ocr::ui_spec_for(true_stream.game);
-        out.stream.streamer = pseudonymizer.pseudonym(
-            world.streamers()[true_stream.streamer_index].id);
-        out.stream.game = true_stream.game;
-        for (const auto& point : true_stream.points) {
-          ++out.thumbnails;
-          if (!task_rng.bernoulli(config_.p_latency_visible)) continue;
-          if (auto measurement = channel.extract(point, spec, task_rng)) {
-            out.stream.points.push_back(*measurement);
-            ++out.extracted;
+  obs::Histogram* const extraction_task_ms =
+      task_histogram(metrics, "extraction");
+  std::vector<ExtractedStream> extracted;
+  {
+    const obs::ScopedSpan stage_span(trace, "stage.extraction", "stage");
+    const obs::ScopedTimer stage_timer(
+        stage_histogram(metrics, "extraction"));
+    extracted = util::parallel_map(
+        pool_.get(), streams.size(), 1, [&](std::size_t i) {
+          const obs::ScopedSpan task_span(trace, "extraction.task", "task");
+          const obs::ScopedTimer task_timer(extraction_task_ms);
+          ExtractedStream out;
+          const auto& true_stream = streams[i];
+          if (!located[true_stream.streamer_index].has_value()) return out;
+          util::Rng task_rng = util::Rng::indexed(extraction_seed, i);
+          const auto& spec = ocr::ui_spec_for(true_stream.game);
+          out.stream.streamer = pseudonymizer.pseudonym(
+              world.streamers()[true_stream.streamer_index].id);
+          out.stream.game = true_stream.game;
+          for (const auto& point : true_stream.points) {
+            ++out.thumbnails;
+            if (!task_rng.bernoulli(config_.p_latency_visible)) continue;
+            ++out.visible;
+            if (auto measurement = channel.extract(point, spec, task_rng)) {
+              out.stream.points.push_back(*measurement);
+              ++out.extracted;
+            }
           }
-        }
-        return out;
-      });
+          return out;
+        });
+  }
 
   // One analysis::Stream per ground-truth stream, grouped by
   // {streamer, game, location-epoch} in stream order.
@@ -134,8 +174,9 @@ Dataset Pipeline::run(const synth::World& world,
            std::vector<analysis::Stream>>
       grouped;
   for (std::size_t i = 0; i < streams.size(); ++i) {
-    dataset.thumbnails += extracted[i].thumbnails;
-    dataset.measurements_extracted += extracted[i].extracted;
+    dataset.funnel.thumbnails += extracted[i].thumbnails;
+    dataset.funnel.visible += extracted[i].visible;
+    dataset.funnel.ocr_ok += extracted[i].extracted;
     if (extracted[i].stream.points.empty()) continue;
     grouped[{streams[i].streamer_index, streams[i].game,
              epoch_of(streams[i])}]
@@ -153,51 +194,76 @@ Dataset Pipeline::run(const synth::World& world,
   for (auto it = grouped.begin(); it != grouped.end(); ++it) {
     group_iters.push_back(it);
   }
-  auto analyzed = util::parallel_map(
-      pool_.get(), group_iters.size(), 1,
-      [&](std::size_t i) -> std::optional<StreamerGameEntry> {
-        const auto& [key, streamer_streams] = *group_iters[i];
-        const auto& [streamer_index, game, epoch] = key;
-        const auto& streamer = world.streamers()[streamer_index];
-        StreamerGameEntry entry;
-        entry.pseudonym = pseudonymizer.pseudonym(streamer.id);
-        entry.game = game;
-        if (epoch == 1) {
-          entry.location = *located_after[streamer_index];
-          entry.true_location = streamer.relocation->new_location;
-        } else {
-          entry.location = *located[streamer_index];
-          entry.true_location = streamer.home_location;
-        }
-        entry.location_source = sources[streamer_index];
-        entry.clean = analysis::clean_streamer_game(
-            std::move(group_iters[i]->second), config_.analysis);
-        if (entry.clean.discarded_entirely) return std::nullopt;
-        entry.clusters =
-            analysis::cluster_streamer(entry.clean, config_.analysis);
-        entry.is_static =
-            analysis::is_static_streamer(entry.clusters, config_.analysis);
-        entry.high_quality =
-            entry.clean.spike_fraction() <= config_.analysis.max_spikes;
-        return entry;
-      });
+  obs::Histogram* const analysis_task_ms = task_histogram(metrics, "analysis");
+  std::vector<std::optional<StreamerGameEntry>> analyzed;
+  {
+    const obs::ScopedSpan stage_span(trace, "stage.analysis", "stage");
+    const obs::ScopedTimer stage_timer(stage_histogram(metrics, "analysis"));
+    analyzed = util::parallel_map(
+        pool_.get(), group_iters.size(), 1,
+        [&](std::size_t i) -> std::optional<StreamerGameEntry> {
+          const obs::ScopedSpan task_span(trace, "analysis.task", "task");
+          const obs::ScopedTimer task_timer(analysis_task_ms);
+          const auto& [key, streamer_streams] = *group_iters[i];
+          const auto& [streamer_index, game, epoch] = key;
+          const auto& streamer = world.streamers()[streamer_index];
+          StreamerGameEntry entry;
+          entry.pseudonym = pseudonymizer.pseudonym(streamer.id);
+          entry.game = game;
+          if (epoch == 1) {
+            entry.location = *located_after[streamer_index];
+            entry.true_location = streamer.relocation->new_location;
+          } else {
+            entry.location = *located[streamer_index];
+            entry.true_location = streamer.home_location;
+          }
+          entry.location_source = sources[streamer_index];
+          entry.clean = analysis::clean_streamer_game(
+              std::move(group_iters[i]->second), config_.analysis);
+          if (entry.clean.discarded_entirely) return std::nullopt;
+          entry.clusters =
+              analysis::cluster_streamer(entry.clean, config_.analysis);
+          entry.is_static =
+              analysis::is_static_streamer(entry.clusters, config_.analysis);
+          entry.high_quality =
+              entry.clean.spike_fraction() <= config_.analysis.max_spikes;
+          return entry;
+        });
+  }
   for (auto& entry : analyzed) {
     if (!entry.has_value()) continue;
-    dataset.measurements_retained += entry->clean.points_retained;
+    dataset.funnel.retained += entry->clean.points_retained;
     dataset.entries.push_back(std::move(*entry));
   }
 
   dataset.aggregates = aggregate_entries(dataset.entries, config_.analysis,
                                          config_.aggregate_granularity,
                                          config_.reject_location_outliers,
-                                         pool_.get());
+                                         pool_.get(), metrics, trace);
+  for (const auto& aggregate : dataset.aggregates) {
+    dataset.funnel.clustered += aggregate.distribution.size();
+  }
+
+  if (metrics != nullptr) {
+    dataset.funnel.record(*metrics);
+    // Pool counters accumulate for the pool's lifetime; export this run's
+    // delta. A serial pipeline (no pool) still exports the zero-valued
+    // counters so sinks always contain the full key set.
+    obs::record_pool_stats(
+        pool_ != nullptr ? pool_->stats() : util::ThreadPool::Stats{},
+        *metrics, "tero.pool", &pool_stats_baseline_);
+  }
   return dataset;
 }
 
 std::vector<LocationGameAggregate> aggregate_entries(
     std::vector<StreamerGameEntry>& entries,
     const analysis::AnalysisConfig& config, geo::Granularity granularity,
-    bool reject_location_outliers, util::ThreadPool* pool) {
+    bool reject_location_outliers, util::ThreadPool* pool,
+    obs::MetricsRegistry* metrics, obs::TraceRecorder* trace) {
+  const obs::ScopedSpan stage_span(trace, "stage.aggregation", "stage");
+  const obs::ScopedTimer stage_timer(stage_histogram(metrics, "aggregation"));
+
   // Group entry indices by {truncated location, game}.
   std::map<std::pair<std::string, std::string>, std::vector<std::size_t>>
       groups;
@@ -226,7 +292,11 @@ std::vector<LocationGameAggregate> aggregate_entries(
   group_ptrs.reserve(groups.size());
   for (const auto& group : groups) group_ptrs.push_back(&group);
 
+  obs::Histogram* const aggregation_task_ms =
+      task_histogram(metrics, "aggregation");
   return util::parallel_map(pool, group_ptrs.size(), 1, [&](std::size_t g) {
+    const obs::ScopedSpan task_span(trace, "aggregation.task", "task");
+    const obs::ScopedTimer task_timer(aggregation_task_ms);
     const auto& [key, indices] = *group_ptrs[g];
     LocationGameAggregate aggregate;
     aggregate.location = keys.at(key);

@@ -18,7 +18,13 @@
 #include "synth/sessions.hpp"
 #include "synth/world.hpp"
 #include "tero/channel.hpp"
+#include "tero/funnel.hpp"
 #include "util/thread_pool.hpp"
+
+namespace tero::obs {
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace tero::obs
 
 namespace tero::core {
 
@@ -46,6 +52,12 @@ struct TeroConfig {
   /// results land in slots indexed by task id (see DESIGN.md, "Concurrency
   /// model").
   std::size_t threads = 0;
+  /// Optional observability sinks (not owned; may be null — the default).
+  /// Observational only: the pipeline writes stage timings, per-task latency
+  /// histograms, funnel counters, and trace spans, but never reads them, so
+  /// output stays bit-identical with or without sinks (DESIGN.md §8).
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
 
 /// Everything Tero derived for one {streamer, game} pair.
@@ -85,12 +97,9 @@ struct Dataset {
   std::vector<StreamerGameEntry> entries;
   std::vector<LocationGameAggregate> aggregates;
 
-  // Volume counters (§5.1-style accounting).
-  std::size_t streamers_total = 0;
-  std::size_t streamers_located = 0;
-  std::size_t thumbnails = 0;
-  std::size_t measurements_extracted = 0;
-  std::size_t measurements_retained = 0;
+  /// Volume counters (§5.1-style accounting): thumbnails -> visible ->
+  /// ocr_ok -> retained -> clustered, plus streamer totals.
+  Funnel funnel;
 
   [[nodiscard]] const LocationGameAggregate* find_aggregate(
       const geo::Location& location, std::string_view game) const;
@@ -111,17 +120,23 @@ class Pipeline {
   TeroConfig config_;
   std::unique_ptr<ExtractionChannel> channel_;
   std::unique_ptr<util::ThreadPool> pool_;  ///< null when threads resolve to 1
+  /// Snapshot at the end of the previous run(), so repeated runs export
+  /// per-run deltas of the pool's cumulative counters.
+  util::ThreadPool::Stats pool_stats_baseline_;
 };
 
 /// Re-aggregate entries at a different granularity (e.g. country for
 /// Fig. 9/11, region for Fig. 10) without re-running extraction. A non-null
 /// pool parallelizes the per-{location, game} group computation; the result
-/// is identical either way.
+/// is identical either way. Optional observability sinks record per-task
+/// latency and spans (observational only, like TeroConfig::metrics).
 [[nodiscard]] std::vector<LocationGameAggregate> aggregate_entries(
     std::vector<StreamerGameEntry>& entries,
     const analysis::AnalysisConfig& config, geo::Granularity granularity,
     bool reject_location_outliers = false,
-    util::ThreadPool* pool = nullptr);
+    util::ThreadPool* pool = nullptr,
+    obs::MetricsRegistry* metrics = nullptr,
+    obs::TraceRecorder* trace = nullptr);
 
 /// Truncate a location tuple to a granularity.
 [[nodiscard]] geo::Location truncate_location(const geo::Location& location,

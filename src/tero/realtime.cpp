@@ -2,10 +2,30 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace tero::core {
 
+namespace {
+/// Second-scale buckets for the spike-finalization lag (the config default
+/// is 3600 s, so the interesting range is minutes to hours).
+std::vector<double> finalize_lag_buckets() {
+  return {60.0,    300.0,   900.0,   1800.0,  3600.0,
+          7200.0,  14400.0, 43200.0, 86400.0};
+}
+}  // namespace
+
 RealtimeAnalyzer::RealtimeAnalyzer(Config config)
-    : config_(std::move(config)) {}
+    : config_(std::move(config)) {
+  if (config_.metrics != nullptr) {
+    c_measurements_ = &config_.metrics->counter("tero.realtime.measurements");
+    c_spike_alerts_ = &config_.metrics->counter("tero.realtime.spike_alerts");
+    c_shared_alerts_ =
+        &config_.metrics->counter("tero.realtime.shared_alerts");
+    h_finalize_lag_ = &config_.metrics->histogram(
+        "tero.realtime.finalize_lag_s", finalize_lag_buckets());
+  }
+}
 
 void RealtimeAnalyzer::register_streamer(const std::string& pseudonym,
                                          const geo::Location& location) {
@@ -35,6 +55,7 @@ RealtimeAnalyzer::Output RealtimeAnalyzer::ingest(
     const analysis::Measurement& measurement) {
   Output output;
   ++ingested_;
+  if (c_measurements_ != nullptr) c_measurements_->add();
 
   const auto location_it = locations_.find(pseudonym);
   const geo::Location location = location_it != locations_.end()
@@ -65,6 +86,8 @@ RealtimeAnalyzer::Output RealtimeAnalyzer::ingest(
     if (spike.end_s <= state.last_emitted_spike_end) continue;  // emitted
     state.last_emitted_spike_end = spike.end_s;
     ++spikes_emitted_;
+    if (c_spike_alerts_ != nullptr) c_spike_alerts_->add();
+    if (h_finalize_lag_ != nullptr) h_finalize_lag_->observe(now - spike.end_s);
     output.spikes.push_back(SpikeAlert{pseudonym, game, spike});
     activity.spikes.push_back(spike);
 
@@ -75,6 +98,7 @@ RealtimeAnalyzer::Output RealtimeAnalyzer::ingest(
     for (const auto& anomaly : shared.anomalies) {
       if (anomaly.end_s <= aggregate.last_shared_alert_end) continue;
       aggregate.last_shared_alert_end = anomaly.end_s;
+      if (c_shared_alerts_ != nullptr) c_shared_alerts_->add();
       output.shared.push_back(SharedAlert{location, game, anomaly});
     }
   }

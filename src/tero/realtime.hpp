@@ -9,6 +9,12 @@
 #include "analysis/shared.hpp"
 #include "geo/geo.hpp"
 
+namespace tero::obs {
+class Counter;
+class Histogram;
+class MetricsRegistry;
+}  // namespace tero::obs
+
 namespace tero::core {
 
 /// Streaming counterpart of the batch pipeline: Tero's deployment
@@ -28,6 +34,11 @@ class RealtimeAnalyzer {
     /// Per-streamer context kept for re-analysis (older points graduate
     /// into the distributions and are dropped from the working buffer).
     std::size_t buffer_points = 48;
+    /// Optional observability sink (not owned; may be null). Counters:
+    /// tero.realtime.{measurements,spike_alerts,shared_alerts}; histogram
+    /// tero.realtime.finalize_lag_s observes (ingest time - spike end) at
+    /// each spike-alert emission. Observational only.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   struct SpikeAlert {
@@ -87,6 +98,11 @@ class RealtimeAnalyzer {
                                            const std::string& pseudonym);
 
   Config config_;
+  // Resolved once at construction; null when config_.metrics is null.
+  obs::Counter* c_measurements_ = nullptr;
+  obs::Counter* c_spike_alerts_ = nullptr;
+  obs::Counter* c_shared_alerts_ = nullptr;
+  obs::Histogram* h_finalize_lag_ = nullptr;
   std::map<std::pair<std::string, std::string>, StreamerState> streamers_;
   std::map<std::string, AggregateState> aggregates_;
   std::map<std::string, geo::Location> locations_;

@@ -49,9 +49,15 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::push_task(std::function<void()> task) {
   const std::size_t target =
       next_queue_.fetch_add(1, std::memory_order_relaxed) % workers_.size();
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(workers_[target]->mutex);
     workers_[target]->queue.push_back(std::move(task));
+    depth = workers_[target]->queue.size();
+  }
+  std::uint64_t seen = max_queue_depth_.load(std::memory_order_relaxed);
+  while (depth > seen && !max_queue_depth_.compare_exchange_weak(
+                             seen, depth, std::memory_order_relaxed)) {
   }
   {
     std::lock_guard<std::mutex> lock(park_mutex_);
@@ -63,9 +69,25 @@ void ThreadPool::push_task(std::function<void()> task) {
 void ThreadPool::submit(std::function<void()> task) {
   if (workers_.empty()) {
     task();
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   push_task(std::move(task));
+}
+
+ThreadPool::Stats ThreadPool::stats() const noexcept {
+  Stats stats;
+  stats.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  stats.steals = steals_.load(std::memory_order_relaxed);
+  stats.failed_steals = failed_steals_.load(std::memory_order_relaxed);
+  stats.parks = parks_.load(std::memory_order_relaxed);
+  stats.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+  stats.parallel_for_calls =
+      parallel_for_calls_.load(std::memory_order_relaxed);
+  stats.parallel_for_failures =
+      parallel_for_failures_.load(std::memory_order_relaxed);
+  stats.last_failed_chunk = last_failed_chunk_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 bool ThreadPool::try_pop_own(std::size_t self, std::function<void()>& task) {
@@ -89,8 +111,10 @@ bool ThreadPool::try_steal(std::size_t thief_hint,
     if (victim.queue.empty()) continue;
     task = std::move(victim.queue.front());
     victim.queue.pop_front();
+    steals_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
+  failed_steals_.fetch_add(1, std::memory_order_relaxed);
   return false;
 }
 
@@ -106,10 +130,14 @@ void ThreadPool::worker_loop(std::size_t self) {
     if (try_pop_own(self, task) ||
         try_steal(static_cast<std::size_t>(xorshift(steal_state)), task)) {
       task();
+      tasks_run_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     std::unique_lock<std::mutex> lock(park_mutex_);
     if (stop_) return;  // all queues were empty at the scan above: drained
+    if (work_epoch_ == epoch) {
+      parks_.fetch_add(1, std::memory_order_relaxed);  // will actually block
+    }
     park_cv_.wait(lock,
                   [&] { return stop_ || work_epoch_ != epoch; });
     if (stop_ && work_epoch_ == epoch) return;
@@ -120,11 +148,26 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               std::size_t grain,
                               const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
+  parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
   const std::size_t n = end - begin;
   const std::size_t chunk = std::max<std::size_t>(1, grain);
   const std::size_t num_chunks = (n + chunk - 1) / chunk;
   if (workers_.empty() || num_chunks == 1) {
-    for (std::size_t i = begin; i < end; ++i) fn(i);
+    // Inline fast path, chunk-wise so failure accounting matches the
+    // parallel path: a throw records which chunk failed, then propagates.
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t chunk_begin = begin + c * chunk;
+      const std::size_t chunk_end = std::min(end, chunk_begin + chunk);
+      try {
+        for (std::size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
+      } catch (...) {
+        parallel_for_failures_.fetch_add(1, std::memory_order_relaxed);
+        last_failed_chunk_.store(static_cast<std::int64_t>(c),
+                                 std::memory_order_relaxed);
+        throw;
+      }
+      tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    }
     return;
   }
 
@@ -136,11 +179,13 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     std::condition_variable done;
     std::size_t pending;
     std::exception_ptr error;
+    std::size_t error_chunk = 0;  ///< chunk whose fn() threw first
   };
   Batch batch;
   batch.pending = num_chunks;
 
-  auto run_chunk = [&batch, &fn](std::size_t chunk_begin,
+  auto run_chunk = [&batch, &fn](std::size_t chunk_index,
+                                 std::size_t chunk_begin,
                                  std::size_t chunk_end) {
     bool skip;
     {
@@ -152,7 +197,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
         for (std::size_t i = chunk_begin; i < chunk_end; ++i) fn(i);
       } catch (...) {
         std::lock_guard<std::mutex> lock(batch.mutex);
-        if (!batch.error) batch.error = std::current_exception();
+        if (!batch.error) {
+          batch.error = std::current_exception();
+          batch.error_chunk = chunk_index;
+        }
       }
     }
     std::lock_guard<std::mutex> lock(batch.mutex);
@@ -162,8 +210,8 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   for (std::size_t c = 0; c < num_chunks; ++c) {
     const std::size_t chunk_begin = begin + c * chunk;
     const std::size_t chunk_end = std::min(end, chunk_begin + chunk);
-    push_task([run_chunk, chunk_begin, chunk_end] {
-      run_chunk(chunk_begin, chunk_end);
+    push_task([run_chunk, c, chunk_begin, chunk_end] {
+      run_chunk(c, chunk_begin, chunk_end);
     });
   }
 
@@ -180,6 +228,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     std::function<void()> task;
     if (try_steal(static_cast<std::size_t>(xorshift(steal_state)), task)) {
       task();
+      tasks_run_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     std::unique_lock<std::mutex> lock(batch.mutex);
@@ -187,7 +236,12 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     break;
   }
 
-  if (batch.error) std::rethrow_exception(batch.error);
+  if (batch.error) {
+    parallel_for_failures_.fetch_add(1, std::memory_order_relaxed);
+    last_failed_chunk_.store(static_cast<std::int64_t>(batch.error_chunk),
+                             std::memory_order_relaxed);
+    std::rethrow_exception(batch.error);
+  }
 }
 
 void parallel_for(ThreadPool* pool, std::size_t n, std::size_t grain,

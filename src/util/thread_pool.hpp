@@ -46,6 +46,26 @@ class ThreadPool {
   /// Total parallelism (background workers + the calling thread).
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
+  /// Observational scheduling statistics, accumulated since construction
+  /// with relaxed atomics (never consulted by the pool itself — scheduling
+  /// stays oblivious to them, preserving the determinism contract). Exported
+  /// into an obs::MetricsRegistry by obs::record_pool_stats().
+  struct Stats {
+    std::uint64_t tasks_run = 0;      ///< tasks executed (any thread)
+    std::uint64_t steals = 0;         ///< successful victim-queue pops
+    std::uint64_t failed_steals = 0;  ///< full victim scans that found nothing
+    std::uint64_t parks = 0;          ///< times a worker blocked on the CV
+    std::uint64_t max_queue_depth = 0;  ///< high-water mark of any one deque
+    std::uint64_t parallel_for_calls = 0;
+    std::uint64_t parallel_for_failures = 0;  ///< calls that rethrew
+    /// Chunk index whose fn() threw in the most recent failing
+    /// parallel_for, -1 if none ever failed. Chunks are numbered from 0 in
+    /// range order, so callers can map it back to [begin + chunk * grain,
+    /// ...) and surface it as a metric label.
+    std::int64_t last_failed_chunk = -1;
+  };
+  [[nodiscard]] Stats stats() const noexcept;
+
   /// Resolve a user-facing thread knob: 0 -> hardware_concurrency, else n.
   [[nodiscard]] static std::size_t resolve(std::size_t threads) noexcept;
 
@@ -83,6 +103,16 @@ class ThreadPool {
   std::uint64_t work_epoch_ = 0;  ///< guarded by park_mutex_
   bool stop_ = false;             ///< guarded by park_mutex_
   std::atomic<std::uint64_t> next_queue_{0};  ///< round-robin push cursor
+
+  // Scheduling statistics (see Stats). All relaxed: they order nothing.
+  std::atomic<std::uint64_t> tasks_run_{0};
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> failed_steals_{0};
+  std::atomic<std::uint64_t> parks_{0};
+  std::atomic<std::uint64_t> max_queue_depth_{0};
+  std::atomic<std::uint64_t> parallel_for_calls_{0};
+  std::atomic<std::uint64_t> parallel_for_failures_{0};
+  std::atomic<std::int64_t> last_failed_chunk_{-1};
 };
 
 /// parallel_for over an optional pool: a null pool (or a pool of size 1)

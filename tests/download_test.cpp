@@ -3,6 +3,8 @@
 #include "download/cdn.hpp"
 #include "download/rate_limiter.hpp"
 #include "download/system.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "stats/descriptive.hpp"
 
 namespace tero::download {
@@ -31,6 +33,17 @@ TEST(TokenBucket, BurstCapped) {
 TEST(TokenBucket, RejectsBadParams) {
   EXPECT_THROW(TokenBucket(0.0, 1.0), std::invalid_argument);
   EXPECT_THROW(TokenBucket(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(TokenBucket, CountsGrantsAndRejections) {
+  TokenBucket bucket(1.0, 2.0);
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_TRUE(bucket.try_acquire(0.0));
+  EXPECT_FALSE(bucket.try_acquire(0.0));
+  EXPECT_FALSE(bucket.try_acquire(0.1));
+  EXPECT_TRUE(bucket.try_acquire(1.1));
+  EXPECT_EQ(bucket.acquired(), 3u);
+  EXPECT_EQ(bucket.throttled(), 2u);
 }
 
 TEST(SimulatedCdn, GeneratesRoughlyEvery5Minutes) {
@@ -89,6 +102,8 @@ class DownloadSystemTest : public ::testing::Test {
     }
     DownloadConfig config;
     config.num_downloaders = downloaders;
+    config.metrics = &registry_;
+    config.trace = &trace_;
     system_ = std::make_unique<DownloadSystem>(loop_, *cdn_, kv_, config,
                                                util::Rng(8));
     system_->start();
@@ -100,6 +115,8 @@ class DownloadSystemTest : public ::testing::Test {
 
   util::EventLoop loop_;
   store::KvStore kv_;
+  tero::obs::MetricsRegistry registry_;
+  tero::obs::TraceRecorder trace_;
   std::unique_ptr<SimulatedCdn> cdn_;
   std::unique_ptr<DownloadSystem> system_;
 };
@@ -146,9 +163,27 @@ TEST_F(DownloadSystemTest, OfflineStreamersSignalled) {
   EXPECT_GE(system_->offline_signals(), 1u);
 }
 
+TEST_F(DownloadSystemTest, CountersTrackRequestsAndDownloads) {
+  run_world(10, 2 * 3600.0);
+  auto value = [&](const char* name) {
+    return registry_.counter(std::string("tero.download.") + name).value();
+  };
+  EXPECT_EQ(value("downloads"), system_->downloads().size());
+  EXPECT_GE(value("get_requests"), value("downloads"));
+  EXPECT_GE(value("head_requests"), value("downloads"));  // HEAD per fetch
+  EXPECT_GT(value("api_polls"), 0u);
+  EXPECT_GE(value("adoptions"), 10u);  // every streamer adopted at least once
+  EXPECT_EQ(value("crashes"), 0u);
+}
+
 TEST_F(DownloadSystemTest, CrashRecoveryKeepsDownloading) {
   run_world(10, 4 * 3600.0, 3, /*crash_midway=*/true);
   EXPECT_EQ(system_->crashes(), 1);
+  EXPECT_EQ(registry_.counter("tero.download.crashes").value(), 1u);
+  EXPECT_GE(registry_.counter("tero.download.recovered_streamers").value(),
+            1u);
+  // Crash + recovery leave instant markers on the trace.
+  EXPECT_GE(trace_.span_count(), 2u);
   // Downloads continue after the crash point.
   const double crash_time = 2 * 3600.0;
   bool post_crash = false;

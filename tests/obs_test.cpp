@@ -1,0 +1,240 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tero::obs {
+namespace {
+
+TEST(Json, ParsesScalarsAndNesting) {
+  const auto value = parse_json(
+      R"({"a": 1.5, "b": "x\ny", "c": [true, false, null], "d": {"e": -2e3}})");
+  ASSERT_TRUE(value.is_object());
+  EXPECT_EQ(value.at("a").number, 1.5);
+  EXPECT_EQ(value.at("b").string, "x\ny");
+  ASSERT_TRUE(value.at("c").is_array());
+  ASSERT_EQ(value.at("c").array.size(), 3u);
+  EXPECT_TRUE(value.at("c").array[0].boolean);
+  EXPECT_EQ(value.at("c").array[2].type, JsonValue::Type::kNull);
+  EXPECT_EQ(value.at("d").at("e").number, -2000.0);
+  EXPECT_FALSE(value.contains("missing"));
+  EXPECT_THROW(value.at("missing"), std::out_of_range);
+}
+
+TEST(Json, RejectsGarbage) {
+  EXPECT_THROW(parse_json(""), std::invalid_argument);
+  EXPECT_THROW(parse_json("{"), std::invalid_argument);
+  EXPECT_THROW(parse_json("{}trailing"), std::invalid_argument);
+  EXPECT_THROW(parse_json("[1,]"), std::invalid_argument);
+  EXPECT_THROW(parse_json("'single'"), std::invalid_argument);
+}
+
+TEST(Json, EscapeRoundTrips) {
+  const std::string nasty = "a\"b\\c\n\t\x01";
+  const auto parsed = parse_json("\"" + json_escape(nasty) + "\"");
+  EXPECT_EQ(parsed.string, nasty);
+}
+
+TEST(Counter, AddsAcrossThreads) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10'000; ++i) counter.add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), 40'000u);
+}
+
+TEST(Histogram, BucketsAreCumulativeLeStyle) {
+  Histogram histogram({1.0, 10.0, 100.0});
+  for (const double v : {0.5, 1.0, 5.0, 50.0, 500.0, 5000.0}) {
+    histogram.observe(v);
+  }
+  EXPECT_EQ(histogram.count(), 6u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 5556.5);
+  // Per-bucket (non-cumulative); the last entry is the +Inf overflow bucket.
+  const auto counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2u);      // 0.5, 1.0 (le is inclusive)
+  EXPECT_EQ(counts[1], 1u);      // 5.0
+  EXPECT_EQ(counts[2], 1u);      // 50.0
+  EXPECT_EQ(counts[3], 2u);      // 500.0, 5000.0
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(QuantileSketch, QuantilesWithinRelativeError) {
+  QuantileSketch sketch(0.01);
+  for (int i = 1; i <= 10'000; ++i) sketch.add(static_cast<double>(i));
+  EXPECT_EQ(sketch.count(), 10'000u);
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    const double exact = q * 10'000.0;
+    EXPECT_NEAR(sketch.quantile(q), exact, exact * 0.03) << "q=" << q;
+  }
+}
+
+TEST(QuantileSketch, MergeMatchesCombinedStream) {
+  QuantileSketch a(0.01);
+  QuantileSketch b(0.01);
+  QuantileSketch combined(0.01);
+  for (int i = 1; i <= 1000; ++i) {
+    const double low = i * 0.5;
+    const double high = 1000.0 + i;
+    a.add(low);
+    b.add(high);
+    combined.add(low);
+    combined.add(high);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  for (const double q : {0.25, 0.5, 0.75, 0.95}) {
+    // Same-alpha merge is exact: bucket counts add.
+    EXPECT_DOUBLE_EQ(a.quantile(q), combined.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(Registry, LabeledNamesAreStable) {
+  EXPECT_EQ(MetricsRegistry::labeled("tero.x", {{"a", "1"}, {"b", "two"}}),
+            "tero.x{a=1,b=two}");
+  EXPECT_EQ(MetricsRegistry::labeled("tero.y", {}), "tero.y");
+}
+
+TEST(Registry, ReturnsStableReferences) {
+  MetricsRegistry registry;
+  Counter& first = registry.counter("tero.test.events");
+  first.add(3);
+  Counter& again = registry.counter("tero.test.events");
+  EXPECT_EQ(&first, &again);
+  EXPECT_EQ(again.value(), 3u);
+  // First registration fixes histogram bounds.
+  Histogram& h1 = registry.histogram("tero.test.ms", {1.0, 2.0});
+  Histogram& h2 = registry.histogram("tero.test.ms", {99.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(Registry, JsonRoundTripsThroughParser) {
+  MetricsRegistry registry;
+  registry.counter("tero.funnel.thumbnails").add(120);
+  registry.gauge("tero.pool.max_queue_depth").set(7.0);
+  auto& histogram = registry.histogram("tero.stage.extraction.ms",
+                                       {1.0, 10.0, 100.0});
+  histogram.observe(2.0);
+  histogram.observe(20.0);
+  histogram.observe(200.0);
+
+  std::ostringstream out;
+  registry.write_json(out);
+  const auto parsed = parse_json(out.str());
+
+  EXPECT_EQ(parsed.at("counters").at("tero.funnel.thumbnails").number, 120.0);
+  EXPECT_EQ(parsed.at("gauges").at("tero.pool.max_queue_depth").number, 7.0);
+  const auto& h = parsed.at("histograms").at("tero.stage.extraction.ms");
+  EXPECT_EQ(h.at("count").number, 3.0);
+  EXPECT_DOUBLE_EQ(h.at("sum").number, 222.0);
+  EXPECT_DOUBLE_EQ(h.at("mean").number, 74.0);
+  EXPECT_TRUE(h.at("quantiles").contains("p50"));
+  const auto& buckets = h.at("buckets").array;
+  ASSERT_EQ(buckets.size(), 4u);
+  EXPECT_EQ(buckets[1].at("le").number, 10.0);
+  EXPECT_EQ(buckets[1].at("count").number, 1.0);
+  // The overflow bucket serializes its bound as the string "+Inf".
+  EXPECT_TRUE(buckets[3].at("le").is_string());
+  EXPECT_EQ(buckets[3].at("le").string, "+Inf");
+  EXPECT_EQ(buckets[3].at("count").number, 1.0);
+}
+
+TEST(Registry, TableListsEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("tero.a").add(1);
+  registry.gauge("tero.b").set(2.5);
+  registry.histogram("tero.c", {1.0}).observe(0.5);
+  std::ostringstream out;
+  registry.write_table(out);
+  const std::string table = out.str();
+  for (const char* name : {"tero.a", "tero.b", "tero.c"}) {
+    EXPECT_NE(table.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(ScopedTimerTest, ObservesElapsedOnceAndNullIsNoop) {
+  MetricsRegistry registry;
+  auto& histogram = registry.histogram("tero.test.ms");
+  {
+    ScopedTimer timer(&histogram);
+  }
+  EXPECT_EQ(histogram.count(), 1u);
+  {
+    ScopedTimer null_timer(nullptr);  // must not crash or observe anywhere
+  }
+  EXPECT_EQ(histogram.count(), 1u);
+}
+
+TEST(Trace, JsonRoundTripsWithNestedSpans) {
+  TraceRecorder recorder;
+  {
+    ScopedSpan outer(&recorder, "stage.extraction", "stage");
+    {
+      ScopedSpan inner(&recorder, "extraction.task", "task");
+    }
+  }
+  recorder.add_instant("download.crash", "download");
+  EXPECT_EQ(recorder.span_count(), 3u);
+
+  std::ostringstream out;
+  recorder.write_json(out);
+  const auto parsed = parse_json(out.str());
+  ASSERT_TRUE(parsed.is_array());
+  ASSERT_EQ(parsed.array.size(), 3u);
+
+  // Inner spans close first, so they serialize before their parent.
+  const auto& inner = parsed.array[0];
+  const auto& outer = parsed.array[1];
+  const auto& instant = parsed.array[2];
+  EXPECT_EQ(inner.at("name").string, "extraction.task");
+  EXPECT_EQ(inner.at("ph").string, "X");
+  EXPECT_EQ(outer.at("name").string, "stage.extraction");
+  EXPECT_EQ(outer.at("cat").string, "stage");
+  // Nesting: the outer span encloses the inner one on the same track.
+  EXPECT_EQ(inner.at("tid").number, outer.at("tid").number);
+  EXPECT_GE(inner.at("ts").number, outer.at("ts").number);
+  EXPECT_LE(inner.at("ts").number + inner.at("dur").number,
+            outer.at("ts").number + outer.at("dur").number);
+  EXPECT_EQ(instant.at("ph").string, "i");
+  EXPECT_EQ(instant.at("name").string, "download.crash");
+  EXPECT_FALSE(instant.contains("dur"));
+}
+
+TEST(Trace, NullRecorderScopedSpanIsNoop) {
+  ScopedSpan span(nullptr, "anything");
+  // Nothing to assert beyond "does not crash": the null recorder contract.
+}
+
+TEST(Trace, ThreadsGetSmallStableIds) {
+  TraceRecorder recorder;
+  recorder.add_span("main", "t", 0, 1);
+  std::thread other([&] { recorder.add_span("worker", "t", 2, 1); });
+  other.join();
+  std::ostringstream out;
+  recorder.write_json(out);
+  const auto parsed = parse_json(out.str());
+  ASSERT_EQ(parsed.array.size(), 2u);
+  EXPECT_EQ(parsed.array[0].at("tid").number, 0.0);
+  EXPECT_EQ(parsed.array[1].at("tid").number, 1.0);
+}
+
+}  // namespace
+}  // namespace tero::obs

@@ -2,6 +2,9 @@
 
 #include "tero/channel.hpp"
 #include "analysis/outlier_rejection.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tero/export.hpp"
 #include "tero/pipeline.hpp"
 #include "tero/realtime.hpp"
@@ -145,10 +148,10 @@ TEST_F(PipelineTest, EndToEndProducesAggregates) {
   Pipeline pipeline(fast_config());
   const Dataset dataset = pipeline.run(world, streams);
 
-  EXPECT_EQ(dataset.streamers_total, 60u);
-  EXPECT_GT(dataset.streamers_located, 50u);  // near-universally locatable
-  EXPECT_GT(dataset.measurements_extracted, 1000u);
-  EXPECT_GT(dataset.measurements_retained, 500u);
+  EXPECT_EQ(dataset.funnel.streamers_total, 60u);
+  EXPECT_GT(dataset.funnel.streamers_located, 50u);  // near-universal
+  EXPECT_GT(dataset.funnel.ocr_ok, 1000u);
+  EXPECT_GT(dataset.funnel.retained, 500u);
   EXPECT_FALSE(dataset.entries.empty());
   EXPECT_FALSE(dataset.aggregates.empty());
 
@@ -236,10 +239,10 @@ TEST(Pipeline, VisibilityGatesExtraction) {
   config.noise.miss_rate = 0.0;
   Pipeline pipeline(config);
   const Dataset dataset = pipeline.run(world, streams);
-  ASSERT_GT(dataset.thumbnails, 500u);
+  ASSERT_GT(dataset.funnel.thumbnails, 500u);
   const double extraction_rate =
-      static_cast<double>(dataset.measurements_extracted) /
-      static_cast<double>(dataset.thumbnails);
+      static_cast<double>(dataset.funnel.ocr_ok) /
+      static_cast<double>(dataset.funnel.thumbnails);
   EXPECT_NEAR(extraction_rate, 0.35, 0.05);
 }
 
@@ -314,8 +317,8 @@ Dataset tiny_dataset() {
 TEST(Export, MeasurementsRoundTrip) {
   const Dataset dataset = tiny_dataset();
   std::ostringstream out;
-  const auto stats = export_measurements(dataset, out);
-  EXPECT_EQ(stats.measurement_rows, 8u);
+  const auto rows = export_measurements(dataset, out);
+  EXPECT_EQ(rows, 8u);
   std::istringstream in(out.str());
   const auto streams = import_measurements(in);
   ASSERT_EQ(streams.size(), 1u);
@@ -340,8 +343,8 @@ TEST(Export, ImportSplitsStreamsAtGaps) {
 TEST(Export, AggregatesWriteBoxplots) {
   const Dataset dataset = tiny_dataset();
   std::ostringstream out;
-  const auto stats = export_aggregates(dataset, out);
-  EXPECT_EQ(stats.aggregate_rows, 1u);
+  const auto rows = export_aggregates(dataset, out);
+  EXPECT_EQ(rows, 1u);
   EXPECT_NE(out.str().find("Chicago"), std::string::npos);
   EXPECT_NE(out.str().find("Illinois"), std::string::npos);
 }
@@ -386,6 +389,36 @@ TEST(Realtime, EmitsSpikeAfterFinalizeLag) {
   EXPECT_EQ(spikes, 1u);
   EXPECT_EQ(analyzer.spikes_emitted(), 1u);
   EXPECT_EQ(analyzer.measurements_ingested(), series.size());
+}
+
+TEST(Realtime, MetricsCountAlertsAndFinalizeLag) {
+  obs::MetricsRegistry registry;
+  RealtimeAnalyzer::Config config;
+  config.finalize_lag_s = 1800.0;
+  config.metrics = &registry;
+  RealtimeAnalyzer analyzer(config);
+  const geo::Location loc{"", "Illinois", "United States"};
+  analyzer.register_streamer("u1", loc);
+  std::vector<int> series(8, 45);
+  series.push_back(120);
+  series.push_back(122);
+  for (int i = 0; i < 12; ++i) series.push_back(45);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    analysis::Measurement m;
+    m.time_s = static_cast<double>(i) * 300.0;
+    m.latency_ms = series[i];
+    analyzer.ingest("u1", "League of Legends", m);
+  }
+  EXPECT_EQ(registry.counter("tero.realtime.measurements").value(),
+            series.size());
+  EXPECT_EQ(registry.counter("tero.realtime.spike_alerts").value(), 1u);
+  // The spike's finalize lag landed in the histogram exactly once.
+  EXPECT_EQ(registry
+                .histogram("tero.realtime.finalize_lag_s",
+                           {60.0, 300.0, 900.0, 1800.0, 3600.0, 7200.0,
+                            14400.0, 43200.0, 86400.0})
+                .count(),
+            1u);
 }
 
 TEST(Realtime, NoDuplicateSpikeAlerts) {
@@ -569,11 +602,13 @@ void expect_same_clusters(const std::vector<analysis::LatencyCluster>& a,
 }
 
 void expect_same_dataset(const Dataset& a, const Dataset& b) {
-  EXPECT_EQ(a.streamers_total, b.streamers_total);
-  EXPECT_EQ(a.streamers_located, b.streamers_located);
-  EXPECT_EQ(a.thumbnails, b.thumbnails);
-  EXPECT_EQ(a.measurements_extracted, b.measurements_extracted);
-  EXPECT_EQ(a.measurements_retained, b.measurements_retained);
+  EXPECT_EQ(a.funnel.streamers_total, b.funnel.streamers_total);
+  EXPECT_EQ(a.funnel.streamers_located, b.funnel.streamers_located);
+  EXPECT_EQ(a.funnel.thumbnails, b.funnel.thumbnails);
+  EXPECT_EQ(a.funnel.visible, b.funnel.visible);
+  EXPECT_EQ(a.funnel.ocr_ok, b.funnel.ocr_ok);
+  EXPECT_EQ(a.funnel.retained, b.funnel.retained);
+  EXPECT_EQ(a.funnel.clustered, b.funnel.clustered);
 
   ASSERT_EQ(a.entries.size(), b.entries.size());
   for (std::size_t i = 0; i < a.entries.size(); ++i) {
@@ -669,6 +704,108 @@ TEST(Determinism, PipelineOutputIsBitIdenticalAcrossThreadCounts) {
   ASSERT_FALSE(serial.entries.empty());
   expect_same_dataset(serial, two);
   expect_same_dataset(serial, eight);
+}
+
+// The observability sinks are observational only (DESIGN.md §8): attaching a
+// registry and a trace recorder must not change a single bit of the output,
+// at any thread count.
+TEST(Determinism, MetricsAndTraceDoNotChangeOutput) {
+  synth::WorldConfig world_config;
+  world_config.seed = 78;
+  world_config.p_twitter = 1.0;
+  world_config.p_twitter_backlink = 1.0;
+  world_config.p_twitter_location = 1.0;
+  world_config.games = {"League of Legends"};
+  world_config.focus_locations = {
+      geo::Location{"", "Illinois", "United States"},
+      geo::Location{"", "", "Poland"},
+  };
+  world_config.streamers_per_focus = 20;
+  const synth::World world(world_config);
+  synth::BehaviorConfig behavior;
+  behavior.days = 4;
+  synth::SessionGenerator generator(world, behavior, 7);
+  const auto streams = generator.generate();
+  ASSERT_FALSE(streams.empty());
+
+  auto run = [&](std::size_t threads, obs::MetricsRegistry* metrics,
+                 obs::TraceRecorder* trace) {
+    TeroConfig config;
+    config.p_latency_visible = 1.0;
+    config.seed = 4242;
+    config.threads = threads;
+    config.metrics = metrics;
+    config.trace = trace;
+    Pipeline pipeline(config);
+    return pipeline.run(world, streams);
+  };
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    obs::MetricsRegistry registry;
+    obs::TraceRecorder recorder;
+    const Dataset plain = run(threads, nullptr, nullptr);
+    const Dataset observed = run(threads, &registry, &recorder);
+    expect_same_dataset(plain, observed);
+
+    // The registry holds the same funnel the dataset reports.
+    EXPECT_EQ(registry.counter("tero.funnel.thumbnails").value(),
+              observed.funnel.thumbnails);
+    EXPECT_EQ(registry.counter("tero.funnel.retained").value(),
+              observed.funnel.retained);
+    EXPECT_GT(recorder.span_count(), 0u);
+  }
+}
+
+TEST(Funnel, StagesAreMonotonicAndExportMatches) {
+  synth::WorldConfig world_config;
+  world_config.seed = 79;
+  world_config.p_twitter = 1.0;
+  world_config.p_twitter_backlink = 1.0;
+  world_config.p_twitter_location = 1.0;
+  world_config.games = {"League of Legends"};
+  world_config.focus_locations = {geo::Location{"", "", "Germany"}};
+  world_config.streamers_per_focus = 25;
+  const synth::World world(world_config);
+  synth::BehaviorConfig behavior;
+  behavior.days = 4;
+  synth::SessionGenerator generator(world, behavior, 6);
+  const auto streams = generator.generate();
+
+  TeroConfig config;
+  config.p_latency_visible = 0.6;  // make thumbnails > visible strict
+  obs::MetricsRegistry registry;
+  config.metrics = &registry;
+  Pipeline pipeline(config);
+  const Dataset dataset = pipeline.run(world, streams);
+
+  const auto& funnel = dataset.funnel;
+  EXPECT_GT(funnel.thumbnails, 0u);
+  EXPECT_GE(funnel.thumbnails, funnel.visible);
+  EXPECT_GE(funnel.visible, funnel.ocr_ok);
+  EXPECT_GE(funnel.ocr_ok, funnel.retained);
+  EXPECT_GE(funnel.streamers_total, funnel.streamers_located);
+
+  // Export accounting rides on the same funnel: the measurement CSV has
+  // exactly funnel.retained data rows.
+  std::ostringstream out;
+  const auto rows = export_measurements(dataset, out, &registry);
+  EXPECT_EQ(rows, funnel.retained);
+  EXPECT_EQ(registry.counter("tero.funnel.exported_measurements").value(),
+            funnel.retained);
+
+  // The metrics JSON carries the full funnel and the pool counters (zeros
+  // when the pipeline ran serially, but always present).
+  std::ostringstream json;
+  registry.write_json(json);
+  const auto parsed = obs::parse_json(json.str());
+  const auto& counters = parsed.at("counters");
+  for (const char* key :
+       {"tero.funnel.thumbnails", "tero.funnel.visible",
+        "tero.funnel.ocr_ok", "tero.funnel.retained",
+        "tero.funnel.clustered", "tero.pool.tasks_run", "tero.pool.steals",
+        "tero.pool.failed_steals", "tero.pool.parks"}) {
+    EXPECT_TRUE(counters.contains(key)) << key;
+  }
 }
 
 TEST(Determinism, AggregateEntriesIdenticalWithAndWithoutPool) {

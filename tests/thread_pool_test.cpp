@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/runtime_metrics.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -153,6 +155,94 @@ TEST(ParallelMap, IndexedRngMakesResultsThreadCountInvariant) {
     ASSERT_EQ(a[i], b[i]) << i;  // bitwise: EQ on doubles is intentional
     ASSERT_EQ(a[i], c[i]) << i;
   }
+}
+
+TEST(ThreadPoolStats, CountsInlineParallelFor) {
+  ThreadPool pool(1);
+  pool.parallel_for(0, 100, 10, [](std::size_t) {});
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.parallel_for_calls, 1u);
+  EXPECT_EQ(stats.tasks_run, 10u);  // one per chunk, even on the inline path
+  EXPECT_EQ(stats.parallel_for_failures, 0u);
+  EXPECT_EQ(stats.last_failed_chunk, -1);
+}
+
+TEST(ThreadPoolStats, CountsPooledParallelFor) {
+  ThreadPool pool(4);
+  pool.parallel_for(0, 100, 10, [](std::size_t) {});
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.parallel_for_calls, 1u);
+  EXPECT_EQ(stats.tasks_run, 10u);  // every chunk executed exactly once
+  EXPECT_GE(stats.max_queue_depth, 1u);
+}
+
+TEST(ThreadPoolStats, SubmitCountsOnTheInlinePathToo) {
+  ThreadPool pool(1);
+  pool.submit([] {});
+  pool.submit([] {});
+  EXPECT_EQ(pool.stats().tasks_run, 2u);
+}
+
+TEST(ThreadPoolStats, RecordsFailingChunkIndexInline) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(0, 100, 10,
+                                 [](std::size_t i) {
+                                   if (i == 57) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.parallel_for_failures, 1u);
+  EXPECT_EQ(stats.last_failed_chunk, 5);  // i == 57 lives in chunk [50, 60)
+}
+
+TEST(ThreadPoolStats, RecordsFailingChunkIndexPooled) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 1000, 1,
+                                 [](std::size_t i) {
+                                   if (i == 437) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.parallel_for_failures, 1u);
+  // grain 1 -> chunk index == element index; 437 is the only chunk that can
+  // throw, so fail-fast ordering cannot report anything else.
+  EXPECT_EQ(stats.last_failed_chunk, 437);
+}
+
+TEST(ThreadPoolStats, RegistryStaysConsistentAfterMidChunkThrow) {
+  ThreadPool pool(2);
+  obs::MetricsRegistry registry;
+  ThreadPool::Stats baseline;
+  obs::record_pool_stats(pool.stats(), registry, "tero.pool", &baseline);
+
+  EXPECT_THROW(pool.parallel_for(0, 40, 10,
+                                 [](std::size_t i) {
+                                   if (i == 35) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool keeps working after the throw, and the registry export stays
+  // consistent: deltas only, failure surfaced with its chunk label.
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 50, 5, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 50);
+  obs::record_pool_stats(pool.stats(), registry, "tero.pool", &baseline);
+
+  EXPECT_EQ(registry.counter("tero.pool.parallel_for_calls").value(), 2u);
+  EXPECT_EQ(registry.counter("tero.pool.parallel_for_failures").value(), 1u);
+  const std::string labeled = obs::MetricsRegistry::labeled(
+      "tero.pool.parallel_for_failures", {{"chunk", "3"}});
+  EXPECT_EQ(registry.counter(labeled).value(), 1u);
+
+  // A second snapshot with no new work adds nothing (delta accounting).
+  obs::record_pool_stats(pool.stats(), registry, "tero.pool", &baseline);
+  EXPECT_EQ(registry.counter("tero.pool.parallel_for_calls").value(), 2u);
+  EXPECT_EQ(registry.counter(labeled).value(), 1u);
 }
 
 TEST(MixSeed, SpreadsNearbyInputs) {
