@@ -1,0 +1,42 @@
+// Validate BENCH_*.json perf-reporter artifacts with obs::json — the CI
+// bench-smoke gate (scripts/ci.sh): a reporter that emits unparseable JSON
+// fails loudly here instead of rotting silently.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: bench_json_check <file.json>...\n";
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream input(argv[i]);
+    if (!input) {
+      std::cerr << argv[i] << ": cannot open\n";
+      ++failures;
+      continue;
+    }
+    std::ostringstream text;
+    text << input.rdbuf();
+    try {
+      const auto value = tero::obs::parse_json(text.str());
+      if (!value.is_object() || value.object.empty()) {
+        std::cerr << argv[i] << ": expected a non-empty JSON object\n";
+        ++failures;
+        continue;
+      }
+      std::cout << argv[i] << ": ok (" << value.object.size()
+                << " top-level keys)\n";
+    } catch (const std::exception& error) {
+      std::cerr << argv[i] << ": parse error: " << error.what() << "\n";
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,199 @@
+// Serving-layer benchmark (DESIGN.md §9): throughput scaling of the sharded
+// QueryService with shard/thread count, cache effectiveness, and the
+// admission-control overload story. Writes BENCH_serve.json (parse-checked
+// by scripts/ci.sh bench-smoke via bench_json_check).
+//
+//   bench_serve [--tiny]
+//
+// --tiny shrinks the world and query counts to CI-smoke scale (~1 s).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "obs/metrics.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/service.hpp"
+#include "synth/sessions.hpp"
+#include "tero/pipeline.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace tero;
+
+namespace {
+
+struct ClosedLoopRow {
+  std::size_t shards = 0;
+  std::size_t threads = 0;
+  serve::LoadTestReport report;
+  double hit_rate = 0.0;
+};
+
+std::vector<serve::SnapshotEntry> build_entries(bool tiny) {
+  synth::WorldConfig world_config;
+  world_config.seed = 11;
+  world_config.num_streamers = tiny ? 60 : 240;
+  world_config.p_twitter = 0.9;
+  const synth::World world(world_config);
+  synth::BehaviorConfig behavior;
+  behavior.days = tiny ? 3 : 5;
+  synth::SessionGenerator generator(world, behavior, 3);
+  const auto streams = generator.generate();
+
+  core::TeroConfig config = bench::fast_pipeline(11);
+  core::Pipeline pipeline(config);
+  const core::Dataset dataset = pipeline.run(world, streams);
+  return serve::entries_from(dataset);
+}
+
+ClosedLoopRow run_closed(const std::vector<serve::SnapshotEntry>& entries,
+                         std::size_t shards, std::size_t threads,
+                         std::size_t queries, bool with_metrics) {
+  obs::MetricsRegistry registry;
+  serve::ServeConfig config;
+  config.shards = shards;
+  if (with_metrics) config.metrics = &registry;
+  serve::QueryService service(config);
+  service.publish(std::vector<serve::SnapshotEntry>(entries));
+
+  serve::LoadGenConfig load;
+  load.queries = queries;
+  load.threads = threads;
+  load.seed = 99;
+
+  util::ThreadPool pool(threads);
+  ClosedLoopRow row;
+  row.shards = shards;
+  row.threads = threads;
+  row.report =
+      serve::run_loadtest(service, load, threads > 1 ? &pool : nullptr);
+  const double lookups =
+      static_cast<double>(service.cache_hits() + service.cache_misses());
+  if (lookups > 0) {
+    row.hit_rate = static_cast<double>(service.cache_hits()) / lookups;
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool tiny = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tiny") == 0) tiny = true;
+  }
+  const std::size_t queries = tiny ? 20000 : 400000;
+  const std::size_t hw = util::ThreadPool::resolve(0);
+
+  bench::header("serve: snapshot build");
+  const auto entries = build_entries(tiny);
+  bench::note("snapshot entries: " + std::to_string(entries.size()) +
+              ", queries per run: " + std::to_string(queries));
+
+  // ---- closed loop: throughput vs shards and threads -----------------------
+  bench::header("serve: closed-loop throughput (no metrics attached)");
+  std::vector<ClosedLoopRow> rows;
+  util::Table table({"shards", "threads", "kqps", "hit rate", "checksum"});
+  const std::vector<std::size_t> shard_counts = tiny
+                                                    ? std::vector<std::size_t>{1, 4}
+                                                    : std::vector<std::size_t>{1, 2, 4, 8};
+  std::vector<std::size_t> thread_counts{1};
+  if (hw >= 4) thread_counts.push_back(4);
+  if (hw > 4) {
+    thread_counts.push_back(hw);
+  } else if (hw <= 2) {
+    // Even on small machines, exercise the concurrent path (and show the
+    // checksum staying put) with an oversubscribed pool.
+    thread_counts.push_back(2);
+  }
+  for (const std::size_t shards : shard_counts) {
+    for (const std::size_t threads : thread_counts) {
+      ClosedLoopRow row = run_closed(entries, shards, threads, queries,
+                                     /*with_metrics=*/false);
+      char checksum[32];
+      std::snprintf(checksum, sizeof(checksum), "%016llx",
+                    static_cast<unsigned long long>(row.report.checksum));
+      table.add_row({std::to_string(shards), std::to_string(threads),
+                     util::fmt_double(row.report.achieved_qps / 1e3, 1),
+                     util::fmt_percent(row.hit_rate, 1), checksum});
+      rows.push_back(std::move(row));
+    }
+  }
+  table.print(std::cout);
+  bench::note("all checksums must match: responses are pure functions of "
+              "(query, snapshot), so shard/thread layout cannot change "
+              "results");
+
+  // ---- service latency under metrics (one mid-size config) ----------------
+  bench::header("serve: service latency (metrics attached)");
+  const ClosedLoopRow latency_row =
+      run_closed(entries, 4, hw >= 4 ? 4 : hw, queries / 4,
+                 /*with_metrics=*/true);
+  bench::note("p50/p95/p99: " +
+              util::fmt_double(latency_row.report.p50_ms * 1e3, 1) + " / " +
+              util::fmt_double(latency_row.report.p95_ms * 1e3, 1) + " / " +
+              util::fmt_double(latency_row.report.p99_ms * 1e3, 1) + " us");
+
+  // ---- open loop: overload with admission control --------------------------
+  // Offer twice the measured single-shard capacity but admit only a
+  // quarter of the offered rate: the bucket sheds the excess and the p99 of
+  // *served* queries stays in the same range as the unloaded run.
+  bench::header("serve: open-loop overload (admission control)");
+  const double capacity_qps = rows.front().report.achieved_qps;
+  const double offered_qps = 2.0 * capacity_qps;
+  obs::MetricsRegistry registry;
+  serve::ServeConfig config;
+  config.shards = 4;
+  config.admission_rate_qps = offered_qps / 4.0;
+  config.admission_burst = 256.0;
+  config.metrics = &registry;
+  serve::QueryService service(config);
+  service.publish(std::vector<serve::SnapshotEntry>(entries));
+  serve::LoadGenConfig load;
+  load.queries = queries / 2;
+  load.threads = hw;
+  load.seed = 99;
+  load.offered_qps = offered_qps;
+  util::ThreadPool pool(hw);
+  const auto overload =
+      serve::run_loadtest(service, load, hw > 1 ? &pool : nullptr);
+  const double shed_fraction =
+      overload.issued > 0 ? static_cast<double>(overload.shed) /
+                                static_cast<double>(overload.issued)
+                          : 0.0;
+  bench::note("offered " + util::fmt_double(offered_qps / 1e3, 0) +
+              " kqps, admitted cap " +
+              util::fmt_double(config.admission_rate_qps / 1e3, 0) +
+              " kqps -> shed " + util::fmt_percent(shed_fraction, 1) +
+              ", served p99 " +
+              util::fmt_double(overload.p99_ms * 1e3, 1) + " us");
+
+  // ---- machine-readable report --------------------------------------------
+  std::ofstream out("BENCH_serve.json");
+  out << "{\n  \"closed_loop\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    out << "    {\"shards\": " << row.shards
+        << ", \"threads\": " << row.threads
+        << ", \"queries\": " << row.report.issued
+        << ", \"qps\": " << row.report.achieved_qps
+        << ", \"hit_rate\": " << row.hit_rate << ", \"checksum\": \""
+        << std::hex << row.report.checksum << std::dec << "\"}"
+        << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  out << "  ],\n";
+  out << "  \"latency\": {\"p50_ms\": " << latency_row.report.p50_ms
+      << ", \"p95_ms\": " << latency_row.report.p95_ms
+      << ", \"p99_ms\": " << latency_row.report.p99_ms << "},\n";
+  out << "  \"overload\": {\"offered_qps\": " << offered_qps
+      << ", \"admission_qps\": " << config.admission_rate_qps
+      << ", \"shed_fraction\": " << shed_fraction
+      << ", \"served_p99_ms\": " << overload.p99_ms << "}\n";
+  out << "}\n";
+  bench::note("wrote BENCH_serve.json");
+  return 0;
+}

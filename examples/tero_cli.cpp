@@ -17,7 +17,20 @@
 //   tero_cli report <measurements.csv> <game>
 //       print the latency distribution per streamer pseudonym for a game
 //       (what a researcher without the pipeline would compute first)
+//
+//   tero_cli query <snapshot> point <game> <country> [region] [city]
+//   tero_cli query <snapshot> topk <game> [k]
+//       serve point / top-k-worst queries from a snapshot written by
+//       `simulate --snapshot-out` — no pipeline re-run needed
+//
+//   tero_cli loadtest <snapshot> [queries] [threads] [shards]
+//            [--seed n] [--zipf s] [--open qps] [--admit rate burst]
+//       drive the sharded query service with the deterministic Zipf load
+//       generator; the reported result checksum is bit-identical for any
+//       thread count at a fixed seed (--open adds virtual-time arrivals,
+//       --admit enables token-bucket admission control / load shedding)
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -27,11 +40,15 @@
 #include "analysis/anomalies.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot_io.hpp"
 #include "stats/descriptive.hpp"
 #include "synth/sessions.hpp"
 #include "tero/export.hpp"
 #include "tero/pipeline.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace tero;
 
@@ -41,16 +58,24 @@ int cmd_simulate(int argc, char** argv) {
   // Split --flags (accepted anywhere) from the positional arguments.
   std::string metrics_out;
   std::string trace_out;
+  std::string snapshot_out;
   bool metrics_table = false;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--metrics-out" || arg == "--trace-out") {
+    if (arg == "--metrics-out" || arg == "--trace-out" ||
+        arg == "--snapshot-out") {
       if (i + 1 >= argc) {
         std::cerr << arg << " needs a file argument\n";
         return 1;
       }
-      (arg == "--metrics-out" ? metrics_out : trace_out) = argv[++i];
+      if (arg == "--metrics-out") {
+        metrics_out = argv[++i];
+      } else if (arg == "--trace-out") {
+        trace_out = argv[++i];
+      } else {
+        snapshot_out = argv[++i];
+      }
     } else if (arg == "--metrics-table") {
       metrics_table = true;
     } else {
@@ -90,6 +115,16 @@ int cmd_simulate(int argc, char** argv) {
   if (want_metrics) config.metrics = &registry;
   if (!trace_out.empty()) config.trace = &recorder;
 
+  // --snapshot-out: attach the serving layer's publish hook so the run ends
+  // with an atomically published snapshot epoch, then persist that epoch.
+  serve::ServeConfig serve_config;
+  serve_config.metrics = config.metrics;
+  serve_config.trace = config.trace;
+  serve::QueryService service(serve_config);
+  if (!snapshot_out.empty()) {
+    config.on_dataset = serve::publish_hook(service);
+  }
+
   core::Pipeline pipeline(config);
   const core::Dataset dataset = pipeline.run(world, streams);
 
@@ -104,6 +139,22 @@ int cmd_simulate(int argc, char** argv) {
             << dataset.funnel.thumbnails << "\n";
   std::cout << "wrote " << measurement_rows << " measurements and "
             << aggregate_rows << " aggregates to " << out_dir << "\n";
+
+  if (!snapshot_out.empty()) {
+    const serve::SnapshotPtr snapshot = service.snapshot();
+    if (snapshot == nullptr) {
+      std::cerr << "pipeline published no snapshot\n";
+      return 1;
+    }
+    std::ofstream out(snapshot_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot open " << snapshot_out << "\n";
+      return 1;
+    }
+    serve::save_snapshot(*snapshot, out);
+    std::cout << "wrote snapshot epoch " << snapshot->epoch() << " ("
+              << snapshot->size() << " entries) to " << snapshot_out << "\n";
+  }
 
   if (!metrics_out.empty()) {
     std::ofstream out(metrics_out);
@@ -209,6 +260,184 @@ int cmd_report(int argc, char** argv) {
   return 0;
 }
 
+serve::SnapshotPtr load_snapshot_file(const std::string& path) {
+  std::ifstream input(path, std::ios::binary);
+  if (!input) {
+    std::cerr << "cannot open " << path << "\n";
+    return nullptr;
+  }
+  try {
+    return serve::load_snapshot(input);
+  } catch (const std::exception& error) {
+    std::cerr << "cannot load snapshot " << path << ": " << error.what()
+              << "\n";
+    return nullptr;
+  }
+}
+
+int cmd_query(int argc, char** argv) {
+  if (argc < 5) {
+    std::cerr << "usage: tero_cli query <snapshot> point <game> <country> "
+                 "[region] [city]\n"
+                 "       tero_cli query <snapshot> topk <game> [k]\n";
+    return 1;
+  }
+  const serve::SnapshotPtr snapshot = load_snapshot_file(argv[2]);
+  if (snapshot == nullptr) return 1;
+  serve::QueryService service(serve::ServeConfig{});
+  service.publish(snapshot);
+
+  const std::string mode = argv[3];
+  serve::Query query;
+  query.game = argv[4];
+  if (mode == "topk") {
+    query.kind = serve::QueryKind::kTopK;
+    query.k = argc > 5 ? static_cast<std::size_t>(std::atoi(argv[5])) : 5;
+    const auto response = service.query(query);
+    if (response.status != serve::QueryStatus::kOk) {
+      std::cerr << "no locations with data for game: " << query.game << "\n";
+      return 1;
+    }
+    util::Table table({"rank", "location", "p95 [ms]"});
+    for (std::size_t i = 0; i < response.top.size(); ++i) {
+      table.add_row({std::to_string(i + 1), response.top[i].location,
+                     util::fmt_double(response.top[i].value, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "(epoch " << response.epoch << ")\n";
+    return 0;
+  }
+  if (mode != "point") {
+    std::cerr << "unknown query mode: " << mode << " (want point or topk)\n";
+    return 1;
+  }
+  if (argc < 6) {
+    std::cerr << "point queries need at least <game> <country>\n";
+    return 1;
+  }
+  query.location.country = argv[5];
+  if (argc > 6) query.location.region = argv[6];
+  if (argc > 7) query.location.city = argv[7];
+
+  // One batch, all kinds: the boxplot a consumer dashboard would render.
+  std::vector<serve::Query> batch;
+  serve::Query q = query;
+  q.kind = serve::QueryKind::kCount;
+  batch.push_back(q);
+  q.kind = serve::QueryKind::kMean;
+  batch.push_back(q);
+  for (const double pct : {5.0, 25.0, 50.0, 75.0, 95.0}) {
+    q.kind = serve::QueryKind::kPercentile;
+    q.param = pct;
+    batch.push_back(q);
+  }
+  const auto responses = service.query_batch(batch);
+  if (responses[0].status != serve::QueryStatus::kOk) {
+    std::cerr << "no aggregate for {" << query.location.to_string() << ", "
+              << query.game << "}\n";
+    return 1;
+  }
+  std::cout << query.game << " @ " << query.location.to_string() << "\n"
+            << "  samples " << static_cast<std::size_t>(responses[0].value)
+            << ", mean " << util::fmt_double(responses[1].value, 1)
+            << " ms\n  p5|p25[p50]p75|p95: "
+            << util::fmt_double(responses[2].value, 0) << " | "
+            << util::fmt_double(responses[3].value, 0) << " ["
+            << util::fmt_double(responses[4].value, 0) << "] "
+            << util::fmt_double(responses[5].value, 0) << " | "
+            << util::fmt_double(responses[6].value, 0) << "  (epoch "
+            << responses[0].epoch << ")\n";
+  return 0;
+}
+
+int cmd_loadtest(int argc, char** argv) {
+  serve::LoadGenConfig load;
+  serve::ServeConfig serve_config;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--seed" || arg == "--zipf" || arg == "--open") {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        return 1;
+      }
+      const double value = std::atof(argv[++i]);
+      if (arg == "--seed") {
+        load.seed = static_cast<std::uint64_t>(value);
+      } else if (arg == "--zipf") {
+        load.zipf_s = value;
+      } else {
+        load.offered_qps = value;
+      }
+    } else if (arg == "--admit") {
+      if (i + 2 >= argc) {
+        std::cerr << "--admit needs <rate_qps> <burst>\n";
+        return 1;
+      }
+      serve_config.admission_rate_qps = std::atof(argv[++i]);
+      serve_config.admission_burst = std::atof(argv[++i]);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.empty()) {
+    std::cerr << "usage: tero_cli loadtest <snapshot> [queries] [threads] "
+                 "[shards]\n                [--seed n] [--zipf s] [--open "
+                 "qps] [--admit rate burst]\n";
+    return 1;
+  }
+  const serve::SnapshotPtr snapshot = load_snapshot_file(positional[0]);
+  if (snapshot == nullptr) return 1;
+  if (positional.size() > 1) {
+    load.queries = static_cast<std::size_t>(std::atoi(positional[1].c_str()));
+  }
+  load.threads = positional.size() > 2
+                     ? static_cast<std::size_t>(std::atoi(positional[2].c_str()))
+                     : 0;
+  if (positional.size() > 3) {
+    serve_config.shards =
+        static_cast<std::size_t>(std::atoi(positional[3].c_str()));
+  }
+
+  obs::MetricsRegistry registry;
+  serve_config.metrics = &registry;
+  serve::QueryService service(serve_config);
+  service.publish(snapshot);
+
+  const std::size_t threads = util::ThreadPool::resolve(load.threads);
+  util::ThreadPool pool(threads);
+  const auto report =
+      serve::run_loadtest(service, load, threads > 1 ? &pool : nullptr);
+
+  std::cout << "loadtest: " << report.issued << " queries, " << threads
+            << " threads, " << service.shard_count() << " shards, epoch "
+            << snapshot->epoch() << "\n";
+  std::cout << "  ok " << report.ok << ", not_found " << report.not_found
+            << ", shed " << report.shed << " ("
+            << util::fmt_percent(
+                   report.issued > 0
+                       ? static_cast<double>(report.shed) /
+                             static_cast<double>(report.issued)
+                       : 0.0,
+                   1)
+            << ")\n";
+  std::cout << "  wall " << util::fmt_double(report.wall_ms, 1) << " ms, "
+            << util::fmt_double(report.achieved_qps / 1e3, 1) << " kqps, "
+            << "cache hits " << service.cache_hits() << " / misses "
+            << service.cache_misses() << "\n";
+  std::cout << "  service latency p50/p95/p99: "
+            << util::fmt_double(report.p50_ms * 1e3, 1) << " / "
+            << util::fmt_double(report.p95_ms * 1e3, 1) << " / "
+            << util::fmt_double(report.p99_ms * 1e3, 1) << " us\n";
+  char checksum[32];
+  std::snprintf(checksum, sizeof(checksum), "%016llx",
+                static_cast<unsigned long long>(report.checksum));
+  std::cout << "  result checksum " << checksum
+            << " (seed " << load.seed
+            << "; identical for any thread count)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -216,11 +445,20 @@ int main(int argc, char** argv) {
   if (command == "simulate") return cmd_simulate(argc, argv);
   if (command == "analyze") return cmd_analyze(argc, argv);
   if (command == "report") return cmd_report(argc, argv);
-  std::cerr << "usage: tero_cli <simulate|analyze|report> ...\n"
+  if (command == "query") return cmd_query(argc, argv);
+  if (command == "loadtest") return cmd_loadtest(argc, argv);
+  std::cerr << "usage: tero_cli <simulate|analyze|report|query|loadtest> "
+               "...\n"
                "  simulate [out_dir] [streamers] [days] [threads]\n"
                "           [--metrics-out m.json] [--trace-out t.json]\n"
-               "           [--metrics-table]\n"
+               "           [--metrics-table] [--snapshot-out snap.bin]\n"
                "  analyze  <measurements.csv>\n"
-               "  report   <measurements.csv> <game>\n";
+               "  report   <measurements.csv> <game>\n"
+               "  query    <snapshot> point <game> <country> [region] "
+               "[city]\n"
+               "  query    <snapshot> topk <game> [k]\n"
+               "  loadtest <snapshot> [queries] [threads] [shards]\n"
+               "           [--seed n] [--zipf s] [--open qps] "
+               "[--admit rate burst]\n";
   return command.empty() ? 1 : 2;
 }

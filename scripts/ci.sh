@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
-# CI driver: the three build/test jobs a change must pass.
+# CI driver: the build/test jobs a change must pass.
 #
-#   tier1   Release build, full test suite          (the seed contract)
-#   asan    AddressSanitizer, smoke-labeled tests   (fast memory checks)
-#   tsan    ThreadSanitizer, full test suite        (pool + pipeline races)
+#   tier1        Release build, full test suite          (the seed contract)
+#   asan         AddressSanitizer, smoke-labeled tests   (fast memory checks)
+#   tsan         ThreadSanitizer, full test suite        (pool + pipeline races)
+#   bench-smoke  Run bench binaries at tiny N, then parse-check the
+#                BENCH_*.json artifacts with bench_json_check (obs::json).
+#                Catches bench bitrot and malformed reporter output without
+#                paying for a full benchmark run.
 #
-# Run all three:   scripts/ci.sh
-# Run a subset:    scripts/ci.sh asan tsan
+# Run the default three:   scripts/ci.sh
+# Run a subset:            scripts/ci.sh asan tsan
+# Bench artifact gate:     scripts/ci.sh bench-smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,13 +27,29 @@ run_preset() {
   ctest --preset "$test_preset" -j "$(nproc)"
 }
 
+run_bench_smoke() {
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" \
+    --target bench_perf_micro bench_serve bench_json_check
+  # Benchmarks write BENCH_*.json into their cwd; keep artifacts in build/bench.
+  (
+    cd build/bench
+    ./bench_perf_micro --benchmark_filter='BM_CleanStream/100' \
+      --benchmark_min_time=0.01
+    ./bench_serve --tiny
+    ./bench_json_check BENCH_perf_micro.json BENCH_serve.json
+  )
+}
+
 for job in "${jobs[@]}"; do
   echo "=== ci: $job ==="
   case "$job" in
     tier1) run_preset default default ;;
     asan)  run_preset asan asan ;;   # test preset filters to -L smoke
     tsan)  run_preset tsan tsan ;;
-    *) echo "unknown job: $job (want tier1, asan or tsan)" >&2; exit 2 ;;
+    bench-smoke) run_bench_smoke ;;
+    *) echo "unknown job: $job (want tier1, asan, tsan or bench-smoke)" >&2
+       exit 2 ;;
   esac
 done
 echo "=== ci: all jobs passed ==="

@@ -1,0 +1,40 @@
+#include "serve/admission.hpp"
+
+#include <algorithm>
+
+namespace tero::serve {
+
+AdmissionController::AdmissionController(double rate_qps, double burst)
+    : rate_qps_(rate_qps),
+      burst_(std::max(burst, rate_qps > 0.0 ? 1.0 : 0.0)),
+      tokens_(burst_) {}
+
+bool AdmissionController::try_admit(double now_s, double cost) {
+  if (!enabled()) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (now_s > last_refill_) {
+    tokens_ = std::min(burst_, tokens_ + (now_s - last_refill_) * rate_qps_);
+    last_refill_ = now_s;
+  }
+  if (tokens_ >= cost) {
+    tokens_ -= cost;
+    ++admitted_;
+    return true;
+  }
+  ++shed_;
+  return false;
+}
+
+std::uint64_t AdmissionController::admitted() const {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return admitted_;
+}
+
+std::uint64_t AdmissionController::shed() const {
+  if (!enabled()) return 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
+}
+
+}  // namespace tero::serve

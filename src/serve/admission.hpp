@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+namespace tero::serve {
+
+/// Thread-safe token-bucket admission control for the query front door —
+/// the same refill arithmetic as download::TokenBucket (App. A's API quota
+/// model), adapted for concurrent callers and caller-supplied clocks.
+///
+/// The clock is explicit: `now_s` is any monotonic seconds value. The live
+/// service passes wall time; the deterministic load generator passes
+/// *virtual* arrival times, which is what makes shed decisions reproducible
+/// for any thread count (decisions are taken in arrival order — see
+/// loadgen.cpp).
+///
+/// rate_qps <= 0 disables admission control entirely (every request is
+/// admitted and nothing is counted).
+class AdmissionController {
+ public:
+  AdmissionController(double rate_qps, double burst);
+
+  /// True iff the request at time `now_s` may proceed. `now_s` must be
+  /// non-decreasing across calls for the refill math to be meaningful;
+  /// slightly stale values only make admission more conservative.
+  bool try_admit(double now_s, double cost = 1.0);
+
+  [[nodiscard]] bool enabled() const noexcept { return rate_qps_ > 0.0; }
+  [[nodiscard]] double rate_qps() const noexcept { return rate_qps_; }
+  [[nodiscard]] std::uint64_t admitted() const;
+  [[nodiscard]] std::uint64_t shed() const;
+
+ private:
+  double rate_qps_;
+  double burst_;
+  mutable std::mutex mutex_;
+  double tokens_;       ///< guarded by mutex_
+  double last_refill_ = 0.0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace tero::serve

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tero::serve {
+
+/// Deterministic load generation against a QueryService (DESIGN.md §9).
+///
+/// Determinism contract (mirrors the pipeline's): query i is derived
+/// entirely from Rng::indexed(seed, i) — key rank via a Zipf CDF, kind and
+/// parameters via the same per-query generator — and every query's answer
+/// is a pure function of (query, snapshot). Open-loop admission decisions
+/// are taken serially in arrival order against *virtual* arrival times
+/// before any parallel execution. The result checksum therefore matches
+/// bit-for-bit for any thread count; only the timing numbers vary.
+
+/// Zipf(s) popularity over ranks [0, n): P(rank = r) proportional to
+/// 1 / (r + 1)^s, sampled by inverting a precomputed CDF. s = 0 is uniform;
+/// s around 1 matches the heavy skew real query traffic shows toward a few
+/// hot {location, game} keys.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  [[nodiscard]] std::size_t sample(util::Rng& rng) const;
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+struct LoadGenConfig {
+  std::size_t queries = 10000;
+  /// Total parallelism for query execution (0 = hardware_concurrency);
+  /// the report's checksum and counts do not depend on this.
+  std::size_t threads = 1;
+  std::uint64_t seed = 1;
+  double zipf_s = 1.1;
+  /// Fraction of point queries that are percentile lookups; the remainder
+  /// splits evenly between mean, count and ECDF. Drawn per query from its
+  /// indexed generator.
+  double p_percentile = 0.55;
+  /// Probability a query is a top-k-worst scan instead of a point lookup.
+  double p_topk = 0.02;
+  std::size_t topk = 5;
+  /// Open loop: query i arrives at virtual time i / offered_qps and the
+  /// service's admission controller may shed it. offered_qps <= 0 selects
+  /// closed loop (no virtual clock; admission charged at time 0).
+  double offered_qps = 0.0;
+};
+
+struct LoadTestReport {
+  std::size_t issued = 0;
+  std::size_t ok = 0;
+  std::size_t not_found = 0;
+  std::size_t shed = 0;
+  std::size_t no_snapshot = 0;
+  /// XOR-fold of hash_response(i, response_i): bit-identical across runs
+  /// with the same {seed, snapshot, config}, independent of thread count.
+  std::uint64_t checksum = 0;
+  double wall_ms = 0.0;
+  double achieved_qps = 0.0;
+  // Service-latency quantiles (ms), read from the service's latency
+  // histogram when metrics are attached; 0 otherwise. Timing-dependent —
+  // deliberately not part of the checksum.
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Build the deterministic query stream (exposed for tests and the CLI's
+/// `--dump` style debugging): queries[i] depends only on (seed, i) and the
+/// snapshot's key order.
+[[nodiscard]] std::vector<Query> generate_queries(const Snapshot& snapshot,
+                                                  const LoadGenConfig& config);
+
+/// Drive `service` with config.queries generated queries on `pool`
+/// (nullptr or size 1 = serial). The service must have a published
+/// snapshot.
+[[nodiscard]] LoadTestReport run_loadtest(QueryService& service,
+                                          const LoadGenConfig& config,
+                                          util::ThreadPool* pool);
+
+}  // namespace tero::serve

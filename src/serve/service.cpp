@@ -1,0 +1,291 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "tero/pipeline.hpp"
+#include "util/rng.hpp"
+
+namespace tero::serve {
+
+namespace {
+
+/// Canonical double formatting for cache keys: round-trippable and stable.
+std::string fmt_param(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::uint64_t hash_double(double value) {
+  return std::bit_cast<std::uint64_t>(value);
+}
+
+}  // namespace
+
+std::uint64_t hash_response(std::uint64_t index,
+                            const QueryResponse& response) {
+  std::uint64_t h = util::mix_seed(index, static_cast<std::uint64_t>(
+                                              response.status));
+  h = util::mix_seed(h, hash_double(response.value));
+  for (const auto& top : response.top) {
+    h = util::mix_seed(h, util::fnv1a64({top.location.data(),
+                                         top.location.size()}));
+    h = util::mix_seed(h, hash_double(top.value));
+  }
+  return h;
+}
+
+QueryService::QueryService(ServeConfig config)
+    : config_(config),
+      admission_(config.admission_rate_qps, config.admission_burst),
+      ring_(config.ring_virtual_nodes),
+      start_(std::chrono::steady_clock::now()) {
+  const std::size_t shard_count = std::max<std::size_t>(1, config_.shards);
+  shard_names_.reserve(shard_count);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shard_names_.push_back("shard-" + std::to_string(i));
+    ring_.add_node(shard_names_.back());
+    shards_.push_back(std::make_unique<Shard>(config_.cache_capacity));
+  }
+  if (config_.metrics != nullptr) {
+    auto& registry = *config_.metrics;
+    queries_total_ = &registry.counter("tero.serve.queries");
+    hits_counter_ = &registry.counter("tero.serve.cache_hits");
+    misses_counter_ = &registry.counter("tero.serve.cache_misses");
+    shed_counter_ = &registry.counter("tero.serve.shed");
+    not_found_counter_ = &registry.counter("tero.serve.not_found");
+    query_ms_ = &registry.histogram("tero.serve.query_ms");
+  }
+}
+
+std::uint64_t QueryService::publish(std::vector<SnapshotEntry> entries) {
+  const obs::ScopedSpan span(config_.trace, "serve.publish", "serve");
+  const std::uint64_t epoch = publisher_.publish(std::move(entries));
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->mutex);
+    shards_[i]->cache.clear();
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("tero.serve.publishes").add();
+    config_.metrics->set_gauge("tero.serve.epoch", {},
+                               static_cast<double>(epoch));
+  }
+  return epoch;
+}
+
+void QueryService::publish(SnapshotPtr snapshot) {
+  const obs::ScopedSpan span(config_.trace, "serve.publish", "serve");
+  publisher_.publish(std::move(snapshot));
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->mutex);
+    shards_[i]->cache.clear();
+  }
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("tero.serve.publishes").add();
+    config_.metrics->set_gauge("tero.serve.epoch", {},
+                               static_cast<double>(publisher_.epoch()));
+  }
+}
+
+std::string QueryService::shard_key(const Query& query) {
+  // All queries about one {location, game} entry land on one shard, so its
+  // cache lines and LRU entries stay local; top-k is keyed by game alone.
+  if (query.kind == QueryKind::kTopK) return "topk|" + query.game;
+  return entry_key(query.location, query.game);
+}
+
+std::string QueryService::cache_key(const Query& query) {
+  std::string key;
+  switch (query.kind) {
+    case QueryKind::kPercentile: key = "pct:"; break;
+    case QueryKind::kMean: key = "mean:"; break;
+    case QueryKind::kCount: key = "count:"; break;
+    case QueryKind::kEcdf: key = "ecdf:"; break;
+    case QueryKind::kTopK: key = "topk:"; break;
+  }
+  if (query.kind == QueryKind::kPercentile ||
+      query.kind == QueryKind::kEcdf) {
+    key += fmt_param(query.param);
+    key += ':';
+  }
+  if (query.kind == QueryKind::kTopK) {
+    key += std::to_string(query.k);
+    key += ':';
+  }
+  key += shard_key(query);
+  return key;
+}
+
+std::size_t QueryService::shard_for(const Query& query) const {
+  const std::string node = ring_.node_for(shard_key(query));
+  // Node names are "shard-<i>"; the ring never returns anything else here.
+  return static_cast<std::size_t>(
+      std::strtoul(node.c_str() + 6, nullptr, 10));
+}
+
+double QueryService::wall_now_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+QueryResponse QueryService::compute(const Query& query,
+                                    const Snapshot& snapshot) const {
+  QueryResponse response;
+  response.epoch = snapshot.epoch();
+  if (query.kind == QueryKind::kTopK) {
+    const auto worst = snapshot.worst_locations(query.game, query.k);
+    if (worst.empty()) {
+      response.status = QueryStatus::kNotFound;
+      return response;
+    }
+    response.status = QueryStatus::kOk;
+    response.top.reserve(worst.size());
+    for (const SnapshotEntry* entry : worst) {
+      response.top.push_back({entry->location.to_string(), entry->box.p95});
+    }
+    response.value = response.top.front().value;
+    return response;
+  }
+
+  const SnapshotEntry* entry = snapshot.find(query.location, query.game);
+  if (entry == nullptr || entry->samples == 0) {
+    response.status = QueryStatus::kNotFound;
+    return response;
+  }
+  response.status = QueryStatus::kOk;
+  switch (query.kind) {
+    case QueryKind::kPercentile:
+      response.value = entry->percentile(query.param);
+      break;
+    case QueryKind::kMean:
+      response.value = entry->mean_ms;
+      break;
+    case QueryKind::kCount:
+      response.value = static_cast<double>(entry->samples);
+      break;
+    case QueryKind::kEcdf:
+      response.value = entry->ecdf(query.param);
+      break;
+    case QueryKind::kTopK:
+      break;  // handled above
+  }
+  return response;
+}
+
+bool QueryService::try_admit(double now_s) {
+  const bool admitted =
+      admission_.try_admit(now_s >= 0.0 ? now_s : wall_now_s());
+  if (!admitted && shed_counter_ != nullptr) shed_counter_->add();
+  return admitted;
+}
+
+QueryResponse QueryService::query(const Query& query, double now_s) {
+  if (!try_admit(now_s)) {
+    if (queries_total_ != nullptr) queries_total_->add();
+    QueryResponse response;
+    response.status = QueryStatus::kShed;
+    return response;
+  }
+  return query_admitted(query);
+}
+
+QueryResponse QueryService::query_admitted(const Query& query) {
+  const obs::ScopedSpan span(config_.trace, "serve.query", "serve");
+  const obs::ScopedTimer timer(query_ms_);
+  if (queries_total_ != nullptr) queries_total_->add();
+
+  const SnapshotPtr snapshot = publisher_.current();
+  if (snapshot == nullptr) {
+    QueryResponse response;
+    response.status = QueryStatus::kNoSnapshot;
+    return response;
+  }
+
+  const std::size_t shard_index = shard_for(query);
+  Shard& shard = *shards_[shard_index];
+  const std::size_t depth =
+      shard.inflight.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (config_.metrics != nullptr) {
+    config_.metrics->set_gauge("tero.serve.shard_queue_depth",
+                               {{"shard", shard_names_[shard_index]}},
+                               static_cast<double>(depth));
+  }
+
+  const std::string key = cache_key(query);
+  QueryResponse response;
+  bool from_cache = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (auto cached = shard.cache.get(key); cached.has_value()) {
+      response = std::move(*cached);
+      from_cache = true;
+    }
+  }
+  if (from_cache) {
+    // A publish may have cleared the caches after we loaded the snapshot;
+    // either way the cached value was computed from *some* published epoch
+    // and epochs are immutable, so it is never stale within its epoch.
+    response.cached = true;
+    if (hits_counter_ != nullptr) hits_counter_->add();
+  } else {
+    response = compute(query, *snapshot);
+    if (misses_counter_ != nullptr) misses_counter_->add();
+    if (response.status == QueryStatus::kNotFound &&
+        not_found_counter_ != nullptr) {
+      not_found_counter_->add();
+    }
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.cache.put(key, response);
+  }
+
+  shard.inflight.fetch_sub(1, std::memory_order_relaxed);
+  return response;
+}
+
+std::vector<QueryResponse> QueryService::query_batch(
+    std::span<const Query> queries, double now_s) {
+  std::vector<QueryResponse> responses;
+  responses.reserve(queries.size());
+  for (const Query& query : queries) {
+    responses.push_back(this->query(query, now_s));
+  }
+  return responses;
+}
+
+std::uint64_t QueryService::cache_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->cache.hits();
+  }
+  return total;
+}
+
+std::uint64_t QueryService::cache_misses() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += shard->cache.misses();
+  }
+  return total;
+}
+
+std::uint64_t QueryService::shed_count() const { return admission_.shed(); }
+
+std::function<void(const core::Dataset&)> publish_hook(
+    QueryService& service) {
+  return [&service](const core::Dataset& dataset) {
+    service.publish(entries_from(dataset));
+  };
+}
+
+}  // namespace tero::serve

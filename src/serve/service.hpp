@@ -1,0 +1,198 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "serve/epoch.hpp"
+#include "serve/lru_cache.hpp"
+#include "serve/snapshot.hpp"
+#include "store/consistent_hash.hpp"
+
+namespace tero::obs {
+class MetricsRegistry;
+class TraceRecorder;
+class Counter;
+class Histogram;
+}  // namespace tero::obs
+
+namespace tero::serve {
+
+/// What a consumer can ask the serving layer (DESIGN.md §9). All kinds are
+/// pure functions of (query, snapshot), which is the determinism anchor for
+/// the load generator: the same query against the same epoch always returns
+/// the same bits, no matter which shard, thread, or cache served it.
+enum class QueryKind {
+  kPercentile,  ///< param = percentile in [0, 100]
+  kMean,
+  kCount,       ///< retained sample count
+  kEcdf,        ///< param = latency_ms; value = P(latency <= param)
+  kTopK,        ///< k worst locations of `game` by p95 (location ignored)
+};
+
+struct Query {
+  QueryKind kind = QueryKind::kPercentile;
+  geo::Location location;
+  std::string game;
+  double param = 50.0;
+  std::size_t k = 5;
+};
+
+enum class QueryStatus {
+  kOk,
+  kNotFound,    ///< snapshot has no such {location, game}
+  kShed,        ///< rejected by admission control
+  kNoSnapshot,  ///< nothing published yet
+};
+
+struct TopEntry {
+  std::string location;
+  double value = 0.0;  ///< the ranking statistic (p95)
+};
+
+struct QueryResponse {
+  QueryStatus status = QueryStatus::kNoSnapshot;
+  double value = 0.0;
+  std::uint64_t epoch = 0;
+  bool cached = false;
+  std::vector<TopEntry> top;  ///< kTopK only
+};
+
+/// Order- and thread-independent fingerprint of one (query index, response)
+/// pair; the load generator XOR-folds these into its result checksum. Timing
+/// artifacts (`cached`) are deliberately excluded.
+[[nodiscard]] std::uint64_t hash_response(std::uint64_t index,
+                                          const QueryResponse& response);
+
+struct ServeConfig {
+  /// Number of shards; each owns an LRU cache behind its own mutex. Keys
+  /// are placed by store::ConsistentHashRing, so resizing a live fleet
+  /// would only remap ~1/n of the keyspace.
+  std::size_t shards = 4;
+  int ring_virtual_nodes = 64;
+  /// Per-shard response-cache capacity; 0 disables caching.
+  std::size_t cache_capacity = 1024;
+  /// Admission control (token bucket over all shards); <= 0 disables it
+  /// and the service never sheds.
+  double admission_rate_qps = 0.0;
+  double admission_burst = 0.0;
+  /// Observability sinks (not owned; may be null). Observational only —
+  /// query results never depend on them.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
+};
+
+/// Sharded in-process query service over published snapshots.
+///
+/// Read path: admission -> atomic snapshot load -> shard (consistent hash
+/// of the entry key) -> shard LRU cache -> snapshot index. Publish path:
+/// build entries off to the side, one atomic swap, then invalidate the
+/// shard caches. Readers never block on a publish: a query that raced the
+/// swap simply finishes against the epoch it loaded.
+class QueryService {
+ public:
+  explicit QueryService(ServeConfig config);
+
+  /// Install a new snapshot and invalidate every shard cache. Returns the
+  /// published epoch.
+  std::uint64_t publish(std::vector<SnapshotEntry> entries);
+  void publish(SnapshotPtr snapshot);
+
+  [[nodiscard]] SnapshotPtr snapshot() const { return publisher_.current(); }
+  [[nodiscard]] std::uint64_t epoch() const noexcept {
+    return publisher_.epoch();
+  }
+
+  /// Answer one query. `now_s` feeds admission control: pass a virtual
+  /// arrival time for deterministic replay, or leave negative to use wall
+  /// time since service construction.
+  [[nodiscard]] QueryResponse query(const Query& query, double now_s = -1.0);
+
+  /// Admission-control front door, exposed so the open-loop load generator
+  /// can take shed decisions serially in arrival order (the determinism
+  /// requirement) before fanning admitted queries out to a pool. Counts
+  /// sheds in the metrics registry.
+  bool try_admit(double now_s = -1.0);
+
+  /// Answer a query that has already passed admission (or for which
+  /// admission is intentionally bypassed, e.g. closed-loop capacity
+  /// measurement).
+  [[nodiscard]] QueryResponse query_admitted(const Query& query);
+
+  /// Batch point lookup; one admission charge per query, shared snapshot
+  /// load (all answers come from the same epoch).
+  [[nodiscard]] std::vector<QueryResponse> query_batch(
+      std::span<const Query> queries, double now_s = -1.0);
+
+  /// Shard index that owns `query`'s key (stable across calls).
+  [[nodiscard]] std::size_t shard_for(const Query& query) const;
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  // Aggregate cache/admission accounting across shards (tests, reports).
+  [[nodiscard]] std::uint64_t cache_hits() const;
+  [[nodiscard]] std::uint64_t cache_misses() const;
+  [[nodiscard]] std::uint64_t shed_count() const;
+  [[nodiscard]] std::uint64_t publish_count() const noexcept {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+
+  /// Service-latency histogram (null when metrics are off) — the load
+  /// generator reads p50/p95/p99 from here.
+  [[nodiscard]] const obs::Histogram* latency_histogram() const noexcept {
+    return query_ms_;
+  }
+
+  [[nodiscard]] const ServeConfig& config() const noexcept { return config_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    LruCache<QueryResponse> cache;
+    /// Queries currently inside this shard (admitted, not yet answered) —
+    /// exported as the per-shard queue-depth gauge.
+    std::atomic<std::uint64_t> inflight{0};
+
+    explicit Shard(std::size_t cache_capacity) : cache(cache_capacity) {}
+  };
+
+  [[nodiscard]] QueryResponse compute(const Query& query,
+                                      const Snapshot& snapshot) const;
+  [[nodiscard]] static std::string cache_key(const Query& query);
+  [[nodiscard]] static std::string shard_key(const Query& query);
+  [[nodiscard]] double wall_now_s() const;
+
+  ServeConfig config_;
+  EpochPublisher publisher_;
+  AdmissionController admission_;
+  store::ConsistentHashRing ring_;
+  std::vector<std::string> shard_names_;  ///< shard_names_[i] == "shard-i"
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> publishes_{0};
+  std::chrono::steady_clock::time_point start_;
+
+  // Hot-path metric handles, resolved once (null when metrics are off).
+  obs::Counter* queries_total_ = nullptr;
+  obs::Counter* hits_counter_ = nullptr;
+  obs::Counter* misses_counter_ = nullptr;
+  obs::Counter* shed_counter_ = nullptr;
+  obs::Counter* not_found_counter_ = nullptr;
+  obs::Histogram* query_ms_ = nullptr;
+};
+
+/// The pipeline -> serving bridge: a callback suitable for
+/// core::TeroConfig::on_dataset that builds serving entries from the
+/// finished dataset and publishes them as the next epoch.
+[[nodiscard]] std::function<void(const core::Dataset&)> publish_hook(
+    QueryService& service);
+
+}  // namespace tero::serve

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <iosfwd>
+
+#include "serve/snapshot.hpp"
+
+namespace tero::serve {
+
+/// Snapshot persistence through store::persistence (the same length-prefixed
+/// KV snapshot format the micro-service stores use, App. B): `tero_cli
+/// simulate --snapshot-out` serializes the published epoch, and `tero_cli
+/// query/loadtest --snapshot` restore and serve it without re-running the
+/// pipeline. Doubles are written as "%.17g" so restored snapshots answer
+/// queries bit-identically to the original (round-trip tested).
+void save_snapshot(const Snapshot& snapshot, std::ostream& os);
+
+/// Restore a snapshot written by save_snapshot. Throws
+/// std::invalid_argument on malformed input.
+[[nodiscard]] SnapshotPtr load_snapshot(std::istream& is);
+
+}  // namespace tero::serve

@@ -39,6 +39,12 @@ class ConsistentHashRing {
     return nodes_.size();
   }
 
+  /// Live nodes in insertion order (serve::QueryService enumerates its
+  /// shards through this).
+  [[nodiscard]] const std::vector<std::string>& nodes() const noexcept {
+    return nodes_;
+  }
+
  private:
   int virtual_nodes_;
   std::vector<std::string> nodes_;

@@ -253,6 +253,11 @@ Dataset Pipeline::run(const synth::World& world,
         pool_ != nullptr ? pool_->stats() : util::ThreadPool::Stats{},
         *metrics, "tero.pool", &pool_stats_baseline_);
   }
+  if (config_.on_dataset) {
+    const obs::ScopedSpan publish_span(trace, "stage.publish", "stage");
+    const obs::ScopedTimer publish_timer(stage_histogram(metrics, "publish"));
+    config_.on_dataset(dataset);
+  }
   return dataset;
 }
 

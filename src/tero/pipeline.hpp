@@ -1,5 +1,6 @@
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -27,6 +28,8 @@ class TraceRecorder;
 }  // namespace tero::obs
 
 namespace tero::core {
+
+struct Dataset;
 
 /// Top-level configuration: Table 1 parameters plus pipeline choices.
 struct TeroConfig {
@@ -58,6 +61,13 @@ struct TeroConfig {
   /// output stays bit-identical with or without sinks (DESIGN.md §8).
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  /// Publish hook, called with the finished dataset at the very end of
+  /// run() (after funnel/pool accounting, before run() returns). The
+  /// serving layer attaches serve::publish_hook() here so every pipeline
+  /// run atomically publishes a fresh snapshot epoch (DESIGN.md §9). The
+  /// callback must not mutate the dataset; like the sinks it is
+  /// observational and never changes pipeline output.
+  std::function<void(const Dataset&)> on_dataset;
 };
 
 /// Everything Tero derived for one {streamer, game} pair.

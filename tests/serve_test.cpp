@@ -1,0 +1,498 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/admission.hpp"
+#include "serve/epoch.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/lru_cache.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/snapshot_io.hpp"
+#include "stats/descriptive.hpp"
+#include "synth/sessions.hpp"
+#include "tero/pipeline.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tero::serve {
+namespace {
+
+SnapshotEntry make_entry(const std::string& country, const std::string& game,
+                         std::vector<double> values,
+                         const std::string& region = "",
+                         const std::string& city = "") {
+  SnapshotEntry entry;
+  entry.location.city = city;
+  entry.location.region = region;
+  entry.location.country = country;
+  entry.game = game;
+  entry.sorted_values = std::move(values);
+  std::sort(entry.sorted_values.begin(), entry.sorted_values.end());
+  entry.samples = entry.sorted_values.size();
+  entry.mean_ms = entry.sorted_values.empty()
+                      ? 0.0
+                      : stats::mean(entry.sorted_values);
+  if (!entry.sorted_values.empty()) {
+    entry.box = stats::boxplot(entry.sorted_values);
+  }
+  entry.key = entry_key(entry.location, entry.game);
+  entry.streamers = 3;
+  return entry;
+}
+
+std::vector<SnapshotEntry> three_entries() {
+  return {make_entry("DE", "lol", {30, 32, 34, 36, 38}),
+          make_entry("FR", "lol", {50, 55, 60, 65, 70}),
+          make_entry("BR", "lol", {90, 95, 100, 105, 200})};
+}
+
+TEST(Snapshot, FindAndPointStats) {
+  const Snapshot snapshot(1, three_entries());
+  ASSERT_EQ(snapshot.size(), 3u);
+  geo::Location de;
+  de.country = "DE";
+  const SnapshotEntry* entry = snapshot.find(de, "lol");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->samples, 5u);
+  EXPECT_DOUBLE_EQ(entry->mean_ms, 34.0);
+  EXPECT_DOUBLE_EQ(entry->percentile(50), 34.0);
+  EXPECT_DOUBLE_EQ(entry->ecdf(33.0), 0.4);   // 30, 32 <= 33
+  EXPECT_DOUBLE_EQ(entry->ecdf(1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(entry->ecdf(0.0), 0.0);
+  geo::Location us;
+  us.country = "US";
+  EXPECT_EQ(snapshot.find(us, "lol"), nullptr);
+  EXPECT_EQ(snapshot.find(de, "dota"), nullptr);
+}
+
+TEST(Snapshot, TopKWorstRanksByP95) {
+  const Snapshot snapshot(1, three_entries());
+  const auto worst = snapshot.worst_locations("lol", 2);
+  ASSERT_EQ(worst.size(), 2u);
+  EXPECT_EQ(worst[0]->location.country, "BR");
+  EXPECT_EQ(worst[1]->location.country, "FR");
+  // k larger than the population clips without crashing.
+  EXPECT_EQ(snapshot.worst_locations("lol", 99).size(), 3u);
+  EXPECT_TRUE(snapshot.worst_locations("unknown-game", 3).empty());
+}
+
+TEST(Snapshot, BuildsFromPipelineDataset) {
+  synth::WorldConfig world_config;
+  world_config.seed = 5;
+  world_config.num_streamers = 40;
+  world_config.p_twitter = 1.0;
+  const synth::World world(world_config);
+  synth::BehaviorConfig behavior;
+  behavior.days = 3;
+  synth::SessionGenerator generator(world, behavior, 7);
+  const auto streams = generator.generate();
+
+  core::TeroConfig config;
+  config.p_latency_visible = 1.0;
+  config.threads = 1;
+
+  // The publish hook fires at the end of run() with the finished dataset.
+  ServeConfig serve_config;
+  QueryService service(serve_config);
+  config.on_dataset = publish_hook(service);
+
+  core::Pipeline pipeline(config);
+  const core::Dataset dataset = pipeline.run(world, streams);
+
+  const SnapshotPtr snapshot = service.snapshot();
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_EQ(snapshot->epoch(), 1u);
+  EXPECT_EQ(snapshot->size(), dataset.aggregates.size());
+  for (const auto& aggregate : dataset.aggregates) {
+    const SnapshotEntry* entry =
+        snapshot->find(aggregate.location, aggregate.game);
+    ASSERT_NE(entry, nullptr) << aggregate.game;
+    EXPECT_EQ(entry->samples, aggregate.distribution.size());
+    EXPECT_EQ(entry->streamers, aggregate.streamers);
+    if (aggregate.box.has_value()) {
+      EXPECT_DOUBLE_EQ(entry->box.p50, aggregate.box->p50);
+      // Serving percentiles agree with the offline boxplot computation.
+      EXPECT_DOUBLE_EQ(entry->percentile(95), aggregate.box->p95);
+    }
+  }
+}
+
+TEST(EpochPublisher, SwapsAtomicallyUnderConcurrentReaders) {
+  EpochPublisher publisher;
+  EXPECT_EQ(publisher.current(), nullptr);
+  EXPECT_EQ(publisher.epoch(), 0u);
+
+  // Each published epoch e carries e entries, all named consistently —
+  // readers assert they never see a half-built or mixed snapshot.
+  constexpr std::uint64_t kEpochs = 200;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> observed_epochs{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      std::uint64_t last_seen = 0;
+      while (!stop.load(std::memory_order_acquire)) {
+        const SnapshotPtr snapshot = publisher.current();
+        if (snapshot == nullptr) continue;
+        const std::uint64_t epoch = snapshot->epoch();
+        ASSERT_EQ(snapshot->size(), epoch);  // snapshot is internally whole
+        ASSERT_GE(epoch, last_seen);         // epochs are monotone per reader
+        last_seen = epoch;
+        observed_epochs.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::uint64_t e = 1; e <= kEpochs; ++e) {
+    std::vector<SnapshotEntry> entries;
+    for (std::uint64_t i = 0; i < e; ++i) {
+      entries.push_back(make_entry("C" + std::to_string(i), "g",
+                                   {double(e), double(e) + 1.0}));
+    }
+    publisher.publish(std::move(entries));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& reader : readers) reader.join();
+  EXPECT_EQ(publisher.epoch(), kEpochs);
+  EXPECT_GT(observed_epochs.load(), 0u);
+  EXPECT_EQ(publisher.current()->size(), kEpochs);
+}
+
+TEST(EpochPublisher, RestoredSnapshotKeepsItsEpoch) {
+  EpochPublisher publisher;
+  publisher.publish(std::make_shared<const Snapshot>(41, three_entries()));
+  EXPECT_EQ(publisher.epoch(), 41u);
+  // The next built epoch continues past the restored number.
+  const std::uint64_t next = publisher.publish(three_entries());
+  EXPECT_EQ(next, 42u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int> cache(2);
+  cache.put("a", 1);
+  cache.put("b", 2);
+  EXPECT_EQ(cache.get("a"), 1);  // refresh a; b is now LRU
+  cache.put("c", 3);
+  EXPECT_FALSE(cache.get("b").has_value());
+  EXPECT_EQ(cache.get("a"), 1);
+  EXPECT_EQ(cache.get("c"), 3);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get("a").has_value());
+}
+
+TEST(LruCacheTest, ZeroCapacityDisables) {
+  LruCache<int> cache(0);
+  cache.put("a", 1);
+  EXPECT_FALSE(cache.get("a").has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(QueryServiceTest, PointQueriesMatchSnapshotMath) {
+  QueryService service(ServeConfig{});
+  service.publish(three_entries());
+  Query query;
+  query.location.country = "FR";
+  query.game = "lol";
+  query.kind = QueryKind::kPercentile;
+  query.param = 50;
+  EXPECT_DOUBLE_EQ(service.query(query).value, 60.0);
+  query.kind = QueryKind::kMean;
+  EXPECT_DOUBLE_EQ(service.query(query).value, 60.0);
+  query.kind = QueryKind::kCount;
+  EXPECT_DOUBLE_EQ(service.query(query).value, 5.0);
+  query.kind = QueryKind::kEcdf;
+  query.param = 57.0;
+  EXPECT_DOUBLE_EQ(service.query(query).value, 0.4);
+  query.kind = QueryKind::kTopK;
+  query.k = 1;
+  const auto top = service.query(query);
+  ASSERT_EQ(top.top.size(), 1u);
+  geo::Location brazil;
+  brazil.country = "BR";
+  EXPECT_EQ(top.top[0].location, brazil.to_string());
+}
+
+TEST(QueryServiceTest, StatusesAndEmptyService) {
+  QueryService service(ServeConfig{});
+  Query query;
+  query.location.country = "DE";
+  query.game = "lol";
+  EXPECT_EQ(service.query(query).status, QueryStatus::kNoSnapshot);
+  service.publish(three_entries());
+  EXPECT_EQ(service.query(query).status, QueryStatus::kOk);
+  query.location.country = "US";
+  EXPECT_EQ(service.query(query).status, QueryStatus::kNotFound);
+}
+
+TEST(QueryServiceTest, CacheHitsAndInvalidationOnPublish) {
+  obs::MetricsRegistry registry;
+  ServeConfig config;
+  config.shards = 2;
+  config.metrics = &registry;
+  QueryService service(config);
+  service.publish(
+      {make_entry("DE", "lol", {10, 20, 30})});
+
+  Query query;
+  query.location.country = "DE";
+  query.game = "lol";
+  query.kind = QueryKind::kMean;
+  const auto first = service.query(query);
+  EXPECT_DOUBLE_EQ(first.value, 20.0);
+  EXPECT_FALSE(first.cached);
+  const auto second = service.query(query);
+  EXPECT_TRUE(second.cached);
+  EXPECT_DOUBLE_EQ(second.value, 20.0);
+  EXPECT_EQ(service.cache_hits(), 1u);
+  EXPECT_EQ(registry.counter("tero.serve.cache_hits").value(), 1u);
+
+  // New epoch with different data: the caches are cleared, so the next
+  // query recomputes against the new snapshot instead of serving stale
+  // bits.
+  service.publish({make_entry("DE", "lol", {100, 200, 300})});
+  const auto fresh = service.query(query);
+  EXPECT_FALSE(fresh.cached);
+  EXPECT_DOUBLE_EQ(fresh.value, 200.0);
+  EXPECT_EQ(fresh.epoch, 2u);
+  EXPECT_EQ(registry.counter("tero.serve.publishes").value(), 2u);
+  // The per-shard queue-depth gauges exist with the shard label.
+  EXPECT_EQ(registry
+                .gauge(obs::MetricsRegistry::labeled(
+                    "tero.serve.shard_queue_depth",
+                    {{"shard", "shard-" + std::to_string(
+                                   service.shard_for(query))}}))
+                .value(),
+            1.0);
+}
+
+TEST(QueryServiceTest, ShardingIsStableAndCovering) {
+  ServeConfig config;
+  config.shards = 4;
+  QueryService service(config);
+  service.publish(three_entries());
+  Query query;
+  query.game = "lol";
+  std::vector<std::size_t> seen;
+  for (const char* country : {"DE", "FR", "BR"}) {
+    query.location.country = country;
+    const std::size_t shard = service.shard_for(query);
+    EXPECT_LT(shard, service.shard_count());
+    EXPECT_EQ(shard, service.shard_for(query));  // stable
+    seen.push_back(shard);
+  }
+  // TopK queries shard by game, also inside range.
+  query.kind = QueryKind::kTopK;
+  EXPECT_LT(service.shard_for(query), service.shard_count());
+}
+
+TEST(QueryServiceTest, ShedsUnderOverloadAndRecovers) {
+  obs::MetricsRegistry registry;
+  ServeConfig config;
+  config.admission_rate_qps = 10.0;
+  config.admission_burst = 5.0;
+  config.metrics = &registry;
+  QueryService service(config);
+  service.publish(three_entries());
+
+  Query query;
+  query.location.country = "DE";
+  query.game = "lol";
+  query.kind = QueryKind::kMean;
+
+  // Burst capacity admits the first 5 queries at t=0, then sheds.
+  std::size_t ok = 0;
+  std::size_t shed = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto response = service.query(query, /*now_s=*/0.0);
+    if (response.status == QueryStatus::kOk) ++ok;
+    if (response.status == QueryStatus::kShed) ++shed;
+  }
+  EXPECT_EQ(ok, 5u);
+  EXPECT_EQ(shed, 15u);
+  EXPECT_EQ(service.shed_count(), 15u);
+  EXPECT_EQ(registry.counter("tero.serve.shed").value(), 15u);
+
+  // One second later the bucket has refilled rate * 1s = 10 tokens, but the
+  // balance is capped at the burst size, so only 5 more get through.
+  ok = shed = 0;
+  for (int i = 0; i < 20; ++i) {
+    const auto response = service.query(query, /*now_s=*/1.0);
+    if (response.status == QueryStatus::kOk) ++ok;
+    if (response.status == QueryStatus::kShed) ++shed;
+  }
+  EXPECT_EQ(ok, 5u);
+  EXPECT_EQ(shed, 15u);
+}
+
+TEST(AdmissionControllerTest, DisabledAdmitsEverything) {
+  AdmissionController admission(0.0, 0.0);
+  EXPECT_FALSE(admission.enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(admission.try_admit(0.0));
+  EXPECT_EQ(admission.shed(), 0u);
+}
+
+TEST(ZipfSamplerTest, DeterministicAndSkewed) {
+  const ZipfSampler zipf(100, 1.1);
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  std::vector<std::size_t> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) {
+    const std::size_t a = zipf.sample(rng_a);
+    ASSERT_EQ(a, zipf.sample(rng_b));  // same seed, same sequence
+    ASSERT_LT(a, 100u);
+    ++counts[a];
+  }
+  // Rank 0 dominates rank 50 heavily under s = 1.1.
+  EXPECT_GT(counts[0], 10 * std::max<std::size_t>(counts[50], 1));
+}
+
+TEST(LoadGen, ChecksumIdenticalAcrossThreadCounts) {
+  // The acceptance criterion: bit-identical query *results* for the same
+  // seed at 1 and 8 threads (timings may differ).
+  const auto entries = three_entries();
+  LoadGenConfig load;
+  load.queries = 5000;
+  load.seed = 123;
+
+  LoadTestReport reports[2];
+  const std::size_t thread_counts[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    ServeConfig config;
+    config.shards = 4;
+    QueryService service(config);
+    service.publish(std::vector<SnapshotEntry>(entries));
+    util::ThreadPool pool(thread_counts[i]);
+    reports[i] = run_loadtest(service, load,
+                              thread_counts[i] > 1 ? &pool : nullptr);
+  }
+  EXPECT_EQ(reports[0].checksum, reports[1].checksum);
+  EXPECT_EQ(reports[0].ok, reports[1].ok);
+  EXPECT_EQ(reports[0].not_found, reports[1].not_found);
+  EXPECT_EQ(reports[0].shed, 0u);
+  EXPECT_EQ(reports[1].shed, 0u);
+  EXPECT_EQ(reports[0].issued, 5000u);
+  EXPECT_GT(reports[0].ok, 0u);
+}
+
+TEST(LoadGen, OpenLoopShedIsDeterministicAndBoundsAdmission) {
+  const auto entries = three_entries();
+  LoadGenConfig load;
+  load.queries = 4000;
+  load.seed = 9;
+  load.offered_qps = 100000.0;  // far above the admission cap
+
+  LoadTestReport reports[2];
+  const std::size_t thread_counts[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    ServeConfig config;
+    config.shards = 2;
+    config.admission_rate_qps = 25000.0;  // a quarter of offered
+    config.admission_burst = 64.0;
+    QueryService service(config);
+    service.publish(std::vector<SnapshotEntry>(entries));
+    util::ThreadPool pool(thread_counts[i]);
+    reports[i] = run_loadtest(service, load,
+                              thread_counts[i] > 1 ? &pool : nullptr);
+  }
+  EXPECT_EQ(reports[0].checksum, reports[1].checksum);
+  EXPECT_EQ(reports[0].shed, reports[1].shed);
+  EXPECT_EQ(reports[0].ok, reports[1].ok);
+  // Offered 4x the admitted rate: roughly three quarters shed.
+  EXPECT_GT(reports[0].shed, reports[0].issued / 2);
+  EXPECT_GT(reports[0].ok, 0u);
+  EXPECT_EQ(reports[0].ok + reports[0].not_found + reports[0].shed,
+            reports[0].issued);
+}
+
+TEST(LoadGen, QueriesDependOnlyOnSeed) {
+  const Snapshot snapshot(1, three_entries());
+  LoadGenConfig load;
+  load.queries = 200;
+  load.seed = 4;
+  const auto a = generate_queries(snapshot, load);
+  const auto b = generate_queries(snapshot, load);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].game, b[i].game);
+    EXPECT_EQ(a[i].location, b[i].location);
+    EXPECT_DOUBLE_EQ(a[i].param, b[i].param);
+  }
+  load.seed = 5;
+  const auto c = generate_queries(snapshot, load);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].kind != c[i].kind || a[i].location != c[i].location ||
+        a[i].param != c[i].param) {
+      any_different = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(SnapshotIo, RoundTripsBitExactly) {
+  auto entries = three_entries();
+  entries[0].anomaly_flagged = true;
+  entries[0].shared_anomalies = 2;
+  entries[0].server_city = "Frankfurt am Main";
+  entries[0].avg_corrected_distance_km = 123.456789012345;
+  entries[1].sorted_values = {0.1, 1.0 / 3.0, 2.5000000000000004, 47.25};
+  entries[1].samples = entries[1].sorted_values.size();
+  const Snapshot original(7, std::move(entries));
+
+  std::ostringstream out;
+  save_snapshot(original, out);
+  std::istringstream in(out.str());
+  const SnapshotPtr restored = load_snapshot(in);
+
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->epoch(), 7u);
+  ASSERT_EQ(restored->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto& a = original.entries()[i];
+    const auto& b = restored->entries()[i];
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_EQ(a.location, b.location);
+    EXPECT_EQ(a.game, b.game);
+    EXPECT_EQ(a.streamers, b.streamers);
+    EXPECT_EQ(a.samples, b.samples);
+    EXPECT_EQ(a.anomaly_flagged, b.anomaly_flagged);
+    EXPECT_EQ(a.shared_anomalies, b.shared_anomalies);
+    EXPECT_EQ(a.server_city, b.server_city);
+    // %.17g round-trips doubles exactly — restored snapshots answer
+    // queries bit-identically.
+    EXPECT_EQ(a.mean_ms, b.mean_ms);
+    EXPECT_EQ(a.box.p5, b.box.p5);
+    EXPECT_EQ(a.box.p95, b.box.p95);
+    EXPECT_EQ(a.avg_corrected_distance_km, b.avg_corrected_distance_km);
+    ASSERT_EQ(a.sorted_values.size(), b.sorted_values.size());
+    for (std::size_t j = 0; j < a.sorted_values.size(); ++j) {
+      EXPECT_EQ(a.sorted_values[j], b.sorted_values[j]) << i << ":" << j;
+    }
+  }
+
+  // Served answers agree bit-for-bit between original and restored.
+  QueryService service_a(ServeConfig{});
+  QueryService service_b(ServeConfig{});
+  service_a.publish(std::make_shared<const Snapshot>(original));
+  service_b.publish(restored);
+  LoadGenConfig load;
+  load.queries = 2000;
+  load.seed = 31;
+  const auto report_a = run_loadtest(service_a, load, nullptr);
+  const auto report_b = run_loadtest(service_b, load, nullptr);
+  EXPECT_EQ(report_a.checksum, report_b.checksum);
+
+  std::istringstream garbage("not a snapshot");
+  EXPECT_THROW((void)load_snapshot(garbage), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tero::serve

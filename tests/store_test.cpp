@@ -156,6 +156,56 @@ TEST(ConsistentHashRing, RemovalOnlyRemapsOwnedKeys) {
   EXPECT_EQ(moved, 0);  // keys not owned by n2 stay put
 }
 
+TEST(ConsistentHashRing, RemovalMovesBoundedKeyFraction) {
+  // serve::QueryService relies on node churn staying ~1/n: removing one of
+  // n nodes must remap strictly less than 2/n of a 10k-key sample.
+  constexpr int kNodes = 5;
+  constexpr int kKeys = 10000;
+  ConsistentHashRing ring(64);
+  for (int i = 0; i < kNodes; ++i) {
+    ring.add_node("shard-" + std::to_string(i));
+  }
+  std::map<std::string, std::string> before;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "latency|key" + std::to_string(i);
+    before[key] = ring.node_for(key);
+  }
+  ring.remove_node("shard-2");
+  int moved = 0;
+  for (const auto& [key, node] : before) {
+    if (ring.node_for(key) != node) ++moved;
+  }
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(moved, 2 * kKeys / kNodes)
+      << "removal remapped " << moved << " of " << kKeys << " keys";
+}
+
+TEST(ConsistentHashRing, PlacementIsStableAcrossProcessRuns) {
+  // The ring hash is salted per node name, not per process: these literals
+  // were captured from a separate run, so any drift in fnv1a64 or the
+  // virtual-node layout (which would silently invalidate persisted shard
+  // assignments) fails here.
+  ConsistentHashRing ring(64);
+  for (int i = 0; i < 5; ++i) {
+    ring.add_node("shard-" + std::to_string(i));
+  }
+  EXPECT_EQ(ring.node_for("lol|DE||"), "shard-3");
+  EXPECT_EQ(ring.node_for("valorant|BR||"), "shard-1");
+  EXPECT_EQ(ring.node_for("fortnite|US|Texas|"), "shard-2");
+  EXPECT_EQ(ring.node_for("dota2|JP||Tokyo"), "shard-0");
+  EXPECT_EQ(ring.node_for("topk|lol"), "shard-1");
+}
+
+TEST(ConsistentHashRing, NodesListedInInsertionOrder) {
+  ConsistentHashRing ring;
+  ring.add_node("b");
+  ring.add_node("a");
+  ring.add_node("c");
+  EXPECT_EQ(ring.nodes(), (std::vector<std::string>{"b", "a", "c"}));
+  ring.remove_node("a");
+  EXPECT_EQ(ring.nodes(), (std::vector<std::string>{"b", "c"}));
+}
+
 TEST(ConsistentHashRing, EmptyRing) {
   ConsistentHashRing ring;
   EXPECT_EQ(ring.node_for("anything"), "");
