@@ -29,6 +29,19 @@
 //       generator; the reported result checksum is bit-identical for any
 //       thread count at a fixed seed (--open adds virtual-time arrivals,
 //       --admit enables token-bucket admission control / load shedding)
+//
+//   tero_cli stream [streamers] [days] [threads] [--window s] [--lateness s]
+//            [--publish-every n] [--checkpoint-dir d] [--checkpoint-every n]
+//            [--crash-after id] [--max-delay s] [--rate r] [--burst b]
+//            [--capacity n] [--snapshot-out f] [--metrics-out f]
+//            [--trace-out f] [--metrics-table]
+//       run the same scenario through the streaming ingestion pipeline
+//       (DESIGN.md §10): tumbling event-time windows fold into live serve
+//       epochs, checkpoints land in --checkpoint-dir, and --crash-after
+//       simulates a crash right after checkpoint N — rerunning with the
+//       same --checkpoint-dir resumes and produces bit-identical output.
+//       With --publish-every 0 the --snapshot-out file is byte-identical
+//       to `simulate --snapshot-out` for the same scenario.
 
 #include <cstdio>
 #include <fstream>
@@ -44,6 +57,7 @@
 #include "serve/service.hpp"
 #include "serve/snapshot_io.hpp"
 #include "stats/descriptive.hpp"
+#include "stream/pipeline.hpp"
 #include "synth/sessions.hpp"
 #include "tero/export.hpp"
 #include "tero/pipeline.hpp"
@@ -53,6 +67,57 @@
 using namespace tero;
 
 namespace {
+
+/// The complete usage text: every subcommand and every flag it accepts.
+/// Printed on --help (stdout, exit 0) and on unknown commands/flags
+/// (stderr, nonzero exit).
+constexpr const char* kUsage =
+    "usage: tero_cli <simulate|analyze|report|query|loadtest|stream> ...\n"
+    "\n"
+    "  simulate [out_dir] [streamers] [days] [threads]\n"
+    "           [--snapshot-out snap.bin] [--metrics-out m.json]\n"
+    "           [--trace-out t.json] [--metrics-table]\n"
+    "      run the batch pipeline over a synthetic world and write\n"
+    "      measurements.csv + aggregates.csv (plus optional snapshot,\n"
+    "      metrics JSON, Chrome trace)\n"
+    "\n"
+    "  analyze  <measurements.csv>\n"
+    "      re-run QoE cleaning over an exported data set\n"
+    "\n"
+    "  report   <measurements.csv> <game>\n"
+    "      per-streamer latency distribution for one game\n"
+    "\n"
+    "  query    <snapshot> point <game> <country> [region] [city]\n"
+    "  query    <snapshot> topk <game> [k]\n"
+    "      point / top-k-worst queries against a saved snapshot\n"
+    "\n"
+    "  loadtest <snapshot> [queries] [threads] [shards]\n"
+    "           [--seed n] [--zipf s] [--open qps] [--admit rate burst]\n"
+    "      deterministic Zipf load against the sharded query service\n"
+    "\n"
+    "  stream   [streamers] [days] [threads]\n"
+    "           [--window seconds] [--lateness seconds] [--publish-every n]\n"
+    "           [--checkpoint-dir dir] [--checkpoint-every n]\n"
+    "           [--crash-after id] [--max-delay seconds] [--rate qps]\n"
+    "           [--burst n] [--capacity n] [--snapshot-out snap.bin]\n"
+    "           [--metrics-out m.json] [--trace-out t.json]\n"
+    "           [--metrics-table]\n"
+    "      run the streaming ingestion pipeline over the same scenario;\n"
+    "      windows fold into live epochs, checkpoints enable crash\n"
+    "      recovery (--crash-after simulates the crash), and\n"
+    "      --publish-every 0 makes --snapshot-out byte-identical to\n"
+    "      `simulate --snapshot-out`\n"
+    "\n"
+    "  tero_cli --help prints this text; unknown flags exit nonzero.\n";
+
+/// Unknown-flag rejection shared by every subcommand: anything that starts
+/// with "--" and is not in the subcommand's flag table is an error, not a
+/// positional argument.
+int unknown_flag(const std::string& command, const std::string& arg) {
+  std::cerr << "tero_cli " << command << ": unknown flag " << arg << "\n\n"
+            << kUsage;
+  return 2;
+}
 
 int cmd_simulate(int argc, char** argv) {
   // Split --flags (accepted anywhere) from the positional arguments.
@@ -78,6 +143,8 @@ int cmd_simulate(int argc, char** argv) {
       }
     } else if (arg == "--metrics-table") {
       metrics_table = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return unknown_flag("simulate", arg);
     } else {
       positional.push_back(arg);
     }
@@ -181,6 +248,10 @@ int cmd_simulate(int argc, char** argv) {
 }
 
 int cmd_analyze(int argc, char** argv) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) return unknown_flag("analyze", arg);
+  }
   if (argc < 3) {
     std::cerr << "usage: tero_cli analyze <measurements.csv>\n";
     return 1;
@@ -219,6 +290,10 @@ int cmd_analyze(int argc, char** argv) {
 }
 
 int cmd_report(int argc, char** argv) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) return unknown_flag("report", arg);
+  }
   if (argc < 4) {
     std::cerr << "usage: tero_cli report <measurements.csv> <game>\n";
     return 1;
@@ -276,6 +351,10 @@ serve::SnapshotPtr load_snapshot_file(const std::string& path) {
 }
 
 int cmd_query(int argc, char** argv) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) return unknown_flag("query", arg);
+  }
   if (argc < 5) {
     std::cerr << "usage: tero_cli query <snapshot> point <game> <country> "
                  "[region] [city]\n"
@@ -376,6 +455,8 @@ int cmd_loadtest(int argc, char** argv) {
       }
       serve_config.admission_rate_qps = std::atof(argv[++i]);
       serve_config.admission_burst = std::atof(argv[++i]);
+    } else if (arg.rfind("--", 0) == 0) {
+      return unknown_flag("loadtest", arg);
     } else {
       positional.push_back(arg);
     }
@@ -438,6 +519,172 @@ int cmd_loadtest(int argc, char** argv) {
   return 0;
 }
 
+int cmd_stream(int argc, char** argv) {
+  stream::StreamConfig config;
+  std::string metrics_out;
+  std::string trace_out;
+  std::string snapshot_out;
+  bool metrics_table = false;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool takes_value =
+        arg == "--window" || arg == "--lateness" || arg == "--publish-every" ||
+        arg == "--checkpoint-dir" || arg == "--checkpoint-every" ||
+        arg == "--crash-after" || arg == "--max-delay" || arg == "--rate" ||
+        arg == "--burst" || arg == "--capacity" || arg == "--snapshot-out" ||
+        arg == "--metrics-out" || arg == "--trace-out";
+    if (takes_value) {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        return 1;
+      }
+      const std::string value = argv[++i];
+      if (arg == "--window") {
+        config.window_size_s = std::atof(value.c_str());
+      } else if (arg == "--lateness") {
+        config.allowed_lateness_s = std::atof(value.c_str());
+      } else if (arg == "--publish-every") {
+        config.publish_every_windows =
+            static_cast<std::size_t>(std::atoi(value.c_str()));
+      } else if (arg == "--checkpoint-dir") {
+        config.checkpoint_dir = value;
+      } else if (arg == "--checkpoint-every") {
+        config.checkpoint_every_windows =
+            static_cast<std::size_t>(std::atoi(value.c_str()));
+      } else if (arg == "--crash-after") {
+        config.crash_after =
+            static_cast<std::uint64_t>(std::atoll(value.c_str()));
+      } else if (arg == "--max-delay") {
+        config.max_delivery_delay_s = std::atof(value.c_str());
+      } else if (arg == "--rate") {
+        config.download_rate = std::atof(value.c_str());
+      } else if (arg == "--burst") {
+        config.download_burst = std::atof(value.c_str());
+      } else if (arg == "--capacity") {
+        config.channel_capacity =
+            static_cast<std::size_t>(std::atoi(value.c_str()));
+      } else if (arg == "--snapshot-out") {
+        snapshot_out = value;
+      } else if (arg == "--metrics-out") {
+        metrics_out = value;
+      } else {
+        trace_out = value;
+      }
+    } else if (arg == "--metrics-table") {
+      metrics_table = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return unknown_flag("stream", arg);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (!config.checkpoint_dir.empty() &&
+      config.checkpoint_every_windows == 0) {
+    config.checkpoint_every_windows = 4;
+  }
+  if (config.checkpoint_dir.empty() && config.checkpoint_every_windows > 0) {
+    std::cerr << "--checkpoint-every needs --checkpoint-dir\n";
+    return 1;
+  }
+
+  // The exact scenario `simulate` runs, so the two paths are comparable.
+  const std::size_t streamers =
+      !positional.empty()
+          ? static_cast<std::size_t>(std::atoi(positional[0].c_str()))
+          : 300;
+  const int days = positional.size() > 1 ? std::atoi(positional[1].c_str())
+                                         : 7;
+  config.tero.threads =
+      positional.size() > 2
+          ? static_cast<std::size_t>(std::atoi(positional[2].c_str()))
+          : 0;
+
+  synth::WorldConfig world_config;
+  world_config.seed = 1;
+  world_config.num_streamers = streamers;
+  world_config.p_twitter = 0.8;
+  const synth::World world(world_config);
+  synth::BehaviorConfig behavior;
+  behavior.days = days;
+  synth::SessionGenerator generator(world, behavior, 2);
+  const auto streams = generator.generate();
+
+  const bool want_metrics = !metrics_out.empty() || metrics_table;
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder;
+  if (want_metrics) config.tero.metrics = &registry;
+  if (!trace_out.empty()) config.tero.trace = &recorder;
+
+  serve::ServeConfig serve_config;
+  serve_config.metrics = config.tero.metrics;
+  serve_config.trace = config.tero.trace;
+  serve::QueryService service(serve_config);
+  config.service = &service;
+
+  stream::StreamPipeline pipeline(std::move(config));
+  const stream::StreamResult result = pipeline.run(world, streams);
+
+  if (result.resumed_from > 0) {
+    std::cout << "resumed from checkpoint " << result.resumed_from << "\n";
+  }
+  std::cout << "stream: " << result.events << " measurements ("
+            << result.thumbnails << " thumbnails), " << result.windows_closed
+            << " windows closed, " << result.late_events << " late, "
+            << result.epochs_published << " live epochs, "
+            << result.checkpoints_written << " checkpoints\n";
+  std::cout << "  backpressure stalls "
+            << result.to_extract.stalls + result.to_clean.stalls +
+                   result.to_sink.stalls
+            << " (extract " << result.to_extract.stalls << ", clean "
+            << result.to_clean.stalls << ", sink " << result.to_sink.stalls
+            << "), download throttled " << result.download_throttled << "\n";
+  if (result.crashed) {
+    std::cout << "crashed after checkpoint "
+              << pipeline.config().crash_after
+              << " (fault injection); rerun with the same --checkpoint-dir "
+                 "to resume\n";
+    return 0;
+  }
+  std::cout << "final epoch " << result.final_epoch << ": "
+            << result.final_entries.size() << " {location, game} entries, "
+            << result.dataset.funnel.retained << " retained points\n";
+
+  if (!snapshot_out.empty()) {
+    std::ofstream out(snapshot_out, std::ios::binary);
+    if (!out) {
+      std::cerr << "cannot open " << snapshot_out << "\n";
+      return 1;
+    }
+    const serve::Snapshot snapshot(result.final_epoch, result.final_entries);
+    serve::save_snapshot(snapshot, out);
+    std::cout << "wrote snapshot epoch " << snapshot.epoch() << " ("
+              << snapshot.size() << " entries) to " << snapshot_out << "\n";
+  }
+  if (!metrics_out.empty()) {
+    std::ofstream out(metrics_out);
+    if (!out) {
+      std::cerr << "cannot open " << metrics_out << "\n";
+      return 1;
+    }
+    registry.write_json(out);
+    std::cout << "wrote " << registry.size() << " metrics to " << metrics_out
+              << "\n";
+  }
+  if (metrics_table) registry.write_table(std::cout);
+  if (!trace_out.empty()) {
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::cerr << "cannot open " << trace_out << "\n";
+      return 1;
+    }
+    recorder.write_json(out);
+    std::cout << "wrote " << recorder.span_count() << " trace events to "
+              << trace_out << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -447,18 +694,14 @@ int main(int argc, char** argv) {
   if (command == "report") return cmd_report(argc, argv);
   if (command == "query") return cmd_query(argc, argv);
   if (command == "loadtest") return cmd_loadtest(argc, argv);
-  std::cerr << "usage: tero_cli <simulate|analyze|report|query|loadtest> "
-               "...\n"
-               "  simulate [out_dir] [streamers] [days] [threads]\n"
-               "           [--metrics-out m.json] [--trace-out t.json]\n"
-               "           [--metrics-table] [--snapshot-out snap.bin]\n"
-               "  analyze  <measurements.csv>\n"
-               "  report   <measurements.csv> <game>\n"
-               "  query    <snapshot> point <game> <country> [region] "
-               "[city]\n"
-               "  query    <snapshot> topk <game> [k]\n"
-               "  loadtest <snapshot> [queries] [threads] [shards]\n"
-               "           [--seed n] [--zipf s] [--open qps] "
-               "[--admit rate burst]\n";
+  if (command == "stream") return cmd_stream(argc, argv);
+  if (command == "--help" || command == "-h" || command == "help") {
+    std::cout << kUsage;
+    return 0;
+  }
+  if (!command.empty()) {
+    std::cerr << "tero_cli: unknown command " << command << "\n\n";
+  }
+  std::cerr << kUsage;
   return command.empty() ? 1 : 2;
 }

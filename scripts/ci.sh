@@ -30,14 +30,16 @@ run_preset() {
 run_bench_smoke() {
   cmake --preset default
   cmake --build --preset default -j "$(nproc)" \
-    --target bench_perf_micro bench_serve bench_json_check
+    --target bench_perf_micro bench_serve bench_stream bench_json_check
   # Benchmarks write BENCH_*.json into their cwd; keep artifacts in build/bench.
   (
     cd build/bench
     ./bench_perf_micro --benchmark_filter='BM_CleanStream/100' \
       --benchmark_min_time=0.01
     ./bench_serve --tiny
-    ./bench_json_check BENCH_perf_micro.json BENCH_serve.json
+    ./bench_stream --tiny
+    ./bench_json_check BENCH_perf_micro.json BENCH_serve.json \
+      BENCH_stream.json
   )
 }
 

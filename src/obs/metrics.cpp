@@ -70,6 +70,26 @@ void QuantileSketch::merge(const QuantileSketch& other) {
   for (const auto& [index, count] : other_buckets) buckets_[index] += count;
 }
 
+std::vector<std::pair<int, std::uint64_t>> QuantileSketch::export_buckets()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {buckets_.begin(), buckets_.end()};
+}
+
+std::uint64_t QuantileSketch::underflow() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return underflow_;
+}
+
+void QuantileSketch::restore(
+    const std::vector<std::pair<int, std::uint64_t>>& buckets,
+    std::uint64_t underflow) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buckets_.clear();
+  buckets_.insert(buckets.begin(), buckets.end());
+  underflow_ = underflow;
+}
+
 std::uint64_t QuantileSketch::count() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::uint64_t total = underflow_;

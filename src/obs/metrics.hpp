@@ -77,6 +77,16 @@ class QuantileSketch {
   [[nodiscard]] std::uint64_t count() const;
   [[nodiscard]] double alpha() const noexcept { return alpha_; }
 
+  /// Checkpoint support: the exact internal state as (bucket index, count)
+  /// pairs in ascending index order plus the underflow count. restore()
+  /// replaces the sketch's contents with a previously exported state; a
+  /// restored sketch reports bit-identical quantiles (same alpha required).
+  [[nodiscard]] std::vector<std::pair<int, std::uint64_t>> export_buckets()
+      const;
+  [[nodiscard]] std::uint64_t underflow() const;
+  void restore(const std::vector<std::pair<int, std::uint64_t>>& buckets,
+               std::uint64_t underflow);
+
  private:
   [[nodiscard]] int bucket_index(double value) const;
 

@@ -61,6 +61,16 @@ class LruCache {
     index_.clear();
   }
 
+  /// Zero the hit/miss/eviction stats. The service calls this at publish
+  /// time after folding the per-epoch values into the shard's lifetime
+  /// totals, so each epoch's hit-rate accounting starts fresh while the
+  /// service-level cumulative counts never regress.
+  void reset_stats() noexcept {
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
   [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }

@@ -61,6 +61,23 @@ QueryService::QueryService(ServeConfig config)
     shed_counter_ = &registry.counter("tero.serve.shed");
     not_found_counter_ = &registry.counter("tero.serve.not_found");
     query_ms_ = &registry.histogram("tero.serve.query_ms");
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      shards_[i]->hits_counter = &registry.counter(obs::MetricsRegistry::
+          labeled("tero.serve.cache_hits", {{"shard", shard_names_[i]}}));
+      shards_[i]->misses_counter = &registry.counter(obs::MetricsRegistry::
+          labeled("tero.serve.cache_misses", {{"shard", shard_names_[i]}}));
+    }
+  }
+}
+
+void QueryService::invalidate_caches() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->folded_hits += shard->cache.hits();
+    shard->folded_misses += shard->cache.misses();
+    shard->folded_evictions += shard->cache.evictions();
+    shard->cache.reset_stats();
+    shard->cache.clear();
   }
 }
 
@@ -68,10 +85,7 @@ std::uint64_t QueryService::publish(std::vector<SnapshotEntry> entries) {
   const obs::ScopedSpan span(config_.trace, "serve.publish", "serve");
   const std::uint64_t epoch = publisher_.publish(std::move(entries));
   publishes_.fetch_add(1, std::memory_order_relaxed);
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i]->mutex);
-    shards_[i]->cache.clear();
-  }
+  invalidate_caches();
   if (config_.metrics != nullptr) {
     config_.metrics->counter("tero.serve.publishes").add();
     config_.metrics->set_gauge("tero.serve.epoch", {},
@@ -84,10 +98,7 @@ void QueryService::publish(SnapshotPtr snapshot) {
   const obs::ScopedSpan span(config_.trace, "serve.publish", "serve");
   publisher_.publish(std::move(snapshot));
   publishes_.fetch_add(1, std::memory_order_relaxed);
-  for (std::size_t i = 0; i < shards_.size(); ++i) {
-    std::lock_guard<std::mutex> lock(shards_[i]->mutex);
-    shards_[i]->cache.clear();
-  }
+  invalidate_caches();
   if (config_.metrics != nullptr) {
     config_.metrics->counter("tero.serve.publishes").add();
     config_.metrics->set_gauge("tero.serve.epoch", {},
@@ -236,9 +247,11 @@ QueryResponse QueryService::query_admitted(const Query& query) {
     // and epochs are immutable, so it is never stale within its epoch.
     response.cached = true;
     if (hits_counter_ != nullptr) hits_counter_->add();
+    if (shard.hits_counter != nullptr) shard.hits_counter->add();
   } else {
     response = compute(query, *snapshot);
     if (misses_counter_ != nullptr) misses_counter_->add();
+    if (shard.misses_counter != nullptr) shard.misses_counter->add();
     if (response.status == QueryStatus::kNotFound &&
         not_found_counter_ != nullptr) {
       not_found_counter_->add();
@@ -265,7 +278,7 @@ std::uint64_t QueryService::cache_hits() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    total += shard->cache.hits();
+    total += shard->folded_hits + shard->cache.hits();
   }
   return total;
 }
@@ -274,7 +287,7 @@ std::uint64_t QueryService::cache_misses() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    total += shard->cache.misses();
+    total += shard->folded_misses + shard->cache.misses();
   }
   return total;
 }

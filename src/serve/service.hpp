@@ -161,9 +161,23 @@ class QueryService {
     /// Queries currently inside this shard (admitted, not yet answered) —
     /// exported as the per-shard queue-depth gauge.
     std::atomic<std::uint64_t> inflight{0};
+    /// Cache stats folded in from epochs the publish path already cleared
+    /// (guarded by `mutex`): cache.hits()/misses() only cover the current
+    /// epoch, lifetime totals are folded + current.
+    std::uint64_t folded_hits = 0;
+    std::uint64_t folded_misses = 0;
+    std::uint64_t folded_evictions = 0;
+    /// Per-shard labeled counters (null when metrics are off):
+    /// tero.serve.cache_hits{shard=shard-i} and the matching misses.
+    obs::Counter* hits_counter = nullptr;
+    obs::Counter* misses_counter = nullptr;
 
     explicit Shard(std::size_t cache_capacity) : cache(cache_capacity) {}
   };
+
+  /// Publish-path cache invalidation: folds each shard's per-epoch cache
+  /// stats into its lifetime totals, then clears entries and stats.
+  void invalidate_caches();
 
   [[nodiscard]] QueryResponse compute(const Query& query,
                                       const Snapshot& snapshot) const;

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "obs/metrics.hpp"
+
+namespace tero::stream {
+
+/// Lifetime accounting for one channel; readable at any time, exact after
+/// both sides have finished. `stalls` counts blocking pushes that found the
+/// channel full (one stall per push, however long it waited) — the
+/// backpressure signal. `max_depth` is the high-water mark of the queue and
+/// by construction never exceeds the capacity.
+struct ChannelStats {
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t max_depth = 0;
+};
+
+/// Bounded MPSC/SPSC queue connecting two pipeline stages (DESIGN.md §10).
+///
+/// Semantics:
+///  - push() blocks while the channel is full (bounded memory: at most
+///    `capacity` elements are ever queued) and returns false once the
+///    channel is closed — the producer's signal to shut down.
+///  - try_push() never blocks; false means full or closed.
+///  - pop() blocks while empty; after close() it drains the remaining
+///    elements and then returns nullopt.
+///  - close() is idempotent and callable from either side: it wakes blocked
+///    producers (their push fails) and blocked consumers (pop drains, then
+///    ends). A consumer closing its *input* channel is the teardown cascade:
+///    every producer blocked on that channel unblocks with push() == false,
+///    propagates the close to its own input, and exits.
+///
+/// The optional gauge/counter sinks export queue depth and backpressure
+/// stalls into the metrics registry; like all obs wiring they are
+/// observational only and never change queueing behaviour.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity, obs::Gauge* depth_gauge = nullptr,
+                   obs::Counter* stall_counter = nullptr)
+      : capacity_(capacity == 0 ? 1 : capacity),
+        depth_gauge_(depth_gauge),
+        stall_counter_(stall_counter) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocking push; false when the channel was closed (value dropped).
+  bool push(T value) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_.size() >= capacity_ && !closed_) {
+      ++stats_.stalls;
+      if (stall_counter_ != nullptr) stall_counter_->add();
+      not_full_.wait(lock,
+                     [this] { return queue_.size() < capacity_ || closed_; });
+    }
+    if (closed_) return false;
+    enqueue_locked(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; false when full or closed.
+  bool try_push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || queue_.size() >= capacity_) return false;
+      enqueue_locked(std::move(value));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; nullopt once the channel is closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    return dequeue_locked(lock);
+  }
+
+  /// Non-blocking pop; nullopt when currently empty (closed or not).
+  std::optional<T> try_pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    return dequeue_locked(lock);
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  [[nodiscard]] ChannelStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  void enqueue_locked(T value) {
+    queue_.push_back(std::move(value));
+    ++stats_.pushed;
+    if (queue_.size() > stats_.max_depth) stats_.max_depth = queue_.size();
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->set(static_cast<double>(queue_.size()));
+    }
+  }
+
+  std::optional<T> dequeue_locked(std::unique_lock<std::mutex>& lock) {
+    std::optional<T> value(std::move(queue_.front()));
+    queue_.pop_front();
+    ++stats_.popped;
+    if (depth_gauge_ != nullptr) {
+      depth_gauge_->set(static_cast<double>(queue_.size()));
+    }
+    lock.unlock();
+    not_full_.notify_one();
+    return value;
+  }
+
+  const std::size_t capacity_;
+  obs::Gauge* depth_gauge_;
+  obs::Counter* stall_counter_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+  ChannelStats stats_;
+};
+
+}  // namespace tero::stream

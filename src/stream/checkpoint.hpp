@@ -1,0 +1,108 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analysis/types.hpp"
+#include "geo/geo.hpp"
+#include "stream/event.hpp"
+
+namespace tero::stream {
+
+/// Exact serialized state of one quantile sketch (obs::QuantileSketch
+/// export/restore round-trips bit-identically).
+struct SketchState {
+  std::vector<std::pair<int, std::uint64_t>> buckets;
+  std::uint64_t underflow = 0;
+};
+
+/// Exact state of one WindowAggregate.
+struct AggregateState {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  SketchState sketch;
+};
+
+/// The barrier-carried checkpoint (Chandy–Lamport along a stage chain,
+/// DESIGN.md §10): the source stamps its cursor, then each stage appends
+/// its fragment as it forwards the barrier — channel FIFO order makes the
+/// combined state globally consistent — and the sink finalizes and writes
+/// it through store::persistence. Restoring every fragment and re-running
+/// the source from `cursor` replays the tail exactly, so the final output
+/// is bit-identical to an uninterrupted run.
+struct CheckpointData {
+  std::uint64_t id = 0;
+  /// Schedule events the source had emitted when the barrier left it
+  /// (the barrier itself included): resume starts at events[cursor].
+  std::uint64_t cursor = 0;
+  std::uint64_t events_total = 0;  ///< schedule size, for sanity checking
+
+  // -- extraction fragment: funnel counters so far ------------------------
+  std::uint64_t thumbnails = 0;
+  std::uint64_t visible = 0;
+  std::uint64_t ocr_ok = 0;
+
+  // -- cleaning fragment: open group buffers ------------------------------
+  struct StreamBuffer {
+    std::uint32_t stream_index = 0;
+    std::vector<analysis::Measurement> points;
+  };
+  struct GroupState {
+    GroupKey key;
+    std::uint64_t remaining = 0;  ///< streams still to end in this group
+    std::vector<StreamBuffer> streams;
+  };
+  std::vector<GroupState> groups;
+
+  // -- sink fragment ------------------------------------------------------
+  double watermark = 0.0;
+  std::map<std::uint32_t, double> open_sources;
+  struct WindowState {
+    std::int64_t window = 0;
+    geo::Location location;
+    std::string game;
+    AggregateState agg;
+    std::vector<std::string> streamers;  ///< distinct pseudonyms, sorted
+  };
+  std::vector<WindowState> windows;
+  struct RunningState {
+    geo::Location location;
+    std::string game;
+    AggregateState agg;
+    std::vector<std::string> streamers;  ///< distinct pseudonyms, sorted
+  };
+  std::vector<RunningState> running;
+  std::vector<CollectedEntry> collected;
+
+  std::uint64_t measurements = 0;
+  std::uint64_t late_events = 0;
+  std::uint64_t windows_closed = 0;
+  std::uint64_t windows_since_publish = 0;
+  std::uint64_t epoch_counter = 0;
+  std::uint64_t epochs_published = 0;
+};
+
+/// Serialize/restore through store::persistence (length-prefixed KV
+/// snapshot; doubles printed %.17g for bit-exact round trips, fields
+/// separated by 0x1f like serve::snapshot_io).
+void save_checkpoint(const CheckpointData& data, std::ostream& os);
+[[nodiscard]] CheckpointData load_checkpoint(std::istream& is);
+
+/// File layout inside a checkpoint directory: checkpoint-<id>.kv, written
+/// to a temp name and renamed so readers never see a torn file.
+[[nodiscard]] std::string checkpoint_path(const std::string& dir,
+                                          std::uint64_t id);
+void write_checkpoint_file(const CheckpointData& data, const std::string& dir);
+/// Highest checkpoint id present in `dir`; nullopt when none.
+[[nodiscard]] std::optional<std::uint64_t> latest_checkpoint_id(
+    const std::string& dir);
+[[nodiscard]] CheckpointData read_checkpoint_file(const std::string& dir,
+                                                  std::uint64_t id);
+
+}  // namespace tero::stream

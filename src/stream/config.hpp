@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "tero/pipeline.hpp"
+
+namespace tero::serve {
+class QueryService;
+}  // namespace tero::serve
+
+namespace tero::stream {
+
+/// Configuration of the streaming ingestion pipeline (DESIGN.md §10). The
+/// embedded TeroConfig supplies the shared knobs — analysis parameters,
+/// extraction channel, seed, thread count, granularity, obs sinks — so a
+/// streaming run and a batch run of the same scenario are configured from
+/// the same values (the bit-equivalence contract).
+struct StreamConfig {
+  core::TeroConfig tero;
+
+  /// Event-time tumbling window size, seconds.
+  double window_size_s = 21600.0;  // 6 hours
+  /// Windows stay open this long past their end (watermark time) before
+  /// closing; events older than a closed window are late.
+  double allowed_lateness_s = 0.0;
+  /// Publish a live snapshot epoch every this many closed windows
+  /// (0 = only the final exact snapshot).
+  std::size_t publish_every_windows = 4;
+  /// Relative-error parameter of the per-window quantile sketches.
+  double sketch_alpha = 0.01;
+
+  /// Write a checkpoint every this many windows' worth of arrival time
+  /// (0 = checkpointing off). Requires checkpoint_dir.
+  std::size_t checkpoint_every_windows = 0;
+  std::string checkpoint_dir;
+  /// Fault injection: simulate a crash immediately after checkpoint N is
+  /// written (0 = off). The run stops with StreamResult::crashed == true.
+  std::uint64_t crash_after = 0;
+
+  /// Per-stream delivery delay is uniform in [0, max_delivery_delay_s];
+  /// 0 means arrivals equal event times (no late events possible).
+  double max_delivery_delay_s = 0.0;
+  /// Virtual-time token bucket over thumbnail arrivals (Twitch API quota);
+  /// rate <= 0 disables throttling.
+  double download_rate = 0.0;
+  double download_burst = 0.0;
+
+  /// Bounded capacity of each inter-stage channel.
+  std::size_t channel_capacity = 1024;
+  /// Max thumbnails the extraction stage gathers before running one
+  /// parallel extraction batch on the thread pool.
+  std::size_t extract_batch = 64;
+  /// Test/bench knob: microseconds the sink sleeps per event, to make the
+  /// consumer slow and force backpressure. Wall-clock pacing only — never
+  /// read by the data path.
+  std::uint64_t sink_delay_us = 0;
+
+  /// Live epoch target (not owned; may be null). Closed windows fold into
+  /// snapshots published here; the final exact snapshot is published last.
+  serve::QueryService* service = nullptr;
+};
+
+}  // namespace tero::stream

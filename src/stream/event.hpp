@@ -1,0 +1,67 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "analysis/types.hpp"
+#include "tero/pipeline.hpp"
+
+namespace tero::stream {
+
+struct CheckpointData;
+
+/// What flows through the pipeline's channels. Thumbnail events are the
+/// data; the markers carry stream lifecycle (watermark open/close),
+/// completed per-streamer entries, and checkpoint barriers.
+enum class EventKind : std::uint8_t {
+  kThumbnail,    ///< one thumbnail of one ground-truth stream
+  kStreamStart,  ///< source's first delivery — opens its watermark
+  kStreamEnd,    ///< source finished — closes its watermark
+  kEntry,        ///< cleaning stage completed a {streamer, game, epoch} group
+  kCheckpoint,   ///< barrier: stages append their state fragment and forward
+};
+
+/// Identity of one per-{streamer, game, location-epoch} analysis group.
+/// Ordering matches the batch pipeline's std::tuple<std::size_t,
+/// std::string, int> grouping key, so streaming output can be arranged in
+/// the exact order batch produces it.
+struct GroupKey {
+  std::size_t streamer_index = 0;
+  std::string game;
+  int epoch = 0;
+
+  auto operator<=>(const GroupKey&) const = default;
+};
+
+/// A finished analysis entry together with its group key (the entry itself
+/// does not carry the streamer index, which the final flush sorts by).
+struct CollectedEntry {
+  GroupKey key;
+  core::StreamerGameEntry entry;
+};
+
+/// One event. Events travel every channel in schedule order; the extraction
+/// stage fills `visible`/`measurement` in place, the cleaning stage emits
+/// additional kEntry events. `ingest_wall_s` is an observational wall-clock
+/// stamp for the ingest-to-publish latency histogram — nothing in the data
+/// path reads it (virtual event time only).
+struct StreamEvent {
+  EventKind kind = EventKind::kThumbnail;
+  std::uint32_t stream_index = 0;
+  std::uint32_t point_index = 0;
+  double event_time = 0.0;    ///< virtual event time (TruePoint::t)
+  double arrival_time = 0.0;  ///< virtual delivery time (delay + throttle)
+  double ingest_wall_s = 0.0;
+
+  bool visible = false;
+  std::optional<analysis::Measurement> measurement;
+
+  std::uint64_t checkpoint_id = 0;               ///< kCheckpoint
+  std::shared_ptr<CheckpointData> draft;         ///< kCheckpoint
+  std::shared_ptr<const CollectedEntry> entry;   ///< kEntry
+};
+
+}  // namespace tero::stream

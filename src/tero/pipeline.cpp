@@ -61,6 +61,95 @@ obs::Histogram* task_histogram(obs::MetricsRegistry* metrics,
 
 }  // namespace
 
+LocatedWorld locate_streamers(const synth::World& world) {
+  LocatedWorld out;
+  const social::Locator locator(world.twitter(), world.steam());
+  out.located.resize(world.streamers().size());
+  out.sources.assign(world.streamers().size(), social::LocationSource::kNone);
+  out.located_after.resize(world.streamers().size());
+  for (std::size_t i = 0; i < world.streamers().size(); ++i) {
+    const auto result = locator.locate(world.streamers()[i].twitch);
+    out.located[i] = result.location;
+    out.sources[i] = result.source;
+    if (result.located()) ++out.streamers_located;
+  }
+
+  // §3.1.1: multiple locations per streamer. A relocated streamer advertises
+  // the new location; Tero re-geoparses the updated profile and keeps each
+  // {streamer, location} tuple as a distinct end-point. Epoch 0 = before the
+  // move, epoch 1 = after.
+  for (std::size_t i = 0; i < world.streamers().size(); ++i) {
+    const auto& streamer = world.streamers()[i];
+    if (!streamer.relocation.has_value() || !out.located[i].has_value()) {
+      continue;
+    }
+    out.located_after[i] = nlp::combine_twitter_location(
+        streamer.relocation->new_twitter_location, locator.tools());
+  }
+  return out;
+}
+
+int stream_epoch(const synth::World& world, const LocatedWorld& located,
+                 const synth::TrueStream& stream) {
+  const auto& streamer = world.streamers()[stream.streamer_index];
+  if (!streamer.relocation.has_value() ||
+      !located.located_after[stream.streamer_index].has_value() ||
+      stream.points.empty()) {
+    return 0;
+  }
+  const double move_time = streamer.relocation->day * 86400.0;
+  return stream.points.front().t >= move_time ? 1 : 0;
+}
+
+store::Pseudonymizer make_pseudonymizer(std::uint64_t config_seed) {
+  return store::Pseudonymizer(config_seed ^ 0x7e40deadbeefULL);
+}
+
+std::uint64_t extraction_stream_seed(std::uint64_t config_seed,
+                                     std::uint64_t stream_index) {
+  return util::mix_seed(util::mix_seed(config_seed, kExtractionSalt),
+                        stream_index);
+}
+
+ThumbnailExtraction extract_thumbnail(const ExtractionChannel& channel,
+                                      const ocr::GameUiSpec& spec,
+                                      const synth::TruePoint& point,
+                                      double p_latency_visible,
+                                      std::uint64_t stream_seed,
+                                      std::uint64_t point_index) {
+  ThumbnailExtraction out;
+  util::Rng rng = util::Rng::indexed(stream_seed, point_index);
+  if (!rng.bernoulli(p_latency_visible)) return out;
+  out.visible = true;
+  out.measurement = channel.extract(point, spec, rng);
+  return out;
+}
+
+std::optional<StreamerGameEntry> analyze_streamer_group(
+    const synth::World& world, const LocatedWorld& located,
+    const store::Pseudonymizer& pseudonymizer, std::size_t streamer_index,
+    std::string game, int epoch, std::vector<analysis::Stream> streams,
+    const analysis::AnalysisConfig& config) {
+  const auto& streamer = world.streamers()[streamer_index];
+  StreamerGameEntry entry;
+  entry.pseudonym = pseudonymizer.pseudonym(streamer.id);
+  entry.game = std::move(game);
+  if (epoch == 1) {
+    entry.location = *located.located_after[streamer_index];
+    entry.true_location = streamer.relocation->new_location;
+  } else {
+    entry.location = *located.located[streamer_index];
+    entry.true_location = streamer.home_location;
+  }
+  entry.location_source = located.sources[streamer_index];
+  entry.clean = analysis::clean_streamer_game(std::move(streams), config);
+  if (entry.clean.discarded_entirely) return std::nullopt;
+  entry.clusters = analysis::cluster_streamer(entry.clean, config);
+  entry.is_static = analysis::is_static_streamer(entry.clusters, config);
+  entry.high_quality = entry.clean.spike_fraction() <= config.max_spikes;
+  return entry;
+}
+
 Pipeline::Pipeline(TeroConfig config) : config_(std::move(config)) {
   channel_ = config_.use_full_ocr
                  ? make_ocr_channel(config_.thumbnails)
@@ -78,63 +167,31 @@ Dataset Pipeline::run(const synth::World& world,
   const obs::ScopedTimer run_timer(stage_histogram(metrics, "run"));
 
   Dataset dataset;
-  const store::Pseudonymizer pseudonymizer(config_.seed ^ 0x7e40deadbeefULL);
+  const store::Pseudonymizer pseudonymizer = make_pseudonymizer(config_.seed);
 
   // ---- Location module (§3.1) ------------------------------------------------
-  const social::Locator locator(world.twitter(), world.steam());
-  std::vector<std::optional<geo::Location>> located(world.streamers().size());
-  std::vector<social::LocationSource> sources(
-      world.streamers().size(), social::LocationSource::kNone);
-  std::vector<std::optional<geo::Location>> located_after(
-      world.streamers().size());
+  LocatedWorld located;
   {
     const obs::ScopedSpan stage_span(trace, "stage.location", "stage");
     const obs::ScopedTimer stage_timer(stage_histogram(metrics, "location"));
+    located = locate_streamers(world);
     dataset.funnel.streamers_total = world.streamers().size();
-    for (std::size_t i = 0; i < world.streamers().size(); ++i) {
-      const auto result = locator.locate(world.streamers()[i].twitch);
-      located[i] = result.location;
-      sources[i] = result.source;
-      if (result.located()) ++dataset.funnel.streamers_located;
-    }
-
-    // ---- §3.1.1: multiple locations per streamer ----------------------------
-    // A relocated streamer advertises the new location; Tero re-geoparses the
-    // updated profile and keeps each {streamer, location} tuple as a distinct
-    // end-point. Epoch 0 = before the move, epoch 1 = after.
-    for (std::size_t i = 0; i < world.streamers().size(); ++i) {
-      const auto& streamer = world.streamers()[i];
-      if (!streamer.relocation.has_value() || !located[i].has_value()) {
-        continue;
-      }
-      located_after[i] = nlp::combine_twitter_location(
-          streamer.relocation->new_twitter_location, locator.tools());
-    }
+    dataset.funnel.streamers_located = located.streamers_located;
   }
-  auto epoch_of = [&](const synth::TrueStream& stream) {
-    const auto& streamer = world.streamers()[stream.streamer_index];
-    if (!streamer.relocation.has_value() ||
-        !located_after[stream.streamer_index].has_value() ||
-        stream.points.empty()) {
-      return 0;
-    }
-    const double move_time = streamer.relocation->day * 86400.0;
-    return stream.points.front().t >= move_time ? 1 : 0;
-  };
 
   // ---- Image-processing module (§3.2) ----------------------------------------
   // Hot stage (a): per-stream thumbnail rendering + OCR / noise-channel
-  // extraction, parallel over ground-truth streams. Task i derives its own
-  // generator from (seed, i) and writes into slot i, so the result does not
-  // depend on scheduling. Grouping and counter accumulation stay serial.
+  // extraction, parallel over ground-truth streams. Thumbnail p of stream i
+  // draws from Rng::indexed(extraction_stream_seed(seed, i), p) — a pure
+  // function of (seed, i, p) shared with the streaming path — and task i
+  // writes into slot i, so the result does not depend on scheduling.
+  // Grouping and counter accumulation stay serial.
   struct ExtractedStream {
     analysis::Stream stream;
     std::size_t thumbnails = 0;
     std::size_t visible = 0;
     std::size_t extracted = 0;
   };
-  const std::uint64_t extraction_seed =
-      util::mix_seed(config_.seed, kExtractionSalt);
   const ExtractionChannel& channel = *channel_;
   obs::Histogram* const extraction_task_ms =
       task_histogram(metrics, "extraction");
@@ -149,18 +206,25 @@ Dataset Pipeline::run(const synth::World& world,
           const obs::ScopedTimer task_timer(extraction_task_ms);
           ExtractedStream out;
           const auto& true_stream = streams[i];
-          if (!located[true_stream.streamer_index].has_value()) return out;
-          util::Rng task_rng = util::Rng::indexed(extraction_seed, i);
+          if (!located.located[true_stream.streamer_index].has_value()) {
+            return out;
+          }
+          const std::uint64_t stream_seed =
+              extraction_stream_seed(config_.seed, i);
           const auto& spec = ocr::ui_spec_for(true_stream.game);
           out.stream.streamer = pseudonymizer.pseudonym(
               world.streamers()[true_stream.streamer_index].id);
           out.stream.game = true_stream.game;
-          for (const auto& point : true_stream.points) {
+          for (std::size_t p = 0; p < true_stream.points.size(); ++p) {
             ++out.thumbnails;
-            if (!task_rng.bernoulli(config_.p_latency_visible)) continue;
+            auto result = extract_thumbnail(channel, spec,
+                                            true_stream.points[p],
+                                            config_.p_latency_visible,
+                                            stream_seed, p);
+            if (!result.visible) continue;
             ++out.visible;
-            if (auto measurement = channel.extract(point, spec, task_rng)) {
-              out.stream.points.push_back(*measurement);
+            if (result.measurement.has_value()) {
+              out.stream.points.push_back(*result.measurement);
               ++out.extracted;
             }
           }
@@ -179,7 +243,7 @@ Dataset Pipeline::run(const synth::World& world,
     dataset.funnel.ocr_ok += extracted[i].extracted;
     if (extracted[i].stream.points.empty()) continue;
     grouped[{streams[i].streamer_index, streams[i].game,
-             epoch_of(streams[i])}]
+             stream_epoch(world, located, streams[i])}]
         .push_back(std::move(extracted[i].stream));
   }
 
@@ -204,30 +268,12 @@ Dataset Pipeline::run(const synth::World& world,
         [&](std::size_t i) -> std::optional<StreamerGameEntry> {
           const obs::ScopedSpan task_span(trace, "analysis.task", "task");
           const obs::ScopedTimer task_timer(analysis_task_ms);
-          const auto& [key, streamer_streams] = *group_iters[i];
+          const auto& key = group_iters[i]->first;
           const auto& [streamer_index, game, epoch] = key;
-          const auto& streamer = world.streamers()[streamer_index];
-          StreamerGameEntry entry;
-          entry.pseudonym = pseudonymizer.pseudonym(streamer.id);
-          entry.game = game;
-          if (epoch == 1) {
-            entry.location = *located_after[streamer_index];
-            entry.true_location = streamer.relocation->new_location;
-          } else {
-            entry.location = *located[streamer_index];
-            entry.true_location = streamer.home_location;
-          }
-          entry.location_source = sources[streamer_index];
-          entry.clean = analysis::clean_streamer_game(
-              std::move(group_iters[i]->second), config_.analysis);
-          if (entry.clean.discarded_entirely) return std::nullopt;
-          entry.clusters =
-              analysis::cluster_streamer(entry.clean, config_.analysis);
-          entry.is_static =
-              analysis::is_static_streamer(entry.clusters, config_.analysis);
-          entry.high_quality =
-              entry.clean.spike_fraction() <= config_.analysis.max_spikes;
-          return entry;
+          return analyze_streamer_group(world, located, pseudonymizer,
+                                        streamer_index, game, epoch,
+                                        std::move(group_iters[i]->second),
+                                        config_.analysis);
         });
   }
   for (auto& entry : analyzed) {

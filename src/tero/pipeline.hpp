@@ -16,6 +16,7 @@
 #include "geo/servers.hpp"
 #include "social/locator.hpp"
 #include "stats/descriptive.hpp"
+#include "store/consistent_hash.hpp"
 #include "synth/sessions.hpp"
 #include "synth/world.hpp"
 #include "tero/channel.hpp"
@@ -134,6 +135,68 @@ class Pipeline {
   /// per-run deltas of the pool's cumulative counters.
   util::ThreadPool::Stats pool_stats_baseline_;
 };
+
+/// Output of the location module (§3.1) over a whole world: Tero's belief
+/// about each streamer's location, the social source it came from, and the
+/// re-geoparsed post-relocation location (§3.1.1). Shared by the batch
+/// pipeline and the streaming ingestion path so both resolve locations
+/// identically.
+struct LocatedWorld {
+  std::vector<std::optional<geo::Location>> located;
+  std::vector<social::LocationSource> sources;
+  std::vector<std::optional<geo::Location>> located_after;
+  std::size_t streamers_located = 0;
+};
+
+/// Run the location module over every streamer in the world.
+[[nodiscard]] LocatedWorld locate_streamers(const synth::World& world);
+
+/// Location epoch of a ground-truth stream: 0 before the streamer's
+/// relocation takes effect, 1 after (only when the relocation was observed
+/// through the re-geoparsed profile).
+[[nodiscard]] int stream_epoch(const synth::World& world,
+                               const LocatedWorld& located,
+                               const synth::TrueStream& stream);
+
+/// The pseudonymizer every pipeline path must use, derived from the config
+/// seed so batch and streaming runs of the same scenario agree on names.
+[[nodiscard]] store::Pseudonymizer make_pseudonymizer(
+    std::uint64_t config_seed);
+
+/// Seed for ground-truth stream `stream_index`'s extraction randomness.
+/// Thumbnail `p` of that stream draws from
+/// Rng::indexed(extraction_stream_seed(seed, stream_index), p) — a pure
+/// function of (config seed, stream index, point index), so batch and
+/// streaming extraction produce bit-identical measurements regardless of
+/// scheduling, thread count, or arrival order.
+[[nodiscard]] std::uint64_t extraction_stream_seed(std::uint64_t config_seed,
+                                                   std::uint64_t stream_index);
+
+/// One thumbnail through the image-processing module: visibility draw
+/// followed by channel extraction (§3.2). `visible` is false when the
+/// latency overlay was not on screen; `measurement` is empty when it was
+/// visible but extraction failed.
+struct ThumbnailExtraction {
+  bool visible = false;
+  std::optional<analysis::Measurement> measurement;
+};
+
+/// Extract one thumbnail deterministically under the per-stream seed
+/// (see extraction_stream_seed).
+[[nodiscard]] ThumbnailExtraction extract_thumbnail(
+    const ExtractionChannel& channel, const ocr::GameUiSpec& spec,
+    const synth::TruePoint& point, double p_latency_visible,
+    std::uint64_t stream_seed, std::uint64_t point_index);
+
+/// The per-{streamer, game, location-epoch} analysis stage (§3.3): clean ->
+/// cluster -> static/quality classification. Returns nullopt when the
+/// cleaner discards the group entirely. Pure given its inputs; shared by the
+/// batch pipeline and the streaming cleaning stage.
+[[nodiscard]] std::optional<StreamerGameEntry> analyze_streamer_group(
+    const synth::World& world, const LocatedWorld& located,
+    const store::Pseudonymizer& pseudonymizer, std::size_t streamer_index,
+    std::string game, int epoch, std::vector<analysis::Stream> streams,
+    const analysis::AnalysisConfig& config);
 
 /// Re-aggregate entries at a different granularity (e.g. country for
 /// Fig. 9/11, region for Fig. 10) without re-running extraction. A non-null

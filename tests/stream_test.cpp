@@ -1,0 +1,424 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot_io.hpp"
+#include "stream/channel.hpp"
+#include "stream/checkpoint.hpp"
+#include "stream/pipeline.hpp"
+#include "stream/schedule.hpp"
+#include "stream/window.hpp"
+#include "synth/sessions.hpp"
+#include "synth/world.hpp"
+#include "tero/pipeline.hpp"
+
+namespace tero::stream {
+namespace {
+
+// ---------------------------------------------------------------- channel --
+
+TEST(Channel, FifoAndCapacity) {
+  Channel<int> channel(3);
+  EXPECT_EQ(channel.capacity(), 3u);
+  EXPECT_TRUE(channel.try_push(1));
+  EXPECT_TRUE(channel.try_push(2));
+  EXPECT_TRUE(channel.try_push(3));
+  EXPECT_FALSE(channel.try_push(4));  // full
+  EXPECT_EQ(channel.size(), 3u);
+  EXPECT_EQ(channel.pop(), 1);
+  EXPECT_EQ(channel.pop(), 2);
+  EXPECT_EQ(channel.pop(), 3);
+  EXPECT_FALSE(channel.try_pop().has_value());
+}
+
+TEST(Channel, CloseDrainsThenEnds) {
+  Channel<int> channel(8);
+  EXPECT_TRUE(channel.push(1));
+  EXPECT_TRUE(channel.push(2));
+  channel.close();
+  EXPECT_FALSE(channel.push(3));  // producers see closed
+  EXPECT_TRUE(channel.closed());
+  EXPECT_EQ(channel.pop(), 1);  // consumers drain the backlog...
+  EXPECT_EQ(channel.pop(), 2);
+  EXPECT_FALSE(channel.pop().has_value());  // ...then get end-of-stream
+}
+
+TEST(Channel, BlockingPushCountsStallAndRecovers) {
+  obs::MetricsRegistry registry;
+  auto& stalls = registry.counter("tero.stream.backpressure_stalls");
+  Channel<int> channel(1, nullptr, &stalls);
+  EXPECT_TRUE(channel.push(1));
+  std::thread producer([&] { EXPECT_TRUE(channel.push(2)); });
+  // The producer is blocked on the full channel; popping frees it.
+  while (channel.stats().stalls == 0) std::this_thread::yield();
+  EXPECT_EQ(channel.pop(), 1);
+  producer.join();
+  EXPECT_EQ(channel.pop(), 2);
+  const ChannelStats stats = channel.stats();
+  EXPECT_EQ(stats.pushed, 2u);
+  EXPECT_EQ(stats.popped, 2u);
+  EXPECT_EQ(stats.stalls, 1u);
+  EXPECT_LE(stats.max_depth, channel.capacity());
+  EXPECT_EQ(stalls.value(), 1u);
+}
+
+TEST(Channel, MpscDeliversEverything) {
+  Channel<int> channel(4);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&channel, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(channel.push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    const auto value = channel.pop();
+    ASSERT_TRUE(value.has_value());
+    ASSERT_FALSE(seen[*value]);
+    seen[*value] = true;
+  }
+  for (auto& producer : producers) producer.join();
+  EXPECT_EQ(channel.stats().pushed, channel.stats().popped);
+  EXPECT_LE(channel.stats().max_depth, channel.capacity());
+}
+
+// ---------------------------------------------------------------- windows --
+
+TEST(WindowAggregate, WelfordMatchesDirectComputation) {
+  WindowAggregate agg(0.01);
+  const std::vector<double> values{12.0, 47.5, 33.0, 88.0, 21.0, 47.5};
+  double sum = 0.0;
+  for (const double v : values) {
+    agg.add(v);
+    sum += v;
+  }
+  EXPECT_EQ(agg.count(), values.size());
+  EXPECT_NEAR(agg.mean(), sum / values.size(), 1e-12);
+  double m2 = 0.0;
+  for (const double v : values) {
+    m2 += (v - agg.mean()) * (v - agg.mean());
+  }
+  EXPECT_NEAR(agg.m2(), m2, 1e-9);
+  EXPECT_NEAR(agg.sketch().quantile(0.5), 40.0, 8.0);
+}
+
+TEST(WindowAggregate, MergeIsDeterministicAndCorrect) {
+  const auto fill = [](WindowAggregate& agg, int from, int to) {
+    for (int i = from; i < to; ++i) agg.add(10.0 + (i % 37));
+  };
+  WindowAggregate a1(0.01), b1(0.01), a2(0.01), b2(0.01);
+  fill(a1, 0, 500);
+  fill(b1, 500, 900);
+  fill(a2, 0, 500);
+  fill(b2, 500, 900);
+  a1.merge(b1);
+  a2.merge(b2);
+  // Bit-identical across repetitions (fixed evaluation order).
+  EXPECT_EQ(a1.count(), a2.count());
+  EXPECT_EQ(a1.mean(), a2.mean());
+  EXPECT_EQ(a1.m2(), a2.m2());
+  // And statistically correct against a single sequential fold.
+  WindowAggregate sequential(0.01);
+  fill(sequential, 0, 900);
+  EXPECT_EQ(a1.count(), sequential.count());
+  EXPECT_NEAR(a1.mean(), sequential.mean(), 1e-9);
+  EXPECT_NEAR(a1.variance(), sequential.variance(), 1e-6);
+  EXPECT_EQ(a1.sketch().count(), sequential.sketch().count());
+  EXPECT_EQ(a1.sketch().quantile(0.5), sequential.sketch().quantile(0.5));
+}
+
+TEST(WindowAggregate, RestoreRoundTripsBitIdentically) {
+  WindowAggregate original(0.02);
+  for (int i = 0; i < 300; ++i) original.add(5.0 + 3.0 * (i % 53));
+  WindowAggregate restored(0.02);
+  restored.restore(original.count(), original.mean(), original.m2(),
+                   original.sketch().export_buckets(),
+                   original.sketch().underflow());
+  EXPECT_EQ(restored.count(), original.count());
+  EXPECT_EQ(restored.mean(), original.mean());
+  EXPECT_EQ(restored.m2(), original.m2());
+  for (const double q : {0.05, 0.25, 0.5, 0.75, 0.95, 0.99}) {
+    EXPECT_EQ(restored.sketch().quantile(q), original.sketch().quantile(q));
+  }
+}
+
+TEST(Watermark, TracksMinOverOpenSourcesMonotonically) {
+  WatermarkTracker wm;
+  EXPECT_LT(wm.watermark(), 0.0);  // -infinity before any source opens
+  wm.open(0, 100.0);
+  EXPECT_EQ(wm.watermark(), 100.0);
+  wm.open(1, 50.0);  // a second, older source holds the min back...
+  EXPECT_EQ(wm.watermark(), 100.0);  // ...but W never regresses
+  wm.update(1, 150.0);
+  EXPECT_EQ(wm.watermark(), 100.0);  // min over open is source 0 at 100
+  wm.update(0, 120.0);
+  EXPECT_EQ(wm.watermark(), 120.0);  // min advanced to 120
+  wm.close(0);
+  EXPECT_EQ(wm.watermark(), 150.0);  // only source 1 (at 150) stays open
+  wm.close(1);
+  EXPECT_EQ(wm.open_sources(), 0u);
+  EXPECT_EQ(wm.watermark(), 150.0);  // closing the last source holds W
+  EXPECT_EQ(window_of(150.0, 100.0), 1);
+  EXPECT_EQ(window_of(-0.5, 100.0), -1);
+}
+
+// ---------------------------------------------------------------- fixture --
+
+struct Scenario {
+  synth::World world;
+  std::vector<synth::TrueStream> streams;
+};
+
+Scenario make_scenario(std::size_t streamers = 40, int days = 2) {
+  synth::WorldConfig world_config;
+  world_config.seed = 1;
+  world_config.num_streamers = streamers;
+  world_config.p_twitter = 0.8;
+  synth::World world(world_config);
+  synth::BehaviorConfig behavior;
+  behavior.days = days;
+  synth::SessionGenerator generator(world, behavior, 2);
+  auto streams = generator.generate();
+  return {std::move(world), std::move(streams)};
+}
+
+StreamConfig base_config(std::size_t threads) {
+  StreamConfig config;
+  config.tero.threads = threads;
+  config.window_size_s = 21600.0;
+  config.publish_every_windows = 0;
+  return config;
+}
+
+std::string snapshot_bytes(std::uint64_t epoch,
+                           const std::vector<serve::SnapshotEntry>& entries) {
+  std::ostringstream out;
+  const serve::Snapshot snapshot(epoch, entries);
+  serve::save_snapshot(snapshot, out);
+  return out.str();
+}
+
+void expect_same_funnel(const core::Funnel& a, const core::Funnel& b) {
+  EXPECT_EQ(a.streamers_total, b.streamers_total);
+  EXPECT_EQ(a.streamers_located, b.streamers_located);
+  EXPECT_EQ(a.thumbnails, b.thumbnails);
+  EXPECT_EQ(a.visible, b.visible);
+  EXPECT_EQ(a.ocr_ok, b.ocr_ok);
+  EXPECT_EQ(a.retained, b.retained);
+  EXPECT_EQ(a.clustered, b.clustered);
+}
+
+// ------------------------------------------------------- batch equivalence --
+
+TEST(StreamPipeline, MatchesBatchBitIdenticallyAt1And8Threads) {
+  const Scenario scenario = make_scenario();
+
+  core::TeroConfig batch_config;
+  batch_config.threads = 1;
+  core::Pipeline batch(batch_config);
+  const core::Dataset expected = batch.run(scenario.world, scenario.streams);
+  const std::string expected_bytes =
+      snapshot_bytes(1, serve::entries_from(expected));
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    StreamPipeline pipeline(base_config(threads));
+    const StreamResult result =
+        pipeline.run(scenario.world, scenario.streams);
+    EXPECT_FALSE(result.crashed);
+    EXPECT_EQ(result.final_epoch, 1u);
+    expect_same_funnel(result.dataset.funnel, expected.funnel);
+    ASSERT_EQ(result.dataset.entries.size(), expected.entries.size());
+    EXPECT_EQ(snapshot_bytes(1, result.final_entries), expected_bytes)
+        << "streaming snapshot differs from batch at " << threads
+        << " threads";
+  }
+}
+
+TEST(StreamPipeline, DelaysAndThrottlingDoNotChangeFinalOutput) {
+  const Scenario scenario = make_scenario();
+  StreamPipeline plain(base_config(4));
+  const StreamResult expected =
+      plain.run(scenario.world, scenario.streams);
+
+  StreamConfig disturbed = base_config(4);
+  disturbed.max_delivery_delay_s = 2 * disturbed.window_size_s;
+  disturbed.download_rate = 200.0;
+  disturbed.download_burst = 20.0;
+  StreamPipeline pipeline(disturbed);
+  const StreamResult result = pipeline.run(scenario.world, scenario.streams);
+
+  // Late events exist (delivery delays exceed the window span)...
+  EXPECT_GT(result.late_events, 0u);
+  // ...but the exact path is unaffected: same bytes, same funnel.
+  expect_same_funnel(result.dataset.funnel, expected.dataset.funnel);
+  EXPECT_EQ(snapshot_bytes(1, result.final_entries),
+            snapshot_bytes(1, expected.final_entries));
+}
+
+// ------------------------------------------------------------- live epochs --
+
+TEST(StreamPipeline, PublishesLiveEpochsIntoService) {
+  const Scenario scenario = make_scenario();
+  serve::ServeConfig serve_config;
+  serve::QueryService service(serve_config);
+
+  StreamConfig config = base_config(4);
+  config.publish_every_windows = 2;
+  config.service = &service;
+  StreamPipeline pipeline(config);
+  const StreamResult result = pipeline.run(scenario.world, scenario.streams);
+
+  EXPECT_GT(result.epochs_published, 0u);
+  EXPECT_GT(result.windows_closed, 0u);
+  // The final exact snapshot is published last, one epoch past the lives.
+  EXPECT_EQ(result.final_epoch, result.epochs_published + 1);
+  EXPECT_EQ(service.epoch(), result.final_epoch);
+  const serve::SnapshotPtr published = service.snapshot();
+  ASSERT_NE(published, nullptr);
+  EXPECT_EQ(snapshot_bytes(result.final_epoch, result.final_entries),
+            snapshot_bytes(published->epoch(),
+                           {published->entries().begin(),
+                            published->entries().end()}));
+}
+
+// ------------------------------------------------------------ backpressure --
+
+TEST(StreamPipeline, SlowSinkBoundsQueuesAndCountsStalls) {
+  const Scenario scenario = make_scenario(24, 1);
+  obs::MetricsRegistry registry;
+
+  StreamConfig config = base_config(2);
+  config.channel_capacity = 4;
+  config.extract_batch = 4;
+  config.sink_delay_us = 150;
+  config.tero.metrics = &registry;
+  StreamPipeline pipeline(config);
+  const StreamResult result = pipeline.run(scenario.world, scenario.streams);
+
+  // The slow sink pushed backpressure upstream...
+  const std::uint64_t stalls = result.to_extract.stalls +
+                               result.to_clean.stalls +
+                               result.to_sink.stalls;
+  EXPECT_GT(stalls, 0u);
+  // ...while every queue stayed within its bound (memory is bounded).
+  EXPECT_LE(result.to_extract.max_depth, config.channel_capacity);
+  EXPECT_LE(result.to_clean.max_depth, config.channel_capacity);
+  EXPECT_LE(result.to_sink.max_depth, config.channel_capacity);
+  EXPECT_EQ(registry.counter("tero.stream.backpressure_stalls").value(),
+            stalls);
+  // Metrics wiring: events/windows counters agree with the result struct.
+  EXPECT_EQ(registry.counter("tero.stream.events").value(), result.events);
+  EXPECT_EQ(registry.counter("tero.stream.windows_closed").value(),
+            result.windows_closed);
+}
+
+// ------------------------------------------------------------- checkpoints --
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("tero_stream_ckpt_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string fresh_dir(const std::string& tag) {
+    const auto path = dir_ / tag;
+    std::filesystem::remove_all(path);
+    std::filesystem::create_directories(path);
+    return path.string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(CheckpointTest, FileRoundTripIsExact) {
+  const Scenario scenario = make_scenario(24, 1);
+  StreamConfig config = base_config(2);
+  config.checkpoint_every_windows = 1;
+  config.checkpoint_dir = fresh_dir("roundtrip");
+  StreamPipeline pipeline(config);
+  const StreamResult result = pipeline.run(scenario.world, scenario.streams);
+  ASSERT_GT(result.checkpoints_written, 0u);
+
+  const auto latest = latest_checkpoint_id(config.checkpoint_dir);
+  ASSERT_TRUE(latest.has_value());
+  const CheckpointData loaded =
+      read_checkpoint_file(config.checkpoint_dir, *latest);
+  EXPECT_EQ(loaded.id, *latest);
+  EXPECT_LE(loaded.cursor, loaded.events_total);
+
+  // save -> load -> save must be byte-stable (the serialization is exact).
+  std::ostringstream first;
+  save_checkpoint(loaded, first);
+  std::istringstream back(first.str());
+  const CheckpointData reloaded = load_checkpoint(back);
+  std::ostringstream second;
+  save_checkpoint(reloaded, second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST_F(CheckpointTest, CrashAtEveryBoundaryRecoversBitIdentically) {
+  const Scenario scenario = make_scenario(24, 2);
+
+  // Reference: one uninterrupted checkpointed run.
+  StreamConfig reference_config = base_config(4);
+  reference_config.publish_every_windows = 2;
+  reference_config.checkpoint_every_windows = 2;
+  reference_config.checkpoint_dir = fresh_dir("reference");
+  StreamPipeline reference(reference_config);
+  const StreamResult expected =
+      reference.run(scenario.world, scenario.streams);
+  ASSERT_FALSE(expected.crashed);
+  ASSERT_GT(expected.checkpoints_written, 1u);
+  const std::string expected_bytes =
+      snapshot_bytes(1, expected.final_entries);
+
+  for (std::uint64_t boundary = 1; boundary <= expected.checkpoints_written;
+       ++boundary) {
+    StreamConfig crash_config = reference_config;
+    crash_config.checkpoint_dir =
+        fresh_dir("crash" + std::to_string(boundary));
+    crash_config.crash_after = boundary;
+    StreamPipeline crashing(crash_config);
+    const StreamResult crashed =
+        crashing.run(scenario.world, scenario.streams);
+    EXPECT_TRUE(crashed.crashed);
+    EXPECT_EQ(crashed.checkpoints_written, boundary - crashed.resumed_from);
+
+    // Restart from the same directory — at a different thread count, to
+    // exercise thread-invariance across the recovery path too.
+    StreamConfig resume_config = crash_config;
+    resume_config.crash_after = 0;
+    resume_config.tero.threads = 1;
+    StreamPipeline resuming(resume_config);
+    const StreamResult resumed =
+        resuming.run(scenario.world, scenario.streams);
+    EXPECT_FALSE(resumed.crashed);
+    EXPECT_EQ(resumed.resumed_from, boundary);
+    EXPECT_EQ(resumed.final_epoch, expected.final_epoch);
+    expect_same_funnel(resumed.dataset.funnel, expected.dataset.funnel);
+    EXPECT_EQ(snapshot_bytes(1, resumed.final_entries), expected_bytes)
+        << "recovery from boundary " << boundary << " diverged";
+  }
+}
+
+}  // namespace
+}  // namespace tero::stream
