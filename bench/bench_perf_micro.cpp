@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "analysis/anomalies.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "analysis/clusters.hpp"
 #include "anomaly/pelt.hpp"
@@ -256,6 +257,47 @@ void BM_ParallelForOverhead(benchmark::State& state) {
                           static_cast<std::int64_t>(out.size()));
 }
 BENCHMARK(BM_ParallelForOverhead)->Arg(1)->Arg(4)->UseRealTime();
+
+// Fault-layer overhead (DESIGN.md §11). The contract mirrors the obs one:
+// with no injector the call site holds a nullptr FaultPoint* and a crossing
+// costs a single predictable branch (BM_FaultPointAbsent); with an injector
+// whose plan does not mention the point, hit() still runs its bookkeeping
+// (BM_FaultPointDisabled) — the delta between the two is the price of
+// arming injection without any matching rules. BM_FaultPointActive adds a
+// firing rule for scale. ci.sh chaos-smoke asserts the disabled case stays
+// cheap in absolute terms (see the throughput gate there).
+void fault_point_loop(benchmark::State& state, fault::FaultPoint* point) {
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      if (point != nullptr) {
+        acc += static_cast<std::uint64_t>(point->hit().kind);
+      }
+      acc += static_cast<std::uint64_t>(i);  // the "real work" baseline
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+void BM_FaultPointAbsent(benchmark::State& state) {
+  fault_point_loop(state, nullptr);
+}
+BENCHMARK(BM_FaultPointAbsent);
+
+void BM_FaultPointDisabled(benchmark::State& state) {
+  fault::FaultInjector injector(
+      fault::FaultPlan::parse("some.other.point=error@1"));
+  fault_point_loop(state, &injector.point("bench.point"));
+}
+BENCHMARK(BM_FaultPointDisabled);
+
+void BM_FaultPointActive(benchmark::State& state) {
+  fault::FaultInjector injector(
+      fault::FaultPlan::parse("bench.point=error@0.01"));
+  fault_point_loop(state, &injector.point("bench.point"));
+}
+BENCHMARK(BM_FaultPointActive);
 
 void BM_ProbitFit(benchmark::State& state) {
   util::Rng rng(5);

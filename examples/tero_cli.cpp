@@ -51,12 +51,17 @@
 #include <vector>
 
 #include "analysis/anomalies.hpp"
+#include "download/cdn.hpp"
+#include "download/system.hpp"
+#include "fault/fault.hpp"
+#include "fault/policy.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/service.hpp"
 #include "serve/snapshot_io.hpp"
 #include "stats/descriptive.hpp"
+#include "store/kv_store.hpp"
 #include "stream/pipeline.hpp"
 #include "synth/sessions.hpp"
 #include "tero/export.hpp"
@@ -72,7 +77,8 @@ namespace {
 /// Printed on --help (stdout, exit 0) and on unknown commands/flags
 /// (stderr, nonzero exit).
 constexpr const char* kUsage =
-    "usage: tero_cli <simulate|analyze|report|query|loadtest|stream> ...\n"
+    "usage: tero_cli <simulate|analyze|report|query|loadtest|stream|chaos>"
+    " ...\n"
     "\n"
     "  simulate [out_dir] [streamers] [days] [threads]\n"
     "           [--snapshot-out snap.bin] [--metrics-out m.json]\n"
@@ -107,6 +113,16 @@ constexpr const char* kUsage =
     "      recovery (--crash-after simulates the crash), and\n"
     "      --publish-every 0 makes --snapshot-out byte-identical to\n"
     "      `simulate --snapshot-out`\n"
+    "\n"
+    "  chaos    [seeds] [streamers] [days] [--plan spec] [--threads n]\n"
+    "      deterministic chaos harness (DESIGN.md §11): per seed, runs the\n"
+    "      batch pipeline under a transient FaultPlan (default\n"
+    "      extract.stream=error@0.4:fails=2) and asserts the dataset is\n"
+    "      bit-identical to a fault-free run, runs a permanent-fault plan\n"
+    "      and asserts quarantine accounting, drives the download simulator\n"
+    "      through CDN/KV faults plus a mid-run crash, and flaps a serve\n"
+    "      shard to exercise STALE degraded answers and the circuit\n"
+    "      breaker; exits nonzero when any invariant is violated\n"
     "\n"
     "  tero_cli --help prints this text; unknown flags exit nonzero.\n";
 
@@ -685,6 +701,271 @@ int cmd_stream(int argc, char** argv) {
   return 0;
 }
 
+int cmd_chaos(int argc, char** argv) {
+  std::string plan_spec = "extract.stream=error@0.4:fails=2";
+  std::size_t threads = 0;
+  std::vector<std::string> positional;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--plan" || arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        return 1;
+      }
+      if (arg == "--plan") {
+        plan_spec = argv[++i];
+      } else {
+        threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      return unknown_flag("chaos", arg);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const std::uint64_t seeds =
+      !positional.empty()
+          ? static_cast<std::uint64_t>(std::atoll(positional[0].c_str()))
+          : 10;
+  const std::size_t streamers =
+      positional.size() > 1
+          ? static_cast<std::size_t>(std::atoi(positional[1].c_str()))
+          : 60;
+  const int days =
+      positional.size() > 2 ? std::atoi(positional[2].c_str()) : 2;
+
+  std::size_t failures = 0;
+  const auto check = [&failures](bool ok, const std::string& what) {
+    if (!ok) {
+      ++failures;
+      std::cout << "  FAIL: " << what << "\n";
+    }
+  };
+
+  // Phase 1+2: pipeline under transient and permanent fault plans. The
+  // acceptance contract (DESIGN.md §11): transient faults — rules whose
+  // fail_attempts fit inside the retry budget — leave the dataset
+  // bit-identical to a fault-free run; permanent faults quarantine
+  // streamers explicitly (tero.funnel.quarantined) instead of hanging,
+  // crashing, or silently dropping data.
+  std::cout << "chaos: " << seeds << " seeds, " << streamers
+            << " streamers, " << days << " days, plan \"" << plan_spec
+            << "\"\n";
+  fault::FaultPlan plan;
+  try {
+    plan = fault::FaultPlan::parse(plan_spec);
+  } catch (const std::exception& error) {
+    std::cerr << "bad --plan: " << error.what() << "\n";
+    return 1;
+  }
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    synth::WorldConfig world_config;
+    world_config.seed = seed;
+    world_config.num_streamers = streamers;
+    world_config.p_twitter = 0.8;
+    const synth::World world(world_config);
+    synth::BehaviorConfig behavior;
+    behavior.days = days;
+    synth::SessionGenerator generator(world, behavior, seed + 1);
+    const auto streams = generator.generate();
+
+    core::TeroConfig config;
+    config.threads = threads;
+    const core::Dataset baseline =
+        core::Pipeline(config).run(world, streams);
+    const std::uint64_t baseline_digest = core::dataset_digest(baseline);
+
+    fault::FaultInjector transient(fault::FaultPlan::parse(plan_spec, seed));
+    config.injector = &transient;
+    const core::Dataset faulted = core::Pipeline(config).run(world, streams);
+    check(core::dataset_digest(faulted) == baseline_digest,
+          "seed " + std::to_string(seed) +
+              ": transient plan changed the dataset (digest mismatch)");
+    check(faulted.funnel.quarantined == 0,
+          "seed " + std::to_string(seed) +
+              ": transient plan quarantined streamers");
+
+    fault::FaultInjector permanent(
+        fault::FaultPlan::parse("extract.stream=crash@0.5", seed));
+    config.injector = &permanent;
+    const core::Dataset degraded = core::Pipeline(config).run(world, streams);
+    check(degraded.funnel.quarantined > 0,
+          "seed " + std::to_string(seed) +
+              ": permanent plan quarantined nobody");
+    check(degraded.funnel.quarantined <= degraded.funnel.streamers_located,
+          "seed " + std::to_string(seed) +
+              ": quarantined more streamers than were located");
+    check(degraded.funnel.thumbnails == baseline.funnel.thumbnails,
+          "seed " + std::to_string(seed) +
+              ": quarantine changed the thumbnail count (must only skip "
+              "extraction)");
+    check(degraded.funnel.visible < baseline.funnel.visible,
+          "seed " + std::to_string(seed) +
+              ": quarantine extracted quarantined streamers anyway");
+    std::cout << "  seed " << seed << ": transient ok (digest match), "
+              << degraded.funnel.quarantined << "/"
+              << degraded.funnel.streamers_located
+              << " quarantined under permanent plan\n";
+  }
+
+  // Phase 3: download simulator under CDN transport faults, KV write
+  // faults, and a mid-run crash. The system must keep downloading (retry +
+  // re-discovery), never orphan a streamer, and count every fault.
+  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+    util::EventLoop loop;
+    download::SimulatedCdn cdn(loop, util::Rng(seed * 2 + 1));
+    constexpr int kStreamers = 8;
+    const double horizon = 4 * 3600.0;
+    for (int i = 0; i < kStreamers; ++i) {
+      cdn.add_session({"s" + std::to_string(i), i * 15.0, horizon});
+    }
+    store::KvStore kv;
+    obs::MetricsRegistry registry;
+    fault::FaultInjector injector(
+        fault::FaultPlan::parse("cdn.get=error@0.1;cdn.head=latency@0.05:"
+                                "ms=500;kv.put=error@0.05",
+                                seed),
+        &registry);
+    download::DownloadConfig config;
+    config.num_downloaders = 2;
+    config.metrics = &registry;
+    config.injector = &injector;
+    download::DownloadSystem system(loop, cdn, kv, config,
+                                    util::Rng(seed * 2 + 2));
+    system.start();
+    loop.schedule_at(horizon / 2, [&system] { system.crash_and_recover(); });
+    loop.run_until(horizon);
+
+    check(!system.downloads().empty(),
+          "download seed " + std::to_string(seed) + ": no downloads at all");
+    bool post_crash = false;
+    std::set<std::string> fetched;
+    for (const auto& record : system.downloads()) {
+      if (record.time > horizon / 2 + 900.0) post_crash = true;
+      fetched.insert(record.streamer);
+    }
+    check(post_crash, "download seed " + std::to_string(seed) +
+                          ": downloads stopped after the crash");
+    check(fetched.size() == kStreamers,
+          "download seed " + std::to_string(seed) + ": only " +
+              std::to_string(fetched.size()) + "/" +
+              std::to_string(kStreamers) +
+              " streamers ever fetched (orphaned streamer)");
+    const auto counter = [&registry](const char* name) {
+      return registry.counter(std::string("tero.download.") + name).value();
+    };
+    check(injector.total_fired() > 0,
+          "download seed " + std::to_string(seed) + ": plan never fired");
+    check(counter("retries") > 0,
+          "download seed " + std::to_string(seed) +
+              ": injected errors but the system never retried");
+    std::cout << "  download seed " << seed << ": "
+              << system.downloads().size() << " downloads, "
+              << injector.total_fired() << " faults fired, "
+              << counter("retries") << " retries, " << counter("slow_responses")
+              << " slow, " << counter("dropped_streamers") << " dropped\n";
+  }
+
+  // Phase 4: serve-shard flap. With a previous epoch published, a faulted
+  // shard answers STALE{age} from the last good snapshot while its circuit
+  // breaker opens; once the fault clears and the breaker's half-open probes
+  // succeed, answers go back to fresh. With no previous epoch the shard is
+  // explicitly kUnavailable — never a silent wrong answer, never a hang.
+  {
+    synth::WorldConfig world_config;
+    world_config.seed = 1;
+    world_config.num_streamers = streamers;
+    world_config.p_twitter = 0.8;
+    const synth::World world(world_config);
+    synth::BehaviorConfig behavior;
+    behavior.days = days;
+    synth::SessionGenerator generator(world, behavior, 2);
+    const auto streams = generator.generate();
+    core::TeroConfig config;
+    config.threads = threads;
+    const core::Dataset dataset = core::Pipeline(config).run(world, streams);
+
+    fault::FaultInjector injector(
+        fault::FaultPlan::parse("serve.shard-0=error@1:max=7"));
+    serve::ServeConfig serve_config;
+    serve_config.shards = 1;
+    serve_config.injector = &injector;
+    serve::QueryService service(serve_config);
+    const auto hook = serve::publish_hook(service);
+    hook(dataset);  // epoch 1
+    hook(dataset);  // epoch 2; epoch 1 becomes the degraded fallback
+    const serve::SnapshotPtr snapshot = service.snapshot();
+    check(snapshot != nullptr && snapshot->size() > 0,
+          "serve: pipeline published an empty snapshot");
+    serve::Query query;
+    if (snapshot != nullptr && snapshot->size() > 0) {
+      query.kind = serve::QueryKind::kCount;
+      query.location = snapshot->entries()[0].location;
+      query.game = snapshot->entries()[0].game;
+      const auto fresh = [&] {
+        fault::FaultInjector none(fault::FaultPlan{});
+        serve::ServeConfig clean_config;
+        clean_config.shards = 1;
+        serve::QueryService clean(clean_config);
+        serve::publish_hook(clean)(dataset);
+        return clean.query_admitted(query);
+      }();
+
+      std::size_t stale_seen = 0;
+      // Five failures trip the default breaker (failure_threshold = 5)...
+      for (int i = 0; i < 5; ++i) {
+        const auto r = service.query_admitted(query, /*now_s=*/0.1 * i);
+        check(r.stale && r.stale_age == 1,
+              "serve: faulted shard did not answer STALE{1}");
+        check(r.status == fresh.status && r.value == fresh.value,
+              "serve: degraded answer diverged from the last good epoch");
+        if (r.stale) ++stale_seen;
+      }
+      // ...so this one is rejected by the open breaker (still degraded,
+      // but the fault point is not even consulted).
+      const std::uint64_t fired_before = injector.total_fired();
+      const auto rejected = service.query_admitted(query, 5.0);
+      check(rejected.stale, "serve: open breaker did not degrade");
+      check(injector.total_fired() == fired_before,
+            "serve: open breaker consulted the fault point");
+      // Two half-open probes still hit injected errors (fires 6 and 7)...
+      (void)service.query_admitted(query, 40.0);
+      (void)service.query_admitted(query, 80.0);
+      // ...then the plan's max=7 is exhausted: two successful probes close
+      // the breaker and answers are fresh again.
+      (void)service.query_admitted(query, 120.0);
+      const auto closed = service.query_admitted(query, 121.0);
+      const auto recovered = service.query_admitted(query, 122.0);
+      check(!recovered.stale && recovered.status == fresh.status &&
+                recovered.value == fresh.value && !closed.stale,
+            "serve: shard did not recover after the fault plan drained");
+      std::cout << "  serve: " << stale_seen
+                << " STALE answers while flapping, fresh after recovery\n";
+    }
+
+    // No previous epoch: degraded mode has nothing to serve from, so the
+    // answer is an explicit kUnavailable.
+    fault::FaultInjector injector2(
+        fault::FaultPlan::parse("serve.shard-0=error@1:max=1"));
+    serve::ServeConfig unavailable_config;
+    unavailable_config.shards = 1;
+    unavailable_config.injector = &injector2;
+    serve::QueryService first_epoch(unavailable_config);
+    serve::publish_hook(first_epoch)(dataset);
+    const auto unavailable = first_epoch.query_admitted(query, 0.0);
+    check(unavailable.status == serve::QueryStatus::kUnavailable,
+          "serve: first-epoch shard fault must be kUnavailable, got "
+          "something else");
+  }
+
+  if (failures > 0) {
+    std::cout << "chaos: " << failures << " invariant violation(s)\n";
+    return 1;
+  }
+  std::cout << "chaos: all invariants held\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -695,6 +976,7 @@ int main(int argc, char** argv) {
   if (command == "query") return cmd_query(argc, argv);
   if (command == "loadtest") return cmd_loadtest(argc, argv);
   if (command == "stream") return cmd_stream(argc, argv);
+  if (command == "chaos") return cmd_chaos(argc, argv);
   if (command == "--help" || command == "-h" || command == "help") {
     std::cout << kUsage;
     return 0;

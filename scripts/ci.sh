@@ -8,10 +8,17 @@
 #                BENCH_*.json artifacts with bench_json_check (obs::json).
 #                Catches bench bitrot and malformed reporter output without
 #                paying for a full benchmark run.
+#   chaos-smoke  Fault-injection gate: the chaos-labeled test suite
+#                (ctest -L chaos), a multi-seed `tero_cli chaos` sweep
+#                (transient faults => bit-identical dataset; permanent
+#                faults => explicit quarantine/degraded output), and the
+#                fault-point overhead benchmark with an absolute ceiling on
+#                the disabled-point cost.
 #
 # Run the default three:   scripts/ci.sh
 # Run a subset:            scripts/ci.sh asan tsan
 # Bench artifact gate:     scripts/ci.sh bench-smoke
+# Fault-injection gate:    scripts/ci.sh chaos-smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -43,6 +50,39 @@ run_bench_smoke() {
   )
 }
 
+run_chaos_smoke() {
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" \
+    --target chaos_test tero_cli bench_perf_micro
+  (cd build && ctest -L chaos --output-on-failure -j "$(nproc)")
+  # Multi-seed deterministic chaos sweep; tero_cli exits nonzero when any
+  # resilience invariant is violated.
+  ./build/examples/tero_cli chaos 5 40 2
+  # Overhead gate: a disabled fault point must stay in the
+  # tens-of-nanoseconds range per crossing. throughput is crossings/s, so
+  # 1e7/s = 100 ns per crossing — a deliberately generous ceiling that
+  # still catches accidental locks or allocations on the disabled path.
+  (
+    cd build/bench
+    ./bench_perf_micro --benchmark_filter='BM_FaultPoint' \
+      --benchmark_min_time=0.01
+    awk -F'"throughput": ' '/BM_FaultPointDisabled/ {
+        split($2, a, "}")
+        if (a[1] + 0 < 1e7) {
+          print "chaos-smoke: disabled fault point too slow: " a[1] " /s"
+          exit 1
+        }
+        found = 1
+      }
+      END {
+        if (!found) {
+          print "chaos-smoke: BM_FaultPointDisabled missing from JSON"
+          exit 1
+        }
+      }' BENCH_perf_micro.json
+  )
+}
+
 for job in "${jobs[@]}"; do
   echo "=== ci: $job ==="
   case "$job" in
@@ -50,7 +90,9 @@ for job in "${jobs[@]}"; do
     asan)  run_preset asan asan ;;   # test preset filters to -L smoke
     tsan)  run_preset tsan tsan ;;
     bench-smoke) run_bench_smoke ;;
-    *) echo "unknown job: $job (want tier1, asan, tsan or bench-smoke)" >&2
+    chaos-smoke) run_chaos_smoke ;;
+    *) echo "unknown job: $job (want tier1, asan, tsan, bench-smoke or" \
+            "chaos-smoke)" >&2
        exit 2 ;;
   esac
 done

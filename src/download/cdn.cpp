@@ -1,6 +1,17 @@
 #include "download/cdn.hpp"
 
+#include "fault/fault.hpp"
+
 namespace tero::download {
+
+namespace {
+/// Seed salt for per-(streamer, version) thumbnail sizes. Sizes are drawn
+/// through Rng::indexed instead of the generation rng_ so that *client*
+/// behavior (which GETs happen, and when) can never perturb the CDN's
+/// thumbnail schedule — the property the crash-time sweep tests rely on to
+/// compare crashed runs against the crash-free baseline.
+constexpr std::uint64_t kSizeSalt = 0x7e20cd000002ULL;
+}  // namespace
 
 SimulatedCdn::SimulatedCdn(util::EventLoop& loop, util::Rng rng,
                            double period_seconds, double jitter_seconds)
@@ -62,14 +73,77 @@ std::optional<GetResponse> SimulatedCdn::get(std::string_view streamer) {
   response.version = state.version;
   response.generated_at = state.current_generated_at;
   // Thumbnail size is "so unpredictable" (App. A) that load balancing by
-  // size is pointless: heavy-tailed sizes.
-  response.size_bytes =
-      static_cast<std::uint32_t>(rng_.pareto(20'000.0, 1.6));
+  // size is pointless: heavy-tailed sizes. Drawn per (streamer, version) so
+  // repeat GETs see the same bytes and fetch behavior cannot perturb the
+  // generation schedule (see kSizeSalt).
+  response.size_bytes = static_cast<std::uint32_t>(
+      util::Rng::indexed(
+          util::mix_seed(kSizeSalt,
+                         util::fnv1a64({streamer.data(), streamer.size()})),
+          state.version)
+          .pareto(20'000.0, 1.6));
   if (!state.fetched_current) {
     state.fetched_current = true;
     ++fetched_;
   }
   return response;
+}
+
+void SimulatedCdn::set_injector(fault::FaultInjector* injector) {
+  head_fault_ = fault::FaultInjector::maybe_point(injector, "cdn.head");
+  get_fault_ = fault::FaultInjector::maybe_point(injector, "cdn.get");
+}
+
+CdnStatus SimulatedCdn::transport_fault(fault::FaultPoint* point,
+                                        double* retry_after_s,
+                                        bool* corrupted) {
+  if (point == nullptr) return CdnStatus::kOk;
+  const fault::FaultDecision decision = point->hit();
+  switch (decision.kind) {
+    case fault::FaultKind::kNone:
+      return CdnStatus::kOk;
+    case fault::FaultKind::kLatency:
+      *retry_after_s = decision.delay_s;
+      return CdnStatus::kSlow;
+    case fault::FaultKind::kCorrupt:
+      if (corrupted != nullptr) {
+        *corrupted = true;
+        return CdnStatus::kOk;  // body arrives, but damaged
+      }
+      return CdnStatus::kError;  // corrupt headers = failed request
+    case fault::FaultKind::kError:
+    case fault::FaultKind::kCrash:
+      return CdnStatus::kError;
+  }
+  return CdnStatus::kOk;
+}
+
+CheckedHead SimulatedCdn::head_checked(std::string_view streamer) {
+  CheckedHead checked;
+  checked.status =
+      transport_fault(head_fault_, &checked.retry_after_s, nullptr);
+  if (checked.status == CdnStatus::kError) return checked;
+  checked.head = head(streamer);
+  return checked;
+}
+
+CheckedGet SimulatedCdn::get_checked(std::string_view streamer) {
+  CheckedGet checked;
+  checked.status =
+      transport_fault(get_fault_, &checked.retry_after_s, &checked.corrupted);
+  if (checked.status == CdnStatus::kError ||
+      checked.status == CdnStatus::kSlow) {
+    // Failed/stalled transfer: the thumbnail is not consumed.
+    return checked;
+  }
+  auto response = get(streamer);
+  if (!response.has_value()) {
+    checked.status = CdnStatus::kOffline;
+    checked.corrupted = false;
+    return checked;
+  }
+  checked.response = *response;
+  return checked;
 }
 
 std::vector<std::string> SimulatedCdn::api_live_streamers() const {

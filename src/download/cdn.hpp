@@ -10,6 +10,11 @@
 #include "util/event_loop.hpp"
 #include "util/rng.hpp"
 
+namespace tero::fault {
+class FaultInjector;
+class FaultPoint;
+}  // namespace tero::fault
+
 namespace tero::download {
 
 /// One streaming session on the simulated platform.
@@ -34,6 +39,31 @@ struct GetResponse {
   std::uint32_t size_bytes = 0;  ///< thumbnail sizes are unpredictable
 };
 
+/// Transport-level outcome of a checked CDN request. kOffline is the
+/// *protocol* answer (redirect to the generic offline page); kError and
+/// kSlow are injected *transport* failures — distinguishing them is what
+/// lets the retry layer retry errors without mistaking them for the
+/// streamer going offline.
+enum class CdnStatus : std::uint8_t {
+  kOk = 0,
+  kOffline,  ///< genuine offline redirect; do not retry
+  kError,    ///< transport error (injected); retryable
+  kSlow,     ///< response delayed by retry_after_s (injected)
+};
+
+struct CheckedHead {
+  CdnStatus status = CdnStatus::kOk;
+  double retry_after_s = 0.0;  ///< kSlow: when the response would arrive
+  HeadResponse head;
+};
+
+struct CheckedGet {
+  CdnStatus status = CdnStatus::kOk;
+  double retry_after_s = 0.0;  ///< kSlow: when the response would arrive
+  bool corrupted = false;      ///< body delivered but damaged; discard+retry
+  GetResponse response;
+};
+
 /// Simulation of Twitch's CDN + Get-Streams API surface, with the paper's
 /// timing contract: one thumbnail per live streamer roughly every 5 minutes
 /// (uniform jitter up to a minute), each overwriting the previous at a fixed
@@ -44,12 +74,24 @@ class SimulatedCdn {
   SimulatedCdn(util::EventLoop& loop, util::Rng rng,
                double period_seconds = 300.0, double jitter_seconds = 60.0);
 
+  /// Arm the "cdn.head" / "cdn.get" fault points (nullptr = off). Only the
+  /// *_checked entry points consult them; the plain head()/get() surface
+  /// below stays fault-free, so callers opt in to the failure model.
+  void set_injector(fault::FaultInjector* injector);
+
   /// Register a session; thumbnail generation events are scheduled lazily.
   void add_session(const StreamerSession& session);
 
   // -- CDN surface -----------------------------------------------------------
   [[nodiscard]] HeadResponse head(std::string_view streamer) const;
   [[nodiscard]] std::optional<GetResponse> get(std::string_view streamer);
+
+  /// Fault-aware surface: same protocol semantics as head()/get(), plus the
+  /// injected transport outcome. An injected error/slow response does NOT
+  /// consume the thumbnail (fetched_current stays false), matching a real
+  /// failed transfer.
+  [[nodiscard]] CheckedHead head_checked(std::string_view streamer);
+  [[nodiscard]] CheckedGet get_checked(std::string_view streamer);
 
   // -- API surface (subject to the caller's rate limiting) --------------------
   /// Streamers currently live.
@@ -75,11 +117,17 @@ class SimulatedCdn {
   };
 
   void schedule_generation(StreamerState& state);
+  /// Injected transport fault for one request, or kOk.
+  [[nodiscard]] CdnStatus transport_fault(fault::FaultPoint* point,
+                                          double* retry_after_s,
+                                          bool* corrupted);
 
   util::EventLoop* loop_;
   util::Rng rng_;
   double period_;
   double jitter_;
+  fault::FaultPoint* head_fault_ = nullptr;
+  fault::FaultPoint* get_fault_ = nullptr;
   std::map<std::string, StreamerState, std::less<>> streamers_;
   std::uint64_t generated_ = 0;
   std::uint64_t fetched_ = 0;

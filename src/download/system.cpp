@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -37,6 +38,33 @@ DownloadSystem::DownloadSystem(util::EventLoop& loop, SimulatedCdn& cdn,
   c_adoptions_ = counter("adoptions");
   c_crashes_ = counter("crashes");
   c_recovered_ = counter("recovered_streamers");
+  c_retries_ = counter("retries");
+  c_corrupted_ = counter("corrupted");
+  c_slow_ = counter("slow_responses");
+  c_kv_retries_ = counter("kv_write_retries");
+  c_dropped_ = counter("dropped_streamers");
+  if (config_.injector != nullptr) {
+    cdn_->set_injector(config_.injector);
+    kv_->set_fault_point(&config_.injector->point("kv.put"));
+  }
+}
+
+bool DownloadSystem::durable_put(const std::string& key,
+                                 const std::string& value) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (kv_->put(key, value)) return true;
+    if (c_kv_retries_ != nullptr) c_kv_retries_->add();
+    if (!config_.retry.should_retry(attempt)) return false;
+  }
+}
+
+bool DownloadSystem::durable_push(const std::string& list_key,
+                                  const std::string& value) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (kv_->push_back(list_key, value)) return true;
+    if (c_kv_retries_ != nullptr) c_kv_retries_->add();
+    if (!config_.retry.should_retry(attempt)) return false;
+  }
 }
 
 void DownloadSystem::start() {
@@ -61,11 +89,14 @@ void DownloadSystem::coordinator_poll() {
   if (c_api_polls_ != nullptr) c_api_polls_->add();
 
   // Newly-live streamers go to the pending queue (and to durable state).
+  // Queue first, marker second: a lost pending push leaves the streamer
+  // untracked so this loop retries it next poll, while a lost marker only
+  // costs crash-recovery coverage the next poll also repairs.
   for (const auto& streamer : cdn_->api_live_streamers()) {
     if (tracked_.contains(streamer)) continue;
+    if (!durable_push(kPendingList, streamer)) continue;
     tracked_.insert(streamer);
-    kv_->put(kTrackedPrefix + streamer, "1");
-    kv_->push_back(kPendingList, streamer);
+    durable_put(kTrackedPrefix + streamer, "1");
   }
 
   // Process offline signals written by the downloaders.
@@ -108,44 +139,119 @@ void DownloadSystem::adopt_if_idle(int id) {
 
   if (auto streamer = kv_->pop_front(kPendingList)) {
     if (c_head_ != nullptr) c_head_->add();
-    const HeadResponse head = cdn_->head(*streamer);
-    if (!head.online) {
-      kv_->push_back(kOfflineList, *streamer);
+    const CheckedHead checked = cdn_->head_checked(*streamer);
+    if (checked.status == CdnStatus::kError ||
+        checked.status == CdnStatus::kSlow) {
+      // Transport trouble at adoption time: hand the URL back and let a
+      // later (re-)adoption retry it.
+      if (c_retries_ != nullptr) c_retries_->add();
+      if (checked.status == CdnStatus::kSlow && c_slow_ != nullptr) {
+        c_slow_->add();
+      }
+      if (!durable_push(kPendingList, *streamer)) {
+        // Hand-back also failed: drop the tracking state outright so the
+        // next coordinator poll re-discovers the streamer (never orphaned).
+        tracked_.erase(*streamer);
+        kv_->erase(kTrackedPrefix + *streamer);
+      }
+      return;
+    }
+    if (!checked.head.online) {
+      durable_push(kOfflineList, *streamer);
       return;
     }
     state.next_fetch[*streamer] =
-        std::max(loop_->now(), head.next_thumbnail_time) +
+        std::max(loop_->now(), checked.head.next_thumbnail_time) +
         config_.fetch_delay;
     ++state.adopted_total;
     if (c_adoptions_ != nullptr) c_adoptions_->add();
   }
 }
 
+void DownloadSystem::retry_or_drop(DownloaderState& state,
+                                   const std::string& streamer) {
+  const std::uint32_t attempt = state.attempts[streamer]++;
+  if (!config_.retry.should_retry(attempt)) {
+    // Retries exhausted: give the streamer up and signal the coordinator.
+    // If it is still live, a later poll re-discovers it — degraded (some
+    // thumbnails lost), never orphaned.
+    state.next_fetch.erase(streamer);
+    state.attempts.erase(streamer);
+    if (c_dropped_ != nullptr) c_dropped_->add();
+    if (!durable_push(kOfflineList, streamer)) {
+      tracked_.erase(streamer);
+      kv_->erase(kTrackedPrefix + streamer);
+    }
+    return;
+  }
+  if (c_retries_ != nullptr) c_retries_->add();
+  const std::uint64_t jitter_seed =
+      config_.injector != nullptr ? config_.injector->plan().seed : 0;
+  state.next_fetch[streamer] =
+      loop_->now() +
+      config_.retry.backoff_s(attempt + 1, jitter_seed,
+                              util::fnv1a64({streamer.data(),
+                                             streamer.size()}));
+}
+
 void DownloadSystem::fetch_one(int id, const std::string& streamer) {
   auto& state = downloaders_[static_cast<std::size_t>(id)];
   if (c_get_ != nullptr) c_get_->add();
-  const auto response = cdn_->get(streamer);
-  if (!response.has_value()) {
-    // Offline redirect: drop the URL, signal the coordinator (App. A).
-    state.next_fetch.erase(streamer);
-    kv_->push_back(kOfflineList, streamer);
+  const CheckedGet checked = cdn_->get_checked(streamer);
+  if (checked.status == CdnStatus::kSlow) {
+    // Stalled transfer: try again when the response would have arrived
+    // (the thumbnail may be overwritten meanwhile — lost, as in reality).
+    if (c_slow_ != nullptr) c_slow_->add();
+    state.next_fetch[streamer] = loop_->now() + checked.retry_after_s;
     return;
   }
+  if (checked.status == CdnStatus::kError) {
+    retry_or_drop(state, streamer);
+    return;
+  }
+  if (checked.status == CdnStatus::kOffline) {
+    // Offline redirect: drop the URL, signal the coordinator (App. A).
+    state.next_fetch.erase(streamer);
+    state.attempts.erase(streamer);
+    if (!durable_push(kOfflineList, streamer)) {
+      tracked_.erase(streamer);
+      kv_->erase(kTrackedPrefix + streamer);
+    }
+    return;
+  }
+  if (checked.corrupted) {
+    // Damaged bytes: discard and re-fetch under the retry policy.
+    if (c_corrupted_ != nullptr) c_corrupted_->add();
+    retry_or_drop(state, streamer);
+    return;
+  }
+  state.attempts.erase(streamer);
   if (c_downloads_ != nullptr) c_downloads_->add();
   downloads_.push_back(
-      DownloadRecord{streamer, loop_->now(), response->version, id});
-  kv_->put("seen:" + streamer, std::to_string(response->version));
+      DownloadRecord{streamer, loop_->now(), checked.response.version, id});
+  durable_put("seen:" + streamer, std::to_string(checked.response.version));
 
   // HEAD for the next thumbnail's arrival time.
   if (c_head_ != nullptr) c_head_->add();
-  const HeadResponse head = cdn_->head(streamer);
-  if (!head.online) {
+  const CheckedHead head = cdn_->head_checked(streamer);
+  if (head.status == CdnStatus::kError || head.status == CdnStatus::kSlow) {
+    // Could not learn the next arrival; poll again after a backoff (the
+    // next GET doubles as the probe).
+    retry_or_drop(state, streamer);
+    return;
+  }
+  if (!head.head.online) {
     state.next_fetch.erase(streamer);
-    kv_->push_back(kOfflineList, streamer);
+    state.attempts.erase(streamer);
+    if (!durable_push(kOfflineList, streamer)) {
+      tracked_.erase(streamer);
+      kv_->erase(kTrackedPrefix + streamer);
+    }
     return;
   }
   state.next_fetch[streamer] =
-      std::max(loop_->now(), head.next_thumbnail_time) + config_.fetch_delay;
+      std::max(loop_->now(), head.head.next_thumbnail_time) +
+      config_.fetch_delay;
 }
 
 void DownloadSystem::crash_and_recover() {
@@ -156,14 +262,22 @@ void DownloadSystem::crash_and_recover() {
   }
   // Crash: all in-memory assignment state vanishes.
   tracked_.clear();
-  for (auto& downloader : downloaders_) downloader.next_fetch.clear();
+  for (auto& downloader : downloaders_) {
+    downloader.next_fetch.clear();
+    downloader.attempts.clear();
+  }
 
   // Recovery: the coordinator rebuilds its view from the KV store and
-  // re-queues every tracked streamer for (re-)adoption.
+  // re-queues every tracked streamer for (re-)adoption. A lost re-queue
+  // write drops the marker too, so the next poll re-discovers the streamer
+  // instead of leaving it tracked-but-unassigned.
   for (const auto& key : kv_->keys_with_prefix(kTrackedPrefix)) {
     const std::string streamer = key.substr(kTrackedPrefix.size());
+    if (!durable_push(kPendingList, streamer)) {
+      kv_->erase(key);
+      continue;
+    }
     tracked_.insert(streamer);
-    kv_->push_back(kPendingList, streamer);
     if (c_recovered_ != nullptr) c_recovered_->add();
   }
   if (config_.trace != nullptr) {

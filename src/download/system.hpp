@@ -8,6 +8,7 @@
 
 #include "download/cdn.hpp"
 #include "download/rate_limiter.hpp"
+#include "fault/policy.hpp"
 #include "store/kv_store.hpp"
 #include "util/event_loop.hpp"
 #include "util/rng.hpp"
@@ -30,10 +31,18 @@ struct DownloadConfig {
   double fetch_delay = 2.0;         ///< fetch this long after a thumbnail lands
   /// Optional observability sinks (not owned; may be null). Counters:
   /// tero.download.{api_polls,api_throttled,head_requests,get_requests,
-  /// downloads,offline_signals,adoptions,crashes,recovered_streamers}.
+  /// downloads,offline_signals,adoptions,crashes,recovered_streamers,
+  /// retries,corrupted,slow_responses,kv_write_retries,dropped_streamers}.
   /// Crash/recovery additionally drop instant markers on the trace.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  /// Optional fault injection (not owned; may be null). The system arms the
+  /// CDN's "cdn.head"/"cdn.get" points via set_injector and retries
+  /// injected transport failures under `retry`; a streamer whose retries
+  /// are exhausted is signalled offline so the coordinator re-discovers it
+  /// on a later poll — never silently orphaned.
+  fault::FaultInjector* injector = nullptr;
+  fault::RetryPolicy retry;
 };
 
 /// One successful thumbnail download.
@@ -82,6 +91,8 @@ class DownloadSystem {
   struct DownloaderState {
     /// streamer -> time the next thumbnail should be fetched.
     std::map<std::string, double> next_fetch;
+    /// streamer -> consecutive failed attempts on the current thumbnail.
+    std::map<std::string, std::uint32_t> attempts;
     int adopted_total = 0;
   };
 
@@ -89,6 +100,14 @@ class DownloadSystem {
   void downloader_tick(int id);
   void fetch_one(int id, const std::string& streamer);
   void adopt_if_idle(int id);
+  /// Schedule a retry per config_.retry, or give the streamer up (signal
+  /// offline → coordinator re-discovers it if it is still live).
+  void retry_or_drop(DownloaderState& state, const std::string& streamer);
+  /// KV write with a bounded immediate-retry loop (injected put failures).
+  /// False = the write was lost even after retrying; callers must leave the
+  /// system in a state the coordinator can repair on a later poll.
+  bool durable_put(const std::string& key, const std::string& value);
+  bool durable_push(const std::string& list_key, const std::string& value);
   /// Resolve a counter once; null when no registry (one branch per event).
   [[nodiscard]] obs::Counter* counter(const char* name) const;
 
@@ -116,6 +135,11 @@ class DownloadSystem {
   obs::Counter* c_adoptions_ = nullptr;
   obs::Counter* c_crashes_ = nullptr;
   obs::Counter* c_recovered_ = nullptr;
+  obs::Counter* c_retries_ = nullptr;
+  obs::Counter* c_corrupted_ = nullptr;
+  obs::Counter* c_slow_ = nullptr;
+  obs::Counter* c_kv_retries_ = nullptr;
+  obs::Counter* c_dropped_ = nullptr;
 };
 
 }  // namespace tero::download

@@ -1,0 +1,301 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace tero::fault {
+
+namespace {
+
+[[noreturn]] void bad_spec(std::string_view spec, std::string_view why) {
+  throw std::invalid_argument("FaultPlan::parse: " + std::string(why) +
+                              " in rule \"" + std::string(spec) + "\"");
+}
+
+FaultKind parse_kind(std::string_view token, std::string_view rule) {
+  if (token == "error") return FaultKind::kError;
+  if (token == "latency") return FaultKind::kLatency;
+  if (token == "corrupt") return FaultKind::kCorrupt;
+  if (token == "crash") return FaultKind::kCrash;
+  bad_spec(rule, "unknown fault kind \"" + std::string(token) + "\"");
+}
+
+std::uint64_t parse_u64(std::string_view token, std::string_view rule) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    bad_spec(rule, "bad integer \"" + std::string(token) + "\"");
+  }
+  return value;
+}
+
+double parse_prob(std::string_view token, std::string_view rule) {
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(std::string(token), &used);
+    if (used != token.size() || value < 0.0 || value > 1.0) {
+      bad_spec(rule, "probability must be in [0, 1]");
+    }
+    return value;
+  } catch (const std::invalid_argument&) {
+    bad_spec(rule, "bad probability \"" + std::string(token) + "\"");
+  } catch (const std::out_of_range&) {
+    bad_spec(rule, "bad probability \"" + std::string(token) + "\"");
+  }
+}
+
+FaultRule parse_rule(std::string_view text) {
+  FaultRule rule;
+  const auto eq = text.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    bad_spec(text, "expected point=kind@prob");
+  }
+  rule.point = std::string(text.substr(0, eq));
+  std::string_view rest = text.substr(eq + 1);
+
+  const auto at = rest.find('@');
+  if (at == std::string_view::npos) bad_spec(text, "expected kind@prob");
+  rule.kind = parse_kind(rest.substr(0, at), text);
+  rest.remove_prefix(at + 1);
+
+  const auto colon = rest.find(':');
+  rule.probability = parse_prob(rest.substr(0, colon), text);
+  rest = colon == std::string_view::npos ? std::string_view{}
+                                         : rest.substr(colon + 1);
+
+  while (!rest.empty()) {
+    const auto next = rest.find(':');
+    const std::string_view option = rest.substr(0, next);
+    rest = next == std::string_view::npos ? std::string_view{}
+                                          : rest.substr(next + 1);
+    const auto opt_eq = option.find('=');
+    if (opt_eq == std::string_view::npos) {
+      bad_spec(text, "expected option=value");
+    }
+    const std::string_view key = option.substr(0, opt_eq);
+    const std::string_view value = option.substr(opt_eq + 1);
+    if (key == "ms") {
+      rule.latency_s = static_cast<double>(parse_u64(value, text)) / 1000.0;
+    } else if (key == "after") {
+      rule.after = parse_u64(value, text);
+    } else if (key == "max") {
+      rule.max_fires = parse_u64(value, text);
+    } else if (key == "fails") {
+      rule.fail_attempts = parse_u64(value, text);
+    } else {
+      bad_spec(text, "unknown option \"" + std::string(key) + "\"");
+    }
+  }
+  return rule;
+}
+
+}  // namespace
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kError: return "error";
+    case FaultKind::kLatency: return "latency";
+    case FaultKind::kCorrupt: return "corrupt";
+    case FaultKind::kCrash: return "crash";
+  }
+  return "none";
+}
+
+bool FaultRule::matches(std::string_view name) const {
+  if (!point.empty() && point.back() == '*') {
+    const std::string_view prefix(point.data(), point.size() - 1);
+    return name.size() >= prefix.size() &&
+           name.substr(0, prefix.size()) == prefix;
+  }
+  return name == point;
+}
+
+FaultPlan FaultPlan::parse(std::string_view spec, std::uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  while (!spec.empty()) {
+    const auto semi = spec.find(';');
+    const std::string_view rule = spec.substr(0, semi);
+    spec = semi == std::string_view::npos ? std::string_view{}
+                                          : spec.substr(semi + 1);
+    if (rule.empty()) continue;
+    plan.rules.push_back(parse_rule(rule));
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const FaultRule& r = rules[i];
+    if (i != 0) os << ';';
+    os << r.point << '=' << fault::to_string(r.kind) << '@' << r.probability;
+    if (r.kind == FaultKind::kLatency) {
+      os << ":ms=" << static_cast<std::uint64_t>(r.latency_s * 1000.0 + 0.5);
+    }
+    if (r.after != 0) os << ":after=" << r.after;
+    if (r.max_fires != 0) os << ":max=" << r.max_fires;
+    if (r.fail_attempts != 2) os << ":fails=" << r.fail_attempts;
+  }
+  return os.str();
+}
+
+FaultPoint::FaultPoint(
+    std::string name, std::uint64_t plan_seed,
+    std::vector<std::pair<std::size_t, const FaultRule*>> rules,
+    obs::MetricsRegistry* metrics)
+    : name_(std::move(name)),
+      point_seed_(util::mix_seed(plan_seed,
+                                 util::fnv1a64({name_.data(), name_.size()}))),
+      rules_(std::move(rules)) {
+  rule_fired_.reserve(rules_.size());
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    rule_fired_.push_back(std::make_unique<std::atomic<std::uint64_t>>(0));
+  }
+  if (metrics != nullptr && !rules_.empty()) {
+    fired_counter_ = &metrics->counter(
+        obs::MetricsRegistry::labeled("tero.fault.fired", {{"point", name_}}));
+  }
+}
+
+bool FaultPoint::rule_fires(std::size_t rule_index, const FaultRule& rule,
+                            std::uint64_t index) const {
+  if (rule.probability <= 0.0) return false;
+  if (rule.probability >= 1.0) return true;
+  // Pure function of (plan seed, point name, plan rule index, draw index):
+  // independent of evaluation order, thread count, and other points.
+  util::Rng rng = util::Rng::indexed(
+      util::mix_seed(point_seed_, rules_[rule_index].first), index);
+  return rng.uniform() < rule.probability;
+}
+
+FaultDecision FaultPoint::hit() {
+  const std::uint64_t index = hits_.fetch_add(1, std::memory_order_relaxed);
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = *rules_[i].second;
+    if (index < rule.after) continue;
+    if (!rule_fires(i, rule, index)) continue;
+    if (rule.max_fires != 0) {
+      // Claim one of the capped fire slots; losers fall through to the
+      // next rule. Relaxed is fine: the cap is a budget, not a schedule
+      // (hit-index draws stay deterministic either way).
+      const std::uint64_t prior =
+          rule_fired_[i]->fetch_add(1, std::memory_order_relaxed);
+      if (prior >= rule.max_fires) continue;
+    } else {
+      rule_fired_[i]->fetch_add(1, std::memory_order_relaxed);
+    }
+    fired_.fetch_add(1, std::memory_order_relaxed);
+    if (fired_counter_ != nullptr) fired_counter_->add();
+    {
+      std::lock_guard<std::mutex> lock(schedule_mutex_);
+      if (fired_schedule_.size() < kScheduleCap) {
+        fired_schedule_.emplace_back(index, rule.kind);
+      }
+    }
+    return FaultDecision{rule.kind, rule.kind == FaultKind::kLatency
+                                        ? rule.latency_s
+                                        : 0.0};
+  }
+  return {};
+}
+
+std::uint64_t FaultPoint::failing_attempts(std::uint64_t key) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = *rules_[i].second;
+    if (key < rule.after) continue;
+    if (!rule_fires(i, rule, key)) continue;
+    if (rule.kind == FaultKind::kCrash) {
+      return std::numeric_limits<std::uint64_t>::max();  // permanent
+    }
+    return rule.fail_attempts;
+  }
+  return 0;
+}
+
+FaultDecision FaultPoint::decide(std::uint64_t key,
+                                 std::uint64_t attempt) const {
+  for (std::size_t i = 0; i < rules_.size(); ++i) {
+    const FaultRule& rule = *rules_[i].second;
+    if (key < rule.after) continue;
+    if (!rule_fires(i, rule, key)) continue;
+    const bool permanent = rule.kind == FaultKind::kCrash;
+    if (!permanent && attempt >= rule.fail_attempts) return {};
+    return FaultDecision{rule.kind, rule.kind == FaultKind::kLatency
+                                        ? rule.latency_s
+                                        : 0.0};
+  }
+  return {};
+}
+
+std::vector<std::pair<std::uint64_t, FaultKind>> FaultPoint::schedule() const {
+  std::vector<std::pair<std::uint64_t, FaultKind>> out;
+  {
+    std::lock_guard<std::mutex> lock(schedule_mutex_);
+    out = fired_schedule_;
+  }
+  // Each hit index fires at most once, so sorting by index gives one
+  // canonical order regardless of which thread logged first.
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, obs::MetricsRegistry* metrics)
+    : plan_(std::move(plan)), metrics_(metrics) {}
+
+FaultPoint& FaultInjector::point(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(name);
+  if (it != points_.end()) return *it->second;
+  std::vector<std::pair<std::size_t, const FaultRule*>> matching;
+  for (std::size_t i = 0; i < plan_.rules.size(); ++i) {
+    if (plan_.rules[i].matches(name)) matching.emplace_back(i, &plan_.rules[i]);
+  }
+  auto created = std::unique_ptr<FaultPoint>(new FaultPoint(
+      std::string(name), plan_.seed, std::move(matching), metrics_));
+  return *points_.emplace(std::string(name), std::move(created))
+              .first->second;
+}
+
+std::uint64_t FaultInjector::total_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [name, point] : points_) total += point->fired();
+  return total;
+}
+
+std::string FaultInjector::schedule_digest() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const auto& [name, point] : points_) {
+    const auto schedule = point->schedule();
+    if (schedule.empty()) continue;
+    os << name << '{';
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      if (i != 0) os << ',';
+      os << schedule[i].first << ':' << to_string(schedule[i].second);
+    }
+    os << "};";
+  }
+  return os.str();
+}
+
+void FaultInjector::write_table(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "fault points (plan seed " << plan_.seed << "):\n";
+  for (const auto& [name, point] : points_) {
+    os << "  " << name << "  hits=" << point->hits()
+       << "  fired=" << point->fired() << '\n';
+  }
+}
+
+}  // namespace tero::fault

@@ -1,0 +1,194 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tero::obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace tero::obs
+
+namespace tero::fault {
+
+/// Deterministic fault injection (DESIGN.md §11). Subsystems register named
+/// fault points ("cdn.get", "kv.put", "serve.shard-0", ...) against a
+/// FaultInjector; a FaultPlan — parsed from a tiny spec string — maps point
+/// names to fault rules. Every decision is a pure function of
+/// (plan seed, point name, rule index, hit index | key), derived through
+/// util::Rng::indexed, so the fault schedule is bit-reproducible for a
+/// fixed seed and plan, independent of wall time or thread interleaving at
+/// keyed points.
+///
+/// Null-injector cost contract (same as obs): call sites hold a plain
+/// FaultPoint* that is nullptr when injection is off, so a disabled layer
+/// costs exactly one predictable branch per point crossing.
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kError,    ///< operation fails (transient unless the rule says otherwise)
+  kLatency,  ///< operation succeeds after an added delay
+  kCorrupt,  ///< operation "succeeds" but the payload is damaged
+  kCrash,    ///< process/component dies (keyed mode: permanent fault)
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind) noexcept;
+
+/// What one fault-point crossing should suffer.
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  double delay_s = 0.0;  ///< kLatency: injected extra latency
+
+  explicit operator bool() const noexcept { return kind != FaultKind::kNone; }
+};
+
+/// One plan rule: which point(s), which fault, how likely, and when.
+struct FaultRule {
+  /// Exact point name, or a prefix wildcard with a trailing '*'
+  /// ("serve.shard*" matches every shard's point).
+  std::string point;
+  FaultKind kind = FaultKind::kError;
+  double probability = 0.0;
+  double latency_s = 1.0;        ///< kLatency magnitude
+  std::uint64_t after = 0;       ///< skip the first `after` hits
+  std::uint64_t max_fires = 0;   ///< stop after this many fires; 0 = no cap
+  /// Keyed mode (FaultPoint::decide): attempts 0..fail_attempts-1 of an
+  /// affected key fail, so a RetryPolicy with more attempts than this
+  /// always recovers — the "transient by construction" contract.
+  std::uint64_t fail_attempts = 2;
+
+  [[nodiscard]] bool matches(std::string_view name) const;
+};
+
+/// A seeded set of rules. Spec grammar (';'-separated rules):
+///
+///   point=kind@prob[:ms=N][:after=N][:max=N][:fails=N]
+///
+///   kind  := error | latency | corrupt | crash
+///   prob  := probability in [0, 1]
+///   ms    := latency magnitude in milliseconds (kLatency only)
+///   after := skip the first N hits of the point
+///   max   := fire at most N times
+///   fails := keyed mode, failing attempts per affected key
+///
+/// Example: "cdn.get=error@0.05;cdn.get=latency@0.02:ms=4000;kv.put=error@0.1"
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  /// Parse a spec string; throws std::invalid_argument on malformed input.
+  [[nodiscard]] static FaultPlan parse(std::string_view spec,
+                                       std::uint64_t seed = 1);
+  /// Round-trippable canonical form (parse(to_string()) == *this).
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] bool empty() const noexcept { return rules.empty(); }
+};
+
+class FaultInjector;
+
+/// One named crossing point. hit() draws the per-hit schedule (hit index n
+/// of this point suffers rule r iff the (seed, point, r, n)-derived draw
+/// lands under r's probability); decide() is the keyed variant — a pure
+/// function of (seed, point, rule, key, attempt) with no internal state, so
+/// parallel stages can consult it in any order and still agree.
+class FaultPoint {
+ public:
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Per-hit schedule: consumes one hit index and returns the injected
+  /// fault, if any. Thread-safe; the hit order defines the schedule.
+  FaultDecision hit();
+
+  /// Keyed schedule: the fault for (key, attempt), with no side effects on
+  /// the hit counter. Attempts beyond the rule's fail_attempts succeed
+  /// (transient by construction); kCrash rules make the key permanently
+  /// faulted at every attempt.
+  [[nodiscard]] FaultDecision decide(std::uint64_t key,
+                                     std::uint64_t attempt = 0) const;
+
+  /// Keyed helper: how many attempts fail for `key` (0 = healthy;
+  /// UINT64_MAX = permanent).
+  [[nodiscard]] std::uint64_t failing_attempts(std::uint64_t key) const;
+
+  [[nodiscard]] std::uint64_t hits() const noexcept {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t fired() const noexcept {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+  /// The fired per-hit schedule so far as "hit_index:kind" pairs in hit
+  /// order (capped; see kScheduleCap) — the bit-reproducibility witness.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, FaultKind>> schedule()
+      const;
+
+ private:
+  friend class FaultInjector;
+  static constexpr std::size_t kScheduleCap = 1 << 16;
+
+  FaultPoint(std::string name, std::uint64_t plan_seed,
+             std::vector<std::pair<std::size_t, const FaultRule*>> rules,
+             obs::MetricsRegistry* metrics);
+
+  /// Evaluate rule `rule_index` for draw index `index` (hit or key).
+  [[nodiscard]] bool rule_fires(std::size_t rule_index, const FaultRule& rule,
+                                std::uint64_t index) const;
+
+  std::string name_;
+  std::uint64_t point_seed_ = 0;
+  /// (plan rule index, rule) pairs matching this point, in plan order.
+  std::vector<std::pair<std::size_t, const FaultRule*>> rules_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> fired_{0};
+  /// Per-rule fire counts (max_fires accounting).
+  std::vector<std::unique_ptr<std::atomic<std::uint64_t>>> rule_fired_;
+  obs::Counter* fired_counter_ = nullptr;  ///< tero.fault.fired{point=...}
+  mutable std::mutex schedule_mutex_;
+  std::vector<std::pair<std::uint64_t, FaultKind>> fired_schedule_;
+};
+
+/// Owns the plan and the registered points. Point references are stable for
+/// the injector's lifetime, so subsystems resolve them once at construction
+/// (the obs::Counter idiom).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan,
+                         obs::MetricsRegistry* metrics = nullptr);
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Register (or fetch) the point named `name`.
+  FaultPoint& point(std::string_view name);
+
+  /// Null-safe resolution: nullptr in, nullptr out — the one-branch idiom
+  /// for subsystems whose config carries an optional injector.
+  [[nodiscard]] static FaultPoint* maybe_point(FaultInjector* injector,
+                                               std::string_view name) {
+    return injector == nullptr ? nullptr : &injector->point(name);
+  }
+
+  [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
+  [[nodiscard]] std::uint64_t total_fired() const;
+
+  /// Deterministic one-line digest of every point's fired schedule
+  /// ("point{hit:kind,...};..."), for bit-reproducibility assertions.
+  [[nodiscard]] std::string schedule_digest() const;
+
+  /// Human-readable per-point summary (util::Table layout).
+  void write_table(std::ostream& os) const;
+
+ private:
+  FaultPlan plan_;
+  obs::MetricsRegistry* metrics_;
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<FaultPoint>, std::less<>> points_;
+};
+
+}  // namespace tero::fault

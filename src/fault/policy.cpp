@@ -1,0 +1,94 @@
+#include "fault/policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace tero::fault {
+
+double RetryPolicy::backoff_s(std::uint32_t attempt, std::uint64_t seed,
+                              std::uint64_t token) const {
+  if (attempt == 0) return 0.0;
+  double delay =
+      base_delay_s * std::pow(multiplier, static_cast<double>(attempt - 1));
+  delay = std::min(delay, max_delay_s);
+  if (jitter > 0.0) {
+    // Deterministic jitter: the draw depends only on (seed, token, attempt),
+    // so a retry schedule replays exactly under the same seed.
+    util::Rng rng = util::Rng::indexed(util::mix_seed(seed, token), attempt);
+    delay *= 1.0 - jitter * rng.uniform();
+  }
+  return delay;
+}
+
+bool CircuitBreaker::allow(double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now_s - opened_at_s_ >= config_.cooldown_s) {
+        enter(State::kHalfOpen);
+        return true;
+      }
+      ++rejected_;
+      return false;
+    case State::kHalfOpen:
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::on_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  consecutive_failures_ = 0;
+  if (state_ == State::kHalfOpen) {
+    if (++half_open_successes_ >= config_.half_open_successes) {
+      enter(State::kClosed);
+    }
+  }
+}
+
+void CircuitBreaker::on_failure(double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kHalfOpen) {
+    // A failed probe re-opens immediately and restarts the cooldown.
+    opened_at_s_ = now_s;
+    enter(State::kOpen);
+    return;
+  }
+  if (state_ == State::kClosed &&
+      ++consecutive_failures_ >= config_.failure_threshold) {
+    opened_at_s_ = now_s;
+    enter(State::kOpen);
+  }
+}
+
+void CircuitBreaker::enter(State next) {
+  state_ = next;
+  if (next != State::kHalfOpen) half_open_successes_ = 0;
+  if (next == State::kClosed) consecutive_failures_ = 0;
+  if (state_gauge_ != nullptr) {
+    state_gauge_->set(static_cast<double>(static_cast<std::uint8_t>(next)));
+  }
+}
+
+obs::Gauge* CircuitBreaker::state_gauge(obs::MetricsRegistry* metrics,
+                                        const std::string& endpoint) {
+  if (metrics == nullptr) return nullptr;
+  return &metrics->gauge(obs::MetricsRegistry::labeled(
+      "tero.fault.breaker", {{"endpoint", endpoint}}));
+}
+
+std::string_view to_string(CircuitBreaker::State state) noexcept {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "closed";
+}
+
+}  // namespace tero::fault

@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace tero::obs {
+class Gauge;
+class MetricsRegistry;
+}  // namespace tero::obs
+
+namespace tero::fault {
+
+/// Capped exponential backoff with deterministic jitter. Pure data + pure
+/// functions: the backoff for attempt n is a function of (policy, seed,
+/// token, n), so retry schedules are bit-reproducible and thread-safe for
+/// free. `token` identifies the operation being retried (e.g. a streamer
+/// hash), keeping concurrent retry sequences decorrelated.
+struct RetryPolicy {
+  std::uint32_t max_attempts = 4;  ///< total tries, including the first
+  double base_delay_s = 1.0;       ///< delay before attempt 1's retry
+  double max_delay_s = 60.0;       ///< cap on a single backoff
+  double multiplier = 2.0;
+  double jitter = 0.25;    ///< fraction of the delay randomized, [0, 1]
+  double budget_s = 300.0; ///< total time allowed across all retries; 0 = off
+
+  /// Backoff before retry attempt `attempt` (attempt 1 = first retry).
+  /// Deterministic in (policy, seed, token, attempt).
+  [[nodiscard]] double backoff_s(std::uint32_t attempt, std::uint64_t seed,
+                                 std::uint64_t token = 0) const;
+
+  /// Should attempt `attempt` (0-based try index) run, given `elapsed_s`
+  /// spent so far? Encodes both the attempt cap and the total budget.
+  [[nodiscard]] bool should_retry(std::uint32_t attempt,
+                                  double elapsed_s = 0.0) const {
+    if (attempt + 1 >= max_attempts) return false;
+    return budget_s <= 0.0 || elapsed_s < budget_s;
+  }
+};
+
+/// Closed → open → half-open breaker guarding one endpoint. Time is passed
+/// in by the caller (simulation time or wall time), never read from a
+/// clock, so breaker transitions are as deterministic as the event order
+/// that drives them. Thread-safe.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  struct Config {
+    std::uint32_t failure_threshold = 5;  ///< consecutive failures to open
+    double cooldown_s = 30.0;             ///< open → half-open delay
+    std::uint32_t half_open_successes = 2;  ///< probes to close again
+  };
+
+  CircuitBreaker() : CircuitBreaker(Config{}) {}
+  explicit CircuitBreaker(Config config, obs::Gauge* state_gauge = nullptr)
+      : config_(config), state_gauge_(state_gauge) {}
+
+  /// May a request proceed at time `now_s`? Open breakers reject until the
+  /// cooldown elapses, then admit half-open probes.
+  [[nodiscard]] bool allow(double now_s);
+  void on_success();
+  void on_failure(double now_s);
+
+  [[nodiscard]] State state() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return state_;
+  }
+  [[nodiscard]] std::uint64_t rejected() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
+  }
+
+  /// Resolve the per-endpoint state gauge `tero.fault.breaker{endpoint=...}`
+  /// (0 = closed, 1 = open, 2 = half-open); nullptr registry -> nullptr.
+  [[nodiscard]] static obs::Gauge* state_gauge(obs::MetricsRegistry* metrics,
+                                               const std::string& endpoint);
+
+ private:
+  void enter(State next);  // callers hold mutex_
+
+  Config config_;
+  obs::Gauge* state_gauge_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  std::uint32_t consecutive_failures_ = 0;
+  std::uint32_t half_open_successes_ = 0;
+  double opened_at_s_ = 0.0;
+  std::uint64_t rejected_ = 0;
+};
+
+[[nodiscard]] std::string_view to_string(CircuitBreaker::State state) noexcept;
+
+}  // namespace tero::fault

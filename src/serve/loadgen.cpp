@@ -97,6 +97,7 @@ LoadTestReport run_loadtest(QueryService& service,
 
   struct Outcome {
     QueryStatus status = QueryStatus::kNoSnapshot;
+    bool stale = false;
     std::uint64_t hash = 0;
   };
   const auto start = std::chrono::steady_clock::now();
@@ -108,7 +109,8 @@ LoadTestReport run_loadtest(QueryService& service,
         } else {
           response = service.query_admitted(queries[i]);
         }
-        return Outcome{response.status, hash_response(i, response)};
+        return Outcome{response.status, response.stale,
+                       hash_response(i, response)};
       });
   const auto elapsed = std::chrono::steady_clock::now() - start;
   report.wall_ms =
@@ -120,11 +122,13 @@ LoadTestReport run_loadtest(QueryService& service,
 
   for (const Outcome& outcome : outcomes) {
     report.checksum ^= outcome.hash;
+    if (outcome.stale) ++report.stale;
     switch (outcome.status) {
       case QueryStatus::kOk: ++report.ok; break;
       case QueryStatus::kNotFound: ++report.not_found; break;
       case QueryStatus::kShed: ++report.shed; break;
       case QueryStatus::kNoSnapshot: ++report.no_snapshot; break;
+      case QueryStatus::kUnavailable: ++report.unavailable; break;
     }
   }
 

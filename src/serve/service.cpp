@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "tero/pipeline.hpp"
@@ -32,6 +33,10 @@ std::uint64_t hash_response(std::uint64_t index,
   std::uint64_t h = util::mix_seed(index, static_cast<std::uint64_t>(
                                               response.status));
   h = util::mix_seed(h, hash_double(response.value));
+  // Staleness is part of the answer's meaning (a degraded STALE{age} reply
+  // is not the same result as a fresh one), unlike the `cached` timing bit.
+  h = util::mix_seed(h, (response.stale ? 1ULL : 0ULL) +
+                            (response.stale_age << 1));
   for (const auto& top : response.top) {
     h = util::mix_seed(h, util::fnv1a64({top.location.data(),
                                          top.location.size()}));
@@ -53,6 +58,15 @@ QueryService::QueryService(ServeConfig config)
     ring_.add_node(shard_names_.back());
     shards_.push_back(std::make_unique<Shard>(config_.cache_capacity));
   }
+  if (config_.injector != nullptr) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      shards_[i]->fault_point =
+          &config_.injector->point("serve." + shard_names_[i]);
+      shards_[i]->breaker = std::make_unique<fault::CircuitBreaker>(
+          config_.breaker, fault::CircuitBreaker::state_gauge(
+                               config_.metrics, shard_names_[i]));
+    }
+  }
   if (config_.metrics != nullptr) {
     auto& registry = *config_.metrics;
     queries_total_ = &registry.counter("tero.serve.queries");
@@ -60,6 +74,8 @@ QueryService::QueryService(ServeConfig config)
     misses_counter_ = &registry.counter("tero.serve.cache_misses");
     shed_counter_ = &registry.counter("tero.serve.shed");
     not_found_counter_ = &registry.counter("tero.serve.not_found");
+    degraded_counter_ = &registry.counter("tero.serve.degraded");
+    unavailable_counter_ = &registry.counter("tero.serve.unavailable");
     query_ms_ = &registry.histogram("tero.serve.query_ms");
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       shards_[i]->hits_counter = &registry.counter(obs::MetricsRegistry::
@@ -83,6 +99,14 @@ void QueryService::invalidate_caches() {
 
 std::uint64_t QueryService::publish(std::vector<SnapshotEntry> entries) {
   const obs::ScopedSpan span(config_.trace, "serve.publish", "serve");
+  {
+    // The outgoing epoch becomes the degraded path's "last good" snapshot.
+    SnapshotPtr outgoing = publisher_.current();
+    if (outgoing != nullptr) {
+      std::lock_guard<std::mutex> lock(previous_mutex_);
+      previous_ = std::move(outgoing);
+    }
+  }
   const std::uint64_t epoch = publisher_.publish(std::move(entries));
   publishes_.fetch_add(1, std::memory_order_relaxed);
   invalidate_caches();
@@ -96,6 +120,13 @@ std::uint64_t QueryService::publish(std::vector<SnapshotEntry> entries) {
 
 void QueryService::publish(SnapshotPtr snapshot) {
   const obs::ScopedSpan span(config_.trace, "serve.publish", "serve");
+  {
+    SnapshotPtr outgoing = publisher_.current();
+    if (outgoing != nullptr) {
+      std::lock_guard<std::mutex> lock(previous_mutex_);
+      previous_ = std::move(outgoing);
+    }
+  }
   publisher_.publish(std::move(snapshot));
   publishes_.fetch_add(1, std::memory_order_relaxed);
   invalidate_caches();
@@ -209,7 +240,28 @@ QueryResponse QueryService::query(const Query& query, double now_s) {
   return query_admitted(query);
 }
 
-QueryResponse QueryService::query_admitted(const Query& query) {
+QueryResponse QueryService::degraded(const Query& query,
+                                     std::uint64_t current_epoch) {
+  SnapshotPtr last_good;
+  {
+    std::lock_guard<std::mutex> lock(previous_mutex_);
+    last_good = previous_;
+  }
+  if (last_good == nullptr) {
+    if (unavailable_counter_ != nullptr) unavailable_counter_->add();
+    QueryResponse response;
+    response.status = QueryStatus::kUnavailable;
+    response.epoch = current_epoch;
+    return response;
+  }
+  if (degraded_counter_ != nullptr) degraded_counter_->add();
+  QueryResponse response = compute(query, *last_good);
+  response.stale = true;
+  response.stale_age = current_epoch - last_good->epoch();
+  return response;
+}
+
+QueryResponse QueryService::query_admitted(const Query& query, double now_s) {
   const obs::ScopedSpan span(config_.trace, "serve.query", "serve");
   const obs::ScopedTimer timer(query_ms_);
   if (queries_total_ != nullptr) queries_total_->add();
@@ -223,6 +275,22 @@ QueryResponse QueryService::query_admitted(const Query& query) {
 
   const std::size_t shard_index = shard_for(query);
   Shard& shard = *shards_[shard_index];
+
+  if (shard.fault_point != nullptr) {
+    const double now = now_s >= 0.0 ? now_s : wall_now_s();
+    if (!shard.breaker->allow(now)) {
+      // Breaker open: skip the shard entirely (no fault-point hit — the
+      // whole point of breaking is to stop poking a known-bad endpoint).
+      return degraded(query, snapshot->epoch());
+    }
+    const fault::FaultDecision decision = shard.fault_point->hit();
+    if (decision.kind == fault::FaultKind::kError ||
+        decision.kind == fault::FaultKind::kCrash) {
+      shard.breaker->on_failure(now);
+      return degraded(query, snapshot->epoch());
+    }
+    shard.breaker->on_success();
+  }
   const std::size_t depth =
       shard.inflight.fetch_add(1, std::memory_order_relaxed) + 1;
   if (config_.metrics != nullptr) {

@@ -11,11 +11,17 @@
 #include <string_view>
 #include <vector>
 
+#include "fault/policy.hpp"
 #include "serve/admission.hpp"
 #include "serve/epoch.hpp"
 #include "serve/lru_cache.hpp"
 #include "serve/snapshot.hpp"
 #include "store/consistent_hash.hpp"
+
+namespace tero::fault {
+class FaultInjector;
+class FaultPoint;
+}  // namespace tero::fault
 
 namespace tero::obs {
 class MetricsRegistry;
@@ -48,9 +54,10 @@ struct Query {
 
 enum class QueryStatus {
   kOk,
-  kNotFound,    ///< snapshot has no such {location, game}
-  kShed,        ///< rejected by admission control
-  kNoSnapshot,  ///< nothing published yet
+  kNotFound,     ///< snapshot has no such {location, game}
+  kShed,         ///< rejected by admission control
+  kNoSnapshot,   ///< nothing published yet
+  kUnavailable,  ///< shard down and no previous epoch to degrade to
 };
 
 struct TopEntry {
@@ -63,7 +70,12 @@ struct QueryResponse {
   double value = 0.0;
   std::uint64_t epoch = 0;
   bool cached = false;
-  std::vector<TopEntry> top;  ///< kTopK only
+  /// Degraded-mode marker (DESIGN.md §11): the owning shard was unavailable
+  /// and this answer came from the last good snapshot instead of the
+  /// current epoch — explicitly STALE{age}, never silently wrong.
+  bool stale = false;
+  std::uint64_t stale_age = 0;  ///< epochs behind the current one
+  std::vector<TopEntry> top;    ///< kTopK only
 };
 
 /// Order- and thread-independent fingerprint of one (query index, response)
@@ -88,6 +100,13 @@ struct ServeConfig {
   /// query results never depend on them.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  /// Optional fault injection (not owned; may be null). Arms one
+  /// "serve.shard-<i>" point per shard: an injected error marks the shard
+  /// unavailable for that query, trips its circuit breaker, and routes the
+  /// answer through the degraded path (previous snapshot + STALE marker).
+  fault::FaultInjector* injector = nullptr;
+  /// Per-shard circuit-breaker tuning (used only when injector != null).
+  fault::CircuitBreaker::Config breaker;
 };
 
 /// Sharded in-process query service over published snapshots.
@@ -124,8 +143,10 @@ class QueryService {
 
   /// Answer a query that has already passed admission (or for which
   /// admission is intentionally bypassed, e.g. closed-loop capacity
-  /// measurement).
-  [[nodiscard]] QueryResponse query_admitted(const Query& query);
+  /// measurement). `now_s` feeds the per-shard circuit breakers (virtual
+  /// time for deterministic replay; negative = wall time).
+  [[nodiscard]] QueryResponse query_admitted(const Query& query,
+                                             double now_s = -1.0);
 
   /// Batch point lookup; one admission charge per query, shared snapshot
   /// load (all answers come from the same epoch).
@@ -171,6 +192,10 @@ class QueryService {
     /// tero.serve.cache_hits{shard=shard-i} and the matching misses.
     obs::Counter* hits_counter = nullptr;
     obs::Counter* misses_counter = nullptr;
+    /// Fault-injection hook ("serve.shard-<i>"; null = healthy shard) and
+    /// the circuit breaker guarding it (null when injection is off).
+    fault::FaultPoint* fault_point = nullptr;
+    std::unique_ptr<fault::CircuitBreaker> breaker;
 
     explicit Shard(std::size_t cache_capacity) : cache(cache_capacity) {}
   };
@@ -181,12 +206,21 @@ class QueryService {
 
   [[nodiscard]] QueryResponse compute(const Query& query,
                                       const Snapshot& snapshot) const;
+  /// Degraded path: answer from the last good snapshot with a STALE{age}
+  /// marker, or kUnavailable when there is none. Never cached.
+  [[nodiscard]] QueryResponse degraded(const Query& query,
+                                       std::uint64_t current_epoch);
   [[nodiscard]] static std::string cache_key(const Query& query);
   [[nodiscard]] static std::string shard_key(const Query& query);
   [[nodiscard]] double wall_now_s() const;
 
   ServeConfig config_;
   EpochPublisher publisher_;
+  /// Last good snapshot (the epoch before the current one): what degraded
+  /// answers are served from while a shard is down. Mutex-guarded like the
+  /// publisher's current pointer (deliberate — TSan-safe; see epoch.hpp).
+  mutable std::mutex previous_mutex_;
+  SnapshotPtr previous_;
   AdmissionController admission_;
   store::ConsistentHashRing ring_;
   std::vector<std::string> shard_names_;  ///< shard_names_[i] == "shard-i"
@@ -200,6 +234,8 @@ class QueryService {
   obs::Counter* misses_counter_ = nullptr;
   obs::Counter* shed_counter_ = nullptr;
   obs::Counter* not_found_counter_ = nullptr;
+  obs::Counter* degraded_counter_ = nullptr;
+  obs::Counter* unavailable_counter_ = nullptr;
   obs::Histogram* query_ms_ = nullptr;
 };
 

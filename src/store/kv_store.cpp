@@ -1,9 +1,19 @@
 #include "store/kv_store.hpp"
 
+#include "fault/fault.hpp"
+
 namespace tero::store {
 
-void KvStore::put(std::string key, std::string value) {
+bool KvStore::write_faulted() {
+  const fault::FaultDecision decision = fault_point_->hit();
+  return decision.kind == fault::FaultKind::kError ||
+         decision.kind == fault::FaultKind::kCrash;
+}
+
+bool KvStore::put(std::string key, std::string value) {
+  if (fault_point_ != nullptr && write_faulted()) return false;
   values_[std::move(key)] = std::move(value);
+  return true;
 }
 
 std::optional<std::string> KvStore::get(std::string_view key) const {
@@ -33,8 +43,10 @@ std::vector<std::string> KvStore::keys_with_prefix(
   return keys;
 }
 
-void KvStore::push_back(const std::string& list_key, std::string value) {
+bool KvStore::push_back(const std::string& list_key, std::string value) {
+  if (fault_point_ != nullptr && write_faulted()) return false;
   lists_[list_key].push_back(std::move(value));
+  return true;
 }
 
 std::optional<std::string> KvStore::pop_front(const std::string& list_key) {

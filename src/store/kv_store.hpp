@@ -7,6 +7,10 @@
 #include <string_view>
 #include <vector>
 
+namespace tero::fault {
+class FaultPoint;
+}  // namespace tero::fault
+
 namespace tero::store {
 
 /// In-memory key-value store standing in for Redis (App. B): plain string
@@ -16,8 +20,18 @@ namespace tero::store {
 /// path (App. A) reconstructs its state from a prefix scan.
 class KvStore {
  public:
+  // -- fault injection --------------------------------------------------------
+  /// Attach the "kv.put" fault point (nullptr = off, the default). An
+  /// injected kError makes the next put/push_back drop the write and return
+  /// false — the in-memory analogue of a failed Redis command — which is
+  /// what the download system's bounded KV-retry loop exercises.
+  void set_fault_point(fault::FaultPoint* point) noexcept {
+    fault_point_ = point;
+  }
+
   // -- plain keys ------------------------------------------------------------
-  void put(std::string key, std::string value);
+  /// Returns false (write dropped) only under an injected fault.
+  bool put(std::string key, std::string value);
   [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
   bool erase(std::string_view key);
   [[nodiscard]] bool contains(std::string_view key) const;
@@ -26,7 +40,8 @@ class KvStore {
   [[nodiscard]] std::size_t size() const noexcept { return values_.size(); }
 
   // -- FIFO lists (work queues) -----------------------------------------------
-  void push_back(const std::string& list_key, std::string value);
+  /// Returns false (write dropped) only under an injected fault.
+  bool push_back(const std::string& list_key, std::string value);
   [[nodiscard]] std::optional<std::string> pop_front(
       const std::string& list_key);
   [[nodiscard]] std::size_t list_size(const std::string& list_key) const;
@@ -42,6 +57,9 @@ class KvStore {
       const std::string& list_key) const;
 
  private:
+  [[nodiscard]] bool write_faulted();
+
+  fault::FaultPoint* fault_point_ = nullptr;
   std::map<std::string, std::string, std::less<>> values_;
   std::map<std::string, std::deque<std::string>, std::less<>> lists_;
 };

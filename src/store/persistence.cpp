@@ -1,8 +1,14 @@
 #include "store/persistence.hpp"
 
+#include <filesystem>
+#include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
+
+#include "fault/fault.hpp"
+#include "util/rng.hpp"
 
 namespace tero::store {
 namespace {
@@ -106,6 +112,112 @@ DocStore restore_docs(std::istream& is) {
     docs.insert(collection, std::move(doc));
   }
   return docs;
+}
+
+namespace {
+
+constexpr std::string_view kFileHeader = "TEROKV 1\n";
+constexpr std::string_view kFileTrailer = "TEROKV END\n";
+
+[[noreturn]] void reject(const std::string& path, std::string_view why) {
+  throw std::runtime_error("load_kv_file: " + path + ": " + std::string(why));
+}
+
+}  // namespace
+
+void save_kv_file(const KvStore& kv, const std::string& path,
+                  fault::FaultInjector* injector) {
+  std::ostringstream payload_os;
+  snapshot_kv(kv, payload_os);
+  const std::string payload = payload_os.str();
+
+  fault::FaultPoint* point =
+      fault::FaultInjector::maybe_point(injector, "persist.write");
+  const fault::FaultDecision decision =
+      point != nullptr ? point->hit() : fault::FaultDecision{};
+  const bool torn = decision.kind == fault::FaultKind::kError ||
+                    decision.kind == fault::FaultKind::kCrash ||
+                    decision.kind == fault::FaultKind::kCorrupt;
+
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      throw std::runtime_error("save_kv_file: cannot open " + tmp_path);
+    }
+    os << kFileHeader;
+    if (torn) {
+      // Simulated crash mid-write: half the payload, no footer. The temp
+      // file is deliberately left behind so load paths can prove they
+      // reject it; the primary at `path` is untouched.
+      os.write(payload.data(),
+               static_cast<std::streamsize>(payload.size() / 2));
+      os.flush();
+      throw std::runtime_error("save_kv_file: injected torn write to " +
+                               tmp_path);
+    }
+    os << payload;
+    os << payload.size() << ' '
+       << util::fnv1a64({payload.data(), payload.size()}) << '\n'
+       << kFileTrailer;
+    os.flush();
+    if (!os) {
+      throw std::runtime_error("save_kv_file: write failed for " + tmp_path);
+    }
+  }
+  // Atomic publish: readers see either the old snapshot or the new one,
+  // never a prefix.
+  std::filesystem::rename(tmp_path, path);
+}
+
+KvStore load_kv_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) reject(path, "cannot open");
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  const std::string contents = buffer.str();
+
+  if (contents.size() < kFileHeader.size() ||
+      contents.compare(0, kFileHeader.size(), kFileHeader) != 0) {
+    reject(path, "missing TEROKV header (not a snapshot file?)");
+  }
+  if (contents.size() < kFileHeader.size() + kFileTrailer.size() ||
+      contents.compare(contents.size() - kFileTrailer.size(),
+                       kFileTrailer.size(), kFileTrailer) != 0) {
+    reject(path, "missing end marker (torn or truncated write)");
+  }
+
+  // Body = payload + "<payload_bytes> <checksum>\n".
+  const std::string_view body(
+      contents.data() + kFileHeader.size(),
+      contents.size() - kFileHeader.size() - kFileTrailer.size());
+  const auto footer_start = body.rfind('\n', body.size() >= 2
+                                                 ? body.size() - 2
+                                                 : std::string_view::npos);
+  const std::string_view footer =
+      footer_start == std::string_view::npos
+          ? body
+          : body.substr(footer_start + 1);
+  std::istringstream footer_is{std::string(footer)};
+  std::size_t payload_bytes = 0;
+  std::uint64_t checksum = 0;
+  if (!(footer_is >> payload_bytes >> checksum)) {
+    reject(path, "unparseable footer (torn or truncated write)");
+  }
+  const std::string_view payload = body.substr(0, body.size() - footer.size());
+  if (payload.size() != payload_bytes) {
+    reject(path, "payload length mismatch (torn or truncated write)");
+  }
+  if (util::fnv1a64({payload.data(), payload.size()}) != checksum) {
+    reject(path, "payload checksum mismatch (corrupted snapshot)");
+  }
+
+  std::istringstream payload_is{std::string(payload)};
+  try {
+    return restore_kv(payload_is);
+  } catch (const std::invalid_argument& error) {
+    reject(path, std::string("malformed record: ") + error.what());
+  }
 }
 
 }  // namespace tero::store

@@ -1,9 +1,14 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 
 #include "store/doc_store.hpp"
 #include "store/kv_store.hpp"
+
+namespace tero::fault {
+class FaultInjector;
+}  // namespace tero::fault
 
 namespace tero::store {
 
@@ -23,5 +28,23 @@ void snapshot_kv(const KvStore& kv, std::ostream& os);
 /// one `F <keylen> <key> <valuelen> <value>` line per field.
 void snapshot_docs(const DocStore& docs, std::ostream& os);
 [[nodiscard]] DocStore restore_docs(std::istream& is);
+
+// -- crash-safe file snapshots ------------------------------------------------
+//
+// save_kv_file writes `TEROKV 1\n<payload><payload_bytes> <fnv1a64>\nTEROKV
+// END\n` to `<path>.tmp` and atomically renames it over `path`, so a crash
+// mid-write leaves the previous snapshot intact and a reader never observes
+// a half-written file. load_kv_file verifies the header, the footer, and the
+// payload checksum, rejecting torn or truncated files with a clear error
+// (std::runtime_error mentioning the path and what was wrong).
+//
+// `injector`, when non-null, arms the "persist.write" fault point: an
+// injected kError or kCrash tears the write — the temp file is left
+// truncated mid-payload, the primary file untouched — and save_kv_file
+// throws std::runtime_error, which is exactly the torn-write failure
+// load_kv_file's checks must catch.
+void save_kv_file(const KvStore& kv, const std::string& path,
+                  fault::FaultInjector* injector = nullptr);
+[[nodiscard]] KvStore load_kv_file(const std::string& path);
 
 }  // namespace tero::store

@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "ocr/game_ui.hpp"
@@ -147,6 +148,16 @@ StreamResult StreamPipeline::run(const synth::World& world,
   Channel<StreamEvent> to_sink(config_.channel_capacity, depth_sink,
                                stalls_counter);
 
+  // Fault points (null when injection is off). "stream.source" stalls the
+  // producer (wall-clock only — ordering and data are unchanged, so the
+  // result stays bit-identical); "extract.stream" quarantines streamers
+  // exactly like the batch pipeline (same keyed decisions, same funnel).
+  fault::FaultPoint* const source_fault = fault::FaultInjector::maybe_point(
+      config_.tero.injector, "stream.source");
+  const fault::FaultPoint* const extract_fault =
+      fault::FaultInjector::maybe_point(config_.tero.injector,
+                                        "extract.stream");
+
   // ---- Stage 1: source — walk the schedule from the resume cursor --------
   const std::size_t start_cursor =
       restored.has_value() ? static_cast<std::size_t>(restored->cursor) : 0;
@@ -154,6 +165,15 @@ StreamResult StreamPipeline::run(const synth::World& world,
     const obs::ScopedSpan span(trace, "stream.source", "stage");
     for (std::size_t i = start_cursor; i < schedule.events.size(); ++i) {
       StreamEvent ev = schedule.events[i];
+      if (source_fault != nullptr) {
+        const fault::FaultDecision stall = source_fault->hit();
+        if (stall.kind == fault::FaultKind::kLatency) {
+          // Producer stall: downstream stages see a burst of backpressure,
+          // the data itself is untouched.
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(stall.delay_s));
+        }
+      }
       ev.ingest_wall_s = wall_now_s();
       if (ev.kind == EventKind::kCheckpoint) {
         ev.draft = std::make_shared<CheckpointData>();
@@ -182,6 +202,13 @@ StreamResult StreamPipeline::run(const synth::World& world,
           pool.get(), pending.size(), 8, [&](std::size_t k) {
             const StreamEvent& ev = pending[k];
             const auto& true_stream = streams[ev.stream_index];
+            if (core::extraction_quarantined(extract_fault,
+                                             true_stream.streamer_index,
+                                             config_.tero.extraction_retry)) {
+              // Quarantined: the thumbnail is counted (it was ingested) but
+              // never extracted — identical to the batch pipeline's rule.
+              return core::ThumbnailExtraction{};
+            }
             return core::extract_thumbnail(
                 *channel, ocr::ui_spec_for(true_stream.game),
                 true_stream.points[ev.point_index],
@@ -586,6 +613,9 @@ StreamResult StreamPipeline::run(const synth::World& world,
     core::Dataset& dataset = result.dataset;
     dataset.funnel.streamers_total = world.streamers().size();
     dataset.funnel.streamers_located = schedule.located.streamers_located;
+    dataset.funnel.quarantined = core::count_quarantined_streamers(
+        schedule.located, streams, extract_fault,
+        config_.tero.extraction_retry);
     dataset.funnel.thumbnails = ext_thumbnails;
     dataset.funnel.visible = ext_visible;
     dataset.funnel.ocr_ok = ext_ok;

@@ -19,6 +19,11 @@ namespace tero::core {
 struct Funnel {
   std::size_t streamers_total = 0;
   std::size_t streamers_located = 0;
+  /// Located streamers whose extraction repeatedly faulted under an active
+  /// FaultPlan ("extract.stream" point): their thumbnails are downloaded
+  /// but never extracted, so they fall out of the funnel here — explicitly
+  /// accounted, never silently missing (DESIGN.md §11).
+  std::size_t quarantined = 0;
   std::size_t thumbnails = 0;  ///< thumbnails rendered/downloaded
   std::size_t visible = 0;     ///< latency number visible on screen
   std::size_t ocr_ok = 0;      ///< measurement extracted by the OCR channel
@@ -29,6 +34,7 @@ struct Funnel {
   void record(obs::MetricsRegistry& registry) const {
     registry.counter("tero.funnel.streamers_total").add(streamers_total);
     registry.counter("tero.funnel.streamers_located").add(streamers_located);
+    registry.counter("tero.funnel.quarantined").add(quarantined);
     registry.counter("tero.funnel.thumbnails").add(thumbnails);
     registry.counter("tero.funnel.visible").add(visible);
     registry.counter("tero.funnel.ocr_ok").add(ocr_ok);

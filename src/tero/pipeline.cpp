@@ -1,9 +1,12 @@
 #include "tero/pipeline.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <set>
 #include <tuple>
 
 #include "analysis/outlier_rejection.hpp"
+#include "fault/fault.hpp"
 #include "nlp/combine.hpp"
 #include "obs/metrics.hpp"
 #include "obs/runtime_metrics.hpp"
@@ -125,6 +128,145 @@ ThumbnailExtraction extract_thumbnail(const ExtractionChannel& channel,
   return out;
 }
 
+bool extraction_quarantined(const fault::FaultPoint* point,
+                            std::uint64_t streamer_index,
+                            const fault::RetryPolicy& retry) {
+  if (point == nullptr) return false;
+  const std::uint32_t last_attempt =
+      retry.max_attempts == 0 ? 0 : retry.max_attempts - 1;
+  // Quarantined iff the fault outlasts every retry: transient rules (fewer
+  // failing attempts than the budget) return kNone here, so those streamers
+  // extract normally and the dataset matches the fault-free run exactly.
+  return static_cast<bool>(point->decide(streamer_index, last_attempt));
+}
+
+std::size_t count_quarantined_streamers(
+    const LocatedWorld& located, std::span<const synth::TrueStream> streams,
+    const fault::FaultPoint* point, const fault::RetryPolicy& retry) {
+  if (point == nullptr) return 0;
+  std::set<std::size_t> quarantined;
+  for (const auto& stream : streams) {
+    if (!located.located[stream.streamer_index].has_value()) continue;
+    if (extraction_quarantined(point, stream.streamer_index, retry)) {
+      quarantined.insert(stream.streamer_index);
+    }
+  }
+  return quarantined.size();
+}
+
+namespace {
+
+/// Running FNV/mix digest over heterogeneous fields. Doubles go in by bit
+/// pattern (bit_cast), strings by content hash — no formatting, no rounding.
+class Digest {
+ public:
+  void u64(std::uint64_t v) noexcept { h_ = util::mix_seed(h_, v); }
+  void f64(double v) noexcept { u64(std::bit_cast<std::uint64_t>(v)); }
+  void str(std::string_view s) {
+    u64(s.size());
+    u64(util::fnv1a64({s.data(), s.size()}));
+  }
+  void clusters(const std::vector<analysis::LatencyCluster>& cs) {
+    u64(cs.size());
+    for (const auto& c : cs) {
+      u64(static_cast<std::uint64_t>(c.min_ms));
+      u64(static_cast<std::uint64_t>(c.max_ms));
+      f64(c.weight);
+      u64(c.point_count);
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = 0x7e20da7a5e7ULL;  // arbitrary non-zero start
+};
+
+}  // namespace
+
+std::uint64_t dataset_digest(const Dataset& dataset) {
+  Digest d;
+  d.u64(dataset.funnel.streamers_total);
+  d.u64(dataset.funnel.streamers_located);
+  d.u64(dataset.funnel.quarantined);
+  d.u64(dataset.funnel.thumbnails);
+  d.u64(dataset.funnel.visible);
+  d.u64(dataset.funnel.ocr_ok);
+  d.u64(dataset.funnel.retained);
+  d.u64(dataset.funnel.clustered);
+
+  d.u64(dataset.entries.size());
+  for (const auto& entry : dataset.entries) {
+    d.str(entry.pseudonym);
+    d.str(entry.game);
+    d.str(entry.location.to_string());
+    d.str(entry.true_location.to_string());
+    d.u64(static_cast<std::uint64_t>(entry.location_source));
+    d.u64((entry.is_static ? 1u : 0u) | (entry.high_quality ? 2u : 0u) |
+          (entry.location_outlier ? 4u : 0u) |
+          (entry.possible_location_change ? 8u : 0u));
+    const auto& clean = entry.clean;
+    d.u64(clean.points_in);
+    d.u64(clean.points_retained);
+    d.u64(clean.points_corrected);
+    d.u64(clean.points_discarded);
+    d.u64(clean.spike_points);
+    d.u64(clean.glitch_segments);
+    d.u64(clean.retained.size());
+    for (const auto& stream : clean.retained) {
+      d.str(stream.streamer);
+      d.str(stream.game);
+      d.u64(stream.points.size());
+      for (const auto& point : stream.points) {
+        d.f64(point.time_s);
+        d.u64(static_cast<std::uint64_t>(point.latency_ms));
+        d.u64(point.alternative_ms
+                  ? static_cast<std::uint64_t>(*point.alternative_ms) + 1
+                  : 0);
+      }
+    }
+    d.u64(clean.spikes.size());
+    for (const auto& spike : clean.spikes) {
+      d.f64(spike.start_s);
+      d.f64(spike.end_s);
+      d.u64(static_cast<std::uint64_t>(spike.peak_latency_ms));
+      d.u64(static_cast<std::uint64_t>(spike.baseline_ms));
+    }
+    d.clusters(entry.clusters);
+    d.u64(entry.endpoint_changes.size());
+    for (const auto& change : entry.endpoint_changes) {
+      d.f64(change.time_s);
+      d.u64(change.same_stream ? 1 : 0);
+      d.u64(static_cast<std::uint64_t>(change.from_cluster + 1));
+      d.u64(static_cast<std::uint64_t>(change.to_cluster + 1));
+    }
+  }
+
+  d.u64(dataset.aggregates.size());
+  for (const auto& agg : dataset.aggregates) {
+    d.str(agg.location.to_string());
+    d.str(agg.game);
+    d.u64(agg.streamers);
+    d.clusters(agg.clusters);
+    d.u64(agg.distribution.size());
+    for (const double v : agg.distribution) d.f64(v);
+    if (agg.box) {
+      d.f64(agg.box->p5);
+      d.f64(agg.box->p25);
+      d.f64(agg.box->p50);
+      d.f64(agg.box->p75);
+      d.f64(agg.box->p95);
+    } else {
+      d.u64(0);
+    }
+    d.f64(agg.avg_corrected_distance_km);
+    d.str(agg.server_city);
+    d.u64(agg.shared.anomalies.size());
+    d.f64(agg.shared.spike_probability);
+    d.u64(agg.shared.sufficient_data ? 1 : 0);
+  }
+  return d.value();
+}
+
 std::optional<StreamerGameEntry> analyze_streamer_group(
     const synth::World& world, const LocatedWorld& located,
     const store::Pseudonymizer& pseudonymizer, std::size_t streamer_index,
@@ -178,6 +320,10 @@ Dataset Pipeline::run(const synth::World& world,
     dataset.funnel.streamers_total = world.streamers().size();
     dataset.funnel.streamers_located = located.streamers_located;
   }
+  dataset.funnel.quarantined = count_quarantined_streamers(
+      located, streams,
+      fault::FaultInjector::maybe_point(config_.injector, "extract.stream"),
+      config_.extraction_retry);
 
   // ---- Image-processing module (§3.2) ----------------------------------------
   // Hot stage (a): per-stream thumbnail rendering + OCR / noise-channel
@@ -195,6 +341,8 @@ Dataset Pipeline::run(const synth::World& world,
   const ExtractionChannel& channel = *channel_;
   obs::Histogram* const extraction_task_ms =
       task_histogram(metrics, "extraction");
+  const fault::FaultPoint* const extract_fault =
+      fault::FaultInjector::maybe_point(config_.injector, "extract.stream");
   std::vector<ExtractedStream> extracted;
   {
     const obs::ScopedSpan stage_span(trace, "stage.extraction", "stage");
@@ -211,6 +359,14 @@ Dataset Pipeline::run(const synth::World& world,
           }
           const std::uint64_t stream_seed =
               extraction_stream_seed(config_.seed, i);
+          if (extraction_quarantined(extract_fault,
+                                     true_stream.streamer_index,
+                                     config_.extraction_retry)) {
+            // Quarantined: thumbnails were downloaded, extraction keeps
+            // faulting — count the volume, extract nothing.
+            out.thumbnails = true_stream.points.size();
+            return out;
+          }
           const auto& spec = ocr::ui_spec_for(true_stream.game);
           out.stream.streamer = pseudonymizer.pseudonym(
               world.streamers()[true_stream.streamer_index].id);

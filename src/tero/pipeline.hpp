@@ -13,6 +13,7 @@
 #include "analysis/distributions.hpp"
 #include "analysis/shared.hpp"
 #include "analysis/types.hpp"
+#include "fault/policy.hpp"
 #include "geo/servers.hpp"
 #include "social/locator.hpp"
 #include "stats/descriptive.hpp"
@@ -27,6 +28,11 @@ namespace tero::obs {
 class MetricsRegistry;
 class TraceRecorder;
 }  // namespace tero::obs
+
+namespace tero::fault {
+class FaultInjector;
+class FaultPoint;
+}  // namespace tero::fault
 
 namespace tero::core {
 
@@ -62,6 +68,17 @@ struct TeroConfig {
   /// output stays bit-identical with or without sinks (DESIGN.md §8).
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  /// Optional fault injection (not owned; may be null — the default).
+  /// Arms the "extract.stream" point, keyed by streamer index, which
+  /// simulates repeatedly-faulting extraction: a streamer whose faults
+  /// outlast `extraction_retry.max_attempts` is quarantined — thumbnails
+  /// counted, nothing extracted, tero.funnel.quarantined bumped — instead
+  /// of aborting the run. Keyed decisions are pure functions of (plan seed,
+  /// point, streamer index), so output stays bit-identical for any thread
+  /// count, and transient faults (fewer failing attempts than the retry
+  /// budget) leave the dataset bit-identical to a fault-free run.
+  fault::FaultInjector* injector = nullptr;
+  fault::RetryPolicy extraction_retry;
   /// Publish hook, called with the finished dataset at the very end of
   /// run() (after funnel/pool accounting, before run() returns). The
   /// serving layer attaches serve::publish_hook() here so every pipeline
@@ -187,6 +204,31 @@ struct ThumbnailExtraction {
     const ExtractionChannel& channel, const ocr::GameUiSpec& spec,
     const synth::TruePoint& point, double p_latency_visible,
     std::uint64_t stream_seed, std::uint64_t point_index);
+
+/// Order-sensitive fingerprint of everything Pipeline::run produced:
+/// funnel counters, every entry (pseudonym, locations, clean results,
+/// retained measurements, spikes, clusters, flags) and every aggregate
+/// (location, game, distribution, boxplot, anomaly stats). Doubles are
+/// hashed by bit pattern, so two datasets share a digest iff they are
+/// bit-identical on this surface — the equality check behind the chaos
+/// harness's "transient faults leave the dataset untouched" criterion.
+[[nodiscard]] std::uint64_t dataset_digest(const Dataset& dataset);
+
+/// True when the "extract.stream" fault point (null = off) faults streamer
+/// `streamer_index` beyond the retry budget — i.e. the fault still fires on
+/// the final attempt, so the streamer is quarantined. Pure in (plan seed,
+/// point, streamer index, policy); shared by the batch and streaming
+/// extraction stages so both quarantine exactly the same streamers.
+[[nodiscard]] bool extraction_quarantined(const fault::FaultPoint* point,
+                                          std::uint64_t streamer_index,
+                                          const fault::RetryPolicy& retry);
+
+/// How many located streamers the plan quarantines across `streams` —
+/// counted identically by the batch pipeline and the streaming sink so
+/// tero.funnel.quarantined can never diverge between the two paths.
+[[nodiscard]] std::size_t count_quarantined_streamers(
+    const LocatedWorld& located, std::span<const synth::TrueStream> streams,
+    const fault::FaultPoint* point, const fault::RetryPolicy& retry);
 
 /// The per-{streamer, game, location-epoch} analysis stage (§3.3): clean ->
 /// cluster -> static/quality classification. Returns nullopt when the
