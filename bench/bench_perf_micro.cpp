@@ -11,8 +11,10 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <map>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -21,7 +23,10 @@
 #include "obs/metrics.hpp"
 #include "analysis/clusters.hpp"
 #include "anomaly/pelt.hpp"
+#include "image/ops.hpp"
+#include "ocr/engine.hpp"
 #include "ocr/extractor.hpp"
+#include "ocr/preprocess.hpp"
 #include "stats/distributions.hpp"
 #include "stats/probit.hpp"
 #include "stats/wasserstein.hpp"
@@ -30,11 +35,26 @@
 #include "synth/world.hpp"
 #include "tero/pipeline.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
 
 using namespace tero;
 
 namespace {
+
+/// Cycle counter for the bytes/cycle stage counters; 0 where unavailable
+/// (the counter is then omitted from the JSON).
+inline std::uint64_t cycles_now() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  return 0;
+#endif
+}
 
 void BM_OcrExtract(benchmark::State& state) {
   const auto& spec = ocr::ui_spec_for("League of Legends");
@@ -48,6 +68,166 @@ void BM_OcrExtract(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OcrExtract);
+
+// ---------------------------------------------------------------------------
+// Per-stage extraction microbenches (DESIGN.md §12). Each has a SIMD (/1)
+// and a forced-scalar (/0) variant so the vectorization win is visible per
+// kernel, and each reports bytes/cycle (rdtsc) plus an events/s rate that
+// main() forwards into BENCH_perf_micro.json for the CI perf gate.
+// ---------------------------------------------------------------------------
+
+// A 4x-upscaled latency crop is the shape every stage actually sees.
+constexpr int kStageW = 360;
+constexpr int kStageH = 80;
+
+image::GrayImage stage_gray() {
+  image::GrayImage img(kStageW, kStageH);
+  std::mt19937 gen(17);
+  std::uniform_int_distribution<int> dist(0, 255);
+  for (int y = 0; y < img.height(); ++y) {
+    std::uint8_t* row = img.row(y);
+    for (int x = 0; x < img.width(); ++x) {
+      row[x] = static_cast<std::uint8_t>(dist(gen));
+    }
+  }
+  return img;
+}
+
+image::GrayImage stage_binary() {
+  // Realistic ink density (~15%) so morphology/CC touch real structure.
+  image::GrayImage img(kStageW, kStageH);
+  std::mt19937 gen(19);
+  std::bernoulli_distribution dist(0.15);
+  for (int y = 0; y < img.height(); ++y) {
+    std::uint8_t* row = img.row(y);
+    for (int x = 0; x < img.width(); ++x) {
+      row[x] = dist(gen) ? 255 : 0;
+    }
+  }
+  return img;
+}
+
+/// Shared skeleton: toggles dispatch from the /0-/1 benchmark argument,
+/// accumulates rdtsc around the body, and emits the stage counters.
+template <typename Body>
+void stage_loop(benchmark::State& state, double bytes_per_iter, Body&& body) {
+  util::simd::set_enabled(state.range(0) != 0);
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    const std::uint64_t t0 = cycles_now();
+    body();
+    cycles += cycles_now() - t0;
+  }
+  util::simd::apply_mode(util::simd::Mode::kAuto);
+  const double iters = static_cast<double>(state.iterations());
+  state.SetBytesProcessed(static_cast<std::int64_t>(iters * bytes_per_iter));
+  state.counters["events/s"] =
+      benchmark::Counter(iters, benchmark::Counter::kIsRate);
+  if (cycles > 0) {
+    state.counters["bytes/cycle"] = benchmark::Counter(
+        iters * bytes_per_iter / static_cast<double>(cycles));
+  }
+}
+
+void BM_ImgBinarize(benchmark::State& state) {
+  const image::GrayImage img = stage_gray();
+  stage_loop(state, static_cast<double>(img.size()), [&] {
+    benchmark::DoNotOptimize(image::binarize(img, 127));
+  });
+}
+BENCHMARK(BM_ImgBinarize)->Arg(1)->Arg(0);
+
+void BM_ImgInvert(benchmark::State& state) {
+  image::GrayImage img = stage_binary();
+  stage_loop(state, static_cast<double>(img.size()), [&] {
+    image::invert_inplace(img);
+    benchmark::DoNotOptimize(img.data());
+  });
+}
+BENCHMARK(BM_ImgInvert)->Arg(1)->Arg(0);
+
+void BM_ImgBlur(benchmark::State& state) {
+  const image::GrayImage img = stage_gray();
+  stage_loop(state, static_cast<double>(img.size()), [&] {
+    benchmark::DoNotOptimize(image::gaussian_blur(img, 1.0));
+  });
+}
+BENCHMARK(BM_ImgBlur)->Arg(1)->Arg(0);
+
+void BM_ImgOtsu(benchmark::State& state) {
+  const image::GrayImage img = stage_gray();
+  stage_loop(state, static_cast<double>(img.size()), [&] {
+    benchmark::DoNotOptimize(image::otsu_threshold(img));
+  });
+}
+BENCHMARK(BM_ImgOtsu)->Arg(1)->Arg(0);
+
+void BM_ImgMorphClose(benchmark::State& state) {
+  const image::GrayImage img = stage_binary();
+  stage_loop(state, 2.0 * static_cast<double>(img.size()), [&] {
+    benchmark::DoNotOptimize(image::erode3x3(image::dilate3x3(img)));
+  });
+}
+BENCHMARK(BM_ImgMorphClose)->Arg(1)->Arg(0);
+
+void BM_ImgForegroundRatio(benchmark::State& state) {
+  const image::GrayImage img = stage_binary();
+  stage_loop(state, static_cast<double>(img.size()), [&] {
+    benchmark::DoNotOptimize(image::foreground_ratio(img));
+  });
+}
+BENCHMARK(BM_ImgForegroundRatio)->Arg(1)->Arg(0);
+
+void BM_ImgConnectedComponents(benchmark::State& state) {
+  const image::GrayImage img = stage_binary();
+  stage_loop(state, static_cast<double>(img.size()), [&] {
+    benchmark::DoNotOptimize(image::connected_components(img, 2));
+  });
+}
+BENCHMARK(BM_ImgConnectedComponents)->Arg(1)->Arg(0);
+
+void BM_GlyphNormalize(benchmark::State& state) {
+  const image::GrayImage img = stage_binary();
+  const image::Rect bounds{4, 8, 24, 40};  // a plausible glyph box
+  alignas(16) float grid[16 * 16];
+  stage_loop(state,
+             static_cast<double>(bounds.w) * static_cast<double>(bounds.h),
+             [&] {
+               image::normalize_glyph(img, bounds, 16, grid);
+               benchmark::DoNotOptimize(grid);
+             });
+}
+BENCHMARK(BM_GlyphNormalize)->Arg(1)->Arg(0);
+
+/// One engine's recognize() over a realistic preprocessed crop: glyph
+/// segmentation + normalization + the SoA match loop.
+void ocr_match_bench(benchmark::State& state, std::size_t engine_index) {
+  const auto& spec = ocr::ui_spec_for("League of Legends");
+  const synth::ThumbnailRenderer renderer;
+  util::Rng rng(23);
+  const auto thumbnail =
+      renderer.render_with(spec, 87, synth::Corruption::kNone, rng);
+  const auto binary =
+      ocr::preprocess(thumbnail.image.crop(spec.latency_region), {});
+  const auto engines = ocr::make_builtin_engines();
+  const auto& engine = *engines.at(engine_index);
+  stage_loop(state, static_cast<double>(binary.size()), [&] {
+    benchmark::DoNotOptimize(engine.recognize(binary));
+  });
+}
+
+void BM_OcrMatchTemplate(benchmark::State& state) {
+  ocr_match_bench(state, 0);
+}
+BENCHMARK(BM_OcrMatchTemplate)->Arg(1)->Arg(0);
+
+void BM_OcrMatchZoning(benchmark::State& state) { ocr_match_bench(state, 1); }
+BENCHMARK(BM_OcrMatchZoning)->Arg(1)->Arg(0);
+
+void BM_OcrMatchProjection(benchmark::State& state) {
+  ocr_match_bench(state, 2);
+}
+BENCHMARK(BM_OcrMatchProjection)->Arg(1)->Arg(0);
 
 analysis::Stream make_noisy_stream(std::size_t n) {
   util::Rng rng(2);
@@ -320,7 +500,9 @@ class CapturingReporter : public benchmark::ConsoleReporter {
  public:
   struct Sample {
     double ms = 0.0;
-    double throughput = 0.0;  ///< items/s if reported, else runs/s
+    double throughput = 0.0;      ///< items/s if reported, else runs/s
+    double events_per_s = 0.0;    ///< stage "events/s" counter, 0 if absent
+    double bytes_per_cycle = 0.0; ///< stage rdtsc counter, 0 if absent
     int threads = 1;
   };
 
@@ -334,14 +516,28 @@ class CapturingReporter : public benchmark::ConsoleReporter {
                     static_cast<double>(run.iterations) * 1e3;
       }
       // Rate counters (items_per_second, thumbnails/s) arrive finalized.
+      // bytes_per_second (from SetBytesProcessed) sorts first alphabetically
+      // but is NOT the stage throughput — prefer items_per_second, then any
+      // other rate counter, and use bytes_per_second only as a last resort.
+      double bytes_rate = 0.0;
       for (const auto& [name, counter] : run.counters) {
-        if ((counter.flags & benchmark::Counter::kIsRate) != 0) {
+        if (name == "events/s") sample.events_per_s = counter.value;
+        if (name == "bytes/cycle") sample.bytes_per_cycle = counter.value;
+        if ((counter.flags & benchmark::Counter::kIsRate) == 0) continue;
+        if (name == "items_per_second") {
           sample.throughput = counter.value;
-          break;
+        } else if (name == "bytes_per_second") {
+          bytes_rate = counter.value;
+        } else if (sample.throughput == 0.0) {
+          sample.throughput = counter.value;
         }
       }
+      if (sample.throughput == 0.0) sample.throughput = bytes_rate;
       if (sample.throughput == 0.0 && sample.ms > 0.0) {
         sample.throughput = 1e3 / sample.ms;
+      }
+      if (sample.events_per_s == 0.0 && sample.ms > 0.0) {
+        sample.events_per_s = 1e3 / sample.ms;
       }
       const std::string name = run.benchmark_name();
       sample.threads = pool_threads(name);
@@ -394,7 +590,9 @@ int main(int argc, char** argv) {
   for (const auto& [name, sample] : medians) {
     out << "  \"" << name << "\": {\"median_ms\": " << sample.ms
         << ", \"threads\": " << sample.threads
-        << ", \"throughput\": " << sample.throughput << "}";
+        << ", \"throughput\": " << sample.throughput
+        << ", \"events_per_s\": " << sample.events_per_s
+        << ", \"bytes_per_cycle\": " << sample.bytes_per_cycle << "}";
     out << (++written < medians.size() ? ",\n" : "\n");
   }
   out << "}\n";

@@ -45,6 +45,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
 #include <string>
@@ -83,9 +84,12 @@ constexpr const char* kUsage =
     "  simulate [out_dir] [streamers] [days] [threads]\n"
     "           [--snapshot-out snap.bin] [--metrics-out m.json]\n"
     "           [--trace-out t.json] [--metrics-table]\n"
+    "           [--full-ocr] [--digest]\n"
     "      run the batch pipeline over a synthetic world and write\n"
     "      measurements.csv + aggregates.csv (plus optional snapshot,\n"
-    "      metrics JSON, Chrome trace)\n"
+    "      metrics JSON, Chrome trace); --full-ocr rasterizes thumbnails\n"
+    "      and runs the real OCR path, --digest prints the dataset\n"
+    "      fingerprint (used by the TERO_SIMD determinism gate)\n"
     "\n"
     "  analyze  <measurements.csv>\n"
     "      re-run QoE cleaning over an exported data set\n"
@@ -112,7 +116,8 @@ constexpr const char* kUsage =
     "      windows fold into live epochs, checkpoints enable crash\n"
     "      recovery (--crash-after simulates the crash), and\n"
     "      --publish-every 0 makes --snapshot-out byte-identical to\n"
-    "      `simulate --snapshot-out`\n"
+    "      `simulate --snapshot-out`; set TERO_SIMD=off to force the\n"
+    "      scalar extraction kernels (bit-identical output, DESIGN.md §12)\n"
     "\n"
     "  chaos    [seeds] [streamers] [days] [--plan spec] [--threads n]\n"
     "      deterministic chaos harness (DESIGN.md §11): per seed, runs the\n"
@@ -122,7 +127,9 @@ constexpr const char* kUsage =
     "      and asserts quarantine accounting, drives the download simulator\n"
     "      through CDN/KV faults plus a mid-run crash, and flaps a serve\n"
     "      shard to exercise STALE degraded answers and the circuit\n"
-    "      breaker; exits nonzero when any invariant is violated\n"
+    "      breaker; exits nonzero when any invariant is violated; honors\n"
+    "      TERO_SIMD=off (scalar kernels) — every invariant must hold\n"
+    "      identically on both dispatch paths\n"
     "\n"
     "  tero_cli --help prints this text; unknown flags exit nonzero.\n";
 
@@ -141,6 +148,8 @@ int cmd_simulate(int argc, char** argv) {
   std::string trace_out;
   std::string snapshot_out;
   bool metrics_table = false;
+  bool full_ocr = false;
+  bool print_digest = false;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -159,6 +168,10 @@ int cmd_simulate(int argc, char** argv) {
       }
     } else if (arg == "--metrics-table") {
       metrics_table = true;
+    } else if (arg == "--full-ocr") {
+      full_ocr = true;
+    } else if (arg == "--digest") {
+      print_digest = true;
     } else if (arg.rfind("--", 0) == 0) {
       return unknown_flag("simulate", arg);
     } else {
@@ -189,6 +202,7 @@ int cmd_simulate(int argc, char** argv) {
 
   core::TeroConfig config;
   config.threads = threads;  // 0 = all cores; the output is thread-invariant
+  config.use_full_ocr = full_ocr;
 
   // Observability sinks are created only when requested; the pipeline takes
   // raw pointers and never reads them back (output is identical either way).
@@ -222,6 +236,12 @@ int cmd_simulate(int argc, char** argv) {
             << dataset.funnel.thumbnails << "\n";
   std::cout << "wrote " << measurement_rows << " measurements and "
             << aggregate_rows << " aggregates to " << out_dir << "\n";
+  if (print_digest) {
+    // Hex fingerprint of the full dataset surface — two runs printing the
+    // same digest produced bit-identical output (the SIMD/scalar gate).
+    std::cout << "digest " << std::hex << std::setw(16) << std::setfill('0')
+              << core::dataset_digest(dataset) << std::dec << "\n";
+  }
 
   if (!snapshot_out.empty()) {
     const serve::SnapshotPtr snapshot = service.snapshot();

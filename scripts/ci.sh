@@ -14,11 +14,18 @@
 #                faults => explicit quarantine/degraded output), and the
 #                fault-point overhead benchmark with an absolute ceiling on
 #                the disabled-point cost.
+#   perf-smoke   Extraction fast-path gate (DESIGN.md §12): the simd_test
+#                bit-identity suite, the per-stage extraction microbenches
+#                checked against the committed floors in
+#                bench/perf_baseline.txt (>15% throughput drop fails), and
+#                a TERO_SIMD=off full-OCR run that must reproduce the
+#                vectorized run's dataset digest exactly.
 #
 # Run the default three:   scripts/ci.sh
 # Run a subset:            scripts/ci.sh asan tsan
 # Bench artifact gate:     scripts/ci.sh bench-smoke
 # Fault-injection gate:    scripts/ci.sh chaos-smoke
+# Extraction perf gate:    scripts/ci.sh perf-smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -83,6 +90,67 @@ run_chaos_smoke() {
   )
 }
 
+run_perf_smoke() {
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" \
+    --target bench_perf_micro simd_test tero_cli
+  # Scalar-vs-SIMD bit-identity across every vectorized kernel (randomized
+  # images, odd widths, tail lanes) — the determinism half of the contract.
+  ./build/tests/simd_test
+  (
+    cd build/bench
+    ./bench_perf_micro \
+      --benchmark_filter='BM_OcrExtract|BM_Img|BM_Glyph|BM_OcrMatch' \
+      --benchmark_min_time=0.05
+    # Throughput floors: bench/perf_baseline.txt records the events/s each
+    # stage sustained at the commit that last touched the fast path (scaled
+    # down for slow CI machines); dropping more than 15% below a floor
+    # fails the gate.
+    awk 'NR==FNR {
+           if ($0 !~ /^#/ && NF >= 2) floor[$1] = $2
+           next
+         }
+         {
+           for (name in floor) {
+             if (index($0, "\"" name "\":") > 0) {
+               split($0, a, "\"events_per_s\": ")
+               split(a[2], b, ",")
+               got = b[1] + 0
+               if (got < floor[name] * 0.85) {
+                 printf "perf-smoke: %s regressed: %f events/s < 0.85 * %f\n", \
+                        name, got, floor[name]
+                 bad = 1
+               }
+               seen[name] = 1
+             }
+           }
+         }
+         END {
+           for (name in floor) {
+             if (!(name in seen)) {
+               print "perf-smoke: " name " missing from BENCH_perf_micro.json"
+               bad = 1
+             }
+           }
+           exit bad
+         }' ../../bench/perf_baseline.txt BENCH_perf_micro.json
+  )
+  # Dispatch determinism: a scalar (TERO_SIMD=off, 1 thread) full-OCR run
+  # must print the same dataset digest as the vectorized multi-threaded run.
+  local out ref alt
+  out=$(mktemp -d)
+  ref=$(./build/examples/tero_cli simulate "$out" 40 2 4 --full-ocr --digest |
+        awk '/^digest /{print $2}')
+  alt=$(TERO_SIMD=off ./build/examples/tero_cli simulate "$out" 40 2 1 \
+        --full-ocr --digest | awk '/^digest /{print $2}')
+  rm -rf "$out"
+  if [ -z "$ref" ] || [ "$ref" != "$alt" ]; then
+    echo "perf-smoke: TERO_SIMD=off digest mismatch: '$ref' vs '$alt'" >&2
+    exit 1
+  fi
+  echo "perf-smoke: digest $ref identical with TERO_SIMD=off"
+}
+
 for job in "${jobs[@]}"; do
   echo "=== ci: $job ==="
   case "$job" in
@@ -91,8 +159,9 @@ for job in "${jobs[@]}"; do
     tsan)  run_preset tsan tsan ;;
     bench-smoke) run_bench_smoke ;;
     chaos-smoke) run_chaos_smoke ;;
-    *) echo "unknown job: $job (want tier1, asan, tsan, bench-smoke or" \
-            "chaos-smoke)" >&2
+    perf-smoke) run_perf_smoke ;;
+    *) echo "unknown job: $job (want tier1, asan, tsan, bench-smoke," \
+            "chaos-smoke or perf-smoke)" >&2
        exit 2 ;;
   esac
 done

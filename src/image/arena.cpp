@@ -1,0 +1,68 @@
+#include "image/arena.hpp"
+
+namespace tero::image {
+
+std::uint8_t* Arena::allocate(std::size_t bytes) {
+  const std::size_t aligned = (bytes + kAlignment - 1) & ~(kAlignment - 1);
+  // Advance through retained blocks before growing the chain.
+  while (active_ < blocks_.size()) {
+    Block& block = blocks_[active_];
+    if (block.used + aligned <= block.capacity) {
+      std::uint8_t* out = block.data.get() + block.used;
+      block.used += aligned;
+      const std::size_t total = used();
+      if (total > high_water_) high_water_ = total;
+      return out;
+    }
+    if (active_ + 1 == blocks_.size()) break;
+    ++active_;
+  }
+  const std::size_t capacity = aligned > block_bytes_ ? aligned : block_bytes_;
+  Block block;
+  // operator new guarantees alignment only up to max_align_t; over-allocate
+  // and round the base up to kAlignment so SIMD loads see aligned rows.
+  block.data = std::make_unique<std::uint8_t[]>(capacity + kAlignment);
+  block.capacity = capacity;
+  block.used = 0;
+  blocks_.push_back(std::move(block));
+  active_ = blocks_.size() - 1;
+  Block& fresh = blocks_.back();
+  const auto address = reinterpret_cast<std::uintptr_t>(fresh.data.get());
+  fresh.base =
+      (kAlignment - (address & (kAlignment - 1))) & (kAlignment - 1);
+  fresh.used = fresh.base;  // permanently skip the unaligned prefix
+  std::uint8_t* out = fresh.data.get() + fresh.used;
+  fresh.used += aligned;
+  const std::size_t total = used();
+  if (total > high_water_) high_water_ = total;
+  return out;
+}
+
+std::size_t Arena::used() const noexcept {
+  std::size_t total = 0;
+  for (const Block& block : blocks_) total += block.used;
+  return total;
+}
+
+std::size_t Arena::reserved() const noexcept {
+  std::size_t total = 0;
+  for (const Block& block : blocks_) total += block.capacity;
+  return total;
+}
+
+void Arena::rewind(std::size_t block, std::size_t offset) noexcept {
+  if (blocks_.empty()) return;
+  for (std::size_t i = block + 1; i < blocks_.size(); ++i) {
+    blocks_[i].used = blocks_[i].base;
+  }
+  Block& target = blocks_[block];
+  target.used = offset > target.base ? offset : target.base;
+  active_ = block;
+}
+
+Arena& Arena::thread_local_arena() {
+  thread_local Arena arena;
+  return arena;
+}
+
+}  // namespace tero::image

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace tero::image {
+
+/// Bump allocator for the per-thumbnail extraction fast path (DESIGN.md
+/// §12). The OCR preprocessing chain builds half a dozen full-size image
+/// temporaries per thumbnail; routed through the global allocator inside
+/// `parallel_for` those allocations serialize on the heap lock and scatter
+/// across the address space. An Arena instead hands out pointers from a
+/// chain of large blocks with a single pointer bump, and a `Frame` resets
+/// the whole chain in O(blocks) when the thumbnail is done — blocks are
+/// retained, so the steady state performs zero heap allocations.
+///
+/// Not thread-safe by design: use `thread_local_arena()` to get this
+/// thread's instance (worker threads each own one for the lifetime of the
+/// thread). Memory handed out is valid until the enclosing Frame is
+/// destroyed; arena-backed `GrayImage`s must not outlive their Frame.
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 256 * 1024;
+  static constexpr std::size_t kAlignment = 16;  ///< SIMD-load friendly
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes < kAlignment ? kAlignment : block_bytes) {}
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `bytes` (16-byte aligned). Never returns nullptr; grows
+  /// the block chain when the active block is exhausted.
+  [[nodiscard]] std::uint8_t* allocate(std::size_t bytes);
+
+  /// Bytes currently handed out across all blocks.
+  [[nodiscard]] std::size_t used() const noexcept;
+  /// Bytes reserved from the heap (block capacity), ever.
+  [[nodiscard]] std::size_t reserved() const noexcept;
+  /// High-water mark of used() over the arena's lifetime.
+  [[nodiscard]] std::size_t high_water() const noexcept {
+    return high_water_;
+  }
+  [[nodiscard]] std::size_t block_count() const noexcept {
+    return blocks_.size();
+  }
+
+  /// RAII frame: records the bump position on entry and rewinds to it on
+  /// exit, releasing every allocation made inside the frame at once.
+  /// Frames nest (destroy in reverse order of construction).
+  class Frame {
+   public:
+    explicit Frame(Arena& arena) noexcept
+        : arena_(&arena),
+          block_(arena.active_),
+          offset_(arena.blocks_.empty() ? 0
+                                        : arena.blocks_[arena.active_].used) {}
+    ~Frame() { arena_->rewind(block_, offset_); }
+    Frame(const Frame&) = delete;
+    Frame& operator=(const Frame&) = delete;
+
+   private:
+    Arena* arena_;
+    std::size_t block_;
+    std::size_t offset_;
+  };
+
+  /// This thread's arena (created on first use, lives for the thread).
+  [[nodiscard]] static Arena& thread_local_arena();
+
+ private:
+  struct Block {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t capacity = 0;
+    std::size_t used = 0;
+    std::size_t base = 0;  ///< aligned start offset; used never rewinds below
+  };
+
+  void rewind(std::size_t block, std::size_t offset) noexcept;
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace tero::image

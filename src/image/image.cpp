@@ -1,6 +1,7 @@
 #include "image/image.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
@@ -19,7 +20,64 @@ GrayImage::GrayImage(int width, int height, std::uint8_t fill)
   if (width < 0 || height < 0) {
     throw std::invalid_argument("GrayImage: negative dimensions");
   }
-  pixels_.assign(static_cast<std::size_t>(width) * height, fill);
+  heap_.assign(size(), fill);
+  data_ = heap_.data();
+}
+
+GrayImage::GrayImage(Arena& arena, int width, int height, std::uint8_t fill)
+    : width_(width), height_(height) {
+  if (width < 0 || height < 0) {
+    throw std::invalid_argument("GrayImage: negative dimensions");
+  }
+  const std::size_t bytes = size();
+  data_ = bytes > 0 ? arena.allocate(bytes) : nullptr;
+  if (bytes > 0) std::memset(data_, fill, bytes);
+}
+
+GrayImage::GrayImage(const GrayImage& other)
+    : width_(other.width_), height_(other.height_) {
+  heap_.assign(other.data_, other.data_ + other.size());
+  data_ = heap_.data();
+}
+
+GrayImage& GrayImage::operator=(const GrayImage& other) {
+  if (this == &other) return *this;
+  width_ = other.width_;
+  height_ = other.height_;
+  heap_.assign(other.data_, other.data_ + other.size());
+  data_ = heap_.data();
+  return *this;
+}
+
+GrayImage::GrayImage(GrayImage&& other) noexcept
+    : width_(other.width_),
+      height_(other.height_),
+      data_(other.data_),
+      heap_(std::move(other.heap_)) {
+  if (!heap_.empty()) data_ = heap_.data();
+  other.width_ = 0;
+  other.height_ = 0;
+  other.data_ = nullptr;
+  other.heap_.clear();
+}
+
+GrayImage& GrayImage::operator=(GrayImage&& other) noexcept {
+  if (this == &other) return *this;
+  width_ = other.width_;
+  height_ = other.height_;
+  heap_ = std::move(other.heap_);
+  data_ = heap_.empty() ? other.data_ : heap_.data();
+  other.width_ = 0;
+  other.height_ = 0;
+  other.data_ = nullptr;
+  other.heap_.clear();
+  return *this;
+}
+
+bool operator==(const GrayImage& a, const GrayImage& b) noexcept {
+  if (a.width_ != b.width_ || a.height_ != b.height_) return false;
+  if (a.size() == 0) return true;
+  return std::memcmp(a.data_, b.data_, a.size()) == 0;
 }
 
 std::uint8_t GrayImage::at_clamped(int x, int y) const noexcept {
@@ -28,34 +86,43 @@ std::uint8_t GrayImage::at_clamped(int x, int y) const noexcept {
 }
 
 void GrayImage::fill(std::uint8_t value) noexcept {
-  std::fill(pixels_.begin(), pixels_.end(), value);
+  if (size() > 0) std::memset(data_, value, size());
 }
 
 void GrayImage::fill_rect(const Rect& rect, std::uint8_t value) noexcept {
   const Rect clipped = rect.intersect(Rect{0, 0, width_, height_});
   for (int y = clipped.y; y < clipped.y + clipped.h; ++y) {
-    for (int x = clipped.x; x < clipped.x + clipped.w; ++x) {
-      set(x, y, value);
-    }
+    std::memset(row(y) + clipped.x, value, static_cast<std::size_t>(clipped.w));
+  }
+}
+
+void GrayImage::copy_rect_from(const GrayImage& src,
+                               const Rect& clipped) noexcept {
+  for (int y = 0; y < clipped.h; ++y) {
+    std::memcpy(row(y), src.row(clipped.y + y) + clipped.x,
+                static_cast<std::size_t>(clipped.w));
   }
 }
 
 GrayImage GrayImage::crop(const Rect& rect) const {
   const Rect clipped = rect.intersect(Rect{0, 0, width_, height_});
   GrayImage out(clipped.w, clipped.h);
-  for (int y = 0; y < clipped.h; ++y) {
-    for (int x = 0; x < clipped.w; ++x) {
-      out.set(x, y, at(clipped.x + x, clipped.y + y));
-    }
-  }
+  out.copy_rect_from(*this, clipped);
+  return out;
+}
+
+GrayImage GrayImage::crop(const Rect& rect, Arena& arena) const {
+  const Rect clipped = rect.intersect(Rect{0, 0, width_, height_});
+  GrayImage out(arena, clipped.w, clipped.h);
+  out.copy_rect_from(*this, clipped);
   return out;
 }
 
 std::string GrayImage::to_pgm() const {
   std::ostringstream os;
   os << "P5\n" << width_ << ' ' << height_ << "\n255\n";
-  os.write(reinterpret_cast<const char*>(pixels_.data()),
-           static_cast<std::streamsize>(pixels_.size()));
+  os.write(reinterpret_cast<const char*>(data_),
+           static_cast<std::streamsize>(size()));
   return os.str();
 }
 
@@ -71,10 +138,9 @@ GrayImage GrayImage::from_pgm(const std::string& bytes) {
   }
   is.get();  // single whitespace after header
   GrayImage img(width, height);
-  is.read(reinterpret_cast<char*>(
-              const_cast<std::uint8_t*>(img.pixels().data())),
-          static_cast<std::streamsize>(img.pixels().size()));
-  if (is.gcount() != static_cast<std::streamsize>(img.pixels().size())) {
+  is.read(reinterpret_cast<char*>(img.data()),
+          static_cast<std::streamsize>(img.size()));
+  if (is.gcount() != static_cast<std::streamsize>(img.size())) {
     throw std::invalid_argument("GrayImage::from_pgm: truncated data");
   }
   return img;

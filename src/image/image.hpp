@@ -1,8 +1,11 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
+
+#include "image/arena.hpp"
 
 namespace tero::image {
 
@@ -23,28 +26,57 @@ struct Rect {
 /// An 8-bit grayscale raster. Twitch thumbnails are color, but latency text
 /// extraction only needs luminance, so the whole pipeline is grayscale
 /// (App. E converts to black-and-white as its first standard step).
+///
+/// Storage is either heap-owned (the default constructors) or borrowed from
+/// an `Arena` (the Arena constructors): arena-backed images are how the
+/// extraction fast path keeps per-thumbnail temporaries off the global
+/// allocator (DESIGN.md §12). An arena-backed image is valid only until the
+/// enclosing Arena::Frame is destroyed; copying one yields an independent
+/// heap-owned image, so nothing arena-backed escapes by accident.
 class GrayImage {
  public:
   GrayImage() = default;
   GrayImage(int width, int height, std::uint8_t fill = 0);
+  /// Arena-backed: pixels live in `arena` until the enclosing Frame ends.
+  GrayImage(Arena& arena, int width, int height, std::uint8_t fill = 0);
+
+  GrayImage(const GrayImage& other);             // deep copy, heap-owned
+  GrayImage& operator=(const GrayImage& other);  // deep copy, heap-owned
+  GrayImage(GrayImage&& other) noexcept;
+  GrayImage& operator=(GrayImage&& other) noexcept;
+  ~GrayImage() = default;
 
   [[nodiscard]] int width() const noexcept { return width_; }
   [[nodiscard]] int height() const noexcept { return height_; }
   [[nodiscard]] bool empty() const noexcept {
     return width_ == 0 || height_ == 0;
   }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return static_cast<std::size_t>(width_) * static_cast<std::size_t>(height_);
+  }
+
+  /// Raw pixel rows — the hot-path access pattern. row(y)[x] replaces
+  /// at(x, y)'s per-pixel widen-multiply-add with one add per row.
+  [[nodiscard]] std::uint8_t* row(int y) noexcept {
+    return data_ + static_cast<std::size_t>(y) * width_;
+  }
+  [[nodiscard]] const std::uint8_t* row(int y) const noexcept {
+    return data_ + static_cast<std::size_t>(y) * width_;
+  }
+  [[nodiscard]] std::uint8_t* data() noexcept { return data_; }
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_; }
 
   [[nodiscard]] std::uint8_t at(int x, int y) const noexcept {
-    return pixels_[static_cast<std::size_t>(y) * width_ + x];
+    return data_[static_cast<std::size_t>(y) * width_ + x];
   }
   void set(int x, int y, std::uint8_t value) noexcept {
-    pixels_[static_cast<std::size_t>(y) * width_ + x] = value;
+    data_[static_cast<std::size_t>(y) * width_ + x] = value;
   }
   /// at() with zero padding outside the raster.
   [[nodiscard]] std::uint8_t at_clamped(int x, int y) const noexcept;
 
-  [[nodiscard]] const std::vector<std::uint8_t>& pixels() const noexcept {
-    return pixels_;
+  [[nodiscard]] std::span<const std::uint8_t> pixels() const noexcept {
+    return {data_, size()};
   }
 
   void fill(std::uint8_t value) noexcept;
@@ -52,17 +84,22 @@ class GrayImage {
 
   /// Copy of the sub-image clipped to the raster bounds.
   [[nodiscard]] GrayImage crop(const Rect& rect) const;
+  /// Arena-backed copy of the sub-image (valid until the Frame ends).
+  [[nodiscard]] GrayImage crop(const Rect& rect, Arena& arena) const;
 
   /// Binary PGM (P5) serialization — the repo's debug/export format.
   [[nodiscard]] std::string to_pgm() const;
   [[nodiscard]] static GrayImage from_pgm(const std::string& bytes);
 
-  friend bool operator==(const GrayImage&, const GrayImage&) = default;
+  friend bool operator==(const GrayImage& a, const GrayImage& b) noexcept;
 
  private:
+  void copy_rect_from(const GrayImage& src, const Rect& clipped) noexcept;
+
   int width_ = 0;
   int height_ = 0;
-  std::vector<std::uint8_t> pixels_;
+  std::uint8_t* data_ = nullptr;    ///< heap_.data() or an arena block
+  std::vector<std::uint8_t> heap_;  ///< empty when arena-backed
 };
 
 }  // namespace tero::image

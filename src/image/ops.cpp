@@ -3,77 +3,257 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
-namespace tero::image {
+#include "util/simd.hpp"
 
-GrayImage upscale_bilinear(const GrayImage& img, int factor) {
-  if (factor < 1) throw std::invalid_argument("upscale: factor < 1");
-  if (factor == 1 || img.empty()) return img;
-  GrayImage out(img.width() * factor, img.height() * factor);
-  for (int y = 0; y < out.height(); ++y) {
+namespace tero::image {
+namespace {
+
+namespace simd = util::simd;
+
+template <typename T>
+[[nodiscard]] T* scratch_array(Arena& arena, std::size_t n) {
+  return reinterpret_cast<T*>(arena.allocate(n * sizeof(T)));
+}
+
+// ---------------------------------------------------------------------------
+// upscale
+// ---------------------------------------------------------------------------
+
+/// Bilinear sampling with per-axis coefficients hoisted out of the pixel
+/// loop: source indices and fractional weights depend on one axis only, so
+/// they are computed once per row/column instead of once per pixel. The
+/// per-pixel arithmetic (and therefore the output) is unchanged.
+void upscale_into(const GrayImage& img, int factor, GrayImage& out,
+                  Arena& scratch) {
+  const int out_w = out.width();
+  const int out_h = out.height();
+  int* const x0s = scratch_array<int>(scratch, static_cast<std::size_t>(out_w));
+  int* const x1s = scratch_array<int>(scratch, static_cast<std::size_t>(out_w));
+  double* const fxs =
+      scratch_array<double>(scratch, static_cast<std::size_t>(out_w));
+  for (int x = 0; x < out_w; ++x) {
+    const double sx = (x + 0.5) / factor - 0.5;
+    x0s[x] = std::clamp(static_cast<int>(std::floor(sx)), 0, img.width() - 1);
+    x1s[x] = std::min(x0s[x] + 1, img.width() - 1);
+    fxs[x] = std::clamp(sx - x0s[x], 0.0, 1.0);
+  }
+  for (int y = 0; y < out_h; ++y) {
     const double sy = (y + 0.5) / factor - 0.5;
     const int y0 = std::clamp(static_cast<int>(std::floor(sy)), 0,
                               img.height() - 1);
     const int y1 = std::min(y0 + 1, img.height() - 1);
     const double fy = std::clamp(sy - y0, 0.0, 1.0);
-    for (int x = 0; x < out.width(); ++x) {
-      const double sx = (x + 0.5) / factor - 0.5;
-      const int x0 = std::clamp(static_cast<int>(std::floor(sx)), 0,
-                                img.width() - 1);
-      const int x1 = std::min(x0 + 1, img.width() - 1);
-      const double fx = std::clamp(sx - x0, 0.0, 1.0);
-      const double top = img.at(x0, y0) * (1 - fx) + img.at(x1, y0) * fx;
-      const double bottom = img.at(x0, y1) * (1 - fx) + img.at(x1, y1) * fx;
-      out.set(x, y,
-              static_cast<std::uint8_t>(
-                  std::clamp(top * (1 - fy) + bottom * fy, 0.0, 255.0)));
+    const std::uint8_t* const row0 = img.row(y0);
+    const std::uint8_t* const row1 = img.row(y1);
+    std::uint8_t* const dst = out.row(y);
+    for (int x = 0; x < out_w; ++x) {
+      const double fx = fxs[x];
+      const double top = row0[x0s[x]] * (1 - fx) + row0[x1s[x]] * fx;
+      const double bottom = row1[x0s[x]] * (1 - fx) + row1[x1s[x]] * fx;
+      dst[x] = static_cast<std::uint8_t>(
+          std::clamp(top * (1 - fy) + bottom * fy, 0.0, 255.0));
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// blur
+// ---------------------------------------------------------------------------
+
+struct BlurKernel {
+  std::vector<double> taps;
+  int radius = 0;
+};
+
+[[nodiscard]] BlurKernel make_blur_kernel(double sigma) {
+  BlurKernel k;
+  k.radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
+  k.taps.resize(2 * static_cast<std::size_t>(k.radius) + 1);
+  double total = 0.0;
+  for (int i = -k.radius; i <= k.radius; ++i) {
+    k.taps[static_cast<std::size_t>(i + k.radius)] =
+        std::exp(-0.5 * (i * i) / (sigma * sigma));
+    total += k.taps[static_cast<std::size_t>(i + k.radius)];
+  }
+  for (double& t : k.taps) t /= total;
+  return k;
+}
+
+/// One clamped-border output pixel, taps in order i = -r..r (the order the
+/// pre-SIMD code used; the interior kernels preserve it too).
+[[nodiscard]] std::uint8_t conv_clamped_h(const std::uint8_t* row, int w,
+                                          const BlurKernel& k, int x) noexcept {
+  double sum = 0.0;
+  for (int i = -k.radius; i <= k.radius; ++i) {
+    const int sx = std::clamp(x + i, 0, w - 1);
+    sum += k.taps[static_cast<std::size_t>(i + k.radius)] *
+           static_cast<double>(row[sx]);
+  }
+  return static_cast<std::uint8_t>(std::clamp(sum, 0.0, 255.0));
+}
+
+void blur_into(const GrayImage& img, const BlurKernel& k, GrayImage& out,
+               Arena& scratch) {
+  const int w = img.width();
+  const int h = img.height();
+  const int r = k.radius;
+  const std::size_t taps = k.taps.size();
+
+  GrayImage horizontal(scratch, w, h);
+  for (int y = 0; y < h; ++y) {
+    const std::uint8_t* const src = img.row(y);
+    std::uint8_t* const dst = horizontal.row(y);
+    const int interior = w - 2 * r;
+    if (interior > 0) {
+      for (int x = 0; x < r; ++x) dst[x] = conv_clamped_h(src, w, k, x);
+      simd::conv_valid_u8_f64(src, static_cast<std::size_t>(interior),
+                              k.taps.data(), taps, dst + r);
+      for (int x = w - r; x < w; ++x) dst[x] = conv_clamped_h(src, w, k, x);
+    } else {
+      for (int x = 0; x < w; ++x) dst[x] = conv_clamped_h(src, w, k, x);
+    }
+  }
+
+  const std::uint8_t** rows =
+      const_cast<const std::uint8_t**>(scratch_array<const std::uint8_t*>(
+          scratch, taps));
+  for (int y = 0; y < h; ++y) {
+    for (int i = -r; i <= r; ++i) {
+      rows[i + r] = horizontal.row(std::clamp(y + i, 0, h - 1));
+    }
+    simd::conv_rows_u8_f64(rows, static_cast<std::size_t>(w), k.taps.data(),
+                           taps, out.row(y));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// morphology
+// ---------------------------------------------------------------------------
+
+/// Separable 3x3 OR/AND morphology over a 0/255 binary map: a vertical
+/// combine of the three neighbouring rows into a scratch row, then a
+/// three-shift horizontal combine. Out-of-raster neighbours are background
+/// (the at_clamped semantics of the pre-SIMD code).
+void morph_into(const GrayImage& src, GrayImage& dst, bool dilate,
+                Arena& scratch) {
+  const int w = src.width();
+  const int h = src.height();
+  if (w == 0 || h == 0) return;
+  const std::size_t n = static_cast<std::size_t>(w);
+  std::uint8_t* const t = scratch.allocate(n);
+  std::uint8_t* const zero = scratch.allocate(n);
+  std::memset(zero, 0, n);
+  for (int y = 0; y < h; ++y) {
+    const std::uint8_t* const above = y > 0 ? src.row(y - 1) : zero;
+    const std::uint8_t* const mid = src.row(y);
+    const std::uint8_t* const below = y + 1 < h ? src.row(y + 1) : zero;
+    if (dilate) {
+      simd::eq255_or3_u8(above, mid, below, t, n);
+      simd::neighbor_or3_u8(t, dst.row(y), n);
+    } else {
+      if (y == 0 || y + 1 == h) {
+        std::memset(dst.row(y), 0, n);  // border rows always erode away
+        continue;
+      }
+      simd::eq255_and3_u8(above, mid, below, t, n);
+      simd::neighbor_and3_u8(t, dst.row(y), n);
+    }
+  }
+}
+
+[[nodiscard]] GrayImage morph_heap(const GrayImage& img, bool dilate) {
+  Arena& scratch = Arena::thread_local_arena();
+  const Arena::Frame frame(scratch);
+  GrayImage out(img.width(), img.height());
+  morph_into(img, out, dilate, scratch);
+  return out;
+}
+
+[[nodiscard]] GrayImage morph_arena(const GrayImage& img, bool dilate,
+                                    Arena& arena) {
+  GrayImage out(arena, img.width(), img.height());
+  morph_into(img, out, dilate, arena);
+  return out;
+}
+
+/// Per-glyph-cell foreground count used by both normalize_glyph overloads,
+/// so the float fast path and the double compatibility path stay in sync.
+struct CellCount {
+  std::size_t ink = 0;
+  std::size_t total = 0;
+};
+
+[[nodiscard]] CellCount count_cell(const GrayImage& img, const Rect& clipped,
+                                   int gx, int gy, int size) noexcept {
+  // Map the grid cell to a pixel block in the bounding box.
+  const int x0 = clipped.x + gx * clipped.w / size;
+  const int x1 = std::max(x0 + 1, clipped.x + (gx + 1) * clipped.w / size);
+  const int y0 = clipped.y + gy * clipped.h / size;
+  const int y1 = std::max(y0 + 1, clipped.y + (gy + 1) * clipped.h / size);
+  const int x_end = std::min(x1, clipped.x + clipped.w);
+  const int y_end = std::min(y1, clipped.y + clipped.h);
+  CellCount count;
+  for (int y = y0; y < y_end; ++y) {
+    const std::size_t span = static_cast<std::size_t>(x_end - x0);
+    count.ink += simd::count_eq_u8(img.row(y) + x0, span, 255);
+    count.total += span;
+  }
+  return count;
+}
+
+}  // namespace
+
+GrayImage upscale_bilinear(const GrayImage& img, int factor) {
+  if (factor < 1) throw std::invalid_argument("upscale: factor < 1");
+  if (factor == 1 || img.empty()) return img;
+  Arena& scratch = Arena::thread_local_arena();
+  const Arena::Frame frame(scratch);
+  GrayImage out(img.width() * factor, img.height() * factor);
+  upscale_into(img, factor, out, scratch);
+  return out;
+}
+
+GrayImage upscale_bilinear(const GrayImage& img, int factor, Arena& arena) {
+  if (factor < 1) throw std::invalid_argument("upscale: factor < 1");
+  if (factor == 1 || img.empty()) {
+    GrayImage out(arena, img.width(), img.height());
+    if (!img.empty()) std::memcpy(out.data(), img.data(), img.size());
+    return out;
+  }
+  GrayImage out(arena, img.width() * factor, img.height() * factor);
+  upscale_into(img, factor, out, arena);
   return out;
 }
 
 GrayImage gaussian_blur(const GrayImage& img, double sigma) {
   if (sigma <= 0.0 || img.empty()) return img;
-  const int radius = std::max(1, static_cast<int>(std::ceil(3.0 * sigma)));
-  std::vector<double> kernel(2 * radius + 1);
-  double total = 0.0;
-  for (int i = -radius; i <= radius; ++i) {
-    kernel[i + radius] = std::exp(-0.5 * (i * i) / (sigma * sigma));
-    total += kernel[i + radius];
-  }
-  for (double& k : kernel) k /= total;
-
-  GrayImage horizontal(img.width(), img.height());
-  for (int y = 0; y < img.height(); ++y) {
-    for (int x = 0; x < img.width(); ++x) {
-      double sum = 0.0;
-      for (int i = -radius; i <= radius; ++i) {
-        const int sx = std::clamp(x + i, 0, img.width() - 1);
-        sum += kernel[i + radius] * img.at(sx, y);
-      }
-      horizontal.set(x, y,
-                     static_cast<std::uint8_t>(std::clamp(sum, 0.0, 255.0)));
-    }
-  }
+  Arena& scratch = Arena::thread_local_arena();
+  const Arena::Frame frame(scratch);
+  const BlurKernel kernel = make_blur_kernel(sigma);
   GrayImage out(img.width(), img.height());
-  for (int y = 0; y < img.height(); ++y) {
-    for (int x = 0; x < img.width(); ++x) {
-      double sum = 0.0;
-      for (int i = -radius; i <= radius; ++i) {
-        const int sy = std::clamp(y + i, 0, img.height() - 1);
-        sum += kernel[i + radius] * horizontal.at(x, sy);
-      }
-      out.set(x, y, static_cast<std::uint8_t>(std::clamp(sum, 0.0, 255.0)));
-    }
+  blur_into(img, kernel, out, scratch);
+  return out;
+}
+
+GrayImage gaussian_blur(const GrayImage& img, double sigma, Arena& arena) {
+  if (sigma <= 0.0 || img.empty()) {
+    GrayImage out(arena, img.width(), img.height());
+    if (!img.empty()) std::memcpy(out.data(), img.data(), img.size());
+    return out;
   }
+  const BlurKernel kernel = make_blur_kernel(sigma);
+  GrayImage out(arena, img.width(), img.height());
+  blur_into(img, kernel, out, arena);
   return out;
 }
 
 std::uint8_t otsu_threshold(const GrayImage& img) {
-  std::array<std::uint64_t, 256> histogram{};
-  for (std::uint8_t p : img.pixels()) ++histogram[p];
-  const double total = static_cast<double>(img.pixels().size());
+  std::uint64_t histogram[256];
+  util::simd::histogram_u8(img.data(), img.size(), histogram);
+  const double total = static_cast<double>(img.size());
   if (total == 0.0) return 127;
 
   double sum_all = 0.0;
@@ -103,87 +283,78 @@ std::uint8_t otsu_threshold(const GrayImage& img) {
 
 GrayImage binarize(const GrayImage& img, std::uint8_t threshold) {
   GrayImage out(img.width(), img.height());
-  for (int y = 0; y < img.height(); ++y) {
-    for (int x = 0; x < img.width(); ++x) {
-      out.set(x, y, img.at(x, y) > threshold ? 255 : 0);
-    }
-  }
+  util::simd::binarize_u8(img.data(), out.data(), img.size(), threshold);
   return out;
 }
 
-namespace {
-
-GrayImage morphology3x3(const GrayImage& img, bool dilate) {
-  GrayImage out(img.width(), img.height());
-  for (int y = 0; y < img.height(); ++y) {
-    for (int x = 0; x < img.width(); ++x) {
-      bool hit = !dilate;
-      for (int dy = -1; dy <= 1 && (dilate ? !hit : hit); ++dy) {
-        for (int dx = -1; dx <= 1; ++dx) {
-          const bool fg = img.at_clamped(x + dx, y + dy) == 255;
-          if (dilate && fg) {
-            hit = true;
-            break;
-          }
-          if (!dilate && !fg) {
-            hit = false;
-            break;
-          }
-        }
-      }
-      out.set(x, y, hit ? 255 : 0);
-    }
-  }
+GrayImage binarize(const GrayImage& img, std::uint8_t threshold,
+                   Arena& arena) {
+  GrayImage out(arena, img.width(), img.height());
+  util::simd::binarize_u8(img.data(), out.data(), img.size(), threshold);
   return out;
 }
 
-}  // namespace
+void binarize_inplace(GrayImage& img, std::uint8_t threshold) noexcept {
+  util::simd::binarize_u8(img.data(), img.data(), img.size(), threshold);
+}
 
-GrayImage dilate3x3(const GrayImage& img) { return morphology3x3(img, true); }
-GrayImage erode3x3(const GrayImage& img) { return morphology3x3(img, false); }
+GrayImage dilate3x3(const GrayImage& img) { return morph_heap(img, true); }
+GrayImage dilate3x3(const GrayImage& img, Arena& arena) {
+  return morph_arena(img, true, arena);
+}
+GrayImage erode3x3(const GrayImage& img) { return morph_heap(img, false); }
+GrayImage erode3x3(const GrayImage& img, Arena& arena) {
+  return morph_arena(img, false, arena);
+}
 
 GrayImage invert(const GrayImage& img) {
   GrayImage out(img.width(), img.height());
-  for (int y = 0; y < img.height(); ++y) {
-    for (int x = 0; x < img.width(); ++x) {
-      out.set(x, y, static_cast<std::uint8_t>(255 - img.at(x, y)));
-    }
-  }
+  util::simd::invert_u8(img.data(), out.data(), img.size());
   return out;
 }
 
+void invert_inplace(GrayImage& img) noexcept {
+  util::simd::invert_u8(img.data(), img.data(), img.size());
+}
+
 double foreground_ratio(const GrayImage& img) noexcept {
-  if (img.pixels().empty()) return 0.0;
-  std::size_t count = 0;
-  for (std::uint8_t p : img.pixels()) {
-    if (p == 255) ++count;
-  }
-  return static_cast<double>(count) /
-         static_cast<double>(img.pixels().size());
+  if (img.size() == 0) return 0.0;
+  const std::size_t count =
+      util::simd::count_eq_u8(img.data(), img.size(), 255);
+  return static_cast<double>(count) / static_cast<double>(img.size());
 }
 
 std::vector<Component> connected_components(const GrayImage& img,
                                             int min_area) {
   std::vector<Component> components;
   if (img.empty()) return components;
-  std::vector<int> labels(
-      static_cast<std::size_t>(img.width()) * img.height(), -1);
-  auto index = [&](int x, int y) {
-    return static_cast<std::size_t>(y) * img.width() + x;
-  };
+  const int w = img.width();
+  const int h = img.height();
+  std::vector<int> labels(static_cast<std::size_t>(w) * h, -1);
 
   std::vector<std::pair<int, int>> stack;
   int next_label = 0;
-  for (int y = 0; y < img.height(); ++y) {
-    for (int x = 0; x < img.width(); ++x) {
-      if (img.at(x, y) != 255 || labels[index(x, y)] != -1) continue;
+  for (int y = 0; y < h; ++y) {
+    const std::uint8_t* const row = img.row(y);
+    int* const label_row = labels.data() + static_cast<std::size_t>(y) * w;
+    int x = 0;
+    while (x < w) {
+      // SIMD label scan: skip background 16 pixels per compare — thumbnails
+      // are mostly background after binarization.
+      const std::size_t skip = util::simd::find_eq_u8(
+          row + x, static_cast<std::size_t>(w - x), 255);
+      x += static_cast<int>(skip);
+      if (x >= w) break;
+      if (label_row[x] != -1) {
+        ++x;
+        continue;
+      }
       // Flood fill (8-connected).
       Component comp;
-      comp.bounds = Rect{x, y, 1, 1};
       int min_x = x, max_x = x, min_y = y, max_y = y;
       stack.clear();
       stack.emplace_back(x, y);
-      labels[index(x, y)] = next_label;
+      label_row[x] = next_label;
       while (!stack.empty()) {
         const auto [cx, cy] = stack.back();
         stack.pop_back();
@@ -193,14 +364,15 @@ std::vector<Component> connected_components(const GrayImage& img,
         min_y = std::min(min_y, cy);
         max_y = std::max(max_y, cy);
         for (int dy = -1; dy <= 1; ++dy) {
+          const int ny = cy + dy;
+          if (ny < 0 || ny >= h) continue;
+          const std::uint8_t* const nrow = img.row(ny);
+          int* const nlabels = labels.data() + static_cast<std::size_t>(ny) * w;
           for (int dx = -1; dx <= 1; ++dx) {
             const int nx = cx + dx;
-            const int ny = cy + dy;
-            if (nx < 0 || ny < 0 || nx >= img.width() || ny >= img.height()) {
-              continue;
-            }
-            if (img.at(nx, ny) == 255 && labels[index(nx, ny)] == -1) {
-              labels[index(nx, ny)] = next_label;
+            if (nx < 0 || nx >= w) continue;
+            if (nrow[nx] == 255 && nlabels[nx] == -1) {
+              nlabels[nx] = next_label;
               stack.emplace_back(nx, ny);
             }
           }
@@ -209,6 +381,7 @@ std::vector<Component> connected_components(const GrayImage& img,
       comp.bounds = Rect{min_x, min_y, max_x - min_x + 1, max_y - min_y + 1};
       if (comp.area >= min_area) components.push_back(comp);
       ++next_label;
+      ++x;
     }
   }
   std::sort(components.begin(), components.end(),
@@ -218,6 +391,23 @@ std::vector<Component> connected_components(const GrayImage& img,
   return components;
 }
 
+void normalize_glyph(const GrayImage& img, const Rect& bounds, int size,
+                     std::span<float> out) noexcept {
+  const std::size_t cells = static_cast<std::size_t>(size) * size;
+  std::fill(out.begin(), out.begin() + cells, 0.0f);
+  const Rect clipped = bounds.intersect(Rect{0, 0, img.width(), img.height()});
+  if (clipped.empty()) return;
+  for (int gy = 0; gy < size; ++gy) {
+    for (int gx = 0; gx < size; ++gx) {
+      const CellCount cell = count_cell(img, clipped, gx, gy, size);
+      out[static_cast<std::size_t>(gy) * size + gx] =
+          cell.total > 0
+              ? static_cast<float>(cell.ink) / static_cast<float>(cell.total)
+              : 0.0f;
+    }
+  }
+}
+
 std::vector<double> normalize_glyph(const GrayImage& img, const Rect& bounds,
                                     int size) {
   std::vector<double> grid(static_cast<std::size_t>(size) * size, 0.0);
@@ -225,21 +415,11 @@ std::vector<double> normalize_glyph(const GrayImage& img, const Rect& bounds,
   if (clipped.empty()) return grid;
   for (int gy = 0; gy < size; ++gy) {
     for (int gx = 0; gx < size; ++gx) {
-      // Map the grid cell to a pixel block in the bounding box.
-      const int x0 = clipped.x + gx * clipped.w / size;
-      const int x1 = std::max(x0 + 1, clipped.x + (gx + 1) * clipped.w / size);
-      const int y0 = clipped.y + gy * clipped.h / size;
-      const int y1 = std::max(y0 + 1, clipped.y + (gy + 1) * clipped.h / size);
-      double ink = 0.0;
-      int count = 0;
-      for (int y = y0; y < y1 && y < clipped.y + clipped.h; ++y) {
-        for (int x = x0; x < x1 && x < clipped.x + clipped.w; ++x) {
-          ink += img.at(x, y) == 255 ? 1.0 : 0.0;
-          ++count;
-        }
-      }
+      const CellCount cell = count_cell(img, clipped, gx, gy, size);
       grid[static_cast<std::size_t>(gy) * size + gx] =
-          count > 0 ? ink / count : 0.0;
+          cell.total > 0
+              ? static_cast<double>(cell.ink) / static_cast<double>(cell.total)
+              : 0.0;
     }
   }
   return grid;

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "image/arena.hpp"
 #include "image/image.hpp"
 
 namespace tero::image {
@@ -11,9 +13,14 @@ namespace tero::image {
 /// pre-processing (App. E): games render latency at ~75 dpi, so OCR operates
 /// on an up-scaled copy.
 [[nodiscard]] GrayImage upscale_bilinear(const GrayImage& img, int factor);
+/// Arena-backed variant (result valid until the enclosing Frame ends).
+[[nodiscard]] GrayImage upscale_bilinear(const GrayImage& img, int factor,
+                                         Arena& arena);
 
 /// Separable Gaussian blur; sigma <= 0 returns the input unchanged.
 [[nodiscard]] GrayImage gaussian_blur(const GrayImage& img, double sigma);
+[[nodiscard]] GrayImage gaussian_blur(const GrayImage& img, double sigma,
+                                      Arena& arena);
 
 /// Otsu's global threshold [40]: the gray level that maximizes between-class
 /// variance of the histogram.
@@ -21,12 +28,19 @@ namespace tero::image {
 
 /// Binarize: pixels strictly above `threshold` become 255, others 0.
 [[nodiscard]] GrayImage binarize(const GrayImage& img, std::uint8_t threshold);
+[[nodiscard]] GrayImage binarize(const GrayImage& img, std::uint8_t threshold,
+                                 Arena& arena);
+/// In-place binarize (the preprocessing chain re-uses its arena buffer).
+void binarize_inplace(GrayImage& img, std::uint8_t threshold) noexcept;
 
 /// 3x3 morphological dilation / erosion on a binary image (255 = foreground).
 [[nodiscard]] GrayImage dilate3x3(const GrayImage& img);
+[[nodiscard]] GrayImage dilate3x3(const GrayImage& img, Arena& arena);
 [[nodiscard]] GrayImage erode3x3(const GrayImage& img);
+[[nodiscard]] GrayImage erode3x3(const GrayImage& img, Arena& arena);
 
 [[nodiscard]] GrayImage invert(const GrayImage& img);
+void invert_inplace(GrayImage& img) noexcept;
 
 /// Fraction of foreground (255) pixels.
 [[nodiscard]] double foreground_ratio(const GrayImage& img) noexcept;
@@ -45,7 +59,10 @@ struct Component {
 
 /// Resample the foreground bounding box of a binary glyph onto a `size`x
 /// `size` grid of pixel densities in [0,1] — the normalized form the OCR
-/// engines classify.
+/// engines classify. The span overload writes into caller-owned storage
+/// (out.size() >= size*size) so the per-glyph engine loops allocate nothing.
+void normalize_glyph(const GrayImage& img, const Rect& bounds, int size,
+                     std::span<float> out) noexcept;
 [[nodiscard]] std::vector<double> normalize_glyph(const GrayImage& img,
                                                   const Rect& bounds,
                                                   int size);

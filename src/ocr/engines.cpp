@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 
@@ -6,15 +7,19 @@
 #include "image/font.hpp"
 #include "image/ops.hpp"
 #include "ocr/engine.hpp"
+#include "util/simd.hpp"
 
 namespace tero::ocr {
 namespace {
 
-constexpr int kGlyphGrid = 16;  ///< normalized glyph resolution
+namespace simd = util::simd;
+
+constexpr int kGlyphGrid = 16;                    ///< normalized resolution
+constexpr int kGridCells = kGlyphGrid * kGlyphGrid;
 
 /// Render a font character to a clean binary raster and normalize it onto
 /// the kGlyphGrid density grid — the shared prototype representation.
-std::vector<double> render_prototype(char character) {
+std::array<float, kGridCells> render_prototype(char character) {
   constexpr int kScale = 4;
   image::GrayImage canvas(image::kGlyphWidth * kScale + 4,
                           image::kGlyphHeight * kScale + 4, 0);
@@ -36,23 +41,39 @@ std::vector<double> render_prototype(char character) {
     }
     bounds = image::Rect{min_x, min_y, max_x - min_x, max_y - min_y};
   }
-  return image::normalize_glyph(canvas, bounds, kGlyphGrid);
+  std::array<float, kGridCells> grid;
+  image::normalize_glyph(canvas, bounds, kGlyphGrid, grid);
+  return grid;
 }
 
-struct Prototype {
-  char character;
-  std::vector<double> grid;
+/// Struct-of-arrays prototype storage: one contiguous float block holding
+/// every prototype's density grid back to back (plus per-prototype squared
+/// norms for the NCC denominator), instead of a vector of per-character
+/// heap vectors. The match loops stream through one block sequentially —
+/// cache-local and directly consumable by the SIMD reductions.
+struct PrototypeBank {
+  std::string chars;              ///< chars[i] labels grid block i
+  std::vector<float> grids;       ///< size() == chars.size() * kGridCells
+  std::vector<float> norms;       ///< dot(grid_i, grid_i), precomputed
+
+  [[nodiscard]] const float* grid(std::size_t i) const noexcept {
+    return grids.data() + i * kGridCells;
+  }
+  [[nodiscard]] std::size_t count() const noexcept { return chars.size(); }
 };
 
-const std::vector<Prototype>& prototypes() {
-  static const std::vector<Prototype> table = [] {
-    std::vector<Prototype> protos;
+const PrototypeBank& prototype_bank() {
+  static const PrototypeBank bank = [] {
+    PrototypeBank b;
     for (char c : image::font_alphabet()) {
-      protos.push_back(Prototype{c, render_prototype(c)});
+      const auto grid = render_prototype(c);
+      b.chars.push_back(c);
+      b.grids.insert(b.grids.end(), grid.begin(), grid.end());
+      b.norms.push_back(simd::dot_f32(grid.data(), grid.data(), kGridCells));
     }
-    return protos;
+    return b;
   }();
-  return table;
+  return bank;
 }
 
 /// Glyph segmentation shared by all engines: connected components, merged
@@ -95,23 +116,24 @@ class TemplateEngine final : public OcrEngine {
 
   [[nodiscard]] OcrOutput recognize(
       const image::GrayImage& binary) const override {
+    const PrototypeBank& bank = prototype_bank();
     OcrOutput out;
+    alignas(16) std::array<float, kGridCells> grid;
     for (const auto& box : segment_glyphs(binary)) {
-      const auto grid = image::normalize_glyph(binary, box, kGlyphGrid);
+      image::normalize_glyph(binary, box, kGlyphGrid, grid);
+      // The query's squared norm is proto-invariant: hoist it out of the
+      // match loop (the old per-prototype recomputation was pure waste).
+      const float na = simd::dot_f32(grid.data(), grid.data(), kGridCells);
       char best_char = '?';
       double best_score = -1.0;
-      for (const auto& proto : prototypes()) {
-        double dot = 0.0, na = 0.0, nb = 0.0;
-        for (std::size_t i = 0; i < grid.size(); ++i) {
-          dot += grid[i] * proto.grid[i];
-          na += grid[i] * grid[i];
-          nb += proto.grid[i] * proto.grid[i];
-        }
-        const double denom = std::sqrt(na * nb);
+      for (std::size_t i = 0; i < bank.count(); ++i) {
+        const float dot = simd::dot_f32(grid.data(), bank.grid(i), kGridCells);
+        const double denom = std::sqrt(static_cast<double>(na) *
+                                       static_cast<double>(bank.norms[i]));
         const double score = denom > 0.0 ? dot / denom : 0.0;
         if (score > best_score) {
           best_score = score;
-          best_char = proto.character;
+          best_char = bank.chars[i];
         }
       }
       // Strict acceptance threshold: rejects degraded glyphs outright.
@@ -123,14 +145,53 @@ class TemplateEngine final : public OcrEngine {
   }
 };
 
+constexpr int kZoneFeatures = 19;  ///< 16 zone densities + aspect + centroid
+
+/// 16 zone densities + aspect + x/y ink centroid, written into a
+/// caller-owned buffer (no allocation in the match loop).
+void features_of(const float* grid, double aspect,
+                 std::array<float, kZoneFeatures>& feats) noexcept {
+  constexpr int kZones = 4;
+  constexpr int kCell = kGlyphGrid / kZones;
+  std::size_t out = 0;
+  for (int zy = 0; zy < kZones; ++zy) {
+    for (int zx = 0; zx < kZones; ++zx) {
+      float ink = 0.0f;
+      for (int y = zy * kCell; y < (zy + 1) * kCell; ++y) {
+        for (int x = zx * kCell; x < (zx + 1) * kCell; ++x) {
+          ink += grid[static_cast<std::size_t>(y) * kGlyphGrid + x];
+        }
+      }
+      feats[out++] = ink / (kCell * kCell);
+    }
+  }
+  float total = 0.0f, cx = 0.0f, cy = 0.0f;
+  for (int y = 0; y < kGlyphGrid; ++y) {
+    for (int x = 0; x < kGlyphGrid; ++x) {
+      const float v = grid[static_cast<std::size_t>(y) * kGlyphGrid + x];
+      total += v;
+      cx += v * x;
+      cy += v * y;
+    }
+  }
+  feats[out++] = static_cast<float>(std::min(aspect, 3.0));
+  feats[out++] = total > 0.0f ? cx / (total * kGlyphGrid) : 0.5f;
+  feats[out] = total > 0.0f ? cy / (total * kGlyphGrid) : 0.5f;
+}
+
 /// Zoning-feature engine ("zonenet", EasyOCR-like): 4x4 ink-density zones
 /// plus aspect ratio and centroid features, nearest-prototype by Euclidean
 /// distance. More tolerant of degradation, with its own confusion set.
 class ZoningEngine final : public OcrEngine {
  public:
   ZoningEngine() {
-    for (const auto& proto : prototypes()) {
-      features_.push_back({proto.character, features_of(proto.grid, 1.0)});
+    const PrototypeBank& bank = prototype_bank();
+    feats_.resize(bank.count() * kZoneFeatures);
+    std::array<float, kZoneFeatures> feats;
+    for (std::size_t i = 0; i < bank.count(); ++i) {
+      features_of(bank.grid(i), 1.0, feats);
+      std::copy(feats.begin(), feats.end(),
+                feats_.begin() + static_cast<std::ptrdiff_t>(i * kZoneFeatures));
     }
   }
 
@@ -138,26 +199,26 @@ class ZoningEngine final : public OcrEngine {
 
   [[nodiscard]] OcrOutput recognize(
       const image::GrayImage& binary) const override {
+    const PrototypeBank& bank = prototype_bank();
     OcrOutput out;
+    alignas(16) std::array<float, kGridCells> grid;
+    alignas(16) std::array<float, kZoneFeatures> feats;
     for (const auto& box : segment_glyphs(binary)) {
-      const auto grid = image::normalize_glyph(binary, box, kGlyphGrid);
+      image::normalize_glyph(binary, box, kGlyphGrid, grid);
       const double aspect =
           box.h > 0 ? static_cast<double>(box.w) / box.h : 1.0;
-      const auto feats = features_of(grid, aspect);
+      features_of(grid.data(), aspect, feats);
       char best_char = '?';
-      double best_distance = std::numeric_limits<double>::infinity();
-      for (const auto& [character, proto_feats] : features_) {
-        double d2 = 0.0;
-        for (std::size_t i = 0; i < feats.size(); ++i) {
-          const double diff = feats[i] - proto_feats[i];
-          d2 += diff * diff;
-        }
+      float best_distance = std::numeric_limits<float>::infinity();
+      for (std::size_t i = 0; i < bank.count(); ++i) {
+        const float d2 = simd::l2sq_f32(
+            feats.data(), feats_.data() + i * kZoneFeatures, kZoneFeatures);
         if (d2 < best_distance) {
           best_distance = d2;
-          best_char = character;
+          best_char = bank.chars[i];
         }
       }
-      const double confidence = std::exp(-best_distance);
+      const double confidence = std::exp(-static_cast<double>(best_distance));
       if (confidence < 0.09) continue;  // lenient acceptance
       out.chars.push_back(CharMatch{best_char, confidence, box});
       out.text += best_char;
@@ -166,41 +227,25 @@ class ZoningEngine final : public OcrEngine {
   }
 
  private:
-  /// 16 zone densities + aspect + x/y ink centroid.
-  static std::vector<double> features_of(const std::vector<double>& grid,
-                                         double aspect) {
-    std::vector<double> feats;
-    feats.reserve(19);
-    constexpr int kZones = 4;
-    constexpr int kCell = kGlyphGrid / kZones;
-    for (int zy = 0; zy < kZones; ++zy) {
-      for (int zx = 0; zx < kZones; ++zx) {
-        double ink = 0.0;
-        for (int y = zy * kCell; y < (zy + 1) * kCell; ++y) {
-          for (int x = zx * kCell; x < (zx + 1) * kCell; ++x) {
-            ink += grid[static_cast<std::size_t>(y) * kGlyphGrid + x];
-          }
-        }
-        feats.push_back(ink / (kCell * kCell));
-      }
-    }
-    double total = 0.0, cx = 0.0, cy = 0.0;
-    for (int y = 0; y < kGlyphGrid; ++y) {
-      for (int x = 0; x < kGlyphGrid; ++x) {
-        const double v = grid[static_cast<std::size_t>(y) * kGlyphGrid + x];
-        total += v;
-        cx += v * x;
-        cy += v * y;
-      }
-    }
-    feats.push_back(std::min(aspect, 3.0));
-    feats.push_back(total > 0.0 ? cx / (total * kGlyphGrid) : 0.5);
-    feats.push_back(total > 0.0 ? cy / (total * kGlyphGrid) : 0.5);
-    return feats;
-  }
-
-  std::vector<std::pair<char, std::vector<double>>> features_;
+  std::vector<float> feats_;  ///< SoA: count() * kZoneFeatures, contiguous
 };
+
+constexpr int kProfileBins = 2 * kGlyphGrid;  ///< row sums then column sums
+
+/// Row sums followed by column sums, each normalized to mean ink; written
+/// into a caller-owned buffer.
+void profile_of(const float* grid,
+                std::array<float, kProfileBins>& prof) noexcept {
+  prof.fill(0.0f);
+  for (int y = 0; y < kGlyphGrid; ++y) {
+    for (int x = 0; x < kGlyphGrid; ++x) {
+      const float v = grid[static_cast<std::size_t>(y) * kGlyphGrid + x];
+      prof[y] += v;
+      prof[kGlyphGrid + x] += v;
+    }
+  }
+  for (float& p : prof) p /= kGlyphGrid;
+}
 
 /// Projection-profile engine ("profiler", PaddleOCR-like): classifies by the
 /// L1 distance between row/column ink-projection histograms. Robust to
@@ -209,8 +254,13 @@ class ZoningEngine final : public OcrEngine {
 class ProjectionEngine final : public OcrEngine {
  public:
   ProjectionEngine() {
-    for (const auto& proto : prototypes()) {
-      profiles_.push_back({proto.character, profile_of(proto.grid)});
+    const PrototypeBank& bank = prototype_bank();
+    profiles_.resize(bank.count() * kProfileBins);
+    std::array<float, kProfileBins> prof;
+    for (std::size_t i = 0; i < bank.count(); ++i) {
+      profile_of(bank.grid(i), prof);
+      std::copy(prof.begin(), prof.end(),
+                profiles_.begin() + static_cast<std::ptrdiff_t>(i * kProfileBins));
     }
   }
 
@@ -218,23 +268,24 @@ class ProjectionEngine final : public OcrEngine {
 
   [[nodiscard]] OcrOutput recognize(
       const image::GrayImage& binary) const override {
+    const PrototypeBank& bank = prototype_bank();
     OcrOutput out;
+    alignas(16) std::array<float, kGridCells> grid;
+    alignas(16) std::array<float, kProfileBins> prof;
     for (const auto& box : segment_glyphs(binary)) {
-      const auto grid = image::normalize_glyph(binary, box, kGlyphGrid);
-      const auto prof = profile_of(grid);
+      image::normalize_glyph(binary, box, kGlyphGrid, grid);
+      profile_of(grid.data(), prof);
       char best_char = '?';
-      double best_distance = std::numeric_limits<double>::infinity();
-      for (const auto& [character, proto_prof] : profiles_) {
-        double d = 0.0;
-        for (std::size_t i = 0; i < prof.size(); ++i) {
-          d += std::abs(prof[i] - proto_prof[i]);
-        }
+      float best_distance = std::numeric_limits<float>::infinity();
+      for (std::size_t i = 0; i < bank.count(); ++i) {
+        const float d = simd::l1_f32(
+            prof.data(), profiles_.data() + i * kProfileBins, kProfileBins);
         if (d < best_distance) {
           best_distance = d;
-          best_char = character;
+          best_char = bank.chars[i];
         }
       }
-      const double confidence = 1.0 / (1.0 + best_distance);
+      const double confidence = 1.0 / (1.0 + static_cast<double>(best_distance));
       if (confidence < 0.18) continue;
       out.chars.push_back(CharMatch{best_char, confidence, box});
       out.text += best_char;
@@ -243,21 +294,7 @@ class ProjectionEngine final : public OcrEngine {
   }
 
  private:
-  /// Row sums followed by column sums, each normalized to mean ink.
-  static std::vector<double> profile_of(const std::vector<double>& grid) {
-    std::vector<double> prof(2 * kGlyphGrid, 0.0);
-    for (int y = 0; y < kGlyphGrid; ++y) {
-      for (int x = 0; x < kGlyphGrid; ++x) {
-        const double v = grid[static_cast<std::size_t>(y) * kGlyphGrid + x];
-        prof[y] += v;
-        prof[kGlyphGrid + x] += v;
-      }
-    }
-    for (double& p : prof) p /= kGlyphGrid;
-    return prof;
-  }
-
-  std::vector<std::pair<char, std::vector<double>>> profiles_;
+  std::vector<float> profiles_;  ///< SoA: count() * kProfileBins, contiguous
 };
 
 }  // namespace

@@ -123,7 +123,13 @@ LatencyReading LatencyExtractor::vote(
 
 LatencyReading LatencyExtractor::extract(const image::GrayImage& thumbnail,
                                          const GameUiSpec& spec) const {
-  const image::GrayImage crop = thumbnail.crop(spec.latency_region);
+  // One arena frame per thumbnail: the crop, every pre-processing
+  // intermediate, and the binarized input to the engines all live in the
+  // thread-local arena and are released wholesale when the frame ends —
+  // zero global-allocator traffic on the steady-state hot path.
+  image::Arena& arena = image::Arena::thread_local_arena();
+  image::Arena::Frame frame(arena);
+  const image::GrayImage crop = thumbnail.crop(spec.latency_region, arena);
 
   auto run = [&](const image::GrayImage& prepared) {
     std::array<std::optional<int>, 3> values;
@@ -133,10 +139,10 @@ LatencyReading LatencyExtractor::extract(const image::GrayImage& thumbnail,
     return vote(std::span<const std::optional<int>>{values});
   };
 
-  LatencyReading reading = run(preprocess(crop, config_));
+  LatencyReading reading = run(preprocess(crop, config_, arena));
   if (reading.ambiguous) {
     // App. E step 4: reprocess without the full pre-processing.
-    LatencyReading retry = run(preprocess_minimal(crop));
+    LatencyReading retry = run(preprocess_minimal(crop, arena));
     retry.reprocessed = true;
     retry.ambiguous = !retry.primary.has_value();
     return retry;
@@ -147,8 +153,10 @@ LatencyReading LatencyExtractor::extract(const image::GrayImage& thumbnail,
 std::optional<int> LatencyExtractor::extract_with_engine(
     const image::GrayImage& thumbnail, const GameUiSpec& spec,
     std::size_t engine_index) const {
-  const image::GrayImage crop = thumbnail.crop(spec.latency_region);
-  const image::GrayImage prepared = preprocess(crop, config_);
+  image::Arena& arena = image::Arena::thread_local_arena();
+  image::Arena::Frame frame(arena);
+  const image::GrayImage crop = thumbnail.crop(spec.latency_region, arena);
+  const image::GrayImage prepared = preprocess(crop, config_, arena);
   return cleanup(engines_.at(engine_index)->recognize(prepared), spec);
 }
 

@@ -5,33 +5,53 @@
 namespace tero::ocr {
 namespace {
 
-image::GrayImage normalize_polarity(image::GrayImage binary) {
-  // Latency text is a minority of pixels; if most of the crop binarized to
-  // foreground, the panel is lighter than the text — invert.
+// Latency text is a minority of pixels; if most of the crop binarized to
+// foreground, the panel is lighter than the text — invert.
+void normalize_polarity(image::GrayImage& binary) noexcept {
   if (image::foreground_ratio(binary) > 0.5) {
-    binary = image::invert(binary);
+    image::invert_inplace(binary);
   }
-  return binary;
 }
 
 }  // namespace
 
 image::GrayImage preprocess(const image::GrayImage& crop,
-                            const PreprocessConfig& config) {
-  image::GrayImage img = image::upscale_bilinear(crop, config.upscale_factor);
-  img = image::gaussian_blur(img, config.blur_sigma);
-  img = image::binarize(img, image::otsu_threshold(img));
-  img = normalize_polarity(std::move(img));
+                            const PreprocessConfig& config,
+                            image::Arena& arena) {
+  image::GrayImage img =
+      image::upscale_bilinear(crop, config.upscale_factor, arena);
+  img = image::gaussian_blur(img, config.blur_sigma, arena);
+  image::binarize_inplace(img, image::otsu_threshold(img));
+  normalize_polarity(img);
   for (int i = 0; i < config.morph_rounds; ++i) {
-    img = image::erode3x3(image::dilate3x3(img));
+    img = image::erode3x3(image::dilate3x3(img, arena), arena);
   }
   return img;
 }
 
+image::GrayImage preprocess(const image::GrayImage& crop,
+                            const PreprocessConfig& config) {
+  image::Arena& arena = image::Arena::thread_local_arena();
+  image::Arena::Frame frame(arena);
+  const image::GrayImage img = preprocess(crop, config, arena);
+  // Copy (not move) out of the arena before the frame rewinds: the copy
+  // constructor always lands on the heap.
+  return image::GrayImage(img);
+}
+
+image::GrayImage preprocess_minimal(const image::GrayImage& crop,
+                                    image::Arena& arena) {
+  image::GrayImage img = image::upscale_bilinear(crop, 3, arena);
+  image::binarize_inplace(img, image::otsu_threshold(img));
+  normalize_polarity(img);
+  return img;
+}
+
 image::GrayImage preprocess_minimal(const image::GrayImage& crop) {
-  image::GrayImage img = image::upscale_bilinear(crop, 3);
-  img = image::binarize(img, image::otsu_threshold(img));
-  return normalize_polarity(std::move(img));
+  image::Arena& arena = image::Arena::thread_local_arena();
+  image::Arena::Frame frame(arena);
+  const image::GrayImage img = preprocess_minimal(crop, arena);
+  return image::GrayImage(img);
 }
 
 }  // namespace tero::ocr

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "image/arena.hpp"
 #include "image/image.hpp"
 
 namespace tero::ocr {
@@ -18,10 +19,18 @@ struct PreprocessConfig {
 /// always the foreground minority.
 [[nodiscard]] image::GrayImage preprocess(const image::GrayImage& crop,
                                           const PreprocessConfig& config = {});
+/// Arena-backed fast path: every intermediate (and the result) lives in
+/// `arena`, so the hot loop performs no global allocation. The returned
+/// image is valid until the enclosing Arena::Frame ends.
+[[nodiscard]] image::GrayImage preprocess(const image::GrayImage& crop,
+                                          const PreprocessConfig& config,
+                                          image::Arena& arena);
 
 /// The "reprocessing" variant (App. E step 4): binarize only, with no
 /// up-scaling/blur/morphology. Used when the engines' outputs were
 /// ambiguous after full pre-processing.
 [[nodiscard]] image::GrayImage preprocess_minimal(const image::GrayImage& crop);
+[[nodiscard]] image::GrayImage preprocess_minimal(const image::GrayImage& crop,
+                                                  image::Arena& arena);
 
 }  // namespace tero::ocr
