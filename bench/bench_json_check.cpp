@@ -1,6 +1,9 @@
 // Validate BENCH_*.json perf-reporter artifacts with obs::json — the CI
 // bench-smoke gate (scripts/ci.sh): a reporter that emits unparseable JSON
-// fails loudly here instead of rotting silently.
+// fails loudly here instead of rotting silently. Files ending in .prom are
+// checked against the Prometheus text exposition format instead
+// (obs::validate_prom_text — the obs-smoke gate runs it over `tero_cli obs
+// export --prom` output).
 
 #include <fstream>
 #include <iostream>
@@ -8,10 +11,21 @@
 #include <string>
 
 #include "obs/json.hpp"
+#include "obs/prom.hpp"
+
+namespace {
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::cerr << "usage: bench_json_check <file.json>...\n";
+    std::cerr << "usage: bench_json_check <file.json|file.prom>...\n";
     return 2;
   }
   int failures = 0;
@@ -24,6 +38,21 @@ int main(int argc, char** argv) {
     }
     std::ostringstream text;
     text << input.rdbuf();
+    if (ends_with(argv[i], ".prom")) {
+      if (text.str().empty()) {
+        std::cerr << argv[i] << ": empty exposition\n";
+        ++failures;
+        continue;
+      }
+      const std::string problem = tero::obs::validate_prom_text(text.str());
+      if (!problem.empty()) {
+        std::cerr << argv[i] << ": invalid exposition: " << problem << "\n";
+        ++failures;
+        continue;
+      }
+      std::cout << argv[i] << ": ok (prometheus text)\n";
+      continue;
+    }
     try {
       const auto value = tero::obs::parse_json(text.str());
       if (!value.is_object() || value.object.empty()) {

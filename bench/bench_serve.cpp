@@ -7,6 +7,8 @@
 //
 // --tiny shrinks the world and query counts to CI-smoke scale (~1 s).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -16,6 +18,8 @@
 
 #include "bench/common.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeline.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/service.hpp"
 #include "synth/sessions.hpp"
@@ -172,6 +176,82 @@ int main(int argc, char** argv) {
               ", served p99 " +
               util::fmt_double(overload.p99_ms * 1e3, 1) + " us");
 
+  // ---- obs: virtual-time scrape overhead + SLO verdicts --------------------
+  // The timeline scrapes happen inside run_loadtest's *serial* replay (after
+  // the parallel fan-out), so the honest overhead number times the whole
+  // call — scrape-on vs scrape-off, identical load either way. The arms run
+  // interleaved (off, on, off, on, ...) and we keep each arm's minimum:
+  // back-to-back pairs see the same machine state, so frequency/cache drift
+  // cancels instead of landing entirely on whichever arm ran second. The
+  // acceptance budget is 5% (recorded in the JSON for the CI trend).
+  bench::header("serve: obs timeline overhead (scrape on vs off)");
+  const std::size_t obs_queries = queries / 2;
+  std::size_t obs_snapshots = 0;
+  std::vector<obs::SloStatus> obs_slos;
+  std::size_t obs_alerts = 0;
+  bool obs_captured = false;
+  const auto obs_arm = [&](bool scrape) {
+    obs::MetricsRegistry obs_registry;
+    obs::TimelineConfig timeline_config;
+    timeline_config.prefixes = {"tero.loadgen."};
+    obs::MetricsTimeline timeline(obs_registry, timeline_config);
+    obs::SloTracker tracker;
+    tracker.add(
+        "slo latency: p99(tero.loadgen.latency_ms) < 15ms over 10s "
+        "window, budget 5%");
+    tracker.add(
+        "slo degraded: rate(tero.loadgen.unavailable) < 1 over 10s "
+        "window, budget 1%");
+    tracker.attach(timeline);
+    serve::ServeConfig obs_config;
+    obs_config.shards = 4;
+    serve::QueryService obs_service(obs_config);
+    obs_service.publish(std::vector<serve::SnapshotEntry>(entries));
+    serve::LoadGenConfig obs_load;
+    obs_load.queries = obs_queries;
+    obs_load.threads = hw;
+    obs_load.seed = 99;
+    obs_load.metrics = &obs_registry;  // both arms pay for the counters...
+    obs_load.exemplar_seed = 99;
+    if (scrape) obs_load.timeline = &timeline;  // ...only one scrapes
+    util::ThreadPool obs_pool(hw);
+    const auto start = std::chrono::steady_clock::now();
+    (void)serve::run_loadtest(obs_service, obs_load,
+                              hw > 1 ? &obs_pool : nullptr);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    if (scrape && !obs_captured) {
+      obs_snapshots = timeline.snapshot_count();
+      obs_slos = tracker.status();
+      obs_alerts = tracker.alerts().size();
+      obs_captured = true;
+    }
+    return ms;
+  };
+  double scrape_off_ms = 0.0;
+  double scrape_on_ms = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    const double off = obs_arm(false);
+    const double on = obs_arm(true);
+    scrape_off_ms = rep == 0 ? off : std::min(scrape_off_ms, off);
+    scrape_on_ms = rep == 0 ? on : std::min(scrape_on_ms, on);
+  }
+  const double scrape_overhead =
+      scrape_off_ms > 0.0 ? (scrape_on_ms - scrape_off_ms) / scrape_off_ms
+                          : 0.0;
+  bench::note("scrape off " + util::fmt_double(scrape_off_ms, 1) +
+              " ms, on " + util::fmt_double(scrape_on_ms, 1) + " ms -> " +
+              util::fmt_percent(scrape_overhead, 1) + " overhead (budget 5%), " +
+              std::to_string(obs_snapshots) + " snapshots, " +
+              std::to_string(obs_alerts) + " alert(s)");
+  for (const auto& slo : obs_slos) {
+    bench::note("  slo " + slo.slo + ": measured " +
+                util::fmt_double(slo.measured, 2) + ", burn slow " +
+                util::fmt_double(slo.burn_slow, 2) +
+                (slo.firing ? " FIRING" : " ok"));
+  }
+
   // ---- machine-readable report --------------------------------------------
   std::ofstream out("BENCH_serve.json");
   out << "{\n  \"closed_loop\": [\n";
@@ -192,7 +272,22 @@ int main(int argc, char** argv) {
   out << "  \"overload\": {\"offered_qps\": " << offered_qps
       << ", \"admission_qps\": " << config.admission_rate_qps
       << ", \"shed_fraction\": " << shed_fraction
-      << ", \"served_p99_ms\": " << overload.p99_ms << "}\n";
+      << ", \"served_p99_ms\": " << overload.p99_ms << "},\n";
+  out << "  \"obs\": {\"scrape_off_ms\": " << scrape_off_ms
+      << ", \"scrape_on_ms\": " << scrape_on_ms
+      << ", \"overhead_fraction\": " << scrape_overhead
+      << ", \"overhead_budget\": 0.05"
+      << ", \"snapshots\": " << obs_snapshots
+      << ", \"alerts\": " << obs_alerts << ", \"slos\": [";
+  for (std::size_t i = 0; i < obs_slos.size(); ++i) {
+    const auto& slo = obs_slos[i];
+    out << (i > 0 ? ", " : "") << "{\"slo\": \"" << slo.slo
+        << "\", \"measured\": " << slo.measured
+        << ", \"burn_fast\": " << slo.burn_fast
+        << ", \"burn_slow\": " << slo.burn_slow << ", \"firing\": "
+        << (slo.firing ? "true" : "false") << "}";
+  }
+  out << "]}\n";
   out << "}\n";
   bench::note("wrote BENCH_serve.json");
   return 0;

@@ -20,6 +20,8 @@
 
 #include "bench/common.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeline.hpp"
 #include "serve/service.hpp"
 #include "serve/snapshot_io.hpp"
 #include "stream/pipeline.hpp"
@@ -157,6 +159,48 @@ int main(int argc, char** argv) {
               std::to_string(slow_config.channel_capacity) +
               " (bounded memory regardless of sink speed)");
 
+  // ---- obs: event-time timeline + SLO verdicts ------------------------------
+  // The sink advances the timeline past each event's virtual arrival time
+  // (DESIGN.md §13), so the scraped history covers the multi-day event-time
+  // horizon — this run exercises ring downsampling (interval doubling) and
+  // records the SLO verdicts the scraper produced.
+  bench::header("stream: obs timeline + SLO verdicts (virtual event time)");
+  obs::MetricsRegistry obs_registry;
+  obs::TimelineConfig timeline_config;
+  timeline_config.scrape_every_ms = 60'000;  // one virtual minute
+  timeline_config.prefixes = {
+      "tero.stream.events",      "tero.stream.late",
+      "tero.stream.windows_closed", "tero.stream.checkpoints",
+      "tero.stream.epochs",      "tero.stream.watermark",
+  };
+  obs::MetricsTimeline timeline(obs_registry, timeline_config);
+  obs::SloTracker tracker;
+  tracker.add(
+      "slo late: rate(tero.stream.late) < 1 over 3600s window, budget 10%");
+  tracker.add(
+      "slo windows: rate(tero.stream.windows_closed) < 1 over 3600s window, "
+      "budget 50%");
+  tracker.attach(timeline);
+  stream::StreamConfig obs_config;
+  obs_config.tero = bench::fast_pipeline(11);
+  obs_config.tero.threads = hw >= 4 ? 4 : hw;
+  obs_config.tero.metrics = &obs_registry;
+  obs_config.timeline = &timeline;
+  stream::StreamPipeline obs_pipeline(obs_config);
+  const stream::StreamResult obs_run = obs_pipeline.run(world, streams);
+  const auto obs_slos = tracker.status();
+  bench::note(std::to_string(timeline.snapshot_count()) + " snapshots @ " +
+              std::to_string(timeline.scrape_interval_ms()) +
+              " ms virtual interval (downsampled from 60000 ms), " +
+              std::to_string(obs_run.events) + " events, " +
+              std::to_string(tracker.alerts().size()) + " alert event(s)");
+  for (const auto& slo : obs_slos) {
+    bench::note("  slo " + slo.slo + ": measured " +
+                util::fmt_double(slo.measured, 4) + ", burn slow " +
+                util::fmt_double(slo.burn_slow, 2) +
+                (slo.firing ? " FIRING" : " ok"));
+  }
+
   // ---- machine-readable report ----------------------------------------------
   std::ofstream out("BENCH_stream.json");
   out << "{\n  \"batch\": {\"wall_s\": " << batch_wall_s
@@ -179,7 +223,19 @@ int main(int argc, char** argv) {
   out << "  ],\n";
   out << "  \"backpressure\": {\"stalls\": " << slow_stalls
       << ", \"peak_depth\": " << slow_peak
-      << ", \"capacity\": " << slow_config.channel_capacity << "}\n";
+      << ", \"capacity\": " << slow_config.channel_capacity << "},\n";
+  out << "  \"obs\": {\"snapshots\": " << timeline.snapshot_count()
+      << ", \"scrape_interval_ms\": " << timeline.scrape_interval_ms()
+      << ", \"alerts\": " << tracker.alerts().size() << ", \"slos\": [";
+  for (std::size_t i = 0; i < obs_slos.size(); ++i) {
+    const auto& slo = obs_slos[i];
+    out << (i > 0 ? ", " : "") << "{\"slo\": \"" << slo.slo
+        << "\", \"measured\": " << slo.measured
+        << ", \"burn_fast\": " << slo.burn_fast
+        << ", \"burn_slow\": " << slo.burn_slow << ", \"firing\": "
+        << (slo.firing ? "true" : "false") << "}";
+  }
+  out << "]}\n";
   out << "}\n";
   bench::note("wrote BENCH_stream.json");
 

@@ -42,6 +42,20 @@
 //       same --checkpoint-dir resumes and produces bit-identical output.
 //       With --publish-every 0 the --snapshot-out file is byte-identical
 //       to `simulate --snapshot-out` for the same scenario.
+//
+//   tero_cli obs <report|export> [streamers] [days] [queries] [threads]
+//       one-command observability demo (DESIGN.md §13): build a world,
+//       publish its snapshot, and drive the deterministic load generator
+//       with a virtual-time metrics timeline, SLO burn-rate tracking, and
+//       exemplar-armed histograms. `report` prints the timeline series,
+//       the SLO burn table, and the p99-bucket exemplar -> span links;
+//       `export` writes Prometheus text (--prom), the timeline history
+//       JSON (--json, bit-identical across thread counts at a fixed
+//       seed), and the SLO alert log (--slo).
+//
+// The observability flags --metrics-out / --trace-out / --metrics-table
+// are shared: simulate, loadtest, stream, chaos, and obs all accept them
+// with the same spelling and semantics (see ObsFlags below).
 
 #include <cstdio>
 #include <fstream>
@@ -57,6 +71,9 @@
 #include "fault/fault.hpp"
 #include "fault/policy.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prom.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "serve/loadgen.hpp"
 #include "serve/service.hpp"
@@ -78,8 +95,8 @@ namespace {
 /// Printed on --help (stdout, exit 0) and on unknown commands/flags
 /// (stderr, nonzero exit).
 constexpr const char* kUsage =
-    "usage: tero_cli <simulate|analyze|report|query|loadtest|stream|chaos>"
-    " ...\n"
+    "usage: tero_cli <simulate|analyze|report|query|loadtest|stream|chaos"
+    "|obs> ...\n"
     "\n"
     "  simulate [out_dir] [streamers] [days] [threads]\n"
     "           [--snapshot-out snap.bin] [--metrics-out m.json]\n"
@@ -103,7 +120,11 @@ constexpr const char* kUsage =
     "\n"
     "  loadtest <snapshot> [queries] [threads] [shards]\n"
     "           [--seed n] [--zipf s] [--open qps] [--admit rate burst]\n"
-    "      deterministic Zipf load against the sharded query service\n"
+    "           [--metrics-out m.json] [--trace-out t.json]\n"
+    "           [--metrics-table]\n"
+    "      deterministic Zipf load against the sharded query service;\n"
+    "      the obs flags dump the loadgen-owned tero.loadgen.* telemetry\n"
+    "      (deterministic synthetic latency, exemplars keyed by query id)\n"
     "\n"
     "  stream   [streamers] [days] [threads]\n"
     "           [--window seconds] [--lateness seconds] [--publish-every n]\n"
@@ -111,7 +132,7 @@ constexpr const char* kUsage =
     "           [--crash-after id] [--max-delay seconds] [--rate qps]\n"
     "           [--burst n] [--capacity n] [--snapshot-out snap.bin]\n"
     "           [--metrics-out m.json] [--trace-out t.json]\n"
-    "           [--metrics-table]\n"
+    "           [--metrics-table] [--timeline-out tl.json]\n"
     "      run the streaming ingestion pipeline over the same scenario;\n"
     "      windows fold into live epochs, checkpoints enable crash\n"
     "      recovery (--crash-after simulates the crash), and\n"
@@ -120,6 +141,8 @@ constexpr const char* kUsage =
     "      scalar extraction kernels (bit-identical output, DESIGN.md §12)\n"
     "\n"
     "  chaos    [seeds] [streamers] [days] [--plan spec] [--threads n]\n"
+    "           [--metrics-out m.json] [--trace-out t.json]\n"
+    "           [--metrics-table]\n"
     "      deterministic chaos harness (DESIGN.md §11): per seed, runs the\n"
     "      batch pipeline under a transient FaultPlan (default\n"
     "      extract.stream=error@0.4:fails=2) and asserts the dataset is\n"
@@ -129,7 +152,25 @@ constexpr const char* kUsage =
     "      shard to exercise STALE degraded answers and the circuit\n"
     "      breaker; exits nonzero when any invariant is violated; honors\n"
     "      TERO_SIMD=off (scalar kernels) — every invariant must hold\n"
-    "      identically on both dispatch paths\n"
+    "      identically on both dispatch paths; the serve-shard flap is\n"
+    "      additionally gated by an SLO: a burn-rate alert on\n"
+    "      value(tero.fault.breaker{endpoint=shard-0}) must fire within\n"
+    "      one evaluation window of the breaker opening (DESIGN.md §13)\n"
+    "\n"
+    "  obs      <report|export> [streamers] [days] [queries] [threads]\n"
+    "           [--seed n] [--open qps] [--spec \"slo ...\"]...\n"
+    "           [--prom f.prom] [--json f.json] [--slo f.json]\n"
+    "           [--metrics-out m.json] [--trace-out t.json]\n"
+    "           [--metrics-table]\n"
+    "      one-command observability demo: publish a world's snapshot and\n"
+    "      drive the deterministic load generator with a virtual-time\n"
+    "      metrics timeline, SLO burn-rate tracking (--spec adds SLOs in\n"
+    "      the grammar `slo name: p99(series) < 5ms over 60s window,\n"
+    "      budget 0.1%`), and exemplar-armed histograms. `report` prints\n"
+    "      timeline series, the SLO burn table, and p99-bucket exemplar\n"
+    "      -> span links; `export` writes Prometheus text (--prom), the\n"
+    "      timeline history JSON (--json; byte-identical across thread\n"
+    "      counts at a fixed seed), and the SLO alert log (--slo)\n"
     "\n"
     "  tero_cli --help prints this text; unknown flags exit nonzero.\n";
 
@@ -142,32 +183,87 @@ int unknown_flag(const std::string& command, const std::string& arg) {
   return 2;
 }
 
+/// The observability flags every telemetry-capable subcommand shares
+/// (simulate, loadtest, stream, chaos, obs): one spelling, one parser, one
+/// writer, so `--metrics-out` means the same thing everywhere.
+struct ObsFlags {
+  std::string metrics_out;  ///< registry JSON dump
+  std::string trace_out;    ///< Chrome trace-event JSON
+  bool metrics_table = false;  ///< registry table on stdout
+};
+
+/// Try to consume argv[i] (plus its value, if any) as a shared obs flag.
+/// Returns the number of argv slots consumed (0 = not an obs flag), or -1
+/// when the flag is present but its file argument is missing (the error is
+/// already printed).
+int eat_obs_flag(int argc, char** argv, int i, ObsFlags& flags) {
+  const std::string arg = argv[i];
+  if (arg == "--metrics-out" || arg == "--trace-out") {
+    if (i + 1 >= argc) {
+      std::cerr << arg << " needs a file argument\n";
+      return -1;
+    }
+    (arg == "--metrics-out" ? flags.metrics_out : flags.trace_out) =
+        argv[i + 1];
+    return 2;
+  }
+  if (arg == "--metrics-table") {
+    flags.metrics_table = true;
+    return 1;
+  }
+  return 0;
+}
+
+/// Emit the outputs the shared flags requested. Returns nonzero on I/O
+/// failure (missing output directory, unwritable file).
+int write_obs_outputs(const ObsFlags& flags,
+                      const obs::MetricsRegistry& registry,
+                      const obs::TraceRecorder& recorder) {
+  if (!flags.metrics_out.empty()) {
+    std::ofstream out(flags.metrics_out);
+    if (!out) {
+      std::cerr << "cannot open " << flags.metrics_out << "\n";
+      return 1;
+    }
+    registry.write_json(out);
+    std::cout << "wrote " << registry.size() << " metrics to "
+              << flags.metrics_out << "\n";
+  }
+  if (flags.metrics_table) registry.write_table(std::cout);
+  if (!flags.trace_out.empty()) {
+    std::ofstream out(flags.trace_out);
+    if (!out) {
+      std::cerr << "cannot open " << flags.trace_out << "\n";
+      return 1;
+    }
+    recorder.write_json(out);
+    std::cout << "wrote " << recorder.span_count() << " trace events to "
+              << flags.trace_out << "\n";
+  }
+  return 0;
+}
+
 int cmd_simulate(int argc, char** argv) {
   // Split --flags (accepted anywhere) from the positional arguments.
-  std::string metrics_out;
-  std::string trace_out;
+  ObsFlags obs_flags;
   std::string snapshot_out;
-  bool metrics_table = false;
   bool full_ocr = false;
   bool print_digest = false;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--metrics-out" || arg == "--trace-out" ||
-        arg == "--snapshot-out") {
+    if (const int eaten = eat_obs_flag(argc, argv, i, obs_flags);
+        eaten != 0) {
+      if (eaten < 0) return 1;
+      i += eaten - 1;
+      continue;
+    }
+    if (arg == "--snapshot-out") {
       if (i + 1 >= argc) {
         std::cerr << arg << " needs a file argument\n";
         return 1;
       }
-      if (arg == "--metrics-out") {
-        metrics_out = argv[++i];
-      } else if (arg == "--trace-out") {
-        trace_out = argv[++i];
-      } else {
-        snapshot_out = argv[++i];
-      }
-    } else if (arg == "--metrics-table") {
-      metrics_table = true;
+      snapshot_out = argv[++i];
     } else if (arg == "--full-ocr") {
       full_ocr = true;
     } else if (arg == "--digest") {
@@ -206,11 +302,12 @@ int cmd_simulate(int argc, char** argv) {
 
   // Observability sinks are created only when requested; the pipeline takes
   // raw pointers and never reads them back (output is identical either way).
-  const bool want_metrics = !metrics_out.empty() || metrics_table;
+  const bool want_metrics =
+      !obs_flags.metrics_out.empty() || obs_flags.metrics_table;
   obs::MetricsRegistry registry;
   obs::TraceRecorder recorder;
   if (want_metrics) config.metrics = &registry;
-  if (!trace_out.empty()) config.trace = &recorder;
+  if (!obs_flags.trace_out.empty()) config.trace = &recorder;
 
   // --snapshot-out: attach the serving layer's publish hook so the run ends
   // with an atomically published snapshot epoch, then persist that epoch.
@@ -259,28 +356,7 @@ int cmd_simulate(int argc, char** argv) {
               << snapshot->size() << " entries) to " << snapshot_out << "\n";
   }
 
-  if (!metrics_out.empty()) {
-    std::ofstream out(metrics_out);
-    if (!out) {
-      std::cerr << "cannot open " << metrics_out << "\n";
-      return 1;
-    }
-    registry.write_json(out);
-    std::cout << "wrote " << registry.size() << " metrics to " << metrics_out
-              << "\n";
-  }
-  if (metrics_table) registry.write_table(std::cout);
-  if (!trace_out.empty()) {
-    std::ofstream out(trace_out);
-    if (!out) {
-      std::cerr << "cannot open " << trace_out << "\n";
-      return 1;
-    }
-    recorder.write_json(out);
-    std::cout << "wrote " << recorder.span_count() << " trace events to "
-              << trace_out << "\n";
-  }
-  return 0;
+  return write_obs_outputs(obs_flags, registry, recorder);
 }
 
 int cmd_analyze(int argc, char** argv) {
@@ -468,9 +544,16 @@ int cmd_query(int argc, char** argv) {
 int cmd_loadtest(int argc, char** argv) {
   serve::LoadGenConfig load;
   serve::ServeConfig serve_config;
+  ObsFlags obs_flags;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (const int eaten = eat_obs_flag(argc, argv, i, obs_flags);
+        eaten != 0) {
+      if (eaten < 0) return 1;
+      i += eaten - 1;
+      continue;
+    }
     if (arg == "--seed" || arg == "--zipf" || arg == "--open") {
       if (i + 1 >= argc) {
         std::cerr << arg << " needs a value\n";
@@ -517,9 +600,25 @@ int cmd_loadtest(int argc, char** argv) {
   }
 
   obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder;
   serve_config.metrics = &registry;
+  if (!obs_flags.trace_out.empty()) {
+    serve_config.trace = &recorder;
+    // Tracing implies exemplar capture: query spans and the latency
+    // histogram's exemplars share the same span ids (query index + 1).
+    serve_config.exemplar_seed = load.seed;
+  }
   serve::QueryService service(serve_config);
   service.publish(snapshot);
+
+  // The loadgen-owned telemetry (tero.loadgen.* counters, deterministic
+  // synthetic latency histogram) is recorded whenever any obs output was
+  // requested; the loadtest's printed report is unchanged either way.
+  if (!obs_flags.metrics_out.empty() || obs_flags.metrics_table ||
+      !obs_flags.trace_out.empty()) {
+    load.metrics = &registry;
+    load.exemplar_seed = load.seed;
+  }
 
   const std::size_t threads = util::ThreadPool::resolve(load.threads);
   util::ThreadPool pool(threads);
@@ -552,24 +651,29 @@ int cmd_loadtest(int argc, char** argv) {
   std::cout << "  result checksum " << checksum
             << " (seed " << load.seed
             << "; identical for any thread count)\n";
-  return 0;
+  return write_obs_outputs(obs_flags, registry, recorder);
 }
 
 int cmd_stream(int argc, char** argv) {
   stream::StreamConfig config;
-  std::string metrics_out;
-  std::string trace_out;
+  ObsFlags obs_flags;
   std::string snapshot_out;
-  bool metrics_table = false;
+  std::string timeline_out;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (const int eaten = eat_obs_flag(argc, argv, i, obs_flags);
+        eaten != 0) {
+      if (eaten < 0) return 1;
+      i += eaten - 1;
+      continue;
+    }
     const bool takes_value =
         arg == "--window" || arg == "--lateness" || arg == "--publish-every" ||
         arg == "--checkpoint-dir" || arg == "--checkpoint-every" ||
         arg == "--crash-after" || arg == "--max-delay" || arg == "--rate" ||
         arg == "--burst" || arg == "--capacity" || arg == "--snapshot-out" ||
-        arg == "--metrics-out" || arg == "--trace-out";
+        arg == "--timeline-out";
     if (takes_value) {
       if (i + 1 >= argc) {
         std::cerr << arg << " needs a value\n";
@@ -602,13 +706,9 @@ int cmd_stream(int argc, char** argv) {
             static_cast<std::size_t>(std::atoi(value.c_str()));
       } else if (arg == "--snapshot-out") {
         snapshot_out = value;
-      } else if (arg == "--metrics-out") {
-        metrics_out = value;
       } else {
-        trace_out = value;
+        timeline_out = value;
       }
-    } else if (arg == "--metrics-table") {
-      metrics_table = true;
     } else if (arg.rfind("--", 0) == 0) {
       return unknown_flag("stream", arg);
     } else {
@@ -646,11 +746,27 @@ int cmd_stream(int argc, char** argv) {
   synth::SessionGenerator generator(world, behavior, 2);
   const auto streams = generator.generate();
 
-  const bool want_metrics = !metrics_out.empty() || metrics_table;
+  const bool want_metrics = !obs_flags.metrics_out.empty() ||
+                            obs_flags.metrics_table || !timeline_out.empty();
   obs::MetricsRegistry registry;
   obs::TraceRecorder recorder;
   if (want_metrics) config.tero.metrics = &registry;
-  if (!trace_out.empty()) config.tero.trace = &recorder;
+  if (!obs_flags.trace_out.empty()) config.tero.trace = &recorder;
+
+  // --timeline-out: scrape the sink-owned tero.stream.* series on the
+  // event-time virtual clock (the sink advances the timeline past each
+  // arrival, DESIGN.md §13). Only sink-written series are scraped — queue
+  // depths and backpressure stalls are written by other stages and their
+  // values at a scrape boundary depend on thread interleaving.
+  obs::TimelineConfig timeline_config;
+  timeline_config.scrape_every_ms = 60'000;  // one virtual minute
+  timeline_config.prefixes = {
+      "tero.stream.events",      "tero.stream.late",
+      "tero.stream.windows_closed", "tero.stream.checkpoints",
+      "tero.stream.epochs",      "tero.stream.watermark",
+  };
+  obs::MetricsTimeline timeline(registry, timeline_config);
+  if (!timeline_out.empty()) config.timeline = &timeline;
 
   serve::ServeConfig serve_config;
   serve_config.metrics = config.tero.metrics;
@@ -675,12 +791,26 @@ int cmd_stream(int argc, char** argv) {
             << " (extract " << result.to_extract.stalls << ", clean "
             << result.to_clean.stalls << ", sink " << result.to_sink.stalls
             << "), download throttled " << result.download_throttled << "\n";
+  // The timeline is flushed by the pipeline even on a crashed run, so the
+  // partial history is written either way.
+  const auto write_timeline = [&]() -> int {
+    if (timeline_out.empty()) return 0;
+    std::ofstream out(timeline_out);
+    if (!out) {
+      std::cerr << "cannot open " << timeline_out << "\n";
+      return 1;
+    }
+    timeline.write_json(out);
+    std::cout << "wrote " << timeline.snapshot_count()
+              << " timeline snapshots to " << timeline_out << "\n";
+    return 0;
+  };
   if (result.crashed) {
     std::cout << "crashed after checkpoint "
               << pipeline.config().crash_after
               << " (fault injection); rerun with the same --checkpoint-dir "
                  "to resume\n";
-    return 0;
+    return write_timeline();
   }
   std::cout << "final epoch " << result.final_epoch << ": "
             << result.final_entries.size() << " {location, game} entries, "
@@ -697,36 +827,23 @@ int cmd_stream(int argc, char** argv) {
     std::cout << "wrote snapshot epoch " << snapshot.epoch() << " ("
               << snapshot.size() << " entries) to " << snapshot_out << "\n";
   }
-  if (!metrics_out.empty()) {
-    std::ofstream out(metrics_out);
-    if (!out) {
-      std::cerr << "cannot open " << metrics_out << "\n";
-      return 1;
-    }
-    registry.write_json(out);
-    std::cout << "wrote " << registry.size() << " metrics to " << metrics_out
-              << "\n";
-  }
-  if (metrics_table) registry.write_table(std::cout);
-  if (!trace_out.empty()) {
-    std::ofstream out(trace_out);
-    if (!out) {
-      std::cerr << "cannot open " << trace_out << "\n";
-      return 1;
-    }
-    recorder.write_json(out);
-    std::cout << "wrote " << recorder.span_count() << " trace events to "
-              << trace_out << "\n";
-  }
-  return 0;
+  if (const int rc = write_timeline(); rc != 0) return rc;
+  return write_obs_outputs(obs_flags, registry, recorder);
 }
 
 int cmd_chaos(int argc, char** argv) {
   std::string plan_spec = "extract.stream=error@0.4:fails=2";
   std::size_t threads = 0;
+  ObsFlags obs_flags;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (const int eaten = eat_obs_flag(argc, argv, i, obs_flags);
+        eaten != 0) {
+      if (eaten < 0) return 1;
+      i += eaten - 1;
+      continue;
+    }
     if (arg == "--plan" || arg == "--threads") {
       if (i + 1 >= argc) {
         std::cerr << arg << " needs a value\n";
@@ -905,11 +1022,31 @@ int cmd_chaos(int argc, char** argv) {
     config.threads = threads;
     const core::Dataset dataset = core::Pipeline(config).run(world, streams);
 
+    // SLO gate (DESIGN.md §13): the breaker's state gauge
+    // tero.fault.breaker{endpoint=shard-0} is scraped on the same virtual
+    // clock that drives the flap, and a multi-window burn-rate alert on
+    // `value(...) < 1` must fire within one evaluation window of the
+    // breaker opening. The gauge exists from service construction (the
+    // breaker writes its initial closed state), so the SLO never reads an
+    // absent series.
+    obs::MetricsRegistry registry;
+    obs::TimelineConfig timeline_config;
+    timeline_config.scrape_every_ms = 1000;
+    timeline_config.prefixes = {"tero.fault.breaker"};
+    obs::MetricsTimeline timeline(registry, timeline_config);
+    obs::SloTracker tracker;
+    const std::string breaker_slo = tracker.add(
+        "slo breaker: value(tero.fault.breaker{endpoint=shard-0}) < 1 "
+        "over 10s window, budget 1%");
+    tracker.attach(timeline);
+    constexpr std::uint64_t kSloWindowMs = 10'000;
+
     fault::FaultInjector injector(
         fault::FaultPlan::parse("serve.shard-0=error@1:max=7"));
     serve::ServeConfig serve_config;
     serve_config.shards = 1;
     serve_config.injector = &injector;
+    serve_config.metrics = &registry;
     serve::QueryService service(serve_config);
     const auto hook = serve::publish_hook(service);
     hook(dataset);  // epoch 1
@@ -933,7 +1070,10 @@ int cmd_chaos(int argc, char** argv) {
 
       std::size_t stale_seen = 0;
       // Five failures trip the default breaker (failure_threshold = 5)...
+      // (each query advances the SLO timeline to its virtual arrival time
+      // first, so scrapes see the state as of the previous event).
       for (int i = 0; i < 5; ++i) {
+        timeline.advance_to(static_cast<std::uint64_t>(100 * i));
         const auto r = service.query_admitted(query, /*now_s=*/0.1 * i);
         check(r.stale && r.stale_age == 1,
               "serve: faulted shard did not answer STALE{1}");
@@ -944,23 +1084,54 @@ int cmd_chaos(int argc, char** argv) {
       // ...so this one is rejected by the open breaker (still degraded,
       // but the fault point is not even consulted).
       const std::uint64_t fired_before = injector.total_fired();
+      timeline.advance_to(5'000);
       const auto rejected = service.query_admitted(query, 5.0);
       check(rejected.stale, "serve: open breaker did not degrade");
       check(injector.total_fired() == fired_before,
             "serve: open breaker consulted the fault point");
       // Two half-open probes still hit injected errors (fires 6 and 7)...
+      timeline.advance_to(40'000);
       (void)service.query_admitted(query, 40.0);
+      timeline.advance_to(80'000);
       (void)service.query_admitted(query, 80.0);
       // ...then the plan's max=7 is exhausted: two successful probes close
       // the breaker and answers are fresh again.
+      timeline.advance_to(120'000);
       (void)service.query_admitted(query, 120.0);
+      timeline.advance_to(121'000);
       const auto closed = service.query_admitted(query, 121.0);
+      timeline.advance_to(122'000);
       const auto recovered = service.query_admitted(query, 122.0);
       check(!recovered.stale && recovered.status == fresh.status &&
                 recovered.value == fresh.value && !closed.stale,
             "serve: shard did not recover after the fault plan drained");
+      timeline.flush(122'000);
+
+      // The breaker opened at t = 0.4 s; the burn-rate alert must exist
+      // and must have fired within one evaluation window of that.
+      check(tracker.fired(breaker_slo),
+            "serve: breaker flap fired no SLO burn-rate alert");
+      std::uint64_t first_fire_ms = 0;
+      for (const auto& alert : tracker.alerts()) {
+        if (alert.firing) {
+          first_fire_ms = alert.t_ms;
+          break;
+        }
+      }
+      check(first_fire_ms > 0 && first_fire_ms <= 400 + kSloWindowMs,
+            "serve: SLO alert fired later than one window after the flap");
       std::cout << "  serve: " << stale_seen
-                << " STALE answers while flapping, fresh after recovery\n";
+                << " STALE answers while flapping, fresh after recovery; "
+                << "slo '" << breaker_slo << "' fired at t=" << first_fire_ms
+                << " ms\n";
+    }
+
+    // Shared obs flags dump the phase's registry (breaker gauge, serve
+    // telemetry); the trace output is empty unless future phases record.
+    obs::TraceRecorder recorder;
+    if (const int rc = write_obs_outputs(obs_flags, registry, recorder);
+        rc != 0) {
+      return rc;
     }
 
     // No previous epoch: degraded mode has nothing to serve from, so the
@@ -986,6 +1157,283 @@ int cmd_chaos(int argc, char** argv) {
   return 0;
 }
 
+/// The self-contained scenario behind `obs report` / `obs export`: build a
+/// world, run the batch pipeline with its publish hook, then drive the
+/// deterministic load generator with the full telemetry stack armed —
+/// registry, virtual-time timeline (tero.loadgen.* only, the deterministic
+/// series), SLO tracker riding the scrape hook, and exemplar-armed
+/// histograms keyed by query id.
+struct ObsScenario {
+  std::size_t streamers = 60;
+  int days = 2;
+  std::size_t queries = 20000;
+  std::size_t threads = 0;
+  std::uint64_t seed = 42;
+  double open_qps = 0.0;
+  std::vector<std::string> specs;  ///< SLO spec strings (--spec)
+};
+
+/// Window the report's rates/quantiles and the default SLOs use.
+constexpr std::uint64_t kObsWindowMs = 10'000;
+
+std::vector<std::string> default_obs_specs() {
+  return {
+      "slo latency: p99(tero.loadgen.latency_ms) < 15ms over 10s window, "
+      "budget 5%",
+      "slo degraded: rate(tero.loadgen.unavailable) < 1 over 10s window, "
+      "budget 1%",
+  };
+}
+
+int run_obs_scenario(const ObsScenario& opt, obs::MetricsRegistry& registry,
+                     obs::MetricsTimeline& timeline, obs::SloTracker& tracker,
+                     obs::TraceRecorder& recorder,
+                     serve::LoadTestReport& report) {
+  const std::vector<std::string> specs =
+      opt.specs.empty() ? default_obs_specs() : opt.specs;
+  for (const std::string& spec : specs) {
+    try {
+      tracker.add(spec);
+    } catch (const std::exception& error) {
+      std::cerr << "bad SLO spec \"" << spec << "\": " << error.what()
+                << "\n";
+      return 1;
+    }
+  }
+  tracker.attach(timeline);
+
+  synth::WorldConfig world_config;
+  world_config.seed = 1;
+  world_config.num_streamers = opt.streamers;
+  world_config.p_twitter = 0.8;
+  const synth::World world(world_config);
+  synth::BehaviorConfig behavior;
+  behavior.days = opt.days;
+  synth::SessionGenerator generator(world, behavior, 2);
+  const auto streams = generator.generate();
+
+  core::TeroConfig config;
+  config.threads = opt.threads;
+  config.metrics = &registry;
+  config.trace = &recorder;
+  serve::ServeConfig serve_config;
+  serve_config.metrics = &registry;
+  serve_config.trace = &recorder;
+  serve_config.exemplar_seed = opt.seed;  // arms tero.serve.query_ms
+  serve::QueryService service(serve_config);
+  config.on_dataset = serve::publish_hook(service);
+  (void)core::Pipeline(config).run(world, streams);
+  if (service.snapshot() == nullptr) {
+    std::cerr << "pipeline published no snapshot\n";
+    return 1;
+  }
+
+  serve::LoadGenConfig load;
+  load.queries = opt.queries;
+  load.threads = opt.threads;
+  load.seed = opt.seed;
+  load.offered_qps = opt.open_qps;
+  load.metrics = &registry;
+  load.timeline = &timeline;
+  load.exemplar_seed = opt.seed + 0x5eed;
+  const std::size_t threads = util::ThreadPool::resolve(opt.threads);
+  util::ThreadPool pool(threads);
+  report = serve::run_loadtest(service, load, threads > 1 ? &pool : nullptr);
+  return 0;
+}
+
+int cmd_obs(int argc, char** argv) {
+  const std::string mode = argc > 2 ? argv[2] : "";
+  if (mode != "report" && mode != "export") {
+    std::cerr << "usage: tero_cli obs <report|export> [streamers] [days] "
+                 "[queries] [threads]\n            [--seed n] [--open qps] "
+                 "[--spec \"slo ...\"]...\n            [--prom f.prom] "
+                 "[--json f.json] [--slo f.json]\n";
+    return mode.empty() ? 1 : 2;
+  }
+  ObsScenario opt;
+  ObsFlags obs_flags;
+  std::string prom_out;
+  std::string json_out;
+  std::string slo_out;
+  std::vector<std::string> positional;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (const int eaten = eat_obs_flag(argc, argv, i, obs_flags);
+        eaten != 0) {
+      if (eaten < 0) return 1;
+      i += eaten - 1;
+      continue;
+    }
+    if (arg == "--seed" || arg == "--open" || arg == "--spec" ||
+        arg == "--prom" || arg == "--json" || arg == "--slo") {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        return 1;
+      }
+      const std::string value = argv[++i];
+      if (arg == "--seed") {
+        opt.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+      } else if (arg == "--open") {
+        opt.open_qps = std::atof(value.c_str());
+      } else if (arg == "--spec") {
+        opt.specs.push_back(value);
+      } else if (arg == "--prom") {
+        prom_out = value;
+      } else if (arg == "--json") {
+        json_out = value;
+      } else {
+        slo_out = value;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      return unknown_flag("obs", arg);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (!positional.empty()) {
+    opt.streamers =
+        static_cast<std::size_t>(std::atoi(positional[0].c_str()));
+  }
+  if (positional.size() > 1) opt.days = std::atoi(positional[1].c_str());
+  if (positional.size() > 2) {
+    opt.queries = static_cast<std::size_t>(std::atoi(positional[2].c_str()));
+  }
+  if (positional.size() > 3) {
+    opt.threads = static_cast<std::size_t>(std::atoi(positional[3].c_str()));
+  }
+  if (mode == "export" && prom_out.empty() && json_out.empty() &&
+      slo_out.empty()) {
+    std::cerr << "obs export needs at least one of --prom/--json/--slo\n";
+    return 1;
+  }
+
+  obs::MetricsRegistry registry;
+  obs::TimelineConfig timeline_config;
+  timeline_config.prefixes = {"tero.loadgen."};
+  obs::MetricsTimeline timeline(registry, timeline_config);
+  obs::SloTracker tracker;
+  obs::TraceRecorder recorder;
+  serve::LoadTestReport report;
+  if (const int rc = run_obs_scenario(opt, registry, timeline, tracker,
+                                      recorder, report);
+      rc != 0) {
+    return rc;
+  }
+
+  // Re-emit every elected exemplar into the trace as an instant, so the
+  // metric -> span link is visible from the trace side too.
+  if (!obs_flags.trace_out.empty()) {
+    for (const auto& [name, hist] : registry.histograms()) {
+      for (const obs::Exemplar& exemplar : hist->exemplars()) {
+        if (exemplar.valid()) {
+          recorder.add_exemplar_instant(name, exemplar.span_id,
+                                        exemplar.value);
+        }
+      }
+    }
+  }
+
+  if (mode == "report") {
+    char checksum[32];
+    std::snprintf(checksum, sizeof(checksum), "%016llx",
+                  static_cast<unsigned long long>(report.checksum));
+    std::cout << "obs report: " << report.issued << " queries (seed "
+              << opt.seed << ", checksum " << checksum << "), "
+              << timeline.snapshot_count() << " timeline snapshots @ "
+              << timeline.scrape_interval_ms() << " ms\n";
+
+    // Timeline-derived view of the deterministic loadgen series.
+    util::Table series({"series", "total", "increase (10s)", "rate/s (10s)"});
+    for (const auto& [name, counter] : registry.counters()) {
+      if (name.rfind("tero.loadgen.", 0) != 0) continue;
+      series.add_row(
+          {name, std::to_string(timeline.counter_total(name)),
+           util::fmt_double(timeline.increase(name, kObsWindowMs), 0),
+           util::fmt_double(timeline.rate(name, kObsWindowMs), 1)});
+    }
+    series.print(std::cout);
+    std::cout << "latency (tero.loadgen.latency_ms, trailing 10s): p50 "
+              << util::fmt_double(
+                     timeline.quantile("tero.loadgen.latency_ms", 0.50,
+                                       kObsWindowMs),
+                     2)
+              << " / p90 "
+              << util::fmt_double(
+                     timeline.quantile("tero.loadgen.latency_ms", 0.90,
+                                       kObsWindowMs),
+                     2)
+              << " / p99 "
+              << util::fmt_double(
+                     timeline.quantile("tero.loadgen.latency_ms", 0.99,
+                                       kObsWindowMs),
+                     2)
+              << " ms\n";
+
+    tracker.write_table(std::cout);
+    std::cout << tracker.alerts().size() << " alert event(s) in the log\n";
+
+    // p99 bucket -> exemplar -> span: the "which request was that" jump.
+    for (const auto& [name, hist] : registry.histograms()) {
+      if (name != "tero.loadgen.latency_ms") continue;
+      const double p99 = hist->quantile(0.99);
+      const auto& bounds = hist->bounds();
+      const auto exemplars = hist->exemplars();
+      std::size_t p99_bucket = bounds.size();
+      for (std::size_t b = 0; b < bounds.size(); ++b) {
+        if (p99 <= bounds[b]) {
+          p99_bucket = b;
+          break;
+        }
+      }
+      std::cout << "exemplars (" << name << ", p99 "
+                << util::fmt_double(p99, 2) << " ms):\n";
+      for (std::size_t b = 0; b < exemplars.size(); ++b) {
+        if (!exemplars[b].valid()) continue;
+        const std::string le =
+            b < bounds.size() ? util::fmt_double(bounds[b], 2) : "+Inf";
+        std::cout << "  le " << le << ": "
+                  << util::fmt_double(exemplars[b].value, 3) << " ms -> span "
+                  << obs::format_span_id(exemplars[b].span_id)
+                  << (b == p99_bucket ? "   <- p99 bucket" : "") << "\n";
+      }
+    }
+  }
+
+  if (!prom_out.empty()) {
+    std::ofstream out(prom_out);
+    if (!out) {
+      std::cerr << "cannot open " << prom_out << "\n";
+      return 1;
+    }
+    obs::write_prom(registry, out);
+    std::cout << "wrote prometheus exposition (" << registry.size()
+              << " series) to " << prom_out << "\n";
+  }
+  if (!json_out.empty()) {
+    std::ofstream out(json_out);
+    if (!out) {
+      std::cerr << "cannot open " << json_out << "\n";
+      return 1;
+    }
+    timeline.write_json(out);
+    std::cout << "wrote " << timeline.snapshot_count()
+              << " timeline snapshots to " << json_out << "\n";
+  }
+  if (!slo_out.empty()) {
+    std::ofstream out(slo_out);
+    if (!out) {
+      std::cerr << "cannot open " << slo_out << "\n";
+      return 1;
+    }
+    tracker.write_json(out);
+    std::cout << "wrote " << tracker.size() << " slo(s), "
+              << tracker.alerts().size() << " alert event(s) to " << slo_out
+              << "\n";
+  }
+  return write_obs_outputs(obs_flags, registry, recorder);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -997,6 +1445,7 @@ int main(int argc, char** argv) {
   if (command == "loadtest") return cmd_loadtest(argc, argv);
   if (command == "stream") return cmd_stream(argc, argv);
   if (command == "chaos") return cmd_chaos(argc, argv);
+  if (command == "obs") return cmd_obs(argc, argv);
   if (command == "--help" || command == "-h" || command == "help") {
     std::cout << kUsage;
     return 0;

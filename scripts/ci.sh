@@ -14,6 +14,11 @@
 #                faults => explicit quarantine/degraded output), and the
 #                fault-point overhead benchmark with an absolute ceiling on
 #                the disabled-point cost.
+#   obs-smoke    Observability gate (DESIGN.md §13): the timeline/SLO test
+#                suites, a Prometheus exposition format check over `tero_cli
+#                obs export --prom` output (bench_json_check), and the
+#                determinism diff — a same-seed `obs export` at 1 and 8
+#                threads must produce byte-identical timeline and SLO JSON.
 #   perf-smoke   Extraction fast-path gate (DESIGN.md §12): the simd_test
 #                bit-identity suite, the per-stage extraction microbenches
 #                checked against the committed floors in
@@ -25,6 +30,7 @@
 # Run a subset:            scripts/ci.sh asan tsan
 # Bench artifact gate:     scripts/ci.sh bench-smoke
 # Fault-injection gate:    scripts/ci.sh chaos-smoke
+# Observability gate:      scripts/ci.sh obs-smoke
 # Extraction perf gate:    scripts/ci.sh perf-smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -88,6 +94,36 @@ run_chaos_smoke() {
         }
       }' BENCH_perf_micro.json
   )
+}
+
+run_obs_smoke() {
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" \
+    --target timeline_test slo_test obs_test tero_cli bench_json_check
+  ./build/tests/obs_test
+  ./build/tests/timeline_test
+  ./build/tests/slo_test
+  # Exposition format gate: the CLI's Prometheus export must pass the
+  # checker bench_json_check applies to .prom files (validate_prom_text).
+  local out
+  out=$(mktemp -d)
+  ./build/examples/tero_cli obs export 40 2 8000 4 \
+    --prom "$out/obs.prom" --json "$out/t4.json" --slo "$out/s4.json"
+  ./build/bench/bench_json_check "$out/obs.prom"
+  # Determinism gate (DESIGN.md §13): same seed, 1 vs 8 threads, the
+  # timeline history and SLO verdict log must match byte for byte.
+  ./build/examples/tero_cli obs export 40 2 8000 1 \
+    --json "$out/t1.json" --slo "$out/s1.json"
+  ./build/examples/tero_cli obs export 40 2 8000 8 \
+    --json "$out/t8.json" --slo "$out/s8.json"
+  if ! cmp -s "$out/t1.json" "$out/t8.json" ||
+     ! cmp -s "$out/s1.json" "$out/s8.json"; then
+    echo "obs-smoke: obs export differs across thread counts" >&2
+    rm -rf "$out"
+    exit 1
+  fi
+  rm -rf "$out"
+  echo "obs-smoke: timeline + SLO output bit-identical at 1 and 8 threads"
 }
 
 run_perf_smoke() {
@@ -159,9 +195,10 @@ for job in "${jobs[@]}"; do
     tsan)  run_preset tsan tsan ;;
     bench-smoke) run_bench_smoke ;;
     chaos-smoke) run_chaos_smoke ;;
+    obs-smoke) run_obs_smoke ;;
     perf-smoke) run_perf_smoke ;;
     *) echo "unknown job: $job (want tier1, asan, tsan, bench-smoke," \
-            "chaos-smoke or perf-smoke)" >&2
+            "chaos-smoke, obs-smoke or perf-smoke)" >&2
        exit 2 ;;
   esac
 done

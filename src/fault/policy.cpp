@@ -66,6 +66,14 @@ void CircuitBreaker::on_failure(double now_s) {
   }
 }
 
+CircuitBreaker::CircuitBreaker(Config config, obs::Gauge* state_gauge)
+    : config_(config), state_gauge_(state_gauge) {
+  if (state_gauge_ != nullptr) {
+    state_gauge_->set(static_cast<double>(
+        static_cast<std::uint8_t>(State::kClosed)));
+  }
+}
+
 void CircuitBreaker::enter(State next) {
   state_ = next;
   if (next != State::kHalfOpen) half_open_successes_ = 0;

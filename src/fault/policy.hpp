@@ -54,8 +54,11 @@ class CircuitBreaker {
   };
 
   CircuitBreaker() : CircuitBreaker(Config{}) {}
-  explicit CircuitBreaker(Config config, obs::Gauge* state_gauge = nullptr)
-      : config_(config), state_gauge_(state_gauge) {}
+  /// Writes the initial closed state into `state_gauge` immediately, so
+  /// the series exists from arm time — SLOs like
+  /// `value(tero.fault.breaker{endpoint=...})` must see 0 before the first
+  /// transition, not an absent series.
+  explicit CircuitBreaker(Config config, obs::Gauge* state_gauge = nullptr);
 
   /// May a request proceed at time `now_s`? Open breakers reject until the
   /// cooldown elapses, then admit half-open probes.

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -8,6 +9,7 @@
 #include <stdexcept>
 
 #include "obs/json.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace tero::obs {
@@ -119,6 +121,29 @@ double QuantileSketch::quantile(double q) const {
   return 2.0 * std::pow(gamma, buckets_.rbegin()->first) / (gamma + 1.0);
 }
 
+double QuantileSketch::quantile_of(
+    double alpha, const std::vector<std::pair<int, std::uint64_t>>& buckets,
+    std::uint64_t underflow, double q) {
+  std::uint64_t total = underflow;
+  for (const auto& [index, count] : buckets) total += count;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::uint64_t cumulative = underflow;
+  if (cumulative >= target) return 0.0;
+  // Same gamma derivation as the constructor, so results are bit-identical
+  // to restore() + quantile() at the same alpha.
+  const double gamma = std::exp(std::log((1.0 + alpha) / (1.0 - alpha)));
+  for (const auto& [index, count] : buckets) {
+    cumulative += count;
+    if (cumulative >= target) {
+      return 2.0 * std::pow(gamma, index) / (gamma + 1.0);
+    }
+  }
+  return 2.0 * std::pow(gamma, buckets.back().first) / (gamma + 1.0);
+}
+
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)) {
   if (bounds_.empty()) {
@@ -134,18 +159,54 @@ Histogram::Histogram(std::vector<double> bounds)
   for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
 }
 
-void Histogram::observe(double value) {
+std::size_t Histogram::bucket_for(double value) const noexcept {
   // First bound >= value is the "le" bucket; past-the-end = overflow.
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
-  const auto index =
-      static_cast<std::size_t>(std::distance(bounds_.begin(), it));
-  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  return static_cast<std::size_t>(std::distance(bounds_.begin(), it));
+}
+
+void Histogram::observe(double value) {
+  buckets_[bucket_for(value)].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   double sum = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(sum, sum + value,
                                      std::memory_order_relaxed)) {
   }
   sketch_.add(value);
+}
+
+void Histogram::record(double value, std::uint64_t span_id) {
+  observe(value);
+  if (exemplars_ == nullptr) return;
+  // Min-wise reservoir: the sample's rank is a pure function of
+  // (seed, span_id, value), so whichever sample holds the minimum rank
+  // wins the bucket regardless of arrival order or thread interleaving —
+  // and it is still a uniform random pick among the bucket's samples.
+  const std::uint64_t rank =
+      util::Rng::indexed(
+          exemplar_seed_,
+          util::mix_seed(span_id, std::bit_cast<std::uint64_t>(value)))
+          .next_u64();
+  const std::size_t index = bucket_for(value);
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  Exemplar& slot = exemplars_[index];
+  if (rank < slot.rank ||
+      (rank == slot.rank && span_id < slot.span_id)) {
+    slot = Exemplar{value, span_id, rank};
+  }
+}
+
+void Histogram::enable_exemplars(std::uint64_t seed) {
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  if (exemplars_ != nullptr) return;
+  exemplar_seed_ = seed;
+  exemplars_ = std::make_unique<Exemplar[]>(bounds_.size() + 1);
+}
+
+std::vector<Exemplar> Histogram::exemplars() const {
+  std::lock_guard<std::mutex> lock(exemplar_mutex_);
+  if (exemplars_ == nullptr) return {};
+  return {exemplars_.get(), exemplars_.get() + bounds_.size() + 1};
 }
 
 double Histogram::mean() const noexcept {
@@ -171,14 +232,20 @@ const std::vector<double>& default_duration_buckets_ms() {
 Counter& MetricsRegistry::counter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
+  if (!slot) {
+    slot = std::make_unique<Counter>();
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto& slot = gauges_[name];
-  if (!slot) slot = std::make_unique<Gauge>();
+  if (!slot) {
+    slot = std::make_unique<Gauge>();
+    epoch_.fetch_add(1, std::memory_order_release);
+  }
   return *slot;
 }
 
@@ -189,8 +256,59 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   if (!slot) {
     slot = std::make_unique<Histogram>(
         bounds.empty() ? default_duration_buckets_ms() : std::move(bounds));
+    epoch_.fetch_add(1, std::memory_order_release);
   }
   return *slot;
+}
+
+std::vector<std::pair<std::string, const Counter*>>
+MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Counter*>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter.get());
+  }
+  return out;  // std::map iterates name-sorted already
+}
+
+std::vector<std::pair<std::string, const Gauge*>> MetricsRegistry::gauges()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Gauge*>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge.get());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    out.emplace_back(name, histogram.get());
+  }
+  return out;
+}
+
+bool MetricsRegistry::remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const bool removed = counters_.erase(name) + gauges_.erase(name) +
+                           histograms_.erase(name) >
+                       0;
+  if (removed) epoch_.fetch_add(1, std::memory_order_release);
+  return removed;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  epoch_.fetch_add(1, std::memory_order_release);
 }
 
 std::string MetricsRegistry::labeled(

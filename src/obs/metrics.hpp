@@ -87,6 +87,14 @@ class QuantileSketch {
   void restore(const std::vector<std::pair<int, std::uint64_t>>& buckets,
                std::uint64_t underflow);
 
+  /// Quantile computed straight from exported state — `buckets` must be in
+  /// ascending index order, exactly as export_buckets() returns. Equivalent
+  /// to restore() + quantile() on a scratch sketch with the same `alpha`,
+  /// without building one (the timeline's windowed-quantile hot path).
+  [[nodiscard]] static double quantile_of(
+      double alpha, const std::vector<std::pair<int, std::uint64_t>>& buckets,
+      std::uint64_t underflow, double q);
+
  private:
   [[nodiscard]] int bucket_index(double value) const;
 
@@ -95,6 +103,22 @@ class QuantileSketch {
   mutable std::mutex mutex_;
   std::map<int, std::uint64_t> buckets_;  ///< index -> count, positive values
   std::uint64_t underflow_ = 0;           ///< values <= kMinTrackable
+};
+
+/// One sampled observation attached to a histogram bucket: the exact value,
+/// the trace span that produced it, and the selection rank that let it win
+/// its bucket's reservoir slot. `rank` is a pure function of (seed, value,
+/// span_id), so the winning exemplar depends only on the *set* of samples a
+/// bucket saw — never on arrival order or thread interleaving.
+struct Exemplar {
+  static constexpr std::uint64_t kEmpty =
+      0xffffffffffffffffULL;  ///< rank of an unoccupied slot
+
+  double value = 0.0;
+  std::uint64_t span_id = 0;
+  std::uint64_t rank = kEmpty;
+
+  [[nodiscard]] bool valid() const noexcept { return rank != kEmpty; }
 };
 
 /// Fixed-bucket histogram (cumulative "le" bounds, Prometheus-style) with an
@@ -107,6 +131,25 @@ class Histogram {
   explicit Histogram(std::vector<double> bounds);
 
   void observe(double value);
+
+  /// observe() plus deterministic exemplar capture: when exemplars are
+  /// enabled, the sample competes for its bucket's single exemplar slot
+  /// with rank Rng::indexed(seed, mix(span_id, value)) — a min-wise
+  /// reservoir, i.e. a uniform random choice among the bucket's samples
+  /// that is bit-identical for any arrival order or thread count. With
+  /// exemplars off this is exactly observe().
+  void record(double value, std::uint64_t span_id);
+
+  /// Arm exemplar capture (one slot per bucket, including overflow).
+  /// Idempotent; the seed fixes which sample each bucket elects. Setup-time
+  /// call: arm before concurrent record() traffic starts.
+  void enable_exemplars(std::uint64_t seed);
+  [[nodiscard]] bool exemplars_enabled() const noexcept {
+    return exemplars_ != nullptr;
+  }
+  /// Per-bucket exemplar slots (bounds().size() + 1 entries, overflow
+  /// last); slots with !valid() never saw a record(). Empty when disabled.
+  [[nodiscard]] std::vector<Exemplar> exemplars() const;
 
   [[nodiscard]] std::uint64_t count() const noexcept {
     return count_.load(std::memory_order_relaxed);
@@ -121,13 +164,25 @@ class Histogram {
     return bounds_;
   }
   [[nodiscard]] double quantile(double q) const { return sketch_.quantile(q); }
+  /// The embedded sketch — lets the MetricsTimeline snapshot cumulative
+  /// sketch state and compute windowed quantiles by bucket subtraction.
+  [[nodiscard]] const QuantileSketch& sketch() const noexcept {
+    return sketch_;
+  }
 
  private:
+  [[nodiscard]] std::size_t bucket_for(double value) const noexcept;
+
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0.0};
   QuantileSketch sketch_;
+  /// Exemplar state; allocated lazily by enable_exemplars() (cold path —
+  /// the plain observe() hot path never touches it).
+  mutable std::mutex exemplar_mutex_;
+  std::unique_ptr<Exemplar[]> exemplars_;
+  std::uint64_t exemplar_seed_ = 0;
 };
 
 /// Default bucket bounds for duration histograms, in milliseconds.
@@ -152,6 +207,33 @@ class MetricsRegistry {
   /// return the existing histogram regardless of `bounds`.
   Histogram& histogram(const std::string& name,
                        std::vector<double> bounds = {});
+
+  /// Stable, name-sorted iteration (the MetricsTimeline's determinism
+  /// anchor: series order in every scrape and export is the sorted name
+  /// order, never map-internal iteration luck). The returned pointers stay
+  /// valid until the named series is remove()d or the registry is reset()
+  /// or destroyed.
+  [[nodiscard]] std::vector<std::pair<std::string, const Counter*>>
+  counters() const;
+  [[nodiscard]] std::vector<std::pair<std::string, const Gauge*>> gauges()
+      const;
+  [[nodiscard]] std::vector<std::pair<std::string, const Histogram*>>
+  histograms() const;
+
+  /// Structure version: bumps whenever a series is created or removed
+  /// (reset() counts too). Scrapers cache their name -> pointer series
+  /// lists against this and rebuild only when it moves, so a steady-state
+  /// scrape never re-lists (or re-allocates) the registry.
+  [[nodiscard]] std::uint64_t mutation_epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Drop one series (any kind). Returns whether anything was removed.
+  /// Invalidates pointers previously handed out for that name — callers
+  /// holding hot-path metric pointers must not remove those series.
+  bool remove(const std::string& name);
+  /// Drop every series. Same invalidation caveat as remove().
+  void reset();
 
   [[nodiscard]] static std::string labeled(
       std::string_view name,
@@ -187,27 +269,47 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::atomic<std::uint64_t> epoch_{0};
 };
 
 /// RAII wall-time probe: observes the elapsed milliseconds into `histogram`
 /// on destruction. A null histogram makes both ends a single branch.
+/// Movable: the moved-from timer is disarmed (null histogram) so exactly one
+/// observation is recorded per started timer.
 class ScopedTimer {
  public:
   explicit ScopedTimer(Histogram* histogram) noexcept
       : histogram_(histogram) {
     if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
   }
-  ~ScopedTimer() {
-    if (histogram_ == nullptr) return;
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
-    histogram_->observe(
-        std::chrono::duration<double, std::milli>(elapsed).count());
+  ~ScopedTimer() { finish(); }
+
+  ScopedTimer(ScopedTimer&& other) noexcept
+      : histogram_(other.histogram_), start_(other.start_) {
+    other.histogram_ = nullptr;
+  }
+  ScopedTimer& operator=(ScopedTimer&& other) noexcept {
+    if (this != &other) {
+      finish();  // close out our own measurement before adopting the other
+      histogram_ = other.histogram_;
+      start_ = other.start_;
+      other.histogram_ = nullptr;
+    }
+    return *this;
   }
 
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
 
  private:
+  void finish() noexcept {
+    if (histogram_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->observe(
+        std::chrono::duration<double, std::milli>(elapsed).count());
+    histogram_ = nullptr;
+  }
+
   Histogram* histogram_;
   std::chrono::steady_clock::time_point start_;
 };

@@ -1,0 +1,312 @@
+#include "obs/prom.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace tero::obs {
+
+namespace {
+
+bool is_name_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool is_name_char(char c) {
+  return is_name_start(c) || std::isdigit(static_cast<unsigned char>(c));
+}
+
+bool is_label_key_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+std::string fmt_prom_number(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  char shorter[32];
+  std::snprintf(shorter, sizeof shorter, "%.12g", value);
+  if (std::strtod(shorter, nullptr) == value) return shorter;
+  return buffer;
+}
+
+}  // namespace
+
+ParsedSeriesName split_labeled_name(std::string_view series) {
+  ParsedSeriesName out;
+  const auto brace = series.find('{');
+  if (brace == std::string_view::npos || series.back() != '}') {
+    out.name = std::string(series);
+    return out;
+  }
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::string_view body = series.substr(brace + 1, series.size() - brace - 2);
+  while (!body.empty()) {
+    const auto comma = body.find(',');
+    const std::string_view item =
+        comma == std::string_view::npos ? body : body.substr(0, comma);
+    const auto eq = item.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      // Not our k=v scheme: treat the whole series as an opaque name.
+      out.name = std::string(series);
+      out.labels.clear();
+      return out;
+    }
+    labels.emplace_back(std::string(item.substr(0, eq)),
+                        std::string(item.substr(eq + 1)));
+    if (comma == std::string_view::npos) break;
+    body.remove_prefix(comma + 1);
+  }
+  out.name = std::string(series.substr(0, brace));
+  out.labels = std::move(labels);
+  return out;
+}
+
+std::string prom_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    out += (is_name_char(c) ? c : '_');
+  }
+  if (out.empty() || !is_name_start(out.front())) out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string prom_escape_label(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string prom_label_block(
+    const std::vector<std::pair<std::string, std::string>>& labels) {
+  if (labels.empty()) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prom_name(key);
+    out += "=\"";
+    out += prom_escape_label(value);
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+void write_prom(const MetricsRegistry& registry, std::ostream& os) {
+  // Sorted series order (registry iteration is name-sorted); TYPE is
+  // emitted once per base name even when labeled variants repeat it.
+  std::string last_typed;
+  const auto type_line = [&](const std::string& base,
+                             std::string_view kind) {
+    if (base == last_typed) return;
+    last_typed = base;
+    os << "# TYPE " << base << ' ' << kind << '\n';
+  };
+
+  for (const auto& [series, counter] : registry.counters()) {
+    const ParsedSeriesName parsed = split_labeled_name(series);
+    const std::string base = prom_name(parsed.name);
+    type_line(base, "counter");
+    os << base << prom_label_block(parsed.labels) << ' ' << counter->value()
+       << '\n';
+  }
+  last_typed.clear();
+  for (const auto& [series, gauge] : registry.gauges()) {
+    const ParsedSeriesName parsed = split_labeled_name(series);
+    const std::string base = prom_name(parsed.name);
+    type_line(base, "gauge");
+    os << base << prom_label_block(parsed.labels) << ' '
+       << fmt_prom_number(gauge->value()) << '\n';
+  }
+  last_typed.clear();
+  for (const auto& [series, histogram] : registry.histograms()) {
+    const ParsedSeriesName parsed = split_labeled_name(series);
+    const std::string base = prom_name(parsed.name);
+    type_line(base, "histogram");
+    const auto counts = histogram->bucket_counts();
+    const auto& bounds = histogram->bounds();
+    const auto exemplars = histogram->exemplars();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      cumulative += counts[i];
+      auto labels = parsed.labels;
+      labels.emplace_back(
+          "le", i < bounds.size() ? fmt_prom_number(bounds[i]) : "+Inf");
+      os << base << "_bucket" << prom_label_block(labels) << ' '
+         << cumulative;
+      if (i < exemplars.size() && exemplars[i].valid()) {
+        os << " # {span_id=\"" << format_span_id(exemplars[i].span_id)
+           << "\"} " << fmt_prom_number(exemplars[i].value);
+      }
+      os << '\n';
+    }
+    os << base << "_sum" << prom_label_block(parsed.labels) << ' '
+       << fmt_prom_number(histogram->sum()) << '\n';
+    os << base << "_count" << prom_label_block(parsed.labels) << ' '
+       << histogram->count() << '\n';
+  }
+}
+
+namespace {
+
+/// One-line validators for validate_prom_text. Each returns "" or a problem.
+
+std::string check_label_block(std::string_view& rest) {
+  // rest starts at '{'; consumes through the matching '}'.
+  rest.remove_prefix(1);
+  bool first = true;
+  while (true) {
+    if (rest.empty()) return "unterminated label block";
+    if (rest.front() == '}') {
+      rest.remove_prefix(1);
+      return {};
+    }
+    if (!first) {
+      if (rest.front() != ',') return "expected ',' between labels";
+      rest.remove_prefix(1);
+    }
+    first = false;
+    std::size_t k = 0;
+    while (k < rest.size() && is_label_key_char(rest[k])) ++k;
+    if (k == 0) return "empty label name";
+    rest.remove_prefix(k);
+    if (rest.empty() || rest.front() != '=') return "expected '=' in label";
+    rest.remove_prefix(1);
+    if (rest.empty() || rest.front() != '"') {
+      return "label value must be double-quoted";
+    }
+    rest.remove_prefix(1);
+    while (true) {
+      if (rest.empty()) return "unterminated label value";
+      const char c = rest.front();
+      rest.remove_prefix(1);
+      if (c == '"') break;
+      if (c == '\\') {
+        if (rest.empty() ||
+            (rest.front() != '\\' && rest.front() != '"' &&
+             rest.front() != 'n')) {
+          return "invalid escape in label value (want \\\\, \\\" or \\n)";
+        }
+        rest.remove_prefix(1);
+      }
+    }
+  }
+}
+
+std::string check_number(std::string_view& rest, std::string_view what) {
+  // Accepts floats plus the Prometheus specials +Inf/-Inf/NaN.
+  for (const std::string_view special : {"+Inf", "-Inf", "Inf", "NaN"}) {
+    if (rest.substr(0, special.size()) == special) {
+      rest.remove_prefix(special.size());
+      return {};
+    }
+  }
+  const std::string text(rest);
+  char* end = nullptr;
+  std::strtod(text.c_str(), &end);
+  if (end == text.c_str()) return std::string("missing ") + std::string(what);
+  rest.remove_prefix(static_cast<std::size_t>(end - text.c_str()));
+  return {};
+}
+
+std::string check_sample_line(std::string_view rest) {
+  std::size_t n = 0;
+  if (rest.empty() || !is_name_start(rest.front())) {
+    return "sample must start with a metric name";
+  }
+  while (n < rest.size() && is_name_char(rest[n])) ++n;
+  rest.remove_prefix(n);
+  if (!rest.empty() && rest.front() == '{') {
+    if (auto err = check_label_block(rest); !err.empty()) return err;
+  }
+  if (rest.empty() || rest.front() != ' ') {
+    return "expected ' ' before sample value";
+  }
+  rest.remove_prefix(1);
+  if (auto err = check_number(rest, "sample value"); !err.empty()) return err;
+  if (!rest.empty() && rest.front() == ' ' && rest.size() > 1 &&
+      rest[1] != '#') {
+    // Optional millisecond timestamp.
+    rest.remove_prefix(1);
+    std::size_t t = rest.front() == '-' ? 1 : 0;
+    const std::size_t digits_from = t;
+    while (t < rest.size() &&
+           std::isdigit(static_cast<unsigned char>(rest[t]))) {
+      ++t;
+    }
+    if (t == digits_from) return "invalid timestamp";
+    rest.remove_prefix(t);
+  }
+  if (!rest.empty()) {
+    // Optional OpenMetrics exemplar: " # {labels} value".
+    if (rest.substr(0, 3) != " # ") return "trailing garbage after sample";
+    rest.remove_prefix(3);
+    if (rest.empty() || rest.front() != '{') {
+      return "exemplar must carry a label block";
+    }
+    if (auto err = check_label_block(rest); !err.empty()) return err;
+    if (rest.empty() || rest.front() != ' ') {
+      return "expected ' ' before exemplar value";
+    }
+    rest.remove_prefix(1);
+    if (auto err = check_number(rest, "exemplar value"); !err.empty()) {
+      return err;
+    }
+  }
+  if (!rest.empty()) return "trailing garbage after sample";
+  return {};
+}
+
+std::string check_comment_line(std::string_view rest) {
+  // "# TYPE <name> <kind>" is structured; any other comment is free-form.
+  if (rest.substr(0, 7) != "# TYPE ") return {};
+  rest.remove_prefix(7);
+  std::size_t n = 0;
+  while (n < rest.size() && is_name_char(rest[n])) ++n;
+  if (n == 0) return "TYPE line missing metric name";
+  rest.remove_prefix(n);
+  if (rest.empty() || rest.front() != ' ') return "TYPE line missing kind";
+  rest.remove_prefix(1);
+  for (const std::string_view kind :
+       {"counter", "gauge", "histogram", "summary", "untyped"}) {
+    if (rest == kind) return {};
+  }
+  return "TYPE line kind must be counter|gauge|histogram|summary|untyped";
+}
+
+}  // namespace
+
+std::string validate_prom_text(std::string_view text) {
+  std::size_t line_no = 0;
+  while (!text.empty()) {
+    ++line_no;
+    const auto nl = text.find('\n');
+    const std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+    if (line.empty()) continue;
+    const std::string err = line.front() == '#' ? check_comment_line(line)
+                                                : check_sample_line(line);
+    if (!err.empty()) {
+      return "line " + std::to_string(line_no) + ": " + err;
+    }
+  }
+  return {};
+}
+
+}  // namespace tero::obs

@@ -1,0 +1,343 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "obs/timeline.hpp"
+#include "util/table.hpp"
+
+namespace tero::obs {
+
+namespace {
+
+std::string fmt_number(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  char shorter[32];
+  std::snprintf(shorter, sizeof shorter, "%.12g", value);
+  if (std::strtod(shorter, nullptr) == value) return shorter;
+  return buffer;
+}
+
+/// Compact human form for spec round-tripping: no exponent noise for the
+/// typical small thresholds/budgets.
+std::string fmt_spec_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%g", value);
+  return buffer;
+}
+
+void skip_spaces(std::string_view& text) {
+  while (!text.empty() && text.front() == ' ') text.remove_prefix(1);
+}
+
+bool eat(std::string_view& text, std::string_view token) {
+  skip_spaces(text);
+  if (text.substr(0, token.size()) != token) return false;
+  text.remove_prefix(token.size());
+  return true;
+}
+
+double eat_number(std::string_view& text, std::string_view what) {
+  skip_spaces(text);
+  const std::string buffer(text.substr(0, 64));
+  char* end = nullptr;
+  const double value = std::strtod(buffer.c_str(), &end);
+  if (end == buffer.c_str()) {
+    throw std::invalid_argument("SloSpec: expected number for " +
+                                std::string(what) + " near '" +
+                                std::string(text.substr(0, 16)) + "'");
+  }
+  text.remove_prefix(static_cast<std::size_t>(end - buffer.c_str()));
+  return value;
+}
+
+[[noreturn]] void fail(std::string_view what, std::string_view near) {
+  throw std::invalid_argument("SloSpec: " + std::string(what) + " near '" +
+                              std::string(near.substr(0, 24)) + "'");
+}
+
+}  // namespace
+
+SloTracker::SloTracker() : SloTracker(Config{}) {}
+SloTracker::SloTracker(Config config) : config_(config) {}
+
+std::string_view SloSpec::stat_name(Stat stat) {
+  switch (stat) {
+    case Stat::kP50: return "p50";
+    case Stat::kP90: return "p90";
+    case Stat::kP99: return "p99";
+    case Stat::kMean: return "mean";
+    case Stat::kRate: return "rate";
+    case Stat::kValue: return "value";
+  }
+  return "?";
+}
+
+SloSpec SloSpec::parse(std::string_view text) {
+  SloSpec spec;
+  skip_spaces(text);
+  eat(text, "slo ");  // optional prefix
+  skip_spaces(text);
+
+  const auto colon = text.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    fail("expected '<name>:'", text);
+  }
+  spec.name = std::string(text.substr(0, colon));
+  while (!spec.name.empty() && spec.name.back() == ' ') spec.name.pop_back();
+  text.remove_prefix(colon + 1);
+
+  skip_spaces(text);
+  const auto paren = text.find('(');
+  if (paren == std::string_view::npos) fail("expected '<stat>(series)'", text);
+  std::string_view stat = text.substr(0, paren);
+  while (!stat.empty() && stat.back() == ' ') stat.remove_suffix(1);
+  if (stat == "p50") {
+    spec.stat = Stat::kP50;
+  } else if (stat == "p90") {
+    spec.stat = Stat::kP90;
+  } else if (stat == "p99") {
+    spec.stat = Stat::kP99;
+  } else if (stat == "mean") {
+    spec.stat = Stat::kMean;
+  } else if (stat == "rate") {
+    spec.stat = Stat::kRate;
+  } else if (stat == "value") {
+    spec.stat = Stat::kValue;
+  } else {
+    fail("unknown stat (want p50|p90|p99|mean|rate|value)", stat);
+  }
+  text.remove_prefix(paren + 1);
+  const auto close = text.find(')');
+  if (close == std::string_view::npos || close == 0) {
+    fail("unterminated series name", text);
+  }
+  spec.series = std::string(text.substr(0, close));
+  text.remove_prefix(close + 1);
+
+  skip_spaces(text);
+  if (eat(text, "<")) {
+    spec.less_than = true;
+  } else if (eat(text, ">")) {
+    spec.less_than = false;
+  } else {
+    fail("expected '<' or '>'", text);
+  }
+  spec.threshold = eat_number(text, "threshold");
+  if (eat(text, "ms")) {
+    // histogram units already are ms
+  } else if (eat(text, "s")) {
+    spec.threshold *= 1000.0;
+  }
+
+  if (!eat(text, "over")) fail("expected 'over <N>s'", text);
+  const double window = eat_number(text, "window");
+  if (eat(text, "ms")) {
+    spec.window_ms = static_cast<std::uint64_t>(window);
+  } else if (eat(text, "s")) {
+    spec.window_ms = static_cast<std::uint64_t>(window * 1000.0);
+  } else {
+    fail("window needs a unit (s or ms)", text);
+  }
+  if (spec.window_ms == 0) fail("window must be > 0", text);
+  eat(text, "window");  // optional noise word
+  eat(text, ",");       // optional separator
+
+  if (!eat(text, "budget")) fail("expected 'budget <P>%'", text);
+  const double percent = eat_number(text, "budget");
+  if (!eat(text, "%")) fail("budget needs '%'", text);
+  spec.budget = percent / 100.0;
+  if (!(spec.budget > 0.0 && spec.budget <= 1.0)) {
+    fail("budget must be in (0%, 100%]", text);
+  }
+
+  skip_spaces(text);
+  if (!text.empty()) fail("trailing garbage", text);
+  return spec;
+}
+
+std::string SloSpec::to_string() const {
+  std::string out = name;
+  out += ": ";
+  out += stat_name(stat);
+  out += '(';
+  out += series;
+  out += ") ";
+  out += less_than ? '<' : '>';
+  out += ' ';
+  out += fmt_spec_number(threshold);
+  out += " over ";
+  if (window_ms % 1000 == 0) {
+    out += fmt_spec_number(static_cast<double>(window_ms) / 1000.0);
+    out += 's';
+  } else {
+    out += std::to_string(window_ms);
+    out += "ms";
+  }
+  out += " budget ";
+  out += fmt_spec_number(budget * 100.0);
+  out += '%';
+  return out;
+}
+
+void SloTracker::add(SloSpec spec) {
+  slos_.push_back(State{std::move(spec), {}, 0, 0, 0.0, 0.0, 0.0, false});
+}
+
+std::string SloTracker::add(std::string_view spec_text) {
+  SloSpec spec = SloSpec::parse(spec_text);
+  std::string name = spec.name;
+  add(std::move(spec));
+  return name;
+}
+
+double SloTracker::measure(const State& state,
+                           const MetricsTimeline& timeline) const {
+  // Point verdicts are measured over one scrape interval (the delta since
+  // the previous snapshot); the windows then aggregate those verdicts.
+  const std::uint64_t interval = timeline.scrape_interval_ms();
+  const SloSpec& spec = state.spec;
+  switch (spec.stat) {
+    case SloSpec::Stat::kP50: return timeline.quantile(spec.series, 0.50,
+                                                       interval);
+    case SloSpec::Stat::kP90: return timeline.quantile(spec.series, 0.90,
+                                                       interval);
+    case SloSpec::Stat::kP99: return timeline.quantile(spec.series, 0.99,
+                                                       interval);
+    case SloSpec::Stat::kMean:
+      return timeline.windowed_mean(spec.series, interval);
+    case SloSpec::Stat::kRate: return timeline.rate(spec.series, interval);
+    case SloSpec::Stat::kValue: return timeline.gauge_value(spec.series);
+  }
+  return 0.0;
+}
+
+double SloTracker::burn(const State& state, std::uint64_t t_ms,
+                        std::uint64_t window_ms) {
+  const std::uint64_t cutoff = t_ms >= window_ms ? t_ms - window_ms : 0;
+  std::uint64_t total = 0, bad = 0;
+  for (auto it = state.verdicts.rbegin(); it != state.verdicts.rend(); ++it) {
+    if (it->first <= cutoff) break;
+    ++total;
+    if (!it->second) ++bad;
+  }
+  if (total == 0) return 0.0;
+  return (static_cast<double>(bad) / static_cast<double>(total)) /
+         state.spec.budget;
+}
+
+void SloTracker::evaluate(const MetricsTimeline& timeline,
+                          std::uint64_t t_ms) {
+  for (State& state : slos_) {
+    state.measured = measure(state, timeline);
+    const bool good = state.spec.less_than
+                          ? state.measured < state.spec.threshold
+                          : state.measured > state.spec.threshold;
+    state.verdicts.emplace_back(t_ms, good);
+    if (good) {
+      ++state.good;
+    } else {
+      ++state.bad;
+    }
+    // Keep only what the widest window can see.
+    const std::uint64_t keep_ms =
+        std::max(state.spec.window_ms, config_.fast_window_ms);
+    const std::uint64_t cutoff = t_ms >= keep_ms ? t_ms - keep_ms : 0;
+    while (!state.verdicts.empty() && state.verdicts.front().first <= cutoff) {
+      state.verdicts.pop_front();
+    }
+
+    state.burn_fast = burn(state, t_ms, config_.fast_window_ms);
+    state.burn_slow = burn(state, t_ms, state.spec.window_ms);
+    const bool above = state.burn_fast >= config_.burn_threshold &&
+                       state.burn_slow >= config_.burn_threshold;
+    if (above != state.firing) {
+      state.firing = above;
+      alerts_.push_back(SloAlert{state.spec.name, t_ms, above,
+                                 state.burn_fast, state.burn_slow,
+                                 state.measured});
+    }
+  }
+}
+
+void SloTracker::attach(MetricsTimeline& timeline) {
+  timeline.set_on_scrape(
+      [this, &timeline](std::uint64_t t_ms) { evaluate(timeline, t_ms); });
+}
+
+bool SloTracker::fired(std::string_view slo_name, std::uint64_t since_ms) const {
+  return std::any_of(alerts_.begin(), alerts_.end(),
+                     [&](const SloAlert& alert) {
+                       return alert.firing && alert.slo == slo_name &&
+                              alert.t_ms >= since_ms;
+                     });
+}
+
+std::vector<SloStatus> SloTracker::status() const {
+  std::vector<SloStatus> out;
+  out.reserve(slos_.size());
+  for (const State& state : slos_) {
+    const std::uint64_t total = state.good + state.bad;
+    out.push_back(SloStatus{
+        state.spec.name, state.measured, state.burn_fast, state.burn_slow,
+        state.good, state.bad,
+        total == 0 ? 0.0
+                   : (static_cast<double>(state.bad) /
+                      static_cast<double>(total)) /
+                         state.spec.budget,
+        state.firing});
+  }
+  return out;
+}
+
+void SloTracker::write_json(std::ostream& os) const {
+  os << "{\n  \"slos\": [";
+  const auto statuses = status();
+  bool first = true;
+  for (std::size_t i = 0; i < slos_.size(); ++i) {
+    const SloStatus& s = statuses[i];
+    os << (first ? "\n" : ",\n") << "    {\"name\": \""
+       << json_escape(s.slo) << "\", \"spec\": \""
+       << json_escape(slos_[i].spec.to_string())
+       << "\", \"measured\": " << fmt_number(s.measured)
+       << ", \"burn_fast\": " << fmt_number(s.burn_fast)
+       << ", \"burn_slow\": " << fmt_number(s.burn_slow)
+       << ", \"good\": " << s.good << ", \"bad\": " << s.bad
+       << ", \"budget_consumed\": " << fmt_number(s.budget_consumed)
+       << ", \"firing\": " << (s.firing ? "true" : "false") << '}';
+    first = false;
+  }
+  os << (first ? "]" : "\n  ]") << ",\n  \"alerts\": [";
+  first = true;
+  for (const SloAlert& alert : alerts_) {
+    os << (first ? "\n" : ",\n") << "    {\"slo\": \""
+       << json_escape(alert.slo) << "\", \"t_ms\": " << alert.t_ms
+       << ", \"event\": \"" << (alert.firing ? "fire" : "resolve")
+       << "\", \"burn_fast\": " << fmt_number(alert.burn_fast)
+       << ", \"burn_slow\": " << fmt_number(alert.burn_slow)
+       << ", \"measured\": " << fmt_number(alert.measured) << '}';
+    first = false;
+  }
+  os << (first ? "]" : "\n  ]") << "\n}\n";
+}
+
+void SloTracker::write_table(std::ostream& os) const {
+  util::Table table(
+      {"slo", "measured", "burn_fast", "burn_slow", "budget_used", "state"});
+  for (const SloStatus& s : status()) {
+    table.add_row({s.slo, util::fmt_double(s.measured, 3),
+                   util::fmt_double(s.burn_fast, 2),
+                   util::fmt_double(s.burn_slow, 2),
+                   util::fmt_double(s.budget_consumed * 100.0, 1) + "%",
+                   s.firing ? "FIRING" : "ok"});
+  }
+  table.print(os);
+}
+
+}  // namespace tero::obs

@@ -1,0 +1,136 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tero::obs {
+
+class MetricsTimeline;
+
+/// Declarative SLOs evaluated against a MetricsTimeline on the virtual
+/// clock: each scrape produces a good/bad verdict per SLO, verdicts roll
+/// into fast- and slow-window burn rates (burn = bad-fraction / budget, so
+/// burn 1.0 means the error budget is being consumed exactly at the rate
+/// that exhausts it over the window), and an alert fires when BOTH windows
+/// burn at or above the threshold — the standard multi-window guard against
+/// one-scrape blips. Because the inputs are virtual-time snapshots, the
+/// full alert log is a pure function of (seed, spec set) and is
+/// bit-identical at any thread count.
+
+/// One parsed SLO spec. Text grammar (parse() / to_string() round-trip):
+///
+///   [slo] <name>: <stat>(<series>) < <threshold>[ms|s] over <N>s [window]
+///         [,] budget <P>%
+///
+/// e.g. `slo latency: p99(tero.loadgen.latency_ms) < 5ms over 60s window,
+/// budget 0.1%`. Stats: p50/p90/p99/mean (histogram, measured over the
+/// scrape interval), rate (counter increase per second), value (gauge).
+/// The threshold unit only scales the number (`s` = x1000, i.e. seconds
+/// into the ms the histograms record); `>` flips the good direction.
+struct SloSpec {
+  enum class Stat { kP50, kP90, kP99, kMean, kRate, kValue };
+
+  std::string name;
+  Stat stat = Stat::kP99;
+  std::string series;
+  double threshold = 0.0;
+  bool less_than = true;       ///< good when measured < threshold (else >)
+  std::uint64_t window_ms = 60'000;  ///< slow burn window
+  double budget = 0.001;       ///< allowed bad fraction of scrapes
+
+  /// Parse the grammar above; throws std::invalid_argument with the
+  /// offending fragment on any malformed spec.
+  [[nodiscard]] static SloSpec parse(std::string_view text);
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static std::string_view stat_name(Stat stat);
+};
+
+/// One alert-log event (fire or resolve), stamped on the virtual clock.
+struct SloAlert {
+  std::string slo;
+  std::uint64_t t_ms = 0;
+  bool firing = false;   ///< true = fired, false = resolved
+  double burn_fast = 0.0;
+  double burn_slow = 0.0;
+  double measured = 0.0;  ///< the stat's value at the triggering scrape
+};
+
+/// Point-in-time health of one SLO.
+struct SloStatus {
+  std::string slo;
+  double measured = 0.0;       ///< stat at the last scrape
+  double burn_fast = 0.0;
+  double burn_slow = 0.0;
+  std::uint64_t good = 0;      ///< lifetime verdict totals
+  std::uint64_t bad = 0;
+  double budget_consumed = 0.0;  ///< lifetime bad fraction / budget
+  bool firing = false;
+};
+
+class SloTracker {
+ public:
+  struct Config {
+    std::uint64_t fast_window_ms = 5'000;
+    /// Both windows must burn at >= this multiple of the sustainable rate
+    /// for an alert to fire; both must drop below it to resolve.
+    double burn_threshold = 1.0;
+  };
+
+  SloTracker();
+  explicit SloTracker(Config config);
+
+  void add(SloSpec spec);
+  /// add(SloSpec::parse(text)); returns the parsed spec's name.
+  std::string add(std::string_view spec_text);
+  [[nodiscard]] std::size_t size() const noexcept { return slos_.size(); }
+
+  /// Evaluate every SLO against the timeline's state at virtual time
+  /// `t_ms`; appends to the alert log on fire/resolve edges. Call once per
+  /// scrape (attach() wires this to the timeline's scrape hook).
+  void evaluate(const MetricsTimeline& timeline, std::uint64_t t_ms);
+
+  /// Register with `timeline.set_on_scrape` so every scrape evaluates the
+  /// SLOs on the same virtual clock. The timeline must outlive *this.
+  void attach(MetricsTimeline& timeline);
+
+  [[nodiscard]] const std::vector<SloAlert>& alerts() const noexcept {
+    return alerts_;
+  }
+  /// True when any alert for `slo_name` fired (optionally only at/after
+  /// `since_ms`).
+  [[nodiscard]] bool fired(std::string_view slo_name,
+                           std::uint64_t since_ms = 0) const;
+  [[nodiscard]] std::vector<SloStatus> status() const;
+
+  /// {"slos": [spec+status...], "alerts": [events...]} — deterministic key
+  /// order; the CI bit-identity diff covers this too.
+  void write_json(std::ostream& os) const;
+  /// Human-readable burn-rate summary through util::Table.
+  void write_table(std::ostream& os) const;
+
+ private:
+  struct State {
+    SloSpec spec;
+    /// (t_ms, good) per evaluation, pruned to the slow window.
+    std::deque<std::pair<std::uint64_t, bool>> verdicts;
+    std::uint64_t good = 0, bad = 0;  ///< lifetime totals
+    double measured = 0.0;
+    double burn_fast = 0.0, burn_slow = 0.0;
+    bool firing = false;
+  };
+
+  [[nodiscard]] double measure(const State& state,
+                               const MetricsTimeline& timeline) const;
+  [[nodiscard]] static double burn(const State& state, std::uint64_t t_ms,
+                                   std::uint64_t window_ms);
+
+  Config config_;
+  std::vector<State> slos_;
+  std::vector<SloAlert> alerts_;
+};
+
+}  // namespace tero::obs

@@ -1,10 +1,18 @@
 #include "obs/trace.hpp"
 
+#include <cstdio>
 #include <ostream>
 
 #include "obs/json.hpp"
 
 namespace tero::obs {
+
+std::string format_span_id(std::uint64_t span_id) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "0x%llx",
+                static_cast<unsigned long long>(span_id));
+  return buffer;
+}
 
 TraceRecorder::TraceRecorder() : origin_(std::chrono::steady_clock::now()) {}
 
@@ -26,9 +34,17 @@ int TraceRecorder::tid_for_current_thread() {
 void TraceRecorder::add_span(std::string_view name, std::string_view category,
                              std::uint64_t start_us,
                              std::uint64_t duration_us) {
+  add_span(name, category, start_us, duration_us, 0);
+}
+
+void TraceRecorder::add_span(std::string_view name, std::string_view category,
+                             std::uint64_t start_us,
+                             std::uint64_t duration_us,
+                             std::uint64_t span_id) {
   std::lock_guard<std::mutex> lock(mutex_);
   events_.push_back(Event{std::string(name), std::string(category), 'X',
-                          start_us, duration_us, tid_for_current_thread()});
+                          start_us, duration_us, tid_for_current_thread(),
+                          span_id, 0.0, false});
 }
 
 void TraceRecorder::add_instant(std::string_view name,
@@ -37,6 +53,15 @@ void TraceRecorder::add_instant(std::string_view name,
   std::lock_guard<std::mutex> lock(mutex_);
   events_.push_back(Event{std::string(name), std::string(category), 'i', now,
                           0, tid_for_current_thread()});
+}
+
+void TraceRecorder::add_exemplar_instant(std::string_view name,
+                                         std::uint64_t span_id,
+                                         double value) {
+  const std::uint64_t now = now_us();
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(Event{std::string(name), "exemplar", 'i', now, 0,
+                          tid_for_current_thread(), span_id, value, true});
 }
 
 std::size_t TraceRecorder::span_count() const {
@@ -59,7 +84,18 @@ void TraceRecorder::write_json(std::ostream& os) const {
     } else {
       os << ", \"s\": \"t\"";  // instant scope: thread
     }
-    os << ", \"pid\": 0, \"tid\": " << event.tid << '}';
+    os << ", \"pid\": 0, \"tid\": " << event.tid;
+    if (event.span_id != 0 || event.has_value) {
+      os << ", \"args\": {\"span_id\": \"" << format_span_id(event.span_id)
+         << '"';
+      if (event.has_value) {
+        char buffer[32];
+        std::snprintf(buffer, sizeof buffer, "%.17g", event.value);
+        os << ", \"value\": " << buffer;
+      }
+      os << '}';
+    }
+    os << '}';
   }
   os << (first ? "]" : "\n]") << '\n';
 }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <iosfwd>
@@ -21,6 +22,11 @@ namespace tero::obs {
 /// to small stable integers in first-seen order, so traces from repeated
 /// runs diff cleanly. Thread-safe; like the metrics registry, the recorder
 /// is observational only and never consulted by the pipeline.
+///
+/// Spans carry ids (`args.span_id` in the JSON, printed as 0x hex) so
+/// histogram exemplars can point back at the exact span that produced a
+/// bucket's sampled value; exemplar instants re-emit the link from the
+/// metric side (`add_exemplar_instant`).
 class TraceRecorder {
  public:
   TraceRecorder();
@@ -30,12 +36,27 @@ class TraceRecorder {
   /// Microseconds since the recorder was constructed.
   [[nodiscard]] std::uint64_t now_us() const;
 
+  /// Fresh nonzero span id (monotonic; 0 is reserved for "no span").
+  [[nodiscard]] std::uint64_t next_span_id() noexcept {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Record one complete span on the calling thread's track.
   void add_span(std::string_view name, std::string_view category,
                 std::uint64_t start_us, std::uint64_t duration_us);
+  /// Same, tagged with an explicit span id (0 = untagged).
+  void add_span(std::string_view name, std::string_view category,
+                std::uint64_t start_us, std::uint64_t duration_us,
+                std::uint64_t span_id);
 
   /// Instantaneous event ("ph": "i") — crash markers, alerts.
   void add_instant(std::string_view name, std::string_view category);
+
+  /// Instant linking a histogram exemplar back to its span: carries
+  /// args.span_id and args.value so the trace viewer shows which span
+  /// produced the sampled (e.g. p99-bucket) value.
+  void add_exemplar_instant(std::string_view name, std::uint64_t span_id,
+                            double value);
 
   [[nodiscard]] std::size_t span_count() const;
 
@@ -50,42 +71,88 @@ class TraceRecorder {
     std::uint64_t start_us;
     std::uint64_t duration_us;
     int tid;
+    std::uint64_t span_id = 0;  ///< 0 = untagged
+    double value = 0.0;         ///< exemplar value (valid iff has_value)
+    bool has_value = false;
   };
 
   int tid_for_current_thread();  ///< callers must hold mutex_
 
   std::chrono::steady_clock::time_point origin_;
+  std::atomic<std::uint64_t> next_span_id_{1};
   mutable std::mutex mutex_;
   std::vector<Event> events_;
   std::map<std::thread::id, int> thread_ids_;
 };
 
+/// Hex rendering used everywhere a span id faces a human: "0x1a2b".
+[[nodiscard]] std::string format_span_id(std::uint64_t span_id);
+
 /// RAII span: records [construction, destruction) into the recorder. A null
 /// recorder makes both ends a single branch — the hot-path off switch.
+/// Movable: the moved-from span is disarmed so each started span records
+/// exactly once.
 class ScopedSpan {
  public:
   ScopedSpan(TraceRecorder* recorder, std::string_view name,
              std::string_view category = "pipeline")
-      : recorder_(recorder) {
+      : ScopedSpan(recorder, name, category,
+                   recorder != nullptr ? recorder->next_span_id() : 0) {}
+
+  /// Span with a caller-chosen id — lets request paths reuse an externally
+  /// assigned id (e.g. a query's trace_id) so exemplars and spans agree.
+  ScopedSpan(TraceRecorder* recorder, std::string_view name,
+             std::string_view category, std::uint64_t span_id)
+      : recorder_(recorder), span_id_(span_id) {
     if (recorder_ == nullptr) return;
     name_ = name;  // copied: the span may outlive a temporary name
     category_ = category;
     start_us_ = recorder_->now_us();
   }
-  ~ScopedSpan() {
-    if (recorder_ == nullptr) return;
-    recorder_->add_span(name_, category_, start_us_,
-                        recorder_->now_us() - start_us_);
+  ~ScopedSpan() { finish(); }
+
+  ScopedSpan(ScopedSpan&& other) noexcept
+      : recorder_(other.recorder_),
+        name_(std::move(other.name_)),
+        category_(std::move(other.category_)),
+        start_us_(other.start_us_),
+        span_id_(other.span_id_) {
+    other.recorder_ = nullptr;
+  }
+  ScopedSpan& operator=(ScopedSpan&& other) noexcept {
+    if (this != &other) {
+      finish();  // close out our own span before adopting the other
+      recorder_ = other.recorder_;
+      name_ = std::move(other.name_);
+      category_ = std::move(other.category_);
+      start_us_ = other.start_us_;
+      span_id_ = other.span_id_;
+      other.recorder_ = nullptr;
+    }
+    return *this;
   }
 
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
 
+  /// This span's id (0 when tracing is off or the span was moved from).
+  [[nodiscard]] std::uint64_t span_id() const noexcept {
+    return recorder_ != nullptr ? span_id_ : 0;
+  }
+
  private:
+  void finish() noexcept {
+    if (recorder_ == nullptr) return;
+    recorder_->add_span(name_, category_, start_us_,
+                        recorder_->now_us() - start_us_, span_id_);
+    recorder_ = nullptr;
+  }
+
   TraceRecorder* recorder_;
   std::string name_;
   std::string category_;
   std::uint64_t start_us_ = 0;
+  std::uint64_t span_id_ = 0;
 };
 
 }  // namespace tero::obs

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 
 namespace tero::serve {
 
@@ -37,6 +38,7 @@ std::vector<Query> generate_queries(const Snapshot& snapshot,
     // order-independent by construction.
     util::Rng rng = util::Rng::indexed(config.seed, i);
     Query& query = queries[i];
+    query.trace_id = i + 1;  // nonzero span id shared by trace + exemplars
     if (entries.empty()) {
       query.kind = QueryKind::kCount;
       continue;  // served as kNotFound; keeps the stream well-defined
@@ -120,7 +122,44 @@ LoadTestReport run_loadtest(QueryService& service,
         static_cast<double>(queries.size()) / (report.wall_ms / 1e3);
   }
 
-  for (const Outcome& outcome : outcomes) {
+  // Serial virtual-time replay (DESIGN.md §13): accounting, loadgen-owned
+  // telemetry and timeline scraping all walk the deterministic outcomes in
+  // arrival order. The closed loop has no offered rate, so it synthesizes
+  // arrivals on a 1000 qps nominal clock purely to give the timeline a
+  // time axis. tero.loadgen.latency_ms records a *synthetic* latency — a
+  // pure function of (seed, i, outcome), never the wall clock — which is
+  // what makes timeline snapshots, SLO verdicts, and exemplar selections
+  // bit-identical across thread counts.
+  obs::Counter* sent_counter = nullptr;
+  obs::Counter* ok_counter = nullptr;
+  obs::Counter* not_found_counter = nullptr;
+  obs::Counter* shed_counter = nullptr;
+  obs::Counter* stale_counter = nullptr;
+  obs::Counter* unavailable_counter = nullptr;
+  obs::Histogram* latency_hist = nullptr;
+  if (config.metrics != nullptr) {
+    auto& registry = *config.metrics;
+    sent_counter = &registry.counter("tero.loadgen.queries");
+    ok_counter = &registry.counter("tero.loadgen.ok");
+    not_found_counter = &registry.counter("tero.loadgen.not_found");
+    shed_counter = &registry.counter("tero.loadgen.shed");
+    stale_counter = &registry.counter("tero.loadgen.stale");
+    unavailable_counter = &registry.counter("tero.loadgen.unavailable");
+    latency_hist = &registry.histogram("tero.loadgen.latency_ms");
+    if (config.exemplar_seed != 0) {
+      latency_hist->enable_exemplars(config.exemplar_seed);
+    }
+  }
+  const double virtual_qps =
+      config.offered_qps > 0.0 ? config.offered_qps : 1000.0;
+  const std::uint64_t latency_seed = util::mix_seed(config.seed, 0x6c67);
+
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const Outcome& outcome = outcomes[i];
+    const auto arrival_ms = static_cast<std::uint64_t>(
+        static_cast<double>(i) * 1000.0 / virtual_qps);
+    if (config.timeline != nullptr) config.timeline->advance_to(arrival_ms);
+
     report.checksum ^= outcome.hash;
     if (outcome.stale) ++report.stale;
     switch (outcome.status) {
@@ -130,6 +169,34 @@ LoadTestReport run_loadtest(QueryService& service,
       case QueryStatus::kNoSnapshot: ++report.no_snapshot; break;
       case QueryStatus::kUnavailable: ++report.unavailable; break;
     }
+    if (config.metrics == nullptr) continue;
+    sent_counter->add();
+    if (outcome.stale) stale_counter->add();
+    switch (outcome.status) {
+      case QueryStatus::kOk: ok_counter->add(); break;
+      case QueryStatus::kNotFound: not_found_counter->add(); break;
+      case QueryStatus::kShed: shed_counter->add(); break;
+      case QueryStatus::kUnavailable: unavailable_counter->add(); break;
+      case QueryStatus::kNoSnapshot: break;
+    }
+    // Synthetic service time: a light-tailed base draw, stretched by the
+    // outcome (degraded answers are slow, sheds are a fast rejection).
+    util::Rng rng = util::Rng::indexed(latency_seed, i);
+    double virtual_ms = 0.2 + rng.exponential(2.0);
+    switch (outcome.status) {
+      case QueryStatus::kOk:
+        if (outcome.stale) virtual_ms = 2.0 + 4.0 * virtual_ms;
+        break;
+      case QueryStatus::kShed: virtual_ms = 0.05; break;
+      case QueryStatus::kUnavailable: virtual_ms = 25.0 + virtual_ms; break;
+      case QueryStatus::kNotFound:
+      case QueryStatus::kNoSnapshot: break;
+    }
+    latency_hist->record(virtual_ms, static_cast<std::uint64_t>(i) + 1);
+  }
+  if (config.timeline != nullptr && !outcomes.empty()) {
+    config.timeline->flush(static_cast<std::uint64_t>(
+        static_cast<double>(outcomes.size()) * 1000.0 / virtual_qps));
   }
 
   if (const obs::Histogram* latency = service.latency_histogram();

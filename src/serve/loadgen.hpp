@@ -8,6 +8,11 @@
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
+namespace tero::obs {
+class MetricsRegistry;
+class MetricsTimeline;
+}  // namespace tero::obs
+
 namespace tero::serve {
 
 /// Deterministic load generation against a QueryService (DESIGN.md §9).
@@ -53,6 +58,22 @@ struct LoadGenConfig {
   /// service's admission controller may shed it. offered_qps <= 0 selects
   /// closed loop (no virtual clock; admission charged at time 0).
   double offered_qps = 0.0;
+
+  /// Optional virtual-time telemetry (DESIGN.md §13; both may be null).
+  /// After the parallel execution fan-out, outcomes are *replayed serially
+  /// in arrival order on the virtual clock* (closed loop synthesizes
+  /// arrivals at a 1000 qps nominal clock): per-outcome counters
+  /// (tero.loadgen.{queries,ok,not_found,shed,stale,unavailable}) and a
+  /// deterministic synthetic latency histogram (tero.loadgen.latency_ms —
+  /// a pure function of (seed, i, outcome), NOT wall time) are written into
+  /// `metrics`, and `timeline` is advanced past each arrival so its
+  /// snapshots, any attached SloTracker's alert log, and the histogram's
+  /// exemplar selections are bit-identical for any thread count.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::MetricsTimeline* timeline = nullptr;
+  /// Nonzero arms deterministic exemplars on tero.loadgen.latency_ms
+  /// (span id = query index + 1, matching Query::trace_id).
+  std::uint64_t exemplar_seed = 0;
 };
 
 struct LoadTestReport {

@@ -26,6 +26,30 @@ std::uint64_t hash_double(double value) {
   return std::bit_cast<std::uint64_t>(value);
 }
 
+/// ScopedTimer variant that routes through Histogram::record so an
+/// exemplar-armed latency histogram attaches the query's span id to the
+/// sample (record == observe when exemplars are off).
+class RecordTimer {
+ public:
+  RecordTimer(obs::Histogram* histogram, std::uint64_t span_id) noexcept
+      : histogram_(histogram), span_id_(span_id) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~RecordTimer() {
+    if (histogram_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->record(
+        std::chrono::duration<double, std::milli>(elapsed).count(), span_id_);
+  }
+  RecordTimer(const RecordTimer&) = delete;
+  RecordTimer& operator=(const RecordTimer&) = delete;
+
+ private:
+  obs::Histogram* histogram_;
+  std::uint64_t span_id_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 }  // namespace
 
 std::uint64_t hash_response(std::uint64_t index,
@@ -77,6 +101,9 @@ QueryService::QueryService(ServeConfig config)
     degraded_counter_ = &registry.counter("tero.serve.degraded");
     unavailable_counter_ = &registry.counter("tero.serve.unavailable");
     query_ms_ = &registry.histogram("tero.serve.query_ms");
+    if (config_.exemplar_seed != 0) {
+      query_ms_->enable_exemplars(config_.exemplar_seed);
+    }
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       shards_[i]->hits_counter = &registry.counter(obs::MetricsRegistry::
           labeled("tero.serve.cache_hits", {{"shard", shard_names_[i]}}));
@@ -262,8 +289,12 @@ QueryResponse QueryService::degraded(const Query& query,
 }
 
 QueryResponse QueryService::query_admitted(const Query& query, double now_s) {
-  const obs::ScopedSpan span(config_.trace, "serve.query", "serve");
-  const obs::ScopedTimer timer(query_ms_);
+  const obs::ScopedSpan span =
+      query.trace_id != 0
+          ? obs::ScopedSpan(config_.trace, "serve.query", "serve",
+                            query.trace_id)
+          : obs::ScopedSpan(config_.trace, "serve.query", "serve");
+  const RecordTimer timer(query_ms_, query.trace_id);
   if (queries_total_ != nullptr) queries_total_->add();
 
   const SnapshotPtr snapshot = publisher_.current();

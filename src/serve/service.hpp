@@ -50,6 +50,12 @@ struct Query {
   std::string game;
   double param = 50.0;
   std::size_t k = 5;
+  /// Caller-assigned trace/span id (0 = none). The "serve.query" span is
+  /// tagged with it and, when the latency histogram has exemplars armed,
+  /// the recorded sample carries it — the link that lets `obs report`
+  /// print "p99 bucket exemplar -> span 0x...". The load generator sets
+  /// trace_id = query index + 1. Never part of the answer or its hash.
+  std::uint64_t trace_id = 0;
 };
 
 enum class QueryStatus {
@@ -100,6 +106,10 @@ struct ServeConfig {
   /// query results never depend on them.
   obs::MetricsRegistry* metrics = nullptr;
   obs::TraceRecorder* trace = nullptr;
+  /// Nonzero arms exemplar capture on tero.serve.query_ms: each latency
+  /// bucket keeps one (value, span id) sample chosen by deterministic
+  /// min-wise reservoir (see obs::Histogram::record). Requires metrics.
+  std::uint64_t exemplar_seed = 0;
   /// Optional fault injection (not owned; may be null). Arms one
   /// "serve.shard-<i>" point per shard: an injected error marks the shard
   /// unavailable for that query, trips its circuit breaker, and routes the

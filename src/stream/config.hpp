@@ -6,6 +6,10 @@
 
 #include "tero/pipeline.hpp"
 
+namespace tero::obs {
+class MetricsTimeline;
+}  // namespace tero::obs
+
 namespace tero::serve {
 class QueryService;
 }  // namespace tero::serve
@@ -60,6 +64,13 @@ struct StreamConfig {
   /// Live epoch target (not owned; may be null). Closed windows fold into
   /// snapshots published here; the final exact snapshot is published last.
   serve::QueryService* service = nullptr;
+
+  /// Virtual-time telemetry scraper (not owned; may be null). The sink —
+  /// which already processes events serially in deterministic arrival
+  /// order — advances it past each event's virtual arrival time, so
+  /// timeline snapshots of the sink-owned tero.stream.* series are
+  /// bit-identical for any thread count (DESIGN.md §13).
+  obs::MetricsTimeline* timeline = nullptr;
 };
 
 }  // namespace tero::stream

@@ -11,6 +11,7 @@
 
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
 #include "obs/trace.hpp"
 #include "ocr/game_ui.hpp"
 #include "serve/service.hpp"
@@ -475,6 +476,7 @@ StreamResult StreamPipeline::run(const synth::World& world,
   };
 
   bool crashed = false;
+  double last_arrival_s = 0.0;
   {
     const obs::ScopedSpan span(trace, "stream.sink", "stage");
     while (!crashed) {
@@ -483,6 +485,14 @@ StreamResult StreamPipeline::run(const synth::World& world,
       if (config_.sink_delay_us > 0) {
         std::this_thread::sleep_for(
             std::chrono::microseconds(config_.sink_delay_us));
+      }
+      // The sink sees events serially in deterministic arrival order, so
+      // this is the one safe place to drive the telemetry timeline's
+      // virtual clock (DESIGN.md §13).
+      if (config_.timeline != nullptr && ev->arrival_time > 0.0) {
+        last_arrival_s = ev->arrival_time;
+        config_.timeline->advance_to(
+            static_cast<std::uint64_t>(ev->arrival_time * 1000.0));
       }
       switch (ev->kind) {
         case EventKind::kStreamStart:
@@ -584,6 +594,13 @@ StreamResult StreamPipeline::run(const synth::World& world,
   source_thread.join();
   extract_thread.join();
   clean_thread.join();
+
+  // Capture the trailing partial interval (crashed runs included — their
+  // truncated history is still a valid, deterministic record).
+  if (config_.timeline != nullptr && last_arrival_s > 0.0) {
+    config_.timeline->flush(
+        static_cast<std::uint64_t>(last_arrival_s * 1000.0));
+  }
 
   StreamResult result;
   result.crashed = crashed;

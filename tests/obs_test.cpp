@@ -8,6 +8,7 @@
 
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prom.hpp"
 #include "obs/trace.hpp"
 
 namespace tero::obs {
@@ -191,6 +192,136 @@ TEST(Registry, TableListsEveryMetric) {
   }
 }
 
+TEST(Registry, IterationIsNameSorted) {
+  MetricsRegistry registry;
+  registry.counter("tero.zeta").add(1);
+  registry.counter("tero.alpha").add(1);
+  registry.counter("tero.mid").add(1);
+  const auto listed = registry.counters();
+  ASSERT_EQ(listed.size(), 3u);
+  EXPECT_EQ(listed[0].first, "tero.alpha");
+  EXPECT_EQ(listed[1].first, "tero.mid");
+  EXPECT_EQ(listed[2].first, "tero.zeta");
+}
+
+TEST(Registry, RemoveAndResetDropSeries) {
+  MetricsRegistry registry;
+  registry.counter("tero.a").add(1);
+  registry.gauge("tero.b").set(2.0);
+  registry.histogram("tero.c").observe(3.0);
+  EXPECT_TRUE(registry.remove("tero.b"));
+  EXPECT_FALSE(registry.remove("tero.b"));  // already gone
+  EXPECT_FALSE(registry.remove("tero.never"));
+  EXPECT_EQ(registry.size(), 2u);
+  registry.reset();
+  EXPECT_EQ(registry.size(), 0u);
+  // Recreating after reset starts from zero state.
+  EXPECT_EQ(registry.counter("tero.a").value(), 0u);
+}
+
+TEST(Registry, MutationEpochTracksStructuralChangesOnly) {
+  MetricsRegistry registry;
+  const std::uint64_t start = registry.mutation_epoch();
+  registry.counter("tero.a");
+  EXPECT_EQ(registry.mutation_epoch(), start + 1);
+  // Re-resolving and mutating values are not structural changes.
+  registry.counter("tero.a").add(100);
+  EXPECT_EQ(registry.mutation_epoch(), start + 1);
+  registry.gauge("tero.b");
+  registry.histogram("tero.c");
+  EXPECT_EQ(registry.mutation_epoch(), start + 3);
+  registry.remove("tero.never");  // no-op remove doesn't bump
+  EXPECT_EQ(registry.mutation_epoch(), start + 3);
+  registry.remove("tero.a");
+  EXPECT_EQ(registry.mutation_epoch(), start + 4);
+  registry.reset();
+  EXPECT_EQ(registry.mutation_epoch(), start + 5);
+}
+
+TEST(Exemplars, SelectionIsOrderIndependent) {
+  // The min-wise reservoir must elect the same exemplar per bucket no
+  // matter what order (or thread) the samples arrived in.
+  const std::vector<std::pair<double, std::uint64_t>> samples = {
+      {0.5, 1}, {0.7, 2}, {5.0, 3}, {7.5, 4}, {0.2, 5}, {6.1, 6}, {200.0, 7},
+  };
+  Histogram forward({1.0, 10.0, 100.0});
+  forward.enable_exemplars(42);
+  for (const auto& [value, span] : samples) forward.record(value, span);
+  Histogram reverse({1.0, 10.0, 100.0});
+  reverse.enable_exemplars(42);
+  for (auto it = samples.rbegin(); it != samples.rend(); ++it) {
+    reverse.record(it->first, it->second);
+  }
+  const auto a = forward.exemplars();
+  const auto b = reverse.exemplars();
+  ASSERT_EQ(a.size(), 4u);  // 3 bounds + overflow
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].valid(), b[i].valid()) << "bucket " << i;
+    EXPECT_EQ(a[i].span_id, b[i].span_id) << "bucket " << i;
+    EXPECT_EQ(a[i].rank, b[i].rank) << "bucket " << i;
+  }
+  // Every populated bucket elected someone; the empty le=100 bucket did not.
+  EXPECT_TRUE(a[0].valid());
+  EXPECT_TRUE(a[1].valid());
+  EXPECT_FALSE(a[2].valid());  // no sample in (10, 100]
+  EXPECT_TRUE(a[3].valid());   // 200.0 overflows
+  EXPECT_EQ(a[3].span_id, 7u);
+}
+
+TEST(Exemplars, DisabledHistogramRecordsWithoutCapture) {
+  Histogram histogram({1.0});
+  histogram.record(0.5, 9);  // exemplars never enabled
+  EXPECT_EQ(histogram.count(), 1u);
+  EXPECT_FALSE(histogram.exemplars_enabled());
+  EXPECT_TRUE(histogram.exemplars().empty());
+}
+
+TEST(Prom, LabelEscapingCoversTheSpecials) {
+  EXPECT_EQ(prom_escape_label(R"(plain)"), "plain");
+  EXPECT_EQ(prom_escape_label("a\\b"), "a\\\\b");
+  EXPECT_EQ(prom_escape_label("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prom_escape_label("two\nlines"), "two\\nlines");
+}
+
+TEST(Prom, NameSanitizesToTheExpositionCharset) {
+  EXPECT_EQ(prom_name("tero.serve.cache_hits"), "tero_serve_cache_hits");
+  EXPECT_EQ(prom_name("weird-name!"), "weird_name_");
+  EXPECT_EQ(prom_name("9lives"), "_9lives");  // leading digit gains '_'
+}
+
+TEST(Prom, SplitLabeledNameHandlesGoodAndMalformed) {
+  const auto parsed = split_labeled_name("tero.x{shard=3,zone=us-west}");
+  EXPECT_EQ(parsed.name, "tero.x");
+  ASSERT_EQ(parsed.labels.size(), 2u);
+  EXPECT_EQ(parsed.labels[0].first, "shard");
+  EXPECT_EQ(parsed.labels[0].second, "3");
+  EXPECT_EQ(parsed.labels[1].second, "us-west");
+  // Malformed blocks stay opaque: the whole string remains the name.
+  EXPECT_EQ(split_labeled_name("tero.x{unclosed").name, "tero.x{unclosed");
+  EXPECT_TRUE(split_labeled_name("tero.plain").labels.empty());
+}
+
+TEST(Prom, RegistryExportValidatesAndCarriesExemplars) {
+  MetricsRegistry registry;
+  registry.counter("tero.test.events{shard=0}").add(3);
+  registry.gauge("tero.test.depth").set(1.5);
+  auto& histogram = registry.histogram("tero.test.ms", {1.0, 10.0});
+  histogram.enable_exemplars(7);
+  histogram.record(0.5, 21);
+  histogram.record(4.0, 22);
+  std::ostringstream out;
+  write_prom(registry, out);
+  EXPECT_EQ(validate_prom_text(out.str()), "");
+  EXPECT_NE(out.str().find("# {span_id="), std::string::npos);
+}
+
+TEST(Prom, ValidatorRejectsBrokenExposition) {
+  EXPECT_EQ(validate_prom_text("# just a comment\n"), "");
+  EXPECT_NE(validate_prom_text("name_only\n"), "");          // missing value
+  EXPECT_NE(validate_prom_text("name not_a_number\n"), "");  // bad value
+  EXPECT_NE(validate_prom_text("bad name 1\n"), "");  // space inside name
+}
+
 TEST(ScopedTimerTest, ObservesElapsedOnceAndNullIsNoop) {
   MetricsRegistry registry;
   auto& histogram = registry.histogram("tero.test.ms");
@@ -202,6 +333,37 @@ TEST(ScopedTimerTest, ObservesElapsedOnceAndNullIsNoop) {
     ScopedTimer null_timer(nullptr);  // must not crash or observe anywhere
   }
   EXPECT_EQ(histogram.count(), 1u);
+}
+
+TEST(ScopedTimerTest, MoveTransfersTheSingleObservation) {
+  MetricsRegistry registry;
+  auto& histogram = registry.histogram("tero.test.ms");
+  {
+    ScopedTimer outer(nullptr);
+    {
+      ScopedTimer inner(&histogram);
+      outer = std::move(inner);
+      // inner is disarmed: its destruction here must not record.
+    }
+    EXPECT_EQ(histogram.count(), 0u);  // outer still holds the measurement
+  }
+  EXPECT_EQ(histogram.count(), 1u);
+
+  // Move construction likewise leaves exactly one observation.
+  {
+    ScopedTimer first(&histogram);
+    ScopedTimer second(std::move(first));
+  }
+  EXPECT_EQ(histogram.count(), 2u);
+
+  // Assigning over an armed timer closes it out first: two observations
+  // total, one per started timer.
+  {
+    ScopedTimer a(&histogram);
+    ScopedTimer b(&histogram);
+    a = std::move(b);
+  }
+  EXPECT_EQ(histogram.count(), 4u);
 }
 
 TEST(Trace, JsonRoundTripsWithNestedSpans) {
@@ -242,6 +404,30 @@ TEST(Trace, JsonRoundTripsWithNestedSpans) {
 TEST(Trace, NullRecorderScopedSpanIsNoop) {
   ScopedSpan span(nullptr, "anything");
   // Nothing to assert beyond "does not crash": the null recorder contract.
+}
+
+TEST(Trace, MovedFromSpanDoesNotDoubleRecord) {
+  TraceRecorder recorder;
+  {
+    ScopedSpan outer(nullptr, "placeholder");
+    {
+      ScopedSpan inner(&recorder, "work", "task");
+      outer = std::move(inner);
+      // inner is disarmed: leaving this scope must not close the span.
+    }
+    EXPECT_EQ(recorder.span_count(), 0u);
+  }
+  EXPECT_EQ(recorder.span_count(), 1u);  // exactly one "work" span
+
+  // Move construction transfers the span rather than duplicating it, and
+  // assigning over a live span closes that span out first.
+  {
+    ScopedSpan first(&recorder, "a");
+    ScopedSpan second(std::move(first));
+    ScopedSpan replacement(&recorder, "b");
+    second = std::move(replacement);  // closes "a", adopts "b"
+  }
+  EXPECT_EQ(recorder.span_count(), 3u);  // work + a + b, no extras
 }
 
 TEST(Trace, ThreadsGetSmallStableIds) {

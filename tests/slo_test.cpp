@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeline.hpp"
+
+namespace tero::obs {
+namespace {
+
+TEST(SloSpec, ParsesTheFullGrammar) {
+  const SloSpec spec = SloSpec::parse(
+      "slo latency: p99(tero.loadgen.latency_ms) < 15ms over 60s window, "
+      "budget 0.1%");
+  EXPECT_EQ(spec.name, "latency");
+  EXPECT_EQ(spec.stat, SloSpec::Stat::kP99);
+  EXPECT_EQ(spec.series, "tero.loadgen.latency_ms");
+  EXPECT_DOUBLE_EQ(spec.threshold, 15.0);
+  EXPECT_TRUE(spec.less_than);
+  EXPECT_EQ(spec.window_ms, 60'000u);
+  EXPECT_DOUBLE_EQ(spec.budget, 0.001);
+}
+
+TEST(SloSpec, GrammarVariantsAndUnits) {
+  // "slo" prefix, the "window" keyword, and the comma are all optional;
+  // the "s" unit scales seconds into the milliseconds histograms record.
+  const SloSpec spec =
+      SloSpec::parse("avail: value(tero.fault.breaker) > 0.5s over 10s "
+                     "budget 5%");
+  EXPECT_EQ(spec.name, "avail");
+  EXPECT_EQ(spec.stat, SloSpec::Stat::kValue);
+  EXPECT_DOUBLE_EQ(spec.threshold, 500.0);
+  EXPECT_FALSE(spec.less_than);
+  EXPECT_EQ(spec.window_ms, 10'000u);
+  EXPECT_DOUBLE_EQ(spec.budget, 0.05);
+}
+
+TEST(SloSpec, ToStringRoundTrips) {
+  const char* text =
+      "slo latency: p90(tero.x.ms) < 5ms over 30s window, budget 1%";
+  const SloSpec once = SloSpec::parse(text);
+  const SloSpec twice = SloSpec::parse(once.to_string());
+  EXPECT_EQ(once.to_string(), twice.to_string());
+  EXPECT_EQ(twice.stat, SloSpec::Stat::kP90);
+  EXPECT_EQ(twice.window_ms, 30'000u);
+}
+
+TEST(SloSpec, RejectsMalformedSpecs) {
+  EXPECT_THROW(SloSpec::parse(""), std::invalid_argument);
+  EXPECT_THROW(SloSpec::parse("no colon here"), std::invalid_argument);
+  EXPECT_THROW(SloSpec::parse("x: p98(tero.a) < 1 over 10s budget 1%"),
+               std::invalid_argument);  // unknown stat
+  EXPECT_THROW(SloSpec::parse("x: p99(tero.a) < abc over 10s budget 1%"),
+               std::invalid_argument);  // bad threshold
+  EXPECT_THROW(SloSpec::parse("x: p99(tero.a) < 1 over 10s"),
+               std::invalid_argument);  // missing budget
+  EXPECT_THROW(SloSpec::parse("x: p99(tero.a) < 1 budget 1%"),
+               std::invalid_argument);  // missing window
+}
+
+/// Drives one counter-rate SLO through a scripted schedule of deltas.
+struct RateHarness {
+  MetricsRegistry registry;
+  MetricsTimeline timeline;
+  SloTracker tracker;
+  Counter* counter;
+  std::uint64_t now_ms = 0;
+
+  explicit RateHarness(const std::string& spec,
+                       SloTracker::Config config = {})
+      : timeline(registry, TimelineConfig{}), tracker(config) {
+    counter = &registry.counter("tero.test.errors");
+    tracker.add(spec);
+    tracker.attach(timeline);
+  }
+
+  /// One scrape interval with `delta` new errors.
+  void tick(std::uint64_t delta) {
+    counter->add(delta);
+    now_ms += 1000;
+    timeline.advance_to(now_ms);
+  }
+};
+
+TEST(SloTracker, BurnRateIsBadFractionOverBudget) {
+  // budget 50%: a bad scrape is "affordable" half the time, so burn =
+  // bad_fraction / 0.5. Window 10 s, fast window 5 s (default).
+  RateHarness h("errs: rate(tero.test.errors) < 5 over 10s budget 50%");
+  h.tick(0);  // good
+  h.tick(0);  // good
+  h.tick(10);  // bad: 10 errors/s >= 5
+  h.tick(10);  // bad
+  const auto status = h.tracker.status();
+  ASSERT_EQ(status.size(), 1u);
+  // Fast window (5 s) saw 4 verdicts, 2 bad: burn = (2/4) / 0.5 = 1.0.
+  EXPECT_DOUBLE_EQ(status[0].burn_fast, 1.0);
+  EXPECT_DOUBLE_EQ(status[0].burn_slow, 1.0);
+  EXPECT_EQ(status[0].good, 2u);
+  EXPECT_EQ(status[0].bad, 2u);
+  EXPECT_TRUE(status[0].firing);  // both windows at the threshold
+}
+
+TEST(SloTracker, OneBlipDoesNotFireTheMultiWindowGuard) {
+  // budget 10%, slow window 20 s: a single bad scrape pushes the *fast*
+  // burn over 1.0 but the slow window absorbs it — no alert.
+  RateHarness h("errs: rate(tero.test.errors) < 5 over 20s budget 10%");
+  for (int i = 0; i < 19; ++i) h.tick(0);
+  h.tick(50);  // one blip
+  const auto status = h.tracker.status();
+  EXPECT_GE(status[0].burn_fast, 1.0);   // 1 bad of 5 fast verdicts / 0.1
+  EXPECT_LT(status[0].burn_slow, 1.0);   // 1 bad of 20 slow verdicts / 0.1
+  EXPECT_FALSE(status[0].firing);
+  EXPECT_TRUE(h.tracker.alerts().empty());
+}
+
+TEST(SloTracker, FiresAndResolvesWithAnAlertLog) {
+  RateHarness h("errs: rate(tero.test.errors) < 5 over 10s budget 50%");
+  h.tick(10);  // bad: both windows instantly at burn 2.0
+  ASSERT_EQ(h.tracker.alerts().size(), 1u);
+  EXPECT_TRUE(h.tracker.alerts()[0].firing);
+  EXPECT_EQ(h.tracker.alerts()[0].t_ms, 1000u);
+  EXPECT_TRUE(h.tracker.fired("errs"));
+  EXPECT_FALSE(h.tracker.fired("errs", 2000));  // nothing at/after 2 s yet
+  EXPECT_FALSE(h.tracker.fired("other"));
+
+  // Recovery: good scrapes dilute both windows below the threshold.
+  for (int i = 0; i < 12; ++i) h.tick(0);
+  ASSERT_EQ(h.tracker.alerts().size(), 2u);
+  EXPECT_FALSE(h.tracker.alerts()[1].firing);
+  EXPECT_FALSE(h.tracker.status()[0].firing);
+}
+
+TEST(SloTracker, GaugeSloFiresWithinOneScrapeOfTheBadState) {
+  // The chaos gate's shape: value(breaker) < 1, i.e. the breaker leaving
+  // kClosed must raise the alert at the very next scrape.
+  MetricsRegistry registry;
+  MetricsTimeline timeline(registry, TimelineConfig{});
+  SloTracker tracker;
+  tracker.add("breaker: value(tero.test.state) < 1 over 10s budget 1%");
+  tracker.attach(timeline);
+  auto& state = registry.gauge("tero.test.state");
+  state.set(0.0);
+  timeline.advance_to(1000);
+  EXPECT_FALSE(tracker.fired("breaker"));
+  state.set(1.0);  // trips between scrapes
+  timeline.advance_to(2000);
+  ASSERT_TRUE(tracker.fired("breaker"));
+  EXPECT_EQ(tracker.alerts().front().t_ms, 2000u);
+}
+
+TEST(SloTracker, AlertLogAndJsonAreDeterministic) {
+  const auto run = [] {
+    RateHarness h("errs: rate(tero.test.errors) < 5 over 10s budget 25%");
+    for (const std::uint64_t delta :
+         {0u, 0u, 9u, 9u, 9u, 0u, 0u, 0u, 0u, 0u, 0u, 0u, 0u, 0u}) {
+      h.tick(delta);
+    }
+    std::ostringstream out;
+    h.tracker.write_json(out);
+    return out.str();
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, run());
+  // And it is machine-readable: the CI bit-identity diff parses it too.
+  const auto parsed = parse_json(first);
+  EXPECT_TRUE(parsed.contains("slos"));
+  EXPECT_TRUE(parsed.contains("alerts"));
+}
+
+TEST(SloTracker, TableListsEverySlo) {
+  RateHarness h("errs: rate(tero.test.errors) < 5 over 10s budget 25%");
+  h.tick(0);
+  std::ostringstream out;
+  h.tracker.write_table(out);
+  EXPECT_NE(out.str().find("errs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tero::obs
