@@ -53,6 +53,13 @@
 //       JSON (--json, bit-identical across thread counts at a fixed
 //       seed), and the SLO alert log (--slo).
 //
+//   tero_cli cluster <loadtest|kill|join|status> [streamers] [days] [queries]
+//       deterministic multi-node serving cluster demo (DESIGN.md §14):
+//       publish a world's snapshot across a consistent-hash fleet,
+//       sweep the Zipf load generator, and script membership churn.
+//       kill/join double as invariant gates (availability, breaker SLO,
+//       ownership audit, remap bound) and exit nonzero on violation.
+//
 // The observability flags --metrics-out / --trace-out / --metrics-table
 // are shared: simulate, loadtest, stream, chaos, and obs all accept them
 // with the same spelling and semantics (see ObsFlags below).
@@ -66,6 +73,8 @@
 #include <vector>
 
 #include "analysis/anomalies.hpp"
+#include "cluster/cluster.hpp"
+#include "cluster/loadgen.hpp"
 #include "download/cdn.hpp"
 #include "download/system.hpp"
 #include "fault/fault.hpp"
@@ -96,7 +105,7 @@ namespace {
 /// (stderr, nonzero exit).
 constexpr const char* kUsage =
     "usage: tero_cli <simulate|analyze|report|query|loadtest|stream|chaos"
-    "|obs> ...\n"
+    "|obs|cluster> ...\n"
     "\n"
     "  simulate [out_dir] [streamers] [days] [threads]\n"
     "           [--snapshot-out snap.bin] [--metrics-out m.json]\n"
@@ -171,6 +180,24 @@ constexpr const char* kUsage =
     "      -> span links; `export` writes Prometheus text (--prom), the\n"
     "      timeline history JSON (--json; byte-identical across thread\n"
     "      counts at a fixed seed), and the SLO alert log (--slo)\n"
+    "\n"
+    "  cluster  <loadtest|kill|join|status> [streamers] [days] [queries]\n"
+    "           [--nodes n] [--replicas n] [--budget epochs] [--seed n]\n"
+    "           [--threads n] [--qps n] [--policy leader|follower]\n"
+    "           [--timeline-out tl.json] [--slo-out s.json]\n"
+    "           [--metrics-out m.json] [--trace-out t.json]\n"
+    "           [--metrics-table]\n"
+    "      deterministic multi-node serving cluster (DESIGN.md §14):\n"
+    "      publish a world's snapshot across a consistent-hash fleet and\n"
+    "      sweep the Zipf load generator on the virtual clock. `loadtest`\n"
+    "      republishes epochs mid-sweep (follower answers go STALE within\n"
+    "      the --budget bound); `kill` downs a node mid-sweep and asserts\n"
+    "      availability, breaker opening, and the breaker burn-rate SLO\n"
+    "      firing within two scrapes; `join` adds a node mid-sweep and\n"
+    "      asserts the ownership audit plus the < 2/n remap bound;\n"
+    "      `status` prints the per-node table and the audit. kill/join\n"
+    "      exit nonzero when an invariant is violated. The result\n"
+    "      checksum is bit-identical for any --threads value\n"
     "\n"
     "  tero_cli --help prints this text; unknown flags exit nonzero.\n";
 
@@ -1434,6 +1461,335 @@ int cmd_obs(int argc, char** argv) {
   return write_obs_outputs(obs_flags, registry, recorder);
 }
 
+/// `tero_cli cluster <loadtest|kill|join|status>` — the deterministic
+/// multi-node serving fleet (DESIGN.md §14). All modes build the same
+/// world, publish its snapshot to the cluster, and (except `status`) sweep
+/// the Zipf load generator across it on the virtual clock with a scripted
+/// event timeline. kill/join double as invariant checks and exit nonzero
+/// when one is violated (scripts/ci.sh cluster-smoke runs them).
+int cmd_cluster(int argc, char** argv) {
+  const std::string mode = argc > 2 ? argv[2] : "";
+  if (mode == "--help" || mode == "-h") {
+    std::cout << kUsage;
+    return 0;
+  }
+  const bool known_mode = mode == "loadtest" || mode == "kill" ||
+                          mode == "join" || mode == "status";
+  if (!known_mode) {
+    if (!mode.empty() && mode.rfind("--", 0) == 0) {
+      return unknown_flag("cluster", mode);
+    }
+    std::cerr << "usage: tero_cli cluster <loadtest|kill|join|status> "
+                 "[streamers] [days] [queries]\n"
+                 "               [--nodes n] [--replicas n] [--budget epochs] "
+                 "[--seed n]\n"
+                 "               [--threads n] [--qps n] [--policy "
+                 "leader|follower]\n"
+                 "               [--timeline-out tl.json] [--slo-out "
+                 "s.json]\n";
+    return 2;
+  }
+
+  cluster::ClusterConfig fleet_config;
+  fleet_config.nodes = 5;
+  cluster::ClusterLoadConfig load;
+  load.queries = 20000;
+  std::size_t threads = 0;
+  ObsFlags obs_flags;
+  std::string timeline_out;
+  std::string slo_out;
+  std::vector<std::string> positional;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (const int eaten = eat_obs_flag(argc, argv, i, obs_flags);
+        eaten != 0) {
+      if (eaten < 0) return 1;
+      i += eaten - 1;
+      continue;
+    }
+    if (arg == "--nodes" || arg == "--replicas" || arg == "--budget" ||
+        arg == "--seed" || arg == "--threads" || arg == "--qps") {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        return 1;
+      }
+      const double value = std::atof(argv[++i]);
+      if (arg == "--nodes") {
+        fleet_config.nodes = std::max<std::size_t>(
+            1, static_cast<std::size_t>(value));
+      } else if (arg == "--replicas") {
+        fleet_config.replicas = std::max<std::size_t>(
+            1, static_cast<std::size_t>(value));
+      } else if (arg == "--budget") {
+        fleet_config.staleness_budget = static_cast<std::uint64_t>(value);
+      } else if (arg == "--seed") {
+        fleet_config.seed = static_cast<std::uint64_t>(value);
+        load.seed = static_cast<std::uint64_t>(value);
+      } else if (arg == "--threads") {
+        threads = static_cast<std::size_t>(value);
+      } else {
+        load.offered_qps = value;
+      }
+    } else if (arg == "--policy") {
+      if (i + 1 >= argc) {
+        std::cerr << "--policy needs leader|follower\n";
+        return 1;
+      }
+      const std::string policy = argv[++i];
+      if (policy == "leader") {
+        load.policy = cluster::ReadPolicy::kLeaderOnly;
+      } else if (policy == "follower") {
+        load.policy = cluster::ReadPolicy::kFollowerPreferred;
+      } else {
+        std::cerr << "--policy must be leader or follower, got " << policy
+                  << "\n";
+        return 1;
+      }
+    } else if (arg == "--timeline-out" || arg == "--slo-out") {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a file argument\n";
+        return 1;
+      }
+      (arg == "--timeline-out" ? timeline_out : slo_out) = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      return unknown_flag("cluster", arg);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  std::size_t streamers = 60;
+  int days = 2;
+  if (!positional.empty()) {
+    streamers = static_cast<std::size_t>(std::atoi(positional[0].c_str()));
+  }
+  if (positional.size() > 1) days = std::atoi(positional[1].c_str());
+  if (positional.size() > 2) {
+    load.queries = static_cast<std::size_t>(std::atoi(positional[2].c_str()));
+  }
+  if ((mode == "kill" || mode == "join") && fleet_config.nodes < 2) {
+    std::cerr << "cluster " << mode << " needs --nodes >= 2\n";
+    return 1;
+  }
+
+  // Same world scenario as `obs`: the cluster serves the batch pipeline's
+  // snapshot entries.
+  synth::WorldConfig world_config;
+  world_config.seed = 1;
+  world_config.num_streamers = streamers;
+  world_config.p_twitter = 0.8;
+  const synth::World world(world_config);
+  synth::BehaviorConfig behavior;
+  behavior.days = days;
+  synth::SessionGenerator generator(world, behavior, 2);
+  const auto streams = generator.generate();
+  core::TeroConfig pipeline_config;
+  pipeline_config.threads = threads;
+  core::Pipeline pipeline(pipeline_config);
+  const core::Dataset dataset = pipeline.run(world, streams);
+  std::vector<serve::SnapshotEntry> entries = serve::entries_from(dataset);
+  if (entries.empty()) {
+    std::cerr << "pipeline produced no snapshot entries\n";
+    return 1;
+  }
+
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder;
+  obs::TimelineConfig timeline_config;
+  timeline_config.scrape_every_ms = 1000;
+  timeline_config.prefixes = {"tero.cluster.", "tero.fault.breaker"};
+  obs::MetricsTimeline timeline(registry, timeline_config);
+  obs::SloTracker tracker;
+  fleet_config.metrics = &registry;
+  load.metrics = &registry;
+  load.timeline = &timeline;
+
+  cluster::Cluster fleet(fleet_config);
+  fleet.publish(std::move(entries), 0);
+
+  if (mode == "status") {
+    std::cout << "cluster: " << fleet.node_count() << " nodes, "
+              << fleet_config.replicas << " replicas, budget "
+              << fleet_config.staleness_budget << " epochs, epoch "
+              << fleet.epoch() << ", " << fleet.snapshot()->size()
+              << " keys\n";
+    util::Table table(
+        {"node", "alive", "breaker", "applied epoch", "claimed keys"});
+    for (std::size_t n = 0; n < fleet.node_count(); ++n) {
+      table.add_row({fleet.node_names()[n],
+                     fleet.alive(n) ? "yes" : "no",
+                     std::string(fault::to_string(fleet.breaker_state(n))),
+                     std::to_string(fleet.applied_epoch(n)),
+                     std::to_string(fleet.claimed_keys(n))});
+    }
+    table.print(std::cout);
+    const cluster::OwnershipAudit audit = fleet.audit();
+    std::cout << "ownership audit: " << (audit.ok ? "ok" : "FAILED") << " ("
+              << audit.keys << " keys, " << audit.lost << " lost, "
+              << audit.double_owned << " double-owned, " << audit.misplaced
+              << " misplaced)\n";
+    return write_obs_outputs(obs_flags, registry, recorder) ||
+           (audit.ok ? 0 : 1);
+  }
+
+  // Scripted sweep: event times are fractions of the virtual duration so
+  // --qps and query-count changes keep the story intact. The kill never
+  // fires before the initial replication window (<= 450 ms) has passed.
+  if (load.offered_qps <= 0.0) {
+    load.offered_qps = static_cast<double>(load.queries) / 4.0;
+  }
+  const auto duration_ms = static_cast<std::uint64_t>(
+      static_cast<double>(load.queries) * 1000.0 / load.offered_qps);
+  const auto at = [&](double fraction) {
+    return static_cast<std::uint64_t>(static_cast<double>(duration_ms) *
+                                      fraction);
+  };
+  // Kill the node leading the most keys (lowest index on ties): a tiny
+  // world's keyspace can leave some nodes with no keys at all, and killing
+  // one of those would never trip its breaker — the invariant run must
+  // target a node the Zipf stream actually hits.
+  std::size_t victim = 0;
+  for (std::size_t n = 1; n < fleet.node_count(); ++n) {
+    if (fleet.claimed_keys(n) > fleet.claimed_keys(victim)) victim = n;
+  }
+  std::uint64_t kill_ms = 0;
+  if (mode == "loadtest") {
+    load.events = {
+        {cluster::ClusterEvent::Kind::kRepublish, at(0.25), 0},
+        {cluster::ClusterEvent::Kind::kRepublish, at(0.50), 0},
+        {cluster::ClusterEvent::Kind::kRepublish, at(0.75), 0},
+    };
+  } else if (mode == "kill") {
+    kill_ms = std::max<std::uint64_t>(600, at(0.40));
+    load.events = {
+        {cluster::ClusterEvent::Kind::kKill, kill_ms, victim},
+        {cluster::ClusterEvent::Kind::kRepublish, at(0.60), 0},
+        {cluster::ClusterEvent::Kind::kRepublish, at(0.80), 0},
+    };
+    tracker.add("slo breaker: value(tero.fault.breaker{endpoint=" +
+                fleet.node_names()[victim] +
+                "}) < 1 over 10s window, budget 1%");
+    tracker.attach(timeline);
+  } else {  // join
+    load.events = {
+        {cluster::ClusterEvent::Kind::kRepublish, at(0.25), 0},
+        {cluster::ClusterEvent::Kind::kJoin, at(0.50), 0},
+        {cluster::ClusterEvent::Kind::kRepublish, at(0.75), 0},
+    };
+  }
+
+  const std::size_t resolved = util::ThreadPool::resolve(threads);
+  util::ThreadPool pool(resolved);
+  const cluster::ClusterLoadReport report = cluster::run_cluster_loadtest(
+      fleet, load, resolved > 1 ? &pool : nullptr);
+
+  std::cout << "cluster " << mode << ": " << report.issued << " queries, "
+            << resolved << " threads, " << fleet.node_count() << " nodes x "
+            << fleet_config.replicas << " replicas, budget "
+            << fleet_config.staleness_budget << " epochs, "
+            << report.events_applied << " events\n";
+  std::cout << "  ok " << report.ok << ", not_found " << report.not_found
+            << ", stale " << report.stale << " ("
+            << util::fmt_percent(report.stale_fraction, 2)
+            << "), unavailable " << report.unavailable << " -> availability "
+            << util::fmt_percent(report.availability, 3) << "\n";
+  std::cout << "  stale ages [";
+  for (std::size_t age = 0; age < report.stale_age_hist.size(); ++age) {
+    std::cout << (age > 0 ? ", " : "") << report.stale_age_hist[age];
+  }
+  std::cout << "] (max " << report.stale_age_max << ", budget "
+            << fleet_config.staleness_budget << "), failover attempts "
+            << report.failover_attempts << "\n";
+  std::cout << "  virtual latency p50/p99: "
+            << util::fmt_double(report.p50_ms, 2) << " / "
+            << util::fmt_double(report.p99_ms, 2) << " ms\n";
+  char checksum[32];
+  std::snprintf(checksum, sizeof(checksum), "%016llx",
+                static_cast<unsigned long long>(report.checksum));
+  std::cout << "  result checksum " << checksum << " (seed " << load.seed
+            << "; identical for any thread count)\n";
+
+  int violations = 0;
+  const auto invariant = [&](const std::string& name, bool held) {
+    std::cout << "  invariant " << name << ": " << (held ? "ok" : "VIOLATED")
+              << "\n";
+    if (!held) ++violations;
+  };
+  invariant("stale_age <= budget",
+            report.stale_age_max <= fleet_config.staleness_budget);
+  if (mode == "kill") {
+    std::uint64_t first_fire_ms = 0;
+    for (const auto& alert : tracker.alerts()) {
+      if (alert.firing) {
+        first_fire_ms = alert.t_ms;
+        break;
+      }
+    }
+    std::cout << "  breaker[" << fleet.node_names()[victim] << "] "
+              << fault::to_string(fleet.breaker_state(victim))
+              << "; SLO breaker "
+              << (first_fire_ms > 0
+                      ? "fired " + std::to_string(first_fire_ms - kill_ms) +
+                            " ms after the kill"
+                      : "did not fire")
+              << " (scrape " << timeline_config.scrape_every_ms << " ms)\n";
+    invariant("availability >= 0.99", report.availability >= 0.99);
+    invariant("breaker opened", fleet.breaker_state(victim) ==
+                                    fault::CircuitBreaker::State::kOpen);
+    invariant("breaker SLO fired within 2 scrapes",
+              first_fire_ms > kill_ms &&
+                  first_fire_ms <=
+                      kill_ms + 2 * timeline_config.scrape_every_ms);
+  } else if (mode == "join") {
+    const cluster::OwnershipAudit audit = fleet.audit();
+    const double bound =
+        2.0 / static_cast<double>(fleet.node_count());
+    std::cout << "  joined node " << fleet.node_names().back()
+              << ": remap fraction "
+              << util::fmt_percent(fleet.last_remap().moved_fraction(), 2)
+              << " (bound " << util::fmt_percent(bound, 2)
+              << "), ownership audit " << (audit.ok ? "ok" : "FAILED")
+              << " (" << audit.keys << " keys, " << audit.lost << " lost, "
+              << audit.double_owned << " double-owned)\n";
+    invariant("ownership audit ok", audit.ok);
+    invariant("remap fraction < 2/n",
+              fleet.last_remap().moved_fraction() < bound);
+    invariant("availability >= 0.99", report.availability >= 0.99);
+  }
+
+  if (!timeline_out.empty()) {
+    std::ofstream out(timeline_out);
+    if (!out) {
+      std::cerr << "cannot open " << timeline_out << "\n";
+      return 1;
+    }
+    timeline.write_json(out);
+    std::cout << "wrote " << timeline.snapshot_count()
+              << " timeline snapshots to " << timeline_out << "\n";
+  }
+  if (!slo_out.empty()) {
+    std::ofstream out(slo_out);
+    if (!out) {
+      std::cerr << "cannot open " << slo_out << "\n";
+      return 1;
+    }
+    tracker.write_json(out);
+    std::cout << "wrote " << tracker.size() << " slo(s), "
+              << tracker.alerts().size() << " alert event(s) to " << slo_out
+              << "\n";
+  }
+  if (const int rc = write_obs_outputs(obs_flags, registry, recorder);
+      rc != 0) {
+    return rc;
+  }
+  if (violations > 0) {
+    std::cout << "cluster " << mode << ": " << violations
+              << " invariant violation(s)\n";
+    return 1;
+  }
+  std::cout << "cluster " << mode << ": all invariants held\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1446,6 +1802,7 @@ int main(int argc, char** argv) {
   if (command == "stream") return cmd_stream(argc, argv);
   if (command == "chaos") return cmd_chaos(argc, argv);
   if (command == "obs") return cmd_obs(argc, argv);
+  if (command == "cluster") return cmd_cluster(argc, argv);
   if (command == "--help" || command == "-h" || command == "help") {
     std::cout << kUsage;
     return 0;

@@ -19,6 +19,14 @@
 #                obs export --prom` output (bench_json_check), and the
 #                determinism diff — a same-seed `obs export` at 1 and 8
 #                threads must produce byte-identical timeline and SLO JSON.
+#   cluster-smoke  Multi-node serving gate (DESIGN.md §14): the
+#                cluster-labeled test suite (ctest -L cluster), a
+#                `tero_cli cluster kill` / `cluster join` invariant run
+#                (availability under node loss, breaker SLO firing,
+#                ownership audit, remap bound — the CLI exits nonzero on
+#                any violation), and bench_cluster --tiny with a JSON
+#                parse check plus availability/determinism floors on
+#                BENCH_cluster.json.
 #   perf-smoke   Extraction fast-path gate (DESIGN.md §12): the simd_test
 #                bit-identity suite, the per-stage extraction microbenches
 #                checked against the committed floors in
@@ -31,6 +39,7 @@
 # Bench artifact gate:     scripts/ci.sh bench-smoke
 # Fault-injection gate:    scripts/ci.sh chaos-smoke
 # Observability gate:      scripts/ci.sh obs-smoke
+# Cluster gate:            scripts/ci.sh cluster-smoke
 # Extraction perf gate:    scripts/ci.sh perf-smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -50,7 +59,8 @@ run_preset() {
 run_bench_smoke() {
   cmake --preset default
   cmake --build --preset default -j "$(nproc)" \
-    --target bench_perf_micro bench_serve bench_stream bench_json_check
+    --target bench_perf_micro bench_serve bench_stream bench_cluster \
+    bench_json_check
   # Benchmarks write BENCH_*.json into their cwd; keep artifacts in build/bench.
   (
     cd build/bench
@@ -58,8 +68,9 @@ run_bench_smoke() {
       --benchmark_min_time=0.01
     ./bench_serve --tiny
     ./bench_stream --tiny
+    ./bench_cluster --tiny
     ./bench_json_check BENCH_perf_micro.json BENCH_serve.json \
-      BENCH_stream.json
+      BENCH_stream.json BENCH_cluster.json
   )
 }
 
@@ -124,6 +135,51 @@ run_obs_smoke() {
   fi
   rm -rf "$out"
   echo "obs-smoke: timeline + SLO output bit-identical at 1 and 8 threads"
+}
+
+run_cluster_smoke() {
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" \
+    --target cluster_test tero_cli bench_cluster bench_json_check
+  (cd build && ctest -L cluster --output-on-failure -j "$(nproc)")
+  # Invariant runs: the CLI asserts availability under a mid-sweep node
+  # kill, the breaker opening plus its burn-rate SLO firing within two
+  # scrapes, and — for join — the ownership audit and the < 2/n remap
+  # bound. Either command exiting nonzero fails the gate.
+  ./build/examples/tero_cli cluster kill 60 2 12000 --threads 8
+  ./build/examples/tero_cli cluster join 60 2 12000 --threads 8
+  # Bench artifact gate: BENCH_cluster.json must parse and its committed
+  # floors must hold — the 1-vs-N-thread churn sweep stayed bit-identical
+  # and availability under a single-node kill never dropped below 99%.
+  (
+    cd build/bench
+    ./bench_cluster --tiny
+    ./bench_json_check BENCH_cluster.json
+    awk '/"determinism"/ {
+           if (index($0, "\"checksum_match\": true") == 0) {
+             print "cluster-smoke: churn sweep not thread-deterministic"
+             bad = 1
+           }
+           det = 1
+         }
+         /"kill"/ {
+           split($0, a, "\"availability\": ")
+           split(a[2], b, ",")
+           if (b[1] + 0 < 0.99) {
+             print "cluster-smoke: availability under kill " b[1] " < 0.99"
+             bad = 1
+           }
+           kill = 1
+         }
+         END {
+           if (!det || !kill) {
+             print "cluster-smoke: determinism/kill rows missing from JSON"
+             bad = 1
+           }
+           exit bad
+         }' BENCH_cluster.json
+  )
+  echo "cluster-smoke: determinism, availability and audit gates held"
 }
 
 run_perf_smoke() {
@@ -196,9 +252,10 @@ for job in "${jobs[@]}"; do
     bench-smoke) run_bench_smoke ;;
     chaos-smoke) run_chaos_smoke ;;
     obs-smoke) run_obs_smoke ;;
+    cluster-smoke) run_cluster_smoke ;;
     perf-smoke) run_perf_smoke ;;
     *) echo "unknown job: $job (want tier1, asan, tsan, bench-smoke," \
-            "chaos-smoke, obs-smoke or perf-smoke)" >&2
+            "chaos-smoke, obs-smoke, cluster-smoke or perf-smoke)" >&2
        exit 2 ;;
   esac
 done

@@ -1,0 +1,213 @@
+#include "cluster/loadgen.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "serve/loadgen.hpp"
+#include "util/rng.hpp"
+
+namespace tero::cluster {
+
+namespace {
+
+constexpr std::uint64_t kLatencySalt = 0x636c;  // "cl"
+
+void apply_event(Cluster& cluster, const ClusterEvent& event,
+                 std::uint64_t now_ms) {
+  switch (event.kind) {
+    case ClusterEvent::Kind::kKill:
+      cluster.kill(event.node);
+      break;
+    case ClusterEvent::Kind::kRestart:
+      cluster.restart(event.node, now_ms);
+      break;
+    case ClusterEvent::Kind::kJoin:
+      (void)cluster.join(now_ms);
+      break;
+    case ClusterEvent::Kind::kLeave: {
+      const auto names = cluster.node_names();
+      if (event.node < names.size()) (void)cluster.leave(names[event.node]);
+      break;
+    }
+    case ClusterEvent::Kind::kPartition:
+      cluster.partition(event.node, /*severed=*/true);
+      break;
+    case ClusterEvent::Kind::kHeal:
+      cluster.partition(event.node, /*severed=*/false);
+      break;
+    case ClusterEvent::Kind::kRepublish:
+      (void)cluster.republish(now_ms);
+      break;
+  }
+}
+
+}  // namespace
+
+ClusterLoadReport run_cluster_loadtest(Cluster& cluster,
+                                       const ClusterLoadConfig& config,
+                                       util::ThreadPool* pool) {
+  ClusterLoadReport report;
+  report.issued = config.queries;
+  const serve::SnapshotPtr base = cluster.snapshot();
+  if (base == nullptr) {
+    report.no_snapshot = config.queries;
+    report.availability = 0.0;
+    return report;
+  }
+
+  serve::LoadGenConfig gen;
+  gen.queries = config.queries;
+  gen.seed = config.seed;
+  gen.zipf_s = config.zipf_s;
+  gen.p_topk = config.p_topk;
+  const std::vector<serve::Query> queries =
+      serve::generate_queries(*base, gen);
+
+  std::vector<ClusterEvent> events = config.events;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ClusterEvent& a, const ClusterEvent& b) {
+                     return a.at_ms < b.at_ms;
+                   });
+
+  obs::Counter* sent_counter = nullptr;
+  obs::Counter* served_counter = nullptr;
+  obs::Counter* stale_counter = nullptr;
+  obs::Counter* unavailable_counter = nullptr;
+  obs::Histogram* latency_hist = nullptr;
+  if (config.metrics != nullptr) {
+    auto& registry = *config.metrics;
+    sent_counter = &registry.counter("tero.cluster.loadgen.queries");
+    served_counter = &registry.counter("tero.cluster.loadgen.served");
+    stale_counter = &registry.counter("tero.cluster.loadgen.stale");
+    unavailable_counter =
+        &registry.counter("tero.cluster.loadgen.unavailable");
+    latency_hist = &registry.histogram("tero.cluster.loadgen.latency_ms");
+  }
+
+  // Phase A: serial routing on the virtual clock. Everything stateful —
+  // scripted events, breaker transitions, replication applies, timeline
+  // scrapes, the synthetic latency histogram — happens here, in arrival
+  // order, so it cannot depend on thread scheduling.
+  const double qps = config.offered_qps > 0.0 ? config.offered_qps : 5000.0;
+  const std::uint64_t latency_seed =
+      util::mix_seed(config.seed, kLatencySalt);
+  std::vector<RouteDecision> decisions(queries.size());
+  std::size_t next_event = 0;
+  report.stale_age_hist.assign(
+      static_cast<std::size_t>(cluster.config().staleness_budget) + 1, 0);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto arrival_ms = static_cast<std::uint64_t>(
+        static_cast<double>(i) * 1000.0 / qps);
+    while (next_event < events.size() &&
+           events[next_event].at_ms <= arrival_ms) {
+      apply_event(cluster, events[next_event], arrival_ms);
+      ++next_event;
+      ++report.events_applied;
+    }
+    if (config.timeline != nullptr) config.timeline->advance_to(arrival_ms);
+    decisions[i] = cluster.route(queries[i], arrival_ms, i, config.policy);
+
+    const RouteDecision& decision = decisions[i];
+    report.failover_attempts +=
+        decision.attempts > 0 ? decision.attempts - 1 : 0;
+    if (decision.snapshot != nullptr) {
+      if (decision.stale) {
+        ++report.stale;
+        report.stale_age_max =
+            std::max(report.stale_age_max, decision.stale_age);
+      }
+      if (decision.stale_age < report.stale_age_hist.size()) {
+        ++report.stale_age_hist[decision.stale_age];
+      }
+    }
+    if (sent_counter != nullptr) {
+      sent_counter->add();
+      if (decision.snapshot != nullptr) {
+        served_counter->add();
+        if (decision.stale) stale_counter->add();
+      } else if (decision.no_answer == serve::QueryStatus::kUnavailable) {
+        unavailable_counter->add();
+      }
+      // Synthetic service time: pure function of (seed, i, route outcome) —
+      // stale reads pay the follower catch-up tax, unavailable queries pay
+      // the full failover walk. Never wall time.
+      util::Rng rng = util::Rng::indexed(latency_seed, i);
+      double virtual_ms = 0.2 + rng.exponential(2.0);
+      if (decision.snapshot == nullptr) {
+        virtual_ms = 25.0 + virtual_ms;
+      } else if (decision.stale) {
+        virtual_ms = 2.0 + 4.0 * virtual_ms;
+      }
+      if (decision.attempts > 1) {
+        virtual_ms +=
+            0.5 * static_cast<double>(decision.attempts - 1);
+      }
+      latency_hist->record(virtual_ms, static_cast<std::uint64_t>(i) + 1);
+    }
+  }
+  // Fire any events scripted past the last arrival, then flush the
+  // timeline so the final partial interval is captured.
+  const auto end_ms = static_cast<std::uint64_t>(
+      static_cast<double>(queries.size()) * 1000.0 / qps);
+  while (next_event < events.size() && events[next_event].at_ms <= end_ms) {
+    apply_event(cluster, events[next_event], end_ms);
+    ++next_event;
+    ++report.events_applied;
+  }
+  if (config.timeline != nullptr && !queries.empty()) {
+    config.timeline->flush(end_ms);
+  }
+
+  // Phase B: parallel, pure evaluation of the fixed decisions against
+  // immutable snapshots.
+  struct Outcome {
+    serve::QueryStatus status = serve::QueryStatus::kNoSnapshot;
+    std::uint64_t hash = 0;
+  };
+  const std::vector<Outcome> outcomes = util::parallel_map(
+      pool, queries.size(), 64, [&](std::size_t i) -> Outcome {
+        const RouteDecision& decision = decisions[i];
+        serve::QueryResponse response;
+        if (decision.snapshot == nullptr) {
+          response.status = decision.no_answer;
+        } else {
+          response = serve::answer(queries[i], *decision.snapshot);
+          if (decision.stale) {
+            // STALE{age}: identical marking to the PR 5 degraded path —
+            // part of the answer's meaning, hashed into the checksum.
+            response.stale = true;
+            response.stale_age = decision.stale_age;
+          }
+        }
+        return Outcome{response.status, serve::hash_response(i, response)};
+      });
+
+  // Phase C: serial fold.
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    report.checksum ^= outcomes[i].hash;
+    switch (outcomes[i].status) {
+      case serve::QueryStatus::kOk: ++report.ok; break;
+      case serve::QueryStatus::kNotFound: ++report.not_found; break;
+      case serve::QueryStatus::kNoSnapshot: ++report.no_snapshot; break;
+      case serve::QueryStatus::kUnavailable: ++report.unavailable; break;
+      case serve::QueryStatus::kShed: break;  // cluster routing never sheds
+    }
+  }
+  if (report.issued > 0) {
+    report.availability =
+        1.0 - static_cast<double>(report.unavailable) /
+                  static_cast<double>(report.issued);
+    report.stale_fraction = static_cast<double>(report.stale) /
+                            static_cast<double>(report.issued);
+  }
+  if (latency_hist != nullptr && latency_hist->count() > 0) {
+    report.p50_ms = latency_hist->quantile(0.50);
+    report.p95_ms = latency_hist->quantile(0.95);
+    report.p99_ms = latency_hist->quantile(0.99);
+  }
+  return report;
+}
+
+}  // namespace tero::cluster

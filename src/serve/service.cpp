@@ -206,8 +206,7 @@ double QueryService::wall_now_s() const {
       .count();
 }
 
-QueryResponse QueryService::compute(const Query& query,
-                                    const Snapshot& snapshot) const {
+QueryResponse answer(const Query& query, const Snapshot& snapshot) {
   QueryResponse response;
   response.epoch = snapshot.epoch();
   if (query.kind == QueryKind::kTopK) {
@@ -248,6 +247,11 @@ QueryResponse QueryService::compute(const Query& query,
       break;  // handled above
   }
   return response;
+}
+
+QueryResponse QueryService::compute(const Query& query,
+                                    const Snapshot& snapshot) const {
+  return answer(query, snapshot);
 }
 
 bool QueryService::try_admit(double now_s) {

@@ -90,6 +90,13 @@ struct QueryResponse {
 [[nodiscard]] std::uint64_t hash_response(std::uint64_t index,
                                           const QueryResponse& response);
 
+/// Pure query evaluation against one immutable snapshot — the kernel behind
+/// QueryService's read path, exposed so other serving layers (the cluster's
+/// replicated reads) can answer from whichever epoch their routing picked.
+/// No caches, no metrics, no staleness markers: status/value/epoch/top only.
+[[nodiscard]] QueryResponse answer(const Query& query,
+                                   const Snapshot& snapshot);
+
 struct ServeConfig {
   /// Number of shards; each owns an LRU cache behind its own mutex. Keys
   /// are placed by store::ConsistentHashRing, so resizing a live fleet

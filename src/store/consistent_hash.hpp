@@ -23,6 +23,35 @@ class Pseudonymizer {
   std::uint64_t salt_;
 };
 
+/// One contiguous arc of the hash space whose owner changed between two
+/// ring configurations: every key hashing into [begin, end] (inclusive)
+/// moved from `from` to `to`. An empty `from` means the arc had no owner
+/// before (the ring was empty); likewise for `to`.
+struct RemapRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::string from;
+  std::string to;
+};
+
+/// The exact set of keys a ring change moves, expressed as hash-space arcs
+/// rather than a key sample — membership tests are O(log ranges) and the
+/// moved fraction is exact, so callers (cluster hand-off bookkeeping, the
+/// remap-bound property tests) no longer re-derive it with ad-hoc
+/// sample-10k-keys-and-count math.
+struct RemapDiff {
+  /// Non-overlapping, sorted by `begin`; arcs that wrap past 2^64 are split
+  /// into a tail range and a [0, ...] range.
+  std::vector<RemapRange> ranges;
+
+  [[nodiscard]] bool empty() const noexcept { return ranges.empty(); }
+  /// Exact fraction of the 2^64 hash space whose owner changed.
+  [[nodiscard]] double moved_fraction() const noexcept;
+  /// Did `key` change owners? Pure binary search over `ranges`.
+  [[nodiscard]] bool moved(std::string_view key) const noexcept;
+  [[nodiscard]] bool moved_hash(std::uint64_t hash) const noexcept;
+};
+
 /// Classic consistent-hash ring with virtual nodes; used to shard keys
 /// across store replicas so node churn only remaps a ~1/n fraction of keys.
 class ConsistentHashRing {
@@ -35,6 +64,12 @@ class ConsistentHashRing {
   /// The node owning `key`; empty string if the ring is empty.
   [[nodiscard]] std::string node_for(std::string_view key) const;
 
+  /// The first `n` *distinct* nodes clockwise from `key`'s hash — the
+  /// replica set for `key` (owners[0] == node_for(key) is the leader, the
+  /// rest are followers in ring order). Capped at node_count().
+  [[nodiscard]] std::vector<std::string> nodes_for(std::string_view key,
+                                                   std::size_t n) const;
+
   [[nodiscard]] std::size_t node_count() const noexcept {
     return nodes_.size();
   }
@@ -44,6 +79,17 @@ class ConsistentHashRing {
   [[nodiscard]] const std::vector<std::string>& nodes() const noexcept {
     return nodes_;
   }
+
+  /// The position a key occupies on the ring (what node_for lower-bounds).
+  [[nodiscard]] static std::uint64_t key_hash(std::string_view key);
+
+  /// Every arc of the hash space whose owner differs between `before` and
+  /// `after`. Walks the union of both rings' virtual-node boundaries, so
+  /// the result is exact: adding or removing one of n nodes yields arcs
+  /// totalling ~1/n of the space (the documented remap bound; see the
+  /// store_test property tests).
+  [[nodiscard]] static RemapDiff remap_diff(const ConsistentHashRing& before,
+                                            const ConsistentHashRing& after);
 
  private:
   int virtual_nodes_;

@@ -141,43 +141,91 @@ TEST(ConsistentHashRing, RemovalOnlyRemapsOwnedKeys) {
   ring.add_node("n1");
   ring.add_node("n2");
   ring.add_node("n3");
-  std::map<std::string, std::string> before;
+  const ConsistentHashRing before = ring;
+  ring.remove_node("n2");
+  const RemapDiff diff = ConsistentHashRing::remap_diff(before, ring);
+  ASSERT_FALSE(diff.empty());
+  // Every moved range drains n2 and lands somewhere else — no range moves
+  // between the surviving nodes.
+  for (const RemapRange& range : diff.ranges) {
+    EXPECT_LE(range.begin, range.end);
+    EXPECT_EQ(range.from, "n2");
+    EXPECT_NE(range.to, "n2");
+  }
+  // The diff agrees with brute-force owner comparison on a key sample.
   for (int i = 0; i < 1000; ++i) {
     const std::string key = "key" + std::to_string(i);
-    before[key] = ring.node_for(key);
+    const bool brute = before.node_for(key) != ring.node_for(key);
+    EXPECT_EQ(diff.moved(key), brute) << key;
+    EXPECT_EQ(diff.moved_hash(ConsistentHashRing::key_hash(key)), brute);
   }
-  ring.remove_node("n2");
-  int moved = 0;
-  for (const auto& [key, node] : before) {
-    const std::string now = ring.node_for(key);
-    EXPECT_NE(now, "n2");
-    if (node != "n2" && now != node) ++moved;
-  }
-  EXPECT_EQ(moved, 0);  // keys not owned by n2 stay put
 }
 
 TEST(ConsistentHashRing, RemovalMovesBoundedKeyFraction) {
-  // serve::QueryService relies on node churn staying ~1/n: removing one of
-  // n nodes must remap strictly less than 2/n of a 10k-key sample.
+  // serve::QueryService and cluster::Cluster rely on node churn staying
+  // ~1/n: removing one of n nodes must remap strictly less than 2/n of the
+  // keyspace. remap_diff measures that exactly (hash-arc mass, not a key
+  // sample); a 10k-key sample cross-checks it.
   constexpr int kNodes = 5;
   constexpr int kKeys = 10000;
   ConsistentHashRing ring(64);
   for (int i = 0; i < kNodes; ++i) {
     ring.add_node("shard-" + std::to_string(i));
   }
-  std::map<std::string, std::string> before;
+  const ConsistentHashRing before = ring;
+  ring.remove_node("shard-2");
+  const RemapDiff diff = ConsistentHashRing::remap_diff(before, ring);
+  EXPECT_GT(diff.moved_fraction(), 0.0);
+  EXPECT_LT(diff.moved_fraction(), 2.0 / kNodes)
+      << "removal remapped " << diff.moved_fraction() << " of the keyspace";
+  int moved = 0;
   for (int i = 0; i < kKeys; ++i) {
     const std::string key = "latency|key" + std::to_string(i);
-    before[key] = ring.node_for(key);
-  }
-  ring.remove_node("shard-2");
-  int moved = 0;
-  for (const auto& [key, node] : before) {
-    if (ring.node_for(key) != node) ++moved;
+    if (diff.moved(key)) ++moved;
+    EXPECT_EQ(diff.moved(key), before.node_for(key) != ring.node_for(key));
   }
   EXPECT_GT(moved, 0);
   EXPECT_LT(moved, 2 * kKeys / kNodes)
       << "removal remapped " << moved << " of " << kKeys << " keys";
+}
+
+TEST(ConsistentHashRing, JoinAndLeaveRemapWithinDocumentedBound) {
+  // The cluster's live-resharding bound: joining or leaving one of n nodes
+  // moves < 2/n of the hash space, all of it to (join) or from (leave) the
+  // churned node, and an unchanged ring yields an empty diff.
+  for (const int nodes : {3, 5, 8, 16}) {
+    ConsistentHashRing ring(64);
+    for (int i = 0; i < nodes; ++i) {
+      ring.add_node("shard-" + std::to_string(i));
+    }
+    EXPECT_TRUE(ConsistentHashRing::remap_diff(ring, ring).empty());
+
+    const ConsistentHashRing before_join = ring;
+    ring.add_node("joiner");
+    const RemapDiff join_diff =
+        ConsistentHashRing::remap_diff(before_join, ring);
+    ASSERT_FALSE(join_diff.empty()) << nodes << " nodes";
+    EXPECT_LT(join_diff.moved_fraction(), 2.0 / (nodes + 1))
+        << nodes << " nodes";
+    for (const RemapRange& range : join_diff.ranges) {
+      EXPECT_EQ(range.to, "joiner");
+      EXPECT_NE(range.from, "joiner");
+    }
+
+    const ConsistentHashRing before_leave = ring;
+    ring.remove_node("joiner");
+    const RemapDiff leave_diff =
+        ConsistentHashRing::remap_diff(before_leave, ring);
+    ASSERT_FALSE(leave_diff.empty()) << nodes << " nodes";
+    EXPECT_LT(leave_diff.moved_fraction(), 2.0 / (nodes + 1))
+        << nodes << " nodes";
+    for (const RemapRange& range : leave_diff.ranges) {
+      EXPECT_EQ(range.from, "joiner");
+      EXPECT_NE(range.to, "joiner");
+    }
+    // Leave undoes join exactly: the same hash mass moves back.
+    EXPECT_DOUBLE_EQ(join_diff.moved_fraction(), leave_diff.moved_fraction());
+  }
 }
 
 TEST(ConsistentHashRing, PlacementIsStableAcrossProcessRuns) {
