@@ -60,15 +60,19 @@
 //       kill/join double as invariant gates (availability, breaker SLO,
 //       ownership audit, remap bound) and exit nonzero on violation.
 //
-// The observability flags --metrics-out / --trace-out / --metrics-table
-// are shared: simulate, loadtest, stream, chaos, and obs all accept them
-// with the same spelling and semantics (see ObsFlags below).
+// The shared flags --metrics-out / --trace-out / --metrics-table /
+// --seed / --threads are parsed by one helper (CommonFlags below):
+// simulate, query, loadtest, stream, chaos, obs, cluster, and tsdb all
+// accept them with the same spelling and semantics.
 
+#include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -93,6 +97,8 @@
 #include "synth/sessions.hpp"
 #include "tero/export.hpp"
 #include "tero/pipeline.hpp"
+#include "tsdb/store.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -105,7 +111,7 @@ namespace {
 /// (stderr, nonzero exit).
 constexpr const char* kUsage =
     "usage: tero_cli <simulate|analyze|report|query|loadtest|stream|chaos"
-    "|obs|cluster> ...\n"
+    "|obs|cluster|tsdb> ...\n"
     "\n"
     "  simulate [out_dir] [streamers] [days] [threads]\n"
     "           [--snapshot-out snap.bin] [--metrics-out m.json]\n"
@@ -125,7 +131,18 @@ constexpr const char* kUsage =
     "\n"
     "  query    <snapshot> point <game> <country> [region] [city]\n"
     "  query    <snapshot> topk <game> [k]\n"
-    "      point / top-k-worst queries against a saved snapshot\n"
+    "  query    <snapshot> range <game> <country> [region] [city]\n"
+    "           --tsdb-dir dir [--from ms] [--to ms] [--window ms]\n"
+    "           [--agg count|mean|p<pct>|drift]\n"
+    "      point / top-k-worst queries against a saved snapshot, or\n"
+    "      historical range queries answered from a persisted tiered\n"
+    "      time-series store (written by `stream --tsdb-dir`) through\n"
+    "      the same QueryService: one row per window; --agg drift\n"
+    "      prints the week-over-week percentile drift at --to.\n"
+    "      Defaults: --from 0, --to sealed frontier + one window,\n"
+    "      --window 86400000 (one day), --agg p99. All query modes also\n"
+    "      accept the shared --seed/--threads/--metrics-out/--trace-out/\n"
+    "      --metrics-table flags\n"
     "\n"
     "  loadtest <snapshot> [queries] [threads] [shards]\n"
     "           [--seed n] [--zipf s] [--open qps] [--admit rate burst]\n"
@@ -140,13 +157,16 @@ constexpr const char* kUsage =
     "           [--checkpoint-dir dir] [--checkpoint-every n]\n"
     "           [--crash-after id] [--max-delay seconds] [--rate qps]\n"
     "           [--burst n] [--capacity n] [--snapshot-out snap.bin]\n"
-    "           [--metrics-out m.json] [--trace-out t.json]\n"
-    "           [--metrics-table] [--timeline-out tl.json]\n"
+    "           [--tsdb-dir dir] [--metrics-out m.json]\n"
+    "           [--trace-out t.json] [--metrics-table]\n"
+    "           [--timeline-out tl.json]\n"
     "      run the streaming ingestion pipeline over the same scenario;\n"
     "      windows fold into live epochs, checkpoints enable crash\n"
     "      recovery (--crash-after simulates the crash), and\n"
     "      --publish-every 0 makes --snapshot-out byte-identical to\n"
-    "      `simulate --snapshot-out`; set TERO_SIMD=off to force the\n"
+    "      `simulate --snapshot-out`; --tsdb-dir appends every closed\n"
+    "      window's mean to a persisted tiered time-series store that\n"
+    "      `query range` can answer from; set TERO_SIMD=off to force the\n"
     "      scalar extraction kernels (bit-identical output, DESIGN.md §12)\n"
     "\n"
     "  chaos    [seeds] [streamers] [days] [--plan spec] [--threads n]\n"
@@ -199,6 +219,18 @@ constexpr const char* kUsage =
     "      exit nonzero when an invariant is violated. The result\n"
     "      checksum is bit-identical for any --threads value\n"
     "\n"
+    "  tsdb     verify [seeds] [keys] [days]\n"
+    "           [--plan spec] [--threads n] [--dir base]\n"
+    "           [--metrics-out m.json] [--trace-out t.json]\n"
+    "           [--metrics-table]\n"
+    "      determinism + crash-recovery sweep over the tiered\n"
+    "      time-series store (DESIGN.md §15). Per seed: a clean run must\n"
+    "      produce bit-identical segment layout and dataset digest at 1\n"
+    "      vs N threads, and a durable run under the fault plan (default\n"
+    "      tsdb.compact=crash@1:max=1) must crash, then reopen from disk\n"
+    "      without losing a single acknowledged sample; exits nonzero on\n"
+    "      any violation (scripts/ci.sh tsdb-smoke runs this sweep)\n"
+    "\n"
     "  tero_cli --help prints this text; unknown flags exit nonzero.\n";
 
 /// Unknown-flag rejection shared by every subcommand: anything that starts
@@ -241,6 +273,44 @@ int eat_obs_flag(int argc, char** argv, int i, ObsFlags& flags) {
   return 0;
 }
 
+/// The full shared-flag set: the obs trio plus --seed and --threads, which
+/// every scenario-driving subcommand used to parse on its own. The *_set
+/// markers let each subcommand keep its historical default (often a
+/// positional argument) when the flag is absent; when both are given the
+/// flag wins.
+struct CommonFlags {
+  ObsFlags obs;
+  std::uint64_t seed = 0;
+  bool seed_set = false;
+  std::size_t threads = 0;
+  bool threads_set = false;
+};
+
+/// Try to consume argv[i] (plus its value) as a shared flag. Same contract
+/// as eat_obs_flag: returns slots consumed (0 = not a shared flag), or -1
+/// when a value is missing (error already printed).
+int eat_common_flag(int argc, char** argv, int i, CommonFlags& flags) {
+  if (const int eaten = eat_obs_flag(argc, argv, i, flags.obs); eaten != 0) {
+    return eaten;
+  }
+  const std::string arg = argv[i];
+  if (arg == "--seed" || arg == "--threads") {
+    if (i + 1 >= argc) {
+      std::cerr << arg << " needs a value\n";
+      return -1;
+    }
+    if (arg == "--seed") {
+      flags.seed = static_cast<std::uint64_t>(std::atoll(argv[i + 1]));
+      flags.seed_set = true;
+    } else {
+      flags.threads = static_cast<std::size_t>(std::atoi(argv[i + 1]));
+      flags.threads_set = true;
+    }
+    return 2;
+  }
+  return 0;
+}
+
 /// Emit the outputs the shared flags requested. Returns nonzero on I/O
 /// failure (missing output directory, unwritable file).
 int write_obs_outputs(const ObsFlags& flags,
@@ -272,14 +342,14 @@ int write_obs_outputs(const ObsFlags& flags,
 
 int cmd_simulate(int argc, char** argv) {
   // Split --flags (accepted anywhere) from the positional arguments.
-  ObsFlags obs_flags;
+  CommonFlags flags;
   std::string snapshot_out;
   bool full_ocr = false;
   bool print_digest = false;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (const int eaten = eat_obs_flag(argc, argv, i, obs_flags);
+    if (const int eaten = eat_common_flag(argc, argv, i, flags);
         eaten != 0) {
       if (eaten < 0) return 1;
       i += eaten - 1;
@@ -309,12 +379,14 @@ int cmd_simulate(int argc, char** argv) {
   const int days = positional.size() > 2 ? std::atoi(positional[2].c_str())
                                          : 7;
   const std::size_t threads =
-      positional.size() > 3
-          ? static_cast<std::size_t>(std::atoi(positional[3].c_str()))
-          : 0;
+      flags.threads_set
+          ? flags.threads
+          : (positional.size() > 3
+                 ? static_cast<std::size_t>(std::atoi(positional[3].c_str()))
+                 : 0);
 
   synth::WorldConfig world_config;
-  world_config.seed = 1;
+  world_config.seed = flags.seed_set ? flags.seed : 1;
   world_config.num_streamers = streamers;
   world_config.p_twitter = 0.8;
   const synth::World world(world_config);
@@ -330,11 +402,11 @@ int cmd_simulate(int argc, char** argv) {
   // Observability sinks are created only when requested; the pipeline takes
   // raw pointers and never reads them back (output is identical either way).
   const bool want_metrics =
-      !obs_flags.metrics_out.empty() || obs_flags.metrics_table;
+      !flags.obs.metrics_out.empty() || flags.obs.metrics_table;
   obs::MetricsRegistry registry;
   obs::TraceRecorder recorder;
   if (want_metrics) config.metrics = &registry;
-  if (!obs_flags.trace_out.empty()) config.trace = &recorder;
+  if (!flags.obs.trace_out.empty()) config.trace = &recorder;
 
   // --snapshot-out: attach the serving layer's publish hook so the run ends
   // with an atomically published snapshot epoch, then persist that epoch.
@@ -383,7 +455,7 @@ int cmd_simulate(int argc, char** argv) {
               << snapshot->size() << " entries) to " << snapshot_out << "\n";
   }
 
-  return write_obs_outputs(obs_flags, registry, recorder);
+  return write_obs_outputs(flags.obs, registry, recorder);
 }
 
 int cmd_analyze(int argc, char** argv) {
@@ -490,27 +562,101 @@ serve::SnapshotPtr load_snapshot_file(const std::string& path) {
 }
 
 int cmd_query(int argc, char** argv) {
+  CommonFlags flags;
+  std::string tsdb_dir;
+  std::int64_t from_ms = 0;
+  std::int64_t to_ms = -1;  // default: sealed frontier + one window
+  std::int64_t window_ms = 86'400'000;
+  std::string agg_spec = "p99";
+  std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--", 0) == 0) return unknown_flag("query", arg);
+    if (const int eaten = eat_common_flag(argc, argv, i, flags);
+        eaten != 0) {
+      if (eaten < 0) return 1;
+      i += eaten - 1;
+      continue;
+    }
+    if (arg == "--tsdb-dir" || arg == "--from" || arg == "--to" ||
+        arg == "--window" || arg == "--agg") {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        return 1;
+      }
+      const std::string value = argv[++i];
+      if (arg == "--tsdb-dir") {
+        tsdb_dir = value;
+      } else if (arg == "--from") {
+        from_ms = std::atoll(value.c_str());
+      } else if (arg == "--to") {
+        to_ms = std::atoll(value.c_str());
+      } else if (arg == "--window") {
+        window_ms = std::atoll(value.c_str());
+      } else {
+        agg_spec = value;
+      }
+    } else if (arg.rfind("--", 0) == 0) {
+      return unknown_flag("query", arg);
+    } else {
+      positional.push_back(arg);
+    }
   }
-  if (argc < 5) {
+  if (positional.size() < 3) {
     std::cerr << "usage: tero_cli query <snapshot> point <game> <country> "
                  "[region] [city]\n"
-                 "       tero_cli query <snapshot> topk <game> [k]\n";
+                 "       tero_cli query <snapshot> topk <game> [k]\n"
+                 "       tero_cli query <snapshot> range <game> <country> "
+                 "[region] [city]\n"
+                 "                --tsdb-dir dir [--from ms] [--to ms] "
+                 "[--window ms]\n"
+                 "                [--agg count|mean|p<pct>|drift]\n";
     return 1;
   }
-  const serve::SnapshotPtr snapshot = load_snapshot_file(argv[2]);
+  const std::string mode = positional[1];
+
+  // The range mode answers from a persisted tiered store; it must exist
+  // before the service is constructed (ServeConfig holds the pointer).
+  std::unique_ptr<tsdb::TimeSeriesStore> tsdb_store;
+  if (mode == "range") {
+    if (tsdb_dir.empty()) {
+      std::cerr << "query range needs --tsdb-dir (see `stream "
+                   "--tsdb-dir`)\n";
+      return 1;
+    }
+    tsdb::TsdbConfig tsdb_config;
+    tsdb_config.dir = tsdb_dir;
+    try {
+      tsdb_store = std::make_unique<tsdb::TimeSeriesStore>(tsdb_config);
+    } catch (const std::exception& error) {
+      std::cerr << "cannot open tsdb at " << tsdb_dir << ": " << error.what()
+                << "\n";
+      return 1;
+    }
+  }
+
+  const serve::SnapshotPtr snapshot = load_snapshot_file(positional[0]);
   if (snapshot == nullptr) return 1;
-  serve::QueryService service(serve::ServeConfig{});
+  const bool want_metrics =
+      !flags.obs.metrics_out.empty() || flags.obs.metrics_table;
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder;
+  serve::ServeConfig serve_config;
+  if (want_metrics) serve_config.metrics = &registry;
+  if (!flags.obs.trace_out.empty()) {
+    serve_config.trace = &recorder;
+    serve_config.exemplar_seed = flags.seed_set ? flags.seed : 1;
+  }
+  serve_config.tsdb = tsdb_store.get();
+  serve::QueryService service(serve_config);
   service.publish(snapshot);
 
-  const std::string mode = argv[3];
   serve::Query query;
-  query.game = argv[4];
+  query.game = positional[2];
   if (mode == "topk") {
     query.kind = serve::QueryKind::kTopK;
-    query.k = argc > 5 ? static_cast<std::size_t>(std::atoi(argv[5])) : 5;
+    query.k = positional.size() > 3
+                  ? static_cast<std::size_t>(std::atoi(positional[3].c_str()))
+                  : 5;
     const auto response = service.query(query);
     if (response.status != serve::QueryStatus::kOk) {
       std::cerr << "no locations with data for game: " << query.game << "\n";
@@ -523,19 +669,76 @@ int cmd_query(int argc, char** argv) {
     }
     table.print(std::cout);
     std::cout << "(epoch " << response.epoch << ")\n";
-    return 0;
+    return write_obs_outputs(flags.obs, registry, recorder);
   }
-  if (mode != "point") {
-    std::cerr << "unknown query mode: " << mode << " (want point or topk)\n";
+  if (mode != "point" && mode != "range") {
+    std::cerr << "unknown query mode: " << mode
+              << " (want point, topk, or range)\n";
     return 1;
   }
-  if (argc < 6) {
-    std::cerr << "point queries need at least <game> <country>\n";
+  if (positional.size() < 4) {
+    std::cerr << mode << " queries need at least <game> <country>\n";
     return 1;
   }
-  query.location.country = argv[5];
-  if (argc > 6) query.location.region = argv[6];
-  if (argc > 7) query.location.city = argv[7];
+  query.location.country = positional[3];
+  if (positional.size() > 4) query.location.region = positional[4];
+  if (positional.size() > 5) query.location.city = positional[5];
+
+  if (mode == "range") {
+    if (agg_spec == "count") {
+      query.kind = serve::QueryKind::kRangeCount;
+    } else if (agg_spec == "mean") {
+      query.kind = serve::QueryKind::kRangeMean;
+    } else if (agg_spec == "drift") {
+      query.kind = serve::QueryKind::kRangeDrift;
+      query.param = 99.0;
+    } else if (agg_spec.size() > 1 && agg_spec[0] == 'p') {
+      query.kind = serve::QueryKind::kRangePercentile;
+      query.param = std::atof(agg_spec.c_str() + 1);
+    } else {
+      std::cerr << "--agg must be count, mean, p<pct>, or drift; got "
+                << agg_spec << "\n";
+      return 1;
+    }
+    query.t0_ms = from_ms;
+    query.t1_ms =
+        to_ms >= 0 ? to_ms : tsdb_store->sealed_until() + window_ms;
+    query.window_ms = window_ms;
+
+    serve::QueryResponse response;
+    try {
+      response = service.query(query);
+    } catch (const std::invalid_argument& error) {
+      std::cerr << "bad range query: " << error.what() << "\n";
+      return 1;
+    }
+    if (response.status == serve::QueryStatus::kNotFound) {
+      std::cerr << "no history for {" << query.location.to_string() << ", "
+                << query.game << "} in " << tsdb_dir << "\n";
+      return 1;
+    }
+    if (response.status != serve::QueryStatus::kOk) {
+      std::cerr << "range query unavailable\n";
+      return 1;
+    }
+    if (query.kind == serve::QueryKind::kRangeDrift) {
+      std::cout << query.game << " @ " << query.location.to_string()
+                << ": week-over-week p99 drift at t=" << query.t1_ms << ": "
+                << util::fmt_double(response.value, 2) << " ms\n";
+      return write_obs_outputs(flags.obs, registry, recorder);
+    }
+    util::Table table({"window start [ms]", "count", agg_spec});
+    for (const tsdb::RangePoint& point : response.series) {
+      table.add_row({std::to_string(point.t_ms), std::to_string(point.count),
+                     util::fmt_double(point.value, 2)});
+    }
+    table.print(std::cout);
+    std::cout << query.game << " @ " << query.location.to_string() << ": "
+              << response.series.size() << " windows of " << window_ms
+              << " ms over [" << query.t0_ms << ", " << query.t1_ms
+              << ")\n";
+    return write_obs_outputs(flags.obs, registry, recorder);
+  }
 
   // One batch, all kinds: the boxplot a consumer dashboard would render.
   std::vector<serve::Query> batch;
@@ -565,31 +768,29 @@ int cmd_query(int argc, char** argv) {
             << util::fmt_double(responses[5].value, 0) << " | "
             << util::fmt_double(responses[6].value, 0) << "  (epoch "
             << responses[0].epoch << ")\n";
-  return 0;
+  return write_obs_outputs(flags.obs, registry, recorder);
 }
 
 int cmd_loadtest(int argc, char** argv) {
   serve::LoadGenConfig load;
   serve::ServeConfig serve_config;
-  ObsFlags obs_flags;
+  CommonFlags flags;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (const int eaten = eat_obs_flag(argc, argv, i, obs_flags);
+    if (const int eaten = eat_common_flag(argc, argv, i, flags);
         eaten != 0) {
       if (eaten < 0) return 1;
       i += eaten - 1;
       continue;
     }
-    if (arg == "--seed" || arg == "--zipf" || arg == "--open") {
+    if (arg == "--zipf" || arg == "--open") {
       if (i + 1 >= argc) {
         std::cerr << arg << " needs a value\n";
         return 1;
       }
       const double value = std::atof(argv[++i]);
-      if (arg == "--seed") {
-        load.seed = static_cast<std::uint64_t>(value);
-      } else if (arg == "--zipf") {
+      if (arg == "--zipf") {
         load.zipf_s = value;
       } else {
         load.offered_qps = value;
@@ -618,9 +819,13 @@ int cmd_loadtest(int argc, char** argv) {
   if (positional.size() > 1) {
     load.queries = static_cast<std::size_t>(std::atoi(positional[1].c_str()));
   }
-  load.threads = positional.size() > 2
-                     ? static_cast<std::size_t>(std::atoi(positional[2].c_str()))
-                     : 0;
+  if (flags.seed_set) load.seed = flags.seed;
+  load.threads =
+      flags.threads_set
+          ? flags.threads
+          : (positional.size() > 2
+                 ? static_cast<std::size_t>(std::atoi(positional[2].c_str()))
+                 : 0);
   if (positional.size() > 3) {
     serve_config.shards =
         static_cast<std::size_t>(std::atoi(positional[3].c_str()));
@@ -629,7 +834,7 @@ int cmd_loadtest(int argc, char** argv) {
   obs::MetricsRegistry registry;
   obs::TraceRecorder recorder;
   serve_config.metrics = &registry;
-  if (!obs_flags.trace_out.empty()) {
+  if (!flags.obs.trace_out.empty()) {
     serve_config.trace = &recorder;
     // Tracing implies exemplar capture: query spans and the latency
     // histogram's exemplars share the same span ids (query index + 1).
@@ -641,8 +846,8 @@ int cmd_loadtest(int argc, char** argv) {
   // The loadgen-owned telemetry (tero.loadgen.* counters, deterministic
   // synthetic latency histogram) is recorded whenever any obs output was
   // requested; the loadtest's printed report is unchanged either way.
-  if (!obs_flags.metrics_out.empty() || obs_flags.metrics_table ||
-      !obs_flags.trace_out.empty()) {
+  if (!flags.obs.metrics_out.empty() || flags.obs.metrics_table ||
+      !flags.obs.trace_out.empty()) {
     load.metrics = &registry;
     load.exemplar_seed = load.seed;
   }
@@ -678,18 +883,19 @@ int cmd_loadtest(int argc, char** argv) {
   std::cout << "  result checksum " << checksum
             << " (seed " << load.seed
             << "; identical for any thread count)\n";
-  return write_obs_outputs(obs_flags, registry, recorder);
+  return write_obs_outputs(flags.obs, registry, recorder);
 }
 
 int cmd_stream(int argc, char** argv) {
   stream::StreamConfig config;
-  ObsFlags obs_flags;
+  CommonFlags flags;
   std::string snapshot_out;
   std::string timeline_out;
+  std::string tsdb_dir;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (const int eaten = eat_obs_flag(argc, argv, i, obs_flags);
+    if (const int eaten = eat_common_flag(argc, argv, i, flags);
         eaten != 0) {
       if (eaten < 0) return 1;
       i += eaten - 1;
@@ -700,7 +906,7 @@ int cmd_stream(int argc, char** argv) {
         arg == "--checkpoint-dir" || arg == "--checkpoint-every" ||
         arg == "--crash-after" || arg == "--max-delay" || arg == "--rate" ||
         arg == "--burst" || arg == "--capacity" || arg == "--snapshot-out" ||
-        arg == "--timeline-out";
+        arg == "--timeline-out" || arg == "--tsdb-dir";
     if (takes_value) {
       if (i + 1 >= argc) {
         std::cerr << arg << " needs a value\n";
@@ -733,8 +939,10 @@ int cmd_stream(int argc, char** argv) {
             static_cast<std::size_t>(std::atoi(value.c_str()));
       } else if (arg == "--snapshot-out") {
         snapshot_out = value;
-      } else {
+      } else if (arg == "--timeline-out") {
         timeline_out = value;
+      } else {
+        tsdb_dir = value;
       }
     } else if (arg.rfind("--", 0) == 0) {
       return unknown_flag("stream", arg);
@@ -759,12 +967,14 @@ int cmd_stream(int argc, char** argv) {
   const int days = positional.size() > 1 ? std::atoi(positional[1].c_str())
                                          : 7;
   config.tero.threads =
-      positional.size() > 2
-          ? static_cast<std::size_t>(std::atoi(positional[2].c_str()))
-          : 0;
+      flags.threads_set
+          ? flags.threads
+          : (positional.size() > 2
+                 ? static_cast<std::size_t>(std::atoi(positional[2].c_str()))
+                 : 0);
 
   synth::WorldConfig world_config;
-  world_config.seed = 1;
+  world_config.seed = flags.seed_set ? flags.seed : 1;
   world_config.num_streamers = streamers;
   world_config.p_twitter = 0.8;
   const synth::World world(world_config);
@@ -773,12 +983,12 @@ int cmd_stream(int argc, char** argv) {
   synth::SessionGenerator generator(world, behavior, 2);
   const auto streams = generator.generate();
 
-  const bool want_metrics = !obs_flags.metrics_out.empty() ||
-                            obs_flags.metrics_table || !timeline_out.empty();
+  const bool want_metrics = !flags.obs.metrics_out.empty() ||
+                            flags.obs.metrics_table || !timeline_out.empty();
   obs::MetricsRegistry registry;
   obs::TraceRecorder recorder;
   if (want_metrics) config.tero.metrics = &registry;
-  if (!obs_flags.trace_out.empty()) config.tero.trace = &recorder;
+  if (!flags.obs.trace_out.empty()) config.tero.trace = &recorder;
 
   // --timeline-out: scrape the sink-owned tero.stream.* series on the
   // event-time virtual clock (the sink advances the timeline past each
@@ -800,6 +1010,26 @@ int cmd_stream(int argc, char** argv) {
   serve_config.trace = config.tero.trace;
   serve::QueryService service(serve_config);
   config.service = &service;
+
+  // --tsdb-dir: every closed window's mean lands in a durable tiered store
+  // (one sample per {location, game} per window), which `query range`
+  // answers from after the run.
+  std::unique_ptr<tsdb::TimeSeriesStore> tsdb_store;
+  if (!tsdb_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(tsdb_dir, ec);
+    tsdb::TsdbConfig tsdb_config;
+    tsdb_config.dir = tsdb_dir;
+    tsdb_config.metrics = config.tero.metrics;
+    try {
+      tsdb_store = std::make_unique<tsdb::TimeSeriesStore>(tsdb_config);
+    } catch (const std::exception& error) {
+      std::cerr << "cannot open tsdb at " << tsdb_dir << ": " << error.what()
+                << "\n";
+      return 1;
+    }
+    config.tsdb = tsdb_store.get();
+  }
 
   stream::StreamPipeline pipeline(std::move(config));
   const stream::StreamResult result = pipeline.run(world, streams);
@@ -842,6 +1072,14 @@ int cmd_stream(int argc, char** argv) {
   std::cout << "final epoch " << result.final_epoch << ": "
             << result.final_entries.size() << " {location, game} entries, "
             << result.dataset.funnel.retained << " retained points\n";
+  if (tsdb_store != nullptr) {
+    const tsdb::TimeSeriesStore::Stats tstats = tsdb_store->stats();
+    std::cout << "  tsdb " << tsdb_dir << ": "
+              << tstats.head_samples + tstats.segment_samples
+              << " window samples, " << tstats.segments << " segments, "
+              << tstats.raw_bytes << " B raw -> " << tstats.compressed_bytes
+              << " B compressed\n";
+  }
 
   if (!snapshot_out.empty()) {
     std::ofstream out(snapshot_out, std::ios::binary);
@@ -855,38 +1093,36 @@ int cmd_stream(int argc, char** argv) {
               << snapshot.size() << " entries) to " << snapshot_out << "\n";
   }
   if (const int rc = write_timeline(); rc != 0) return rc;
-  return write_obs_outputs(obs_flags, registry, recorder);
+  return write_obs_outputs(flags.obs, registry, recorder);
 }
 
 int cmd_chaos(int argc, char** argv) {
   std::string plan_spec = "extract.stream=error@0.4:fails=2";
-  std::size_t threads = 0;
-  ObsFlags obs_flags;
+  CommonFlags flags;
   std::vector<std::string> positional;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (const int eaten = eat_obs_flag(argc, argv, i, obs_flags);
+    if (const int eaten = eat_common_flag(argc, argv, i, flags);
         eaten != 0) {
       if (eaten < 0) return 1;
       i += eaten - 1;
       continue;
     }
-    if (arg == "--plan" || arg == "--threads") {
+    if (arg == "--plan") {
       if (i + 1 >= argc) {
         std::cerr << arg << " needs a value\n";
         return 1;
       }
-      if (arg == "--plan") {
-        plan_spec = argv[++i];
-      } else {
-        threads = static_cast<std::size_t>(std::atoi(argv[++i]));
-      }
+      plan_spec = argv[++i];
     } else if (arg.rfind("--", 0) == 0) {
       return unknown_flag("chaos", arg);
     } else {
       positional.push_back(arg);
     }
   }
+  const std::size_t threads = flags.threads;
+  // --seed shifts the whole sweep: seeds run [base, base + count).
+  const std::uint64_t seed_base = flags.seed_set ? flags.seed : 1;
   const std::uint64_t seeds =
       !positional.empty()
           ? static_cast<std::uint64_t>(std::atoll(positional[0].c_str()))
@@ -922,7 +1158,7 @@ int cmd_chaos(int argc, char** argv) {
     std::cerr << "bad --plan: " << error.what() << "\n";
     return 1;
   }
-  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+  for (std::uint64_t seed = seed_base; seed < seed_base + seeds; ++seed) {
     synth::WorldConfig world_config;
     world_config.seed = seed;
     world_config.num_streamers = streamers;
@@ -975,7 +1211,7 @@ int cmd_chaos(int argc, char** argv) {
   // Phase 3: download simulator under CDN transport faults, KV write
   // faults, and a mid-run crash. The system must keep downloading (retry +
   // re-discovery), never orphan a streamer, and count every fault.
-  for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+  for (std::uint64_t seed = seed_base; seed < seed_base + seeds; ++seed) {
     util::EventLoop loop;
     download::SimulatedCdn cdn(loop, util::Rng(seed * 2 + 1));
     constexpr int kStreamers = 8;
@@ -1156,7 +1392,7 @@ int cmd_chaos(int argc, char** argv) {
     // Shared obs flags dump the phase's registry (breaker gauge, serve
     // telemetry); the trace output is empty unless future phases record.
     obs::TraceRecorder recorder;
-    if (const int rc = write_obs_outputs(obs_flags, registry, recorder);
+    if (const int rc = write_obs_outputs(flags.obs, registry, recorder);
         rc != 0) {
       return rc;
     }
@@ -1279,29 +1515,27 @@ int cmd_obs(int argc, char** argv) {
     return mode.empty() ? 1 : 2;
   }
   ObsScenario opt;
-  ObsFlags obs_flags;
+  CommonFlags flags;
   std::string prom_out;
   std::string json_out;
   std::string slo_out;
   std::vector<std::string> positional;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (const int eaten = eat_obs_flag(argc, argv, i, obs_flags);
+    if (const int eaten = eat_common_flag(argc, argv, i, flags);
         eaten != 0) {
       if (eaten < 0) return 1;
       i += eaten - 1;
       continue;
     }
-    if (arg == "--seed" || arg == "--open" || arg == "--spec" ||
-        arg == "--prom" || arg == "--json" || arg == "--slo") {
+    if (arg == "--open" || arg == "--spec" || arg == "--prom" ||
+        arg == "--json" || arg == "--slo") {
       if (i + 1 >= argc) {
         std::cerr << arg << " needs a value\n";
         return 1;
       }
       const std::string value = argv[++i];
-      if (arg == "--seed") {
-        opt.seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
-      } else if (arg == "--open") {
+      if (arg == "--open") {
         opt.open_qps = std::atof(value.c_str());
       } else if (arg == "--spec") {
         opt.specs.push_back(value);
@@ -1318,6 +1552,7 @@ int cmd_obs(int argc, char** argv) {
       positional.push_back(arg);
     }
   }
+  if (flags.seed_set) opt.seed = flags.seed;
   if (!positional.empty()) {
     opt.streamers =
         static_cast<std::size_t>(std::atoi(positional[0].c_str()));
@@ -1329,6 +1564,7 @@ int cmd_obs(int argc, char** argv) {
   if (positional.size() > 3) {
     opt.threads = static_cast<std::size_t>(std::atoi(positional[3].c_str()));
   }
+  if (flags.threads_set) opt.threads = flags.threads;
   if (mode == "export" && prom_out.empty() && json_out.empty() &&
       slo_out.empty()) {
     std::cerr << "obs export needs at least one of --prom/--json/--slo\n";
@@ -1350,7 +1586,7 @@ int cmd_obs(int argc, char** argv) {
 
   // Re-emit every elected exemplar into the trace as an instant, so the
   // metric -> span link is visible from the trace side too.
-  if (!obs_flags.trace_out.empty()) {
+  if (!flags.obs.trace_out.empty()) {
     for (const auto& [name, hist] : registry.histograms()) {
       for (const obs::Exemplar& exemplar : hist->exemplars()) {
         if (exemplar.valid()) {
@@ -1458,7 +1694,7 @@ int cmd_obs(int argc, char** argv) {
               << tracker.alerts().size() << " alert event(s) to " << slo_out
               << "\n";
   }
-  return write_obs_outputs(obs_flags, registry, recorder);
+  return write_obs_outputs(flags.obs, registry, recorder);
 }
 
 /// `tero_cli cluster <loadtest|kill|join|status>` — the deterministic
@@ -1494,21 +1730,20 @@ int cmd_cluster(int argc, char** argv) {
   fleet_config.nodes = 5;
   cluster::ClusterLoadConfig load;
   load.queries = 20000;
-  std::size_t threads = 0;
-  ObsFlags obs_flags;
+  CommonFlags flags;
   std::string timeline_out;
   std::string slo_out;
   std::vector<std::string> positional;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (const int eaten = eat_obs_flag(argc, argv, i, obs_flags);
+    if (const int eaten = eat_common_flag(argc, argv, i, flags);
         eaten != 0) {
       if (eaten < 0) return 1;
       i += eaten - 1;
       continue;
     }
     if (arg == "--nodes" || arg == "--replicas" || arg == "--budget" ||
-        arg == "--seed" || arg == "--threads" || arg == "--qps") {
+        arg == "--qps") {
       if (i + 1 >= argc) {
         std::cerr << arg << " needs a value\n";
         return 1;
@@ -1522,11 +1757,6 @@ int cmd_cluster(int argc, char** argv) {
             1, static_cast<std::size_t>(value));
       } else if (arg == "--budget") {
         fleet_config.staleness_budget = static_cast<std::uint64_t>(value);
-      } else if (arg == "--seed") {
-        fleet_config.seed = static_cast<std::uint64_t>(value);
-        load.seed = static_cast<std::uint64_t>(value);
-      } else if (arg == "--threads") {
-        threads = static_cast<std::size_t>(value);
       } else {
         load.offered_qps = value;
       }
@@ -1556,6 +1786,11 @@ int cmd_cluster(int argc, char** argv) {
     } else {
       positional.push_back(arg);
     }
+  }
+  const std::size_t threads = flags.threads;
+  if (flags.seed_set) {
+    fleet_config.seed = flags.seed;
+    load.seed = flags.seed;
   }
   std::size_t streamers = 60;
   int days = 2;
@@ -1627,7 +1862,7 @@ int cmd_cluster(int argc, char** argv) {
               << audit.keys << " keys, " << audit.lost << " lost, "
               << audit.double_owned << " double-owned, " << audit.misplaced
               << " misplaced)\n";
-    return write_obs_outputs(obs_flags, registry, recorder) ||
+    return write_obs_outputs(flags.obs, registry, recorder) ||
            (audit.ok ? 0 : 1);
   }
 
@@ -1777,7 +2012,7 @@ int cmd_cluster(int argc, char** argv) {
               << tracker.alerts().size() << " alert event(s) to " << slo_out
               << "\n";
   }
-  if (const int rc = write_obs_outputs(obs_flags, registry, recorder);
+  if (const int rc = write_obs_outputs(flags.obs, registry, recorder);
       rc != 0) {
     return rc;
   }
@@ -1787,6 +2022,195 @@ int cmd_cluster(int argc, char** argv) {
     return 1;
   }
   std::cout << "cluster " << mode << ": all invariants held\n";
+  return 0;
+}
+
+/// Deterministic synthetic load for `tsdb verify`: `keys` series named
+/// like serve entry keys, 24 hourly samples per virtual day with
+/// seed-derived jitter, one advance_to per day (seal + compaction +
+/// retention). Mirrors the tsdb_test fixture so a CLI failure reproduces
+/// under ctest.
+void tsdb_verify_load(tsdb::TimeSeriesStore& store, std::uint64_t seed,
+                      std::size_t keys, int days) {
+  constexpr std::int64_t kDayMs = 86'400'000;
+  for (int day = 0; day < days; ++day) {
+    for (std::size_t k = 0; k < keys; ++k) {
+      util::Rng rng = util::Rng::indexed(
+          util::mix_seed(seed, static_cast<std::uint64_t>(day)), k);
+      const std::string key =
+          "game" + std::to_string(k % 3) + "|US|key" + std::to_string(k);
+      for (int hour = 0; hour < 24; ++hour) {
+        store.append(key,
+                     day * kDayMs + hour * 3'600'000 +
+                         rng.uniform_int(0, 59'999),
+                     std::floor(rng.uniform(20.0, 80.0)));
+      }
+    }
+    store.advance_to((day + 1) * kDayMs);
+  }
+}
+
+/// `tero_cli tsdb verify` — the tiered store's determinism and
+/// crash-recovery sweep (scripts/ci.sh tsdb-smoke). Per seed: (1) two
+/// clean in-memory runs, 1 thread vs a pool, must agree on segment layout
+/// and dataset digest; (2) a durable run under the fault plan must be
+/// interrupted by an injected crash, and reopening the directory must
+/// recover every acknowledged sample (digest match against the in-memory
+/// store, whose WAL-backed state is lossless by construction).
+int cmd_tsdb(int argc, char** argv) {
+  const std::string mode = argc > 2 ? argv[2] : "";
+  if (mode == "--help" || mode == "-h") {
+    std::cout << kUsage;
+    return 0;
+  }
+  if (mode != "verify") {
+    if (!mode.empty() && mode.rfind("--", 0) == 0) {
+      return unknown_flag("tsdb", mode);
+    }
+    std::cerr << "usage: tero_cli tsdb verify [seeds] [keys] [days]\n"
+                 "              [--plan spec] [--threads n] [--dir base]\n";
+    return mode.empty() ? 1 : 2;
+  }
+  CommonFlags flags;
+  std::string plan_spec = "tsdb.compact=crash@1:max=1";
+  std::string dir_base;
+  std::vector<std::string> positional;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (const int eaten = eat_common_flag(argc, argv, i, flags);
+        eaten != 0) {
+      if (eaten < 0) return 1;
+      i += eaten - 1;
+      continue;
+    }
+    if (arg == "--plan" || arg == "--dir") {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        return 1;
+      }
+      (arg == "--plan" ? plan_spec : dir_base) = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      return unknown_flag("tsdb", arg);
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const std::uint64_t seeds =
+      !positional.empty()
+          ? static_cast<std::uint64_t>(std::atoll(positional[0].c_str()))
+          : 10;
+  const std::size_t keys =
+      positional.size() > 1
+          ? static_cast<std::size_t>(std::atoi(positional[1].c_str()))
+          : 8;
+  const int days =
+      positional.size() > 2 ? std::atoi(positional[2].c_str()) : 6;
+  const std::size_t pool_threads = flags.threads != 0 ? flags.threads : 8;
+  const std::uint64_t seed_base = flags.seed_set ? flags.seed : 1;
+  try {
+    (void)fault::FaultPlan::parse(plan_spec);
+  } catch (const std::exception& error) {
+    std::cerr << "bad --plan: " << error.what() << "\n";
+    return 1;
+  }
+
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  const fs::path base =
+      dir_base.empty() ? fs::temp_directory_path() : fs::path(dir_base);
+  const bool want_metrics =
+      !flags.obs.metrics_out.empty() || flags.obs.metrics_table;
+  obs::MetricsRegistry registry;
+  obs::TraceRecorder recorder;
+
+  std::size_t failures = 0;
+  const auto check = [&failures](bool ok, const std::string& what) {
+    if (!ok) {
+      ++failures;
+      std::cout << "  FAIL: " << what << "\n";
+    }
+  };
+
+  std::cout << "tsdb verify: " << seeds << " seeds, " << keys << " keys, "
+            << days << " virtual days, plan \"" << plan_spec << "\", 1 vs "
+            << pool_threads << " threads\n";
+  util::ThreadPool pool(pool_threads);
+  for (std::uint64_t seed = seed_base; seed < seed_base + seeds; ++seed) {
+    const std::string tag = "seed " + std::to_string(seed);
+
+    // (1) Clean determinism: segment layout and digest are pure functions
+    // of (appends, advances, config) — the pool must not show through.
+    tsdb::TimeSeriesStore serial{tsdb::TsdbConfig{}};
+    tsdb_verify_load(serial, seed, keys, days);
+    tsdb::TsdbConfig parallel_config;
+    parallel_config.pool = &pool;
+    tsdb::TimeSeriesStore parallel(parallel_config);
+    tsdb_verify_load(parallel, seed, keys, days);
+    check(serial.dataset_digest() == parallel.dataset_digest(),
+          tag + ": dataset digest diverged at 1 vs " +
+              std::to_string(pool_threads) + " threads");
+    check(serial.segment_layout() == parallel.segment_layout(),
+          tag + ": segment layout diverged at 1 vs " +
+              std::to_string(pool_threads) + " threads");
+
+    // (2) Crash recovery: the run must be interrupted by the plan, and a
+    // reopen must recover the exact acknowledged sample set.
+    const fs::path dir =
+        base / ("tero-tsdb-verify-" + std::to_string(seed));
+    fs::remove_all(dir, ec);
+    fs::create_directories(dir, ec);
+    fault::FaultInjector injector(fault::FaultPlan::parse(plan_spec, seed),
+                                  want_metrics ? &registry : nullptr);
+    bool crashed = false;
+    std::uint64_t acknowledged_digest = 0;
+    std::uint64_t acknowledged_samples = 0;
+    {
+      tsdb::TsdbConfig crash_config;
+      crash_config.dir = dir.string();
+      crash_config.injector = &injector;
+      crash_config.metrics = want_metrics ? &registry : nullptr;
+      tsdb::TimeSeriesStore store(crash_config);
+      try {
+        tsdb_verify_load(store, seed, keys, days);
+      } catch (const std::exception&) {
+        crashed = true;  // the injected crash tore a file mid-operation
+      }
+      const tsdb::TimeSeriesStore::Stats stats = store.stats();
+      acknowledged_samples = stats.head_samples + stats.segment_samples;
+      acknowledged_digest = store.dataset_digest();
+    }
+    check(crashed, tag + ": fault plan \"" + plan_spec +
+                       "\" never interrupted the run");
+    try {
+      tsdb::TsdbConfig reopen_config;
+      reopen_config.dir = dir.string();
+      tsdb::TimeSeriesStore reopened(reopen_config);
+      const tsdb::TimeSeriesStore::Stats stats = reopened.stats();
+      check(stats.head_samples + stats.segment_samples ==
+                acknowledged_samples,
+            tag + ": recovery changed the acknowledged sample count");
+      check(reopened.dataset_digest() == acknowledged_digest,
+            tag + ": recovery lost or altered acknowledged samples "
+                  "(digest mismatch)");
+    } catch (const std::exception& error) {
+      check(false,
+            tag + ": reopen after crash failed: " + std::string(error.what()));
+    }
+    fs::remove_all(dir, ec);
+    std::cout << "  " << tag << ": clean 1-vs-" << pool_threads
+              << "-thread match, crash observed, " << acknowledged_samples
+              << " acknowledged samples recovered\n";
+  }
+
+  if (const int rc = write_obs_outputs(flags.obs, registry, recorder);
+      rc != 0) {
+    return rc;
+  }
+  if (failures > 0) {
+    std::cout << "tsdb verify: " << failures << " violation(s)\n";
+    return 1;
+  }
+  std::cout << "tsdb verify: all invariants held\n";
   return 0;
 }
 
@@ -1803,6 +2227,7 @@ int main(int argc, char** argv) {
   if (command == "chaos") return cmd_chaos(argc, argv);
   if (command == "obs") return cmd_obs(argc, argv);
   if (command == "cluster") return cmd_cluster(argc, argv);
+  if (command == "tsdb") return cmd_tsdb(argc, argv);
   if (command == "--help" || command == "-h" || command == "help") {
     std::cout << kUsage;
     return 0;

@@ -27,6 +27,14 @@
 #                any violation), and bench_cluster --tiny with a JSON
 #                parse check plus availability/determinism floors on
 #                BENCH_cluster.json.
+#   tsdb-smoke   Tiered-storage gate (DESIGN.md §15): the tsdb-labeled test
+#                suite (ctest -L tsdb), bench_tsdb --tiny with a JSON parse
+#                check plus a >= 5x compression-ratio floor and a
+#                thread-determinism flag on BENCH_tsdb.json, and a 10-seed
+#                crash-during-compaction recovery sweep (`tero_cli tsdb
+#                verify` — acknowledged samples must survive any injected
+#                crash, and reopening a torn directory must reproduce the
+#                pre-crash dataset digest).
 #   perf-smoke   Extraction fast-path gate (DESIGN.md §12): the simd_test
 #                bit-identity suite, the per-stage extraction microbenches
 #                checked against the committed floors in
@@ -40,6 +48,7 @@
 # Fault-injection gate:    scripts/ci.sh chaos-smoke
 # Observability gate:      scripts/ci.sh obs-smoke
 # Cluster gate:            scripts/ci.sh cluster-smoke
+# Tiered-storage gate:     scripts/ci.sh tsdb-smoke
 # Extraction perf gate:    scripts/ci.sh perf-smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -60,7 +69,7 @@ run_bench_smoke() {
   cmake --preset default
   cmake --build --preset default -j "$(nproc)" \
     --target bench_perf_micro bench_serve bench_stream bench_cluster \
-    bench_json_check
+    bench_tsdb bench_json_check
   # Benchmarks write BENCH_*.json into their cwd; keep artifacts in build/bench.
   (
     cd build/bench
@@ -69,9 +78,75 @@ run_bench_smoke() {
     ./bench_serve --tiny
     ./bench_stream --tiny
     ./bench_cluster --tiny
-    ./bench_json_check BENCH_perf_micro.json BENCH_serve.json \
-      BENCH_stream.json BENCH_cluster.json
+    ./bench_tsdb --tiny
+    # Every bench above must have left its artifact behind; name the missing
+    # ones explicitly so a silently-skipped reporter is obvious from the log.
+    local artifacts missing sizes
+    artifacts=(BENCH_perf_micro.json BENCH_serve.json BENCH_stream.json \
+               BENCH_cluster.json BENCH_tsdb.json)
+    missing=()
+    sizes=""
+    for artifact in "${artifacts[@]}"; do
+      if [ -s "$artifact" ]; then
+        sizes+=" $artifact=$(wc -c < "$artifact")B"
+      else
+        missing+=("$artifact")
+      fi
+    done
+    if [ ${#missing[@]} -gt 0 ]; then
+      echo "bench-smoke: missing or empty artifacts: ${missing[*]}" >&2
+      echo "bench-smoke: a bench binary exited without writing its JSON" \
+           "report — check its output above" >&2
+      exit 1
+    fi
+    echo "bench-smoke: artifacts$sizes"
+    ./bench_json_check "${artifacts[@]}"
   )
+}
+
+run_tsdb_smoke() {
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" \
+    --target tsdb_test tero_cli bench_tsdb bench_json_check
+  (cd build && ctest -L tsdb --output-on-failure -j "$(nproc)")
+  # Bench artifact gate: BENCH_tsdb.json must parse, the Gorilla-lineage
+  # codec must beat the 16 B/sample raw encoding by >= 5x, and the sealing/
+  # compaction schedule must be bit-identical at 1 thread vs machine width.
+  (
+    cd build/bench
+    ./bench_tsdb --tiny
+    ./bench_json_check BENCH_tsdb.json
+    awk '/"compression"/ {
+           split($0, a, "\"ratio\": ")
+           split(a[2], b, ",")
+           if (b[1] + 0 < 5.0) {
+             print "tsdb-smoke: compression ratio " b[1] " < 5.0 floor"
+             bad = 1
+           }
+           comp = 1
+         }
+         /"determinism"/ {
+           if (index($0, "\"digest_match\": true") == 0 ||
+               index($0, "\"layout_match\": true") == 0) {
+             print "tsdb-smoke: compaction not thread-deterministic"
+             bad = 1
+           }
+           det = 1
+         }
+         END {
+           if (!comp || !det) {
+             print "tsdb-smoke: compression/determinism rows missing from JSON"
+             bad = 1
+           }
+           exit bad
+         }' BENCH_tsdb.json
+  )
+  # Crash-recovery sweep: 10 seeds, each with a seeded crash injected into
+  # tsdb.compact mid-run. The CLI reopens the torn directory and exits
+  # nonzero if any acknowledged sample is lost, the recovered digest
+  # diverges, or the 1-vs-8-thread schedules disagree.
+  ./build/examples/tero_cli tsdb verify 10 --threads 8
+  echo "tsdb-smoke: compression, determinism and crash-recovery gates held"
 }
 
 run_chaos_smoke() {
@@ -253,9 +328,11 @@ for job in "${jobs[@]}"; do
     chaos-smoke) run_chaos_smoke ;;
     obs-smoke) run_obs_smoke ;;
     cluster-smoke) run_cluster_smoke ;;
+    tsdb-smoke) run_tsdb_smoke ;;
     perf-smoke) run_perf_smoke ;;
     *) echo "unknown job: $job (want tier1, asan, tsan, bench-smoke," \
-            "chaos-smoke, obs-smoke, cluster-smoke or perf-smoke)" >&2
+            "chaos-smoke, obs-smoke, cluster-smoke, tsdb-smoke or" \
+            "perf-smoke)" >&2
        exit 2 ;;
   esac
 done

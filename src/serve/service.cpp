@@ -66,6 +66,11 @@ std::uint64_t hash_response(std::uint64_t index,
                                          top.location.size()}));
     h = util::mix_seed(h, hash_double(top.value));
   }
+  for (const auto& point : response.series) {
+    h = util::mix_seed(h, static_cast<std::uint64_t>(point.t_ms));
+    h = util::mix_seed(h, point.count);
+    h = util::mix_seed(h, hash_double(point.value));
+  }
   return h;
 }
 
@@ -171,7 +176,7 @@ std::string QueryService::shard_key(const Query& query) {
   return entry_key(query.location, query.game);
 }
 
-std::string QueryService::cache_key(const Query& query) {
+std::string QueryService::cache_key(const Query& query) const {
   std::string key;
   switch (query.kind) {
     case QueryKind::kPercentile: key = "pct:"; break;
@@ -179,14 +184,34 @@ std::string QueryService::cache_key(const Query& query) {
     case QueryKind::kCount: key = "count:"; break;
     case QueryKind::kEcdf: key = "ecdf:"; break;
     case QueryKind::kTopK: key = "topk:"; break;
+    case QueryKind::kRangeCount: key = "rcount:"; break;
+    case QueryKind::kRangeMean: key = "rmean:"; break;
+    case QueryKind::kRangePercentile: key = "rpct:"; break;
+    case QueryKind::kRangeDrift: key = "rdrift:"; break;
   }
   if (query.kind == QueryKind::kPercentile ||
-      query.kind == QueryKind::kEcdf) {
+      query.kind == QueryKind::kEcdf ||
+      query.kind == QueryKind::kRangePercentile ||
+      query.kind == QueryKind::kRangeDrift) {
     key += fmt_param(query.param);
     key += ':';
   }
   if (query.kind == QueryKind::kTopK) {
     key += std::to_string(query.k);
+    key += ':';
+  }
+  if (is_range_kind(query.kind)) {
+    // The store version pins the cached answer to the exact data it
+    // summarized: any append/seal/compact/retention mints new keys and the
+    // stale entries age out of the LRU.
+    key += std::to_string(query.t0_ms);
+    key += ':';
+    key += std::to_string(query.t1_ms);
+    key += ':';
+    key += std::to_string(query.window_ms);
+    key += ":v";
+    key += std::to_string(config_.tsdb != nullptr ? config_.tsdb->version()
+                                                  : 0);
     key += ':';
   }
   key += shard_key(query);
@@ -209,6 +234,12 @@ double QueryService::wall_now_s() const {
 QueryResponse answer(const Query& query, const Snapshot& snapshot) {
   QueryResponse response;
   response.epoch = snapshot.epoch();
+  if (is_range_kind(query.kind)) {
+    // Snapshots hold one epoch's distributions, not history; range kinds
+    // only make sense against a QueryService with a time-series store.
+    response.status = QueryStatus::kUnavailable;
+    return response;
+  }
   if (query.kind == QueryKind::kTopK) {
     const auto worst = snapshot.worst_locations(query.game, query.k);
     if (worst.empty()) {
@@ -243,15 +274,59 @@ QueryResponse answer(const Query& query, const Snapshot& snapshot) {
     case QueryKind::kEcdf:
       response.value = entry->ecdf(query.param);
       break;
-    case QueryKind::kTopK:
-      break;  // handled above
+    default:
+      break;  // kTopK handled above; range kinds returned early
   }
   return response;
 }
 
+QueryResponse QueryService::answer_range(const Query& query) const {
+  QueryResponse response;
+  response.epoch = publisher_.epoch();
+  if (config_.tsdb == nullptr) {
+    response.status = QueryStatus::kUnavailable;
+    return response;
+  }
+  const std::string key = entry_key(query.location, query.game);
+  try {
+    if (query.kind == QueryKind::kRangeDrift) {
+      response.value = config_.tsdb->drift(key, query.t1_ms, query.param);
+      response.status = QueryStatus::kOk;
+      return response;
+    }
+    tsdb::RangeQuery range;
+    range.key = key;
+    range.t0_ms = query.t0_ms;
+    range.t1_ms = query.t1_ms;
+    range.window_ms = query.window_ms;
+    range.pct = query.param;
+    switch (query.kind) {
+      case QueryKind::kRangeCount: range.agg = tsdb::RangeAgg::kCount; break;
+      case QueryKind::kRangeMean: range.agg = tsdb::RangeAgg::kMean; break;
+      default: range.agg = tsdb::RangeAgg::kPercentile; break;
+    }
+    response.series = config_.tsdb->range(range);
+  } catch (const std::runtime_error&) {
+    // The tsdb.read fault point (or an unreadable segment) — degrade
+    // loudly, exactly like a downed shard with no previous epoch.
+    response.status = QueryStatus::kUnavailable;
+    return response;
+  }
+  std::uint64_t total = 0;
+  for (const auto& point : response.series) total += point.count;
+  if (total == 0) {
+    response.status = QueryStatus::kNotFound;
+    return response;
+  }
+  response.status = QueryStatus::kOk;
+  response.value = response.series.back().value;
+  return response;
+}
+
 QueryResponse QueryService::compute(const Query& query,
-                                    const Snapshot& snapshot) const {
-  return answer(query, snapshot);
+                                    const Snapshot* snapshot) const {
+  if (is_range_kind(query.kind)) return answer_range(query);
+  return answer(query, *snapshot);
 }
 
 bool QueryService::try_admit(double now_s) {
@@ -274,11 +349,13 @@ QueryResponse QueryService::query(const Query& query, double now_s) {
 QueryResponse QueryService::degraded(const Query& query,
                                      std::uint64_t current_epoch) {
   SnapshotPtr last_good;
-  {
+  if (!is_range_kind(query.kind)) {
     std::lock_guard<std::mutex> lock(previous_mutex_);
     last_good = previous_;
   }
   if (last_good == nullptr) {
+    // Range kinds always land here: history has no stale epoch to fall
+    // back on — a downed shard makes them explicitly unavailable.
     if (unavailable_counter_ != nullptr) unavailable_counter_->add();
     QueryResponse response;
     response.status = QueryStatus::kUnavailable;
@@ -286,7 +363,7 @@ QueryResponse QueryService::degraded(const Query& query,
     return response;
   }
   if (degraded_counter_ != nullptr) degraded_counter_->add();
-  QueryResponse response = compute(query, *last_good);
+  QueryResponse response = compute(query, last_good.get());
   response.stale = true;
   response.stale_age = current_epoch - last_good->epoch();
   return response;
@@ -302,11 +379,13 @@ QueryResponse QueryService::query_admitted(const Query& query, double now_s) {
   if (queries_total_ != nullptr) queries_total_->add();
 
   const SnapshotPtr snapshot = publisher_.current();
-  if (snapshot == nullptr) {
+  if (snapshot == nullptr && !is_range_kind(query.kind)) {
     QueryResponse response;
     response.status = QueryStatus::kNoSnapshot;
     return response;
   }
+  const std::uint64_t epoch =
+      snapshot != nullptr ? snapshot->epoch() : publisher_.epoch();
 
   const std::size_t shard_index = shard_for(query);
   Shard& shard = *shards_[shard_index];
@@ -316,13 +395,13 @@ QueryResponse QueryService::query_admitted(const Query& query, double now_s) {
     if (!shard.breaker->allow(now)) {
       // Breaker open: skip the shard entirely (no fault-point hit — the
       // whole point of breaking is to stop poking a known-bad endpoint).
-      return degraded(query, snapshot->epoch());
+      return degraded(query, epoch);
     }
     const fault::FaultDecision decision = shard.fault_point->hit();
     if (decision.kind == fault::FaultKind::kError ||
         decision.kind == fault::FaultKind::kCrash) {
       shard.breaker->on_failure(now);
-      return degraded(query, snapshot->epoch());
+      return degraded(query, epoch);
     }
     shard.breaker->on_success();
   }
@@ -352,7 +431,7 @@ QueryResponse QueryService::query_admitted(const Query& query, double now_s) {
     if (hits_counter_ != nullptr) hits_counter_->add();
     if (shard.hits_counter != nullptr) shard.hits_counter->add();
   } else {
-    response = compute(query, *snapshot);
+    response = compute(query, snapshot.get());
     if (misses_counter_ != nullptr) misses_counter_->add();
     if (shard.misses_counter != nullptr) shard.misses_counter->add();
     if (response.status == QueryStatus::kNotFound &&

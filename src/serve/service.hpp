@@ -17,6 +17,7 @@
 #include "serve/lru_cache.hpp"
 #include "serve/snapshot.hpp"
 #include "store/consistent_hash.hpp"
+#include "tsdb/store.hpp"
 
 namespace tero::fault {
 class FaultInjector;
@@ -42,7 +43,23 @@ enum class QueryKind {
   kCount,       ///< retained sample count
   kEcdf,        ///< param = latency_ms; value = P(latency <= param)
   kTopK,        ///< k worst locations of `game` by p95 (location ignored)
+  // Historical range kinds, answered from the tiered time-series store
+  // (ServeConfig::tsdb) instead of the published snapshot. The answer is
+  // one RangePoint per window in [t0_ms, t1_ms); `value` echoes the last
+  // window. kRangeDrift ignores the window fields: value = param-percentile
+  // over [t1-7d, t1) minus the same over [t1-14d, t1-7d).
+  kRangeCount,
+  kRangeMean,
+  kRangePercentile,  ///< param = percentile in [0, 100]
+  kRangeDrift,       ///< param = percentile in [0, 100]
 };
+
+/// True for the kinds served from the time-series store.
+[[nodiscard]] constexpr bool is_range_kind(QueryKind kind) noexcept {
+  return kind == QueryKind::kRangeCount || kind == QueryKind::kRangeMean ||
+         kind == QueryKind::kRangePercentile ||
+         kind == QueryKind::kRangeDrift;
+}
 
 struct Query {
   QueryKind kind = QueryKind::kPercentile;
@@ -50,6 +67,10 @@ struct Query {
   std::string game;
   double param = 50.0;
   std::size_t k = 5;
+  /// Range-kind window: [t0_ms, t1_ms) split into window_ms buckets.
+  std::int64_t t0_ms = 0;
+  std::int64_t t1_ms = 0;
+  std::int64_t window_ms = 86'400'000;
   /// Caller-assigned trace/span id (0 = none). The "serve.query" span is
   /// tagged with it and, when the latency histogram has exemplars armed,
   /// the recorded sample carries it — the link that lets `obs report`
@@ -82,6 +103,7 @@ struct QueryResponse {
   bool stale = false;
   std::uint64_t stale_age = 0;  ///< epochs behind the current one
   std::vector<TopEntry> top;    ///< kTopK only
+  std::vector<tsdb::RangePoint> series;  ///< range kinds only
 };
 
 /// Order- and thread-independent fingerprint of one (query index, response)
@@ -117,6 +139,11 @@ struct ServeConfig {
   /// bucket keeps one (value, span id) sample chosen by deterministic
   /// min-wise reservoir (see obs::Histogram::record). Requires metrics.
   std::uint64_t exemplar_seed = 0;
+  /// Historical store answering the range query kinds (not owned; may be
+  /// null, in which case range queries return kUnavailable). Range answers
+  /// are cached in the per-shard LRU under a key that folds the store's
+  /// version counter, so a cached answer never outlives the data.
+  tsdb::TimeSeriesStore* tsdb = nullptr;
   /// Optional fault injection (not owned; may be null). Arms one
   /// "serve.shard-<i>" point per shard: an injected error marks the shard
   /// unavailable for that query, trips its circuit breaker, and routes the
@@ -221,13 +248,20 @@ class QueryService {
   /// stats into its lifetime totals, then clears entries and stats.
   void invalidate_caches();
 
+  /// `snapshot` may be null only for range kinds, which answer from the
+  /// time-series store instead.
   [[nodiscard]] QueryResponse compute(const Query& query,
-                                      const Snapshot& snapshot) const;
+                                      const Snapshot* snapshot) const;
+  /// Range kinds: delegate to config_.tsdb (kUnavailable when absent or
+  /// when the tsdb.read fault point fires).
+  [[nodiscard]] QueryResponse answer_range(const Query& query) const;
   /// Degraded path: answer from the last good snapshot with a STALE{age}
-  /// marker, or kUnavailable when there is none. Never cached.
+  /// marker, or kUnavailable when there is none. Never cached. Range kinds
+  /// have no stale snapshot to fall back on: always kUnavailable.
   [[nodiscard]] QueryResponse degraded(const Query& query,
                                        std::uint64_t current_epoch);
-  [[nodiscard]] static std::string cache_key(const Query& query);
+  /// Non-static: range keys fold the tsdb version counter.
+  [[nodiscard]] std::string cache_key(const Query& query) const;
   [[nodiscard]] static std::string shard_key(const Query& query);
   [[nodiscard]] double wall_now_s() const;
 

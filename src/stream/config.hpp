@@ -14,6 +14,10 @@ namespace tero::serve {
 class QueryService;
 }  // namespace tero::serve
 
+namespace tero::tsdb {
+class TimeSeriesStore;
+}  // namespace tero::tsdb
+
 namespace tero::stream {
 
 /// Configuration of the streaming ingestion pipeline (DESIGN.md §10). The
@@ -64,6 +68,13 @@ struct StreamConfig {
   /// Live epoch target (not owned; may be null). Closed windows fold into
   /// snapshots published here; the final exact snapshot is published last.
   serve::QueryService* service = nullptr;
+
+  /// Historical sink (not owned; may be null). Each closed window appends
+  /// one sample — (entry key, window end, window mean) — to the head block
+  /// and advances the store's virtual clock to the window end, so sealing
+  /// and compaction march with the watermark. Windows close serially in the
+  /// sink in deterministic order, preserving the tsdb's determinism.
+  tsdb::TimeSeriesStore* tsdb = nullptr;
 
   /// Virtual-time telemetry scraper (not owned; may be null). The sink —
   /// which already processes events serially in deterministic arrival

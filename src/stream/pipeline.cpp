@@ -18,6 +18,7 @@
 #include "stream/checkpoint.hpp"
 #include "stream/schedule.hpp"
 #include "stream/window.hpp"
+#include "tsdb/store.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -463,6 +464,17 @@ StreamResult StreamPipeline::run(const synth::World& world,
       pending_publish_walls.push_back(it->second.first_wall);
       if (watermark_lag_s != nullptr) {
         watermark_lag_s->observe(watermark - window_end);
+      }
+      if (config_.tsdb != nullptr && it->second.agg->count() > 0) {
+        // Advance the store's virtual clock first so the seal boundary is
+        // at or before this window's end — the append always lands at or
+        // ahead of the sealed frontier. Windows close in window order, so
+        // the clock never runs backwards.
+        const auto t_ms = static_cast<std::int64_t>(window_end * 1000.0);
+        config_.tsdb->advance_to(t_ms);
+        config_.tsdb->append(
+            serve::entry_key(it->first.key.location, it->first.key.game),
+            t_ms, it->second.agg->mean());
       }
       windows.erase(it);
       ++windows_closed;

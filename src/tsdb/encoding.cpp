@@ -1,0 +1,312 @@
+#include "tsdb/encoding.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace tero::tsdb {
+namespace {
+
+// -- bit stream ---------------------------------------------------------------
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::string& out) : out_(out) {}
+
+  void write_bit(bool bit) {
+    if (fill_ == 0) {
+      out_.push_back('\0');
+      fill_ = 8;
+    }
+    if (bit) {
+      out_.back() = static_cast<char>(
+          static_cast<unsigned char>(out_.back()) | (1u << (fill_ - 1)));
+    }
+    --fill_;
+  }
+
+  /// Write the low `bits` bits of `value`, most significant first.
+  void write_bits(std::uint64_t value, unsigned bits) {
+    for (unsigned i = bits; i > 0; --i) {
+      write_bit(((value >> (i - 1)) & 1u) != 0);
+    }
+  }
+
+ private:
+  std::string& out_;
+  unsigned fill_ = 0;  ///< unused low bits in out_.back()
+};
+
+// -- byte-aligned header helpers ----------------------------------------------
+
+void put_varint(std::string& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<char>((value & 0x7f) | 0x80));
+    value >>= 7;
+  }
+  out.push_back(static_cast<char>(value));
+}
+
+std::uint64_t get_varint(const unsigned char* data, std::size_t size,
+                         std::size_t& cursor) {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  while (true) {
+    if (cursor >= size || shift > 63) {
+      throw ChunkCorruptError("malformed varint header");
+    }
+    const unsigned char byte = data[cursor++];
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return value;
+    shift += 7;
+  }
+}
+
+std::uint64_t zigzag(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t unzigzag(std::uint64_t value) {
+  return static_cast<std::int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+void put_u64le(std::string& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t get_u64le(const unsigned char* data) {
+  std::uint64_t value = 0;
+  for (int i = 7; i >= 0; --i) {
+    value = (value << 8) | data[i];
+  }
+  return value;
+}
+
+// dod bucket widths: {'10', 7}, {'110', 9}, {'1110', 12}, {'1111', 64}.
+// The k-bit buckets store dod + 2^(k-1) (biased), covering
+// [-2^(k-1), 2^(k-1) - 1].
+constexpr std::int64_t kBias7 = 1ll << 6;
+constexpr std::int64_t kBias9 = 1ll << 8;
+constexpr std::int64_t kBias12 = 1ll << 11;
+
+void write_dod(BitWriter& writer, std::int64_t dod) {
+  if (dod == 0) {
+    writer.write_bit(false);
+  } else if (dod >= -kBias7 && dod < kBias7) {
+    writer.write_bits(0b10, 2);
+    writer.write_bits(static_cast<std::uint64_t>(dod + kBias7), 7);
+  } else if (dod >= -kBias9 && dod < kBias9) {
+    writer.write_bits(0b110, 3);
+    writer.write_bits(static_cast<std::uint64_t>(dod + kBias9), 9);
+  } else if (dod >= -kBias12 && dod < kBias12) {
+    writer.write_bits(0b1110, 4);
+    writer.write_bits(static_cast<std::uint64_t>(dod + kBias12), 12);
+  } else {
+    writer.write_bits(0b1111, 4);
+    writer.write_bits(zigzag(dod), 64);
+  }
+}
+
+}  // namespace
+
+std::string encode_chunk(std::span<const Sample> samples) {
+  std::string out;
+  out.reserve(16 + samples.size() * 2);
+  put_varint(out, samples.size());
+  if (!samples.empty()) {
+    put_varint(out, zigzag(samples[0].t_ms));
+    put_u64le(out, std::bit_cast<std::uint64_t>(samples[0].value));
+
+    BitWriter writer(out);
+    std::int64_t prev_t = samples[0].t_ms;
+    std::int64_t prev_delta = 0;
+    std::uint64_t prev_bits = std::bit_cast<std::uint64_t>(samples[0].value);
+    unsigned prev_leading = 64;  // no window yet: force a '11' on first xor
+    unsigned prev_length = 0;
+    for (std::size_t i = 1; i < samples.size(); ++i) {
+      const std::int64_t delta = samples[i].t_ms - prev_t;
+      if (delta < 0) {
+        throw std::invalid_argument(
+            "encode_chunk: timestamps must be non-decreasing");
+      }
+      write_dod(writer, delta - prev_delta);
+      prev_delta = delta;
+      prev_t = samples[i].t_ms;
+
+      const std::uint64_t bits = std::bit_cast<std::uint64_t>(samples[i].value);
+      const std::uint64_t xored = bits ^ prev_bits;
+      prev_bits = bits;
+      if (xored == 0) {
+        writer.write_bit(false);
+        continue;
+      }
+      writer.write_bit(true);
+      const auto leading = static_cast<unsigned>(std::countl_zero(xored));
+      const auto trailing = static_cast<unsigned>(std::countr_zero(xored));
+      const unsigned length = 64 - leading - trailing;
+      if (prev_length > 0 && leading >= prev_leading &&
+          64 - leading - length >= 64 - prev_leading - prev_length) {
+        // Fits inside the previous meaningful window: reuse it.
+        writer.write_bit(false);
+        writer.write_bits(xored >> (64 - prev_leading - prev_length),
+                          prev_length);
+      } else {
+        writer.write_bit(true);
+        writer.write_bits(leading, 6);
+        writer.write_bits(length - 1, 6);
+        writer.write_bits(xored >> trailing, length);
+        prev_leading = leading;
+        prev_length = length;
+      }
+    }
+  }
+  put_u64le(out, util::fnv1a64({out.data(), out.size()}));
+  return out;
+}
+
+namespace {
+
+/// Shared validation: strip and verify the trailing checksum, returning the
+/// protected payload.
+std::string_view checked_payload(std::string_view bytes) {
+  if (bytes.size() < 8 + 1) {
+    throw ChunkCorruptError("shorter than header + checksum");
+  }
+  const std::string_view payload = bytes.substr(0, bytes.size() - 8);
+  const std::uint64_t stored = get_u64le(
+      reinterpret_cast<const unsigned char*>(bytes.data()) + payload.size());
+  if (util::fnv1a64({payload.data(), payload.size()}) != stored) {
+    throw ChunkCorruptError("checksum mismatch (corrupted chunk)");
+  }
+  return payload;
+}
+
+}  // namespace
+
+std::uint64_t chunk_count(std::string_view bytes) {
+  const std::string_view payload = checked_payload(bytes);
+  const auto* data = reinterpret_cast<const unsigned char*>(payload.data());
+  std::size_t cursor = 0;
+  return get_varint(data, payload.size(), cursor);
+}
+
+ChunkCursor::ChunkCursor(std::string_view bytes) {
+  const std::string_view payload = checked_payload(bytes);
+  const auto* data = reinterpret_cast<const unsigned char*>(payload.data());
+  std::size_t cursor = 0;
+  count_ = get_varint(data, payload.size(), cursor);
+  if (count_ == 0) {
+    if (cursor != payload.size()) {
+      throw ChunkCorruptError("trailing bytes after empty chunk");
+    }
+    data_ = data + cursor;
+    return;
+  }
+  // Every sample past the first costs at least 2 bits (dod '0' + xor '0'),
+  // so an insane declared count is rejected before any allocation.
+  if (count_ > 1 && (count_ - 1) > payload.size() * 8) {
+    throw ChunkCorruptError("declared count exceeds available bits");
+  }
+  t_ = unzigzag(get_varint(data, payload.size(), cursor));
+  if (payload.size() - cursor < 8) {
+    throw ChunkCorruptError("truncated first value");
+  }
+  value_bits_ = get_u64le(data + cursor);
+  cursor += 8;
+  data_ = data + cursor;
+  bit_count_ = (payload.size() - cursor) * 8;
+}
+
+bool ChunkCursor::read_bit() {
+  if (bit_cursor_ >= bit_count_) {
+    throw ChunkCorruptError("bit stream exhausted (truncated chunk)");
+  }
+  const bool bit =
+      (data_[bit_cursor_ / 8] >> (7 - (bit_cursor_ % 8)) & 1u) != 0;
+  ++bit_cursor_;
+  return bit;
+}
+
+std::uint64_t ChunkCursor::read_bits(unsigned bits) {
+  std::uint64_t value = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    value = (value << 1) | (read_bit() ? 1u : 0u);
+  }
+  return value;
+}
+
+std::int64_t ChunkCursor::read_dod() {
+  if (!read_bit()) return 0;
+  if (!read_bit()) {
+    return static_cast<std::int64_t>(read_bits(7)) - kBias7;
+  }
+  if (!read_bit()) {
+    return static_cast<std::int64_t>(read_bits(9)) - kBias9;
+  }
+  if (!read_bit()) {
+    return static_cast<std::int64_t>(read_bits(12)) - kBias12;
+  }
+  return unzigzag(read_bits(64));
+}
+
+bool ChunkCursor::next(Sample& out) {
+  if (emitted_ >= count_) return false;
+  if (emitted_ == 0) {
+    ++emitted_;
+    out = {t_, std::bit_cast<double>(value_bits_)};
+    return true;
+  }
+  const std::int64_t dod = read_dod();
+  const std::int64_t delta = delta_ + dod;
+  if (delta < 0) {
+    throw ChunkCorruptError("decoded negative timestamp delta");
+  }
+  delta_ = delta;
+  t_ += delta;
+
+  if (read_bit()) {
+    if (read_bit()) {
+      leading_ = static_cast<unsigned>(read_bits(6));
+      window_length_ = static_cast<unsigned>(read_bits(6)) + 1;
+      if (leading_ + window_length_ > 64) {
+        throw ChunkCorruptError("xor window exceeds 64 bits");
+      }
+    } else if (window_length_ == 0) {
+      throw ChunkCorruptError("window reuse before any window");
+    }
+    const std::uint64_t window = read_bits(window_length_);
+    value_bits_ ^= window << (64 - leading_ - window_length_);
+  }
+  ++emitted_;
+  out = {t_, std::bit_cast<double>(value_bits_)};
+  return true;
+}
+
+void ChunkCursor::expect_end() {
+  // Only zero padding may remain — a '1' bit here means the stream and the
+  // declared count disagree.
+  if (bit_count_ - bit_cursor_ >= 8) {
+    throw ChunkCorruptError("trailing bytes after last sample");
+  }
+  while (bit_cursor_ < bit_count_) {
+    if (read_bit()) {
+      throw ChunkCorruptError("nonzero padding after last sample");
+    }
+  }
+}
+
+std::vector<Sample> decode_chunk(std::string_view bytes) {
+  ChunkCursor cursor(bytes);
+  std::vector<Sample> samples;
+  samples.reserve(cursor.count());
+  Sample sample;
+  while (cursor.next(sample)) samples.push_back(sample);
+  cursor.expect_end();
+  return samples;
+}
+
+}  // namespace tero::tsdb

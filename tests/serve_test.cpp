@@ -494,5 +494,121 @@ TEST(SnapshotIo, RoundTripsBitExactly) {
   EXPECT_THROW((void)load_snapshot(garbage), std::invalid_argument);
 }
 
+// ------------------------------------------------------------- range kinds --
+
+TEST(QueryServiceTest, RangeKindsAnswerFromTimeSeriesStore) {
+  constexpr std::int64_t kDayMs = 86'400'000;
+  tsdb::TimeSeriesStore store{tsdb::TsdbConfig{}};
+  geo::Location de;
+  de.country = "DE";
+  const std::string key = entry_key(de, "lol");
+  for (int day = 0; day < 10; ++day) {
+    for (int hour = 0; hour < 24; ++hour) {
+      store.append(key, day * kDayMs + hour * 3'600'000,
+                   40.0 + static_cast<double>(day));
+    }
+    store.advance_to((day + 1) * kDayMs);
+  }
+
+  ServeConfig config;
+  config.tsdb = &store;
+  QueryService service(config);
+  service.publish(three_entries());
+
+  Query query;
+  query.kind = QueryKind::kRangeMean;
+  query.location = de;
+  query.game = "lol";
+  query.t0_ms = 0;
+  query.t1_ms = 10 * kDayMs;
+  query.window_ms = kDayMs;
+  QueryResponse response = service.query(query);
+  ASSERT_EQ(response.status, QueryStatus::kOk);
+  ASSERT_EQ(response.series.size(), 10u);
+  EXPECT_DOUBLE_EQ(response.series.front().value, 40.0);
+  EXPECT_DOUBLE_EQ(response.series.back().value, 49.0);
+  EXPECT_DOUBLE_EQ(response.value, response.series.back().value);
+  for (std::size_t day = 0; day < response.series.size(); ++day) {
+    EXPECT_EQ(response.series[day].count, 24u) << day;
+    EXPECT_EQ(response.series[day].t_ms,
+              static_cast<std::int64_t>(day) * kDayMs);
+  }
+
+  // Identical repeat is served from the shard cache; the answer is equal.
+  const QueryResponse cached = service.query(query);
+  EXPECT_TRUE(cached.cached);
+  EXPECT_EQ(hash_response(7, cached), hash_response(7, response));
+
+  query.kind = QueryKind::kRangeCount;
+  response = service.query(query);
+  ASSERT_EQ(response.status, QueryStatus::kOk);
+  EXPECT_DOUBLE_EQ(response.value, 24.0);
+
+  query.kind = QueryKind::kRangePercentile;
+  query.param = 99.0;
+  response = service.query(query);
+  ASSERT_EQ(response.status, QueryStatus::kOk);
+  EXPECT_NEAR(response.series.back().value, 49.0, 0.5);
+
+  // Week-over-week drift at day 10: [d3,d10) mean-of-days minus [d-4,d3).
+  query.kind = QueryKind::kRangeDrift;
+  query.t1_ms = 10 * kDayMs;
+  response = service.query(query);
+  ASSERT_EQ(response.status, QueryStatus::kOk);
+  EXPECT_GT(response.value, 0.0);  // latency ramped up week over week
+
+  // A key the store has never seen -> kNotFound, not a zero answer.
+  query.kind = QueryKind::kRangeMean;
+  query.game = "unknown-game";
+  EXPECT_EQ(service.query(query).status, QueryStatus::kNotFound);
+
+  // Degenerate window -> invalid_argument propagates (caller bug).
+  query.game = "lol";
+  query.window_ms = 0;
+  EXPECT_THROW((void)service.query(query), std::invalid_argument);
+}
+
+TEST(QueryServiceTest, RangeKindsWithoutStoreAreUnavailable) {
+  QueryService service(ServeConfig{});
+  service.publish(three_entries());
+  Query query;
+  query.kind = QueryKind::kRangeMean;
+  query.location.country = "DE";
+  query.game = "lol";
+  query.t1_ms = 86'400'000;
+  EXPECT_EQ(service.query(query).status, QueryStatus::kUnavailable);
+}
+
+TEST(QueryServiceTest, RangeCacheInvalidatesWhenStoreAdvances) {
+  constexpr std::int64_t kDayMs = 86'400'000;
+  tsdb::TimeSeriesStore store{tsdb::TsdbConfig{}};
+  geo::Location de;
+  de.country = "DE";
+  const std::string key = entry_key(de, "lol");
+  store.append(key, 1'000, 10.0);
+
+  ServeConfig config;
+  config.tsdb = &store;
+  QueryService service(config);
+  service.publish(three_entries());
+
+  Query query;
+  query.kind = QueryKind::kRangeCount;
+  query.location = de;
+  query.game = "lol";
+  query.t0_ms = 0;
+  query.t1_ms = kDayMs;
+  query.window_ms = kDayMs;
+  QueryResponse response = service.query(query);
+  ASSERT_EQ(response.status, QueryStatus::kOk);
+  EXPECT_DOUBLE_EQ(response.value, 1.0);
+
+  // New appends bump the store version; the cached count must not survive.
+  store.append(key, 2'000, 11.0);
+  response = service.query(query);
+  EXPECT_FALSE(response.cached);
+  EXPECT_DOUBLE_EQ(response.value, 2.0);
+}
+
 }  // namespace
 }  // namespace tero::serve

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -330,6 +332,110 @@ TEST(Persistence, KvEnumeration) {
   EXPECT_EQ(kv.list_keys().size(), 2u);
   EXPECT_EQ(kv.list_contents("a"), std::vector<std::string>{"1"});
   EXPECT_TRUE(kv.list_contents("missing").empty());
+}
+
+TEST(Persistence, ZeroLengthFieldsRoundTrip) {
+  // Empty keys and empty values are legal length-prefixed fields ("0 "):
+  // the reader must consume exactly zero bytes and continue at the next
+  // record rather than eating the separator or declaring truncation.
+  KvStore kv;
+  kv.put("", "value under empty key");
+  kv.put("empty value", "");
+  kv.push_back("queue", "");
+  kv.push_back("", "element under empty list key");
+  std::ostringstream snapshot;
+  snapshot_kv(kv, snapshot);
+  std::istringstream input(snapshot.str());
+  KvStore restored = restore_kv(input);
+  EXPECT_EQ(restored.get(""), "value under empty key");
+  EXPECT_EQ(restored.get("empty value"), "");
+  EXPECT_EQ(restored.pop_front("queue"), "");
+  EXPECT_EQ(restored.pop_front(""), "element under empty list key");
+}
+
+TEST(Persistence, ValueEndingExactlyAtStreamEnd) {
+  // A record whose value runs to the final byte of the stream (no trailing
+  // newline) sits exactly at the length-prefix boundary: read_field must
+  // see gcount() == length and the record loop must then hit clean EOF.
+  std::istringstream exact("K 1 a 5 hello");
+  KvStore restored = restore_kv(exact);
+  EXPECT_EQ(restored.get("a"), "hello");
+
+  // One declared byte short of that boundary is truncation, not EOF.
+  std::istringstream short_one("K 1 a 6 hello");
+  EXPECT_THROW(restore_kv(short_one), std::invalid_argument);
+
+  // Cut exactly after the length prefix: zero of the declared bytes exist.
+  std::istringstream prefix_only("K 1 a 5 ");
+  EXPECT_THROW(restore_kv(prefix_only), std::invalid_argument);
+}
+
+TEST(Persistence, FileRoundTripZeroLengthPayload) {
+  // An empty store snapshots to a zero-length payload, so the file is
+  // exactly header + "0 <checksum-of-empty>\n" + trailer. The footer scan
+  // must not misread the length/checksum line as payload.
+  const auto dir =
+      std::filesystem::temp_directory_path() / "tero_store_persist_test";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "empty.tkv").string();
+  save_kv_file(KvStore{}, path);
+  const KvStore restored = load_kv_file(path);
+  EXPECT_EQ(restored.size(), 0u);
+  EXPECT_TRUE(restored.list_keys().empty());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Persistence, FileRoundTripZeroLengthFields) {
+  // Zero-length keys and values survive the full save/load path, where the
+  // payload is additionally framed by the byte count + checksum footer.
+  const auto dir =
+      std::filesystem::temp_directory_path() / "tero_store_persist_test2";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "fields.tkv").string();
+  KvStore kv;
+  kv.put("", "");
+  kv.put("k", "");
+  kv.push_back("list", "");
+  save_kv_file(kv, path);
+  KvStore restored = load_kv_file(path);
+  EXPECT_EQ(restored.get(""), "");
+  EXPECT_EQ(restored.get("k"), "");
+  EXPECT_EQ(restored.pop_front("list"), "");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Persistence, FileTruncatedAtLengthPrefixBoundaryRejected) {
+  // Truncate a valid snapshot file so the payload ends exactly where a
+  // record's length prefix promises more bytes — then re-append the footer
+  // and trailer so only the payload-length check can catch it. load_kv_file
+  // must reject rather than restore a half-record.
+  const auto dir =
+      std::filesystem::temp_directory_path() / "tero_store_persist_test3";
+  std::filesystem::create_directories(dir);
+  const std::string path = (dir / "torn.tkv").string();
+  KvStore kv;
+  kv.put("key", "0123456789");
+  save_kv_file(kv, path);
+
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  in.close();
+  std::string contents = buffer.str();
+  // Drop the final payload bytes (the value body after its "10 " prefix)
+  // while keeping the original footer and trailer intact.
+  const auto cut = contents.find("0123456789");
+  ASSERT_NE(cut, std::string::npos);
+  const auto rest = contents.find('\n', cut);
+  ASSERT_NE(rest, std::string::npos);
+  contents.erase(cut, rest - cut);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << contents;
+  out.close();
+
+  EXPECT_THROW(load_kv_file(path), std::runtime_error);
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace persistence_tests

@@ -10,6 +10,7 @@
 
 #include "obs/metrics.hpp"
 #include "serve/service.hpp"
+#include "tsdb/store.hpp"
 #include "serve/snapshot_io.hpp"
 #include "stream/channel.hpp"
 #include "stream/checkpoint.hpp"
@@ -334,6 +335,36 @@ TEST(StreamPipeline, PublishesLiveEpochsIntoService) {
             snapshot_bytes(published->epoch(),
                            {published->entries().begin(),
                             published->entries().end()}));
+}
+
+// --------------------------------------------------------------- tsdb sink --
+
+TEST(StreamPipeline, TsdbSinkRecordsWindowMeansBitIdentically) {
+  const Scenario scenario = make_scenario();
+  std::uint64_t digests[2] = {0, 0};
+  std::string layouts[2];
+  std::size_t index = 0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    tsdb::TimeSeriesStore store{tsdb::TsdbConfig{}};
+    StreamConfig config = base_config(threads);
+    config.tsdb = &store;
+    StreamPipeline pipeline(config);
+    const StreamResult result = pipeline.run(scenario.world, scenario.streams);
+    EXPECT_FALSE(result.crashed);
+    EXPECT_GT(result.windows_closed, 0u);
+    const auto stats = store.stats();
+    // One sample per non-empty closed window lands in the store.
+    EXPECT_GT(stats.head_samples + stats.segment_samples, 0u);
+    EXPECT_LE(stats.head_samples + stats.segment_samples,
+              result.windows_closed);
+    digests[index] = store.dataset_digest();
+    layouts[index] = store.segment_layout();
+    ++index;
+  }
+  // The sink closes windows serially in deterministic order, so the
+  // historical store's contents are thread-count independent.
+  EXPECT_EQ(digests[0], digests[1]);
+  EXPECT_EQ(layouts[0], layouts[1]);
 }
 
 // ------------------------------------------------------------ backpressure --
