@@ -60,10 +60,20 @@
 //       kill/join double as invariant gates (availability, breaker SLO,
 //       ownership audit, remap bound) and exit nonzero on violation.
 //
+//   tero_cli control <sweep|status> [--policy p] [--mult n]
+//       closed-loop overload resilience demo (DESIGN.md §16): run one
+//       deterministic virtual-time overload cell under the standard
+//       chaos plan with the SLO-driven feedback controller actuating
+//       admission, shard count, channel capacity, and the brownout
+//       ladder. `sweep` runs the cell and can write the per-tick
+//       decision log (byte-identical across --threads at a fixed
+//       --seed); `status` prints the resolved cell plan without
+//       running it.
+//
 // The shared flags --metrics-out / --trace-out / --metrics-table /
 // --seed / --threads are parsed by one helper (CommonFlags below):
-// simulate, query, loadtest, stream, chaos, obs, cluster, and tsdb all
-// accept them with the same spelling and semantics.
+// simulate, query, loadtest, stream, chaos, obs, cluster, tsdb, and
+// control all accept them with the same spelling and semantics.
 
 #include <cmath>
 #include <cstdio>
@@ -79,6 +89,8 @@
 #include "analysis/anomalies.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/loadgen.hpp"
+#include "control/controller.hpp"
+#include "control/sweep.hpp"
 #include "download/cdn.hpp"
 #include "download/system.hpp"
 #include "fault/fault.hpp"
@@ -111,7 +123,7 @@ namespace {
 /// (stderr, nonzero exit).
 constexpr const char* kUsage =
     "usage: tero_cli <simulate|analyze|report|query|loadtest|stream|chaos"
-    "|obs|cluster|tsdb> ...\n"
+    "|obs|cluster|tsdb|control> ...\n"
     "\n"
     "  simulate [out_dir] [streamers] [days] [threads]\n"
     "           [--snapshot-out snap.bin] [--metrics-out m.json]\n"
@@ -230,6 +242,27 @@ constexpr const char* kUsage =
     "      tsdb.compact=crash@1:max=1) must crash, then reopen from disk\n"
     "      without losing a single acknowledged sample; exits nonzero on\n"
     "      any violation (scripts/ci.sh tsdb-smoke runs this sweep)\n"
+    "\n"
+    "  control  <sweep|status> [--policy static|reactive|predictive]\n"
+    "           [--mult n] [--duration s] [--seed n] [--threads n]\n"
+    "           [--log-out f.log] [--metrics-out m.json]\n"
+    "           [--trace-out t.json] [--metrics-table]\n"
+    "      closed-loop overload resilience (DESIGN.md §16): one\n"
+    "      deterministic virtual-time cell at --mult times nominal\n"
+    "      capacity under the standard chaos plan (shard kill,\n"
+    "      replication delay, tsdb read errors). The feedback\n"
+    "      controller scrapes the timeline/SLO signals every tick and\n"
+    "      actuates admission token rate, shard count, channel\n"
+    "      capacity, and the brownout ladder (full -> cached-only ->\n"
+    "      coarse-percentile -> stale-tolerant -> shed). `sweep` runs\n"
+    "      the cell, prints the outcome table, and writes the per-tick\n"
+    "      decision log to --log-out — the log, digest, and result\n"
+    "      checksum are byte-identical for any --threads value at a\n"
+    "      fixed --seed (scripts/ci.sh control-smoke cmp-gates this);\n"
+    "      for reactive/predictive at --mult >= 2 the run exits\n"
+    "      nonzero unless the ladder engaged before the first shed.\n"
+    "      `status` prints the resolved cell plan (policy, capacity\n"
+    "      model, chaos windows, SLO) without running it\n"
     "\n"
     "  tero_cli --help prints this text; unknown flags exit nonzero.\n";
 
@@ -2214,6 +2247,231 @@ int cmd_tsdb(int argc, char** argv) {
   return 0;
 }
 
+int cmd_control(int argc, char** argv) {
+  const std::string mode = argc > 2 ? argv[2] : "";
+  if (mode == "--help" || mode == "-h") {
+    std::cout << kUsage;
+    return 0;
+  }
+  if (mode != "sweep" && mode != "status") {
+    std::cerr << "tero_cli control: expected sweep or status, got "
+              << (mode.empty() ? "<nothing>" : mode) << "\n\n"
+              << kUsage;
+    return 2;
+  }
+
+  CommonFlags flags;
+  std::string policy_text = "reactive";
+  std::string log_out;
+  double multiplier = 4.0;
+  double duration_s = 0.0;  // 0 = keep the cell default below
+  for (int i = 3; i < argc; ++i) {
+    if (const int eaten = eat_common_flag(argc, argv, i, flags); eaten != 0) {
+      if (eaten < 0) return 2;
+      i += eaten - 1;
+      continue;
+    }
+    const std::string arg = argv[i];
+    if (arg == "--policy" || arg == "--mult" || arg == "--duration" ||
+        arg == "--log-out") {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        return 2;
+      }
+      const std::string value = argv[++i];
+      if (arg == "--policy") {
+        policy_text = value;
+      } else if (arg == "--mult") {
+        multiplier = std::atof(value.c_str());
+      } else if (arg == "--duration") {
+        duration_s = std::atof(value.c_str());
+      } else {
+        log_out = value;
+      }
+      continue;
+    }
+    return unknown_flag("control", arg);
+  }
+  if (multiplier <= 0.0) {
+    std::cerr << "--mult must be > 0\n";
+    return 2;
+  }
+
+  control::Policy policy;
+  try {
+    policy = control::parse_policy(policy_text);
+  } catch (const std::invalid_argument& err) {
+    std::cerr << "tero_cli control: " << err.what()
+              << " (expected static, reactive, or predictive)\n";
+    return 2;
+  }
+
+  // The CI-smoke cell: same shape as bench_control --tiny so one sweep
+  // finishes in well under a second while still overloading at --mult >= 2.
+  control::SweepConfig config;
+  config.seed = flags.seed_set ? flags.seed : 21;
+  config.load_multiplier = multiplier;
+  config.duration_s = duration_s > 0.0 ? duration_s : 2.5;
+  config.publish_every_s = 0.5;
+  config.controller.policy = policy;
+  config.controller.shard_unit_qps = 400.0;
+  config.controller.min_shards = 2;
+  config.controller.initial_shards = 2;
+  config.controller.max_shards = 4;
+  config.controller.base_channel_capacity = 1024;
+  config.controller.min_channel_capacity = 64;
+  const std::size_t threads =
+      util::ThreadPool::resolve(flags.threads_set ? flags.threads : 1);
+  config.threads = threads;
+
+  const double nominal = static_cast<double>(config.controller.initial_shards) *
+                         config.controller.shard_unit_qps;
+  const auto level_name = [](int level) {
+    switch (level) {
+      case 0: return "full";
+      case 1: return "cached-only";
+      case 2: return "coarse-percentile";
+      case 3: return "stale-tolerant";
+      default: return "shed";
+    }
+  };
+
+  if (mode == "status") {
+    std::cout << "control cell plan (not run):\n";
+    util::Table plan({"knob", "value"});
+    plan.add_row({"policy", std::string(control::to_string(policy))});
+    plan.add_row({"offered load", util::fmt_double(multiplier, 2) + "x (" +
+                                      util::fmt_double(nominal * multiplier, 0) +
+                                      " qps over " +
+                                      util::fmt_double(config.duration_s, 1) +
+                                      " virtual s)"});
+    plan.add_row({"nominal capacity",
+                  std::to_string(config.controller.initial_shards) +
+                      " shards x " +
+                      util::fmt_double(config.controller.shard_unit_qps, 0) +
+                      " qps (scale " +
+                      std::to_string(config.controller.min_shards) + ".." +
+                      std::to_string(config.controller.max_shards) + ")"});
+    plan.add_row({"channel capacity",
+                  std::to_string(config.controller.base_channel_capacity) +
+                      " (floor " +
+                      std::to_string(config.controller.min_channel_capacity) +
+                      ")"});
+    plan.add_row({"tick cadence",
+                  std::to_string(config.controller.tick_every_ms) + " ms"});
+    plan.add_row({"fault plan", config.fault_plan});
+    plan.add_row({"slo", config.slo_spec});
+    plan.add_row({"seed", std::to_string(config.seed)});
+    plan.print(std::cout);
+    std::cout << "brownout ladder:";
+    for (int level = 0; level <= 4; ++level) {
+      std::cout << (level == 0 ? " " : " -> ") << level_name(level);
+    }
+    std::cout << "\nchaos windows (fractions of the run):\n";
+    for (const auto& window : config.windows) {
+      const char* kind = window.kind == control::ChaosWindow::Kind::kShardKill
+                             ? "shard-kill"
+                         : window.kind == control::ChaosWindow::Kind::kReplDelay
+                             ? "repl-delay"
+                             : "tsdb-error";
+      std::cout << "  " << kind << " [" << util::fmt_double(window.begin_frac, 2)
+                << ", " << util::fmt_double(window.end_frac, 2) << ")";
+      if (window.kind == control::ChaosWindow::Kind::kShardKill) {
+        std::cout << " shard " << window.shard;
+      }
+      std::cout << "\n";
+    }
+    return 0;
+  }
+
+  // sweep: build a small serving world, then run the cell.
+  synth::WorldConfig world_config;
+  world_config.seed = 13;
+  world_config.num_streamers = 60;
+  world_config.p_twitter = 0.9;
+  const synth::World world(world_config);
+  synth::BehaviorConfig behavior;
+  behavior.days = 3;
+  synth::SessionGenerator generator(world, behavior, 3);
+  const auto streams = generator.generate();
+  core::TeroConfig pipeline_config;
+  pipeline_config.threads = threads;
+  core::Pipeline pipeline(pipeline_config);
+  const core::Dataset dataset = pipeline.run(world, streams);
+  std::vector<serve::SnapshotEntry> entries = serve::entries_from(dataset);
+  if (entries.empty()) {
+    std::cerr << "pipeline produced no snapshot entries\n";
+    return 1;
+  }
+
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
+  const control::SweepReport report =
+      control::run_control_sweep(std::move(entries), config, pool.get());
+
+  std::cout << "control sweep: " << control::to_string(policy) << " at "
+            << util::fmt_double(multiplier, 2) << "x ("
+            << util::fmt_double(report.offered_qps, 0) << " qps, seed "
+            << config.seed << ", " << threads << " thread"
+            << (threads == 1 ? "" : "s") << ")\n";
+  util::Table table({"metric", "value"});
+  table.add_row({"issued", std::to_string(report.issued)});
+  table.add_row({"ok", std::to_string(report.ok)});
+  table.add_row({"stale", std::to_string(report.stale)});
+  table.add_row({"shed", std::to_string(report.shed) + " (" +
+                             util::fmt_percent(report.shed_fraction) + ")"});
+  table.add_row({"brownout refused", std::to_string(report.brownout)});
+  table.add_row({"unavailable", std::to_string(report.unavailable)});
+  table.add_row({"denied fraction", util::fmt_percent(report.denied_fraction)});
+  table.add_row({"p50 / p99 ms", util::fmt_double(report.p50_ms, 2) + " / " +
+                                     util::fmt_double(report.p99_ms, 2)});
+  table.add_row({"slo good", util::fmt_percent(report.slo_good_fraction) +
+                                 (report.slo_fired ? " (alert fired)" : "")});
+  table.add_row({"max ladder rung", std::to_string(report.max_level) +
+                                        " (" + level_name(report.max_level) +
+                                        ")"});
+  table.add_row({"peak shards", std::to_string(report.peak_shards)});
+  table.add_row({"min channel capacity",
+                 std::to_string(report.min_channel_capacity)});
+  table.add_row({"first ladder-up / shed ms",
+                 std::to_string(report.first_ladder_ms) + " / " +
+                     std::to_string(report.first_shed_ms)});
+  table.add_row({"ticks", std::to_string(report.ticks)});
+  {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(report.decision_digest));
+    table.add_row({"decision digest", buffer});
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(report.checksum));
+    table.add_row({"result checksum", buffer});
+  }
+  table.print(std::cout);
+
+  if (!log_out.empty()) {
+    std::ofstream out(log_out);
+    if (!out) {
+      std::cerr << "cannot open " << log_out << "\n";
+      return 1;
+    }
+    out << report.decision_log;
+    std::cout << "wrote " << report.ticks << " decisions to " << log_out
+              << "\n";
+  }
+
+  // Invariant gate: an adaptive policy under real overload must climb the
+  // ladder before it starts refusing work outright.
+  if (policy != control::Policy::kStatic && multiplier >= 2.0 &&
+      !report.ladder_engaged_before_shed) {
+    std::cerr << "control sweep: ladder did not engage before the first "
+                 "shed (first ladder-up "
+              << report.first_ladder_ms << " ms, first shed "
+              << report.first_shed_ms << " ms)\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -2228,6 +2486,7 @@ int main(int argc, char** argv) {
   if (command == "obs") return cmd_obs(argc, argv);
   if (command == "cluster") return cmd_cluster(argc, argv);
   if (command == "tsdb") return cmd_tsdb(argc, argv);
+  if (command == "control") return cmd_control(argc, argv);
   if (command == "--help" || command == "-h" || command == "help") {
     std::cout << kUsage;
     return 0;

@@ -35,6 +35,15 @@
 #                verify` — acknowledged samples must survive any injected
 #                crash, and reopening a torn directory must reproduce the
 #                pre-crash dataset digest).
+#   control-smoke  Overload-resilience gate (DESIGN.md §16): the
+#                control-labeled test suite (ctest -L control),
+#                bench_control --tiny with a JSON parse check plus awk
+#                floors (reactive must shed less than static at 2x and 4x
+#                overload, the brownout ladder must engage before the
+#                first shed, the 1-vs-N-thread decision logs must match),
+#                and a 3-seed `tero_cli control sweep` determinism sweep —
+#                the per-tick decision log at 1 and 8 threads must be
+#                byte-identical (cmp) for every seed.
 #   perf-smoke   Extraction fast-path gate (DESIGN.md §12): the simd_test
 #                bit-identity suite, the per-stage extraction microbenches
 #                checked against the committed floors in
@@ -49,6 +58,7 @@
 # Observability gate:      scripts/ci.sh obs-smoke
 # Cluster gate:            scripts/ci.sh cluster-smoke
 # Tiered-storage gate:     scripts/ci.sh tsdb-smoke
+# Overload-control gate:   scripts/ci.sh control-smoke
 # Extraction perf gate:    scripts/ci.sh perf-smoke
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -69,7 +79,7 @@ run_bench_smoke() {
   cmake --preset default
   cmake --build --preset default -j "$(nproc)" \
     --target bench_perf_micro bench_serve bench_stream bench_cluster \
-    bench_tsdb bench_json_check
+    bench_tsdb bench_control bench_json_check
   # Benchmarks write BENCH_*.json into their cwd; keep artifacts in build/bench.
   (
     cd build/bench
@@ -79,11 +89,12 @@ run_bench_smoke() {
     ./bench_stream --tiny
     ./bench_cluster --tiny
     ./bench_tsdb --tiny
+    ./bench_control --tiny
     # Every bench above must have left its artifact behind; name the missing
     # ones explicitly so a silently-skipped reporter is obvious from the log.
     local artifacts missing sizes
     artifacts=(BENCH_perf_micro.json BENCH_serve.json BENCH_stream.json \
-               BENCH_cluster.json BENCH_tsdb.json)
+               BENCH_cluster.json BENCH_tsdb.json BENCH_control.json)
     missing=()
     sizes=""
     for artifact in "${artifacts[@]}"; do
@@ -257,6 +268,83 @@ run_cluster_smoke() {
   echo "cluster-smoke: determinism, availability and audit gates held"
 }
 
+run_control_smoke() {
+  cmake --preset default
+  cmake --build --preset default -j "$(nproc)" \
+    --target control_test tero_cli bench_control bench_json_check
+  (cd build && ctest -L control --output-on-failure -j "$(nproc)")
+  # Bench artifact gate: BENCH_control.json must parse and the committed
+  # floors must hold — the reactive policy sheds measurably less than the
+  # static baseline at 2x and 4x overload, the brownout ladder engaged
+  # before the first shed, and the 1-vs-N-thread decision logs matched.
+  (
+    cd build/bench
+    ./bench_control --tiny
+    ./bench_json_check BENCH_control.json
+    awk '/"comparison"/ {
+           split($0, a, "\"static_shed_2x\": "); split(a[2], s2, ",")
+           split($0, a, "\"reactive_shed_2x\": "); split(a[2], r2, ",")
+           split($0, a, "\"static_shed_4x\": "); split(a[2], s4, ",")
+           split($0, a, "\"reactive_shed_4x\": "); split(a[2], r4, ",")
+           if (r2[1] + 0 >= s2[1] + 0) {
+             print "control-smoke: reactive shed " r2[1] " >= static " s2[1] \
+                   " at 2x"
+             bad = 1
+           }
+           if (r4[1] + 0 >= s4[1] + 0) {
+             print "control-smoke: reactive shed " r4[1] " >= static " s4[1] \
+                   " at 4x"
+             bad = 1
+           }
+           comp = 1
+         }
+         /"ladder"/ {
+           if (index($0, "\"engaged_before_shed\": true") == 0) {
+             print "control-smoke: ladder did not engage before shedding"
+             bad = 1
+           }
+           ladder = 1
+         }
+         /"determinism"/ {
+           if (index($0, "\"log_match\": true") == 0 ||
+               index($0, "\"checksum_match\": true") == 0) {
+             print "control-smoke: decision log not thread-deterministic"
+             bad = 1
+           }
+           det = 1
+         }
+         END {
+           if (!comp || !ladder || !det) {
+             print "control-smoke: comparison/ladder/determinism rows" \
+                   " missing from JSON"
+             bad = 1
+           }
+           exit bad
+         }' BENCH_control.json
+  )
+  # Determinism sweep: per seed the CLI's per-tick decision log at 1 thread
+  # and at 8 threads must be byte-identical; any divergence is a replay
+  # hazard in the controller's scrape -> decide -> actuate loop. The CLI
+  # itself exits nonzero when the ladder failed to engage before shedding.
+  local out
+  out=$(mktemp -d)
+  for seed in 3 11 29; do
+    ./build/examples/tero_cli control sweep --policy reactive --mult 4 \
+      --seed "$seed" --threads 1 --log-out "$out/d1-$seed.log"
+    ./build/examples/tero_cli control sweep --policy reactive --mult 4 \
+      --seed "$seed" --threads 8 --log-out "$out/d8-$seed.log" > /dev/null
+    if ! cmp -s "$out/d1-$seed.log" "$out/d8-$seed.log"; then
+      echo "control-smoke: decision log differs at 1 vs 8 threads" \
+           "(seed $seed)" >&2
+      rm -rf "$out"
+      exit 1
+    fi
+  done
+  rm -rf "$out"
+  echo "control-smoke: shed floors, ladder order and decision-log" \
+       "determinism gates held"
+}
+
 run_perf_smoke() {
   cmake --preset default
   cmake --build --preset default -j "$(nproc)" \
@@ -329,10 +417,11 @@ for job in "${jobs[@]}"; do
     obs-smoke) run_obs_smoke ;;
     cluster-smoke) run_cluster_smoke ;;
     tsdb-smoke) run_tsdb_smoke ;;
+    control-smoke) run_control_smoke ;;
     perf-smoke) run_perf_smoke ;;
     *) echo "unknown job: $job (want tier1, asan, tsan, bench-smoke," \
-            "chaos-smoke, obs-smoke, cluster-smoke, tsdb-smoke or" \
-            "perf-smoke)" >&2
+            "chaos-smoke, obs-smoke, cluster-smoke, tsdb-smoke," \
+            "control-smoke or perf-smoke)" >&2
        exit 2 ;;
   esac
 done

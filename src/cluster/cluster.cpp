@@ -29,6 +29,7 @@ Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
     unavailable_ = &registry.counter("tero.cluster.unavailable");
     refused_ = &registry.counter("tero.cluster.refused");
     failovers_ = &registry.counter("tero.cluster.failovers");
+    denied_ = serve::DeniedCounters(&registry);
     epoch_gauge_ = &registry.gauge("tero.cluster.epoch");
     nodes_gauge_ = &registry.gauge("tero.cluster.nodes");
   }
@@ -229,6 +230,7 @@ RouteDecision Cluster::route(const serve::Query& query, std::uint64_t now_ms,
         // Bounded staleness: over-budget answers are refused, never
         // served. Not a node failure — the breaker stays untouched.
         if (refused_ != nullptr) refused_->add();
+        denied_.add(serve::DenyReason::kStale);
         continue;
       }
       serving = node.applied;
@@ -247,6 +249,7 @@ RouteDecision Cluster::route(const serve::Query& query, std::uint64_t now_ms,
   }
   decision.no_answer = serve::QueryStatus::kUnavailable;
   if (unavailable_ != nullptr) unavailable_->add();
+  denied_.add(serve::DenyReason::kUnavailable);
   return decision;
 }
 

@@ -192,7 +192,9 @@ ClusterLoadReport run_cluster_loadtest(Cluster& cluster,
       case serve::QueryStatus::kNotFound: ++report.not_found; break;
       case serve::QueryStatus::kNoSnapshot: ++report.no_snapshot; break;
       case serve::QueryStatus::kUnavailable: ++report.unavailable; break;
-      case serve::QueryStatus::kShed: break;  // cluster routing never sheds
+      // Cluster routing never sheds or browns out.
+      case serve::QueryStatus::kShed: break;
+      case serve::QueryStatus::kBrownout: break;
     }
   }
   if (report.issued > 0) {

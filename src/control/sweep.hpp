@@ -1,0 +1,122 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "fault/policy.hpp"
+#include "serve/snapshot.hpp"
+
+namespace tero::util {
+class ThreadPool;
+}  // namespace tero::util
+
+namespace tero::control {
+
+/// Deterministic closed-loop overload sweep (DESIGN.md §16): an open-loop
+/// Zipf query stream at a fixed offered rate drives a QueryService whose
+/// knobs — admission token rate, brownout rung, provisioned shard count,
+/// queue bound — are actuated live by a Controller reading virtual-time
+/// telemetry, while a scripted chaos schedule (shard kill, replication
+/// delay, tsdb read errors) churns underneath.
+///
+/// Three-phase execution (the cluster loadgen pattern): Phase A walks
+/// arrivals serially on the virtual clock and takes every stateful decision
+/// — controller ticks, admission, brownout, breaker transitions, fault
+/// draws, the queueing model — so outcomes depend only on (seed, config).
+/// Phase B fans the fixed routing decisions out to a pool for pure
+/// serve::answer evaluation. Phase C folds the checksum. The decision log
+/// and checksum are therefore bit-identical for any thread count.
+
+/// One scripted chaos window, in fractions of the run's virtual duration.
+struct ChaosWindow {
+  enum class Kind : std::uint8_t {
+    kShardKill,  ///< the shard fails every request (node kill)
+    kReplDelay,  ///< replication lags: publishes pause, reads go stale
+    kTsdbError,  ///< the historical store refuses reads (tsdb.read)
+  };
+  Kind kind = Kind::kShardKill;
+  double begin_frac = 0.0;
+  double end_frac = 0.0;
+  std::size_t shard = 0;  ///< kShardKill only
+};
+
+/// The standard chaos plan the acceptance gates run under: one shard killed
+/// mid-run, a replication-delay window, a tsdb error window.
+[[nodiscard]] std::vector<ChaosWindow> standard_chaos_windows();
+
+struct SweepConfig {
+  std::uint64_t seed = 1;
+  std::size_t threads = 1;
+  /// Virtual run length; the query count is duration_s * offered rate.
+  double duration_s = 12.0;
+  /// Offered load: explicit qps, or (when <= 0) load_multiplier times the
+  /// nominal capacity initial_shards * shard_unit_qps.
+  double offered_qps = 0.0;
+  double load_multiplier = 1.0;
+  double zipf_s = 1.1;
+  /// Fraction of queries tagged as historical (tsdb-backed): they cost the
+  /// range-kind price, fail during tsdb windows, and the ladder disables
+  /// them from kCachedOnly up.
+  double p_history = 0.05;
+
+  ControllerConfig controller;
+
+  /// Background fault noise, always on (the windows ride on top).
+  std::string fault_plan = "serve.shard*=error@0.02;tsdb.read=error@0.1";
+  std::vector<ChaosWindow> windows = standard_chaos_windows();
+  /// During a kReplDelay window the per-query draw under this probability
+  /// forces a stale (previous-epoch) read — the replica hasn't applied.
+  double repl_stale_prob = 0.6;
+  fault::CircuitBreaker::Config breaker{5, 2.0, 2};
+
+  /// Republish cadence (epoch advance) on the virtual clock.
+  double publish_every_s = 2.0;
+  std::uint64_t scrape_every_ms = 100;
+  std::string slo_spec =
+      "slo latency: p99(tero.control.latency_ms) < 25ms over 10s window, "
+      "budget 5%";
+  std::uint64_t slo_fast_window_ms = 2000;
+};
+
+struct SweepReport {
+  std::size_t issued = 0;
+  std::size_t ok = 0;
+  std::size_t not_found = 0;
+  std::size_t stale = 0;        ///< served from the previous epoch
+  std::size_t shed = 0;         ///< token + overflow sheds
+  std::size_t overflow = 0;     ///< queue-bound overflow subset of shed
+  std::size_t brownout = 0;     ///< refused by the ladder
+  std::size_t unavailable = 0;  ///< tsdb window / no epoch to degrade to
+  double shed_fraction = 0.0;
+  double denied_fraction = 0.0;  ///< (shed+brownout+unavailable) / issued
+  double stale_fraction = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double slo_good_fraction = 1.0;
+  bool slo_fired = false;
+  /// Virtual time of the first shed and the first ladder-up decision
+  /// (0 = never); the acceptance gate "brownout engages before shedding".
+  std::uint64_t first_shed_ms = 0;
+  std::uint64_t first_ladder_ms = 0;
+  bool ladder_engaged_before_shed = false;
+  int max_level = 0;
+  std::size_t peak_shards = 0;
+  std::size_t min_channel_capacity = 0;
+  std::size_t ticks = 0;
+  std::uint64_t checksum = 0;         ///< XOR of hash_response(i, ...)
+  std::uint64_t decision_digest = 0;  ///< fnv1a64 of decision_log
+  std::string decision_log;           ///< byte-stable, one line per tick
+  double offered_qps = 0.0;
+  double wall_ms = 0.0;  ///< timing only; never part of the checksum
+};
+
+/// Run one sweep cell. `entries` is the serving dataset (published twice up
+/// front so a previous epoch exists for stale reads); `pool` parallelizes
+/// Phase B only (nullptr = serial).
+[[nodiscard]] SweepReport run_control_sweep(
+    std::vector<serve::SnapshotEntry> entries, const SweepConfig& config,
+    util::ThreadPool* pool);
+
+}  // namespace tero::control

@@ -31,11 +31,19 @@ bool CircuitBreaker::allow(double now_s) {
     case State::kOpen:
       if (now_s - opened_at_s_ >= config_.cooldown_s) {
         enter(State::kHalfOpen);
+        probe_in_flight_ = true;
         return true;
       }
       ++rejected_;
       return false;
     case State::kHalfOpen:
+      // Exactly one probe at a time: concurrent callers racing the probe's
+      // outcome fail fast instead of piling onto a recovering endpoint.
+      if (probe_in_flight_) {
+        ++rejected_;
+        return false;
+      }
+      probe_in_flight_ = true;
       return true;
   }
   return true;
@@ -45,6 +53,7 @@ void CircuitBreaker::on_success() {
   std::lock_guard<std::mutex> lock(mutex_);
   consecutive_failures_ = 0;
   if (state_ == State::kHalfOpen) {
+    probe_in_flight_ = false;
     if (++half_open_successes_ >= config_.half_open_successes) {
       enter(State::kClosed);
     }
@@ -76,6 +85,7 @@ CircuitBreaker::CircuitBreaker(Config config, obs::Gauge* state_gauge)
 
 void CircuitBreaker::enter(State next) {
   state_ = next;
+  probe_in_flight_ = false;
   if (next != State::kHalfOpen) half_open_successes_ = 0;
   if (next == State::kClosed) consecutive_failures_ = 0;
   if (state_gauge_ != nullptr) {

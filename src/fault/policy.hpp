@@ -61,7 +61,12 @@ class CircuitBreaker {
   explicit CircuitBreaker(Config config, obs::Gauge* state_gauge = nullptr);
 
   /// May a request proceed at time `now_s`? Open breakers reject until the
-  /// cooldown elapses, then admit half-open probes.
+  /// cooldown elapses, then admit half-open probes — *one at a time*: while
+  /// a probe's outcome is pending (allow() returned true and neither
+  /// on_success() nor on_failure() has been called yet), every other caller
+  /// fails fast. A half-open breaker that admitted N concurrent callers
+  /// would hammer the recovering endpoint with the very thundering herd it
+  /// exists to prevent.
   [[nodiscard]] bool allow(double now_s);
   void on_success();
   void on_failure(double now_s);
@@ -89,6 +94,9 @@ class CircuitBreaker {
   State state_ = State::kClosed;
   std::uint32_t consecutive_failures_ = 0;
   std::uint32_t half_open_successes_ = 0;
+  /// Half-open single-probe latch: set when allow() admits a probe, cleared
+  /// by the probe's on_success()/on_failure() (or any state change).
+  bool probe_in_flight_ = false;
   double opened_at_s_ = 0.0;
   std::uint64_t rejected_ = 0;
 };

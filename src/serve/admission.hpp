@@ -26,16 +26,40 @@ class AdmissionController {
   /// slightly stale values only make admission more conservative.
   bool try_admit(double now_s, double cost = 1.0);
 
-  [[nodiscard]] bool enabled() const noexcept { return rate_qps_ > 0.0; }
-  [[nodiscard]] double rate_qps() const noexcept { return rate_qps_; }
+  /// Retune the bucket mid-run (the controller's actuation path). The
+  /// accrued interval up to `now_s` refills at the *old* rate first, so a
+  /// step-up never mints tokens retroactively and a step-down never claws
+  /// back tokens already earned; the balance is then clamped into
+  /// [0, new burst]. burst <= 0 keeps the old burst. Enabling (rate > 0
+  /// from a disabled controller) starts with a full bucket; disabling
+  /// (rate <= 0) stops all accounting, as at construction.
+  void set_rate(double now_s, double rate_qps, double burst = 0.0);
+
+  [[nodiscard]] bool enabled() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rate_qps_ > 0.0;
+  }
+  [[nodiscard]] double rate_qps() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rate_qps_;
+  }
+  [[nodiscard]] double burst() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return burst_;
+  }
   [[nodiscard]] std::uint64_t admitted() const;
   [[nodiscard]] std::uint64_t shed() const;
 
  private:
+  /// Refill the balance for time elapsed up to `now_s` at the current rate.
+  /// Callers hold mutex_.
+  void refill_locked(double now_s);
+
+  mutable std::mutex mutex_;
+  // All guarded by mutex_ (set_rate retunes them mid-run).
   double rate_qps_;
   double burst_;
-  mutable std::mutex mutex_;
-  double tokens_;       ///< guarded by mutex_
+  double tokens_;
   double last_refill_ = 0.0;
   std::uint64_t admitted_ = 0;
   std::uint64_t shed_ = 0;

@@ -136,6 +136,7 @@ LoadTestReport run_loadtest(QueryService& service,
   obs::Counter* shed_counter = nullptr;
   obs::Counter* stale_counter = nullptr;
   obs::Counter* unavailable_counter = nullptr;
+  obs::Counter* brownout_counter = nullptr;
   obs::Histogram* latency_hist = nullptr;
   if (config.metrics != nullptr) {
     auto& registry = *config.metrics;
@@ -145,6 +146,7 @@ LoadTestReport run_loadtest(QueryService& service,
     shed_counter = &registry.counter("tero.loadgen.shed");
     stale_counter = &registry.counter("tero.loadgen.stale");
     unavailable_counter = &registry.counter("tero.loadgen.unavailable");
+    brownout_counter = &registry.counter("tero.loadgen.brownout");
     latency_hist = &registry.histogram("tero.loadgen.latency_ms");
     if (config.exemplar_seed != 0) {
       latency_hist->enable_exemplars(config.exemplar_seed);
@@ -168,6 +170,7 @@ LoadTestReport run_loadtest(QueryService& service,
       case QueryStatus::kShed: ++report.shed; break;
       case QueryStatus::kNoSnapshot: ++report.no_snapshot; break;
       case QueryStatus::kUnavailable: ++report.unavailable; break;
+      case QueryStatus::kBrownout: ++report.brownout; break;
     }
     if (config.metrics == nullptr) continue;
     sent_counter->add();
@@ -177,6 +180,7 @@ LoadTestReport run_loadtest(QueryService& service,
       case QueryStatus::kNotFound: not_found_counter->add(); break;
       case QueryStatus::kShed: shed_counter->add(); break;
       case QueryStatus::kUnavailable: unavailable_counter->add(); break;
+      case QueryStatus::kBrownout: brownout_counter->add(); break;
       case QueryStatus::kNoSnapshot: break;
     }
     // Synthetic service time: a light-tailed base draw, stretched by the
@@ -188,6 +192,7 @@ LoadTestReport run_loadtest(QueryService& service,
         if (outcome.stale) virtual_ms = 2.0 + 4.0 * virtual_ms;
         break;
       case QueryStatus::kShed: virtual_ms = 0.05; break;
+      case QueryStatus::kBrownout: virtual_ms = 0.05; break;
       case QueryStatus::kUnavailable: virtual_ms = 25.0 + virtual_ms; break;
       case QueryStatus::kNotFound:
       case QueryStatus::kNoSnapshot: break;

@@ -83,6 +83,7 @@ struct LoadTestReport {
   std::size_t shed = 0;
   std::size_t no_snapshot = 0;
   std::size_t unavailable = 0;  ///< shard down, nothing to degrade to
+  std::size_t brownout = 0;     ///< refused by the brownout ladder
   std::size_t stale = 0;        ///< answered from the last good snapshot
   /// XOR-fold of hash_response(i, response_i): bit-identical across runs
   /// with the same {seed, snapshot, config}, independent of thread count.

@@ -7,6 +7,7 @@
 
 #include "fault/fault.hpp"
 #include "obs/metrics.hpp"
+#include "serve/brownout.hpp"
 #include "obs/trace.hpp"
 #include "tero/pipeline.hpp"
 #include "util/rng.hpp"
@@ -51,6 +52,32 @@ class RecordTimer {
 };
 
 }  // namespace
+
+std::string_view to_string(DenyReason reason) noexcept {
+  switch (reason) {
+    case DenyReason::kShed: return "shed";
+    case DenyReason::kStale: return "stale";
+    case DenyReason::kUnavailable: return "unavailable";
+    case DenyReason::kBrownout: return "brownout";
+  }
+  return "shed";
+}
+
+DeniedCounters::DeniedCounters(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  for (const DenyReason reason :
+       {DenyReason::kShed, DenyReason::kStale, DenyReason::kUnavailable,
+        DenyReason::kBrownout}) {
+    by_reason_[static_cast<std::size_t>(reason)] =
+        &metrics->counter(obs::MetricsRegistry::labeled(
+            "tero.serve.denied", {{"reason", to_string(reason)}}));
+  }
+}
+
+void DeniedCounters::add(DenyReason reason) const {
+  obs::Counter* counter = by_reason_[static_cast<std::size_t>(reason)];
+  if (counter != nullptr) counter->add();
+}
 
 std::uint64_t hash_response(std::uint64_t index,
                             const QueryResponse& response) {
@@ -105,6 +132,8 @@ QueryService::QueryService(ServeConfig config)
     not_found_counter_ = &registry.counter("tero.serve.not_found");
     degraded_counter_ = &registry.counter("tero.serve.degraded");
     unavailable_counter_ = &registry.counter("tero.serve.unavailable");
+    denied_ = DeniedCounters(&registry);
+    registry.set_gauge("tero.serve.brownout_level", {}, 0.0);
     query_ms_ = &registry.histogram("tero.serve.query_ms");
     if (config_.exemplar_seed != 0) {
       query_ms_->enable_exemplars(config_.exemplar_seed);
@@ -332,8 +361,43 @@ QueryResponse QueryService::compute(const Query& query,
 bool QueryService::try_admit(double now_s) {
   const bool admitted =
       admission_.try_admit(now_s >= 0.0 ? now_s : wall_now_s());
-  if (!admitted && shed_counter_ != nullptr) shed_counter_->add();
+  if (!admitted) {
+    if (shed_counter_ != nullptr) shed_counter_->add();
+    denied_.add(DenyReason::kShed);
+  }
   return admitted;
+}
+
+void QueryService::set_admission_rate(double now_s, double rate_qps,
+                                      double burst) {
+  admission_.set_rate(now_s >= 0.0 ? now_s : wall_now_s(), rate_qps, burst);
+  if (config_.metrics != nullptr) {
+    config_.metrics->set_gauge("tero.serve.admission_rate", {}, rate_qps);
+  }
+}
+
+void QueryService::set_brownout(BrownoutLevel level) {
+  brownout_.store(static_cast<std::uint8_t>(level),
+                  std::memory_order_relaxed);
+  if (config_.metrics != nullptr) {
+    config_.metrics->set_gauge("tero.serve.brownout_level", {},
+                               static_cast<double>(
+                                   static_cast<std::uint8_t>(level)));
+  }
+}
+
+BrownoutLevel QueryService::brownout() const noexcept {
+  return static_cast<BrownoutLevel>(
+      brownout_.load(std::memory_order_relaxed));
+}
+
+fault::CircuitBreaker::State QueryService::breaker_state(
+    std::size_t shard_index) const {
+  if (shard_index >= shards_.size() ||
+      shards_[shard_index]->breaker == nullptr) {
+    return fault::CircuitBreaker::State::kClosed;
+  }
+  return shards_[shard_index]->breaker->state();
 }
 
 QueryResponse QueryService::query(const Query& query, double now_s) {
@@ -357,6 +421,7 @@ QueryResponse QueryService::degraded(const Query& query,
     // Range kinds always land here: history has no stale epoch to fall
     // back on — a downed shard makes them explicitly unavailable.
     if (unavailable_counter_ != nullptr) unavailable_counter_->add();
+    denied_.add(DenyReason::kUnavailable);
     QueryResponse response;
     response.status = QueryStatus::kUnavailable;
     response.epoch = current_epoch;
@@ -378,8 +443,28 @@ QueryResponse QueryService::query_admitted(const Query& query, double now_s) {
   const RecordTimer timer(query_ms_, query.trace_id);
   if (queries_total_ != nullptr) queries_total_->add();
 
+  // Brownout front door (DESIGN.md §16): a pure function of (kind, level),
+  // evaluated before any shard or cache state so the outcome is the same on
+  // every replica. Refused kinds answer kBrownout — a denial, but a cheap
+  // and explicit one, taken *before* the admission controller would shed.
+  const BrownoutLevel level = brownout();
+  BrownoutAction action;
+  if (level != BrownoutLevel::kFull) {
+    action = apply_brownout(query, level);
+    if (action.refuse) {
+      denied_.add(DenyReason::kBrownout);
+      QueryResponse response;
+      response.status = QueryStatus::kBrownout;
+      response.epoch = publisher_.epoch();
+      return response;
+    }
+  } else {
+    action.query = query;
+  }
+  const Query& effective = action.query;
+
   const SnapshotPtr snapshot = publisher_.current();
-  if (snapshot == nullptr && !is_range_kind(query.kind)) {
+  if (snapshot == nullptr && !is_range_kind(effective.kind)) {
     QueryResponse response;
     response.status = QueryStatus::kNoSnapshot;
     return response;
@@ -387,7 +472,19 @@ QueryResponse QueryService::query_admitted(const Query& query, double now_s) {
   const std::uint64_t epoch =
       snapshot != nullptr ? snapshot->epoch() : publisher_.epoch();
 
-  const std::size_t shard_index = shard_for(query);
+  if (action.prefer_stale) {
+    // Stale-tolerant rungs serve the previous epoch when one exists (an old
+    // answer beats burning fresh-epoch compute); with no previous epoch the
+    // fresh path below still answers.
+    bool has_previous = false;
+    {
+      std::lock_guard<std::mutex> lock(previous_mutex_);
+      has_previous = previous_ != nullptr;
+    }
+    if (has_previous) return degraded(effective, epoch);
+  }
+
+  const std::size_t shard_index = shard_for(effective);
   Shard& shard = *shards_[shard_index];
 
   if (shard.fault_point != nullptr) {
@@ -395,13 +492,13 @@ QueryResponse QueryService::query_admitted(const Query& query, double now_s) {
     if (!shard.breaker->allow(now)) {
       // Breaker open: skip the shard entirely (no fault-point hit — the
       // whole point of breaking is to stop poking a known-bad endpoint).
-      return degraded(query, epoch);
+      return degraded(effective, epoch);
     }
     const fault::FaultDecision decision = shard.fault_point->hit();
     if (decision.kind == fault::FaultKind::kError ||
         decision.kind == fault::FaultKind::kCrash) {
       shard.breaker->on_failure(now);
-      return degraded(query, epoch);
+      return degraded(effective, epoch);
     }
     shard.breaker->on_success();
   }
@@ -413,7 +510,7 @@ QueryResponse QueryService::query_admitted(const Query& query, double now_s) {
                                static_cast<double>(depth));
   }
 
-  const std::string key = cache_key(query);
+  const std::string key = cache_key(effective);
   QueryResponse response;
   bool from_cache = false;
   {
@@ -431,7 +528,7 @@ QueryResponse QueryService::query_admitted(const Query& query, double now_s) {
     if (hits_counter_ != nullptr) hits_counter_->add();
     if (shard.hits_counter != nullptr) shard.hits_counter->add();
   } else {
-    response = compute(query, snapshot.get());
+    response = compute(effective, snapshot.get());
     if (misses_counter_ != nullptr) misses_counter_->add();
     if (shard.misses_counter != nullptr) shard.misses_counter->add();
     if (response.status == QueryStatus::kNotFound &&

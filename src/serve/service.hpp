@@ -85,6 +85,39 @@ enum class QueryStatus {
   kShed,         ///< rejected by admission control
   kNoSnapshot,   ///< nothing published yet
   kUnavailable,  ///< shard down and no previous epoch to degrade to
+  kBrownout,     ///< refused by the brownout ladder (expensive kind disabled)
+};
+
+/// Brownout degradation ladder rung (full declaration in brownout.hpp).
+enum class BrownoutLevel : std::uint8_t;
+
+/// Unified denial accounting (DESIGN.md §16): every request the system turns
+/// away increments `tero.serve.denied{reason=...}` with one of these labels,
+/// so SLO specs and the overload controller read a single series family.
+/// The legacy names (tero.serve.shed, tero.serve.unavailable,
+/// tero.cluster.refused, ...) still tick as aliases for one release.
+enum class DenyReason : std::uint8_t {
+  kShed,         ///< admission control rejected (token bucket empty)
+  kStale,        ///< bounded-staleness refusal (over the staleness budget)
+  kUnavailable,  ///< no healthy replica/shard could answer
+  kBrownout,     ///< brownout ladder disabled the query kind
+};
+
+[[nodiscard]] std::string_view to_string(DenyReason reason) noexcept;
+
+/// Handle bundle for the denied{reason=...} family — resolved once at
+/// construction (the obs::Counter idiom), null-safe when metrics are off.
+/// Shared by QueryService and cluster::Cluster so both layers write the
+/// same series.
+class DeniedCounters {
+ public:
+  DeniedCounters() = default;
+  explicit DeniedCounters(obs::MetricsRegistry* metrics);
+
+  void add(DenyReason reason) const;
+
+ private:
+  obs::Counter* by_reason_[4] = {nullptr, nullptr, nullptr, nullptr};
 };
 
 struct TopEntry {
@@ -197,8 +230,27 @@ class QueryService {
   [[nodiscard]] std::vector<QueryResponse> query_batch(
       std::span<const Query> queries, double now_s = -1.0);
 
+  /// Retune the admission token bucket mid-run (the overload controller's
+  /// actuation path; see AdmissionController::set_rate for the
+  /// no-minting/no-negative contract). Exports the new rate as the
+  /// tero.serve.admission_rate gauge when metrics are on.
+  void set_admission_rate(double now_s, double rate_qps, double burst = 0.0);
+
+  /// Set/read the brownout ladder rung the read path honors (atomic; the
+  /// controller writes, every query reads). Level semantics are the pure
+  /// apply_brownout() in brownout.hpp: refused kinds answer kBrownout,
+  /// coarsened percentiles snap to the coarse palette, stale-tolerant rungs
+  /// prefer the previous epoch. Exported as tero.serve.brownout_level.
+  void set_brownout(BrownoutLevel level);
+  [[nodiscard]] BrownoutLevel brownout() const noexcept;
+
   /// Shard index that owns `query`'s key (stable across calls).
   [[nodiscard]] std::size_t shard_for(const Query& query) const;
+
+  /// The shard's circuit-breaker state (kClosed when fault injection is
+  /// off) — the controller's scale-out gate reads this.
+  [[nodiscard]] fault::CircuitBreaker::State breaker_state(
+      std::size_t shard_index) const;
   [[nodiscard]] std::size_t shard_count() const noexcept {
     return shards_.size();
   }
@@ -267,6 +319,9 @@ class QueryService {
 
   ServeConfig config_;
   EpochPublisher publisher_;
+  /// Brownout ladder rung (relaxed atomic: readers tolerate a one-query
+  /// skew when the controller steps the ladder).
+  std::atomic<std::uint8_t> brownout_{0};
   /// Last good snapshot (the epoch before the current one): what degraded
   /// answers are served from while a shard is down. Mutex-guarded like the
   /// publisher's current pointer (deliberate — TSan-safe; see epoch.hpp).
@@ -287,6 +342,7 @@ class QueryService {
   obs::Counter* not_found_counter_ = nullptr;
   obs::Counter* degraded_counter_ = nullptr;
   obs::Counter* unavailable_counter_ = nullptr;
+  DeniedCounters denied_;
   obs::Histogram* query_ms_ = nullptr;
 };
 

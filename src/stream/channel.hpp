@@ -116,7 +116,23 @@ class Channel {
     return queue_.size();
   }
 
-  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t capacity() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+  }
+
+  /// Retune the bound mid-run (the overload controller's backpressure
+  /// actuation). Growing wakes blocked producers immediately; shrinking
+  /// below the current depth never drops queued elements — pushes simply
+  /// block until the consumer drains below the new bound. 0 clamps to 1,
+  /// as at construction.
+  void set_capacity(std::size_t capacity) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      capacity_ = capacity == 0 ? 1 : capacity;
+    }
+    not_full_.notify_all();
+  }
 
   [[nodiscard]] ChannelStats stats() const {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -145,7 +161,7 @@ class Channel {
     return value;
   }
 
-  const std::size_t capacity_;
+  std::size_t capacity_;  ///< guarded by mutex_ (set_capacity retunes it)
   obs::Gauge* depth_gauge_;
   obs::Counter* stall_counter_;
   mutable std::mutex mutex_;

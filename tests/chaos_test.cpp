@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -258,6 +259,70 @@ TEST(CircuitBreaker, HalfOpenProbesCloseOrReopen) {
   breaker.on_success();
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
   EXPECT_TRUE(breaker.allow(23.0));
+}
+
+TEST(CircuitBreaker, HalfOpenAdmitsOneProbeAtATime) {
+  CircuitBreaker::Config config;
+  config.failure_threshold = 1;
+  config.cooldown_s = 5.0;
+  config.half_open_successes = 2;
+  CircuitBreaker breaker(config);
+  breaker.on_failure(0.0);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  // Past the cooldown exactly one caller wins the probe slot; everyone
+  // else fails fast while its outcome is pending.
+  EXPECT_TRUE(breaker.allow(6.0));
+  EXPECT_FALSE(breaker.allow(6.0));
+  EXPECT_FALSE(breaker.allow(6.1));
+  EXPECT_EQ(breaker.rejected(), 2u);
+
+  // The probe's outcome frees the slot: one success admits the *next*
+  // single probe, and enough successes close the breaker for everyone.
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.allow(6.2));
+  EXPECT_FALSE(breaker.allow(6.2));
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow(6.3));
+  EXPECT_TRUE(breaker.allow(6.3));
+}
+
+TEST(CircuitBreaker, ConcurrentHalfOpenCallersElectExactlyOneProbe) {
+  // The thundering-herd regression: N threads hammer a breaker whose
+  // cooldown just elapsed. Exactly one may be admitted as the probe; the
+  // losers must fail fast and be counted as rejected. Run under TSan this
+  // also proves allow()/state() are race-free.
+  CircuitBreaker::Config config;
+  config.failure_threshold = 1;
+  config.cooldown_s = 1.0;
+  config.half_open_successes = 1;
+  CircuitBreaker breaker(config);
+  breaker.on_failure(0.0);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  constexpr int kThreads = 16;
+  std::atomic<int> admitted{0};
+  std::atomic<bool> start{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!start.load()) std::this_thread::yield();
+      if (breaker.allow(2.0)) admitted.fetch_add(1);
+    });
+  }
+  start.store(true);
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(admitted.load(), 1);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_EQ(breaker.rejected(), static_cast<std::uint64_t>(kThreads - 1));
+
+  // The winning probe succeeds and the breaker closes normally.
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
 }
 
 }  // namespace breaker_tests

@@ -337,6 +337,71 @@ TEST(AdmissionControllerTest, DisabledAdmitsEverything) {
   EXPECT_EQ(admission.shed(), 0u);
 }
 
+TEST(AdmissionControllerTest, RateStepUpAtRefillBoundaryMintsNothing) {
+  // 10 qps, burst 10; drain the bucket dry at t=0.
+  AdmissionController admission(10.0, 10.0);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(admission.try_admit(0.0));
+  ASSERT_FALSE(admission.try_admit(0.0));
+
+  // Step up to 100 qps exactly at the t=1s refill boundary. The elapsed
+  // second must refill at the *old* 10 qps (10 tokens), not retroactively
+  // at the new 100 qps.
+  admission.set_rate(1.0, 100.0, 100.0);
+  std::uint64_t ok = 0;
+  while (admission.try_admit(1.0)) ++ok;
+  EXPECT_EQ(ok, 10u);
+
+  // From here the new rate applies: the next second accrues 100 tokens.
+  ok = 0;
+  while (admission.try_admit(2.0)) ++ok;
+  EXPECT_EQ(ok, 100u);
+}
+
+TEST(AdmissionControllerTest, RateStepDownAtRefillBoundaryClampsBalance) {
+  // 100 qps, burst 100: at the t=1s boundary the balance is a full 100.
+  AdmissionController admission(100.0, 100.0);
+  ASSERT_TRUE(admission.try_admit(0.0));
+
+  // Step down to 5 qps / burst 5 exactly at the boundary: the balance must
+  // clamp to the new burst, never go negative, and never keep the old
+  // surplus.
+  admission.set_rate(1.0, 5.0, 5.0);
+  std::uint64_t ok = 0;
+  while (admission.try_admit(1.0)) ++ok;
+  EXPECT_EQ(ok, 5u);
+  EXPECT_FALSE(admission.try_admit(1.05));  // only 0.25 tokens accrued
+
+  // Refill now runs at the stepped-down rate.
+  ok = 0;
+  while (admission.try_admit(2.0)) ++ok;
+  EXPECT_EQ(ok, 5u);
+  EXPECT_EQ(admission.rate_qps(), 5.0);
+  EXPECT_EQ(admission.burst(), 5.0);
+}
+
+TEST(AdmissionControllerTest, RetuneKeepsCountersAndDisableReenable) {
+  AdmissionController admission(2.0, 2.0);
+  ASSERT_TRUE(admission.try_admit(0.0));
+  ASSERT_TRUE(admission.try_admit(0.0));
+  ASSERT_FALSE(admission.try_admit(0.0));
+  const std::uint64_t admitted_before = admission.admitted();
+  const std::uint64_t shed_before = admission.shed();
+
+  // Disable: everything passes, nothing is counted.
+  admission.set_rate(10.0, 0.0);
+  EXPECT_FALSE(admission.enabled());
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(admission.try_admit(10.0));
+  EXPECT_EQ(admission.admitted(), admitted_before);
+  EXPECT_EQ(admission.shed(), shed_before);
+
+  // Re-enable much later: the bucket starts full at the new burst — the
+  // disabled span must not have accrued tokens beyond that.
+  admission.set_rate(100.0, 4.0, 4.0);
+  std::uint64_t ok = 0;
+  while (admission.try_admit(100.0)) ++ok;
+  EXPECT_EQ(ok, 4u);
+}
+
 TEST(ZipfSamplerTest, DeterministicAndSkewed) {
   const ZipfSampler zipf(100, 1.1);
   util::Rng rng_a(7);

@@ -71,6 +71,39 @@ TEST(Channel, BlockingPushCountsStallAndRecovers) {
   EXPECT_EQ(stalls.value(), 1u);
 }
 
+TEST(Channel, SetCapacityRetunesTheBoundLive) {
+  Channel<int> channel(4);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(channel.push(i));
+  ASSERT_FALSE(channel.try_push(99));
+
+  // Shrinking below the current depth never drops queued elements; pushes
+  // stay blocked until the consumer drains below the new bound.
+  channel.set_capacity(2);
+  EXPECT_EQ(channel.capacity(), 2u);
+  EXPECT_EQ(channel.size(), 4u);
+  EXPECT_FALSE(channel.try_push(99));
+  EXPECT_EQ(channel.pop(), 0);
+  EXPECT_EQ(channel.pop(), 1);
+  EXPECT_FALSE(channel.try_push(99));  // still at the new bound (2 queued)
+  EXPECT_EQ(channel.pop(), 2);
+  EXPECT_TRUE(channel.try_push(50));
+
+  // Growing wakes a producer blocked on the old bound.
+  Channel<int> grown(1);
+  ASSERT_TRUE(grown.push(1));
+  std::thread producer([&] { EXPECT_TRUE(grown.push(2)); });
+  while (grown.stats().stalls == 0) std::this_thread::yield();
+  grown.set_capacity(4);
+  producer.join();
+  EXPECT_EQ(grown.size(), 2u);
+  EXPECT_EQ(grown.pop(), 1);
+  EXPECT_EQ(grown.pop(), 2);
+
+  // 0 clamps to 1, matching construction.
+  grown.set_capacity(0);
+  EXPECT_EQ(grown.capacity(), 1u);
+}
+
 TEST(Channel, MpscDeliversEverything) {
   Channel<int> channel(4);
   constexpr int kProducers = 4;
